@@ -1,0 +1,139 @@
+// Ablation benches for the design choices DESIGN.md calls out. Not a paper
+// figure — these quantify the individual mechanisms behind Meerkat's numbers:
+//
+//  A. Fast path: Meerkat with the supermajority fast path vs forced slow path
+//     (one extra round trip per transaction).
+//  B. Clock synchronization: throughput/abort rate vs client clock-skew bound
+//     (paper §3: clocks affect performance, never correctness).
+//  C. Replica scalability: Meerkat vs KuaFu++ as the replica count grows
+//     (ZCP rule 2: adding replicas must not cost throughput; leader-based
+//     systems degrade).
+//  D. Transaction length: YCSB-T with 1..8 RMWs per transaction (why Retwis
+//     behaves differently from YCSB-T in Figs. 4-7).
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace meerkat {
+namespace {
+
+PointResult RunMeerkatPoint(size_t threads, double theta, const BenchOptions& opt,
+                            size_t replicas, size_t rmws_per_txn) {
+  SystemOptions sys;
+  sys.kind = SystemKind::kMeerkat;
+  sys.quorum = QuorumConfig::ForReplicas(replicas);
+  sys.cores_per_replica = threads;
+  sys.cost = CostModel::ForStack(opt.stack);
+  sys.force_slow_path = opt.force_slow_path;
+  sys.max_clock_skew_ns = opt.max_clock_skew_ns;
+
+  Simulator sim(sys.cost);
+  SimTransport transport(&sim);
+  transport.faults().SetMaxExtraDelay(opt.net_jitter_ns);
+  SimTimeSource time_source(&sim);
+  std::unique_ptr<System> system = CreateSystem(sys, &transport, &time_source);
+
+  YcsbTOptions y;
+  y.num_keys = opt.keys_per_thread * threads;
+  y.zipf_theta = theta;
+  y.key_size = 24;
+  y.value_size = 24;
+  y.rmws_per_txn = rmws_per_txn;
+  YcsbTWorkload wl(y);
+
+  SimRunOptions run;
+  run.num_clients = opt.clients_per_thread * threads;
+  run.warmup_ns = opt.warmup_ms * 1'000'000;
+  run.measure_ns = opt.measure_ms * 1'000'000;
+  run.seed = opt.seed;
+  RunResult result = RunSimWorkload(sim, transport, *system, wl, run);
+
+  PointResult p;
+  p.goodput_mtps = result.stats.GoodputPerSec(result.elapsed_seconds) / 1e6;
+  p.abort_rate = result.stats.AbortRate();
+  p.mean_latency_us = result.stats.commit_latency.MeanNanos() / 1e3;
+  uint64_t commits = result.stats.committed;
+  p.fast_path_fraction = commits == 0 ? 0
+                                      : static_cast<double>(result.stats.fast_path_commits) /
+                                            static_cast<double>(commits);
+  return p;
+}
+
+}  // namespace
+}  // namespace meerkat
+
+int main(int argc, char** argv) {
+  using namespace meerkat;
+  BenchOptions opt = ParseBenchArgs(argc, argv);
+  const size_t kThreads = opt.quick ? 16 : 32;
+
+  // --- A. Fast path vs forced slow path ---
+  printf("# Ablation A: Meerkat fast path (YCSB-T, uniform, %zu threads)\n", kThreads);
+  printf("%-16s%12s%16s%16s\n", "mode", "Mtxn/s", "mean lat (us)", "fast-path %");
+  {
+    BenchOptions fast = opt;
+    PointResult p = RunMeerkatPoint(kThreads, 0.0, fast, 3, 1);
+    printf("%-16s%12.3f%16.1f%15.1f%%\n", "fast+slow", p.goodput_mtps, p.mean_latency_us,
+           p.fast_path_fraction * 100);
+    BenchOptions slow = opt;
+    slow.force_slow_path = true;
+    p = RunMeerkatPoint(kThreads, 0.0, slow, 3, 1);
+    printf("%-16s%12.3f%16.1f%15.1f%%\n", "slow only", p.goodput_mtps, p.mean_latency_us,
+           p.fast_path_fraction * 100);
+  }
+
+  // --- B. Clock skew ---
+  printf("\n# Ablation B: client clock skew (YCSB-T, zipf 0.6, %zu threads)\n", kThreads);
+  printf("%-16s%12s%12s\n", "max skew", "Mtxn/s", "abort %");
+  for (int64_t skew_us : {0, 1, 10, 100, 1000}) {
+    BenchOptions skewed = opt;
+    skewed.max_clock_skew_ns = skew_us * 1000;
+    PointResult p = RunMeerkatPoint(kThreads, 0.6, skewed, 3, 1);
+    printf("%-13lldus%12.3f%12.2f\n", static_cast<long long>(skew_us), p.goodput_mtps,
+           p.abort_rate * 100);
+    fflush(stdout);
+  }
+
+  // --- C. Replica scalability ---
+  printf("\n# Ablation C: replica count (YCSB-T, uniform, %zu threads/replica)\n", kThreads);
+  printf("%-10s%14s%14s\n", "replicas", "MEERKAT", "KuaFu++");
+  for (size_t n : {1UL, 3UL, 5UL, 7UL}) {
+    PointResult meerkat = RunMeerkatPoint(kThreads, 0.0, opt, n, 1);
+
+    SystemOptions k;
+    k.kind = SystemKind::kKuaFu;
+    k.quorum = QuorumConfig::ForReplicas(n);
+    k.cores_per_replica = kThreads;
+    k.cost = CostModel::ForStack(opt.stack);
+    Simulator sim(k.cost);
+    SimTransport transport(&sim);
+    transport.faults().SetMaxExtraDelay(opt.net_jitter_ns);
+    SimTimeSource time_source(&sim);
+    auto system = CreateSystem(k, &transport, &time_source);
+    YcsbTOptions y;
+    y.num_keys = opt.keys_per_thread * kThreads;
+    y.key_size = 24;
+    y.value_size = 24;
+    YcsbTWorkload wl(y);
+    SimRunOptions run;
+    run.num_clients = opt.clients_per_thread * kThreads;
+    run.warmup_ns = opt.warmup_ms * 1'000'000;
+    run.measure_ns = opt.measure_ms * 1'000'000;
+    RunResult result = RunSimWorkload(sim, transport, *system, wl, run);
+    double kuafu_mtps = result.stats.GoodputPerSec(result.elapsed_seconds) / 1e6;
+
+    printf("%-10zu%14.3f%14.3f\n", n, meerkat.goodput_mtps, kuafu_mtps);
+    fflush(stdout);
+  }
+
+  // --- D. Transaction length ---
+  printf("\n# Ablation D: RMWs per transaction (YCSB-T, uniform, %zu threads)\n", kThreads);
+  printf("%-10s%12s%16s\n", "rmws", "Mtxn/s", "mean lat (us)");
+  for (size_t rmws : {1UL, 2UL, 4UL, 8UL}) {
+    PointResult p = RunMeerkatPoint(kThreads, 0.0, opt, 3, rmws);
+    printf("%-10zu%12.3f%16.1f\n", rmws, p.goodput_mtps, p.mean_latency_us);
+    fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Reproduces paper Figure 1: peak PUT throughput of a simple key-value server
+// vs number of server threads (2-20), on a kernel-bypass stack (eRPC) and a
+// traditional Linux UDP stack, each with and without an artificial
+// application bottleneck (a shared atomic counter incremented on every PUT).
+//
+// Paper shape to match: eRPC reaches ~8x the UDP throughput; the counter has
+// no visible effect on UDP (masked by the network stack) but caps eRPC at
+// ~11M ops/s — the application, not the network, becomes the bottleneck.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/baselines/plain_kv.h"
+
+namespace meerkat {
+namespace {
+
+double RunKvPoint(NetworkStack stack, bool counter, size_t threads, const BenchOptions& opt) {
+  CostModel cost = CostModel::ForStack(stack);
+  Simulator sim(cost);
+  SimTransport transport(&sim);
+  PlainKvServer server(0, threads, &transport, counter);
+
+  size_t num_clients = 16 * threads;
+  std::vector<std::unique_ptr<PlainKvClient>> clients;
+  clients.reserve(num_clients);
+  for (size_t i = 0; i < num_clients; i++) {
+    clients.push_back(std::make_unique<PlainKvClient>(static_cast<uint32_t>(i + 1), 0, threads,
+                                                      &transport, opt.seed + i));
+  }
+  for (size_t i = 0; i < num_clients; i++) {
+    SimActor* actor = transport.ActorFor(Address::Client(static_cast<uint32_t>(i + 1)), 0);
+    PlainKvClient* client = clients[i].get();
+    sim.Schedule(i * 60 + 1, actor, [client](SimContext&) { client->Start(); });
+  }
+
+  uint64_t warmup = opt.warmup_ms * 1'000'000;
+  uint64_t measure = opt.measure_ms * 1'000'000;
+  sim.Run(warmup);
+  for (auto& client : clients) {
+    client->ResetCompleted();
+  }
+  sim.Run(warmup + measure);
+  uint64_t total = 0;
+  for (auto& client : clients) {
+    total += client->completed();
+  }
+  sim.Clear();
+  return static_cast<double>(total) / (static_cast<double>(measure) / 1e9) / 1e6;
+}
+
+}  // namespace
+}  // namespace meerkat
+
+int main(int argc, char** argv) {
+  using namespace meerkat;
+  BenchOptions opt = ParseBenchArgs(argc, argv);
+
+  std::vector<size_t> threads = opt.quick ? std::vector<size_t>{2, 8, 20}
+                                          : std::vector<size_t>{2, 4, 6, 8, 10, 12, 14, 16, 18, 20};
+
+  printf("# Figure 1: PUT throughput (million ops/sec) vs server threads, single server\n");
+  printf("%-8s%14s%14s%20s%20s\n", "threads", "eRPC", "UDP", "eRPC+counter", "UDP+counter");
+  double erpc20 = 0;
+  double udp20 = 0;
+  double erpc_counter_peak = 0;
+  for (size_t t : threads) {
+    double erpc = RunKvPoint(NetworkStack::kErpc, false, t, opt);
+    double udp = RunKvPoint(NetworkStack::kLinuxUdp, false, t, opt);
+    double erpc_c = RunKvPoint(NetworkStack::kErpc, true, t, opt);
+    double udp_c = RunKvPoint(NetworkStack::kLinuxUdp, true, t, opt);
+    printf("%-8zu%14.2f%14.2f%20.2f%20.2f\n", t, erpc, udp, erpc_c, udp_c);
+    fflush(stdout);
+    erpc20 = erpc;
+    udp20 = udp;
+    if (erpc_c > erpc_counter_peak) {
+      erpc_counter_peak = erpc_c;
+    }
+  }
+  printf("\n# At max threads: eRPC/UDP speedup = %.1fx (paper: ~8x)\n", erpc20 / udp20);
+  printf("# eRPC+counter cap = %.1f M ops/s (paper: ~11M)\n", erpc_counter_peak);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces paper Figure 4: peak YCSB-T throughput (1 read-modify-write per
+// transaction, uniform keys) vs number of server threads, for all four
+// systems on 3 replicas.
+//
+// Paper shape to match: KuaFu++ bottlenecks around 6 threads / ~0.6M txn/s;
+// TAPIR around 8 threads / ~0.8M txn/s; Meerkat-PB scales to 64 threads
+// (~7x KuaFu++); Meerkat scales to 80 threads (~8.3M txn/s, ~12x KuaFu++).
+
+#include <cstdio>
+#include <map>
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace meerkat;
+  BenchOptions opt = ParseBenchArgs(argc, argv);
+
+  const SystemKind kSystems[] = {SystemKind::kMeerkat, SystemKind::kMeerkatPb,
+                                 SystemKind::kTapir, SystemKind::kKuaFu};
+  std::vector<size_t> threads = ThreadSweep(opt.quick);
+
+  printf("# Figure 4: YCSB-T (1 RMW/txn, uniform) throughput vs server threads, 3 replicas\n");
+  printf("# goodput in million committed txns/sec\n");
+  printf("%-8s", "threads");
+  for (SystemKind kind : kSystems) {
+    printf("%12s", ToString(kind));
+  }
+  printf("\n");
+
+  std::map<SystemKind, double> peak;
+  for (size_t t : threads) {
+    printf("%-8zu", t);
+    fflush(stdout);
+    for (SystemKind kind : kSystems) {
+      PointResult p = RunPoint(kind, WorkloadKind::kYcsbT, t, /*theta=*/0.0, opt);
+      printf("%12.3f", p.goodput_mtps);
+      fflush(stdout);
+      if (p.goodput_mtps > peak[kind]) {
+        peak[kind] = p.goodput_mtps;
+      }
+    }
+    printf("\n");
+  }
+
+  printf("\n# Peak goodput (Mtxn/s) and speedup over KuaFu++ (paper: Meerkat 12x, Meerkat-PB "
+         "7x)\n");
+  for (SystemKind kind : kSystems) {
+    printf("%-12s peak=%7.3f  speedup=%5.1fx\n", ToString(kind), peak[kind],
+           peak[kind] / peak[SystemKind::kKuaFu]);
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces paper Figure 5: peak Retwis throughput (long, read-heavy
+// transactions, uniform keys) vs number of server threads, 4 systems, 3
+// replicas.
+//
+// Paper shape to match: all systems are slower than on YCSB-T (longer
+// transactions); TAPIR and KuaFu++ scale further (to ~32 threads) before
+// capping at 0.6-0.7M txn/s; Meerkat-PB scales almost as well as Meerkat
+// (cross-replica coordination matters less when commit is a smaller fraction
+// of the transaction); Meerkat reaches ~2.7M txn/s at 80 threads.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace meerkat;
+  BenchOptions opt = ParseBenchArgs(argc, argv);
+
+  const SystemKind kSystems[] = {SystemKind::kMeerkat, SystemKind::kMeerkatPb,
+                                 SystemKind::kTapir, SystemKind::kKuaFu};
+  std::vector<size_t> threads = ThreadSweep(opt.quick);
+
+  printf("# Figure 5: Retwis (Table 2 mix, uniform) throughput vs server threads, 3 replicas\n");
+  printf("# goodput in million committed txns/sec\n");
+  printf("%-8s", "threads");
+  for (SystemKind kind : kSystems) {
+    printf("%12s", ToString(kind));
+  }
+  printf("\n");
+
+  std::map<SystemKind, double> peak;
+  for (size_t t : threads) {
+    printf("%-8zu", t);
+    fflush(stdout);
+    for (SystemKind kind : kSystems) {
+      PointResult p = RunPoint(kind, WorkloadKind::kRetwis, t, /*theta=*/0.0, opt);
+      printf("%12.3f", p.goodput_mtps);
+      fflush(stdout);
+      if (p.goodput_mtps > peak[kind]) {
+        peak[kind] = p.goodput_mtps;
+      }
+    }
+    printf("\n");
+  }
+
+  printf("\n# Peak goodput (Mtxn/s); paper: Meerkat ~2.7M, others cap at 0.6-0.7M\n");
+  for (SystemKind kind : kSystems) {
+    printf("%-12s peak=%7.3f\n", ToString(kind), peak[kind]);
+  }
+  return 0;
+}

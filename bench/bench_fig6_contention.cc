@@ -1,0 +1,33 @@
+// Reproduces paper Figure 6: peak throughput vs Zipf coefficient at 64 server
+// threads, Meerkat vs Meerkat-PB, on (a) YCSB-T and (b) Retwis.
+//
+// Paper shape to match: (a) Meerkat leads by ~50% at low/medium skew, then
+// drops more sharply and crosses below Meerkat-PB past Zipf ~0.87;
+// (b) on Retwis the two are comparable at low skew and Meerkat-PB wins at
+// high skew. This is the ZCP-vs-contention trade-off (§6.5): decentralized
+// OCC aborts more because replicas validate in different orders.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace meerkat;
+  BenchOptions opt = ParseBenchArgs(argc, argv);
+  const size_t kThreads = 64;
+
+  for (WorkloadKind wl : {WorkloadKind::kYcsbT, WorkloadKind::kRetwis}) {
+    printf("# Figure 6%s: %s throughput (Mtxn/s) vs Zipf coefficient, %zu threads\n",
+           wl == WorkloadKind::kYcsbT ? "a" : "b", ToString(wl), kThreads);
+    printf("%-8s%12s%12s%10s\n", "zipf", "MEERKAT", "MEERKAT-PB", "winner");
+    for (double theta : ZipfSweep(opt.quick)) {
+      PointResult meerkat = RunPoint(SystemKind::kMeerkat, wl, kThreads, theta, opt);
+      PointResult pb = RunPoint(SystemKind::kMeerkatPb, wl, kThreads, theta, opt);
+      printf("%-8.2f%12.3f%12.3f%10s\n", theta, meerkat.goodput_mtps, pb.goodput_mtps,
+             meerkat.goodput_mtps >= pb.goodput_mtps ? "MEERKAT" : "PB");
+      fflush(stdout);
+    }
+    printf("\n");
+  }
+  return 0;
+}

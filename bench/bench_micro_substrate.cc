@@ -1,0 +1,135 @@
+// Substrate micro-benchmarks (google-benchmark): physical costs of the
+// building blocks on the host machine. Not a paper figure — these exist to
+// sanity-check the simulator's cost-model constants and catch substrate
+// regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/zipf.h"
+#include "src/sim/simulator.h"
+#include "src/store/occ.h"
+#include "src/store/trecord.h"
+#include "src/store/vstore.h"
+#include "src/transport/channel.h"
+#include "src/workload/retwis.h"
+#include "src/workload/ycsb_t.h"
+
+namespace meerkat {
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ZipfNext(benchmark::State& state) {
+  Rng rng(42);
+  ZipfGenerator zipf(1'000'000, static_cast<double>(state.range(0)) / 100.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(rng));
+  }
+}
+BENCHMARK(BM_ZipfNext)->Arg(0)->Arg(60)->Arg(99);
+
+void BM_VStoreRead(benchmark::State& state) {
+  VStore store;
+  Rng rng(42);
+  for (uint64_t i = 0; i < 10000; i++) {
+    store.LoadKey(FormatKey(i, 24), "value", Timestamp{1, 0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Read(FormatKey(rng.NextBounded(10000), 24)));
+  }
+}
+BENCHMARK(BM_VStoreRead);
+
+void BM_OccValidateCommit(benchmark::State& state) {
+  VStore store;
+  for (uint64_t i = 0; i < 10000; i++) {
+    store.LoadKey(FormatKey(i, 24), "value", Timestamp{1, 0});
+  }
+  Rng rng(42);
+  uint64_t t = 2;
+  for (auto _ : state) {
+    std::string key = FormatKey(rng.NextBounded(10000), 24);
+    Timestamp read_wts = store.Read(key).wts;
+    std::vector<ReadSetEntry> reads{{key, read_wts}};
+    std::vector<WriteSetEntry> writes{{key, "new"}};
+    Timestamp ts{t++, 1};
+    if (OccValidate(store, reads, writes, ts) == TxnStatus::kValidatedOk) {
+      OccCommit(store, reads, writes, ts);
+    } else {
+      OccCleanup(store, reads, writes, ts);
+    }
+  }
+}
+BENCHMARK(BM_OccValidateCommit);
+
+void BM_TRecordLifecycle(benchmark::State& state) {
+  TRecord trecord(4);
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    TxnId tid{1, ++seq};
+    TRecordPartition& part = trecord.Partition(static_cast<CoreId>(seq % 4));
+    TxnRecord& rec = part.GetOrCreate(tid);
+    rec.status = TxnStatus::kCommitted;
+    part.Erase(tid);
+  }
+}
+BENCHMARK(BM_TRecordLifecycle);
+
+void BM_ChannelPushPop(benchmark::State& state) {
+  Channel<int> channel;
+  for (auto _ : state) {
+    channel.Push(1);
+    benchmark::DoNotOptimize(channel.TryPop());
+  }
+}
+BENCHMARK(BM_ChannelPushPop);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  CostModel cost;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim(cost);
+    SimActor actor;
+    state.ResumeTiming();
+    for (int i = 0; i < 10000; i++) {
+      sim.Schedule(static_cast<uint64_t>(i), &actor, [](SimContext& ctx) { ctx.Charge(10); });
+    }
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_RetwisGenerate(benchmark::State& state) {
+  RetwisOptions options;
+  options.num_keys = 100000;
+  options.zipf_theta = 0.6;
+  RetwisWorkload workload(options);
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload.NextTxn(rng));
+  }
+}
+BENCHMARK(BM_RetwisGenerate);
+
+void BM_LatencyHistogramRecord(benchmark::State& state) {
+  LatencyHistogram hist;
+  Rng rng(42);
+  for (auto _ : state) {
+    hist.Record(rng.NextBounded(10'000'000));
+  }
+}
+BENCHMARK(BM_LatencyHistogramRecord);
+
+}  // namespace
+}  // namespace meerkat
+
+BENCHMARK_MAIN();

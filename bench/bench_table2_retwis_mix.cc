@@ -1,0 +1,65 @@
+// Reproduces paper Table 2: the Retwis transaction mix. Generates a large
+// sample from the workload generator and tallies transaction types, get/put
+// counts, and workload shares against the paper's specification:
+//
+//   Transaction      #gets       #puts   share
+//   Add User         1           3         5%
+//   Follow/Unfollow  2           2        15%
+//   Post Tweet       3           5        30%
+//   Load Timeline    rand(1,10)  0        50%
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace meerkat;
+  BenchOptions opt = ParseBenchArgs(argc, argv);
+  const uint64_t kSamples = opt.quick ? 20000 : 200000;
+
+  RetwisOptions options;
+  options.num_keys = 100000;
+  options.zipf_theta = 0.0;
+  RetwisWorkload workload(options);
+  Rng rng(opt.seed);
+
+  struct Tally {
+    uint64_t count = 0;
+    uint64_t gets = 0;
+    uint64_t puts = 0;
+    uint64_t min_gets = UINT64_MAX;
+    uint64_t max_gets = 0;
+  };
+  Tally tally[4];
+  const char* names[4] = {"Add User", "Follow/Unfollow", "Post Tweet", "Load Timeline"};
+
+  for (uint64_t i = 0; i < kSamples; i++) {
+    auto type = workload.NextType(rng);
+    TxnPlan plan = workload.MakeTxn(type, rng);
+    Tally& t = tally[static_cast<int>(type)];
+    t.count++;
+    uint64_t gets = plan.NumReads();
+    t.gets += gets;
+    t.puts += plan.NumWrites();
+    t.min_gets = std::min(t.min_gets, gets);
+    t.max_gets = std::max(t.max_gets, gets);
+  }
+
+  printf("# Table 2: Retwis mix measured over %llu generated transactions\n",
+         static_cast<unsigned long long>(kSamples));
+  printf("%-18s%12s%12s%12s%14s%12s\n", "Transaction", "avg #gets", "get range", "avg #puts",
+         "measured %", "paper %");
+  const double expected[4] = {5, 15, 30, 50};
+  for (int i = 0; i < 4; i++) {
+    const Tally& t = tally[i];
+    char range[32];
+    snprintf(range, sizeof(range), "%llu-%llu", static_cast<unsigned long long>(t.min_gets),
+             static_cast<unsigned long long>(t.max_gets));
+    printf("%-18s%12.2f%12s%12.2f%13.1f%%%11.0f%%\n", names[i],
+           static_cast<double>(t.gets) / static_cast<double>(t.count), range,
+           static_cast<double>(t.puts) / static_cast<double>(t.count),
+           100.0 * static_cast<double>(t.count) / static_cast<double>(kSamples), expected[i]);
+  }
+  printf("\n# Paper spec: AddUser 1g/3p, Follow 2g/2p, PostTweet 3g/5p, LoadTimeline 1-10g/0p\n");
+  return 0;
+}

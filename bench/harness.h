@@ -1,0 +1,171 @@
+// Shared benchmark harness: builds a simulated cluster for a (system,
+// workload, thread-count, zipf) point, runs the closed-loop measurement, and
+// prints paper-style tables.
+//
+// Each bench binary reproduces one paper table or figure; see DESIGN.md §4
+// for the experiment index. Common flags:
+//   --quick          smaller sweeps / shorter windows (CI smoke mode)
+//   --measure-ms=N   virtual measurement window per point
+//   --clients-per-thread=N  closed-loop clients per server thread
+
+#ifndef MEERKAT_BENCH_HARNESS_H_
+#define MEERKAT_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/api/system.h"
+#include "src/sim/sim_time_source.h"
+#include "src/sim/simulator.h"
+#include "src/transport/sim_transport.h"
+#include "src/workload/driver.h"
+#include "src/workload/retwis.h"
+#include "src/workload/ycsb_t.h"
+
+namespace meerkat {
+
+struct BenchOptions {
+  bool quick = false;
+  uint64_t warmup_ms = 4;
+  uint64_t measure_ms = 20;
+  size_t clients_per_thread = 8;
+  uint64_t keys_per_thread = 10000;
+  uint64_t seed = 1;
+  NetworkStack stack = NetworkStack::kErpc;
+  // Uniform random per-message extra delay in [0, net_jitter_ns]. Nonzero
+  // jitter makes message arrival order diverge across replicas — without it,
+  // all replicas would validate in identical order and Meerkat would never
+  // see split votes, which is unrealistically kind to it at high contention.
+  uint64_t net_jitter_ns = 2000;
+  // Force Meerkat/TAPIR onto the slow path (ablation).
+  bool force_slow_path = false;
+  // Per-client clock skew bound (ablation; 0 = perfectly synced clocks).
+  int64_t max_clock_skew_ns = 0;
+};
+
+inline BenchOptions ParseBenchArgs(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    auto num = [&arg](const char* prefix) -> long {
+      return std::stol(arg.substr(std::string(prefix).size()));
+    };
+    if (arg == "--quick") {
+      opt.quick = true;
+      opt.measure_ms = 10;
+      opt.warmup_ms = 2;
+    } else if (arg.rfind("--measure-ms=", 0) == 0) {
+      opt.measure_ms = static_cast<uint64_t>(num("--measure-ms="));
+    } else if (arg.rfind("--warmup-ms=", 0) == 0) {
+      opt.warmup_ms = static_cast<uint64_t>(num("--warmup-ms="));
+    } else if (arg.rfind("--clients-per-thread=", 0) == 0) {
+      opt.clients_per_thread = static_cast<size_t>(num("--clients-per-thread="));
+    } else if (arg.rfind("--keys-per-thread=", 0) == 0) {
+      opt.keys_per_thread = static_cast<uint64_t>(num("--keys-per-thread="));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opt.seed = static_cast<uint64_t>(num("--seed="));
+    }
+  }
+  return opt;
+}
+
+enum class WorkloadKind { kYcsbT, kRetwis };
+
+inline const char* ToString(WorkloadKind w) {
+  return w == WorkloadKind::kYcsbT ? "YCSB-T" : "Retwis";
+}
+
+struct PointResult {
+  double goodput_mtps = 0;   // Million committed txns/sec.
+  double abort_rate = 0;     // Fraction of attempts aborted.
+  double mean_latency_us = 0;
+  double p99_latency_us = 0;
+  double fast_path_fraction = 0;
+  CoordinationStats coordination;
+};
+
+// Runs one measurement point: `threads` server threads per replica, 3
+// replicas, closed-loop clients, given workload and skew.
+inline PointResult RunPoint(SystemKind kind, WorkloadKind workload, size_t threads, double theta,
+                            const BenchOptions& opt) {
+  SystemOptions sys;
+  sys.kind = kind;
+  sys.quorum = QuorumConfig::ForReplicas(3);
+  sys.cores_per_replica = threads;
+  sys.cost = CostModel::ForStack(opt.stack);
+  sys.force_slow_path = opt.force_slow_path;
+  sys.max_clock_skew_ns = opt.max_clock_skew_ns;
+
+  Simulator sim(sys.cost);
+  SimTransport transport(&sim);
+  transport.faults().SetMaxExtraDelay(opt.net_jitter_ns);
+  SimTimeSource time_source(&sim);
+  std::unique_ptr<System> system = CreateSystem(sys, &transport, &time_source);
+
+  // Keys scale with thread count so per-key contention stays constant as the
+  // system scales (paper §6.2: 1M keys per core; scaled down — the simulator
+  // models cache effects via constants, so only the conflict probability
+  // matters here).
+  uint64_t num_keys = opt.keys_per_thread * threads;
+
+  std::unique_ptr<Workload> wl;
+  if (workload == WorkloadKind::kYcsbT) {
+    YcsbTOptions y;
+    y.num_keys = num_keys;
+    y.zipf_theta = theta;
+    // Short keys/values keep simulator memory proportional to simulated
+    // throughput; byte-copy costs are part of the cost model, not measured.
+    y.key_size = 24;
+    y.value_size = 24;
+    wl = std::make_unique<YcsbTWorkload>(y);
+  } else {
+    RetwisOptions r;
+    r.num_keys = num_keys;
+    r.zipf_theta = theta;
+    r.key_size = 24;
+    r.value_size = 24;
+    wl = std::make_unique<RetwisWorkload>(r);
+  }
+
+  SimRunOptions run;
+  run.num_clients = opt.clients_per_thread * threads;
+  run.warmup_ns = opt.warmup_ms * 1'000'000;
+  run.measure_ns = opt.measure_ms * 1'000'000;
+  run.seed = opt.seed;
+
+  RunResult result = RunSimWorkload(sim, transport, *system, *wl, run);
+
+  PointResult point;
+  point.goodput_mtps = result.stats.GoodputPerSec(result.elapsed_seconds) / 1e6;
+  point.abort_rate = result.stats.AbortRate();
+  point.mean_latency_us = result.stats.commit_latency.MeanNanos() / 1e3;
+  point.p99_latency_us = static_cast<double>(result.stats.commit_latency.QuantileNanos(0.99)) / 1e3;
+  uint64_t commits = result.stats.committed;
+  point.fast_path_fraction =
+      commits == 0 ? 0.0
+                   : static_cast<double>(result.stats.fast_path_commits) /
+                         static_cast<double>(commits);
+  point.coordination = result.coordination;
+  return point;
+}
+
+inline std::vector<size_t> ThreadSweep(bool quick) {
+  if (quick) {
+    return {4, 16, 48, 80};
+  }
+  return {2, 4, 8, 16, 24, 32, 48, 64, 80};
+}
+
+inline std::vector<double> ZipfSweep(bool quick) {
+  if (quick) {
+    return {0.0, 0.6, 0.9};
+  }
+  return {0.0, 0.2, 0.4, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95, 1.0};
+}
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_BENCH_HARNESS_H_

@@ -1,0 +1,90 @@
+// Distributed transactions across hash-partitioned shards (paper §5.2.4):
+// a 3-shard, 9-replica deployment where single transactions atomically span
+// shards — the validation phase doubles as the atomic-commitment prepare.
+//
+//   $ ./multi_shard
+
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+
+#include "src/protocol/sharded.h"
+#include "src/transport/threaded_transport.h"
+
+using namespace meerkat;
+
+int main() {
+  ThreadedTransport transport;
+  SystemTimeSource time_source;
+
+  ShardedOptions options;
+  options.num_shards = 3;
+  options.quorum = QuorumConfig::ForReplicas(3);  // 9 replicas total.
+  options.cores_per_replica = 2;
+  options.retry_timeout_ns = 5'000'000;
+  ShardedCluster cluster(options, &transport);
+
+  // Find keys on three different shards, then load them.
+  std::string keys[3];
+  size_t found = 0;
+  for (int i = 0; found < 3 && i < 10000; i++) {
+    std::string candidate = "item-" + std::to_string(i);
+    if (cluster.ShardForKey(candidate) == found) {
+      keys[found++] = candidate;
+    }
+  }
+  for (const std::string& key : keys) {
+    cluster.Load(key, "100");
+    printf("loaded %-8s on shard %zu\n", key.c_str(), cluster.ShardForKey(key));
+  }
+
+  ShardedSession session(1, &transport, &time_source, &cluster, 7);
+  std::mutex mu;
+  std::condition_variable cv;
+  auto run = [&](TxnPlan plan, const char* label) {
+    std::unique_lock<std::mutex> lock(mu);
+    bool done = false;
+    TxnResult result = TxnResult::kFailed;
+    session.ExecuteAsync(std::move(plan), [&](TxnResult r, bool) {
+      std::lock_guard<std::mutex> inner(mu);
+      result = r;
+      done = true;
+      cv.notify_one();
+    });
+    cv.wait(lock, [&] { return done; });
+    printf("%-32s -> %s (%zu shard%s involved)\n", label, ToString(result),
+           session.last_shard_count(), session.last_shard_count() == 1 ? "" : "s");
+    return result;
+  };
+
+  // A three-shard atomic transfer: move 10 units from item 0 to items 1 and 2.
+  TxnPlan transfer;
+  transfer.ops.push_back(Op::RmwFn(keys[0], [](const std::string& v) {
+    return std::to_string(std::stoi(v) - 10);
+  }));
+  transfer.ops.push_back(Op::RmwFn(keys[1], [](const std::string& v) {
+    return std::to_string(std::stoi(v) + 5);
+  }));
+  transfer.ops.push_back(Op::RmwFn(keys[2], [](const std::string& v) {
+    return std::to_string(std::stoi(v) + 5);
+  }));
+  run(std::move(transfer), "3-shard transfer");
+
+  // A cross-shard read-only transaction observes a consistent snapshot.
+  TxnPlan audit;
+  for (const std::string& key : keys) {
+    audit.ops.push_back(Op::Get(key));
+  }
+  run(std::move(audit), "3-shard consistent read");
+
+  transport.DrainForTesting();
+  int total = 0;
+  for (const std::string& key : keys) {
+    ReadResult r = cluster.ReadAt(cluster.ShardForKey(key), 0, key);
+    printf("%-8s = %s\n", key.c_str(), r.value.c_str());
+    total += std::stoi(r.value);
+  }
+  printf("total = %d %s\n", total, total == 300 ? "(conserved across shards)" : "(VIOLATION!)");
+  transport.Stop();
+  return total == 300 ? 0 : 1;
+}

@@ -1,0 +1,76 @@
+// Quickstart: bring up a 3-replica Meerkat cluster in-process, run a few
+// transactions through the public API, and peek at what the protocol did.
+//
+//   $ ./quickstart
+//
+// This uses the threaded runtime: real threads per replica core, real
+// message queues — the same code path the test suite exercises under fault
+// injection.
+
+#include <cstdio>
+
+#include "src/api/blocking_client.h"
+#include "src/api/system.h"
+#include "src/transport/threaded_transport.h"
+
+using namespace meerkat;
+
+int main() {
+  // 1. Assemble the cluster: 3 replicas (f=1), 2 server threads each.
+  ThreadedTransport transport;
+  SystemTimeSource time_source;
+  SystemOptions options;
+  options.kind = SystemKind::kMeerkat;
+  options.quorum = QuorumConfig::ForReplicas(3);
+  options.cores_per_replica = 2;
+  options.retry_timeout_ns = 5'000'000;  // Retransmit after 5 ms.
+  auto system = CreateSystem(options, &transport, &time_source);
+
+  // 2. Preload some data (bulk load bypasses the commit protocol).
+  system->Load("greeting", "hello");
+
+  // 3. Run transactions through a synchronous client.
+  BlockingClient client(*system, /*client_id=*/1);
+
+  std::optional<std::string> value = client.Get("greeting");
+  printf("get(greeting)            -> %s\n", value.value_or("<absent>").c_str());
+
+  TxnResult result = client.Put("greeting", "hello, meerkat");
+  printf("put(greeting)            -> %s\n", ToString(result));
+
+  // A multi-op transaction: read one key, write two, atomically.
+  TxnPlan plan;
+  plan.ops.push_back(Op::Get("greeting"));
+  plan.ops.push_back(Op::Put("count", "1"));
+  plan.ops.push_back(Op::Put("owner", "quickstart"));
+  result = client.Execute(plan);
+  printf("multi-op txn             -> %s\n", ToString(result));
+
+  // A read-modify-write whose written value depends on what it read.
+  TxnPlan increment;
+  increment.ops.push_back(Op::RmwFn("count", [](const std::string& current) {
+    return std::to_string(current.empty() ? 1 : std::stoi(current) + 1);
+  }));
+  result = client.ExecuteWithRetry(increment);
+  printf("increment(count)         -> %s, count=%s\n", ToString(result),
+         client.Get("count").value_or("?").c_str());
+
+  // 4. What did the protocol do? Uncontended Meerkat transactions commit on
+  //    the fast path: one round trip, no replica-to-replica messages.
+  const RunStats& stats = client.session().stats();
+  printf("\ncommitted=%llu aborted=%llu fast-path=%llu slow-path=%llu\n",
+         static_cast<unsigned long long>(stats.committed),
+         static_cast<unsigned long long>(stats.aborted),
+         static_cast<unsigned long long>(stats.fast_path_commits),
+         static_cast<unsigned long long>(stats.slow_path_commits));
+  printf("latency: %s\n", stats.commit_latency.Summary().c_str());
+
+  // 5. Every replica converged to the same committed state.
+  transport.DrainForTesting();
+  for (ReplicaId r = 0; r < 3; r++) {
+    ReadResult read = system->ReadAtReplica(r, "greeting");
+    printf("replica %u: greeting=%s\n", r, read.value.c_str());
+  }
+  transport.Stop();
+  return 0;
+}

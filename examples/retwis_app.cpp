@@ -1,0 +1,74 @@
+// Retwis on Meerkat: runs the paper's Twitter-clone workload (Table 2) on a
+// 3-replica cluster through the same workload driver the benchmarks use, and
+// reports goodput, abort rate, fast-path share, and latency percentiles.
+//
+//   $ ./retwis_app [system] [zipf] [seconds]
+//     system: meerkat | meerkat-pb | tapir | kuafu   (default meerkat)
+//     zipf:   contention coefficient, 0 = uniform    (default 0.6)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/api/system.h"
+#include "src/transport/threaded_transport.h"
+#include "src/workload/driver.h"
+#include "src/workload/retwis.h"
+
+using namespace meerkat;
+
+int main(int argc, char** argv) {
+  SystemKind kind = SystemKind::kMeerkat;
+  if (argc > 1) {
+    if (strcmp(argv[1], "meerkat-pb") == 0) {
+      kind = SystemKind::kMeerkatPb;
+    } else if (strcmp(argv[1], "tapir") == 0) {
+      kind = SystemKind::kTapir;
+    } else if (strcmp(argv[1], "kuafu") == 0) {
+      kind = SystemKind::kKuaFu;
+    }
+  }
+  double zipf = argc > 2 ? std::atof(argv[2]) : 0.6;
+  int seconds = argc > 3 ? std::atoi(argv[3]) : 2;
+
+  ThreadedTransport transport;
+  SystemTimeSource time_source;
+  SystemOptions options;
+  options.kind = kind;
+  options.quorum = QuorumConfig::ForReplicas(3);
+  options.cores_per_replica = 2;
+  options.retry_timeout_ns = 5'000'000;
+  auto system = CreateSystem(options, &transport, &time_source);
+
+  RetwisOptions retwis;
+  retwis.num_keys = 20000;
+  retwis.zipf_theta = zipf;
+  RetwisWorkload workload(retwis);
+
+  printf("running %s on %s, zipf=%.2f, %ds ...\n", workload.name(), ToString(kind), zipf,
+         seconds);
+
+  ThreadedRunOptions run;
+  run.num_clients = 4;
+  run.duration_ms = static_cast<uint64_t>(seconds) * 1000;
+  RunResult result = RunThreadedWorkload(*system, workload, run);
+
+  const RunStats& stats = result.stats;
+  printf("\n%-24s %llu\n", "committed:", static_cast<unsigned long long>(stats.committed));
+  printf("%-24s %llu (%.1f%%)\n", "aborted:", static_cast<unsigned long long>(stats.aborted),
+         stats.AbortRate() * 100);
+  printf("%-24s %.0f txn/s\n", "goodput:", stats.GoodputPerSec(result.elapsed_seconds));
+  if (stats.committed > 0) {
+    printf("%-24s %.1f%%\n", "fast-path share:",
+           100.0 * static_cast<double>(stats.fast_path_commits) /
+               static_cast<double>(stats.committed));
+  }
+  printf("%-24s p50=%.0fus p99=%.0fus\n", "txn latency:",
+         static_cast<double>(stats.commit_latency.QuantileNanos(0.5)) / 1e3,
+         static_cast<double>(stats.commit_latency.QuantileNanos(0.99)) / 1e3);
+  printf("%-24s %llu gets, %llu puts\n", "operations:",
+         static_cast<unsigned long long>(stats.reads),
+         static_cast<unsigned long long>(stats.writes));
+  transport.Stop();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Synchronous convenience wrapper over a ClientSession for applications that
+// just want `Execute(plan)` / `Get` / `Put` calls (the examples, and any
+// embedder that doesn't need the event-driven API). Threaded runtime only —
+// it blocks the calling thread on a condition variable while the session's
+// transport endpoint drives the protocol.
+
+#ifndef MEERKAT_SRC_API_BLOCKING_CLIENT_H_
+#define MEERKAT_SRC_API_BLOCKING_CLIENT_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "src/api/system.h"
+
+namespace meerkat {
+
+class BlockingClient {
+ public:
+  BlockingClient(System& system, uint32_t client_id, uint64_t seed = 1)
+      : session_(system.CreateSession(client_id, seed)) {}
+
+  // Runs one transaction to completion. Blocks the calling thread.
+  TxnResult Execute(TxnPlan plan) {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_ = false;
+    session_->ExecuteAsync(std::move(plan), [this](TxnResult result, bool) {
+      {
+        std::lock_guard<std::mutex> inner(mu_);
+        result_ = result;
+        done_ = true;
+      }
+      cv_.notify_one();
+    });
+    cv_.wait(lock, [this] { return done_; });
+    return result_;
+  }
+
+  // Retries an abortable transaction until it commits (or `max_attempts`
+  // aborts). OCC applications retry conflicting transactions; plans built
+  // from Op::RmwFn recompute their writes from fresh reads on every attempt.
+  TxnResult ExecuteWithRetry(const TxnPlan& plan, int max_attempts = 100) {
+    TxnResult result = TxnResult::kAbort;
+    for (int i = 0; i < max_attempts && result == TxnResult::kAbort; i++) {
+      result = Execute(plan);
+    }
+    return result;
+  }
+
+  // Single-key transactional read: nullopt if the transaction could not
+  // commit or the key does not exist.
+  std::optional<std::string> Get(const std::string& key) {
+    TxnPlan plan;
+    plan.ops.push_back(Op::Get(key));
+    if (Execute(plan) != TxnResult::kCommit) {
+      return std::nullopt;
+    }
+    std::optional<std::string> value = session_->last_read_value(key);
+    if (value.has_value() && value->empty()) {
+      // Distinguish "absent" from "empty value": the read set records the
+      // version; an invalid version means the key has never been written.
+      for (const ReadSetEntry& read : session_->last_read_set()) {
+        if (read.key == key && !read.read_wts.Valid()) {
+          return std::nullopt;
+        }
+      }
+    }
+    return value;
+  }
+
+  // Single-key transactional write.
+  TxnResult Put(const std::string& key, const std::string& value) {
+    TxnPlan plan;
+    plan.ops.push_back(Op::Put(key, value));
+    return Execute(plan);
+  }
+
+  ClientSession& session() { return *session_; }
+
+ private:
+  std::unique_ptr<ClientSession> session_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  TxnResult result_ = TxnResult::kFailed;
+};
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_API_BLOCKING_CLIENT_H_

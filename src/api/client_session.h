@@ -1,0 +1,55 @@
+// The system-agnostic client interface used by workloads, benchmarks, and
+// examples. Each of the four evaluated systems (Meerkat, Meerkat-PB,
+// TAPIR-like, KuaFu++) provides a ClientSession implementation; the workload
+// driver is oblivious to which protocol runs underneath.
+
+#ifndef MEERKAT_SRC_API_CLIENT_SESSION_H_
+#define MEERKAT_SRC_API_CLIENT_SESSION_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/plan.h"
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/transport/transport.h"
+
+namespace meerkat {
+
+// Completion callback: the transaction's outcome plus whether it took the
+// fast path (Meerkat/TAPIR only; primary-backup systems report false).
+using TxnCallback = std::function<void(TxnResult result, bool fast_path)>;
+
+// One logical client: executes interactive transactions against the cluster.
+// Sessions are single-transaction-at-a-time state machines; all methods and
+// message deliveries must come from the session's own execution context (its
+// transport endpoint).
+class ClientSession : public TransportReceiver {
+ public:
+  ~ClientSession() override = default;
+
+  // Runs `plan` (execute phase, then the system's commit protocol) and
+  // invokes `cb` exactly once. A session executes one transaction at a time.
+  virtual void ExecuteAsync(TxnPlan plan, TxnCallback cb) = 0;
+
+  virtual uint32_t client_id() const = 0;
+  virtual RunStats& stats() = 0;
+
+  // Introspection for the last finished transaction, valid inside the
+  // completion callback (before the next ExecuteAsync). Serializability
+  // checkers replay committed transactions in commit-timestamp order and
+  // verify every read against the model these expose.
+  virtual TxnId last_tid() const = 0;
+  virtual Timestamp last_commit_ts() const = 0;
+  virtual const std::vector<ReadSetEntry>& last_read_set() const = 0;
+  virtual std::vector<WriteSetEntry> last_write_set() const = 0;
+  // Value observed by the last transaction's read of `key` ("" if the key was
+  // absent); nullopt if the transaction did not read it.
+  virtual std::optional<std::string> last_read_value(const std::string& key) const = 0;
+};
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_API_CLIENT_SESSION_H_

@@ -1,0 +1,178 @@
+#include "src/api/system.h"
+
+#include <vector>
+
+#include "src/baselines/primary_backup.h"
+#include "src/baselines/tapir_replica.h"
+#include "src/common/rng.h"
+#include "src/protocol/replica.h"
+#include "src/protocol/session.h"
+
+namespace meerkat {
+namespace {
+
+// Version assigned to bulk-loaded keys. Every runtime-proposed timestamp
+// (clock-derived or counter-derived) exceeds it.
+constexpr Timestamp kLoadVersion{1, 0};
+
+int64_t DrawSkew(Rng& rng, int64_t max_skew) {
+  if (max_skew == 0) {
+    return 0;
+  }
+  return static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(2 * max_skew + 1))) -
+         max_skew;
+}
+
+class MeerkatSystem : public System {
+ public:
+  MeerkatSystem(const SystemOptions& options, Transport* transport, TimeSource* time_source)
+      : options_(options), transport_(transport), time_source_(time_source),
+        session_rng_(0xc0ffee) {
+    for (ReplicaId r = 0; r < options.quorum.n; r++) {
+      replicas_.push_back(std::make_unique<MeerkatReplica>(r, options.quorum,
+                                                           options.cores_per_replica, transport));
+    }
+  }
+
+  SystemKind kind() const override { return SystemKind::kMeerkat; }
+
+  void Load(const std::string& key, const std::string& value) override {
+    for (auto& replica : replicas_) {
+      replica->LoadKey(key, value, kLoadVersion);
+    }
+  }
+
+  std::unique_ptr<ClientSession> CreateSession(uint32_t client_id, uint64_t seed) override {
+    SessionOptions s;
+    s.quorum = options_.quorum;
+    s.cores_per_replica = options_.cores_per_replica;
+    s.retry_timeout_ns = options_.retry_timeout_ns;
+    s.clock_skew_ns = DrawSkew(session_rng_, options_.max_clock_skew_ns);
+    s.clock_jitter_ns = options_.clock_jitter_ns;
+    s.force_slow_path = options_.force_slow_path;
+    return std::make_unique<MeerkatSession>(client_id, transport_, time_source_, s, seed);
+  }
+
+  ReadResult ReadAtReplica(ReplicaId r, const std::string& key) override {
+    return replicas_[r]->store().Read(key);
+  }
+
+  MeerkatReplica* replica(ReplicaId r) { return replicas_[r].get(); }
+
+ private:
+  const SystemOptions options_;
+  Transport* const transport_;
+  TimeSource* const time_source_;
+  Rng session_rng_;
+  std::vector<std::unique_ptr<MeerkatReplica>> replicas_;
+};
+
+class TapirSystem : public System {
+ public:
+  TapirSystem(const SystemOptions& options, Transport* transport, TimeSource* time_source)
+      : options_(options), transport_(transport), time_source_(time_source),
+        session_rng_(0xc0ffee) {
+    for (ReplicaId r = 0; r < options.quorum.n; r++) {
+      replicas_.push_back(std::make_unique<TapirReplica>(r, options.quorum,
+                                                         options.cores_per_replica, transport,
+                                                         options.cost.shared_trecord_op_ns));
+    }
+  }
+
+  SystemKind kind() const override { return SystemKind::kTapir; }
+
+  void Load(const std::string& key, const std::string& value) override {
+    for (auto& replica : replicas_) {
+      replica->LoadKey(key, value, kLoadVersion);
+    }
+  }
+
+  std::unique_ptr<ClientSession> CreateSession(uint32_t client_id, uint64_t seed) override {
+    SessionOptions s;
+    s.quorum = options_.quorum;
+    s.cores_per_replica = options_.cores_per_replica;
+    s.retry_timeout_ns = options_.retry_timeout_ns;
+    s.clock_skew_ns = DrawSkew(session_rng_, options_.max_clock_skew_ns);
+    s.clock_jitter_ns = options_.clock_jitter_ns;
+    s.force_slow_path = options_.force_slow_path;
+    // TAPIR clients run the identical commit protocol.
+    return std::make_unique<MeerkatSession>(client_id, transport_, time_source_, s, seed);
+  }
+
+  ReadResult ReadAtReplica(ReplicaId r, const std::string& key) override {
+    return replicas_[r]->store().Read(key);
+  }
+
+ private:
+  const SystemOptions options_;
+  Transport* const transport_;
+  TimeSource* const time_source_;
+  Rng session_rng_;
+  std::vector<std::unique_ptr<TapirReplica>> replicas_;
+};
+
+class PbSystem : public System {
+ public:
+  PbSystem(const SystemOptions& options, Transport* transport, TimeSource* time_source)
+      : options_(options), transport_(transport), time_source_(time_source),
+        session_rng_(0xc0ffee) {
+    PbCosts costs;
+    costs.atomic_counter_ns = options.cost.atomic_counter_ns;
+    costs.shared_log_append_ns = options.cost.shared_log_append_ns;
+    PbMode mode = options.kind == SystemKind::kKuaFu ? PbMode::kKuaFu : PbMode::kMeerkatPb;
+    for (ReplicaId r = 0; r < options.quorum.n; r++) {
+      replicas_.push_back(std::make_unique<PrimaryBackupReplica>(
+          r, mode, options.quorum, options.cores_per_replica, transport, costs));
+    }
+  }
+
+  SystemKind kind() const override {
+    return options_.kind;
+  }
+
+  void Load(const std::string& key, const std::string& value) override {
+    for (auto& replica : replicas_) {
+      replica->LoadKey(key, value, kLoadVersion);
+    }
+  }
+
+  std::unique_ptr<ClientSession> CreateSession(uint32_t client_id, uint64_t seed) override {
+    PrimaryBackupSession::Options s;
+    s.quorum = options_.quorum;
+    s.cores_per_replica = options_.cores_per_replica;
+    s.mode = options_.kind == SystemKind::kKuaFu ? PbMode::kKuaFu : PbMode::kMeerkatPb;
+    s.retry_timeout_ns = options_.retry_timeout_ns;
+    s.clock_skew_ns = DrawSkew(session_rng_, options_.max_clock_skew_ns);
+    s.clock_jitter_ns = options_.clock_jitter_ns;
+    return std::make_unique<PrimaryBackupSession>(client_id, transport_, time_source_, s, seed);
+  }
+
+  ReadResult ReadAtReplica(ReplicaId r, const std::string& key) override {
+    return replicas_[r]->store().Read(key);
+  }
+
+ private:
+  const SystemOptions options_;
+  Transport* const transport_;
+  TimeSource* const time_source_;
+  Rng session_rng_;
+  std::vector<std::unique_ptr<PrimaryBackupReplica>> replicas_;
+};
+
+}  // namespace
+
+std::unique_ptr<System> CreateSystem(const SystemOptions& options, Transport* transport,
+                                     TimeSource* time_source) {
+  switch (options.kind) {
+    case SystemKind::kMeerkat:
+      return std::make_unique<MeerkatSystem>(options, transport, time_source);
+    case SystemKind::kTapir:
+      return std::make_unique<TapirSystem>(options, transport, time_source);
+    case SystemKind::kMeerkatPb:
+    case SystemKind::kKuaFu:
+      return std::make_unique<PbSystem>(options, transport, time_source);
+  }
+  return nullptr;
+}
+
+}  // namespace meerkat

@@ -1,0 +1,80 @@
+// System factory: assembles any of the four evaluated systems (paper §6.1,
+// Table 1) behind one interface, so workloads, benchmarks, and differential
+// tests can swap protocols with a flag.
+
+#ifndef MEERKAT_SRC_API_SYSTEM_H_
+#define MEERKAT_SRC_API_SYSTEM_H_
+
+#include <memory>
+#include <string>
+
+#include "src/api/client_session.h"
+#include "src/common/clock.h"
+#include "src/protocol/quorum.h"
+#include "src/sim/cost_model.h"
+#include "src/store/vstore.h"
+#include "src/transport/transport.h"
+
+namespace meerkat {
+
+enum class SystemKind : uint8_t {
+  kMeerkat = 0,  // ZCP: no cross-core, no cross-replica coordination.
+  kMeerkatPb,    // DAP only: primary-backup with Meerkat's data structures.
+  kTapir,        // Replica-scalable only: leaderless, shared trecord.
+  kKuaFu,        // Neither: leader + atomic counter + shared log.
+};
+
+inline const char* ToString(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kMeerkat:
+      return "MEERKAT";
+    case SystemKind::kMeerkatPb:
+      return "MEERKAT-PB";
+    case SystemKind::kTapir:
+      return "TAPIR";
+    case SystemKind::kKuaFu:
+      return "KuaFu++";
+  }
+  return "?";
+}
+
+struct SystemOptions {
+  SystemKind kind = SystemKind::kMeerkat;
+  QuorumConfig quorum = QuorumConfig::ForReplicas(3);
+  size_t cores_per_replica = 1;
+  // 0 disables client retransmissions (fault-free runs).
+  uint64_t retry_timeout_ns = 0;
+  // Per-session clock skew drawn uniformly from [-max, +max]; jitter is
+  // per-timestamp-read noise.
+  int64_t max_clock_skew_ns = 0;
+  uint64_t clock_jitter_ns = 0;
+  // Ablation (Meerkat/TAPIR sessions): always run the slow path.
+  bool force_slow_path = false;
+  // Shared-structure service times (simulator only; real primitives ignore).
+  CostModel cost;
+};
+
+// A fully assembled cluster of one system kind. Owns the replicas; sessions
+// are created on demand and owned by the caller.
+class System {
+ public:
+  virtual ~System() = default;
+
+  virtual SystemKind kind() const = 0;
+
+  // Loads a committed key on every replica (database population).
+  virtual void Load(const std::string& key, const std::string& value) = 0;
+
+  virtual std::unique_ptr<ClientSession> CreateSession(uint32_t client_id, uint64_t seed) = 0;
+
+  // Reads the committed value visible at replica `r` (test/inspection hook;
+  // not part of the transactional API).
+  virtual ReadResult ReadAtReplica(ReplicaId r, const std::string& key) = 0;
+};
+
+std::unique_ptr<System> CreateSystem(const SystemOptions& options, Transport* transport,
+                                     TimeSource* time_source);
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_API_SYSTEM_H_

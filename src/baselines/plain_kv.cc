@@ -1,0 +1,68 @@
+#include "src/baselines/plain_kv.h"
+
+#include "src/common/rng.h"
+#include "src/workload/workload.h"
+
+namespace meerkat {
+
+PlainKvServer::PlainKvServer(ReplicaId id, size_t num_cores, Transport* transport,
+                             bool use_shared_counter, uint64_t counter_service_ns)
+    : id_(id), use_shared_counter_(use_shared_counter), transport_(transport),
+      counter_(counter_service_ns) {
+  receivers_.reserve(num_cores);
+  for (CoreId core = 0; core < num_cores; core++) {
+    receivers_.push_back(std::make_unique<CoreReceiver>(this, core));
+    transport_->RegisterReplica(id_, core, receivers_.back().get());
+  }
+}
+
+void PlainKvServer::Dispatch(CoreId core, Message&& msg) {
+  const auto* put = std::get_if<PutRequest>(&msg.payload);
+  if (put == nullptr) {
+    return;
+  }
+  if (SimContext* ctx = SimContext::Current()) {
+    // Hash + copy of a 64B key/value pair.
+    ctx->Charge(100);
+  }
+  store_.LoadKey(put->key, put->value, Timestamp{1, 1});
+  if (use_shared_counter_) {
+    counter_.FetchAdd();
+  }
+  Message reply;
+  reply.src = Address::Replica(id_);
+  reply.dst = msg.src;
+  reply.core = core;
+  reply.payload = PutReply{put->req_seq};
+  transport_->Send(std::move(reply));
+}
+
+PlainKvClient::PlainKvClient(uint32_t client_id, ReplicaId server, size_t server_cores,
+                             Transport* transport, uint64_t seed)
+    : client_id_(client_id), server_(server), server_cores_(server_cores),
+      transport_(transport), rng_(seed) {
+  transport_->RegisterClient(client_id_, this);
+}
+
+void PlainKvClient::Start() { SendPut(); }
+
+void PlainKvClient::SendPut() {
+  seq_++;
+  Message msg;
+  msg.src = Address::Client(client_id_);
+  msg.dst = Address::Replica(server_);
+  msg.core = static_cast<CoreId>(rng_.NextBounded(server_cores_));
+  msg.payload = PutRequest{seq_, FormatKey(rng_.NextBounded(100000), 24), "v"};
+  transport_->Send(std::move(msg));
+}
+
+void PlainKvClient::Receive(Message&& msg) {
+  const auto* reply = std::get_if<PutReply>(&msg.payload);
+  if (reply == nullptr || reply->req_seq != seq_) {
+    return;
+  }
+  completed_++;
+  SendPut();
+}
+
+}  // namespace meerkat

@@ -1,0 +1,86 @@
+// The minimal non-transactional key-value server from the paper's Figure 1
+// motivation experiment: a PUT-only service, optionally with an artificial
+// application-level scalability bottleneck (a shared atomic counter
+// incremented on every PUT).
+//
+// Fig. 1's point: on a slow kernel network stack, the per-message cost masks
+// the counter entirely; on a kernel-bypass stack the counter becomes the
+// system bottleneck. The bench sweeps (stack, counter) x server threads.
+
+#ifndef MEERKAT_SRC_BASELINES_PLAIN_KV_H_
+#define MEERKAT_SRC_BASELINES_PLAIN_KV_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/primitives.h"
+#include "src/store/vstore.h"
+#include "src/transport/transport.h"
+
+namespace meerkat {
+
+class PlainKvServer {
+ public:
+  // `counter_service_ns`: serialized cost of one increment of the shared
+  // counter (a single contended cache line; lighter than KuaFu++'s
+  // counter+validation path). Ignored unless `use_shared_counter`.
+  PlainKvServer(ReplicaId id, size_t num_cores, Transport* transport, bool use_shared_counter,
+                uint64_t counter_service_ns = 90);
+
+  PlainKvServer(const PlainKvServer&) = delete;
+  PlainKvServer& operator=(const PlainKvServer&) = delete;
+
+  uint64_t puts_handled() const { return counter_.Load(); }
+  VStore& store() { return store_; }
+
+ private:
+  class CoreReceiver : public TransportReceiver {
+   public:
+    CoreReceiver(PlainKvServer* server, CoreId core) : server_(server), core_(core) {}
+    void Receive(Message&& msg) override { server_->Dispatch(core_, std::move(msg)); }
+
+   private:
+    PlainKvServer* server_;
+    CoreId core_;
+  };
+
+  void Dispatch(CoreId core, Message&& msg);
+
+  const ReplicaId id_;
+  const bool use_shared_counter_;
+  Transport* const transport_;
+  VStore store_;
+  SharedCounter counter_;
+  std::vector<std::unique_ptr<CoreReceiver>> receivers_;
+};
+
+// Closed-loop PUT client for the Fig. 1 experiment.
+class PlainKvClient : public TransportReceiver {
+ public:
+  PlainKvClient(uint32_t client_id, ReplicaId server, size_t server_cores, Transport* transport,
+                uint64_t seed);
+  ~PlainKvClient() override { transport_->UnregisterClient(client_id_); }
+
+  // Issues the first PUT; every reply triggers the next (closed loop).
+  void Start();
+  void Receive(Message&& msg) override;
+
+  uint64_t completed() const { return completed_; }
+  void ResetCompleted() { completed_ = 0; }
+
+ private:
+  void SendPut();
+
+  const uint32_t client_id_;
+  const ReplicaId server_;
+  const size_t server_cores_;
+  Transport* const transport_;
+  Rng rng_;
+  uint64_t seq_ = 0;
+  uint64_t completed_ = 0;
+};
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_BASELINES_PLAIN_KV_H_

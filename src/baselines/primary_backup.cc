@@ -1,0 +1,339 @@
+#include "src/baselines/primary_backup.h"
+
+#include <cassert>
+#include <mutex>
+#include <utility>
+
+#include "src/store/occ.h"
+
+namespace meerkat {
+
+uint64_t SharedLog::Append(const TxnId& tid, Timestamp ts) {
+  std::lock_guard<SharedMutex> lock(mutex_);
+  uint64_t index = next_index_++;
+  entries_.push_back(Entry{tid, ts, index});
+  if (entries_.size() > capacity_) {
+    entries_.pop_front();
+  }
+  return index;
+}
+
+PrimaryBackupReplica::PrimaryBackupReplica(ReplicaId id, PbMode mode, const QuorumConfig& quorum,
+                                           size_t num_cores, Transport* transport,
+                                           const PbCosts& costs)
+    : id_(id), mode_(mode), quorum_(quorum), transport_(transport),
+      order_counter_(costs.atomic_counter_ns), log_(costs.shared_log_append_ns),
+      pending_(num_cores), completed_(num_cores) {
+  receivers_.reserve(num_cores);
+  for (CoreId core = 0; core < num_cores; core++) {
+    receivers_.push_back(std::make_unique<CoreReceiver>(this, core));
+    transport_->RegisterReplica(id_, core, receivers_.back().get());
+  }
+}
+
+void PrimaryBackupReplica::Reply(const Address& to, CoreId core, Payload payload) {
+  Message msg;
+  msg.src = Address::Replica(id_);
+  msg.dst = to;
+  msg.core = core;
+  msg.payload = std::move(payload);
+  transport_->Send(std::move(msg));
+}
+
+void PrimaryBackupReplica::Dispatch(CoreId core, Message&& msg) {
+  if (const auto* get = std::get_if<GetRequest>(&msg.payload)) {
+    HandleGet(core, msg.src, *get);
+  } else if (const auto* commit = std::get_if<PrimaryCommitRequest>(&msg.payload)) {
+    HandlePrimaryCommit(core, msg.src, *commit);
+  } else if (const auto* repl = std::get_if<ReplicateRequest>(&msg.payload)) {
+    HandleReplicate(core, msg.src, *repl);
+  } else if (const auto* rep = std::get_if<ReplicateReply>(&msg.payload)) {
+    HandleReplicateReply(core, *rep);
+  }
+}
+
+void PrimaryBackupReplica::HandleGet(CoreId core, const Address& from, const GetRequest& req) {
+  ReadResult read = store_.Read(req.key);
+  GetReply reply;
+  reply.tid = req.tid;
+  reply.req_seq = req.req_seq;
+  reply.key = req.key;
+  reply.found = read.found;
+  reply.value = std::move(read.value);
+  reply.wts = read.wts;
+  Reply(from, core, std::move(reply));
+}
+
+void PrimaryBackupReplica::HandlePrimaryCommit(CoreId core, const Address& from,
+                                               const PrimaryCommitRequest& req) {
+  assert(is_primary());
+  auto& completed = completed_[core];
+  auto done = completed.find(req.tid);
+  if (done != completed.end()) {
+    // Retried request for a finished transaction: re-send the outcome.
+    Reply(from, core, PrimaryCommitReply{req.tid, done->second, Timestamp{}});
+    return;
+  }
+  if (pending_[core].count(req.tid) != 0) {
+    return;  // Retry while replication is in flight: the reply will come.
+  }
+
+  Timestamp ts;
+  if (mode_ == PbMode::kKuaFu) {
+    // Cross-core serialization point #1: ordering via the shared counter.
+    // Counter values start above any load-time version (see System loaders).
+    ts = Timestamp{order_counter_.FetchAdd() + 2, 0};
+  } else {
+    ts = req.ts;  // Client-proposed (Meerkat-PB).
+  }
+
+  TxnStatus status = OccValidate(store_, req.read_set, req.write_set, ts);
+  if (status == TxnStatus::kValidatedAbort) {
+    completed.emplace(req.tid, false);
+    Reply(from, core, PrimaryCommitReply{req.tid, false, Timestamp{}});
+    return;
+  }
+
+  if (mode_ == PbMode::kKuaFu) {
+    // Cross-core serialization point #2: the shared replication log.
+    log_.Append(req.tid, ts);
+  }
+
+  if (quorum_.n == 1) {
+    // Degenerate unreplicated configuration (used by unit tests).
+    OccCommit(store_, req.read_set, req.write_set, ts);
+    completed.emplace(req.tid, true);
+    Reply(from, core, PrimaryCommitReply{req.tid, true, ts});
+    return;
+  }
+
+  PendingTxn pending;
+  pending.client = from;
+  pending.ts = ts;
+  pending.read_set = req.read_set;
+  pending.write_set = req.write_set;
+  pending_[core].emplace(req.tid, std::move(pending));
+
+  // Replicate to every backup, to the matched core (paper §6.1: "each backup
+  // core is matched to a primary core and processes only its transactions").
+  for (ReplicaId r = 1; r < quorum_.n; r++) {
+    Message msg;
+    msg.src = Address::Replica(id_);
+    msg.dst = Address::Replica(r);
+    msg.core = core;
+    ReplicateRequest repl;
+    repl.tid = req.tid;
+    repl.ts = ts;
+    repl.write_set = req.write_set;
+    msg.payload = std::move(repl);
+    transport_->Send(std::move(msg));
+  }
+}
+
+void PrimaryBackupReplica::HandleReplicate(CoreId core, const Address& from,
+                                           const ReplicateRequest& req) {
+  assert(!is_primary());
+  auto& completed = completed_[core];
+  if (completed.emplace(req.tid, true).second) {
+    if (mode_ == PbMode::kKuaFu) {
+      // Backups also consume the shared log under its mutex (concurrent
+      // replay still serializes on log access, paper §6.1).
+      log_.Append(req.tid, req.ts);
+    }
+    // Install the already-validated writes; versioned storage makes
+    // out-of-order application safe (Thomas write rule).
+    OccCommit(store_, {}, req.write_set, req.ts);
+  }
+  Reply(from, core, ReplicateReply{req.tid, id_});
+}
+
+void PrimaryBackupReplica::HandleReplicateReply(CoreId core, const ReplicateReply& rep) {
+  auto& pending = pending_[core];
+  auto it = pending.find(rep.tid);
+  if (it == pending.end()) {
+    return;  // Duplicate ack.
+  }
+  it->second.acks++;
+  if (it->second.acks < quorum_.n - 1) {
+    return;
+  }
+  // All backups applied: finalize at the primary and release the client.
+  PendingTxn txn = std::move(it->second);
+  pending.erase(it);
+  OccCommit(store_, txn.read_set, txn.write_set, txn.ts);
+  completed_[core].emplace(rep.tid, true);
+  Reply(txn.client, core, PrimaryCommitReply{rep.tid, true, txn.ts});
+}
+
+PrimaryBackupSession::PrimaryBackupSession(uint32_t client_id, Transport* transport,
+                                           TimeSource* time_source, const Options& options,
+                                           uint64_t seed)
+    : client_id_(client_id), transport_(transport), options_(options),
+      self_(Address::Client(client_id)),
+      clock_(time_source, options.clock_skew_ns, options.clock_jitter_ns, seed ^ 0x5bd1e995),
+      rng_(seed), time_source_(time_source) {
+  transport_->RegisterClient(client_id_, this);
+}
+
+PrimaryBackupSession::~PrimaryBackupSession() { transport_->UnregisterClient(client_id_); }
+
+void PrimaryBackupSession::ExecuteAsync(TxnPlan plan, TxnCallback cb) {
+  assert(!active_ && "PrimaryBackupSession runs one transaction at a time");
+  active_ = true;
+  committing_ = false;
+  plan_ = std::move(plan);
+  callback_ = std::move(cb);
+  next_op_ = 0;
+  txn_seq_++;
+  tid_ = TxnId{client_id_, txn_seq_};
+  txn_start_ns_ = time_source_->NowNanos();
+  core_ = static_cast<CoreId>(rng_.NextBounded(options_.cores_per_replica));
+  read_set_.clear();
+  read_values_.clear();
+  write_buffer_.clear();
+  get_outstanding_ = false;
+  IssueNextOp();
+}
+
+void PrimaryBackupSession::IssueNextOp() {
+  while (next_op_ < plan_.ops.size()) {
+    const Op& op = plan_.ops[next_op_];
+    switch (op.kind) {
+      case Op::Kind::kPut:
+        stats_.writes++;
+        write_buffer_[op.key] = op.value;
+        next_op_++;
+        continue;
+      case Op::Kind::kRmw:
+      case Op::Kind::kGet: {
+        stats_.reads++;
+        if (write_buffer_.count(op.key) != 0 || read_values_.count(op.key) != 0) {
+          if (op.kind == Op::Kind::kRmw) {
+            stats_.writes++;
+            auto buffered = write_buffer_.find(op.key);
+            const std::string& base = buffered != write_buffer_.end()
+                                          ? buffered->second
+                                          : read_values_[op.key];
+            write_buffer_[op.key] = op.WriteValue(base);
+          }
+          next_op_++;
+          continue;
+        }
+        SendGet(op.key);
+        return;
+      }
+    }
+  }
+  StartCommit();
+}
+
+void PrimaryBackupSession::SendGet(const std::string& key) {
+  get_outstanding_ = true;
+  get_seq_++;
+  get_key_ = key;
+  Message msg;
+  msg.src = self_;
+  msg.dst = Address::Replica(static_cast<ReplicaId>(rng_.NextBounded(options_.quorum.n)));
+  msg.core = static_cast<CoreId>(rng_.NextBounded(options_.cores_per_replica));
+  msg.payload = GetRequest{tid_, get_seq_, key};
+  transport_->Send(std::move(msg));
+  if (options_.retry_timeout_ns != 0) {
+    transport_->SetTimer(self_, 0, options_.retry_timeout_ns, get_seq_);
+  }
+}
+
+void PrimaryBackupSession::StartCommit() {
+  committing_ = true;
+  ts_ = Timestamp{clock_.Now(), client_id_};
+  SendCommitRequest();
+}
+
+void PrimaryBackupSession::SendCommitRequest() {
+  PrimaryCommitRequest req;
+  req.tid = tid_;
+  req.ts = ts_;
+  req.read_set = read_set_;
+  std::vector<WriteSetEntry> write_set;
+  write_set.reserve(write_buffer_.size());
+  for (auto& [key, value] : write_buffer_) {
+    write_set.push_back(WriteSetEntry{key, value});
+  }
+  req.write_set = std::move(write_set);
+
+  Message msg;
+  msg.src = self_;
+  msg.dst = Address::Replica(0);  // The primary.
+  msg.core = core_;
+  msg.payload = std::move(req);
+  transport_->Send(std::move(msg));
+  if (options_.retry_timeout_ns != 0) {
+    transport_->SetTimer(self_, 0, options_.retry_timeout_ns, kCommitTimerBase + txn_seq_);
+  }
+}
+
+void PrimaryBackupSession::FinishTxn(TxnResult result) {
+  switch (result) {
+    case TxnResult::kCommit:
+      stats_.committed++;
+      stats_.slow_path_commits++;  // PB has no fast path.
+      break;
+    case TxnResult::kAbort:
+      stats_.aborted++;
+      break;
+    case TxnResult::kFailed:
+      stats_.failed++;
+      break;
+  }
+  stats_.commit_latency.Record(time_source_->NowNanos() - txn_start_ns_);
+  active_ = false;
+  committing_ = false;
+  TxnCallback cb = std::move(callback_);
+  callback_ = nullptr;
+  if (cb) {
+    cb(result, /*fast_path=*/false);
+  }
+}
+
+void PrimaryBackupSession::Receive(Message&& msg) {
+  if (const auto* reply = std::get_if<GetReply>(&msg.payload)) {
+    if (!active_ || !get_outstanding_ || reply->req_seq != get_seq_) {
+      return;
+    }
+    get_outstanding_ = false;
+    const Op& op = plan_.ops[next_op_];
+    read_set_.push_back(ReadSetEntry{reply->key, reply->found ? reply->wts : kInvalidTimestamp});
+    read_values_[reply->key] = reply->found ? reply->value : std::string();
+    if (op.kind == Op::Kind::kRmw) {
+      stats_.writes++;
+      write_buffer_[op.key] = op.WriteValue(read_values_[reply->key]);
+    }
+    next_op_++;
+    IssueNextOp();
+    return;
+  }
+  if (const auto* reply = std::get_if<PrimaryCommitReply>(&msg.payload)) {
+    if (!active_ || !committing_ || reply->tid != tid_) {
+      return;
+    }
+    last_commit_ts_ = reply->commit_ts.Valid() ? reply->commit_ts : ts_;
+    FinishTxn(reply->committed ? TxnResult::kCommit : TxnResult::kAbort);
+    return;
+  }
+  if (const auto* timer = std::get_if<TimerFire>(&msg.payload)) {
+    if (!active_) {
+      return;
+    }
+    if (timer->timer_id >= kCommitTimerBase) {
+      if (committing_ && timer->timer_id == kCommitTimerBase + txn_seq_) {
+        SendCommitRequest();  // Idempotent at the primary.
+      }
+      return;
+    }
+    if (get_outstanding_ && timer->timer_id == get_seq_) {
+      SendGet(get_key_);
+    }
+    return;
+  }
+}
+
+}  // namespace meerkat

@@ -1,0 +1,156 @@
+#include "src/baselines/tapir_replica.h"
+
+#include <mutex>
+#include <utility>
+
+#include "src/store/occ.h"
+
+namespace meerkat {
+
+TapirReplica::TapirReplica(ReplicaId id, const QuorumConfig& quorum, size_t num_cores,
+                           Transport* transport, uint64_t shared_trecord_service_ns)
+    : id_(id), quorum_(quorum), transport_(transport),
+      record_mutex_(shared_trecord_service_ns) {
+  receivers_.reserve(num_cores);
+  for (CoreId core = 0; core < num_cores; core++) {
+    receivers_.push_back(std::make_unique<CoreReceiver>(this, core));
+    transport_->RegisterReplica(id_, core, receivers_.back().get());
+  }
+}
+
+void TapirReplica::Reply(const Address& to, CoreId core, Payload payload) {
+  Message msg;
+  msg.src = Address::Replica(id_);
+  msg.dst = to;
+  msg.core = core;
+  msg.payload = std::move(payload);
+  transport_->Send(std::move(msg));
+}
+
+void TapirReplica::Dispatch(CoreId core, Message&& msg) {
+  if (const auto* get = std::get_if<GetRequest>(&msg.payload)) {
+    HandleGet(core, msg.src, *get);
+  } else if (const auto* validate = std::get_if<ValidateRequest>(&msg.payload)) {
+    HandleValidate(core, msg.src, *validate);
+  } else if (const auto* accept = std::get_if<AcceptRequest>(&msg.payload)) {
+    HandleAccept(core, msg.src, *accept);
+  } else if (const auto* commit = std::get_if<CommitRequest>(&msg.payload)) {
+    HandleCommit(*commit);
+  }
+  // Recovery subprotocols are out of scope for this baseline (paper §6.1
+  // evaluates the failure-free path).
+}
+
+void TapirReplica::HandleGet(CoreId core, const Address& from, const GetRequest& req) {
+  ReadResult read = store_.Read(req.key);
+  GetReply reply;
+  reply.tid = req.tid;
+  reply.req_seq = req.req_seq;
+  reply.key = req.key;
+  reply.found = read.found;
+  reply.value = std::move(read.value);
+  reply.wts = read.wts;
+  Reply(from, core, std::move(reply));
+}
+
+void TapirReplica::HandleValidate(CoreId core, const Address& from, const ValidateRequest& req) {
+  ValidateReply reply;
+  reply.tid = req.tid;
+  reply.from = id_;
+
+  // The OCC checks run outside the record mutex (they take the per-key
+  // locks), as in TAPIR's implementation; the shared record is then created
+  // and stamped under a single mutex hold — the per-transaction cross-core
+  // serialization point Fig. 4 exposes.
+  TxnStatus status = OccValidate(store_, req.read_set, req.write_set, req.ts);
+
+  {
+    std::lock_guard<SharedMutex> lock(record_mutex_);
+    auto it = records_.find(req.tid);
+    if (it != records_.end() && it->second.status != TxnStatus::kNone) {
+      // Duplicate VALIDATE (retry): discard this validation's registrations
+      // and re-report the recorded vote.
+      if (status == TxnStatus::kValidatedOk) {
+        OccCleanup(store_, req.read_set, req.write_set, req.ts);
+      }
+      switch (it->second.status) {
+        case TxnStatus::kValidatedOk:
+        case TxnStatus::kAcceptCommit:
+        case TxnStatus::kCommitted:
+          reply.status = TxnStatus::kValidatedOk;
+          break;
+        default:
+          reply.status = TxnStatus::kValidatedAbort;
+          break;
+      }
+      Reply(from, core, std::move(reply));
+      return;
+    }
+    TxnRecord& rec = records_[req.tid];
+    rec.tid = req.tid;
+    rec.ts = req.ts;
+    rec.read_set = req.read_set;
+    rec.write_set = req.write_set;
+    rec.status = status;
+  }
+  reply.status = status;
+  Reply(from, core, std::move(reply));
+}
+
+void TapirReplica::HandleAccept(CoreId core, const Address& from, const AcceptRequest& req) {
+  AcceptReply reply;
+  reply.tid = req.tid;
+  reply.view = req.view;
+  reply.from = id_;
+
+  std::lock_guard<SharedMutex> lock(record_mutex_);
+  TxnRecord& rec = records_[req.tid];
+  if (!rec.tid.Valid()) {
+    rec.tid = req.tid;
+  }
+  if (req.view < rec.view) {
+    reply.ok = false;
+    Reply(from, core, std::move(reply));
+    return;
+  }
+  if (IsFinal(rec.status)) {
+    reply.ok = (rec.status == TxnStatus::kCommitted) == req.commit;
+    Reply(from, core, std::move(reply));
+    return;
+  }
+  if (!rec.ts.Valid()) {
+    rec.ts = req.ts;
+    rec.read_set = req.read_set;
+    rec.write_set = req.write_set;
+  }
+  rec.view = req.view;
+  rec.accept_view = req.view;
+  rec.accepted = true;
+  rec.status = req.commit ? TxnStatus::kAcceptCommit : TxnStatus::kAcceptAbort;
+  reply.ok = true;
+  Reply(from, core, std::move(reply));
+}
+
+void TapirReplica::HandleCommit(const CommitRequest& req) {
+  Timestamp ts;
+  std::vector<ReadSetEntry> read_set;
+  std::vector<WriteSetEntry> write_set;
+  {
+    std::lock_guard<SharedMutex> lock(record_mutex_);
+    auto it = records_.find(req.tid);
+    if (it == records_.end() || IsFinal(it->second.status)) {
+      return;
+    }
+    it->second.status = req.commit ? TxnStatus::kCommitted : TxnStatus::kAborted;
+    ts = it->second.ts;
+    read_set = it->second.read_set;
+    write_set = it->second.write_set;
+  }
+  if (req.commit) {
+    OccCommit(store_, read_set, write_set, ts);
+  } else {
+    OccCleanup(store_, read_set, write_set, ts);
+  }
+}
+
+}  // namespace meerkat

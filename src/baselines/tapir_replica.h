@@ -1,0 +1,75 @@
+// TAPIR-like baseline (paper §6.1, Table 1): leaderless replication with
+// client-proposed timestamps — no cross-replica coordination — but a single
+// *shared* transaction record per replica, protected by a mutex, exactly like
+// the paper's TAPIR emulation. The storage layer and OCC arithmetic are
+// shared with Meerkat; the only difference is where transaction state lives.
+//
+// Clients speak the same wire protocol as Meerkat, so MeerkatSession drives
+// this replica unchanged — which is the point: the measured difference
+// between the two systems is purely the shared trecord (DAP violation).
+
+#ifndef MEERKAT_SRC_BASELINES_TAPIR_REPLICA_H_
+#define MEERKAT_SRC_BASELINES_TAPIR_REPLICA_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/protocol/quorum.h"
+#include "src/sim/primitives.h"
+#include "src/store/trecord.h"
+#include "src/store/vstore.h"
+#include "src/transport/transport.h"
+
+namespace meerkat {
+
+class TapirReplica {
+ public:
+  TapirReplica(ReplicaId id, const QuorumConfig& quorum, size_t num_cores, Transport* transport,
+               uint64_t shared_trecord_service_ns);
+
+  TapirReplica(const TapirReplica&) = delete;
+  TapirReplica& operator=(const TapirReplica&) = delete;
+
+  ReplicaId id() const { return id_; }
+  VStore& store() { return store_; }
+
+  void LoadKey(const std::string& key, const std::string& value, Timestamp wts) {
+    store_.LoadKey(key, value, wts);
+  }
+
+  uint64_t shared_record_acquisitions() const { return record_mutex_.acquisitions(); }
+
+ private:
+  class CoreReceiver : public TransportReceiver {
+   public:
+    CoreReceiver(TapirReplica* replica, CoreId core) : replica_(replica), core_(core) {}
+    void Receive(Message&& msg) override { replica_->Dispatch(core_, std::move(msg)); }
+
+   private:
+    TapirReplica* replica_;
+    CoreId core_;
+  };
+
+  void Dispatch(CoreId core, Message&& msg);
+  void HandleGet(CoreId core, const Address& from, const GetRequest& req);
+  void HandleValidate(CoreId core, const Address& from, const ValidateRequest& req);
+  void HandleAccept(CoreId core, const Address& from, const AcceptRequest& req);
+  void HandleCommit(const CommitRequest& req);
+  void Reply(const Address& to, CoreId core, Payload payload);
+
+  const ReplicaId id_;
+  const QuorumConfig quorum_;
+  Transport* const transport_;
+
+  VStore store_;
+  // The shared, cross-core transaction record: every core serializes on this
+  // mutex for every transaction — the scalability bottleneck Fig. 4 exposes.
+  SharedMutex record_mutex_;
+  std::unordered_map<TxnId, TxnRecord, TxnIdHash> records_;
+  std::vector<std::unique_ptr<CoreReceiver>> receivers_;
+};
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_BASELINES_TAPIR_REPLICA_H_

@@ -1,0 +1,75 @@
+// A transaction plan: the operation list a workload hands to a client session.
+//
+// Plans describe *interactive* transactions (paper §6.1): reads are issued
+// one at a time during the execute phase (each a round trip to some replica),
+// writes are buffered client-side until commit. A read-modify-write op reads
+// the key's current value and writes a new one in the same transaction.
+
+#ifndef MEERKAT_SRC_COMMON_PLAN_H_
+#define MEERKAT_SRC_COMMON_PLAN_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace meerkat {
+
+struct Op {
+  enum class Kind : uint8_t {
+    kGet = 0,  // Read key.
+    kPut,      // Buffer write of (key, value).
+    kRmw,      // Read key, then buffer write of (key, new value).
+  };
+
+  Kind kind = Kind::kGet;
+  std::string key;
+  std::string value;  // For kPut / kRmw without a transform.
+  // For kRmw: if set, the written value is transform(value read). An absent
+  // key reads as "". This is how applications express value-dependent
+  // updates (increment a counter, move a balance) while keeping the
+  // one-shot-plan execution model.
+  std::function<std::string(const std::string&)> transform;
+
+  static Op Get(std::string key) { return Op{Kind::kGet, std::move(key), {}, nullptr}; }
+  static Op Put(std::string key, std::string value) {
+    return Op{Kind::kPut, std::move(key), std::move(value), nullptr};
+  }
+  static Op Rmw(std::string key, std::string value) {
+    return Op{Kind::kRmw, std::move(key), std::move(value), nullptr};
+  }
+  static Op RmwFn(std::string key, std::function<std::string(const std::string&)> fn) {
+    return Op{Kind::kRmw, std::move(key), {}, std::move(fn)};
+  }
+
+  std::string WriteValue(const std::string& read_value) const {
+    return transform ? transform(read_value) : value;
+  }
+};
+
+struct TxnPlan {
+  std::vector<Op> ops;
+
+  size_t NumReads() const {
+    size_t n = 0;
+    for (const Op& op : ops) {
+      if (op.kind != Op::Kind::kPut) {
+        n++;
+      }
+    }
+    return n;
+  }
+
+  size_t NumWrites() const {
+    size_t n = 0;
+    for (const Op& op : ops) {
+      if (op.kind != Op::Kind::kGet) {
+        n++;
+      }
+    }
+    return n;
+  }
+};
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_COMMON_PLAN_H_

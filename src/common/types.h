@@ -1,0 +1,162 @@
+// Core value types shared by every Meerkat subsystem: timestamps, transaction
+// identifiers, and transaction status.
+//
+// Meerkat orders transactions by client-proposed timestamps (paper §3): a
+// timestamp is a (local clock reading, client id) pair, so timestamps are
+// globally unique and totally ordered without any coordination. Transaction
+// ids are (client id, per-client sequence number) pairs with the same
+// uniqueness argument.
+
+#ifndef MEERKAT_SRC_COMMON_TYPES_H_
+#define MEERKAT_SRC_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace meerkat {
+
+// A client-proposed commit timestamp. Ordered lexicographically by
+// (time, client_id); the client id breaks ties so that two clients can never
+// propose equal timestamps. The zero timestamp is reserved as "invalid /
+// before everything".
+struct Timestamp {
+  uint64_t time = 0;
+  uint32_t client_id = 0;
+
+  constexpr bool Valid() const { return time != 0 || client_id != 0; }
+
+  friend constexpr bool operator==(const Timestamp& a, const Timestamp& b) {
+    return a.time == b.time && a.client_id == b.client_id;
+  }
+  friend constexpr bool operator!=(const Timestamp& a, const Timestamp& b) { return !(a == b); }
+  friend constexpr bool operator<(const Timestamp& a, const Timestamp& b) {
+    if (a.time != b.time) {
+      return a.time < b.time;
+    }
+    return a.client_id < b.client_id;
+  }
+  friend constexpr bool operator>(const Timestamp& a, const Timestamp& b) { return b < a; }
+  friend constexpr bool operator<=(const Timestamp& a, const Timestamp& b) { return !(b < a); }
+  friend constexpr bool operator>=(const Timestamp& a, const Timestamp& b) { return !(a < b); }
+
+  std::string ToString() const {
+    return std::to_string(time) + "." + std::to_string(client_id);
+  }
+};
+
+constexpr Timestamp kInvalidTimestamp{};
+
+// Globally unique transaction identifier: per-client monotonic sequence number
+// plus the client's unique id (paper §5.2.2 step 1).
+struct TxnId {
+  uint32_t client_id = 0;
+  uint64_t seq = 0;
+
+  constexpr bool Valid() const { return client_id != 0 || seq != 0; }
+
+  friend constexpr bool operator==(const TxnId& a, const TxnId& b) {
+    return a.client_id == b.client_id && a.seq == b.seq;
+  }
+  friend constexpr bool operator!=(const TxnId& a, const TxnId& b) { return !(a == b); }
+  friend constexpr bool operator<(const TxnId& a, const TxnId& b) {
+    if (a.client_id != b.client_id) {
+      return a.client_id < b.client_id;
+    }
+    return a.seq < b.seq;
+  }
+
+  std::string ToString() const {
+    return std::to_string(client_id) + ":" + std::to_string(seq);
+  }
+};
+
+struct TxnIdHash {
+  size_t operator()(const TxnId& id) const {
+    // splitmix64-style finalizer over the packed 96 bits.
+    uint64_t x = (static_cast<uint64_t>(id.client_id) << 32) ^ id.seq;
+    x ^= id.seq >> 13;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};
+
+// Status of a transaction in the trecord (paper Fig. 2 plus the slow-path
+// ACCEPT states of §5.2.2 step 4).
+enum class TxnStatus : uint8_t {
+  kNone = 0,          // No record / not yet validated.
+  kValidatedOk,       // OCC validation succeeded on this replica.
+  kValidatedAbort,    // OCC validation failed on this replica.
+  kAcceptCommit,      // Slow path: coordinator proposed COMMIT, replica accepted.
+  kAcceptAbort,       // Slow path: coordinator proposed ABORT, replica accepted.
+  kCommitted,         // Final: transaction committed.
+  kAborted,           // Final: transaction aborted.
+};
+
+inline const char* ToString(TxnStatus s) {
+  switch (s) {
+    case TxnStatus::kNone:
+      return "NONE";
+    case TxnStatus::kValidatedOk:
+      return "VALIDATED-OK";
+    case TxnStatus::kValidatedAbort:
+      return "VALIDATED-ABORT";
+    case TxnStatus::kAcceptCommit:
+      return "ACCEPT-COMMIT";
+    case TxnStatus::kAcceptAbort:
+      return "ACCEPT-ABORT";
+    case TxnStatus::kCommitted:
+      return "COMMITTED";
+    case TxnStatus::kAborted:
+      return "ABORTED";
+  }
+  return "UNKNOWN";
+}
+
+inline bool IsFinal(TxnStatus s) {
+  return s == TxnStatus::kCommitted || s == TxnStatus::kAborted;
+}
+
+// Outcome returned to the application for one transaction attempt.
+enum class TxnResult : uint8_t {
+  kCommit = 0,
+  kAbort,
+  kFailed,  // Could not reach a quorum (e.g. too many replicas down).
+};
+
+inline const char* ToString(TxnResult r) {
+  switch (r) {
+    case TxnResult::kCommit:
+      return "COMMIT";
+    case TxnResult::kAbort:
+      return "ABORT";
+    case TxnResult::kFailed:
+      return "FAILED";
+  }
+  return "UNKNOWN";
+}
+
+// One read performed during the execute phase: the key, and the version
+// (write timestamp) that was read. Validation re-checks this version.
+struct ReadSetEntry {
+  std::string key;
+  Timestamp read_wts;  // wts of the version observed by the read.
+};
+
+// One buffered write: installed only after the transaction commits.
+struct WriteSetEntry {
+  std::string key;
+  std::string value;
+};
+
+using ReplicaId = uint32_t;
+using CoreId = uint32_t;
+using ViewNum = uint64_t;
+using EpochNum = uint64_t;
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_COMMON_TYPES_H_

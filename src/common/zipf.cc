@@ -1,0 +1,70 @@
+#include "src/common/zipf.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace meerkat {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+  assert(n > 0);
+  assert(theta >= 0.0);
+  if (theta_ > 0.9999 && theta_ < 1.0001) {
+    // H(x) below divides by (1 - theta); nudge the harmonic case off the pole.
+    theta_ = 0.99990001;
+  }
+  if (theta_ > 0.0) {
+    h_x1_ = H(1.5) - 1.0;
+    h_n_ = H(static_cast<double>(n_) + 0.5);
+    s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -theta_));
+  } else {
+    h_x1_ = h_n_ = s_ = 0.0;
+  }
+}
+
+double ZipfGenerator::H(double x) const {
+  // Integral of 1/x^theta: x^(1-theta) / (1-theta).
+  return std::pow(x, 1.0 - theta_) / (1.0 - theta_);
+}
+
+double ZipfGenerator::HInverse(double x) const {
+  return std::pow((1.0 - theta_) * x, 1.0 / (1.0 - theta_));
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) {
+  if (theta_ == 0.0) {
+    return rng.NextBounded(n_);
+  }
+  // Hörmann & Derflinger rejection-inversion. Typically accepts within one or
+  // two iterations.
+  while (true) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    const double k = std::floor(x + 0.5);
+    if (k - x <= s_) {
+      return static_cast<uint64_t>(k) - 1;
+    }
+    if (u >= H(k + 0.5) - std::pow(k, -theta_)) {
+      return static_cast<uint64_t>(k) - 1;
+    }
+  }
+}
+
+KeyChooser::KeyChooser(uint64_t num_keys, double theta)
+    : num_keys_(num_keys), theta_(theta), zipf_(num_keys, theta) {}
+
+uint64_t KeyChooser::Next(Rng& rng) {
+  if (theta_ == 0.0) {
+    return rng.NextBounded(num_keys_);
+  }
+  // Scramble the rank so popular keys do not cluster (YCSB ScrambledZipfian).
+  uint64_t rank = zipf_.Next(rng);
+  uint64_t x = rank;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x % num_keys_;
+}
+
+}  // namespace meerkat

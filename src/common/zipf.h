@@ -1,0 +1,65 @@
+// Zipf-distributed key chooser, used to sweep contention in the paper's
+// Figures 6 and 7 (Zipf coefficient 0 = uniform .. ~1 = highly skewed).
+
+#ifndef MEERKAT_SRC_COMMON_ZIPF_H_
+#define MEERKAT_SRC_COMMON_ZIPF_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace meerkat {
+
+// Samples ranks in [0, n) with P(rank = k) proportional to 1 / (k+1)^theta.
+//
+// Uses the rejection-inversion method of Hörmann & Derflinger ("Rejection-
+// inversion to generate variates from monotone discrete distributions",
+// 1996), the same algorithm YCSB's ScrambledZipfian is built on. O(1) per
+// sample with no per-key tables, so the generator stays cheap even for the
+// paper's 1M-keys-per-core keyspaces.
+class ZipfGenerator {
+ public:
+  // theta == 0 degenerates to the uniform distribution. theta must be >= 0
+  // and != 1 (the harmonic case is approximated by theta = 0.9999...).
+  ZipfGenerator(uint64_t n, double theta);
+
+  // Returns a rank in [0, n). Rank 0 is the most popular item; callers that
+  // want to avoid adjacent-rank cache artifacts should scramble the rank into
+  // the keyspace (see KeyChooser).
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double theta_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+// Maps Zipf ranks onto a keyspace with an FNV-style scramble so that popular
+// keys are spread across the table (YCSB's "scrambled zipfian"), and formats
+// keys. theta = 0 bypasses the Zipf machinery entirely.
+class KeyChooser {
+ public:
+  KeyChooser(uint64_t num_keys, double theta);
+
+  // Returns a key index in [0, num_keys).
+  uint64_t Next(Rng& rng);
+
+  uint64_t num_keys() const { return num_keys_; }
+
+ private:
+  uint64_t num_keys_;
+  double theta_;
+  ZipfGenerator zipf_;
+};
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_COMMON_ZIPF_H_

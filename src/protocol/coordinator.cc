@@ -1,0 +1,344 @@
+#include "src/protocol/coordinator.h"
+
+#include <utility>
+
+#include "src/protocol/epoch_merge.h"
+#include "src/sim/sim_context.h"
+
+namespace meerkat {
+namespace {
+
+// Coordinator-side bookkeeping charge for the simulator.
+void ChargeCoordinatorLogic() {
+  if (SimContext* ctx = SimContext::Current()) {
+    ctx->Charge(ctx->cost().coordinator_logic_ns);
+  }
+}
+
+}  // namespace
+
+CommitCoordinator::CommitCoordinator(Transport* transport, Address self,
+                                     const QuorumConfig& quorum, CoreId core, TxnId tid,
+                                     Timestamp ts, std::vector<ReadSetEntry> read_set,
+                                     std::vector<WriteSetEntry> write_set,
+                                     uint64_t retry_timeout_ns, uint64_t timer_base,
+                                     DoneCallback done)
+    : transport_(transport), self_(self), quorum_(quorum), core_(core), tid_(tid), ts_(ts),
+      read_set_(std::move(read_set)), write_set_(std::move(write_set)),
+      retry_timeout_ns_(retry_timeout_ns), timer_base_(timer_base), done_(std::move(done)) {}
+
+void CommitCoordinator::Start() {
+  SendValidates(/*only_missing=*/false);
+  ArmTimer(kValidatePhaseTimer);
+}
+
+void CommitCoordinator::ArmTimer(uint64_t phase_timer) {
+  if (retry_timeout_ns_ != 0) {
+    transport_->SetTimer(self_, 0, retry_timeout_ns_, timer_base_ + phase_timer);
+  }
+}
+
+void CommitCoordinator::SendValidates(bool only_missing) {
+  for (ReplicaId r = 0; r < quorum_.n; r++) {
+    if (only_missing && validate_replied_.count(group_base_ + r) != 0) {
+      continue;
+    }
+    Message msg;
+    msg.src = self_;
+    msg.dst = Address::Replica(group_base_ + r);
+    msg.core = core_;
+    msg.payload = ValidateRequest{tid_, ts_, read_set_, write_set_};
+    transport_->Send(std::move(msg));
+  }
+}
+
+void CommitCoordinator::SendAccepts() {
+  for (ReplicaId r = 0; r < quorum_.n; r++) {
+    Message msg;
+    msg.src = self_;
+    msg.dst = Address::Replica(group_base_ + r);
+    msg.core = core_;
+    msg.payload = AcceptRequest{tid_, /*view=*/0, proposal_commit_, ts_, read_set_, write_set_};
+    transport_->Send(std::move(msg));
+  }
+}
+
+void CommitCoordinator::BroadcastDecision(bool commit) {
+  // Asynchronous write-phase message; in the paper this piggybacks on the
+  // client's next request, which the simulator's cost model reflects by
+  // charging no extra round trip (the decision never blocks the client).
+  for (ReplicaId r = 0; r < quorum_.n; r++) {
+    Message msg;
+    msg.src = self_;
+    msg.dst = Address::Replica(group_base_ + r);
+    msg.core = core_;
+    msg.payload = CommitRequest{tid_, commit};
+    transport_->Send(std::move(msg));
+  }
+}
+
+void CommitCoordinator::Finish(TxnResult result, bool fast_path) {
+  phase_ = Phase::kDone;
+  outcome_.result = result;
+  outcome_.fast_path = fast_path;
+  if (done_) {
+    done_(outcome_);
+  }
+}
+
+bool CommitCoordinator::OnMessage(const Message& msg) {
+  if (phase_ == Phase::kDone) {
+    return false;
+  }
+  if (const auto* reply = std::get_if<ValidateReply>(&msg.payload)) {
+    if (reply->tid != tid_ || phase_ != Phase::kValidating) {
+      return false;
+    }
+    ChargeCoordinatorLogic();
+    if (reply->epoch > reply_epoch_) {
+      // Votes from an older epoch are void: the epoch change has already
+      // force-finalized whatever those replicas had in flight.
+      reply_epoch_ = reply->epoch;
+      validate_replied_.clear();
+      ok_count_ = 0;
+      abort_count_ = 0;
+    } else if (reply->epoch < reply_epoch_) {
+      return true;
+    }
+    if (!validate_replied_.insert(reply->from).second) {
+      return true;  // Duplicate reply.
+    }
+    if (reply->status == TxnStatus::kValidatedOk) {
+      ok_count_++;
+    } else {
+      abort_count_++;
+    }
+    MaybeDecideValidation();
+    return true;
+  }
+  if (const auto* reply = std::get_if<AcceptReply>(&msg.payload)) {
+    if (reply->tid != tid_ || phase_ != Phase::kAccepting) {
+      return false;
+    }
+    ChargeCoordinatorLogic();
+    if (reply->view != 0) {
+      return true;  // Reply to some backup coordinator's round.
+    }
+    if (!reply->ok) {
+      // A backup coordinator holds a higher view: this coordinator has been
+      // superseded and must stand down; the transaction's fate belongs to the
+      // backup now.
+      accept_rejects_++;
+      if (accept_rejects_ > quorum_.n - quorum_.Majority()) {
+        Finish(TxnResult::kFailed, /*fast_path=*/false);
+      }
+      return true;
+    }
+    accept_ok_.insert(reply->from);
+    if (accept_ok_.size() >= quorum_.Majority()) {
+      if (!defer_decision_) {
+        BroadcastDecision(proposal_commit_);
+      }
+      Finish(proposal_commit_ ? TxnResult::kCommit : TxnResult::kAbort, /*fast_path=*/false);
+    }
+    return true;
+  }
+  return false;
+}
+
+void CommitCoordinator::MaybeDecideValidation() {
+  // Fast path: a supermajority of matching replies decides immediately
+  // (paper §5.2.2 step 3).
+  if (!force_slow_path_) {
+    if (ok_count_ >= quorum_.SuperMajority()) {
+      if (!defer_decision_) {
+        BroadcastDecision(true);
+      }
+      Finish(TxnResult::kCommit, /*fast_path=*/true);
+      return;
+    }
+    if (abort_count_ >= quorum_.SuperMajority()) {
+      if (!defer_decision_) {
+        BroadcastDecision(false);
+      }
+      Finish(TxnResult::kAbort, /*fast_path=*/true);
+      return;
+    }
+  }
+  // Slow path: once no status can still reach a supermajority and a majority
+  // has replied, propose the majority-favored outcome via an ACCEPT round
+  // (paper §5.2.2 step 4).
+  size_t received = validate_replied_.size();
+  bool fast_possible = !force_slow_path_ &&
+                       (quorum_.FastPathStillPossible(ok_count_, received) ||
+                        quorum_.FastPathStillPossible(abort_count_, received));
+  if (!fast_possible && received >= quorum_.Majority()) {
+    proposal_commit_ = ok_count_ >= quorum_.Majority();
+    phase_ = Phase::kAccepting;
+    SendAccepts();
+    ArmTimer(kAcceptPhaseTimer);
+  }
+}
+
+bool CommitCoordinator::OnTimer(uint64_t timer_id) {
+  if (phase_ == Phase::kDone || timer_id < timer_base_) {
+    return false;
+  }
+  uint64_t phase_timer = timer_id - timer_base_;
+  if (phase_timer == kValidatePhaseTimer && phase_ == Phase::kValidating) {
+    if (++retries_ > kMaxRetries) {
+      Finish(TxnResult::kFailed, /*fast_path=*/false);
+      return true;
+    }
+    // Enough validation votes may already be in (the fast path just never
+    // materialized because the stragglers are down): fall to the slow path
+    // with what we have rather than waiting forever.
+    if (validate_replied_.size() >= quorum_.Majority()) {
+      proposal_commit_ = ok_count_ >= quorum_.Majority();
+      phase_ = Phase::kAccepting;
+      SendAccepts();
+      ArmTimer(kAcceptPhaseTimer);
+      return true;
+    }
+    SendValidates(/*only_missing=*/true);
+    ArmTimer(kValidatePhaseTimer);
+    return true;
+  }
+  if (phase_timer == kAcceptPhaseTimer && phase_ == Phase::kAccepting) {
+    if (++retries_ > kMaxRetries) {
+      Finish(TxnResult::kFailed, /*fast_path=*/false);
+      return true;
+    }
+    SendAccepts();
+    ArmTimer(kAcceptPhaseTimer);
+    return true;
+  }
+  return false;
+}
+
+BackupCoordinator::BackupCoordinator(Transport* transport, Address self,
+                                     const QuorumConfig& quorum, CoreId core, TxnId tid,
+                                     ViewNum view, uint64_t retry_timeout_ns, uint64_t timer_base,
+                                     DoneCallback done)
+    : transport_(transport), self_(self), quorum_(quorum), core_(core), tid_(tid), view_(view),
+      retry_timeout_ns_(retry_timeout_ns), timer_base_(timer_base), done_(std::move(done)) {}
+
+void BackupCoordinator::Start() {
+  SendPrepares();
+  if (retry_timeout_ns_ != 0) {
+    transport_->SetTimer(self_, 0, retry_timeout_ns_, timer_base_ + kPreparePhaseTimer);
+  }
+}
+
+void BackupCoordinator::SendPrepares() {
+  for (ReplicaId r = 0; r < quorum_.n; r++) {
+    Message msg;
+    msg.src = self_;
+    msg.dst = Address::Replica(group_base_ + r);
+    msg.core = core_;
+    msg.payload = CoordChangeRequest{tid_, view_};
+    transport_->Send(std::move(msg));
+  }
+}
+
+bool BackupCoordinator::OnMessage(const Message& msg) {
+  if (phase_ == Phase::kDone) {
+    return false;
+  }
+  if (const auto* ack = std::get_if<CoordChangeAck>(&msg.payload)) {
+    if (ack->tid != tid_ || phase_ != Phase::kPreparing) {
+      return false;
+    }
+    if (!ack->ok) {
+      // Outbid by an even newer view: retry above it.
+      if (ack->view >= view_) {
+        view_ = ack->view + 1;
+        prepare_acks_.clear();
+        prepare_replied_.clear();
+        SendPrepares();
+      }
+      return true;
+    }
+    if (ack->view != view_ || !prepare_replied_.insert(ack->from).second) {
+      return true;
+    }
+    prepare_acks_.push_back(*ack);
+    if (prepare_replied_.size() >= quorum_.Majority()) {
+      DecideAndAccept();
+    }
+    return true;
+  }
+  if (const auto* reply = std::get_if<AcceptReply>(&msg.payload)) {
+    if (reply->tid != tid_ || phase_ != Phase::kAccepting) {
+      return false;
+    }
+    if (reply->view != view_ || !reply->ok) {
+      return true;
+    }
+    accept_ok_.insert(reply->from);
+    if (accept_ok_.size() >= quorum_.Majority()) {
+      for (ReplicaId r = 0; r < quorum_.n; r++) {
+        Message out;
+        out.src = self_;
+        out.dst = Address::Replica(group_base_ + r);
+        out.core = core_;
+        out.payload = CommitRequest{tid_, proposal_commit_};
+        transport_->Send(std::move(out));
+      }
+      Finish(proposal_commit_ ? TxnResult::kCommit : TxnResult::kAbort);
+    }
+    return true;
+  }
+  return false;
+}
+
+void BackupCoordinator::DecideAndAccept() {
+  proposal_commit_ = ChooseRecoveryOutcome(quorum_, prepare_acks_);
+  if (auto payload = FindPayloadSnapshot(prepare_acks_)) {
+    ts_ = payload->ts;
+    read_set_ = payload->read_set;
+    write_set_ = payload->write_set;
+  }
+  phase_ = Phase::kAccepting;
+  for (ReplicaId r = 0; r < quorum_.n; r++) {
+    Message msg;
+    msg.src = self_;
+    msg.dst = Address::Replica(group_base_ + r);
+    msg.core = core_;
+    msg.payload = AcceptRequest{tid_, view_, proposal_commit_, ts_, read_set_, write_set_};
+    transport_->Send(std::move(msg));
+  }
+  if (retry_timeout_ns_ != 0) {
+    transport_->SetTimer(self_, 0, retry_timeout_ns_, timer_base_ + kAcceptPhaseTimer);
+  }
+}
+
+bool BackupCoordinator::OnTimer(uint64_t timer_id) {
+  if (phase_ == Phase::kDone || timer_id < timer_base_) {
+    return false;
+  }
+  uint64_t phase_timer = timer_id - timer_base_;
+  if (phase_timer == kPreparePhaseTimer && phase_ == Phase::kPreparing) {
+    SendPrepares();
+    if (retry_timeout_ns_ != 0) {
+      transport_->SetTimer(self_, 0, retry_timeout_ns_, timer_base_ + kPreparePhaseTimer);
+    }
+    return true;
+  }
+  if (phase_timer == kAcceptPhaseTimer && phase_ == Phase::kAccepting) {
+    DecideAndAccept();
+    return true;
+  }
+  return false;
+}
+
+void BackupCoordinator::Finish(TxnResult result) {
+  phase_ = Phase::kDone;
+  CommitOutcome outcome;
+  outcome.result = result;
+  if (done_) {
+    done_(outcome);
+  }
+}
+
+}  // namespace meerkat

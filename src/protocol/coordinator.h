@@ -1,0 +1,191 @@
+// Client-side commit protocol (paper §5.2.2) and backup-coordinator recovery
+// (paper §5.3.2), as event-driven state machines.
+//
+// A CommitCoordinator manages one transaction's validation phase:
+//
+//   VALIDATE -> (supermajority of matching replies)    fast path: decide
+//            -> (mixed replies / quorum only)          slow path: ACCEPT round
+//   ACCEPT   -> (f+1 matching accepts)                 decide
+//
+// and asynchronously broadcasts the COMMIT/ABORT decision. It is runtime-
+// agnostic: the owner (a MeerkatSession, or a test) feeds replies in via
+// OnMessage and timeouts via OnTimer; the machine emits messages through the
+// Transport and reports completion through a callback.
+//
+// A BackupCoordinator finishes an orphaned transaction after its coordinator
+// failed: a Paxos-prepare-like CoordChange round establishes a new view and
+// gathers what replicas know; the outcome rules of epoch_merge.h pick a safe
+// decision, which is then driven through the same ACCEPT/COMMIT path.
+
+#ifndef MEERKAT_SRC_PROTOCOL_COORDINATOR_H_
+#define MEERKAT_SRC_PROTOCOL_COORDINATOR_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/protocol/quorum.h"
+#include "src/transport/transport.h"
+
+namespace meerkat {
+
+struct CommitOutcome {
+  TxnResult result = TxnResult::kFailed;
+  bool fast_path = false;
+};
+
+class CommitCoordinator {
+ public:
+  using DoneCallback = std::function<void(const CommitOutcome&)>;
+
+  // Timer ids passed to SetTimer are `timer_base + phase`; the owner routes
+  // TimerFire back via OnTimer. retry_timeout_ns == 0 disables retries
+  // (appropriate for fault-free benchmark runs).
+  CommitCoordinator(Transport* transport, Address self, const QuorumConfig& quorum, CoreId core,
+                    TxnId tid, Timestamp ts, std::vector<ReadSetEntry> read_set,
+                    std::vector<WriteSetEntry> write_set, uint64_t retry_timeout_ns,
+                    uint64_t timer_base, DoneCallback done);
+
+  // Ablation knob: never decide on the fast path, even with a supermajority
+  // of matching replies (measures what the fast path is worth).
+  void set_force_slow_path(bool force) { force_slow_path_ = force; }
+
+  // Multi-shard mode (paper §5.2.4): this coordinator validates one shard of
+  // a distributed transaction. The decision is *deferred*: outcome() reports
+  // what this shard decided, but no COMMIT/ABORT is broadcast until the
+  // parent, having heard from every shard, calls BroadcastFinal with the
+  // conjunction of the shard decisions (the atomic-commitment step).
+  void set_defer_decision(bool defer) { defer_decision_ = defer; }
+  void BroadcastFinal(bool commit) { BroadcastDecision(commit); }
+
+  // The replica group this coordinator talks to: replicas
+  // [group_base, group_base + n). Shard s of a sharded deployment registers
+  // its replicas at base s*n.
+  void set_group_base(ReplicaId base) { group_base_ = base; }
+
+  CommitCoordinator(const CommitCoordinator&) = delete;
+  CommitCoordinator& operator=(const CommitCoordinator&) = delete;
+
+  void Start();
+
+  // Feeds a reply; returns true if it belonged to this transaction.
+  bool OnMessage(const Message& msg);
+
+  // Feeds a timer previously armed by this coordinator; returns true if the
+  // timer was consumed (stale timers for finished phases return false).
+  bool OnTimer(uint64_t timer_id);
+
+  bool done() const { return phase_ == Phase::kDone; }
+  // Valid once done(). Owners that may destroy the coordinator from their
+  // completion path MUST pass a null DoneCallback and poll done()/outcome()
+  // after each OnMessage/OnTimer instead: a callback that destroys the
+  // coordinator would free the very frames still executing.
+  const CommitOutcome& outcome() const { return outcome_; }
+  const TxnId& tid() const { return tid_; }
+  Timestamp ts() const { return ts_; }
+
+  static constexpr uint64_t kValidatePhaseTimer = 0;
+  static constexpr uint64_t kAcceptPhaseTimer = 1;
+  static constexpr int kMaxRetries = 50;
+
+ private:
+  enum class Phase { kValidating, kAccepting, kDone };
+
+  void SendValidates(bool only_missing);
+  void SendAccepts();
+  void BroadcastDecision(bool commit);
+  void Finish(TxnResult result, bool fast_path);
+  void MaybeDecideValidation();
+  void ArmTimer(uint64_t phase_timer);
+
+  Transport* const transport_;
+  const Address self_;
+  const QuorumConfig quorum_;
+  const CoreId core_;
+  const TxnId tid_;
+  const Timestamp ts_;
+  const std::vector<ReadSetEntry> read_set_;
+  const std::vector<WriteSetEntry> write_set_;
+  const uint64_t retry_timeout_ns_;
+  const uint64_t timer_base_;
+  DoneCallback done_;
+
+  Phase phase_ = Phase::kValidating;
+  int retries_ = 0;
+  bool force_slow_path_ = false;
+  bool defer_decision_ = false;
+  ReplicaId group_base_ = 0;
+  CommitOutcome outcome_;
+
+  // Validation replies, tracked for the highest epoch seen (replies from
+  // different epochs never combine into one quorum; see message.h).
+  EpochNum reply_epoch_ = 0;
+  std::set<ReplicaId> validate_replied_;
+  size_t ok_count_ = 0;
+  size_t abort_count_ = 0;
+
+  // Accept round (the original coordinator proposes in view 0).
+  bool proposal_commit_ = false;
+  std::set<ReplicaId> accept_ok_;
+  size_t accept_rejects_ = 0;
+};
+
+class BackupCoordinator {
+ public:
+  using DoneCallback = std::function<void(const CommitOutcome&)>;
+
+  // `view` must be greater than any view the transaction has seen; backup
+  // coordinators for view v are conventionally hosted on replica (v mod n),
+  // but any node may run one (the view number is what arbitrates).
+  BackupCoordinator(Transport* transport, Address self, const QuorumConfig& quorum, CoreId core,
+                    TxnId tid, ViewNum view, uint64_t retry_timeout_ns, uint64_t timer_base,
+                    DoneCallback done);
+
+  BackupCoordinator(const BackupCoordinator&) = delete;
+  BackupCoordinator& operator=(const BackupCoordinator&) = delete;
+
+  void Start();
+  bool OnMessage(const Message& msg);
+  bool OnTimer(uint64_t timer_id);
+
+  void set_group_base(ReplicaId base) { group_base_ = base; }
+
+  bool done() const { return phase_ == Phase::kDone; }
+  const TxnId& tid() const { return tid_; }
+
+  static constexpr uint64_t kPreparePhaseTimer = 0;
+  static constexpr uint64_t kAcceptPhaseTimer = 1;
+
+ private:
+  enum class Phase { kPreparing, kAccepting, kDone };
+
+  void SendPrepares();
+  void DecideAndAccept();
+  void Finish(TxnResult result);
+
+  Transport* const transport_;
+  const Address self_;
+  const QuorumConfig quorum_;
+  const CoreId core_;
+  const TxnId tid_;
+  ViewNum view_;
+  const uint64_t retry_timeout_ns_;
+  const uint64_t timer_base_;
+  DoneCallback done_;
+
+  Phase phase_ = Phase::kPreparing;
+  ReplicaId group_base_ = 0;
+  std::vector<CoordChangeAck> prepare_acks_;
+  std::set<ReplicaId> prepare_replied_;
+  bool proposal_commit_ = false;
+  Timestamp ts_;
+  std::vector<ReadSetEntry> read_set_;
+  std::vector<WriteSetEntry> write_set_;
+  std::set<ReplicaId> accept_ok_;
+};
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_PROTOCOL_COORDINATOR_H_

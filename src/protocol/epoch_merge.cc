@@ -1,0 +1,229 @@
+#include "src/protocol/epoch_merge.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "src/store/occ.h"
+#include "src/store/vstore.h"
+
+namespace meerkat {
+namespace {
+
+struct TidLess {
+  bool operator()(const TxnId& a, const TxnId& b) const { return a < b; }
+};
+
+// All copies of one transaction's record across the ack quorum.
+struct TxnEvidence {
+  std::vector<const TxnRecordSnapshot*> copies;
+
+  const TxnRecordSnapshot* AnyFinal() const {
+    for (const TxnRecordSnapshot* s : copies) {
+      if (IsFinal(s->status)) {
+        return s;
+      }
+    }
+    return nullptr;
+  }
+
+  const TxnRecordSnapshot* HighestAccepted() const {
+    const TxnRecordSnapshot* best = nullptr;
+    for (const TxnRecordSnapshot* s : copies) {
+      if (s->accepted && (best == nullptr || s->accept_view > best->accept_view)) {
+        best = s;
+      }
+    }
+    return best;
+  }
+
+  size_t CountStatus(TxnStatus status) const {
+    size_t n = 0;
+    for (const TxnRecordSnapshot* s : copies) {
+      if (s->status == status) {
+        n++;
+      }
+    }
+    return n;
+  }
+
+  // Richest copy: one that carries the transaction payload (ts + sets).
+  const TxnRecordSnapshot* Payload() const {
+    const TxnRecordSnapshot* best = copies.front();
+    for (const TxnRecordSnapshot* s : copies) {
+      if (s->ts.Valid() && (!s->read_set.empty() || !s->write_set.empty())) {
+        return s;
+      }
+      if (s->ts.Valid()) {
+        best = s;
+      }
+    }
+    return best;
+  }
+};
+
+}  // namespace
+
+MergedEpochState MergeEpochState(const QuorumConfig& quorum,
+                                 const std::vector<EpochChangeAck>& acks) {
+  MergedEpochState merged;
+
+  // Collect the per-key maximum committed version across the quorum.
+  std::unordered_map<std::string, std::pair<std::string, Timestamp>> store;
+  for (const EpochChangeAck& ack : acks) {
+    for (size_t i = 0; i < ack.store_state.size(); i++) {
+      const WriteSetEntry& w = ack.store_state[i];
+      Timestamp wts = ack.store_versions[i];
+      auto it = store.find(w.key);
+      if (it == store.end() || wts > it->second.second) {
+        store[w.key] = {w.value, wts};
+      }
+    }
+  }
+
+  // Group record copies by transaction.
+  std::map<TxnId, TxnEvidence, TidLess> by_txn;
+  for (const EpochChangeAck& ack : acks) {
+    for (const TxnRecordSnapshot& snap : ack.records) {
+      by_txn[snap.tid].copies.push_back(&snap);
+    }
+  }
+
+  // Rules 1-3 and 5 decide most transactions outright; rule 4 needs the
+  // merged committed state, so possible-fast-commit transactions are
+  // re-validated afterwards, in timestamp order (the serialization order).
+  std::vector<const TxnRecordSnapshot*> needs_revalidation;
+
+  for (auto& [tid, ev] : by_txn) {
+    (void)tid;
+    TxnRecordSnapshot out = *ev.Payload();
+
+    if (const TxnRecordSnapshot* fin = ev.AnyFinal()) {
+      out.status = fin->status;
+    } else if (const TxnRecordSnapshot* acc = ev.HighestAccepted()) {
+      out.status =
+          acc->status == TxnStatus::kAcceptCommit ? TxnStatus::kCommitted : TxnStatus::kAborted;
+    } else if (ev.CountStatus(TxnStatus::kValidatedOk) >= quorum.Majority()) {
+      out.status = TxnStatus::kCommitted;
+    } else if (ev.CountStatus(TxnStatus::kValidatedAbort) >= quorum.Majority()) {
+      out.status = TxnStatus::kAborted;
+    } else if (ev.CountStatus(TxnStatus::kValidatedOk) >= quorum.FastWitness()) {
+      // Rule 4: might have committed on the fast path. Decide by
+      // re-validation against the merged committed state (paper §5.3.1); if
+      // it did fast-commit, no conflicting transaction can have committed, so
+      // re-validation necessarily succeeds (§5.4).
+      out.status = TxnStatus::kNone;  // Marker: resolved below.
+      needs_revalidation.push_back(ev.Payload());
+    } else {
+      out.status = TxnStatus::kAborted;
+    }
+    out.accepted = false;
+    out.accept_view = 0;
+    merged.records.push_back(std::move(out));
+  }
+
+  if (!needs_revalidation.empty()) {
+    // Build the committed state: quorum-max store versions, then the writes of
+    // every transaction already decided COMMITTED, under the Thomas rule.
+    VStore scratch;
+    for (const auto& [key, vv] : store) {
+      scratch.LoadKey(key, vv.first, vv.second);
+    }
+    for (const TxnRecordSnapshot& rec : merged.records) {
+      if (rec.status == TxnStatus::kCommitted) {
+        OccCommit(scratch, rec.read_set, rec.write_set, rec.ts);
+      }
+    }
+    // Re-validate in timestamp order so that earlier possible-fast-commits
+    // are visible to later ones.
+    std::sort(needs_revalidation.begin(), needs_revalidation.end(),
+              [](const TxnRecordSnapshot* a, const TxnRecordSnapshot* b) { return a->ts < b->ts; });
+    for (const TxnRecordSnapshot* snap : needs_revalidation) {
+      TxnStatus status =
+          OccRevalidateCommittedOnly(scratch, snap->read_set, snap->write_set, snap->ts);
+      TxnStatus final_status =
+          status == TxnStatus::kValidatedOk ? TxnStatus::kCommitted : TxnStatus::kAborted;
+      for (TxnRecordSnapshot& rec : merged.records) {
+        if (rec.tid == snap->tid) {
+          rec.status = final_status;
+          break;
+        }
+      }
+      if (final_status == TxnStatus::kCommitted) {
+        OccCommit(scratch, snap->read_set, snap->write_set, snap->ts);
+      }
+    }
+  }
+
+  merged.store_state.reserve(store.size());
+  merged.store_versions.reserve(store.size());
+  for (auto& [key, vv] : store) {
+    merged.store_state.push_back(WriteSetEntry{key, vv.first});
+    merged.store_versions.push_back(vv.second);
+  }
+  return merged;
+}
+
+bool ChooseRecoveryOutcome(const QuorumConfig& quorum, const std::vector<CoordChangeAck>& acks) {
+  // Priority 1: a completed outcome at any replica.
+  for (const CoordChangeAck& ack : acks) {
+    if (ack.has_record && IsFinal(ack.record.status)) {
+      return ack.record.status == TxnStatus::kCommitted;
+    }
+  }
+  // Priority 2: the accepted proposal with the highest accept view.
+  const TxnRecordSnapshot* best_accepted = nullptr;
+  for (const CoordChangeAck& ack : acks) {
+    if (ack.has_record && ack.record.accepted &&
+        (best_accepted == nullptr || ack.record.accept_view > best_accepted->accept_view)) {
+      best_accepted = &ack.record;
+    }
+  }
+  if (best_accepted != nullptr) {
+    return best_accepted->status == TxnStatus::kAcceptCommit;
+  }
+  // Priority 3: a majority of matching VALIDATED-* statuses.
+  size_t ok = 0;
+  size_t abort = 0;
+  for (const CoordChangeAck& ack : acks) {
+    if (!ack.has_record) {
+      continue;
+    }
+    if (ack.record.status == TxnStatus::kValidatedOk) {
+      ok++;
+    } else if (ack.record.status == TxnStatus::kValidatedAbort) {
+      abort++;
+    }
+  }
+  if (ok >= quorum.Majority()) {
+    return true;
+  }
+  if (abort >= quorum.Majority()) {
+    return false;
+  }
+  // Priority 4: possible fast commit.
+  if (ok >= quorum.FastWitness()) {
+    return true;
+  }
+  // Priority 5: nothing could have completed; abort is safe.
+  return false;
+}
+
+std::optional<TxnRecordSnapshot> FindPayloadSnapshot(const std::vector<CoordChangeAck>& acks) {
+  std::optional<TxnRecordSnapshot> best;
+  for (const CoordChangeAck& ack : acks) {
+    if (!ack.has_record) {
+      continue;
+    }
+    if (ack.record.ts.Valid() &&
+        (!ack.record.read_set.empty() || !ack.record.write_set.empty())) {
+      return ack.record;
+    }
+    if (!best.has_value() && ack.record.ts.Valid()) {
+      best = ack.record;
+    }
+  }
+  return best;
+}
+
+}  // namespace meerkat

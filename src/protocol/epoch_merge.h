@@ -1,0 +1,60 @@
+// Pure merge logic for Meerkat's epoch-change protocol (paper §5.3.1) and the
+// outcome-selection rules of coordinator recovery (paper §5.3.2).
+//
+// Both are kept free of replica plumbing so they can be unit-tested
+// exhaustively: the correctness of recovery reduces to the correctness of
+// these two functions plus quorum arithmetic.
+
+#ifndef MEERKAT_SRC_PROTOCOL_EPOCH_MERGE_H_
+#define MEERKAT_SRC_PROTOCOL_EPOCH_MERGE_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/protocol/quorum.h"
+#include "src/transport/message.h"
+
+namespace meerkat {
+
+// The merged authoritative state produced by the recovery coordinator from a
+// majority of per-replica trecord snapshots. Every transaction in `records`
+// has a *final* status (kCommitted or kAborted); `store_state` /
+// `store_versions` is the per-key max-version committed state collected from
+// the quorum (before re-applying `records`).
+struct MergedEpochState {
+  std::vector<TxnRecordSnapshot> records;
+  std::vector<WriteSetEntry> store_state;
+  std::vector<Timestamp> store_versions;
+};
+
+// Applies the paper's five merge rules to the trecords of at least f+1
+// replicas:
+//   1. transactions COMMITTED or ABORTED anywhere keep that outcome;
+//   2. transactions with an accepted proposal adopt the decision with the
+//      highest accept view;
+//   3. transactions with >= f+1 matching VALIDATED-* statuses adopt the
+//      corresponding outcome;
+//   4. transactions that might have fast-committed (>= ceil(f/2)+1
+//      VALIDATED-OK) are re-validated against the merged committed state and
+//      adopt the re-validation outcome;
+//   5. everything else is ABORTED.
+// `acks` must contain at least quorum.Majority() entries.
+MergedEpochState MergeEpochState(const QuorumConfig& quorum,
+                                 const std::vector<EpochChangeAck>& acks);
+
+// Outcome chosen by a backup coordinator from CoordChange replies
+// (paper §5.3.2): in priority order, (1) any completed outcome, (2) the
+// accepted proposal with the highest view, (3) a majority of matching
+// VALIDATED-* statuses, (4) a possible fast commit (>= ceil(f/2)+1
+// VALIDATED-OK -> commit; exact for f=1, see DESIGN.md §7), (5) abort.
+// Requires at least quorum.Majority() replies with ok=true.
+// Returns true to commit, false to abort.
+bool ChooseRecoveryOutcome(const QuorumConfig& quorum, const std::vector<CoordChangeAck>& acks);
+
+// Helper shared by both paths: the snapshot (if any) a backup coordinator can
+// use to re-propose the transaction (timestamp + read/write sets).
+std::optional<TxnRecordSnapshot> FindPayloadSnapshot(const std::vector<CoordChangeAck>& acks);
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_PROTOCOL_EPOCH_MERGE_H_

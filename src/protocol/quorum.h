@@ -1,0 +1,48 @@
+// Quorum arithmetic for Meerkat's commit protocol (paper §5.2.2).
+//
+// With n = 2f+1 replicas:
+//   * fast path: f + ceil(f/2) + 1 *matching* VALIDATE replies decide the
+//     transaction with no further coordination;
+//   * slow path: f + 1 VALIDATE replies pick a proposal, and f + 1 ACCEPT
+//     replies make it durable;
+//   * epoch change: f + 1 trecords suffice to reconstruct all decisions; a
+//     transaction that *might* have fast-committed shows at least
+//     ceil(f/2) + 1 VALIDATED-OK entries in any such quorum.
+
+#ifndef MEERKAT_SRC_PROTOCOL_QUORUM_H_
+#define MEERKAT_SRC_PROTOCOL_QUORUM_H_
+
+#include <cstddef>
+
+namespace meerkat {
+
+struct QuorumConfig {
+  size_t n = 3;  // Number of replicas, must be 2f+1.
+  size_t f = 1;  // Tolerated crash failures.
+
+  static QuorumConfig ForReplicas(size_t n_replicas) {
+    QuorumConfig q;
+    q.n = n_replicas;
+    q.f = (n_replicas - 1) / 2;
+    return q;
+  }
+
+  size_t Majority() const { return f + 1; }
+
+  // f + ceil(f/2) + 1.
+  size_t SuperMajority() const { return f + (f + 1) / 2 + 1; }
+
+  // Minimum number of VALIDATED-OK entries visible in any majority quorum if
+  // the transaction possibly committed on the fast path: ceil(f/2) + 1.
+  size_t FastWitness() const { return (f + 1) / 2 + 1; }
+
+  // With `received` replies of which `matching` agree, can a supermajority of
+  // matching replies still be assembled from the missing replicas?
+  bool FastPathStillPossible(size_t matching, size_t received) const {
+    return matching + (n - received) >= SuperMajority();
+  }
+};
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_PROTOCOL_QUORUM_H_

@@ -1,0 +1,451 @@
+#include "src/protocol/replica.h"
+
+#include <utility>
+
+#include "src/protocol/epoch_merge.h"
+#include "src/store/occ.h"
+
+namespace meerkat {
+
+void MeerkatReplica::EpochGate::LockShared() {
+  if (SimContext::Current() != nullptr) {
+    return;  // Simulator execution is serial; the gate would never block.
+  }
+  mu_.lock_shared();
+}
+
+void MeerkatReplica::EpochGate::UnlockShared() {
+  if (SimContext::Current() != nullptr) {
+    return;
+  }
+  mu_.unlock_shared();
+}
+
+void MeerkatReplica::EpochGate::LockExclusive() {
+  if (SimContext::Current() != nullptr) {
+    return;
+  }
+  mu_.lock();
+}
+
+void MeerkatReplica::EpochGate::UnlockExclusive() {
+  if (SimContext::Current() != nullptr) {
+    return;
+  }
+  mu_.unlock();
+}
+
+MeerkatReplica::MeerkatReplica(ReplicaId id, const QuorumConfig& quorum, size_t num_cores,
+                               Transport* transport, ReplicaId group_base)
+    : id_(id), quorum_(quorum), num_cores_(num_cores), group_base_(group_base),
+      transport_(transport), trecord_(num_cores), hosted_backups_(num_cores) {
+  receivers_.reserve(num_cores);
+  for (CoreId core = 0; core < num_cores; core++) {
+    receivers_.push_back(std::make_unique<CoreReceiver>(this, core));
+    transport_->RegisterReplica(id_, core, receivers_.back().get());
+  }
+}
+
+void MeerkatReplica::Reply(const Address& to, CoreId core, Payload payload) {
+  Message msg;
+  msg.src = Address::Replica(id_);
+  msg.dst = to;
+  msg.core = core;
+  msg.payload = std::move(payload);
+  transport_->Send(std::move(msg));
+}
+
+void MeerkatReplica::Dispatch(CoreId core, Message&& msg) {
+  // Epoch-change traffic manages the gate itself (exclusively); everything
+  // else runs under the shared gate.
+  if (const auto* req = std::get_if<EpochChangeRequest>(&msg.payload)) {
+    HandleEpochChangeRequest(msg.src, *req);
+    return;
+  }
+  if (const auto* ack = std::get_if<EpochChangeAck>(&msg.payload)) {
+    HandleEpochChangeAck(*ack);
+    return;
+  }
+  if (const auto* complete = std::get_if<EpochChangeComplete>(&msg.payload)) {
+    HandleEpochChangeComplete(msg.src, *complete);
+    return;
+  }
+  if (std::get_if<EpochChangeCompleteAck>(&msg.payload) != nullptr ||
+      std::get_if<TimerFire>(&msg.payload) != nullptr) {
+    return;  // Observability / unused on replicas.
+  }
+
+  if (std::get_if<CoordChangeAck>(&msg.payload) != nullptr ||
+      std::get_if<AcceptReply>(&msg.payload) != nullptr) {
+    HandleHostedBackupReply(core, msg);
+    return;
+  }
+
+  gate_.LockShared();
+  bool paused = epoch_change_.load(std::memory_order_acquire) ||
+                waiting_recovery_.load(std::memory_order_acquire);
+  if (const auto* get = std::get_if<GetRequest>(&msg.payload)) {
+    // Reads are served unless this replica has no state yet; an epoch change
+    // only pauses validation (paper §5.3.1).
+    if (!waiting_recovery_.load(std::memory_order_acquire)) {
+      HandleGet(core, msg.src, *get);
+    }
+  } else if (const auto* validate = std::get_if<ValidateRequest>(&msg.payload)) {
+    if (!paused) {
+      HandleValidate(core, msg.src, *validate);
+    }
+  } else if (const auto* accept = std::get_if<AcceptRequest>(&msg.payload)) {
+    if (!paused) {
+      HandleAccept(core, msg.src, *accept);
+    }
+  } else if (const auto* commit = std::get_if<CommitRequest>(&msg.payload)) {
+    if (!paused) {
+      HandleCommit(core, msg.src, *commit);
+    }
+  } else if (const auto* cc = std::get_if<CoordChangeRequest>(&msg.payload)) {
+    if (!paused) {
+      HandleCoordChange(core, msg.src, *cc);
+    }
+  }
+  gate_.UnlockShared();
+}
+
+void MeerkatReplica::HandleGet(CoreId core, const Address& from, const GetRequest& req) {
+  ReadResult read = store_.Read(req.key);
+  GetReply reply;
+  reply.tid = req.tid;
+  reply.req_seq = req.req_seq;
+  reply.key = req.key;
+  reply.found = read.found;
+  reply.value = std::move(read.value);
+  reply.wts = read.wts;
+  Reply(from, core, std::move(reply));
+}
+
+void MeerkatReplica::HandleValidate(CoreId core, const Address& from,
+                                    const ValidateRequest& req) {
+  TRecordPartition& part = trecord_.Partition(core);
+  ValidateReply reply;
+  reply.tid = req.tid;
+  reply.from = id_;
+  reply.epoch = epoch();
+
+  TxnRecord* existing = part.Find(req.tid);
+  if (existing != nullptr && existing->status != TxnStatus::kNone) {
+    // Duplicate VALIDATE (retry): re-report the recorded vote without
+    // re-running the checks — re-registration would corrupt readers/writers.
+    switch (existing->status) {
+      case TxnStatus::kValidatedOk:
+      case TxnStatus::kAcceptCommit:
+      case TxnStatus::kCommitted:
+        reply.status = TxnStatus::kValidatedOk;
+        break;
+      default:
+        reply.status = TxnStatus::kValidatedAbort;
+        break;
+    }
+    Reply(from, core, std::move(reply));
+    return;
+  }
+
+  TxnRecord& rec = part.GetOrCreate(req.tid);
+  rec.ts = req.ts;
+  rec.read_set = req.read_set;
+  rec.write_set = req.write_set;
+  rec.status = OccValidate(store_, rec.read_set, rec.write_set, rec.ts);
+  reply.status = rec.status;
+  Reply(from, core, std::move(reply));
+}
+
+void MeerkatReplica::HandleAccept(CoreId core, const Address& from, const AcceptRequest& req) {
+  TRecordPartition& part = trecord_.Partition(core);
+  TxnRecord& rec = part.GetOrCreate(req.tid);
+
+  AcceptReply reply;
+  reply.tid = req.tid;
+  reply.view = req.view;
+  reply.from = id_;
+  reply.epoch = epoch();
+
+  if (req.view < rec.view) {
+    // A backup coordinator with a higher view has taken over this
+    // transaction; the proposer must not count this replica.
+    reply.ok = false;
+    Reply(from, core, std::move(reply));
+    return;
+  }
+  if (IsFinal(rec.status)) {
+    // Already finalized; the proposal is only acceptable if it agrees.
+    reply.ok = (rec.status == TxnStatus::kCommitted) == req.commit;
+    Reply(from, core, std::move(reply));
+    return;
+  }
+
+  // A replica that missed the VALIDATE learns the transaction here.
+  if (!rec.ts.Valid()) {
+    rec.ts = req.ts;
+    rec.read_set = req.read_set;
+    rec.write_set = req.write_set;
+  }
+  rec.view = req.view;
+  rec.accept_view = req.view;
+  rec.accepted = true;
+  rec.status = req.commit ? TxnStatus::kAcceptCommit : TxnStatus::kAcceptAbort;
+  reply.ok = true;
+  Reply(from, core, std::move(reply));
+}
+
+void MeerkatReplica::HandleCommit(CoreId core, const Address& /*from*/,
+                                  const CommitRequest& req) {
+  TRecordPartition& part = trecord_.Partition(core);
+  TxnRecord& rec = part.GetOrCreate(req.tid);
+  if (IsFinal(rec.status)) {
+    return;  // Duplicate COMMIT; the write phase already ran.
+  }
+  if (req.commit) {
+    rec.status = TxnStatus::kCommitted;
+    OccCommit(store_, rec.read_set, rec.write_set, rec.ts);
+  } else {
+    rec.status = TxnStatus::kAborted;
+    OccCleanup(store_, rec.read_set, rec.write_set, rec.ts);
+  }
+}
+
+void MeerkatReplica::HandleCoordChange(CoreId core, const Address& from,
+                                       const CoordChangeRequest& req) {
+  TRecordPartition& part = trecord_.Partition(core);
+  TxnRecord& rec = part.GetOrCreate(req.tid);
+
+  CoordChangeAck reply;
+  reply.tid = req.tid;
+  reply.from = id_;
+
+  if (req.view < rec.view) {
+    reply.ok = false;
+    reply.view = rec.view;
+    Reply(from, core, std::move(reply));
+    return;
+  }
+  // Promise: ignore proposals below req.view from now on (Paxos prepare).
+  rec.view = req.view;
+  reply.ok = true;
+  reply.view = req.view;
+  if (rec.status != TxnStatus::kNone || rec.ts.Valid()) {
+    reply.has_record = true;
+    reply.record = rec.ToSnapshot(core);
+  }
+  Reply(from, core, std::move(reply));
+}
+
+void MeerkatReplica::InitiateEpochChange() {
+  EpochNum new_epoch;
+  {
+    std::lock_guard<std::mutex> lock(ec_mu_);
+    new_epoch = epoch() + 1;
+    ec_leading_ = true;
+    ec_epoch_ = new_epoch;
+    ec_acks_.clear();
+  }
+  for (ReplicaId r = 0; r < quorum_.n; r++) {
+    Message msg;
+    msg.src = Address::Replica(id_);
+    msg.dst = Address::Replica(group_base_ + r);
+    msg.core = 0;
+    msg.payload = EpochChangeRequest{new_epoch};
+    transport_->Send(std::move(msg));
+  }
+}
+
+EpochChangeAck MeerkatReplica::BuildEpochAck(EpochNum epoch) {
+  EpochChangeAck ack;
+  ack.epoch = epoch;
+  ack.from = id_;
+  ack.recovering = waiting_recovery_.load(std::memory_order_acquire);
+  ack.records = trecord_.SnapshotAll();
+  store_.ForEachCommitted(
+      [&ack](const std::string& key, const std::string& value, Timestamp wts) {
+        ack.store_state.push_back(WriteSetEntry{key, value});
+        ack.store_versions.push_back(wts);
+      });
+  return ack;
+}
+
+void MeerkatReplica::HandleEpochChangeRequest(const Address& from,
+                                              const EpochChangeRequest& req) {
+  if (req.epoch <= epoch()) {
+    return;  // Stale epoch-change request.
+  }
+  gate_.LockExclusive();
+  epoch_.store(req.epoch, std::memory_order_release);
+  epoch_change_.store(true, std::memory_order_release);
+  EpochChangeAck ack = BuildEpochAck(req.epoch);
+  gate_.UnlockExclusive();
+  Reply(from, 0, std::move(ack));
+}
+
+void MeerkatReplica::HandleEpochChangeAck(const EpochChangeAck& ack) {
+  std::vector<EpochChangeAck> quorum_acks;
+  {
+    std::lock_guard<std::mutex> lock(ec_mu_);
+    if (!ec_leading_ || ack.epoch != ec_epoch_) {
+      return;
+    }
+    for (const EpochChangeAck& existing : ec_acks_) {
+      if (existing.from == ack.from) {
+        return;  // Duplicate.
+      }
+    }
+    ec_acks_.push_back(ack);
+    // The merge quorum must consist of replicas that still hold their state;
+    // a recovering replica participates but contributes no evidence.
+    size_t with_state = 0;
+    for (const EpochChangeAck& a : ec_acks_) {
+      if (!a.recovering) {
+        with_state++;
+      }
+    }
+    if (with_state < quorum_.Majority()) {
+      return;
+    }
+    ec_leading_ = false;
+    for (const EpochChangeAck& a : ec_acks_) {
+      if (!a.recovering) {
+        quorum_acks.push_back(a);
+      }
+    }
+  }
+
+  MergedEpochState merged = MergeEpochState(quorum_, quorum_acks);
+  EpochChangeComplete complete;
+  complete.epoch = ack.epoch;
+  complete.records = std::move(merged.records);
+  complete.store_state = std::move(merged.store_state);
+  complete.store_versions = std::move(merged.store_versions);
+  for (ReplicaId r = 0; r < quorum_.n; r++) {
+    Message msg;
+    msg.src = Address::Replica(id_);
+    msg.dst = Address::Replica(group_base_ + r);
+    msg.core = 0;
+    msg.payload = complete;  // Copy per destination.
+    transport_->Send(std::move(msg));
+  }
+}
+
+void MeerkatReplica::HandleEpochChangeComplete(const Address& from,
+                                               const EpochChangeComplete& msg) {
+  if (msg.epoch < epoch()) {
+    return;
+  }
+  gate_.LockExclusive();
+  AdoptEpochState(msg.epoch, msg.records, msg.store_state, msg.store_versions);
+  gate_.UnlockExclusive();
+  Reply(from, 0, EpochChangeCompleteAck{msg.epoch, id_});
+}
+
+void MeerkatReplica::AdoptEpochState(EpochNum epoch,
+                                     const std::vector<TxnRecordSnapshot>& records,
+                                     const std::vector<WriteSetEntry>& store_state,
+                                     const std::vector<Timestamp>& store_versions) {
+  epoch_.store(epoch, std::memory_order_release);
+  // Every in-flight transaction was force-finalized by the merge; pending
+  // registrations from the old epoch are void.
+  store_.ClearPendingAll();
+  for (size_t i = 0; i < store_state.size(); i++) {
+    store_.LoadKey(store_state[i].key, store_state[i].value, store_versions[i]);
+  }
+  trecord_.ReplaceAll(records);
+  for (const TxnRecordSnapshot& rec : records) {
+    if (rec.status == TxnStatus::kCommitted) {
+      // Install (Thomas rule makes this idempotent) and bump read stamps.
+      OccCommit(store_, rec.read_set, rec.write_set, rec.ts);
+    }
+  }
+  epoch_change_.store(false, std::memory_order_release);
+  waiting_recovery_.store(false, std::memory_order_release);
+}
+
+void MeerkatReplica::HandleHostedBackupReply(CoreId core, const Message& msg) {
+  TxnId tid;
+  if (const auto* ack = std::get_if<CoordChangeAck>(&msg.payload)) {
+    tid = ack->tid;
+  } else if (const auto* reply = std::get_if<AcceptReply>(&msg.payload)) {
+    tid = reply->tid;
+  } else {
+    return;
+  }
+  std::unique_ptr<BackupCoordinator> finished;
+  {
+    std::lock_guard<std::mutex> lock(backups_mu_);
+    auto& backups = hosted_backups_[core % hosted_backups_.size()];
+    auto it = backups.find(tid);
+    if (it == backups.end()) {
+      return;
+    }
+    it->second->OnMessage(msg);
+    if (it->second->done()) {
+      // Keep the object alive until after this frame unwinds.
+      finished = std::move(it->second);
+      backups.erase(it);
+    }
+  }
+}
+
+size_t MeerkatReplica::RecoverOrphanedTransactions(Timestamp older_than) {
+  size_t started = 0;
+  gate_.LockExclusive();  // Quiesce cores so the trecord scan is safe.
+  for (CoreId core = 0; core < num_cores_; core++) {
+    std::vector<std::pair<TxnId, ViewNum>> orphans;
+    trecord_.Partition(core).ForEach([&](const TxnRecord& rec) {
+      if (!IsFinal(rec.status) && rec.status != TxnStatus::kNone && rec.ts.Valid() &&
+          rec.ts <= older_than) {
+        orphans.push_back({rec.tid, rec.view});
+      }
+    });
+    std::lock_guard<std::mutex> lock(backups_mu_);
+    for (const auto& [tid, cur_view] : orphans) {
+      auto& backups = hosted_backups_[core];
+      if (backups.count(tid) != 0) {
+        continue;  // Recovery already in flight.
+      }
+      // Smallest view above the record's for which this replica is the
+      // designated proposer: view mod n == id (paper 5.3.2).
+      ViewNum view = cur_view + 1;
+      while (view % quorum_.n != id_ - group_base_) {
+        view++;
+      }
+      auto backup = std::make_unique<BackupCoordinator>(
+          transport_, Address::Replica(id_), quorum_, core, tid, view,
+          /*retry_timeout_ns=*/0, /*timer_base=*/0, /*done=*/nullptr);
+      backup->set_group_base(group_base_);
+      backup->Start();
+      backups.emplace(tid, std::move(backup));
+      started++;
+    }
+  }
+  gate_.UnlockExclusive();
+  return started;
+}
+
+size_t MeerkatReplica::hosted_backup_count() const {
+  std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(backups_mu_));
+  size_t n = 0;
+  for (const auto& backups : hosted_backups_) {
+    n += backups.size();
+  }
+  return n;
+}
+
+void MeerkatReplica::CrashAndRestart() {
+  gate_.LockExclusive();
+  store_.ClearAll();
+  for (size_t core = 0; core < num_cores_; core++) {
+    trecord_.Partition(static_cast<CoreId>(core)).Clear();
+  }
+  // Volatile state includes the epoch number; the replica relearns it from
+  // the epoch change that readmits it.
+  epoch_.store(0, std::memory_order_release);
+  waiting_recovery_.store(true, std::memory_order_release);
+  gate_.UnlockExclusive();
+}
+
+}  // namespace meerkat

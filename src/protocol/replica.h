@@ -1,0 +1,168 @@
+// MeerkatReplica: one replica's instance of the Meerkat multicore
+// transactional database (paper §4.1) — versioned storage layer (VStore),
+// concurrency-control layer (OCC checks), and replication layer (trecord +
+// message handlers), plus the epoch-change machinery for recovery.
+//
+// Each core of the replica is registered as a separate transport endpoint;
+// the transport guarantees per-(replica, core) serial delivery, so a trecord
+// partition is only ever touched by its own core. The vstore is shared across
+// cores and protected by per-key locks only — the replica has no other shared
+// mutable state on the transaction-processing path (ZCP rule 1).
+
+#ifndef MEERKAT_SRC_PROTOCOL_REPLICA_H_
+#define MEERKAT_SRC_PROTOCOL_REPLICA_H_
+
+#include <atomic>
+#include <memory>
+#include <unordered_map>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/protocol/coordinator.h"
+#include "src/protocol/quorum.h"
+#include "src/store/trecord.h"
+#include "src/store/vstore.h"
+#include "src/transport/transport.h"
+
+namespace meerkat {
+
+class MeerkatReplica {
+ public:
+  // `id` is the replica's global transport id; its group spans
+  // [group_base, group_base + quorum.n). Single-group deployments use the
+  // default base 0 with ids 0..n-1; shard s of a sharded deployment uses
+  // base s*n (paper §5.2.4).
+  MeerkatReplica(ReplicaId id, const QuorumConfig& quorum, size_t num_cores,
+                 Transport* transport, ReplicaId group_base = 0);
+
+  MeerkatReplica(const MeerkatReplica&) = delete;
+  MeerkatReplica& operator=(const MeerkatReplica&) = delete;
+
+  ReplicaId id() const { return id_; }
+  EpochNum epoch() const { return epoch_.load(std::memory_order_acquire); }
+  VStore& store() { return store_; }
+  TRecord& trecord() { return trecord_; }
+
+  // Bulk-load a committed key (database population; bypasses the protocol).
+  void LoadKey(const std::string& key, const std::string& value, Timestamp wts) {
+    store_.LoadKey(key, value, wts);
+  }
+
+  // Starts an epoch change with this replica acting as recovery coordinator
+  // (paper §5.3.1). Replicas pause validation, ship their trecords; this
+  // replica merges them and distributes the authoritative state. Invoked by
+  // the operator / failure detector; tests and examples call it directly
+  // after a replica restart.
+  void InitiateEpochChange();
+
+  // Simulates a crash-restart that lost all volatile state. The replica
+  // rejoins with an empty store and trecord and must not process transactions
+  // until an epoch change completes (`waiting_recovery` set).
+  void CrashAndRestart();
+
+  bool waiting_recovery() const { return waiting_recovery_.load(std::memory_order_acquire); }
+  bool epoch_change_in_progress() const {
+    return epoch_change_.load(std::memory_order_acquire);
+  }
+
+  // Coordinator-failure handling (paper §5.3.2: "each replica can run a
+  // backup coordinator process... a replica can initiate a coordinator
+  // change"): scans this replica's trecord for transactions stuck in a
+  // non-final state with timestamps at or below `older_than` and hosts a
+  // BackupCoordinator for each. The backup's view is the smallest view above
+  // the record's current view for which this replica is the designated
+  // proposer (view mod n == id). Returns the number of recoveries started.
+  // Invoked by the operator / failure detector; per-core routing keeps the
+  // hosted coordinators DAP-clean.
+  size_t RecoverOrphanedTransactions(Timestamp older_than);
+
+  size_t hosted_backup_count() const;
+
+ private:
+  class CoreReceiver : public TransportReceiver {
+   public:
+    CoreReceiver(MeerkatReplica* replica, CoreId core) : replica_(replica), core_(core) {}
+    void Receive(Message&& msg) override { replica_->Dispatch(core_, std::move(msg)); }
+
+   private:
+    MeerkatReplica* replica_;
+    CoreId core_;
+  };
+
+  // In the threaded runtime, epoch change must quiesce all cores before
+  // aggregating trecord partitions; handlers hold the gate shared, the epoch
+  // machinery holds it exclusively. Under the simulator execution is already
+  // serial, so the gate is a no-op (and costs nothing, preserving the ZCP
+  // cost profile: the gate is never contended outside recovery).
+  class EpochGate {
+   public:
+    void LockShared();
+    void UnlockShared();
+    void LockExclusive();
+    void UnlockExclusive();
+
+   private:
+    std::shared_mutex mu_;
+  };
+
+  void Dispatch(CoreId core, Message&& msg);
+
+  void HandleGet(CoreId core, const Address& from, const GetRequest& req);
+  void HandleValidate(CoreId core, const Address& from, const ValidateRequest& req);
+  void HandleAccept(CoreId core, const Address& from, const AcceptRequest& req);
+  void HandleCommit(CoreId core, const Address& from, const CommitRequest& req);
+  void HandleCoordChange(CoreId core, const Address& from, const CoordChangeRequest& req);
+
+  void HandleHostedBackupReply(CoreId core, const Message& msg);
+  void HandleEpochChangeRequest(const Address& from, const EpochChangeRequest& req);
+  void HandleEpochChangeAck(const EpochChangeAck& ack);
+  void HandleEpochChangeComplete(const Address& from, const EpochChangeComplete& msg);
+
+  // Builds this replica's contribution to an epoch change: all trecord
+  // partitions plus committed store state. Caller holds the gate exclusively.
+  EpochChangeAck BuildEpochAck(EpochNum epoch);
+
+  // Adopts merged epoch state. Caller holds the gate exclusively.
+  void AdoptEpochState(EpochNum epoch, const std::vector<TxnRecordSnapshot>& records,
+                       const std::vector<WriteSetEntry>& store_state,
+                       const std::vector<Timestamp>& store_versions);
+
+  void Reply(const Address& to, CoreId core, Payload payload);
+
+  const ReplicaId id_;
+  const QuorumConfig quorum_;
+  const size_t num_cores_;
+  const ReplicaId group_base_;
+  Transport* const transport_;
+
+  VStore store_;
+  TRecord trecord_;
+  std::vector<std::unique_ptr<CoreReceiver>> receivers_;
+
+  EpochGate gate_;
+  std::atomic<EpochNum> epoch_{0};
+  std::atomic<bool> epoch_change_{false};
+  std::atomic<bool> waiting_recovery_{false};
+
+  // Recovery-coordinator state (only used while this replica leads an epoch
+  // change). Guarded by ec_mu_ because acks arrive on core-0's worker while
+  // InitiateEpochChange may run on an external thread.
+  std::mutex ec_mu_;
+  bool ec_leading_ = false;
+  EpochNum ec_epoch_ = 0;
+  std::vector<EpochChangeAck> ec_acks_;
+
+  // Replica-hosted backup coordinators, partitioned by core like the trecord
+  // (replies for a transaction arrive on its core, so each map is
+  // single-core). Guarded by backups_mu_ only for the cross-thread scan in
+  // RecoverOrphanedTransactions; steady-state routing is core-local.
+  std::mutex backups_mu_;
+  std::vector<std::unordered_map<TxnId, std::unique_ptr<BackupCoordinator>, TxnIdHash>>
+      hosted_backups_;
+};
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_PROTOCOL_REPLICA_H_

@@ -1,0 +1,187 @@
+#include "src/protocol/session.h"
+
+#include <cassert>
+#include <utility>
+
+namespace meerkat {
+
+MeerkatSession::MeerkatSession(uint32_t client_id, Transport* transport,
+                               TimeSource* time_source, const SessionOptions& options,
+                               uint64_t seed)
+    : client_id_(client_id), transport_(transport), options_(options),
+      self_(Address::Client(client_id)),
+      clock_(time_source, options.clock_skew_ns, options.clock_jitter_ns, seed ^ 0x5bd1e995),
+      rng_(seed), time_source_(time_source) {
+  transport_->RegisterClient(client_id_, this);
+}
+
+MeerkatSession::~MeerkatSession() { transport_->UnregisterClient(client_id_); }
+
+void MeerkatSession::ExecuteAsync(TxnPlan plan, TxnCallback cb) {
+  assert(!active_ && "MeerkatSession runs one transaction at a time");
+  active_ = true;
+  plan_ = std::move(plan);
+  callback_ = std::move(cb);
+  next_op_ = 0;
+  txn_seq_++;
+  last_tid_ = TxnId{client_id_, txn_seq_};
+  txn_start_ns_ = time_source_->NowNanos();
+  core_ = static_cast<CoreId>(rng_.NextBounded(options_.cores_per_replica));
+  read_set_.clear();
+  read_values_.clear();
+  write_buffer_.clear();
+  get_outstanding_ = false;
+  coordinator_.reset();
+  IssueNextOp();
+}
+
+void MeerkatSession::IssueNextOp() {
+  while (next_op_ < plan_.ops.size()) {
+    const Op& op = plan_.ops[next_op_];
+    switch (op.kind) {
+      case Op::Kind::kPut:
+        stats_.writes++;
+        write_buffer_[op.key] = op.value;
+        next_op_++;
+        continue;
+      case Op::Kind::kRmw:
+      case Op::Kind::kGet: {
+        stats_.reads++;
+        // Read-your-own-writes and repeat reads are served locally; neither
+        // adds a read-set entry beyond the first network read of the key.
+        if (write_buffer_.count(op.key) != 0 || read_values_.count(op.key) != 0) {
+          if (op.kind == Op::Kind::kRmw) {
+            stats_.writes++;
+            auto buffered = write_buffer_.find(op.key);
+            const std::string& base = buffered != write_buffer_.end()
+                                          ? buffered->second
+                                          : read_values_[op.key];
+            write_buffer_[op.key] = op.WriteValue(base);
+          }
+          next_op_++;
+          continue;
+        }
+        SendGet(op.key);
+        return;  // Resume on GetReply.
+      }
+    }
+  }
+  StartCommit();
+}
+
+void MeerkatSession::SendGet(const std::string& key) {
+  get_outstanding_ = true;
+  get_seq_++;
+  get_key_ = key;
+  Message msg;
+  msg.src = self_;
+  // The execute phase reads from an arbitrary replica (paper §5.2.1); GETs
+  // load-balance across replicas and cores (paper §6.2).
+  msg.dst = Address::Replica(static_cast<ReplicaId>(rng_.NextBounded(options_.quorum.n)));
+  msg.core = static_cast<CoreId>(rng_.NextBounded(options_.cores_per_replica));
+  msg.payload = GetRequest{last_tid_, get_seq_, key};
+  transport_->Send(std::move(msg));
+  if (options_.retry_timeout_ns != 0) {
+    transport_->SetTimer(self_, 0, options_.retry_timeout_ns, get_seq_);
+  }
+}
+
+void MeerkatSession::StartCommit() {
+  last_ts_ = Timestamp{clock_.Now(), client_id_};
+
+  std::vector<WriteSetEntry> write_set;
+  write_set.reserve(write_buffer_.size());
+  for (auto& [key, value] : write_buffer_) {
+    write_set.push_back(WriteSetEntry{key, value});
+  }
+
+  // Null completion callback: the session polls done() after every feed
+  // (MaybeFinishCommit) because OnCommitDone's application callback may start
+  // the next transaction, which replaces this coordinator — a synchronous
+  // callback would destroy the coordinator mid-invocation.
+  coordinator_ = std::make_unique<CommitCoordinator>(
+      transport_, self_, options_.quorum, core_, last_tid_, last_ts_, read_set_,
+      std::move(write_set), options_.retry_timeout_ns, kCoordTimerBase + txn_seq_ * 4,
+      /*done=*/nullptr);
+  coordinator_->set_force_slow_path(options_.force_slow_path);
+  coordinator_->Start();
+}
+
+void MeerkatSession::MaybeFinishCommit() {
+  if (coordinator_ == nullptr || !coordinator_->done()) {
+    return;
+  }
+  CommitOutcome outcome = coordinator_->outcome();
+  OnCommitDone(outcome);
+}
+
+void MeerkatSession::OnCommitDone(const CommitOutcome& outcome) {
+  switch (outcome.result) {
+    case TxnResult::kCommit:
+      stats_.committed++;
+      if (outcome.fast_path) {
+        stats_.fast_path_commits++;
+      } else {
+        stats_.slow_path_commits++;
+      }
+      break;
+    case TxnResult::kAbort:
+      stats_.aborted++;
+      break;
+    case TxnResult::kFailed:
+      stats_.failed++;
+      break;
+  }
+  stats_.commit_latency.Record(time_source_->NowNanos() - txn_start_ns_);
+  active_ = false;
+  TxnCallback cb = std::move(callback_);
+  callback_ = nullptr;
+  if (cb) {
+    cb(outcome.result, outcome.fast_path);
+  }
+}
+
+void MeerkatSession::Receive(Message&& msg) {
+  if (const auto* reply = std::get_if<GetReply>(&msg.payload)) {
+    if (!active_ || !get_outstanding_ || reply->req_seq != get_seq_) {
+      return;  // Stale or duplicate read reply.
+    }
+    get_outstanding_ = false;
+    const Op& op = plan_.ops[next_op_];
+    // A read of a never-written key carries the zero timestamp: validation
+    // will catch any write that commits under it.
+    read_set_.push_back(ReadSetEntry{reply->key, reply->found ? reply->wts : kInvalidTimestamp});
+    read_values_[reply->key] = reply->found ? reply->value : std::string();
+    if (op.kind == Op::Kind::kRmw) {
+      stats_.writes++;
+      write_buffer_[op.key] = op.WriteValue(read_values_[reply->key]);
+    }
+    next_op_++;
+    IssueNextOp();
+    return;
+  }
+  if (const auto* timer = std::get_if<TimerFire>(&msg.payload)) {
+    if (!active_) {
+      return;
+    }
+    if (timer->timer_id >= kCoordTimerBase) {
+      if (coordinator_ != nullptr) {
+        coordinator_->OnTimer(timer->timer_id);
+        MaybeFinishCommit();
+      }
+      return;
+    }
+    // Execute-phase retry: resend the outstanding GET (possibly to a
+    // different replica, which is how a client escapes a crashed one).
+    if (get_outstanding_ && timer->timer_id == get_seq_) {
+      SendGet(get_key_);
+    }
+    return;
+  }
+  if (coordinator_ != nullptr && active_) {
+    coordinator_->OnMessage(msg);
+    MaybeFinishCommit();
+  }
+}
+
+}  // namespace meerkat

@@ -1,0 +1,120 @@
+// MeerkatSession: one logical Meerkat client — the execute phase (paper
+// §5.2.1) plus ownership of the per-transaction CommitCoordinator.
+//
+// The session is an event-driven state machine so the same code runs under
+// the simulator (as a client actor) and under the threaded runtime (fed by
+// its endpoint's worker thread). The blocking convenience API for
+// applications lives in src/api/blocking_client.h.
+
+#ifndef MEERKAT_SRC_PROTOCOL_SESSION_H_
+#define MEERKAT_SRC_PROTOCOL_SESSION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/api/client_session.h"
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+#include "src/protocol/coordinator.h"
+#include "src/protocol/quorum.h"
+
+namespace meerkat {
+
+struct SessionOptions {
+  QuorumConfig quorum;
+  size_t cores_per_replica = 1;
+  // 0 disables retransmission (fault-free benchmark runs).
+  uint64_t retry_timeout_ns = 0;
+  // Clock-synchronization quality of this client (paper §3: correctness never
+  // depends on these; performance does).
+  int64_t clock_skew_ns = 0;
+  uint64_t clock_jitter_ns = 0;
+  // Ablation: bypass the fast path (always run the ACCEPT round).
+  bool force_slow_path = false;
+};
+
+class MeerkatSession : public ClientSession {
+ public:
+  MeerkatSession(uint32_t client_id, Transport* transport, TimeSource* time_source,
+                 const SessionOptions& options, uint64_t seed);
+  ~MeerkatSession() override;
+
+  MeerkatSession(const MeerkatSession&) = delete;
+  MeerkatSession& operator=(const MeerkatSession&) = delete;
+
+  void ExecuteAsync(TxnPlan plan, TxnCallback cb) override;
+  void Receive(Message&& msg) override;
+
+  uint32_t client_id() const override { return client_id_; }
+  RunStats& stats() override { return stats_; }
+
+  // The timestamp the last commit attempt proposed (tests use this to check
+  // serialization order).
+  Timestamp last_commit_ts() const override { return last_ts_; }
+  TxnId last_tid() const override { return last_tid_; }
+  const std::vector<ReadSetEntry>& last_read_set() const override { return read_set_; }
+  std::vector<WriteSetEntry> last_write_set() const override {
+    std::vector<WriteSetEntry> out;
+    out.reserve(write_buffer_.size());
+    for (const auto& [key, value] : write_buffer_) {
+      out.push_back(WriteSetEntry{key, value});
+    }
+    return out;
+  }
+  std::optional<std::string> last_read_value(const std::string& key) const override {
+    auto it = read_values_.find(key);
+    if (it == read_values_.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+ private:
+  // Timer-id space: low ids are execute-phase (GET retry) timers keyed by the
+  // get sequence number; coordinator timers live above kCoordTimerBase.
+  static constexpr uint64_t kCoordTimerBase = 1ULL << 62;
+
+  void IssueNextOp();
+  void SendGet(const std::string& key);
+  void StartCommit();
+  void MaybeFinishCommit();
+  void OnCommitDone(const CommitOutcome& outcome);
+
+  const uint32_t client_id_;
+  Transport* const transport_;
+  const SessionOptions options_;
+  const Address self_;
+  LooselySyncedClock clock_;
+  Rng rng_;
+  TimeSource* const time_source_;
+
+  RunStats stats_;
+
+  // Per-transaction state.
+  bool active_ = false;
+  TxnPlan plan_;
+  TxnCallback callback_;
+  size_t next_op_ = 0;
+  CoreId core_ = 0;
+  uint64_t txn_seq_ = 0;
+  uint64_t txn_start_ns_ = 0;
+  TxnId last_tid_;
+  Timestamp last_ts_;
+
+  std::vector<ReadSetEntry> read_set_;
+  std::map<std::string, std::string> read_values_;   // Read cache (repeat reads).
+  std::map<std::string, std::string> write_buffer_;  // Buffered writes, last-wins.
+
+  // Outstanding GET (one at a time; interactive transactions).
+  bool get_outstanding_ = false;
+  uint64_t get_seq_ = 0;
+  std::string get_key_;
+
+  std::unique_ptr<CommitCoordinator> coordinator_;
+};
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_PROTOCOL_SESSION_H_

@@ -1,0 +1,285 @@
+#include "src/protocol/sharded.h"
+
+#include <cassert>
+#include <functional>
+#include <utility>
+
+namespace meerkat {
+
+ShardedCluster::ShardedCluster(const ShardedOptions& options, Transport* transport)
+    : options_(options) {
+  replicas_.reserve(options.num_shards * options.quorum.n);
+  for (size_t shard = 0; shard < options.num_shards; shard++) {
+    ReplicaId base = static_cast<ReplicaId>(shard * options.quorum.n);
+    for (ReplicaId r = 0; r < options.quorum.n; r++) {
+      replicas_.push_back(std::make_unique<MeerkatReplica>(
+          base + r, options.quorum, options.cores_per_replica, transport, base));
+    }
+  }
+}
+
+size_t ShardedCluster::ShardForKey(const std::string& key) const {
+  // Mix the hash so adjacent std::hash values spread across shards.
+  uint64_t h = std::hash<std::string>{}(key);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 29;
+  return h % options_.num_shards;
+}
+
+void ShardedCluster::Load(const std::string& key, const std::string& value) {
+  size_t shard = ShardForKey(key);
+  for (ReplicaId r = 0; r < options_.quorum.n; r++) {
+    replicas_[shard * options_.quorum.n + r]->LoadKey(key, value, Timestamp{1, 0});
+  }
+}
+
+ReadResult ShardedCluster::ReadAt(size_t shard, ReplicaId r, const std::string& key) {
+  return replicas_[shard * options_.quorum.n + r]->store().Read(key);
+}
+
+ShardedSession::ShardedSession(uint32_t client_id, Transport* transport,
+                               TimeSource* time_source, ShardedCluster* cluster, uint64_t seed)
+    : client_id_(client_id), transport_(transport), cluster_(cluster),
+      self_(Address::Client(client_id)),
+      clock_(time_source, cluster->options().clock_skew_ns, cluster->options().clock_jitter_ns,
+             seed ^ 0x9e3779b9),
+      rng_(seed), time_source_(time_source) {
+  transport_->RegisterClient(client_id_, this);
+}
+
+ShardedSession::~ShardedSession() { transport_->UnregisterClient(client_id_); }
+
+std::vector<WriteSetEntry> ShardedSession::last_write_set() const {
+  std::vector<WriteSetEntry> out;
+  out.reserve(write_buffer_.size());
+  for (const auto& [key, value] : write_buffer_) {
+    out.push_back(WriteSetEntry{key, value});
+  }
+  return out;
+}
+
+std::optional<std::string> ShardedSession::last_read_value(const std::string& key) const {
+  auto it = read_values_.find(key);
+  if (it == read_values_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void ShardedSession::ExecuteAsync(TxnPlan plan, TxnCallback cb) {
+  assert(!active_ && "ShardedSession runs one transaction at a time");
+  active_ = true;
+  plan_ = std::move(plan);
+  callback_ = std::move(cb);
+  next_op_ = 0;
+  txn_seq_++;
+  last_tid_ = TxnId{client_id_, txn_seq_};
+  txn_start_ns_ = time_source_->NowNanos();
+  core_ = static_cast<CoreId>(rng_.NextBounded(cluster_->options().cores_per_replica));
+  read_set_.clear();
+  read_values_.clear();
+  write_buffer_.clear();
+  get_outstanding_ = false;
+  coordinators_.clear();
+  decision_sent_ = false;
+  IssueNextOp();
+}
+
+void ShardedSession::IssueNextOp() {
+  while (next_op_ < plan_.ops.size()) {
+    const Op& op = plan_.ops[next_op_];
+    switch (op.kind) {
+      case Op::Kind::kPut:
+        stats_.writes++;
+        write_buffer_[op.key] = op.value;
+        next_op_++;
+        continue;
+      case Op::Kind::kRmw:
+      case Op::Kind::kGet: {
+        stats_.reads++;
+        if (write_buffer_.count(op.key) != 0 || read_values_.count(op.key) != 0) {
+          if (op.kind == Op::Kind::kRmw) {
+            stats_.writes++;
+            auto buffered = write_buffer_.find(op.key);
+            const std::string& base = buffered != write_buffer_.end()
+                                          ? buffered->second
+                                          : read_values_[op.key];
+            write_buffer_[op.key] = op.WriteValue(base);
+          }
+          next_op_++;
+          continue;
+        }
+        SendGet(op.key);
+        return;
+      }
+    }
+  }
+  StartCommit();
+}
+
+void ShardedSession::SendGet(const std::string& key) {
+  get_outstanding_ = true;
+  get_seq_++;
+  get_key_ = key;
+  size_t shard = cluster_->ShardForKey(key);
+  ReplicaId r = static_cast<ReplicaId>(rng_.NextBounded(cluster_->options().quorum.n));
+  Message msg;
+  msg.src = self_;
+  msg.dst = Address::Replica(cluster_->GlobalId(shard, r));
+  msg.core = static_cast<CoreId>(rng_.NextBounded(cluster_->options().cores_per_replica));
+  msg.payload = GetRequest{last_tid_, get_seq_, key};
+  transport_->Send(std::move(msg));
+  if (cluster_->options().retry_timeout_ns != 0) {
+    transport_->SetTimer(self_, 0, cluster_->options().retry_timeout_ns, get_seq_);
+  }
+}
+
+void ShardedSession::StartCommit() {
+  last_ts_ = Timestamp{clock_.Now(), client_id_};
+
+  // Partition the transaction by shard: every involved shard validates its
+  // slice at the same timestamp, in parallel.
+  std::map<size_t, std::pair<std::vector<ReadSetEntry>, std::vector<WriteSetEntry>>> by_shard;
+  for (const ReadSetEntry& read : read_set_) {
+    by_shard[cluster_->ShardForKey(read.key)].first.push_back(read);
+  }
+  for (const auto& [key, value] : write_buffer_) {
+    by_shard[cluster_->ShardForKey(key)].second.push_back(WriteSetEntry{key, value});
+  }
+  if (by_shard.empty()) {
+    // Empty transaction commits trivially.
+    FinishTxn(TxnResult::kCommit, /*fast_path=*/true);
+    return;
+  }
+
+  uint64_t shard_index = 0;
+  for (auto& [shard, sets] : by_shard) {
+    auto coordinator = std::make_unique<CommitCoordinator>(
+        transport_, self_, cluster_->options().quorum, core_, last_tid_, last_ts_,
+        std::move(sets.first), std::move(sets.second), cluster_->options().retry_timeout_ns,
+        kCoordTimerBase + (txn_seq_ * 64 + shard_index) * 4, /*done=*/nullptr);
+    coordinator->set_defer_decision(true);
+    coordinator->set_group_base(cluster_->GlobalId(shard, 0));
+    coordinators_[shard] = std::move(coordinator);
+    shard_index++;
+  }
+  for (auto& [shard, coordinator] : coordinators_) {
+    (void)shard;
+    coordinator->Start();
+  }
+}
+
+void ShardedSession::MaybeFinishCommit() {
+  if (decision_sent_ || coordinators_.empty()) {
+    return;
+  }
+  bool all_done = true;
+  bool all_commit = true;
+  bool any_failed = false;
+  bool all_fast = true;
+  for (auto& [shard, coordinator] : coordinators_) {
+    (void)shard;
+    if (!coordinator->done()) {
+      all_done = false;
+      break;
+    }
+    const CommitOutcome& outcome = coordinator->outcome();
+    all_commit = all_commit && outcome.result == TxnResult::kCommit;
+    any_failed = any_failed || outcome.result == TxnResult::kFailed;
+    all_fast = all_fast && outcome.fast_path;
+  }
+  if (!all_done) {
+    return;
+  }
+  decision_sent_ = true;
+  // Atomic commitment: commit iff every shard's validation round committed.
+  bool commit = all_commit && !any_failed;
+  for (auto& [shard, coordinator] : coordinators_) {
+    (void)shard;
+    coordinator->BroadcastFinal(commit);
+  }
+  if (any_failed) {
+    FinishTxn(TxnResult::kFailed, false);
+  } else {
+    FinishTxn(commit ? TxnResult::kCommit : TxnResult::kAbort, all_fast);
+  }
+}
+
+void ShardedSession::FinishTxn(TxnResult result, bool fast_path) {
+  switch (result) {
+    case TxnResult::kCommit:
+      stats_.committed++;
+      if (fast_path) {
+        stats_.fast_path_commits++;
+      } else {
+        stats_.slow_path_commits++;
+      }
+      break;
+    case TxnResult::kAbort:
+      stats_.aborted++;
+      break;
+    case TxnResult::kFailed:
+      stats_.failed++;
+      break;
+  }
+  stats_.commit_latency.Record(time_source_->NowNanos() - txn_start_ns_);
+  active_ = false;
+  TxnCallback cb = std::move(callback_);
+  callback_ = nullptr;
+  if (cb) {
+    cb(result, fast_path);
+  }
+}
+
+void ShardedSession::Receive(Message&& msg) {
+  if (const auto* reply = std::get_if<GetReply>(&msg.payload)) {
+    if (!active_ || !get_outstanding_ || reply->req_seq != get_seq_) {
+      return;
+    }
+    get_outstanding_ = false;
+    const Op& op = plan_.ops[next_op_];
+    read_set_.push_back(ReadSetEntry{reply->key, reply->found ? reply->wts : kInvalidTimestamp});
+    read_values_[reply->key] = reply->found ? reply->value : std::string();
+    if (op.kind == Op::Kind::kRmw) {
+      stats_.writes++;
+      write_buffer_[op.key] = op.WriteValue(read_values_[reply->key]);
+    }
+    next_op_++;
+    IssueNextOp();
+    return;
+  }
+  if (const auto* timer = std::get_if<TimerFire>(&msg.payload)) {
+    if (!active_) {
+      return;
+    }
+    if (timer->timer_id >= kCoordTimerBase) {
+      for (auto& [shard, coordinator] : coordinators_) {
+        (void)shard;
+        if (coordinator->OnTimer(timer->timer_id)) {
+          break;
+        }
+      }
+      MaybeFinishCommit();
+      return;
+    }
+    if (get_outstanding_ && timer->timer_id == get_seq_) {
+      SendGet(get_key_);
+    }
+    return;
+  }
+  if (!active_ || coordinators_.empty()) {
+    return;
+  }
+  // Protocol replies carry the global replica id; route to that shard's
+  // coordinator.
+  ReplicaId from = msg.src.id;
+  size_t shard = from / cluster_->options().quorum.n;
+  auto it = coordinators_.find(shard);
+  if (it != coordinators_.end()) {
+    it->second->OnMessage(msg);
+    MaybeFinishCommit();
+  }
+}
+
+}  // namespace meerkat

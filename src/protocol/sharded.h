@@ -1,0 +1,149 @@
+// Distributed transactions over partitioned data (paper §5.2.4).
+//
+// Data is hash-partitioned into shards; each shard is an independent Meerkat
+// replica group of n = 2f+1 replicas. Meerkat's validation phase already has
+// the structure of an atomic-commitment prepare (decentralized validation
+// with a persistent, recoverable vote), so distributing a transaction only
+// requires running the validation phase in every involved shard *in
+// parallel* and committing iff every shard's validation round decides
+// commit:
+//
+//   client --VALIDATE--> shard A replicas  -.
+//          --VALIDATE--> shard B replicas  --> per-shard decision
+//          <-----------------------------------'
+//   final = AND(shard decisions); ---COMMIT/ABORT---> all involved shards
+//
+// The per-shard CommitCoordinators run in deferred mode: they decide (fast or
+// slow path) but withhold the write-phase broadcast until the conjunction is
+// known. A shard that voted to commit while another aborts receives ABORT,
+// and its replicas back out their readers/writers registrations — standard
+// OCC 2PC semantics on top of the unchanged replica code.
+//
+// Simplification vs a production system: backup-coordinator recovery for
+// in-flight *distributed* transactions is not wired up (the paper describes
+// distributed transactions in one paragraph; its recovery section covers the
+// single-group case). See DESIGN.md §7.
+
+#ifndef MEERKAT_SRC_PROTOCOL_SHARDED_H_
+#define MEERKAT_SRC_PROTOCOL_SHARDED_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/api/client_session.h"
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+#include "src/protocol/coordinator.h"
+#include "src/protocol/replica.h"
+#include "src/protocol/session.h"
+
+namespace meerkat {
+
+struct ShardedOptions {
+  size_t num_shards = 2;
+  QuorumConfig quorum = QuorumConfig::ForReplicas(3);
+  size_t cores_per_replica = 1;
+  uint64_t retry_timeout_ns = 0;
+  int64_t clock_skew_ns = 0;
+  uint64_t clock_jitter_ns = 0;
+};
+
+// Owns num_shards * n replicas; shard s occupies global replica ids
+// [s*n, (s+1)*n).
+class ShardedCluster {
+ public:
+  ShardedCluster(const ShardedOptions& options, Transport* transport);
+
+  ShardedCluster(const ShardedCluster&) = delete;
+  ShardedCluster& operator=(const ShardedCluster&) = delete;
+
+  const ShardedOptions& options() const { return options_; }
+
+  size_t ShardForKey(const std::string& key) const;
+  ReplicaId GlobalId(size_t shard, ReplicaId r) const {
+    return static_cast<ReplicaId>(shard * options_.quorum.n + r);
+  }
+
+  // Loads a committed key onto its owning shard's replicas.
+  void Load(const std::string& key, const std::string& value);
+
+  ReadResult ReadAt(size_t shard, ReplicaId r, const std::string& key);
+  MeerkatReplica* replica(size_t shard, ReplicaId r) {
+    return replicas_[shard * options_.quorum.n + r].get();
+  }
+
+ private:
+  const ShardedOptions options_;
+  std::vector<std::unique_ptr<MeerkatReplica>> replicas_;
+};
+
+// One logical client executing distributed transactions against a
+// ShardedCluster. Event-driven like MeerkatSession; runs under either
+// transport.
+class ShardedSession : public ClientSession {
+ public:
+  ShardedSession(uint32_t client_id, Transport* transport, TimeSource* time_source,
+                 ShardedCluster* cluster, uint64_t seed);
+  ~ShardedSession() override;
+
+  void ExecuteAsync(TxnPlan plan, TxnCallback cb) override;
+  void Receive(Message&& msg) override;
+
+  uint32_t client_id() const override { return client_id_; }
+  RunStats& stats() override { return stats_; }
+  TxnId last_tid() const override { return last_tid_; }
+  Timestamp last_commit_ts() const override { return last_ts_; }
+  const std::vector<ReadSetEntry>& last_read_set() const override { return read_set_; }
+  std::vector<WriteSetEntry> last_write_set() const override;
+  std::optional<std::string> last_read_value(const std::string& key) const override;
+
+  // Number of shards the last transaction's commit touched.
+  size_t last_shard_count() const { return coordinators_.size(); }
+
+ private:
+  static constexpr uint64_t kCoordTimerBase = 1ULL << 62;
+
+  void IssueNextOp();
+  void SendGet(const std::string& key);
+  void StartCommit();
+  void MaybeFinishCommit();
+  void FinishTxn(TxnResult result, bool fast_path);
+
+  const uint32_t client_id_;
+  Transport* const transport_;
+  ShardedCluster* const cluster_;
+  const Address self_;
+  LooselySyncedClock clock_;
+  Rng rng_;
+  TimeSource* const time_source_;
+
+  RunStats stats_;
+
+  bool active_ = false;
+  TxnPlan plan_;
+  TxnCallback callback_;
+  size_t next_op_ = 0;
+  CoreId core_ = 0;
+  uint64_t txn_seq_ = 0;
+  uint64_t txn_start_ns_ = 0;
+  TxnId last_tid_;
+  Timestamp last_ts_;
+
+  std::vector<ReadSetEntry> read_set_;
+  std::map<std::string, std::string> read_values_;
+  std::map<std::string, std::string> write_buffer_;
+
+  bool get_outstanding_ = false;
+  uint64_t get_seq_ = 0;
+  std::string get_key_;
+
+  // shard -> deferred per-shard coordinator for the in-flight commit.
+  std::map<size_t, std::unique_ptr<CommitCoordinator>> coordinators_;
+  bool decision_sent_ = false;
+};
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_PROTOCOL_SHARDED_H_

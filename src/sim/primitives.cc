@@ -1,0 +1,7 @@
+#include "src/sim/sim_context.h"
+
+namespace meerkat {
+
+thread_local SimContext* SimContext::current_ = nullptr;
+
+}  // namespace meerkat

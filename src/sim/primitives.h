@@ -1,0 +1,148 @@
+// Instrumented synchronization primitives.
+//
+// Each primitive has two personalities:
+//   * Threaded runtime (no SimContext active): a real lock / real atomic.
+//   * Simulator (SimContext active): virtual-time FCFS accounting. The
+//     simulator is single-threaded, so no real mutual exclusion is needed;
+//     what matters is *when* the acquisition would have completed on real
+//     hardware, which the context computes from the resource's `free_at` and
+//     the primitive's service time.
+//
+// The distinction between KeyLock (fine-grained, DAP-compatible) and
+// SharedMutex / SharedCounter (cross-core serialization points) is what the
+// Table 1 reproduction measures: ZCP systems never touch the latter on the
+// transaction processing path.
+
+#ifndef MEERKAT_SRC_SIM_PRIMITIVES_H_
+#define MEERKAT_SRC_SIM_PRIMITIVES_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "src/sim/sim_context.h"
+
+namespace meerkat {
+
+// Fine-grained per-key spinlock. Millions of instances live in the vstore.
+//
+// Simulator personality: lock ops are *charged* `cost().key_lock_op_ns` but
+// deliberately NOT FCFS-queued on a virtual resource. The simulator executes
+// handlers run-to-completion, so a long handler acquires its key locks at an
+// already-advanced local clock; queueing those acquisitions would let it
+// "reserve the lock in the future" and falsely stall handlers that started
+// later but would have acquired earlier — an artifact that compounds into a
+// phantom throughput ceiling on multi-item transactions. The *semantic*
+// contention on keys (conflicting transactions) is fully captured by the OCC
+// algorithm's aborts, which the simulator computes with the real code;
+// physical lock-holder contention at Meerkat's tens-of-ns critical sections
+// is second-order (paper §6.2: "small atomic regions"). See DESIGN.md §5.
+class KeyLock {
+ public:
+  KeyLock() = default;
+  KeyLock(const KeyLock&) = delete;
+  KeyLock& operator=(const KeyLock&) = delete;
+
+  void lock() {
+    if (SimContext* ctx = SimContext::Current()) {
+      ctx->stats().key_lock_ops++;
+      ctx->Charge(ctx->cost().key_lock_op_ns);
+      return;
+    }
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      while (flag_.test(std::memory_order_relaxed)) {
+        // Spin; critical sections are a handful of instructions.
+      }
+    }
+  }
+
+  void unlock() {
+    if (SimContext::Current() != nullptr) {
+      return;  // Release cost is folded into the acquire charge.
+    }
+    flag_.clear(std::memory_order_release);
+  }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+// A cross-core shared mutex (e.g. the shared log or shared trecord of the
+// non-ZCP baselines). Service time = how long the critical section occupies
+// the serialization point per operation.
+class SharedMutex {
+ public:
+  explicit SharedMutex(uint64_t service_ns = 300) : service_ns_(service_ns) {}
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() {
+    if (SimContext* ctx = SimContext::Current()) {
+      ctx->stats().shared_structure_ops++;
+      if (res_.free_at > ctx->now()) {
+        ctx->stats().shared_structure_waits++;
+      }
+      ctx->Acquire(&res_, service_ns_);
+      return;
+    }
+    mu_.lock();
+  }
+
+  void unlock() {
+    if (SimContext::Current() != nullptr) {
+      return;
+    }
+    mu_.unlock();
+  }
+
+  uint64_t acquisitions() const { return res_.acquisitions; }
+  uint64_t contended() const { return res_.contended; }
+
+ private:
+  std::mutex mu_;
+  SimResource res_;
+  uint64_t service_ns_;
+};
+
+// A cross-core shared atomic counter (e.g. KuaFu++'s transaction-ordering
+// counter, or the Fig. 1 artificial bottleneck). Each increment is a
+// cache-line transfer serialized across all cores.
+class SharedCounter {
+ public:
+  explicit SharedCounter(uint64_t service_ns = 120) : service_ns_(service_ns) {}
+  SharedCounter(const SharedCounter&) = delete;
+  SharedCounter& operator=(const SharedCounter&) = delete;
+
+  uint64_t FetchAdd(uint64_t delta = 1) {
+    if (SimContext* ctx = SimContext::Current()) {
+      ctx->stats().shared_structure_ops++;
+      if (res_.free_at > ctx->now()) {
+        ctx->stats().shared_structure_waits++;
+      }
+      ctx->Acquire(&res_, service_ns_);
+      uint64_t v = sim_value_;
+      sim_value_ += delta;
+      return v;
+    }
+    return value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  uint64_t Load() const {
+    // Exactly one of the two personalities ever accumulates, so the sum is
+    // correct from any context — including reading a simulation's final
+    // count after the run, when no SimContext is active.
+    return sim_value_ + value_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t acquisitions() const { return res_.acquisitions; }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+  uint64_t sim_value_ = 0;
+  SimResource res_;
+  uint64_t service_ns_;
+};
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_SIM_PRIMITIVES_H_

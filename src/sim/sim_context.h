@@ -1,0 +1,89 @@
+// SimContext: the per-event execution context of the discrete-event simulator.
+//
+// While the simulator runs an actor's handler, a thread-local SimContext is
+// active. Instrumented primitives (src/sim/primitives.h) consult it: if a
+// context is active they account virtual time instead of touching real
+// synchronization. This is what lets the *same* storage and protocol code run
+// under both the threaded runtime and the simulator.
+
+#ifndef MEERKAT_SRC_SIM_SIM_CONTEXT_H_
+#define MEERKAT_SRC_SIM_SIM_CONTEXT_H_
+
+#include <cstdint>
+
+#include "src/sim/cost_model.h"
+
+namespace meerkat {
+
+// Aggregate coordination counters, used by the Table 1 reproduction to detect
+// which systems coordinate across cores / across replicas.
+struct CoordinationStats {
+  uint64_t shared_structure_ops = 0;       // Acquisitions of cross-core shared resources.
+  uint64_t shared_structure_waits = 0;     // ...that had to wait (virtual contention).
+  uint64_t key_lock_ops = 0;               // Per-key (DAP) lock operations.
+  uint64_t key_lock_waits = 0;
+  uint64_t replica_to_replica_msgs = 0;    // Cross-replica coordination messages.
+  uint64_t client_msgs = 0;                // Client <-> replica messages.
+};
+
+// A virtual FCFS-serialized resource: a mutex, an atomic cache line, or a CPU
+// core. `free_at` is the virtual time at which the resource next becomes free.
+struct SimResource {
+  uint64_t free_at = 0;
+  uint64_t acquisitions = 0;
+  uint64_t contended = 0;
+};
+
+class SimContext {
+ public:
+  explicit SimContext(const CostModel* cost) : cost_(cost) {}
+
+  // The currently active context on this thread, or nullptr when running
+  // under the threaded runtime.
+  static SimContext* Current() { return current_; }
+
+  // RAII activation used by the simulator around each handler invocation.
+  class Activation {
+   public:
+    explicit Activation(SimContext* ctx) : prev_(current_) { current_ = ctx; }
+    ~Activation() { current_ = prev_; }
+    Activation(const Activation&) = delete;
+    Activation& operator=(const Activation&) = delete;
+
+   private:
+    SimContext* prev_;
+  };
+
+  uint64_t now() const { return now_; }
+  void set_now(uint64_t t) { now_ = t; }
+
+  const CostModel& cost() const { return *cost_; }
+
+  // Advance virtual time by `ns` of CPU work on the current actor.
+  void Charge(uint64_t ns) { now_ += ns; }
+
+  // FCFS acquisition of a shared resource with the given service time:
+  // wait until the resource frees, then hold it for `service_ns`.
+  void Acquire(SimResource* res, uint64_t service_ns) {
+    res->acquisitions++;
+    if (res->free_at > now_) {
+      res->contended++;
+      now_ = res->free_at;
+    }
+    now_ += service_ns;
+    res->free_at = now_;
+  }
+
+  CoordinationStats& stats() { return stats_; }
+
+ private:
+  static thread_local SimContext* current_;
+
+  const CostModel* cost_;
+  uint64_t now_ = 0;
+  CoordinationStats stats_;
+};
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_SIM_SIM_CONTEXT_H_

@@ -1,0 +1,32 @@
+// TimeSource adapter over the simulator's virtual clock, so client clocks
+// (src/common/clock.h) and latency measurements work identically under both
+// runtimes.
+
+#ifndef MEERKAT_SRC_SIM_SIM_TIME_SOURCE_H_
+#define MEERKAT_SRC_SIM_SIM_TIME_SOURCE_H_
+
+#include "src/common/clock.h"
+#include "src/sim/simulator.h"
+
+namespace meerkat {
+
+class SimTimeSource : public TimeSource {
+ public:
+  explicit SimTimeSource(Simulator* sim) : sim_(sim) {}
+
+  uint64_t NowNanos() override {
+    // Inside a handler the actor's own clock is ahead of the global event
+    // clock; prefer it.
+    if (SimContext* ctx = SimContext::Current()) {
+      return ctx->now();
+    }
+    return sim_->now();
+  }
+
+ private:
+  Simulator* sim_;
+};
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_SIM_SIM_TIME_SOURCE_H_

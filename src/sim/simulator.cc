@@ -1,0 +1,45 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+namespace meerkat {
+
+uint64_t Simulator::Run(uint64_t until_ns) {
+  while (!queue_.empty()) {
+    // std::priority_queue::top() is const; the handler is moved out via the
+    // usual const_cast idiom (the element is popped immediately after).
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (ev.time > until_ns) {
+      // Past the horizon: put nothing back; measurement windows re-seed
+      // actors, so abandoning the tail is intentional.
+      now_ = until_ns;
+      break;
+    }
+    if (ev.time < ev.actor->busy_until_) {
+      // The target core is still busy: execute the event when the core
+      // actually frees. Running it "early" would let this handler acquire
+      // shared resources out of true time order, letting a backlogged core
+      // reserve a resource in the future and stall idle cores behind it.
+      Schedule(ev.actor->busy_until_, ev.actor, std::move(ev.fn));
+      continue;
+    }
+    now_ = ev.time;
+    ctx_.set_now(ev.time);
+    {
+      SimContext::Activation act(&ctx_);
+      ev.fn(ctx_);
+    }
+    ev.actor->busy_until_ = ctx_.now();
+    events_processed_++;
+  }
+  return now_;
+}
+
+void Simulator::Clear() {
+  while (!queue_.empty()) {
+    queue_.pop();
+  }
+}
+
+}  // namespace meerkat

@@ -1,0 +1,101 @@
+// Discrete-event simulator: virtual clock, event queue, run-to-completion
+// actors.
+//
+// Substitutes for the paper's 80-hyperthread, 3-node, kernel-bypass testbed
+// (DESIGN.md §2). Each simulated entity that occupies a CPU — a replica server
+// core or a client — is a SimActor. An actor processes one event at a time;
+// an event that arrives while the actor is busy waits until `busy_until`
+// (the core is itself an FCFS resource). During a handler, virtual time
+// advances through SimContext charges and instrumented-primitive
+// acquisitions; messages sent during the handler are stamped with the
+// sender's current virtual time plus network latency.
+
+#ifndef MEERKAT_SRC_SIM_SIMULATOR_H_
+#define MEERKAT_SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/cost_model.h"
+#include "src/sim/sim_context.h"
+
+namespace meerkat {
+
+class Simulator;
+
+// Base class for anything that occupies a simulated CPU.
+class SimActor {
+ public:
+  virtual ~SimActor() = default;
+
+  // `busy_until` models the core's serial occupancy: an event delivered at
+  // time t starts executing at max(t, busy_until).
+  uint64_t busy_until() const { return busy_until_; }
+
+ private:
+  friend class Simulator;
+  uint64_t busy_until_ = 0;
+};
+
+// Event handler. Runs with an active SimContext; may Charge() time, acquire
+// instrumented primitives, and schedule further events.
+using SimHandler = std::function<void(SimContext&)>;
+
+class Simulator {
+ public:
+  explicit Simulator(const CostModel& cost) : cost_(cost), ctx_(&cost_) {}
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Schedule `fn` to run on `actor` when the actor is free at or after `time`.
+  // Events with equal (time, actor availability) run in scheduling order.
+  void Schedule(uint64_t time, SimActor* actor, SimHandler fn) {
+    queue_.push(Event{time, next_seq_++, actor, std::move(fn)});
+  }
+
+  // Convenience: schedule relative to the active context's current time.
+  void ScheduleAfter(uint64_t delay, SimActor* actor, SimHandler fn) {
+    Schedule(ctx_.now() + delay, actor, std::move(fn));
+  }
+
+  // Run until the queue drains or virtual time exceeds `until_ns`.
+  // Returns the final virtual time.
+  uint64_t Run(uint64_t until_ns = UINT64_MAX);
+
+  // Drop all pending events (used to end a measurement cleanly).
+  void Clear();
+
+  uint64_t now() const { return now_; }
+  const CostModel& cost() const { return cost_; }
+  SimContext& context() { return ctx_; }
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    uint64_t time;
+    uint64_t seq;
+    SimActor* actor;
+    SimHandler fn;
+
+    // Min-heap by (time, seq): std::priority_queue is a max-heap, so invert.
+    bool operator<(const Event& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  CostModel cost_;
+  SimContext ctx_;
+  std::priority_queue<Event> queue_;
+  uint64_t next_seq_ = 0;
+  uint64_t now_ = 0;
+  uint64_t events_processed_ = 0;
+};
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,148 @@
+#include "src/store/occ.h"
+
+#include <mutex>
+
+#include "src/sim/sim_context.h"
+
+namespace meerkat {
+namespace {
+
+// Per-operation CPU charge for the simulator (hash, copy, branchy checks).
+void ChargeOp() {
+  if (SimContext* ctx = SimContext::Current()) {
+    ctx->Charge(ctx->cost().txn_logic_per_op_ns);
+  }
+}
+
+}  // namespace
+
+TxnStatus OccValidate(VStore& store, const std::vector<ReadSetEntry>& read_set,
+                      const std::vector<WriteSetEntry>& write_set, Timestamp ts) {
+  // Validate the read set (Alg. 1 lines 2-12).
+  for (size_t i = 0; i < read_set.size(); i++) {
+    const ReadSetEntry& r = read_set[i];
+    ChargeOp();
+    KeyEntry* e = store.FindOrCreate(r.key);
+    std::unique_lock<KeyLock> lock(e->lock);
+    // e.wts > r.wts: the read is stale — a newer version committed since.
+    bool stale = e->wts > r.read_wts;
+    // ts > MIN(e.writers): some pending transaction with an earlier timestamp
+    // wrote this key; if it commits, this read (serialized at ts) would not
+    // have seen the latest version as of ts. MIN over the empty set is +inf.
+    Timestamp min_writer = e->MinWriter();
+    bool pending_earlier_writer = min_writer.Valid() && ts > min_writer;
+    if (stale || pending_earlier_writer) {
+      lock.unlock();
+      // Back out registrations made for read_set[0..i).
+      for (size_t j = 0; j < i; j++) {
+        KeyEntry* prev = store.Find(read_set[j].key);
+        if (prev != nullptr) {
+          std::lock_guard<KeyLock> plock(prev->lock);
+          prev->RemoveReader(ts);
+        }
+      }
+      return TxnStatus::kValidatedAbort;
+    }
+    e->readers.push_back(ts);
+  }
+
+  // Validate the write set (Alg. 1 lines 13-23).
+  for (size_t i = 0; i < write_set.size(); i++) {
+    const WriteSetEntry& w = write_set[i];
+    ChargeOp();
+    KeyEntry* e = store.FindOrCreate(w.key);
+    std::unique_lock<KeyLock> lock(e->lock);
+    // ts < e.rts: a committed transaction already read a version this write
+    // would interpose under. ts < MAX(e.readers): same, for a pending
+    // validated read. Note a transaction never conflicts with its own read
+    // registration (ts < ts is false). MAX over the empty set is -inf.
+    Timestamp max_reader = e->MaxReader();
+    bool under_committed_read = ts < e->rts;
+    bool under_pending_read = max_reader.Valid() && ts < max_reader;
+    if (under_committed_read || under_pending_read) {
+      lock.unlock();
+      OccCleanup(store, read_set, write_set, ts);
+      return TxnStatus::kValidatedAbort;
+    }
+    e->writers.push_back(ts);
+  }
+  return TxnStatus::kValidatedOk;
+}
+
+void OccCommit(VStore& store, const std::vector<ReadSetEntry>& read_set,
+               const std::vector<WriteSetEntry>& write_set, Timestamp ts) {
+  for (const ReadSetEntry& r : read_set) {
+    ChargeOp();
+    KeyEntry* e = store.Find(r.key);
+    if (e == nullptr) {
+      continue;
+    }
+    std::lock_guard<KeyLock> lock(e->lock);
+    if (ts > e->rts) {
+      e->rts = ts;
+    }
+    e->RemoveReader(ts);
+  }
+  for (const WriteSetEntry& w : write_set) {
+    ChargeOp();
+    KeyEntry* e = store.FindOrCreate(w.key);
+    std::lock_guard<KeyLock> lock(e->lock);
+    // Thomas write rule: install only if this is the newest version; an older
+    // write that lost the race is simply dropped (its effects are ordered
+    // before the newer version in the serial order).
+    if (ts > e->wts) {
+      e->value = w.value;
+      e->wts = ts;
+    }
+    e->RemoveWriter(ts);
+  }
+}
+
+void OccCleanup(VStore& store, const std::vector<ReadSetEntry>& read_set,
+                const std::vector<WriteSetEntry>& write_set, Timestamp ts) {
+  for (const ReadSetEntry& r : read_set) {
+    ChargeOp();
+    KeyEntry* e = store.Find(r.key);
+    if (e == nullptr) {
+      continue;
+    }
+    std::lock_guard<KeyLock> lock(e->lock);
+    e->RemoveReader(ts);
+  }
+  for (const WriteSetEntry& w : write_set) {
+    ChargeOp();
+    KeyEntry* e = store.Find(w.key);
+    if (e == nullptr) {
+      continue;
+    }
+    std::lock_guard<KeyLock> lock(e->lock);
+    e->RemoveWriter(ts);
+  }
+}
+
+TxnStatus OccRevalidateCommittedOnly(VStore& store, const std::vector<ReadSetEntry>& read_set,
+                                     const std::vector<WriteSetEntry>& write_set, Timestamp ts) {
+  for (const ReadSetEntry& r : read_set) {
+    KeyEntry* e = store.Find(r.key);
+    if (e == nullptr) {
+      continue;  // Never written: the read of "absent" is still current.
+    }
+    std::lock_guard<KeyLock> lock(e->lock);
+    if (e->wts > r.read_wts) {
+      return TxnStatus::kValidatedAbort;
+    }
+  }
+  for (const WriteSetEntry& w : write_set) {
+    KeyEntry* e = store.Find(w.key);
+    if (e == nullptr) {
+      continue;
+    }
+    std::lock_guard<KeyLock> lock(e->lock);
+    if (ts < e->rts) {
+      return TxnStatus::kValidatedAbort;
+    }
+  }
+  return TxnStatus::kValidatedOk;
+}
+
+}  // namespace meerkat

@@ -1,0 +1,56 @@
+// Meerkat's timestamp-ordered OCC checks — Algorithm 1 of the paper — plus
+// the write phase (§5.2.3) with the Thomas write rule.
+//
+// These routines are deliberately free-standing over a VStore so that every
+// system variant (Meerkat, Meerkat-PB, TAPIR-like, KuaFu++) runs the *same*
+// concurrency-control arithmetic; the variants differ only in where and under
+// what coordination the checks run.
+
+#ifndef MEERKAT_SRC_STORE_OCC_H_
+#define MEERKAT_SRC_STORE_OCC_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/store/vstore.h"
+
+namespace meerkat {
+
+// Runs the validation checks of Algorithm 1 against `store` at proposed
+// timestamp `ts`:
+//   reads:  abort if e.wts > r.wts (stale read) or ts > MIN(e.writers)
+//           (a pending earlier writer could invalidate the read at ts);
+//           otherwise register ts in e.readers.
+//   writes: abort if ts < e.rts or ts < MAX(e.readers) (the write would slide
+//           under an already-performed read); otherwise register ts in
+//           e.writers.
+// On abort, every registration made so far is backed out
+// (cleanup_readers_writers in the paper).
+//
+// Returns kValidatedOk or kValidatedAbort.
+TxnStatus OccValidate(VStore& store, const std::vector<ReadSetEntry>& read_set,
+                      const std::vector<WriteSetEntry>& write_set, Timestamp ts);
+
+// Finalizes a transaction that previously passed OccValidate on this store:
+// bumps rts for reads, installs writes under the Thomas write rule (skip the
+// install if a newer version is already in place), and removes ts from the
+// pending readers/writers lists. Idempotent.
+void OccCommit(VStore& store, const std::vector<ReadSetEntry>& read_set,
+               const std::vector<WriteSetEntry>& write_set, Timestamp ts);
+
+// Removes ts from the pending readers/writers lists without touching data.
+// Used both for aborts and for backing out a partially-validated transaction.
+// Idempotent.
+void OccCleanup(VStore& store, const std::vector<ReadSetEntry>& read_set,
+                const std::vector<WriteSetEntry>& write_set, Timestamp ts);
+
+// Re-validation used during epoch change (paper §5.3.1): checks whether a
+// transaction can commit at ts against *committed state only* (the merged
+// trecord's committed transactions have already been applied; there are no
+// pending readers/writers during an epoch change).
+TxnStatus OccRevalidateCommittedOnly(VStore& store, const std::vector<ReadSetEntry>& read_set,
+                                     const std::vector<WriteSetEntry>& write_set, Timestamp ts);
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_STORE_OCC_H_

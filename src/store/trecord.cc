@@ -1,0 +1,119 @@
+#include "src/store/trecord.h"
+
+#include "src/sim/sim_context.h"
+
+namespace meerkat {
+namespace {
+
+void ChargeLocalOp() {
+  if (SimContext* ctx = SimContext::Current()) {
+    ctx->Charge(ctx->cost().local_trecord_op_ns);
+  }
+}
+
+}  // namespace
+
+TxnRecordSnapshot TxnRecord::ToSnapshot(CoreId core) const {
+  TxnRecordSnapshot snap;
+  snap.tid = tid;
+  snap.ts = ts;
+  snap.status = status;
+  snap.view = view;
+  snap.accept_view = accept_view;
+  snap.accepted = accepted;
+  snap.core = core;
+  snap.read_set = read_set;
+  snap.write_set = write_set;
+  return snap;
+}
+
+TxnRecord TxnRecord::FromSnapshot(const TxnRecordSnapshot& snap) {
+  TxnRecord rec;
+  rec.tid = snap.tid;
+  rec.ts = snap.ts;
+  rec.status = snap.status;
+  rec.view = snap.view;
+  rec.accept_view = snap.accept_view;
+  rec.accepted = snap.accepted;
+  rec.read_set = snap.read_set;
+  rec.write_set = snap.write_set;
+  return rec;
+}
+
+TxnRecord& TRecordPartition::GetOrCreate(const TxnId& tid) {
+  ChargeLocalOp();
+  TxnRecord& rec = records_[tid];
+  if (!rec.tid.Valid()) {
+    rec.tid = tid;
+  }
+  return rec;
+}
+
+TxnRecord* TRecordPartition::Find(const TxnId& tid) {
+  ChargeLocalOp();
+  auto it = records_.find(tid);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+void TRecordPartition::Erase(const TxnId& tid) {
+  ChargeLocalOp();
+  records_.erase(tid);
+}
+
+size_t TRecordPartition::TrimFinalized(Timestamp watermark) {
+  size_t trimmed = 0;
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (IsFinal(it->second.status) && it->second.ts <= watermark) {
+      it = records_.erase(it);
+      trimmed++;
+    } else {
+      ++it;
+    }
+  }
+  return trimmed;
+}
+
+void TRecordPartition::ForEach(const std::function<void(const TxnRecord&)>& fn) const {
+  for (const auto& [tid, rec] : records_) {
+    (void)tid;
+    fn(rec);
+  }
+}
+
+std::vector<TxnRecordSnapshot> TRecord::SnapshotAll() const {
+  std::vector<TxnRecordSnapshot> out;
+  for (size_t core = 0; core < partitions_.size(); core++) {
+    partitions_[core].ForEach([&out, core](const TxnRecord& rec) {
+      out.push_back(rec.ToSnapshot(static_cast<CoreId>(core)));
+    });
+  }
+  return out;
+}
+
+void TRecord::ReplaceAll(const std::vector<TxnRecordSnapshot>& snapshots) {
+  for (TRecordPartition& p : partitions_) {
+    p.Clear();
+  }
+  for (const TxnRecordSnapshot& snap : snapshots) {
+    TRecordPartition& p = Partition(snap.core);
+    p.GetOrCreate(snap.tid) = TxnRecord::FromSnapshot(snap);
+  }
+}
+
+size_t TRecord::TrimFinalizedAll(Timestamp watermark) {
+  size_t trimmed = 0;
+  for (TRecordPartition& p : partitions_) {
+    trimmed += p.TrimFinalized(watermark);
+  }
+  return trimmed;
+}
+
+size_t TRecord::TotalSize() const {
+  size_t n = 0;
+  for (const TRecordPartition& p : partitions_) {
+    n += p.Size();
+  }
+  return n;
+}
+
+}  // namespace meerkat

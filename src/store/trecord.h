@@ -1,0 +1,103 @@
+// The trecord: Meerkat's per-core-partitioned transaction record table
+// (paper §4.2, Fig. 2).
+//
+// Every replica keeps one record per in-flight or recently finalized
+// transaction: id, read/write sets, proposed timestamp, status, and the
+// consensus fields (view, acceptView) used by coordinator recovery. To
+// preserve DAP, the table is horizontally partitioned by the core id chosen
+// by the transaction's coordinator; the transport guarantees all messages for
+// a transaction arrive at that core, so a partition is only ever touched by
+// its own core — no locks needed in the threaded runtime either.
+
+#ifndef MEERKAT_SRC_STORE_TRECORD_H_
+#define MEERKAT_SRC_STORE_TRECORD_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/transport/message.h"
+
+namespace meerkat {
+
+struct TxnRecord {
+  TxnId tid;
+  Timestamp ts;
+  std::vector<ReadSetEntry> read_set;
+  std::vector<WriteSetEntry> write_set;
+  TxnStatus status = TxnStatus::kNone;
+  // Coordinator-recovery consensus state (paper §5.3.2): the record's current
+  // view (promises: ignore proposals below it) and the view in which a
+  // proposal was last accepted, if any.
+  ViewNum view = 0;
+  ViewNum accept_view = 0;
+  bool accepted = false;
+
+  TxnRecordSnapshot ToSnapshot(CoreId core) const;
+  static TxnRecord FromSnapshot(const TxnRecordSnapshot& snap);
+};
+
+// One core's partition. Single-writer by construction.
+class TRecordPartition {
+ public:
+  // Returns the record for tid, creating it if absent.
+  TxnRecord& GetOrCreate(const TxnId& tid);
+
+  // Returns nullptr if absent.
+  TxnRecord* Find(const TxnId& tid);
+
+  // Removes a finalized record (checkpoint trimming).
+  void Erase(const TxnId& tid);
+
+  // Drops every record with a final status (COMMITTED/ABORTED) whose
+  // timestamp is at or below `watermark`. Returns the number trimmed. Safe
+  // because finalized records are only consulted to answer duplicate
+  // messages; the epoch-change protocol re-establishes authoritative state
+  // whenever membership changes (paper §5.3.1: "allowing the replicas to
+  // bring themselves up-to-date and safely trim the trecord").
+  size_t TrimFinalized(Timestamp watermark);
+
+  size_t Size() const { return records_.size(); }
+
+  void ForEach(const std::function<void(const TxnRecord&)>& fn) const;
+
+  void Clear() { records_.clear(); }
+
+ private:
+  std::unordered_map<TxnId, TxnRecord, TxnIdHash> records_;
+};
+
+// All partitions of one replica.
+class TRecord {
+ public:
+  explicit TRecord(size_t num_cores) : partitions_(num_cores) {}
+
+  TRecord(const TRecord&) = delete;
+  TRecord& operator=(const TRecord&) = delete;
+
+  TRecordPartition& Partition(CoreId core) { return partitions_[core % partitions_.size()]; }
+  size_t NumPartitions() const { return partitions_.size(); }
+
+  // Aggregates every partition's records (epoch change, §5.3.1).
+  std::vector<TxnRecordSnapshot> SnapshotAll() const;
+
+  // Replaces all partitions with the merged trecord from an epoch change,
+  // preserving the per-core partitioning carried in each snapshot.
+  void ReplaceAll(const std::vector<TxnRecordSnapshot>& snapshots);
+
+  // Checkpoint: trims finalized records older than `watermark` in every
+  // partition. Each core can equivalently trim its own partition; this bulk
+  // form is for quiesced maintenance windows.
+  size_t TrimFinalizedAll(Timestamp watermark);
+
+  size_t TotalSize() const;
+
+ private:
+  std::vector<TRecordPartition> partitions_;
+};
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_STORE_TRECORD_H_

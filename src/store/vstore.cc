@@ -1,0 +1,136 @@
+#include "src/store/vstore.h"
+
+#include <algorithm>
+
+namespace meerkat {
+
+Timestamp KeyEntry::MinWriter() const {
+  Timestamp min = kInvalidTimestamp;
+  for (const Timestamp& t : writers) {
+    if (!min.Valid() || t < min) {
+      min = t;
+    }
+  }
+  return min;
+}
+
+Timestamp KeyEntry::MaxReader() const {
+  Timestamp max = kInvalidTimestamp;
+  for (const Timestamp& t : readers) {
+    if (t > max) {
+      max = t;
+    }
+  }
+  return max;
+}
+
+void KeyEntry::RemoveReader(const Timestamp& ts) {
+  auto it = std::find(readers.begin(), readers.end(), ts);
+  if (it != readers.end()) {
+    *it = readers.back();
+    readers.pop_back();
+  }
+}
+
+void KeyEntry::RemoveWriter(const Timestamp& ts) {
+  auto it = std::find(writers.begin(), writers.end(), ts);
+  if (it != writers.end()) {
+    *it = writers.back();
+    writers.pop_back();
+  }
+}
+
+VStore::VStore(size_t num_shards) : shards_(num_shards) {}
+
+VStore::Shard& VStore::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+KeyEntry* VStore::Find(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<KeyLock> lock(shard.structural_lock);
+  auto it = shard.map.find(key);
+  return it == shard.map.end() ? nullptr : it->second.get();
+}
+
+KeyEntry* VStore::FindOrCreate(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<KeyLock> lock(shard.structural_lock);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    return it->second.get();
+  }
+  auto entry = std::make_unique<KeyEntry>();
+  KeyEntry* raw = entry.get();
+  shard.map.emplace(key, std::move(entry));
+  return raw;
+}
+
+ReadResult VStore::Read(const std::string& key) {
+  ReadResult result;
+  KeyEntry* entry = Find(key);
+  if (entry == nullptr) {
+    return result;
+  }
+  std::lock_guard<KeyLock> lock(entry->lock);
+  if (!entry->wts.Valid()) {
+    return result;  // Entry exists (pending writers) but was never committed.
+  }
+  result.found = true;
+  result.value = entry->value;
+  result.wts = entry->wts;
+  return result;
+}
+
+void VStore::LoadKey(const std::string& key, const std::string& value, Timestamp wts) {
+  KeyEntry* entry = FindOrCreate(key);
+  std::lock_guard<KeyLock> lock(entry->lock);
+  // Thomas write rule here too: state transfer during recovery must never
+  // roll a key back to an older version.
+  if (wts > entry->wts) {
+    entry->value = value;
+    entry->wts = wts;
+  }
+}
+
+void VStore::ClearPendingAll() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<KeyLock> slock(shard.structural_lock);
+    for (auto& [key, entry] : shard.map) {
+      (void)key;
+      std::lock_guard<KeyLock> lock(entry->lock);
+      entry->readers.clear();
+      entry->writers.clear();
+    }
+  }
+}
+
+void VStore::ClearAll() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<KeyLock> slock(shard.structural_lock);
+    shard.map.clear();
+  }
+}
+
+size_t VStore::SizeForTesting() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    n += shard.map.size();
+  }
+  return n;
+}
+
+void VStore::ForEachCommitted(
+    const std::function<void(const std::string&, const std::string&, Timestamp)>& fn) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<KeyLock> slock(shard.structural_lock);
+    for (auto& [key, entry] : shard.map) {
+      std::lock_guard<KeyLock> lock(entry->lock);
+      if (entry->wts.Valid()) {
+        fn(key, entry->value, entry->wts);
+      }
+    }
+  }
+}
+
+}  // namespace meerkat

@@ -1,0 +1,105 @@
+// The vstore: Meerkat's versioned storage layer (paper §4.2).
+//
+// A sharded hash table mapping keys to entries. Each entry carries, besides
+// the current value:
+//   * wts — write timestamp of the transaction that last wrote the key,
+//   * rts — read timestamp of the transaction that last read the key,
+//   * readers — timestamps of pending validated transactions that read it,
+//   * writers — timestamps of pending validated transactions that write it,
+// all protected by a fine-grained per-key lock (KeyLock), preserving DAP:
+// transactions touching disjoint keys touch disjoint cache lines.
+//
+// The store is shared by all cores of one replica. Structural inserts take a
+// per-shard lock; steady-state operations only take the per-key lock.
+
+#ifndef MEERKAT_SRC_STORE_VSTORE_H_
+#define MEERKAT_SRC_STORE_VSTORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/primitives.h"
+
+namespace meerkat {
+
+struct KeyEntry {
+  KeyLock lock;
+  std::string value;
+  Timestamp wts;  // Version of `value`.
+  Timestamp rts;  // Largest committed read timestamp.
+  // Pending (validated, not yet finalized) transactions. Kept as small flat
+  // vectors: the uncontended case has zero or one element.
+  std::vector<Timestamp> readers;
+  std::vector<Timestamp> writers;
+
+  // Helpers used by validation; caller must hold `lock`.
+  Timestamp MinWriter() const;  // kInvalidTimestamp if none (treated as +inf by callers).
+  Timestamp MaxReader() const;  // kInvalidTimestamp if none (-inf).
+  bool HasWriters() const { return !writers.empty(); }
+  bool HasReaders() const { return !readers.empty(); }
+  void RemoveReader(const Timestamp& ts);
+  void RemoveWriter(const Timestamp& ts);
+};
+
+// Result of a versioned read.
+struct ReadResult {
+  bool found = false;
+  std::string value;
+  Timestamp wts;
+};
+
+class VStore {
+ public:
+  // num_shards bounds structural-insert contention; entries themselves are
+  // pointer-stable for the store's lifetime.
+  explicit VStore(size_t num_shards = 256);
+
+  VStore(const VStore&) = delete;
+  VStore& operator=(const VStore&) = delete;
+
+  // Returns the entry for `key`, or nullptr if it was never written.
+  KeyEntry* Find(const std::string& key);
+
+  // Returns the entry, creating an empty one if absent.
+  KeyEntry* FindOrCreate(const std::string& key);
+
+  // Versioned read (execute phase): value + version under the key lock.
+  ReadResult Read(const std::string& key);
+
+  // Direct committed write used for database loading and recovery state
+  // transfer (bypasses OCC; installs only if `wts` is newer than the entry).
+  void LoadKey(const std::string& key, const std::string& value, Timestamp wts);
+
+  // Drops every pending reader/writer registration (epoch change: all
+  // in-flight transactions have just been force-finalized by the merge).
+  void ClearPendingAll();
+
+  // Drops everything (crash-restart without durable state).
+  void ClearAll();
+
+  size_t SizeForTesting() const;
+
+  // Iterates committed state (key, value, wts). Not atomic across keys; used
+  // for epoch-change state transfer while the replica is quiesced.
+  void ForEachCommitted(
+      const std::function<void(const std::string&, const std::string&, Timestamp)>& fn);
+
+ private:
+  struct Shard {
+    KeyLock structural_lock;
+    std::unordered_map<std::string, std::unique_ptr<KeyEntry>> map;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  std::vector<Shard> shards_;
+};
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_STORE_VSTORE_H_

@@ -1,0 +1,137 @@
+// Network fault injection shared by both transports.
+//
+// Meerkat assumes an asynchronous network that may arbitrarily delay, drop,
+// duplicate, or reorder messages (paper §4.1). The injector decides, per
+// message, what the network does to it. It also models replica crashes
+// (a crashed replica neither receives nor sends) and directed link blocks
+// (partitions).
+
+#ifndef MEERKAT_SRC_TRANSPORT_FAULT_INJECTOR_H_
+#define MEERKAT_SRC_TRANSPORT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <utility>
+
+#include "src/common/rng.h"
+#include "src/transport/message.h"
+
+namespace meerkat {
+
+class FaultInjector {
+ public:
+  struct Verdict {
+    bool drop = false;
+    bool duplicate = false;
+    uint64_t extra_delay_ns = 0;
+  };
+
+  explicit FaultInjector(uint64_t seed = 42) : rng_(seed) {}
+
+  // Decides the fate of one message. Thread-safe.
+  Verdict Judge(const Message& msg) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Verdict v;
+    if (IsCrashedLocked(msg.src) || IsCrashedLocked(msg.dst)) {
+      v.drop = true;
+      return v;
+    }
+    if (blocked_links_.count(LinkKey(msg.src, msg.dst)) != 0) {
+      v.drop = true;
+      return v;
+    }
+    if (drop_probability_ > 0 && rng_.NextBool(drop_probability_)) {
+      v.drop = true;
+      dropped_++;
+      return v;
+    }
+    if (duplicate_probability_ > 0 && rng_.NextBool(duplicate_probability_)) {
+      v.duplicate = true;
+      duplicated_++;
+    }
+    if (max_extra_delay_ns_ > 0) {
+      v.extra_delay_ns = rng_.NextBounded(max_extra_delay_ns_ + 1);
+    }
+    return v;
+  }
+
+  void SetDropProbability(double p) {
+    std::lock_guard<std::mutex> lock(mu_);
+    drop_probability_ = p;
+  }
+
+  void SetDuplicateProbability(double p) {
+    std::lock_guard<std::mutex> lock(mu_);
+    duplicate_probability_ = p;
+  }
+
+  // Messages get a uniform extra delay in [0, max_ns]; together with the base
+  // latency this reorders messages.
+  void SetMaxExtraDelay(uint64_t max_ns) {
+    std::lock_guard<std::mutex> lock(mu_);
+    max_extra_delay_ns_ = max_ns;
+  }
+
+  void CrashReplica(ReplicaId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    crashed_replicas_.insert(id);
+  }
+
+  void RecoverReplica(ReplicaId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    crashed_replicas_.erase(id);
+  }
+
+  bool IsCrashed(ReplicaId id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return crashed_replicas_.count(id) != 0;
+  }
+
+  // Blocks src -> dst delivery (directed). Call twice for a symmetric cut.
+  void BlockLink(const Address& src, const Address& dst) {
+    std::lock_guard<std::mutex> lock(mu_);
+    blocked_links_.insert(LinkKey(src, dst));
+  }
+
+  void UnblockLink(const Address& src, const Address& dst) {
+    std::lock_guard<std::mutex> lock(mu_);
+    blocked_links_.erase(LinkKey(src, dst));
+  }
+
+  void ClearLinkFaults() {
+    std::lock_guard<std::mutex> lock(mu_);
+    blocked_links_.clear();
+  }
+
+  uint64_t dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+  }
+
+ private:
+  static uint64_t LinkKey(const Address& src, const Address& dst) {
+    auto enc = [](const Address& a) -> uint64_t {
+      return (static_cast<uint64_t>(a.kind) << 31) | a.id;
+    };
+    return (enc(src) << 32) | enc(dst);
+  }
+
+  bool IsCrashedLocked(const Address& a) const {
+    return a.kind == Address::Kind::kReplica && crashed_replicas_.count(a.id) != 0;
+  }
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  double drop_probability_ = 0.0;
+  double duplicate_probability_ = 0.0;
+  uint64_t max_extra_delay_ns_ = 0;
+  std::set<ReplicaId> crashed_replicas_;
+  std::set<uint64_t> blocked_links_;
+  uint64_t dropped_ = 0;
+  uint64_t duplicated_ = 0;
+};
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_TRANSPORT_FAULT_INJECTOR_H_

@@ -1,0 +1,574 @@
+#include "src/transport/serialization.h"
+
+#include <cstring>
+
+namespace meerkat {
+namespace {
+
+// Guards against hostile length prefixes: no legitimate message in this
+// system carries a single string or vector anywhere near this large.
+constexpr uint32_t kMaxLength = 64u << 20;
+
+}  // namespace
+
+void WireWriter::U32(uint32_t v) {
+  for (int i = 0; i < 4; i++) {
+    out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireWriter::U64(uint64_t v) {
+  for (int i = 0; i < 8; i++) {
+    out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireWriter::Str(const std::string& s) {
+  U32(static_cast<uint32_t>(s.size()));
+  out_.insert(out_.end(), s.begin(), s.end());
+}
+
+void WireWriter::Ts(const Timestamp& ts) {
+  U64(ts.time);
+  U32(ts.client_id);
+}
+
+void WireWriter::Tid(const TxnId& tid) {
+  U32(tid.client_id);
+  U64(tid.seq);
+}
+
+void WireWriter::ReadSet(const std::vector<ReadSetEntry>& reads) {
+  U32(static_cast<uint32_t>(reads.size()));
+  for (const ReadSetEntry& r : reads) {
+    Str(r.key);
+    Ts(r.read_wts);
+  }
+}
+
+void WireWriter::WriteSet(const std::vector<WriteSetEntry>& writes) {
+  U32(static_cast<uint32_t>(writes.size()));
+  for (const WriteSetEntry& w : writes) {
+    Str(w.key);
+    Str(w.value);
+  }
+}
+
+bool WireReader::Need(size_t n) {
+  if (failed_ || size_ - pos_ < n) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool WireReader::U8(uint8_t* v) {
+  if (!Need(1)) {
+    return false;
+  }
+  *v = data_[pos_++];
+  return true;
+}
+
+bool WireReader::U32(uint32_t* v) {
+  if (!Need(4)) {
+    return false;
+  }
+  *v = 0;
+  for (int i = 0; i < 4; i++) {
+    *v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+  }
+  return true;
+}
+
+bool WireReader::U64(uint64_t* v) {
+  if (!Need(8)) {
+    return false;
+  }
+  *v = 0;
+  for (int i = 0; i < 8; i++) {
+    *v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+  }
+  return true;
+}
+
+bool WireReader::Str(std::string* s) {
+  uint32_t len = 0;
+  if (!U32(&len) || len > kMaxLength || !Need(len)) {
+    failed_ = true;
+    return false;
+  }
+  s->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return true;
+}
+
+bool WireReader::Ts(Timestamp* ts) { return U64(&ts->time) && U32(&ts->client_id); }
+
+bool WireReader::Tid(TxnId* tid) { return U32(&tid->client_id) && U64(&tid->seq); }
+
+bool WireReader::ReadSet(std::vector<ReadSetEntry>* reads) {
+  uint32_t n = 0;
+  if (!U32(&n) || n > kMaxLength) {
+    failed_ = true;
+    return false;
+  }
+  reads->clear();
+  reads->reserve(std::min<uint32_t>(n, 1024));
+  for (uint32_t i = 0; i < n; i++) {
+    ReadSetEntry entry;
+    if (!Str(&entry.key) || !Ts(&entry.read_wts)) {
+      return false;
+    }
+    reads->push_back(std::move(entry));
+  }
+  return true;
+}
+
+bool WireReader::WriteSet(std::vector<WriteSetEntry>* writes) {
+  uint32_t n = 0;
+  if (!U32(&n) || n > kMaxLength) {
+    failed_ = true;
+    return false;
+  }
+  writes->clear();
+  writes->reserve(std::min<uint32_t>(n, 1024));
+  for (uint32_t i = 0; i < n; i++) {
+    WriteSetEntry entry;
+    if (!Str(&entry.key) || !Str(&entry.value)) {
+      return false;
+    }
+    writes->push_back(std::move(entry));
+  }
+  return true;
+}
+
+namespace {
+
+void WriteAddress(WireWriter& w, const Address& a) {
+  w.U8(static_cast<uint8_t>(a.kind));
+  w.U32(a.id);
+}
+
+bool ReadAddress(WireReader& r, Address* a) {
+  uint8_t kind = 0;
+  if (!r.U8(&kind) || kind > 1) {
+    return false;
+  }
+  a->kind = static_cast<Address::Kind>(kind);
+  return r.U32(&a->id);
+}
+
+void WriteSnapshot(WireWriter& w, const TxnRecordSnapshot& s) {
+  w.Tid(s.tid);
+  w.Ts(s.ts);
+  w.U8(static_cast<uint8_t>(s.status));
+  w.U64(s.view);
+  w.U64(s.accept_view);
+  w.U8(s.accepted ? 1 : 0);
+  w.U32(s.core);
+  w.ReadSet(s.read_set);
+  w.WriteSet(s.write_set);
+}
+
+bool ReadSnapshot(WireReader& r, TxnRecordSnapshot* s) {
+  uint8_t status = 0;
+  uint8_t accepted = 0;
+  bool ok = r.Tid(&s->tid) && r.Ts(&s->ts) && r.U8(&status) && r.U64(&s->view) &&
+            r.U64(&s->accept_view) && r.U8(&accepted) && r.U32(&s->core) &&
+            r.ReadSet(&s->read_set) && r.WriteSet(&s->write_set);
+  if (!ok || status > static_cast<uint8_t>(TxnStatus::kAborted)) {
+    return false;
+  }
+  s->status = static_cast<TxnStatus>(status);
+  s->accepted = accepted != 0;
+  return true;
+}
+
+void WriteSnapshots(WireWriter& w, const std::vector<TxnRecordSnapshot>& snaps) {
+  w.U32(static_cast<uint32_t>(snaps.size()));
+  for (const TxnRecordSnapshot& s : snaps) {
+    WriteSnapshot(w, s);
+  }
+}
+
+bool ReadSnapshots(WireReader& r, std::vector<TxnRecordSnapshot>* snaps) {
+  uint32_t n = 0;
+  if (!r.U32(&n) || n > (1u << 24)) {
+    return false;
+  }
+  snaps->clear();
+  for (uint32_t i = 0; i < n; i++) {
+    TxnRecordSnapshot s;
+    if (!ReadSnapshot(r, &s)) {
+      return false;
+    }
+    snaps->push_back(std::move(s));
+  }
+  return true;
+}
+
+void WriteVersions(WireWriter& w, const std::vector<Timestamp>& versions) {
+  w.U32(static_cast<uint32_t>(versions.size()));
+  for (const Timestamp& ts : versions) {
+    w.Ts(ts);
+  }
+}
+
+bool ReadVersions(WireReader& r, std::vector<Timestamp>* versions) {
+  uint32_t n = 0;
+  if (!r.U32(&n) || n > (1u << 24)) {
+    return false;
+  }
+  versions->clear();
+  for (uint32_t i = 0; i < n; i++) {
+    Timestamp ts;
+    if (!r.Ts(&ts)) {
+      return false;
+    }
+    versions->push_back(ts);
+  }
+  return true;
+}
+
+struct PayloadEncoder {
+  WireWriter& w;
+
+  void operator()(const GetRequest& p) {
+    w.Tid(p.tid);
+    w.U64(p.req_seq);
+    w.Str(p.key);
+  }
+  void operator()(const GetReply& p) {
+    w.Tid(p.tid);
+    w.U64(p.req_seq);
+    w.Str(p.key);
+    w.Str(p.value);
+    w.Ts(p.wts);
+    w.U8(p.found ? 1 : 0);
+  }
+  void operator()(const ValidateRequest& p) {
+    w.Tid(p.tid);
+    w.Ts(p.ts);
+    w.ReadSet(p.read_set);
+    w.WriteSet(p.write_set);
+  }
+  void operator()(const ValidateReply& p) {
+    w.Tid(p.tid);
+    w.U8(static_cast<uint8_t>(p.status));
+    w.U32(p.from);
+    w.U64(p.epoch);
+  }
+  void operator()(const AcceptRequest& p) {
+    w.Tid(p.tid);
+    w.U64(p.view);
+    w.U8(p.commit ? 1 : 0);
+    w.Ts(p.ts);
+    w.ReadSet(p.read_set);
+    w.WriteSet(p.write_set);
+  }
+  void operator()(const AcceptReply& p) {
+    w.Tid(p.tid);
+    w.U64(p.view);
+    w.U8(p.ok ? 1 : 0);
+    w.U32(p.from);
+    w.U64(p.epoch);
+  }
+  void operator()(const CommitRequest& p) {
+    w.Tid(p.tid);
+    w.U8(p.commit ? 1 : 0);
+  }
+  void operator()(const CommitReply& p) {
+    w.Tid(p.tid);
+    w.U32(p.from);
+  }
+  void operator()(const EpochChangeRequest& p) { w.U64(p.epoch); }
+  void operator()(const EpochChangeAck& p) {
+    w.U64(p.epoch);
+    w.U32(p.from);
+    w.U8(p.recovering ? 1 : 0);
+    WriteSnapshots(w, p.records);
+    w.WriteSet(p.store_state);
+    WriteVersions(w, p.store_versions);
+  }
+  void operator()(const EpochChangeComplete& p) {
+    w.U64(p.epoch);
+    WriteSnapshots(w, p.records);
+    w.WriteSet(p.store_state);
+    WriteVersions(w, p.store_versions);
+  }
+  void operator()(const EpochChangeCompleteAck& p) {
+    w.U64(p.epoch);
+    w.U32(p.from);
+  }
+  void operator()(const CoordChangeRequest& p) {
+    w.Tid(p.tid);
+    w.U64(p.view);
+  }
+  void operator()(const CoordChangeAck& p) {
+    w.Tid(p.tid);
+    w.U64(p.view);
+    w.U8(p.ok ? 1 : 0);
+    w.U8(p.has_record ? 1 : 0);
+    WriteSnapshot(w, p.record);
+    w.U32(p.from);
+  }
+  void operator()(const PrimaryCommitRequest& p) {
+    w.Tid(p.tid);
+    w.Ts(p.ts);
+    w.ReadSet(p.read_set);
+    w.WriteSet(p.write_set);
+  }
+  void operator()(const ReplicateRequest& p) {
+    w.Tid(p.tid);
+    w.Ts(p.ts);
+    w.U64(p.log_index);
+    w.WriteSet(p.write_set);
+  }
+  void operator()(const ReplicateReply& p) {
+    w.Tid(p.tid);
+    w.U32(p.from);
+  }
+  void operator()(const PrimaryCommitReply& p) {
+    w.Tid(p.tid);
+    w.U8(p.committed ? 1 : 0);
+    w.Ts(p.commit_ts);
+  }
+  void operator()(const PutRequest& p) {
+    w.U64(p.req_seq);
+    w.Str(p.key);
+    w.Str(p.value);
+  }
+  void operator()(const PutReply& p) { w.U64(p.req_seq); }
+  void operator()(const TimerFire& p) { w.U64(p.timer_id); }
+};
+
+bool ReadBool(WireReader& r, bool* out) {
+  uint8_t v = 0;
+  if (!r.U8(&v) || v > 1) {
+    return false;
+  }
+  *out = v != 0;
+  return true;
+}
+
+bool ReadStatus(WireReader& r, TxnStatus* out) {
+  uint8_t v = 0;
+  if (!r.U8(&v) || v > static_cast<uint8_t>(TxnStatus::kAborted)) {
+    return false;
+  }
+  *out = static_cast<TxnStatus>(v);
+  return true;
+}
+
+bool DecodePayload(WireReader& r, size_t tag, Payload* out) {
+  switch (tag) {
+    case 0: {
+      GetRequest p;
+      if (!r.Tid(&p.tid) || !r.U64(&p.req_seq) || !r.Str(&p.key)) {
+        return false;
+      }
+      *out = std::move(p);
+      return true;
+    }
+    case 1: {
+      GetReply p;
+      if (!r.Tid(&p.tid) || !r.U64(&p.req_seq) || !r.Str(&p.key) || !r.Str(&p.value) ||
+          !r.Ts(&p.wts) || !ReadBool(r, &p.found)) {
+        return false;
+      }
+      *out = std::move(p);
+      return true;
+    }
+    case 2: {
+      ValidateRequest p;
+      if (!r.Tid(&p.tid) || !r.Ts(&p.ts) || !r.ReadSet(&p.read_set) ||
+          !r.WriteSet(&p.write_set)) {
+        return false;
+      }
+      *out = std::move(p);
+      return true;
+    }
+    case 3: {
+      ValidateReply p;
+      if (!r.Tid(&p.tid) || !ReadStatus(r, &p.status) || !r.U32(&p.from) || !r.U64(&p.epoch)) {
+        return false;
+      }
+      *out = p;
+      return true;
+    }
+    case 4: {
+      AcceptRequest p;
+      if (!r.Tid(&p.tid) || !r.U64(&p.view) || !ReadBool(r, &p.commit) || !r.Ts(&p.ts) ||
+          !r.ReadSet(&p.read_set) || !r.WriteSet(&p.write_set)) {
+        return false;
+      }
+      *out = std::move(p);
+      return true;
+    }
+    case 5: {
+      AcceptReply p;
+      if (!r.Tid(&p.tid) || !r.U64(&p.view) || !ReadBool(r, &p.ok) || !r.U32(&p.from) ||
+          !r.U64(&p.epoch)) {
+        return false;
+      }
+      *out = p;
+      return true;
+    }
+    case 6: {
+      CommitRequest p;
+      if (!r.Tid(&p.tid) || !ReadBool(r, &p.commit)) {
+        return false;
+      }
+      *out = p;
+      return true;
+    }
+    case 7: {
+      CommitReply p;
+      if (!r.Tid(&p.tid) || !r.U32(&p.from)) {
+        return false;
+      }
+      *out = p;
+      return true;
+    }
+    case 8: {
+      EpochChangeRequest p;
+      if (!r.U64(&p.epoch)) {
+        return false;
+      }
+      *out = p;
+      return true;
+    }
+    case 9: {
+      EpochChangeAck p;
+      if (!r.U64(&p.epoch) || !r.U32(&p.from) || !ReadBool(r, &p.recovering) ||
+          !ReadSnapshots(r, &p.records) || !r.WriteSet(&p.store_state) ||
+          !ReadVersions(r, &p.store_versions)) {
+        return false;
+      }
+      *out = std::move(p);
+      return true;
+    }
+    case 10: {
+      EpochChangeComplete p;
+      if (!r.U64(&p.epoch) || !ReadSnapshots(r, &p.records) || !r.WriteSet(&p.store_state) ||
+          !ReadVersions(r, &p.store_versions)) {
+        return false;
+      }
+      *out = std::move(p);
+      return true;
+    }
+    case 11: {
+      EpochChangeCompleteAck p;
+      if (!r.U64(&p.epoch) || !r.U32(&p.from)) {
+        return false;
+      }
+      *out = p;
+      return true;
+    }
+    case 12: {
+      CoordChangeRequest p;
+      if (!r.Tid(&p.tid) || !r.U64(&p.view)) {
+        return false;
+      }
+      *out = p;
+      return true;
+    }
+    case 13: {
+      CoordChangeAck p;
+      if (!r.Tid(&p.tid) || !r.U64(&p.view) || !ReadBool(r, &p.ok) ||
+          !ReadBool(r, &p.has_record) || !ReadSnapshot(r, &p.record) || !r.U32(&p.from)) {
+        return false;
+      }
+      *out = std::move(p);
+      return true;
+    }
+    case 14: {
+      PrimaryCommitRequest p;
+      if (!r.Tid(&p.tid) || !r.Ts(&p.ts) || !r.ReadSet(&p.read_set) ||
+          !r.WriteSet(&p.write_set)) {
+        return false;
+      }
+      *out = std::move(p);
+      return true;
+    }
+    case 15: {
+      ReplicateRequest p;
+      if (!r.Tid(&p.tid) || !r.Ts(&p.ts) || !r.U64(&p.log_index) || !r.WriteSet(&p.write_set)) {
+        return false;
+      }
+      *out = std::move(p);
+      return true;
+    }
+    case 16: {
+      ReplicateReply p;
+      if (!r.Tid(&p.tid) || !r.U32(&p.from)) {
+        return false;
+      }
+      *out = p;
+      return true;
+    }
+    case 17: {
+      PrimaryCommitReply p;
+      if (!r.Tid(&p.tid) || !ReadBool(r, &p.committed) || !r.Ts(&p.commit_ts)) {
+        return false;
+      }
+      *out = p;
+      return true;
+    }
+    case 18: {
+      PutRequest p;
+      if (!r.U64(&p.req_seq) || !r.Str(&p.key) || !r.Str(&p.value)) {
+        return false;
+      }
+      *out = std::move(p);
+      return true;
+    }
+    case 19: {
+      PutReply p;
+      if (!r.U64(&p.req_seq)) {
+        return false;
+      }
+      *out = p;
+      return true;
+    }
+    case 20: {
+      TimerFire p;
+      if (!r.U64(&p.timer_id)) {
+        return false;
+      }
+      *out = p;
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeMessage(const Message& msg) {
+  WireWriter w;
+  WriteAddress(w, msg.src);
+  WriteAddress(w, msg.dst);
+  w.U32(msg.core);
+  w.U8(static_cast<uint8_t>(msg.payload.index()));
+  std::visit(PayloadEncoder{w}, msg.payload);
+  return w.Take();
+}
+
+bool DecodeMessage(const std::vector<uint8_t>& bytes, Message* out) {
+  WireReader r(bytes);
+  uint8_t tag = 0;
+  if (!ReadAddress(r, &out->src) || !ReadAddress(r, &out->dst) || !r.U32(&out->core) ||
+      !r.U8(&tag)) {
+    return false;
+  }
+  if (!DecodePayload(r, tag, &out->payload)) {
+    return false;
+  }
+  // Trailing garbage means the frame length disagrees with the contents.
+  return r.AtEnd() && !r.failed();
+}
+
+}  // namespace meerkat

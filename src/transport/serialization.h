@@ -1,0 +1,78 @@
+// Binary wire codec for protocol messages.
+//
+// Both runtimes pass messages in-process, so the hot path never serializes —
+// but a transport that crossed a real wire would, and a codec keeps the
+// message structs honest: fixed-width ids, explicit field order, no hidden
+// pointers, and length-delimited strings. Every payload type round-trips
+// through Encode/Decode in the test suite, and Decode is hardened against
+// truncated and corrupt inputs (it must fail cleanly, never read past the
+// buffer).
+//
+// Format: little-endian fixed-width integers; strings and vectors are
+// u32-length-prefixed; a Message is [src][dst][core][payload tag:u8][payload].
+
+#ifndef MEERKAT_SRC_TRANSPORT_SERIALIZATION_H_
+#define MEERKAT_SRC_TRANSPORT_SERIALIZATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/transport/message.h"
+
+namespace meerkat {
+
+class WireWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(v); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void Str(const std::string& s);
+  void Ts(const Timestamp& ts);
+  void Tid(const TxnId& tid);
+  void ReadSet(const std::vector<ReadSetEntry>& reads);
+  void WriteSet(const std::vector<WriteSetEntry>& writes);
+
+  std::vector<uint8_t> Take() { return std::move(out_); }
+  size_t size() const { return out_.size(); }
+
+ private:
+  std::vector<uint8_t> out_;
+};
+
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit WireReader(const std::vector<uint8_t>& data)
+      : WireReader(data.data(), data.size()) {}
+
+  bool U8(uint8_t* v);
+  bool U32(uint32_t* v);
+  bool U64(uint64_t* v);
+  bool Str(std::string* s);
+  bool Ts(Timestamp* ts);
+  bool Tid(TxnId* tid);
+  bool ReadSet(std::vector<ReadSetEntry>* reads);
+  bool WriteSet(std::vector<WriteSetEntry>* writes);
+
+  bool AtEnd() const { return pos_ == size_; }
+  bool failed() const { return failed_; }
+
+ private:
+  bool Need(size_t n);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+// Serializes a complete message (addresses, core, payload tag, payload).
+std::vector<uint8_t> EncodeMessage(const Message& msg);
+
+// Returns false on truncated/corrupt input; `out` is unspecified on failure.
+bool DecodeMessage(const std::vector<uint8_t>& bytes, Message* out);
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_TRANSPORT_SERIALIZATION_H_

@@ -1,0 +1,95 @@
+#include "src/transport/sim_transport.h"
+
+#include <utility>
+
+namespace meerkat {
+
+void SimTransport::RegisterReplica(ReplicaId replica, CoreId core, TransportReceiver* receiver) {
+  auto ep = std::make_unique<Endpoint>();
+  ep->receiver = receiver;
+  endpoints_[EndpointKey(Address::Replica(replica), core)] = std::move(ep);
+}
+
+void SimTransport::RegisterClient(uint32_t client_id, TransportReceiver* receiver) {
+  auto ep = std::make_unique<Endpoint>();
+  ep->receiver = receiver;
+  endpoints_[EndpointKey(Address::Client(client_id), 0)] = std::move(ep);
+}
+
+void SimTransport::UnregisterClient(uint32_t client_id) {
+  // Pending events may still capture the endpoint, so it stays allocated;
+  // nulling the receiver makes those deliveries no-ops.
+  auto it = endpoints_.find(EndpointKey(Address::Client(client_id), 0));
+  if (it != endpoints_.end()) {
+    it->second->receiver = nullptr;
+  }
+}
+
+SimActor* SimTransport::ActorFor(const Address& addr, CoreId core) {
+  CoreId effective_core = addr.kind == Address::Kind::kClient ? 0 : core;
+  auto it = endpoints_.find(EndpointKey(addr, effective_core));
+  return it == endpoints_.end() ? nullptr : it->second.get();
+}
+
+void SimTransport::Send(Message msg) {
+  FaultInjector::Verdict v = faults_.Judge(msg);
+  if (v.drop) {
+    return;
+  }
+  SimContext* ctx = SimContext::Current();
+  if (ctx != nullptr) {
+    // Sender-side CPU occupancy and coordination accounting.
+    ctx->Charge(ctx->cost().msg_send_cpu_ns);
+    bool replica_to_replica = msg.src.kind == Address::Kind::kReplica &&
+                              msg.dst.kind == Address::Kind::kReplica;
+    if (replica_to_replica) {
+      ctx->stats().replica_to_replica_msgs++;
+    } else {
+      ctx->stats().client_msgs++;
+    }
+  }
+  if (v.duplicate) {
+    Deliver(msg, v.extra_delay_ns);
+  }
+  Deliver(std::move(msg), v.extra_delay_ns);
+}
+
+void SimTransport::Deliver(Message msg, uint64_t extra_delay_ns) {
+  Endpoint* ep = static_cast<Endpoint*>(ActorFor(msg.dst, msg.core));
+  if (ep == nullptr) {
+    return;
+  }
+  SimContext* ctx = SimContext::Current();
+  uint64_t send_time = ctx != nullptr ? ctx->now() : sim_->now();
+  uint64_t latency = sim_->cost().one_way_latency_ns + extra_delay_ns;
+  sim_->Schedule(send_time + latency, ep,
+                 [ep, m = std::move(msg)](SimContext& c) mutable {
+                   if (ep->receiver == nullptr) {
+                     return;  // Endpoint was unregistered in flight.
+                   }
+                   c.Charge(c.cost().msg_recv_cpu_ns);
+                   ep->receiver->Receive(std::move(m));
+                 });
+}
+
+void SimTransport::SetTimer(const Address& to, CoreId core, uint64_t delay_ns,
+                            uint64_t timer_id) {
+  Endpoint* ep = static_cast<Endpoint*>(ActorFor(to, core));
+  if (ep == nullptr) {
+    return;
+  }
+  SimContext* ctx = SimContext::Current();
+  uint64_t now = ctx != nullptr ? ctx->now() : sim_->now();
+  Message msg;
+  msg.src = to;
+  msg.dst = to;
+  msg.core = core;
+  msg.payload = TimerFire{timer_id};
+  sim_->Schedule(now + delay_ns, ep, [ep, m = std::move(msg)](SimContext&) mutable {
+    if (ep->receiver != nullptr) {
+      ep->receiver->Receive(std::move(m));
+    }
+  });
+}
+
+}  // namespace meerkat

@@ -1,0 +1,56 @@
+// Simulator-backed transport: delivers messages as discrete events with the
+// cost model's latency, charging send/receive CPU occupancy to the endpoint
+// actors. Used by the benchmark harness to reproduce the paper's cluster on
+// one physical core (DESIGN.md §2).
+
+#ifndef MEERKAT_SRC_TRANSPORT_SIM_TRANSPORT_H_
+#define MEERKAT_SRC_TRANSPORT_SIM_TRANSPORT_H_
+
+#include <map>
+#include <memory>
+
+#include "src/sim/simulator.h"
+#include "src/transport/fault_injector.h"
+#include "src/transport/transport.h"
+
+namespace meerkat {
+
+class SimTransport : public Transport {
+ public:
+  explicit SimTransport(Simulator* sim) : sim_(sim) {}
+
+  SimTransport(const SimTransport&) = delete;
+  SimTransport& operator=(const SimTransport&) = delete;
+
+  void RegisterReplica(ReplicaId replica, CoreId core, TransportReceiver* receiver) override;
+  void RegisterClient(uint32_t client_id, TransportReceiver* receiver) override;
+  void UnregisterClient(uint32_t client_id) override;
+  void Send(Message msg) override;
+  void SetTimer(const Address& to, CoreId core, uint64_t delay_ns, uint64_t timer_id) override;
+
+  FaultInjector& faults() { return faults_; }
+
+  // The simulated CPU an endpoint runs on, exposed so harnesses can schedule
+  // workload-start events onto client actors.
+  SimActor* ActorFor(const Address& addr, CoreId core);
+
+ private:
+  struct Endpoint : public SimActor {
+    TransportReceiver* receiver = nullptr;
+  };
+
+  static uint64_t EndpointKey(const Address& addr, CoreId core) {
+    return (static_cast<uint64_t>(addr.kind) << 56) | (static_cast<uint64_t>(addr.id) << 24) |
+           core;
+  }
+
+  void Deliver(Message msg, uint64_t extra_delay_ns);
+
+  Simulator* sim_;
+  FaultInjector faults_;
+  std::map<uint64_t, std::unique_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_TRANSPORT_SIM_TRANSPORT_H_

@@ -1,0 +1,211 @@
+#include "src/transport/threaded_transport.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace meerkat {
+
+ThreadedTransport::ThreadedTransport(uint64_t base_delay_ns) : base_delay_ns_(base_delay_ns) {
+  timer_thread_ = std::thread([this] { TimerLoop(); });
+}
+
+ThreadedTransport::~ThreadedTransport() { Stop(); }
+
+void ThreadedTransport::RegisterReplica(ReplicaId replica, CoreId core,
+                                        TransportReceiver* receiver) {
+  std::lock_guard<std::mutex> lock(endpoints_mu_);
+  auto ep = std::make_unique<Endpoint>();
+  ep->receiver = receiver;
+  StartEndpoint(ep.get());
+  endpoints_[EndpointKey(Address::Replica(replica), core)] = std::move(ep);
+}
+
+void ThreadedTransport::RegisterClient(uint32_t client_id, TransportReceiver* receiver) {
+  std::lock_guard<std::mutex> lock(endpoints_mu_);
+  auto ep = std::make_unique<Endpoint>();
+  ep->receiver = receiver;
+  StartEndpoint(ep.get());
+  endpoints_[EndpointKey(Address::Client(client_id), 0)] = std::move(ep);
+}
+
+void ThreadedTransport::UnregisterClient(uint32_t client_id) {
+  std::unique_ptr<Endpoint> ep;
+  {
+    std::lock_guard<std::mutex> lock(endpoints_mu_);
+    auto it = endpoints_.find(EndpointKey(Address::Client(client_id), 0));
+    if (it == endpoints_.end()) {
+      return;
+    }
+    ep = std::move(it->second);
+    endpoints_.erase(it);
+  }
+  // Stop delivery before the caller destroys the receiver. Joining waits for
+  // an in-flight Receive to drain, which is why sessions must not destroy
+  // themselves from their own delivery thread.
+  ep->inbox.Close();
+  if (ep->worker.joinable()) {
+    ep->worker.join();
+  }
+  // A concurrent Send may already hold this endpoint's pointer (Lookup
+  // happens before Push, without the map lock held across both). Keep the
+  // endpoint alive — its closed inbox rejects the late Push safely — and
+  // reclaim it at Stop().
+  std::lock_guard<std::mutex> lock(endpoints_mu_);
+  retired_.push_back(std::move(ep));
+}
+
+void ThreadedTransport::StartEndpoint(Endpoint* ep) {
+  ep->worker = std::thread([ep] {
+    while (true) {
+      std::optional<Message> msg = ep->inbox.Pop();
+      if (!msg.has_value()) {
+        return;  // Channel closed.
+      }
+      ep->receiver->Receive(std::move(*msg));
+    }
+  });
+}
+
+ThreadedTransport::Endpoint* ThreadedTransport::Lookup(const Address& addr, CoreId core) {
+  std::lock_guard<std::mutex> lock(endpoints_mu_);
+  // Clients always register at core 0 regardless of what the sender put in
+  // msg.core.
+  CoreId effective_core = addr.kind == Address::Kind::kClient ? 0 : core;
+  auto it = endpoints_.find(EndpointKey(addr, effective_core));
+  return it == endpoints_.end() ? nullptr : it->second.get();
+}
+
+void ThreadedTransport::Send(Message msg) {
+  FaultInjector::Verdict v = faults_.Judge(msg);
+  if (v.drop) {
+    return;
+  }
+  if (v.duplicate) {
+    Deliver(msg, base_delay_ns_ + v.extra_delay_ns);
+  }
+  Deliver(std::move(msg), base_delay_ns_ + v.extra_delay_ns);
+}
+
+void ThreadedTransport::Deliver(Message msg, uint64_t delay_ns) {
+  if (delay_ns == 0) {
+    Endpoint* ep = Lookup(msg.dst, msg.core);
+    if (ep != nullptr) {
+      ep->inbox.Push(std::move(msg));
+    }
+    return;
+  }
+  // Delayed messages ride the timer heap.
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    if (stopping_) {
+      return;
+    }
+    timer_heap_.push_back(PendingTimer{
+        std::chrono::steady_clock::now() + std::chrono::nanoseconds(delay_ns), std::move(msg)});
+    std::push_heap(timer_heap_.begin(), timer_heap_.end());
+  }
+  timer_cv_.notify_one();
+}
+
+void ThreadedTransport::SetTimer(const Address& to, CoreId core, uint64_t delay_ns,
+                                 uint64_t timer_id) {
+  Message msg;
+  msg.src = to;
+  msg.dst = to;
+  msg.core = core;
+  msg.payload = TimerFire{timer_id};
+  // Timers are local to the node; they bypass fault injection.
+  Deliver(std::move(msg), delay_ns == 0 ? 1 : delay_ns);
+}
+
+void ThreadedTransport::TimerLoop() {
+  std::unique_lock<std::mutex> lock(timer_mu_);
+  while (!stopping_) {
+    if (timer_heap_.empty()) {
+      timer_cv_.wait(lock);
+      continue;
+    }
+    auto deadline = timer_heap_.front().deadline;
+    if (timer_cv_.wait_until(lock, deadline) == std::cv_status::timeout ||
+        std::chrono::steady_clock::now() >= deadline) {
+      while (!timer_heap_.empty() &&
+             timer_heap_.front().deadline <= std::chrono::steady_clock::now()) {
+        std::pop_heap(timer_heap_.begin(), timer_heap_.end());
+        Message msg = std::move(timer_heap_.back().msg);
+        timer_heap_.pop_back();
+        lock.unlock();
+        Endpoint* ep = Lookup(msg.dst, msg.core);
+        if (ep != nullptr) {
+          ep->inbox.Push(std::move(msg));
+        }
+        lock.lock();
+        if (stopping_) {
+          return;
+        }
+      }
+    }
+  }
+}
+
+void ThreadedTransport::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    if (stopping_) {
+      return;
+    }
+    stopping_ = true;
+  }
+  timer_cv_.notify_all();
+  if (timer_thread_.joinable()) {
+    timer_thread_.join();
+  }
+  // Close inboxes, then join workers. No new endpoints are registered during
+  // shutdown, so iterating without the lock held across joins is safe.
+  std::vector<Endpoint*> eps;
+  {
+    std::lock_guard<std::mutex> lock(endpoints_mu_);
+    for (auto& [key, ep] : endpoints_) {
+      (void)key;
+      eps.push_back(ep.get());
+    }
+  }
+  for (Endpoint* ep : eps) {
+    ep->inbox.Close();
+  }
+  for (Endpoint* ep : eps) {
+    if (ep->worker.joinable()) {
+      ep->worker.join();
+    }
+  }
+}
+
+void ThreadedTransport::DrainForTesting() {
+  // Two sweeps: a message observed in-flight in sweep one may enqueue work
+  // for another endpoint; repeated empty sweeps make that unlikely enough
+  // for test purposes.
+  for (int round = 0; round < 50; round++) {
+    bool all_empty = true;
+    {
+      std::lock_guard<std::mutex> lock(endpoints_mu_);
+      for (auto& [key, ep] : endpoints_) {
+        (void)key;
+        if (ep->inbox.Size() != 0) {
+          all_empty = false;
+          break;
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(timer_mu_);
+      if (!timer_heap_.empty()) {
+        all_empty = false;
+      }
+    }
+    if (all_empty && round >= 2) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+}  // namespace meerkat

@@ -1,0 +1,95 @@
+// Threaded in-process transport: the "real" runtime used by tests and
+// examples.
+//
+// Each registered endpoint — one per (replica, core) and one per client —
+// owns an MPSC inbox and a dedicated worker thread that drains it into the
+// receiver, emulating one RSS-steered NIC queue polled by one pinned core
+// (paper §6.2). Message sends pass through the fault injector, then an
+// optional delivery delay, then the destination inbox.
+
+#ifndef MEERKAT_SRC_TRANSPORT_THREADED_TRANSPORT_H_
+#define MEERKAT_SRC_TRANSPORT_THREADED_TRANSPORT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/transport/channel.h"
+#include "src/transport/fault_injector.h"
+#include "src/transport/transport.h"
+
+namespace meerkat {
+
+class ThreadedTransport : public Transport {
+ public:
+  // base_delay_ns: one-way delivery delay applied to every message (0 = none;
+  // tests that exercise reordering combine this with the injector's extra
+  // delay).
+  explicit ThreadedTransport(uint64_t base_delay_ns = 0);
+  ~ThreadedTransport() override;
+
+  ThreadedTransport(const ThreadedTransport&) = delete;
+  ThreadedTransport& operator=(const ThreadedTransport&) = delete;
+
+  void RegisterReplica(ReplicaId replica, CoreId core, TransportReceiver* receiver) override;
+  void RegisterClient(uint32_t client_id, TransportReceiver* receiver) override;
+  void UnregisterClient(uint32_t client_id) override;
+  void Send(Message msg) override;
+  void SetTimer(const Address& to, CoreId core, uint64_t delay_ns, uint64_t timer_id) override;
+
+  FaultInjector& faults() { return faults_; }
+
+  // Stops all worker threads and the timer thread. Idempotent; also called by
+  // the destructor. After Stop, Send is a no-op.
+  void Stop();
+
+  // Blocks until every inbox is momentarily empty — a best-effort quiesce used
+  // by tests that want asynchronous commit messages applied before asserting.
+  void DrainForTesting();
+
+ private:
+  struct Endpoint {
+    Channel<Message> inbox;
+    TransportReceiver* receiver = nullptr;
+    std::thread worker;
+  };
+
+  struct PendingTimer {
+    std::chrono::steady_clock::time_point deadline;
+    Message msg;
+    bool operator<(const PendingTimer& other) const { return deadline > other.deadline; }
+  };
+
+  static uint64_t EndpointKey(const Address& addr, CoreId core) {
+    return (static_cast<uint64_t>(addr.kind) << 56) | (static_cast<uint64_t>(addr.id) << 24) |
+           core;
+  }
+
+  Endpoint* Lookup(const Address& addr, CoreId core);
+  void StartEndpoint(Endpoint* ep);
+  void Deliver(Message msg, uint64_t delay_ns);
+  void TimerLoop();
+
+  const uint64_t base_delay_ns_;
+  FaultInjector faults_;
+
+  std::mutex endpoints_mu_;  // Guards the map shape; endpoints are stable once added.
+  std::map<uint64_t, std::unique_ptr<Endpoint>> endpoints_;
+  // Unregistered endpoints, kept alive (inbox closed) until Stop() because a
+  // racing Send may still hold their pointer.
+  std::vector<std::unique_ptr<Endpoint>> retired_;
+
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  std::vector<PendingTimer> timer_heap_;
+  std::thread timer_thread_;
+  bool stopping_ = false;
+};
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_TRANSPORT_THREADED_TRANSPORT_H_

@@ -1,0 +1,57 @@
+// Transport abstraction shared by the threaded runtime and the simulator.
+//
+// A receiver registers under an Address (replica receivers register one
+// endpoint per core, emulating one RSS-steered NIC queue per core, paper
+// §5.2.2/§6.2). Senders address (Address, core); the transport guarantees all
+// messages for a given (replica, core) are processed by the same execution
+// context, which is the invariant Meerkat's per-core trecord partitioning
+// relies on.
+
+#ifndef MEERKAT_SRC_TRANSPORT_TRANSPORT_H_
+#define MEERKAT_SRC_TRANSPORT_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/transport/message.h"
+
+namespace meerkat {
+
+// Handler for inbound messages. Implementations must be safe to call from the
+// transport's delivery context (a core worker thread in the threaded runtime;
+// the simulator's event loop in the simulated runtime).
+class TransportReceiver {
+ public:
+  virtual ~TransportReceiver() = default;
+  virtual void Receive(Message&& msg) = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Register the handler for one core of a replica. Must be called before any
+  // traffic is sent to that endpoint.
+  virtual void RegisterReplica(ReplicaId replica, CoreId core, TransportReceiver* receiver) = 0;
+
+  // Register a client endpoint.
+  virtual void RegisterClient(uint32_t client_id, TransportReceiver* receiver) = 0;
+
+  // Detach a client endpoint: after this returns, the receiver will not be
+  // invoked again and may be destroyed. Client sessions call this from their
+  // destructors. Must not be called from the endpoint's own delivery context.
+  virtual void UnregisterClient(uint32_t client_id) = 0;
+
+  // Send a message (msg.dst / msg.core select the endpoint). Fire-and-forget;
+  // delivery may fail silently under fault injection, exactly like UDP.
+  virtual void Send(Message msg) = 0;
+
+  // Deliver TimerFire{timer_id} to `to` after `delay_ns` (virtual or real
+  // time depending on the runtime). Timers are how receivers implement
+  // retransmission and failure detection without blocking.
+  virtual void SetTimer(const Address& to, CoreId core, uint64_t delay_ns, uint64_t timer_id) = 0;
+};
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_TRANSPORT_TRANSPORT_H_

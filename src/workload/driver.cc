@@ -1,0 +1,141 @@
+#include "src/workload/driver.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace meerkat {
+namespace {
+
+struct ClientLoop {
+  std::unique_ptr<ClientSession> session;
+  Rng rng{1};
+  Workload* workload = nullptr;
+  std::atomic<bool>* stop = nullptr;
+  std::atomic<size_t>* active = nullptr;
+  std::function<void(ClientSession&, TxnResult)>* on_done = nullptr;
+
+  void StartNext() {
+    session->ExecuteAsync(workload->NextTxn(rng), [this](TxnResult result, bool) {
+      if (on_done != nullptr && *on_done) {
+        (*on_done)(*session, result);
+      }
+      if (stop != nullptr && stop->load(std::memory_order_acquire)) {
+        active->fetch_sub(1, std::memory_order_acq_rel);
+        return;
+      }
+      StartNext();
+    });
+  }
+};
+
+CoordinationStats Delta(const CoordinationStats& after, const CoordinationStats& before) {
+  CoordinationStats d;
+  d.shared_structure_ops = after.shared_structure_ops - before.shared_structure_ops;
+  d.shared_structure_waits = after.shared_structure_waits - before.shared_structure_waits;
+  d.key_lock_ops = after.key_lock_ops - before.key_lock_ops;
+  d.key_lock_waits = after.key_lock_waits - before.key_lock_waits;
+  d.replica_to_replica_msgs = after.replica_to_replica_msgs - before.replica_to_replica_msgs;
+  d.client_msgs = after.client_msgs - before.client_msgs;
+  return d;
+}
+
+}  // namespace
+
+RunResult RunSimWorkload(Simulator& sim, SimTransport& transport, System& system,
+                         Workload& workload, const SimRunOptions& options) {
+  if (options.load_initial_keys) {
+    workload.ForEachInitialKey(
+        [&system](const std::string& key, const std::string& value) { system.Load(key, value); });
+  }
+
+  std::vector<std::unique_ptr<ClientLoop>> loops;
+  loops.reserve(options.num_clients);
+  for (size_t i = 0; i < options.num_clients; i++) {
+    auto loop = std::make_unique<ClientLoop>();
+    uint32_t client_id = static_cast<uint32_t>(i + 1);
+    loop->session = system.CreateSession(client_id, options.seed * 7919 + i);
+    loop->rng.Seed(options.seed * 104729 + i * 31);
+    loop->workload = &workload;
+    loops.push_back(std::move(loop));
+  }
+
+  // Stagger client starts slightly so the first round of messages does not
+  // arrive as one synchronized burst.
+  for (size_t i = 0; i < loops.size(); i++) {
+    SimActor* actor = transport.ActorFor(Address::Client(static_cast<uint32_t>(i + 1)), 0);
+    ClientLoop* loop = loops[i].get();
+    sim.Schedule(sim.now() + i * 120 + 1, actor, [loop](SimContext&) { loop->StartNext(); });
+  }
+
+  sim.Run(sim.now() + options.warmup_ns);
+  for (auto& loop : loops) {
+    loop->session->stats() = RunStats{};
+  }
+  CoordinationStats before = sim.context().stats();
+  uint64_t events_before = sim.events_processed();
+
+  sim.Run(sim.now() + options.measure_ns);
+
+  RunResult result;
+  for (auto& loop : loops) {
+    result.stats.Merge(loop->session->stats());
+  }
+  result.elapsed_seconds = static_cast<double>(options.measure_ns) / 1e9;
+  result.coordination = Delta(sim.context().stats(), before);
+  result.events = sim.events_processed() - events_before;
+  // Stop cleanly: pending events reference the sessions we are about to
+  // destroy.
+  sim.Clear();
+  return result;
+}
+
+RunResult RunThreadedWorkload(System& system, Workload& workload,
+                              const ThreadedRunOptions& options) {
+  if (options.load_initial_keys) {
+    workload.ForEachInitialKey(
+        [&system](const std::string& key, const std::string& value) { system.Load(key, value); });
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> active{options.num_clients};
+  auto on_done = options.on_txn_done;
+
+  std::vector<std::unique_ptr<ClientLoop>> loops;
+  loops.reserve(options.num_clients);
+  for (size_t i = 0; i < options.num_clients; i++) {
+    auto loop = std::make_unique<ClientLoop>();
+    uint32_t client_id = static_cast<uint32_t>(i + 1);
+    loop->session = system.CreateSession(client_id, options.seed * 7919 + i);
+    loop->rng.Seed(options.seed * 104729 + i * 31);
+    loop->workload = &workload;
+    loop->stop = &stop;
+    loop->active = &active;
+    loop->on_done = &on_done;
+    loops.push_back(std::move(loop));
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  for (auto& loop : loops) {
+    loop->StartNext();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(options.duration_ms));
+  stop.store(true, std::memory_order_release);
+
+  // Wait for in-flight transactions to drain (bounded: a wedged run should
+  // fail the test, not hang it).
+  for (int i = 0; i < 20000 && active.load(std::memory_order_acquire) != 0; i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto elapsed = std::chrono::steady_clock::now() - start;
+
+  RunResult result;
+  for (auto& loop : loops) {
+    result.stats.Merge(loop->session->stats());
+  }
+  result.elapsed_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed).count();
+  return result;
+}
+
+}  // namespace meerkat

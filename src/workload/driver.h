@@ -1,0 +1,62 @@
+// Closed-loop workload drivers for both runtimes.
+//
+// The simulated driver reproduces the paper's measurement methodology
+// (§6.2): load the database, run closed-loop clients, warm up, then measure
+// goodput (committed transactions per second) over a fixed window.
+//
+// The threaded driver runs the same loop on real threads; integration tests
+// use it with small thread counts, optionally under fault injection.
+
+#ifndef MEERKAT_SRC_WORKLOAD_DRIVER_H_
+#define MEERKAT_SRC_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/api/system.h"
+#include "src/common/stats.h"
+#include "src/sim/simulator.h"
+#include "src/transport/sim_transport.h"
+#include "src/transport/threaded_transport.h"
+#include "src/workload/workload.h"
+
+namespace meerkat {
+
+struct RunResult {
+  RunStats stats;
+  double elapsed_seconds = 0;
+  CoordinationStats coordination;  // Deltas over the measurement window.
+  uint64_t events = 0;             // Simulator events processed (sim runs only).
+};
+
+struct SimRunOptions {
+  size_t num_clients = 64;
+  uint64_t warmup_ns = 10'000'000;    // 10 ms of virtual time.
+  uint64_t measure_ns = 50'000'000;   // 50 ms of virtual time.
+  uint64_t seed = 1;
+  bool load_initial_keys = true;
+};
+
+// Runs `workload` against `system` under the simulator. The system must have
+// been created over `transport`, which must belong to `sim`.
+RunResult RunSimWorkload(Simulator& sim, SimTransport& transport, System& system,
+                         Workload& workload, const SimRunOptions& options);
+
+struct ThreadedRunOptions {
+  size_t num_clients = 4;
+  uint64_t duration_ms = 200;
+  uint64_t seed = 1;
+  bool load_initial_keys = true;
+  // Per-transaction completion hook (serializability checkers); invoked on
+  // the client's worker thread, synchronized externally by the caller.
+  std::function<void(ClientSession&, TxnResult)> on_txn_done;
+};
+
+RunResult RunThreadedWorkload(System& system, Workload& workload,
+                              const ThreadedRunOptions& options);
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_WORKLOAD_DRIVER_H_

@@ -1,0 +1,82 @@
+#include "src/workload/retwis.h"
+
+#include <algorithm>
+
+namespace meerkat {
+
+std::string RetwisWorkload::NextDistinctKey(Rng& rng, std::vector<std::string>& chosen) {
+  // Transactions touch a handful of keys; rejection over a linear scan is
+  // cheaper than a set. Under heavy skew the same hot key repeats, so cap the
+  // retries and accept a duplicate-free prefix of attempts.
+  for (int attempt = 0; attempt < 16; attempt++) {
+    std::string key = FormatKey(chooser_.Next(rng), options_.key_size);
+    if (std::find(chosen.begin(), chosen.end(), key) == chosen.end()) {
+      chosen.push_back(key);
+      return key;
+    }
+  }
+  std::string key = FormatKey(chooser_.Next(rng), options_.key_size);
+  chosen.push_back(key);
+  return key;
+}
+
+TxnPlan RetwisWorkload::MakeTxn(TxnType type, Rng& rng) {
+  TxnPlan plan;
+  std::vector<std::string> chosen;
+  auto get = [&] { plan.ops.push_back(Op::Get(NextDistinctKey(rng, chosen))); };
+  auto put_new = [&] {
+    plan.ops.push_back(
+        Op::Put(NextDistinctKey(rng, chosen), RandomValue(rng, options_.value_size)));
+  };
+  auto rmw_last_read = [&](const std::string& key) {
+    plan.ops.push_back(Op::Put(key, RandomValue(rng, options_.value_size)));
+  };
+
+  switch (type) {
+    case TxnType::kAddUser: {
+      // 1 get + 3 puts: check the user id, then create the user's records.
+      std::string user = NextDistinctKey(rng, chosen);
+      plan.ops.push_back(Op::Get(user));
+      rmw_last_read(user);
+      put_new();
+      put_new();
+      break;
+    }
+    case TxnType::kFollow: {
+      // 2 gets + 2 puts: read both follower lists, write both back.
+      std::string a = NextDistinctKey(rng, chosen);
+      std::string b = NextDistinctKey(rng, chosen);
+      plan.ops.push_back(Op::Get(a));
+      plan.ops.push_back(Op::Get(b));
+      rmw_last_read(a);
+      rmw_last_read(b);
+      break;
+    }
+    case TxnType::kPostTweet: {
+      // 3 gets + 5 puts: read user/timeline/tweet-count, write them back plus
+      // two new records.
+      std::string a = NextDistinctKey(rng, chosen);
+      std::string b = NextDistinctKey(rng, chosen);
+      std::string c = NextDistinctKey(rng, chosen);
+      plan.ops.push_back(Op::Get(a));
+      plan.ops.push_back(Op::Get(b));
+      plan.ops.push_back(Op::Get(c));
+      rmw_last_read(a);
+      rmw_last_read(b);
+      rmw_last_read(c);
+      put_new();
+      put_new();
+      break;
+    }
+    case TxnType::kLoadTimeline: {
+      uint64_t n = rng.NextInRange(1, 10);
+      for (uint64_t i = 0; i < n; i++) {
+        get();
+      }
+      break;
+    }
+  }
+  return plan;
+}
+
+}  // namespace meerkat

@@ -1,0 +1,73 @@
+// Retwis (paper §6.2, Table 2): a Twitter-clone transactional workload, as
+// used by TAPIR. Longer, read-heavy transactions with four types:
+//
+//   Transaction    gets        puts  share
+//   AddUser        1           3       5%
+//   Follow/Unfollow 2          2      15%
+//   PostTweet      3           5      30%
+//   LoadTimeline   rand(1,10)  0      50%
+//
+// Figures 5, 6b, and 7b are measured on this workload.
+
+#ifndef MEERKAT_SRC_WORKLOAD_RETWIS_H_
+#define MEERKAT_SRC_WORKLOAD_RETWIS_H_
+
+#include "src/common/zipf.h"
+#include "src/workload/workload.h"
+
+namespace meerkat {
+
+struct RetwisOptions {
+  uint64_t num_keys = 100000;
+  double zipf_theta = 0.0;
+  size_t key_size = 64;
+  size_t value_size = 64;
+};
+
+class RetwisWorkload : public Workload {
+ public:
+  enum class TxnType : uint8_t { kAddUser, kFollow, kPostTweet, kLoadTimeline };
+
+  explicit RetwisWorkload(const RetwisOptions& options)
+      : options_(options), chooser_(options.num_keys, options.zipf_theta) {}
+
+  const char* name() const override { return "Retwis"; }
+
+  TxnPlan NextTxn(Rng& rng) override { return MakeTxn(NextType(rng), rng); }
+
+  // The type mix, exposed so the Table 2 bench can verify the generator.
+  TxnType NextType(Rng& rng) {
+    uint64_t p = rng.NextBounded(100);
+    if (p < 5) {
+      return TxnType::kAddUser;
+    }
+    if (p < 20) {
+      return TxnType::kFollow;
+    }
+    if (p < 50) {
+      return TxnType::kPostTweet;
+    }
+    return TxnType::kLoadTimeline;
+  }
+
+  TxnPlan MakeTxn(TxnType type, Rng& rng);
+
+  void ForEachInitialKey(
+      const std::function<void(const std::string&, const std::string&)>& fn) override {
+    Rng rng(0x5678);
+    for (uint64_t i = 0; i < options_.num_keys; i++) {
+      fn(FormatKey(i, options_.key_size), RandomValue(rng, options_.value_size));
+    }
+  }
+
+ private:
+  // Draws a key distinct from those already chosen for this transaction.
+  std::string NextDistinctKey(Rng& rng, std::vector<std::string>& chosen);
+
+  const RetwisOptions options_;
+  KeyChooser chooser_;
+};
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_WORKLOAD_RETWIS_H_

@@ -1,0 +1,27 @@
+#include "src/workload/workload.h"
+
+namespace meerkat {
+
+std::string FormatKey(uint64_t index, size_t width) {
+  std::string digits = std::to_string(index);
+  std::string key;
+  key.reserve(width);
+  key.append("key");
+  if (digits.size() + 3 < width) {
+    key.append(width - 3 - digits.size(), '0');
+  }
+  key.append(digits);
+  return key;
+}
+
+std::string RandomValue(Rng& rng, size_t width) {
+  static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string value;
+  value.reserve(width);
+  for (size_t i = 0; i < width; i++) {
+    value.push_back(kAlphabet[rng.NextBounded(sizeof(kAlphabet) - 1)]);
+  }
+  return value;
+}
+
+}  // namespace meerkat

@@ -1,0 +1,41 @@
+// Workload interface + key/value formatting helpers shared by YCSB-T and
+// Retwis (paper §6.2: 64-byte keys and values, 1M keys per core loaded before
+// each run, Zipf-distributed key choice to sweep contention).
+
+#ifndef MEERKAT_SRC_WORKLOAD_WORKLOAD_H_
+#define MEERKAT_SRC_WORKLOAD_WORKLOAD_H_
+
+#include <functional>
+#include <string>
+
+#include "src/common/plan.h"
+#include "src/common/rng.h"
+
+namespace meerkat {
+
+// Formats key index i as a fixed-width key ("key00000000000000000042..."),
+// padded to `width` bytes (the paper uses 64-byte keys).
+std::string FormatKey(uint64_t index, size_t width = 64);
+
+// Generates a value of `width` bytes derived from the rng.
+std::string RandomValue(Rng& rng, size_t width = 64);
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual const char* name() const = 0;
+
+  // Produces the next transaction for one client. Must be deterministic
+  // given the rng stream.
+  virtual TxnPlan NextTxn(Rng& rng) = 0;
+
+  // Enumerates the keys to preload (paper: the full database is loaded into
+  // memory before each run).
+  virtual void ForEachInitialKey(
+      const std::function<void(const std::string& key, const std::string& value)>& fn) = 0;
+};
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_WORKLOAD_WORKLOAD_H_

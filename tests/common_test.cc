@@ -1,0 +1,301 @@
+// Unit tests for src/common: types, rng, zipf, stats, clock, plan.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "src/common/clock.h"
+#include "src/common/plan.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/common/zipf.h"
+
+namespace meerkat {
+namespace {
+
+TEST(TimestampTest, OrderingIsLexicographic) {
+  Timestamp a{10, 1};
+  Timestamp b{10, 2};
+  Timestamp c{11, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(a, c);
+  EXPECT_GT(c, a);
+  EXPECT_LE(a, a);
+  EXPECT_GE(a, a);
+  EXPECT_EQ(a, (Timestamp{10, 1}));
+  EXPECT_NE(a, b);
+}
+
+TEST(TimestampTest, InvalidIsSmallerThanEverything) {
+  EXPECT_FALSE(kInvalidTimestamp.Valid());
+  EXPECT_LT(kInvalidTimestamp, (Timestamp{1, 0}));
+  EXPECT_TRUE((Timestamp{0, 1}).Valid());
+  EXPECT_TRUE((Timestamp{1, 0}).Valid());
+}
+
+TEST(TxnIdTest, UniquenessAcrossClients) {
+  TxnId a{1, 5};
+  TxnId b{2, 5};
+  TxnId c{1, 6};
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, c);
+  TxnIdHash hash;
+  EXPECT_NE(hash(a), hash(b));
+  EXPECT_NE(hash(a), hash(c));
+}
+
+TEST(TxnStatusTest, FinalityAndNames) {
+  EXPECT_TRUE(IsFinal(TxnStatus::kCommitted));
+  EXPECT_TRUE(IsFinal(TxnStatus::kAborted));
+  EXPECT_FALSE(IsFinal(TxnStatus::kNone));
+  EXPECT_FALSE(IsFinal(TxnStatus::kValidatedOk));
+  EXPECT_FALSE(IsFinal(TxnStatus::kValidatedAbort));
+  EXPECT_FALSE(IsFinal(TxnStatus::kAcceptCommit));
+  EXPECT_STREQ(ToString(TxnStatus::kValidatedOk), "VALIDATED-OK");
+  EXPECT_STREQ(ToString(TxnResult::kCommit), "COMMIT");
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng c(43);
+  EXPECT_NE(Rng(42).Next(), c.Next());
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+  for (int i = 0; i < 1000; i++) {
+    uint64_t v = rng.NextInRange(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, BoundedIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr uint64_t kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; i++) {
+    counts[rng.NextBounded(kBuckets)]++;
+  }
+  for (uint64_t b = 0; b < kBuckets; b++) {
+    EXPECT_NEAR(counts[b], kSamples / kBuckets, kSamples / kBuckets * 0.1) << "bucket " << b;
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; i++) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  Rng rng(5);
+  ZipfGenerator zipf(100, 0.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; i++) {
+    uint64_t v = zipf.Next(rng);
+    ASSERT_LT(v, 100u);
+    counts[v]++;
+  }
+  EXPECT_NEAR(counts[0], 1000, 200);
+  EXPECT_NEAR(counts[99], 1000, 200);
+}
+
+TEST(ZipfTest, SkewConcentratesOnLowRanks) {
+  Rng rng(5);
+  ZipfGenerator zipf(100000, 0.99);
+  uint64_t top10 = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; i++) {
+    if (zipf.Next(rng) < 10) {
+      top10++;
+    }
+  }
+  // At theta ~1 over 100k items, the top 10 ranks draw a large constant
+  // fraction of all accesses.
+  EXPECT_GT(top10, kSamples / 5u);
+}
+
+TEST(ZipfTest, RanksMatchTheoreticalRatios) {
+  Rng rng(17);
+  ZipfGenerator zipf(1000, 0.8);
+  std::vector<int> counts(1000, 0);
+  constexpr int kSamples = 400000;
+  for (int i = 0; i < kSamples; i++) {
+    counts[zipf.Next(rng)]++;
+  }
+  // P(rank 0) / P(rank 9) should be ~ (10/1)^0.8 = ~6.3.
+  double ratio = static_cast<double>(counts[0]) / static_cast<double>(counts[9]);
+  EXPECT_NEAR(ratio, std::pow(10.0, 0.8), std::pow(10.0, 0.8) * 0.25);
+}
+
+TEST(ZipfTest, HandlesThetaNearOne) {
+  Rng rng(5);
+  ZipfGenerator zipf(1000, 1.0);  // Internally nudged off the pole.
+  for (int i = 0; i < 10000; i++) {
+    ASSERT_LT(zipf.Next(rng), 1000u);
+  }
+}
+
+TEST(KeyChooserTest, ScramblesButCoversKeyspace) {
+  Rng rng(5);
+  KeyChooser chooser(1000, 0.9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 50000; i++) {
+    uint64_t k = chooser.Next(rng);
+    ASSERT_LT(k, 1000u);
+    seen.insert(k);
+  }
+  EXPECT_GT(seen.size(), 500u);  // Scrambled hot set still covers broadly.
+}
+
+TEST(LatencyHistogramTest, QuantilesAndMean) {
+  LatencyHistogram hist;
+  for (uint64_t v = 1; v <= 1000; v++) {
+    hist.Record(v * 1000);  // 1us .. 1000us
+  }
+  EXPECT_EQ(hist.Count(), 1000u);
+  EXPECT_NEAR(hist.MeanNanos(), 500500.0, 1000.0);
+  EXPECT_NEAR(static_cast<double>(hist.QuantileNanos(0.5)), 500000.0, 500000.0 * 0.05);
+  EXPECT_NEAR(static_cast<double>(hist.QuantileNanos(0.99)), 990000.0, 990000.0 * 0.05);
+  EXPECT_EQ(hist.MinNanos(), 1000u);
+  EXPECT_EQ(hist.MaxNanos(), 1000000u);
+}
+
+TEST(LatencyHistogramTest, MergeAndReset) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.Record(100);
+  b.Record(300);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_EQ(a.MinNanos(), 100u);
+  EXPECT_EQ(a.MaxNanos(), 300u);
+  a.Reset();
+  EXPECT_EQ(a.Count(), 0u);
+  EXPECT_EQ(a.QuantileNanos(0.5), 0u);
+}
+
+TEST(LatencyHistogramTest, ZeroAndHugeValues) {
+  LatencyHistogram hist;
+  hist.Record(0);
+  hist.Record(UINT64_MAX);
+  EXPECT_EQ(hist.Count(), 2u);
+  EXPECT_EQ(hist.MinNanos(), 0u);
+  EXPECT_EQ(hist.MaxNanos(), UINT64_MAX);
+}
+
+TEST(RunStatsTest, RatesAndMerge) {
+  RunStats a;
+  a.committed = 90;
+  a.aborted = 10;
+  EXPECT_DOUBLE_EQ(a.AbortRate(), 0.1);
+  EXPECT_DOUBLE_EQ(a.GoodputPerSec(2.0), 45.0);
+  RunStats b;
+  b.committed = 10;
+  b.failed = 5;
+  a.Merge(b);
+  EXPECT_EQ(a.committed, 100u);
+  EXPECT_EQ(a.failed, 5u);
+  EXPECT_EQ(a.Attempts(), 115u);
+  RunStats empty;
+  EXPECT_DOUBLE_EQ(empty.AbortRate(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.GoodputPerSec(0.0), 0.0);
+}
+
+TEST(ClockTest, StrictlyMonotonicPerClient) {
+  SystemTimeSource source;
+  LooselySyncedClock clock(&source, 0, 0);
+  uint64_t last = 0;
+  for (int i = 0; i < 1000; i++) {
+    uint64_t now = clock.Now();
+    EXPECT_GT(now, last);
+    last = now;
+  }
+}
+
+TEST(ClockTest, SkewShiftsReadings) {
+  class FixedSource : public TimeSource {
+   public:
+    uint64_t NowNanos() override { return 1'000'000; }
+  };
+  FixedSource source;
+  LooselySyncedClock ahead(&source, 500, 0);
+  LooselySyncedClock behind(&source, -500, 0);
+  EXPECT_EQ(ahead.Now(), 1'000'500u);
+  EXPECT_EQ(behind.Now(), 999'500u);
+}
+
+TEST(ClockTest, JitterStaysBoundedAndMonotonic) {
+  class FixedSource : public TimeSource {
+   public:
+    uint64_t NowNanos() override { return t_ += 10000; }
+
+   private:
+    uint64_t t_ = 1'000'000;
+  };
+  FixedSource source;
+  LooselySyncedClock clock(&source, 0, 2000, 7);
+  uint64_t last = 0;
+  for (int i = 0; i < 1000; i++) {
+    uint64_t now = clock.Now();
+    EXPECT_GT(now, last);
+    last = now;
+  }
+}
+
+TEST(PlanTest, CountsReadsAndWrites) {
+  TxnPlan plan;
+  plan.ops.push_back(Op::Get("a"));
+  plan.ops.push_back(Op::Put("b", "1"));
+  plan.ops.push_back(Op::Rmw("c", "2"));
+  EXPECT_EQ(plan.NumReads(), 2u);   // Get + Rmw.
+  EXPECT_EQ(plan.NumWrites(), 2u);  // Put + Rmw.
+}
+
+// Property sweep: Zipf stays in range and is deterministic for a grid of
+// (n, theta) configurations.
+class ZipfPropertyTest : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(ZipfPropertyTest, InRangeAndDeterministic) {
+  auto [n, theta] = GetParam();
+  Rng rng1(99);
+  Rng rng2(99);
+  ZipfGenerator zipf1(n, theta);
+  ZipfGenerator zipf2(n, theta);
+  for (int i = 0; i < 2000; i++) {
+    uint64_t a = zipf1.Next(rng1);
+    uint64_t b = zipf2.Next(rng2);
+    ASSERT_LT(a, n);
+    ASSERT_EQ(a, b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ZipfPropertyTest,
+    ::testing::Combine(::testing::Values<uint64_t>(1, 2, 10, 1000, 1000000),
+                       ::testing::Values(0.0, 0.3, 0.6, 0.9, 0.99, 1.2)));
+
+}  // namespace
+}  // namespace meerkat

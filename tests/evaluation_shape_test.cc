@@ -1,0 +1,100 @@
+// The paper's headline evaluation claims, encoded as fast regression tests
+// over small simulator runs. These are the guardrails that keep future
+// changes from silently breaking the reproduced phenomena; the full-scale
+// versions live in bench/ (see EXPERIMENTS.md).
+
+#include <gtest/gtest.h>
+
+#include "bench/harness.h"
+
+namespace meerkat {
+namespace {
+
+BenchOptions QuickOpt() {
+  BenchOptions opt;
+  opt.measure_ms = 6;
+  opt.warmup_ms = 2;
+  opt.clients_per_thread = 8;
+  return opt;
+}
+
+TEST(EvaluationShapeTest, MeerkatScalesWithThreadsOnYcsb) {
+  BenchOptions opt = QuickOpt();
+  double at8 = RunPoint(SystemKind::kMeerkat, WorkloadKind::kYcsbT, 8, 0.0, opt).goodput_mtps;
+  double at32 = RunPoint(SystemKind::kMeerkat, WorkloadKind::kYcsbT, 32, 0.0, opt).goodput_mtps;
+  // Paper §6.3: Meerkat keeps scaling; expect at least 3x from 4x threads.
+  EXPECT_GT(at32, at8 * 3.0) << "at8=" << at8 << " at32=" << at32;
+}
+
+TEST(EvaluationShapeTest, NonZcpSystemsBottleneckEarly) {
+  BenchOptions opt = QuickOpt();
+  // Paper §6.3: KuaFu++ and TAPIR stop scaling by ~6-8 threads; by 16->48
+  // threads their throughput is flat.
+  for (SystemKind kind : {SystemKind::kKuaFu, SystemKind::kTapir}) {
+    double at16 = RunPoint(kind, WorkloadKind::kYcsbT, 16, 0.0, opt).goodput_mtps;
+    double at48 = RunPoint(kind, WorkloadKind::kYcsbT, 48, 0.0, opt).goodput_mtps;
+    EXPECT_LT(at48, at16 * 1.25) << ToString(kind) << " kept scaling: " << at16 << " -> "
+                                 << at48;
+  }
+}
+
+TEST(EvaluationShapeTest, SystemOrderingAtScaleMatchesFigure4) {
+  BenchOptions opt = QuickOpt();
+  double meerkat = RunPoint(SystemKind::kMeerkat, WorkloadKind::kYcsbT, 48, 0.0, opt).goodput_mtps;
+  double pb = RunPoint(SystemKind::kMeerkatPb, WorkloadKind::kYcsbT, 48, 0.0, opt).goodput_mtps;
+  double tapir = RunPoint(SystemKind::kTapir, WorkloadKind::kYcsbT, 48, 0.0, opt).goodput_mtps;
+  double kuafu = RunPoint(SystemKind::kKuaFu, WorkloadKind::kYcsbT, 48, 0.0, opt).goodput_mtps;
+  // MEERKAT > MEERKAT-PB > TAPIR > KuaFu++ at 48 threads (paper Fig. 4).
+  EXPECT_GT(meerkat, pb);
+  EXPECT_GT(pb, tapir * 2);
+  EXPECT_GT(tapir, kuafu);
+  // And the headline gap is an order of magnitude.
+  EXPECT_GT(meerkat, kuafu * 8);
+}
+
+TEST(EvaluationShapeTest, HighContentionFavorsPrimaryBackup) {
+  // Paper §6.5 / Fig. 6a: Meerkat leads at low skew; at very high skew the
+  // decentralized OCC's extra aborts hand the win to Meerkat-PB.
+  BenchOptions opt = QuickOpt();
+  opt.measure_ms = 8;
+  const size_t kThreads = 32;
+  double meerkat_low = RunPoint(SystemKind::kMeerkat, WorkloadKind::kYcsbT, kThreads, 0.0, opt)
+                           .goodput_mtps;
+  double pb_low = RunPoint(SystemKind::kMeerkatPb, WorkloadKind::kYcsbT, kThreads, 0.0, opt)
+                      .goodput_mtps;
+  EXPECT_GT(meerkat_low, pb_low);
+
+  PointResult meerkat_high =
+      RunPoint(SystemKind::kMeerkat, WorkloadKind::kYcsbT, kThreads, 1.1, opt);
+  PointResult pb_high =
+      RunPoint(SystemKind::kMeerkatPb, WorkloadKind::kYcsbT, kThreads, 1.1, opt);
+  EXPECT_GT(pb_high.goodput_mtps, meerkat_high.goodput_mtps)
+      << "meerkat=" << meerkat_high.goodput_mtps << " pb=" << pb_high.goodput_mtps;
+  // And the mechanism is the abort rate (Fig. 7a).
+  EXPECT_GT(meerkat_high.abort_rate, pb_high.abort_rate);
+}
+
+TEST(EvaluationShapeTest, AbortRatesClimbWithSkew) {
+  BenchOptions opt = QuickOpt();
+  PointResult low = RunPoint(SystemKind::kMeerkat, WorkloadKind::kYcsbT, 16, 0.0, opt);
+  PointResult high = RunPoint(SystemKind::kMeerkat, WorkloadKind::kYcsbT, 16, 0.95, opt);
+  EXPECT_LT(low.abort_rate, 0.02);
+  EXPECT_GT(high.abort_rate, low.abort_rate * 3);
+}
+
+TEST(EvaluationShapeTest, FastPathDominatesUncontendedRuns) {
+  BenchOptions opt = QuickOpt();
+  PointResult p = RunPoint(SystemKind::kMeerkat, WorkloadKind::kYcsbT, 16, 0.0, opt);
+  EXPECT_GT(p.fast_path_fraction, 0.95);
+}
+
+TEST(EvaluationShapeTest, RetwisThroughputBelowYcsb) {
+  // Paper §6.4: longer transactions -> lower absolute throughput everywhere.
+  BenchOptions opt = QuickOpt();
+  double ycsb = RunPoint(SystemKind::kMeerkat, WorkloadKind::kYcsbT, 16, 0.0, opt).goodput_mtps;
+  double retwis = RunPoint(SystemKind::kMeerkat, WorkloadKind::kRetwis, 16, 0.0, opt).goodput_mtps;
+  EXPECT_GT(ycsb, retwis * 1.5);
+}
+
+}  // namespace
+}  // namespace meerkat

@@ -1,0 +1,68 @@
+// Tests for the Fig. 1 substrate: the plain PUT server, its closed-loop
+// client, and the counter-bottleneck phenomenon in miniature.
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/plain_kv.h"
+#include "src/sim/simulator.h"
+#include "src/transport/sim_transport.h"
+
+namespace meerkat {
+namespace {
+
+TEST(PlainKvTest, ClosedLoopClientStreamsPuts) {
+  CostModel cost = CostModel::ForStack(NetworkStack::kErpc);
+  Simulator sim(cost);
+  SimTransport transport(&sim);
+  PlainKvServer server(0, /*num_cores=*/2, &transport, /*use_shared_counter=*/true);
+  PlainKvClient client(1, 0, 2, &transport, 7);
+
+  sim.Schedule(1, transport.ActorFor(Address::Client(1), 0),
+               [&](SimContext&) { client.Start(); });
+  sim.Run(5'000'000);  // 5 ms of virtual time.
+  sim.Clear();
+
+  EXPECT_GT(client.completed(), 100u);
+  // The counter counts every handled PUT (replies may still be in flight).
+  EXPECT_GE(server.puts_handled(), client.completed());
+  EXPECT_GT(server.store().SizeForTesting(), 0u);
+}
+
+TEST(PlainKvTest, SharedCounterCapsThroughputOnFastStack) {
+  // Miniature Fig. 1: with many cores on the kernel-bypass stack, adding the
+  // shared counter must cost real throughput; on the slow stack it must not.
+  auto throughput = [](NetworkStack stack, bool counter) {
+    CostModel cost = CostModel::ForStack(stack);
+    Simulator sim(cost);
+    SimTransport transport(&sim);
+    PlainKvServer server(0, /*num_cores=*/16, &transport, counter);
+    std::vector<std::unique_ptr<PlainKvClient>> clients;
+    for (uint32_t c = 1; c <= 128; c++) {
+      clients.push_back(std::make_unique<PlainKvClient>(c, 0, 16, &transport, c));
+    }
+    for (uint32_t c = 1; c <= 128; c++) {
+      PlainKvClient* client = clients[c - 1].get();
+      sim.Schedule(c * 50, transport.ActorFor(Address::Client(c), 0),
+                   [client](SimContext&) { client->Start(); });
+    }
+    sim.Run(10'000'000);
+    sim.Clear();
+    uint64_t total = 0;
+    for (auto& client : clients) {
+      total += client->completed();
+    }
+    return static_cast<double>(total) / 0.01;  // ops/sec over 10ms.
+  };
+
+  double erpc = throughput(NetworkStack::kErpc, false);
+  double erpc_counter = throughput(NetworkStack::kErpc, true);
+  double udp = throughput(NetworkStack::kLinuxUdp, false);
+  double udp_counter = throughput(NetworkStack::kLinuxUdp, true);
+
+  EXPECT_LT(erpc_counter, erpc * 0.95) << "counter invisible on fast stack";
+  EXPECT_GT(udp_counter, udp * 0.97) << "counter visibly hurt the slow stack";
+  EXPECT_GT(erpc, udp * 4) << "kernel-bypass speedup missing";
+}
+
+}  // namespace
+}  // namespace meerkat

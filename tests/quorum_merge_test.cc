@@ -1,0 +1,258 @@
+// Unit tests for quorum arithmetic, the epoch-change merge rules (§5.3.1),
+// and the backup-coordinator outcome priorities (§5.3.2).
+
+#include <gtest/gtest.h>
+
+#include "src/protocol/epoch_merge.h"
+#include "src/protocol/quorum.h"
+
+namespace meerkat {
+namespace {
+
+TEST(QuorumTest, SizesForSmallF) {
+  QuorumConfig f1 = QuorumConfig::ForReplicas(3);
+  EXPECT_EQ(f1.f, 1u);
+  EXPECT_EQ(f1.Majority(), 2u);
+  EXPECT_EQ(f1.SuperMajority(), 3u);  // f + ceil(f/2) + 1 = 1+1+1.
+  EXPECT_EQ(f1.FastWitness(), 2u);    // ceil(f/2) + 1.
+
+  QuorumConfig f2 = QuorumConfig::ForReplicas(5);
+  EXPECT_EQ(f2.f, 2u);
+  EXPECT_EQ(f2.Majority(), 3u);
+  EXPECT_EQ(f2.SuperMajority(), 4u);  // 2+1+1.
+  EXPECT_EQ(f2.FastWitness(), 2u);
+
+  QuorumConfig f3 = QuorumConfig::ForReplicas(7);
+  EXPECT_EQ(f3.f, 3u);
+  EXPECT_EQ(f3.Majority(), 4u);
+  EXPECT_EQ(f3.SuperMajority(), 6u);  // 3+2+1.
+  EXPECT_EQ(f3.FastWitness(), 3u);
+}
+
+TEST(QuorumTest, FastQuorumIntersectsMajorityInFastWitness) {
+  // The recovery safety argument (§5.4): any majority quorum intersects any
+  // supermajority quorum in at least FastWitness replicas.
+  for (size_t n : {3u, 5u, 7u, 9u, 11u}) {
+    QuorumConfig q = QuorumConfig::ForReplicas(n);
+    size_t min_intersection = q.SuperMajority() + q.Majority() - q.n;
+    EXPECT_GE(min_intersection, q.FastWitness()) << "n=" << n;
+  }
+}
+
+TEST(QuorumTest, FastPathStillPossible) {
+  QuorumConfig q = QuorumConfig::ForReplicas(3);
+  // 1 matching of 1 received: 2 outstanding could still match -> possible.
+  EXPECT_TRUE(q.FastPathStillPossible(1, 1));
+  // 1 matching of 2 received: 1 outstanding -> max 2 matching < 3.
+  EXPECT_FALSE(q.FastPathStillPossible(1, 2));
+  EXPECT_TRUE(q.FastPathStillPossible(2, 2));
+  EXPECT_FALSE(q.FastPathStillPossible(2, 3));
+  EXPECT_TRUE(q.FastPathStillPossible(3, 3));
+}
+
+// --- Epoch merge ---
+
+TxnRecordSnapshot Snap(TxnId tid, TxnStatus status, Timestamp ts = Timestamp{50, 1},
+                       ViewNum accept_view = 0, bool accepted = false) {
+  TxnRecordSnapshot s;
+  s.tid = tid;
+  s.ts = ts;
+  s.status = status;
+  s.accept_view = accept_view;
+  s.accepted = accepted;
+  s.core = 0;
+  s.read_set = {{"k", Timestamp{1, 0}}};
+  s.write_set = {{"k", "v"}};
+  return s;
+}
+
+EpochChangeAck Ack(ReplicaId from, std::vector<TxnRecordSnapshot> records) {
+  EpochChangeAck ack;
+  ack.epoch = 1;
+  ack.from = from;
+  ack.records = std::move(records);
+  return ack;
+}
+
+const QuorumConfig kQ3 = QuorumConfig::ForReplicas(3);
+const TxnId kTid{1, 1};
+
+TxnStatus MergedStatus(const MergedEpochState& merged, TxnId tid) {
+  for (const TxnRecordSnapshot& rec : merged.records) {
+    if (rec.tid == tid) {
+      return rec.status;
+    }
+  }
+  return TxnStatus::kNone;
+}
+
+TEST(EpochMergeTest, Rule1FinalOutcomeWins) {
+  // One replica finalized COMMITTED; another still has VALIDATED-ABORT.
+  MergedEpochState merged = MergeEpochState(
+      kQ3, {Ack(0, {Snap(kTid, TxnStatus::kCommitted)}),
+            Ack(1, {Snap(kTid, TxnStatus::kValidatedAbort)})});
+  EXPECT_EQ(MergedStatus(merged, kTid), TxnStatus::kCommitted);
+}
+
+TEST(EpochMergeTest, Rule1AbortedWins) {
+  MergedEpochState merged = MergeEpochState(
+      kQ3, {Ack(0, {Snap(kTid, TxnStatus::kAborted)}),
+            Ack(1, {Snap(kTid, TxnStatus::kValidatedOk)})});
+  EXPECT_EQ(MergedStatus(merged, kTid), TxnStatus::kAborted);
+}
+
+TEST(EpochMergeTest, Rule2HighestAcceptViewWins) {
+  // Two accepted proposals in different views: view 3 (abort) must beat
+  // view 1 (commit).
+  MergedEpochState merged = MergeEpochState(
+      kQ3, {Ack(0, {Snap(kTid, TxnStatus::kAcceptCommit, Timestamp{50, 1}, 1, true)}),
+            Ack(1, {Snap(kTid, TxnStatus::kAcceptAbort, Timestamp{50, 1}, 3, true)})});
+  EXPECT_EQ(MergedStatus(merged, kTid), TxnStatus::kAborted);
+}
+
+TEST(EpochMergeTest, Rule3MajorityValidatedOkCommits) {
+  MergedEpochState merged = MergeEpochState(
+      kQ3, {Ack(0, {Snap(kTid, TxnStatus::kValidatedOk)}),
+            Ack(1, {Snap(kTid, TxnStatus::kValidatedOk)})});
+  EXPECT_EQ(MergedStatus(merged, kTid), TxnStatus::kCommitted);
+}
+
+TEST(EpochMergeTest, Rule3MajorityValidatedAbortAborts) {
+  MergedEpochState merged = MergeEpochState(
+      kQ3, {Ack(0, {Snap(kTid, TxnStatus::kValidatedAbort)}),
+            Ack(1, {Snap(kTid, TxnStatus::kValidatedAbort)})});
+  EXPECT_EQ(MergedStatus(merged, kTid), TxnStatus::kAborted);
+}
+
+TEST(EpochMergeTest, Rule4PossibleFastCommitRevalidatesOk) {
+  // Only one VALIDATED-OK visible in a 2-ack quorum at n=3 (FastWitness=2
+  // needs 2)... with exactly FastWitness(=2) OKs, the txn might have
+  // fast-committed; re-validation against the merged committed state decides.
+  // Here nothing conflicts, so it commits.
+  MergedEpochState merged = MergeEpochState(
+      kQ3, {Ack(0, {Snap(kTid, TxnStatus::kValidatedOk)}),
+            Ack(1, {Snap(kTid, TxnStatus::kValidatedOk)}),
+            Ack(2, {})});
+  EXPECT_EQ(MergedStatus(merged, kTid), TxnStatus::kCommitted);
+}
+
+TEST(EpochMergeTest, Rule4RevalidationAbortsOnConflict) {
+  // The possibly-fast-committed txn read version {1,0} of "k", but another
+  // COMMITTED txn wrote "k" at ts {40,2} < our ts {50,1}: re-validation must
+  // abort (the read is stale in the merged committed state).
+  QuorumConfig q5 = QuorumConfig::ForReplicas(5);
+  TxnId other{2, 1};
+  TxnRecordSnapshot committed = Snap(other, TxnStatus::kCommitted, Timestamp{40, 2});
+  // With n=5 (FastWitness=2 < Majority=3), 2 OKs of 3 acks trigger rule 4.
+  MergedEpochState merged = MergeEpochState(
+      q5, {Ack(0, {Snap(kTid, TxnStatus::kValidatedOk), committed}),
+           Ack(1, {Snap(kTid, TxnStatus::kValidatedOk)}),
+           Ack(2, {committed})});
+  EXPECT_EQ(MergedStatus(merged, other), TxnStatus::kCommitted);
+  EXPECT_EQ(MergedStatus(merged, kTid), TxnStatus::kAborted);
+}
+
+TEST(EpochMergeTest, Rule5UnknownTransactionsAbort) {
+  // A single VALIDATED-OK at n=5 is below FastWitness(2): abort.
+  QuorumConfig q5 = QuorumConfig::ForReplicas(5);
+  MergedEpochState merged = MergeEpochState(
+      q5, {Ack(0, {Snap(kTid, TxnStatus::kValidatedOk)}), Ack(1, {}), Ack(2, {})});
+  EXPECT_EQ(MergedStatus(merged, kTid), TxnStatus::kAborted);
+}
+
+TEST(EpochMergeTest, StoreStateTakesMaxVersionPerKey) {
+  EpochChangeAck a = Ack(0, {});
+  a.store_state = {{"k", "old"}};
+  a.store_versions = {Timestamp{5, 0}};
+  EpochChangeAck b = Ack(1, {});
+  b.store_state = {{"k", "new"}, {"j", "x"}};
+  b.store_versions = {Timestamp{9, 0}, Timestamp{2, 0}};
+  MergedEpochState merged = MergeEpochState(kQ3, {a, b});
+  ASSERT_EQ(merged.store_state.size(), 2u);
+  for (size_t i = 0; i < merged.store_state.size(); i++) {
+    if (merged.store_state[i].key == "k") {
+      EXPECT_EQ(merged.store_state[i].value, "new");
+      EXPECT_EQ(merged.store_versions[i], (Timestamp{9, 0}));
+    } else {
+      EXPECT_EQ(merged.store_state[i].key, "j");
+    }
+  }
+}
+
+TEST(EpochMergeTest, MergedRecordsAreAllFinal) {
+  MergedEpochState merged = MergeEpochState(
+      kQ3, {Ack(0, {Snap(kTid, TxnStatus::kValidatedOk), Snap(TxnId{9, 9}, TxnStatus::kNone)}),
+            Ack(1, {Snap(kTid, TxnStatus::kValidatedAbort)})});
+  for (const TxnRecordSnapshot& rec : merged.records) {
+    EXPECT_TRUE(IsFinal(rec.status)) << rec.tid.ToString();
+    EXPECT_FALSE(rec.accepted);
+  }
+}
+
+// --- Backup-coordinator outcome selection ---
+
+CoordChangeAck CcAck(ReplicaId from, bool has_record, TxnRecordSnapshot record = {}) {
+  CoordChangeAck ack;
+  ack.tid = kTid;
+  ack.view = 1;
+  ack.ok = true;
+  ack.from = from;
+  ack.has_record = has_record;
+  ack.record = std::move(record);
+  return ack;
+}
+
+TEST(RecoveryOutcomeTest, Priority1CompletedWins) {
+  EXPECT_TRUE(ChooseRecoveryOutcome(
+      kQ3, {CcAck(0, true, Snap(kTid, TxnStatus::kCommitted)),
+            CcAck(1, true, Snap(kTid, TxnStatus::kValidatedAbort))}));
+  EXPECT_FALSE(ChooseRecoveryOutcome(
+      kQ3, {CcAck(0, true, Snap(kTid, TxnStatus::kAborted)),
+            CcAck(1, true, Snap(kTid, TxnStatus::kValidatedOk))}));
+}
+
+TEST(RecoveryOutcomeTest, Priority2HighestAcceptView) {
+  EXPECT_FALSE(ChooseRecoveryOutcome(
+      kQ3, {CcAck(0, true, Snap(kTid, TxnStatus::kAcceptCommit, Timestamp{50, 1}, 1, true)),
+            CcAck(1, true, Snap(kTid, TxnStatus::kAcceptAbort, Timestamp{50, 1}, 2, true))}));
+  EXPECT_TRUE(ChooseRecoveryOutcome(
+      kQ3, {CcAck(0, true, Snap(kTid, TxnStatus::kAcceptCommit, Timestamp{50, 1}, 5, true)),
+            CcAck(1, true, Snap(kTid, TxnStatus::kAcceptAbort, Timestamp{50, 1}, 2, true))}));
+}
+
+TEST(RecoveryOutcomeTest, Priority3MajorityValidated) {
+  EXPECT_TRUE(ChooseRecoveryOutcome(kQ3, {CcAck(0, true, Snap(kTid, TxnStatus::kValidatedOk)),
+                                          CcAck(1, true, Snap(kTid, TxnStatus::kValidatedOk)),
+                                          CcAck(2, false)}));
+  EXPECT_FALSE(
+      ChooseRecoveryOutcome(kQ3, {CcAck(0, true, Snap(kTid, TxnStatus::kValidatedAbort)),
+                                  CcAck(1, true, Snap(kTid, TxnStatus::kValidatedAbort))}));
+}
+
+TEST(RecoveryOutcomeTest, Priority4PossibleFastCommit) {
+  QuorumConfig q5 = QuorumConfig::ForReplicas(5);
+  // 2 OKs of 3 replies at n=5: below Majority(3) but at FastWitness(2).
+  EXPECT_TRUE(ChooseRecoveryOutcome(q5, {CcAck(0, true, Snap(kTid, TxnStatus::kValidatedOk)),
+                                         CcAck(1, true, Snap(kTid, TxnStatus::kValidatedOk)),
+                                         CcAck(2, false)}));
+}
+
+TEST(RecoveryOutcomeTest, Priority5NothingKnownAborts) {
+  EXPECT_FALSE(ChooseRecoveryOutcome(kQ3, {CcAck(0, false), CcAck(1, false)}));
+  EXPECT_FALSE(ChooseRecoveryOutcome(
+      kQ3, {CcAck(0, true, Snap(kTid, TxnStatus::kValidatedAbort)), CcAck(1, false)}));
+}
+
+TEST(RecoveryOutcomeTest, FindPayloadPrefersRecordWithSets) {
+  TxnRecordSnapshot empty;
+  empty.tid = kTid;
+  empty.ts = Timestamp{50, 1};
+  auto found = FindPayloadSnapshot(
+      {CcAck(0, true, empty), CcAck(1, true, Snap(kTid, TxnStatus::kValidatedOk))});
+  ASSERT_TRUE(found.has_value());
+  EXPECT_FALSE(found->write_set.empty());
+  EXPECT_FALSE(FindPayloadSnapshot({CcAck(0, false)}).has_value());
+}
+
+}  // namespace
+}  // namespace meerkat

@@ -1,0 +1,180 @@
+// Session-level behaviour tests: execute-phase mechanics (read-your-writes,
+// read caching, transforms), retry/timeout behaviour under faults, and stats
+// accounting — all under the deterministic simulator.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "src/protocol/replica.h"
+#include "src/protocol/session.h"
+#include "src/sim/sim_time_source.h"
+#include "src/transport/sim_transport.h"
+#include "tests/test_util.h"
+
+namespace meerkat {
+namespace {
+
+class SessionFixture : public ::testing::Test {
+ protected:
+  SessionFixture() : sim_(CostModel{}), transport_(&sim_), time_source_(&sim_) {
+    for (ReplicaId r = 0; r < 3; r++) {
+      replicas_.push_back(std::make_unique<MeerkatReplica>(r, QuorumConfig::ForReplicas(3), 2,
+                                                           &transport_));
+    }
+  }
+
+  std::unique_ptr<MeerkatSession> MakeSession(uint64_t retry_ns = 0) {
+    SessionOptions options;
+    options.quorum = QuorumConfig::ForReplicas(3);
+    options.cores_per_replica = 2;
+    options.retry_timeout_ns = retry_ns;
+    return std::make_unique<MeerkatSession>(1, &transport_, &time_source_, options, 11);
+  }
+
+  TxnResult RunTxn(MeerkatSession& session, TxnPlan plan, uint64_t horizon = 0) {
+    std::optional<TxnResult> result;
+    SimActor* actor = transport_.ActorFor(Address::Client(1), 0);
+    sim_.Schedule(sim_.now() + 1, actor, [&](SimContext&) {
+      session.ExecuteAsync(std::move(plan), [&result](TxnResult r, bool) { result = r; });
+    });
+    if (horizon == 0) {
+      sim_.Run();
+    } else {
+      sim_.Run(sim_.now() + horizon);
+    }
+    return result.value_or(TxnResult::kFailed);
+  }
+
+  void Load(const std::string& key, const std::string& value) {
+    for (auto& replica : replicas_) {
+      replica->LoadKey(key, value, Timestamp{1, 0});
+    }
+  }
+
+  Simulator sim_;
+  SimTransport transport_;
+  SimTimeSource time_source_;
+  std::vector<std::unique_ptr<MeerkatReplica>> replicas_;
+};
+
+TEST_F(SessionFixture, ReadSetRecordsVersions) {
+  Load("a", "1");
+  auto session = MakeSession();
+  TxnPlan plan;
+  plan.ops.push_back(Op::Get("a"));
+  plan.ops.push_back(Op::Get("ghost"));
+  ASSERT_EQ(RunTxn(*session, plan), TxnResult::kCommit);
+  const auto& reads = session->last_read_set();
+  ASSERT_EQ(reads.size(), 2u);
+  EXPECT_EQ(reads[0].key, "a");
+  EXPECT_EQ(reads[0].read_wts, (Timestamp{1, 0}));
+  EXPECT_EQ(reads[1].key, "ghost");
+  EXPECT_FALSE(reads[1].read_wts.Valid());
+  EXPECT_EQ(session->last_read_value("a").value_or(""), "1");
+  EXPECT_EQ(session->last_read_value("ghost").value_or("x"), "");
+  EXPECT_FALSE(session->last_read_value("never-touched").has_value());
+}
+
+TEST_F(SessionFixture, RepeatReadsServedFromCacheOnce) {
+  Load("a", "1");
+  auto session = MakeSession();
+  TxnPlan plan;
+  plan.ops.push_back(Op::Get("a"));
+  plan.ops.push_back(Op::Get("a"));
+  plan.ops.push_back(Op::Get("a"));
+  ASSERT_EQ(RunTxn(*session, plan), TxnResult::kCommit);
+  // One network read, one read-set entry; stats count all three app-level reads.
+  EXPECT_EQ(session->last_read_set().size(), 1u);
+  EXPECT_EQ(session->stats().reads, 3u);
+}
+
+TEST_F(SessionFixture, ReadYourWritesSkipsNetworkAndReadSet) {
+  auto session = MakeSession();
+  TxnPlan plan;
+  plan.ops.push_back(Op::Put("w", "mine"));
+  plan.ops.push_back(Op::Get("w"));
+  ASSERT_EQ(RunTxn(*session, plan), TxnResult::kCommit);
+  EXPECT_TRUE(session->last_read_set().empty());
+}
+
+TEST_F(SessionFixture, TransformComposesWithinTxn) {
+  Load("n", "5");
+  auto session = MakeSession();
+  auto add3 = [](const std::string& v) { return std::to_string(std::stoi(v) + 3); };
+  TxnPlan plan;
+  plan.ops.push_back(Op::RmwFn("n", add3));  // 5 -> 8 (network read).
+  plan.ops.push_back(Op::RmwFn("n", add3));  // 8 -> 11 (buffered value).
+  ASSERT_EQ(RunTxn(*session, plan), TxnResult::kCommit);
+  auto writes = session->last_write_set();
+  ASSERT_EQ(writes.size(), 1u);
+  EXPECT_EQ(writes[0].value, "11");
+}
+
+TEST_F(SessionFixture, LastWinsForRepeatedPuts) {
+  auto session = MakeSession();
+  TxnPlan plan;
+  plan.ops.push_back(Op::Put("k", "first"));
+  plan.ops.push_back(Op::Put("k", "second"));
+  ASSERT_EQ(RunTxn(*session, plan), TxnResult::kCommit);
+  auto writes = session->last_write_set();
+  ASSERT_EQ(writes.size(), 1u);
+  EXPECT_EQ(writes[0].value, "second");
+}
+
+TEST_F(SessionFixture, EmptyTxnCommits) {
+  auto session = MakeSession();
+  EXPECT_EQ(RunTxn(*session, TxnPlan{}), TxnResult::kCommit);
+}
+
+TEST_F(SessionFixture, GetRetriesEscapeCrashedReplica) {
+  Load("k", "v");
+  // Crash one replica; with retries the session re-sends its GET, randomly
+  // re-picking a replica until a live one answers.
+  transport_.faults().CrashReplica(1);
+  auto session = MakeSession(/*retry_ns=*/100'000);
+  TxnPlan plan;
+  plan.ops.push_back(Op::Get("k"));
+  EXPECT_EQ(RunTxn(*session, plan, /*horizon=*/100'000'000), TxnResult::kCommit);
+}
+
+TEST_F(SessionFixture, FailsCleanlyWhenMajorityDown) {
+  Load("k", "v");
+  transport_.faults().CrashReplica(1);
+  transport_.faults().CrashReplica(2);
+  auto session = MakeSession(/*retry_ns=*/100'000);
+  TxnPlan plan;
+  plan.ops.push_back(Op::Rmw("k", "x"));
+  // Reads can still be served by replica 0, but no commit quorum exists; the
+  // coordinator exhausts its retries and reports failure rather than hanging.
+  EXPECT_EQ(RunTxn(*session, plan, /*horizon=*/1'000'000'000), TxnResult::kFailed);
+  EXPECT_EQ(session->stats().failed, 1u);
+}
+
+TEST_F(SessionFixture, DuplicateRepliesDoNotDoubleCount) {
+  Load("k", "v");
+  transport_.faults().SetDuplicateProbability(1.0);  // Every message doubled.
+  auto session = MakeSession();
+  for (int i = 0; i < 5; i++) {
+    TxnPlan plan;
+    plan.ops.push_back(Op::Rmw("k", std::to_string(i)));
+    ASSERT_EQ(RunTxn(*session, plan), TxnResult::kCommit);
+  }
+  EXPECT_EQ(session->stats().committed, 5u);
+  EXPECT_EQ(replicas_[0]->store().Read("k").value, "4");
+}
+
+TEST_F(SessionFixture, StatsLatencyCountsEveryAttempt) {
+  Load("k", "v");
+  auto session = MakeSession();
+  for (int i = 0; i < 3; i++) {
+    TxnPlan plan;
+    plan.ops.push_back(Op::Get("k"));
+    ASSERT_EQ(RunTxn(*session, plan), TxnResult::kCommit);
+  }
+  EXPECT_EQ(session->stats().commit_latency.Count(), 3u);
+  EXPECT_GT(session->stats().commit_latency.MeanNanos(), 0.0);
+}
+
+}  // namespace
+}  // namespace meerkat

@@ -1,0 +1,216 @@
+// Distributed-transaction tests (paper §5.2.4): multi-shard atomicity,
+// cross-shard abort propagation, and cross-shard serializability.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "src/protocol/sharded.h"
+#include "src/sim/sim_time_source.h"
+#include "src/sim/simulator.h"
+#include "src/transport/sim_transport.h"
+#include "tests/serializability_checker.h"
+
+namespace meerkat {
+namespace {
+
+class ShardedFixture : public ::testing::Test {
+ protected:
+  ShardedFixture() : sim_(CostModel{}), transport_(&sim_), time_source_(&sim_) {
+    ShardedOptions options;
+    options.num_shards = 3;
+    options.quorum = QuorumConfig::ForReplicas(3);
+    options.cores_per_replica = 2;
+    cluster_ = std::make_unique<ShardedCluster>(options, &transport_);
+  }
+
+  std::unique_ptr<ShardedSession> MakeSession(uint32_t client_id, uint64_t seed = 1) {
+    return std::make_unique<ShardedSession>(client_id, &transport_, &time_source_,
+                                            cluster_.get(), seed);
+  }
+
+  TxnResult RunTxn(ShardedSession& session, TxnPlan plan) {
+    std::optional<TxnResult> result;
+    SimActor* actor = transport_.ActorFor(Address::Client(session.client_id()), 0);
+    sim_.Schedule(sim_.now() + 1, actor, [&](SimContext&) {
+      session.ExecuteAsync(std::move(plan), [&result](TxnResult r, bool) { result = r; });
+    });
+    sim_.Run();
+    return result.value_or(TxnResult::kFailed);
+  }
+
+  // Committed value visible at every replica of the key's shard (asserts
+  // convergence); empty if absent.
+  std::string CommittedValue(const std::string& key) {
+    size_t shard = cluster_->ShardForKey(key);
+    ReadResult first = cluster_->ReadAt(shard, 0, key);
+    for (ReplicaId r = 1; r < 3; r++) {
+      ReadResult other = cluster_->ReadAt(shard, r, key);
+      EXPECT_EQ(first.found, other.found) << key << " replica " << r;
+      EXPECT_EQ(first.value, other.value) << key << " replica " << r;
+    }
+    return first.found ? first.value : std::string();
+  }
+
+  // Two keys guaranteed to live on different shards.
+  std::pair<std::string, std::string> CrossShardKeys() {
+    std::string a = "key-a";
+    for (int i = 0; i < 1000; i++) {
+      std::string b = "key-b" + std::to_string(i);
+      if (cluster_->ShardForKey(b) != cluster_->ShardForKey(a)) {
+        return {a, b};
+      }
+    }
+    ADD_FAILURE() << "could not find cross-shard keys";
+    return {a, a};
+  }
+
+  Simulator sim_;
+  SimTransport transport_;
+  SimTimeSource time_source_;
+  std::unique_ptr<ShardedCluster> cluster_;
+};
+
+TEST_F(ShardedFixture, SingleShardTxnCommits) {
+  cluster_->Load("k", "v0");
+  auto session = MakeSession(1);
+  TxnPlan plan;
+  plan.ops.push_back(Op::Rmw("k", "v1"));
+  EXPECT_EQ(RunTxn(*session, plan), TxnResult::kCommit);
+  EXPECT_EQ(session->last_shard_count(), 1u);
+  EXPECT_EQ(CommittedValue("k"), "v1");
+}
+
+TEST_F(ShardedFixture, CrossShardTxnCommitsAtomically) {
+  auto [a, b] = CrossShardKeys();
+  cluster_->Load(a, "a0");
+  cluster_->Load(b, "b0");
+  auto session = MakeSession(1);
+  TxnPlan plan;
+  plan.ops.push_back(Op::Rmw(a, "a1"));
+  plan.ops.push_back(Op::Rmw(b, "b1"));
+  EXPECT_EQ(RunTxn(*session, plan), TxnResult::kCommit);
+  EXPECT_EQ(session->last_shard_count(), 2u);
+  EXPECT_EQ(CommittedValue(a), "a1");
+  EXPECT_EQ(CommittedValue(b), "b1");
+}
+
+TEST_F(ShardedFixture, OneShardAbortAbortsWholeTxn) {
+  auto [a, b] = CrossShardKeys();
+  cluster_->Load(a, "a0");
+  cluster_->Load(b, "b0");
+
+  // Poison shard(b): install a newer committed version of b so a transaction
+  // holding a stale read of b must fail validation there.
+  size_t shard_b = cluster_->ShardForKey(b);
+  Timestamp stale_version = cluster_->ReadAt(shard_b, 0, b).wts;
+  for (ReplicaId r = 0; r < 3; r++) {
+    cluster_->replica(shard_b, r)->LoadKey(b, "b-newer", Timestamp{500, 9});
+  }
+
+  auto session = MakeSession(1);
+  std::optional<TxnResult> result;
+  SimActor* actor = transport_.ActorFor(Address::Client(1), 0);
+  // Issue through the normal path but with the poisoned read already in
+  // place: the session reads b-newer... so instead poison *after* the reads
+  // by interleaving another writer. Simpler deterministic route: use two
+  // sessions — s2 overwrites b between s1's read and s1's commit. The
+  // simulator's event order makes this deterministic: s1's reads complete
+  // before s2 starts only if s2 is scheduled later with time separation
+  // larger than a read round-trip.
+  auto writer = MakeSession(2, 7);
+  TxnPlan s1_plan;
+  s1_plan.ops.push_back(Op::Rmw(a, "a1"));
+  s1_plan.ops.push_back(Op::Rmw(b, "b1"));
+  (void)stale_version;
+  sim_.Schedule(1, actor, [&](SimContext&) {
+    session->ExecuteAsync(s1_plan, [&result](TxnResult r, bool) { result = r; });
+  });
+  // s1's two reads take ~2 round trips (~10-12us with default costs); inject
+  // the conflicting single-shard write right in between s1's commit window by
+  // starting it after the reads will have finished but its commit lands
+  // first... both orders produce a conflict on b; either s1 or the writer
+  // aborts, never half of s1.
+  SimActor* writer_actor = transport_.ActorFor(Address::Client(2), 0);
+  std::optional<TxnResult> writer_result;
+  TxnPlan w_plan;
+  w_plan.ops.push_back(Op::Rmw(b, "b-overwrite"));
+  sim_.Schedule(2, writer_actor, [&](SimContext&) {
+    writer->ExecuteAsync(w_plan, [&writer_result](TxnResult r, bool) { writer_result = r; });
+  });
+  sim_.Run();
+
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(writer_result.has_value());
+  // Atomicity: if s1 aborted, *neither* of its writes may be visible — in
+  // particular shard(a) must have backed out even though shard(a) voted OK.
+  if (*result == TxnResult::kAbort) {
+    EXPECT_EQ(CommittedValue(a), "a0");
+  } else {
+    EXPECT_EQ(*result, TxnResult::kCommit);
+    EXPECT_EQ(CommittedValue(a), "a1");
+  }
+}
+
+TEST_F(ShardedFixture, CrossShardHistoryIsSerializable) {
+  // Many clients doing cross-shard RMW pairs over a small keyspace.
+  std::vector<std::string> keys;
+  for (int i = 0; i < 12; i++) {
+    keys.push_back("k" + std::to_string(i));
+  }
+  SerializabilityChecker checker;
+  for (const std::string& key : keys) {
+    cluster_->Load(key, "0");
+    checker.RecordLoadedKey(key);
+  }
+
+  struct Loop {
+    ShardedSession* session;
+    Rng rng{0};
+    std::vector<std::string>* keys;
+    SerializabilityChecker* checker;
+    void Next() {
+      TxnPlan plan;
+      std::string k1 = (*keys)[rng.NextBounded(keys->size())];
+      std::string k2 = (*keys)[rng.NextBounded(keys->size())];
+      plan.ops.push_back(Op::Rmw(k1, "v" + std::to_string(rng.Next() % 1000)));
+      if (k2 != k1) {
+        plan.ops.push_back(Op::Rmw(k2, "v" + std::to_string(rng.Next() % 1000)));
+      }
+      session->ExecuteAsync(plan, [this](TxnResult result, bool) {
+        if (result == TxnResult::kCommit) {
+          checker->RecordCommit(*session);
+        }
+        Next();
+      });
+    }
+  };
+
+  std::vector<std::unique_ptr<ShardedSession>> sessions;
+  std::vector<std::unique_ptr<Loop>> loops;
+  transport_.faults().SetMaxExtraDelay(3000);  // Reorder across replicas.
+  for (uint32_t c = 1; c <= 16; c++) {
+    sessions.push_back(MakeSession(c, c * 1237));
+    auto loop = std::make_unique<Loop>();
+    loop->session = sessions.back().get();
+    loop->rng.Seed(c * 31 + 5);
+    loop->keys = &keys;
+    loop->checker = &checker;
+    Loop* raw = loop.get();
+    sim_.Schedule(c * 50, transport_.ActorFor(Address::Client(c), 0),
+                  [raw](SimContext&) { raw->Next(); });
+    loops.push_back(std::move(loop));
+  }
+  sim_.Run(15'000'000);  // 15 ms of virtual time.
+  sim_.Clear();
+
+  ASSERT_GT(checker.CommittedCount(), 100u);
+  std::vector<std::string> violations = checker.Check();
+  for (const std::string& v : violations) {
+    ADD_FAILURE() << v;
+  }
+  EXPECT_TRUE(violations.empty());
+}
+
+}  // namespace
+}  // namespace meerkat

@@ -1,0 +1,232 @@
+// Unit tests for the discrete-event simulator: event ordering, core
+// occupancy, FCFS resources, and the dual-personality primitives.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/sim/cost_model.h"
+#include "src/sim/primitives.h"
+#include "src/sim/sim_time_source.h"
+#include "src/sim/simulator.h"
+
+namespace meerkat {
+namespace {
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  CostModel cost;
+  Simulator sim(cost);
+  SimActor a;
+  SimActor b;
+  std::vector<int> order;
+  sim.Schedule(300, &a, [&](SimContext&) { order.push_back(3); });
+  sim.Schedule(100, &b, [&](SimContext&) { order.push_back(1); });
+  sim.Schedule(200, &a, [&](SimContext&) { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, TiesBreakInSchedulingOrder) {
+  CostModel cost;
+  Simulator sim(cost);
+  SimActor a;
+  std::vector<int> order;
+  sim.Schedule(100, &a, [&](SimContext&) { order.push_back(1); });
+  sim.Schedule(100, &a, [&](SimContext&) { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorTest, ChargeAdvancesActorClock) {
+  CostModel cost;
+  Simulator sim(cost);
+  SimActor a;
+  uint64_t end_time = 0;
+  sim.Schedule(100, &a, [&](SimContext& ctx) {
+    ctx.Charge(50);
+    end_time = ctx.now();
+  });
+  sim.Run();
+  EXPECT_EQ(end_time, 150u);
+  EXPECT_EQ(a.busy_until(), 150u);
+}
+
+TEST(SimulatorTest, BusyCoreDefersLaterEvents) {
+  CostModel cost;
+  Simulator sim(cost);
+  SimActor core;
+  std::vector<uint64_t> starts;
+  auto handler = [&](SimContext& ctx) {
+    starts.push_back(ctx.now());
+    ctx.Charge(1000);
+  };
+  sim.Schedule(100, &core, handler);
+  sim.Schedule(150, &core, handler);  // Arrives while the core is busy.
+  sim.Run();
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_EQ(starts[0], 100u);
+  EXPECT_EQ(starts[1], 1100u);  // Starts when the core frees, not at 150.
+}
+
+TEST(SimulatorTest, IndependentActorsRunConcurrently) {
+  CostModel cost;
+  Simulator sim(cost);
+  SimActor a;
+  SimActor b;
+  std::vector<uint64_t> starts;
+  auto handler = [&](SimContext& ctx) {
+    starts.push_back(ctx.now());
+    ctx.Charge(1000);
+  };
+  sim.Schedule(100, &a, handler);
+  sim.Schedule(150, &b, handler);
+  sim.Run();
+  EXPECT_EQ(starts, (std::vector<uint64_t>{100, 150}));  // No interference.
+}
+
+TEST(SimulatorTest, RunUntilStopsAtHorizon) {
+  CostModel cost;
+  Simulator sim(cost);
+  SimActor a;
+  int ran = 0;
+  sim.Schedule(100, &a, [&](SimContext&) { ran++; });
+  sim.Schedule(10000, &a, [&](SimContext&) { ran++; });
+  sim.Run(5000);
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(SimulatorTest, HandlersCanScheduleMoreEvents) {
+  CostModel cost;
+  Simulator sim(cost);
+  SimActor a;
+  int chain = 0;
+  std::function<void(SimContext&)> step = [&](SimContext& ctx) {
+    if (++chain < 5) {
+      sim.Schedule(ctx.now() + 10, &a, step);
+    }
+  };
+  sim.Schedule(0, &a, step);
+  sim.Run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_EQ(sim.events_processed(), 5u);
+}
+
+TEST(SimContextTest, AcquireModelsFcfsQueueing) {
+  CostModel cost;
+  SimContext ctx(&cost);
+  SimResource res;
+  ctx.set_now(100);
+  ctx.Acquire(&res, 50);
+  EXPECT_EQ(ctx.now(), 150u);
+  EXPECT_EQ(res.free_at, 150u);
+  EXPECT_EQ(res.contended, 0u);
+  // Second acquisition while the resource is "busy" in virtual time.
+  ctx.set_now(120);
+  ctx.Acquire(&res, 50);
+  EXPECT_EQ(ctx.now(), 200u);  // Waited 150-120, then held 50.
+  EXPECT_EQ(res.contended, 1u);
+  EXPECT_EQ(res.acquisitions, 2u);
+}
+
+TEST(PrimitivesTest, RealLocksOutsideSimulation) {
+  // No SimContext active: these must behave as real synchronization.
+  ASSERT_EQ(SimContext::Current(), nullptr);
+  KeyLock key_lock;
+  SharedMutex mutex(100);
+  SharedCounter counter(100);
+
+  uint64_t shared_value = 0;
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; t++) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; i++) {
+        key_lock.lock();
+        shared_value++;
+        key_lock.unlock();
+        counter.FetchAdd();
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(shared_value, 40000u);
+  EXPECT_EQ(counter.Load(), 40000u);
+}
+
+TEST(PrimitivesTest, SimPersonalityChargesVirtualTime) {
+  CostModel cost;
+  cost.key_lock_op_ns = 60;
+  SimContext ctx(&cost);
+  SimContext::Activation act(&ctx);
+  ctx.set_now(1000);
+
+  KeyLock key_lock;
+  key_lock.lock();
+  key_lock.unlock();
+  EXPECT_EQ(ctx.now(), 1060u);
+  EXPECT_EQ(ctx.stats().key_lock_ops, 1u);
+
+  SharedMutex mutex(300);
+  mutex.lock();
+  mutex.unlock();
+  EXPECT_EQ(ctx.now(), 1360u);
+  EXPECT_EQ(ctx.stats().shared_structure_ops, 1u);
+
+  SharedCounter counter(120);
+  EXPECT_EQ(counter.FetchAdd(), 0u);
+  EXPECT_EQ(counter.FetchAdd(), 1u);
+  EXPECT_EQ(counter.Load(), 2u);
+  EXPECT_EQ(ctx.now(), 1360u + 240u);
+  EXPECT_EQ(ctx.stats().shared_structure_ops, 3u);
+}
+
+TEST(PrimitivesTest, KeyLockChargesButNeverQueues) {
+  // Per-key locks charge their cost without FCFS queueing (see the KeyLock
+  // comment: queueing run-to-completion handlers on fine-grained locks
+  // creates backwards-causality stalls; conflicts surface as OCC aborts).
+  CostModel cost;
+  cost.key_lock_op_ns = 60;
+  SimContext ctx(&cost);
+  SimContext::Activation act(&ctx);
+  KeyLock lock;
+  ctx.set_now(100);
+  lock.lock();
+  lock.unlock();
+  EXPECT_EQ(ctx.now(), 160u);
+  ctx.set_now(120);  // An "earlier" acquisition must not stall.
+  lock.lock();
+  lock.unlock();
+  EXPECT_EQ(ctx.now(), 180u);
+  EXPECT_EQ(ctx.stats().key_lock_ops, 2u);
+  EXPECT_EQ(ctx.stats().key_lock_waits, 0u);
+}
+
+TEST(CostModelTest, StackPresets) {
+  CostModel erpc = CostModel::ForStack(NetworkStack::kErpc);
+  CostModel udp = CostModel::ForStack(NetworkStack::kLinuxUdp);
+  EXPECT_GT(udp.msg_recv_cpu_ns, 5 * erpc.msg_recv_cpu_ns);
+  EXPECT_GT(udp.one_way_latency_ns, erpc.one_way_latency_ns);
+  // Shared-structure costs are stack-independent.
+  EXPECT_EQ(udp.atomic_counter_ns, erpc.atomic_counter_ns);
+}
+
+TEST(SimTimeSourceTest, TracksVirtualClock) {
+  CostModel cost;
+  Simulator sim(cost);
+  SimTimeSource source(&sim);
+  EXPECT_EQ(source.NowNanos(), 0u);
+  SimActor a;
+  uint64_t observed = 0;
+  sim.Schedule(500, &a, [&](SimContext& ctx) {
+    ctx.Charge(10);
+    observed = source.NowNanos();  // Must see the actor's advanced clock.
+  });
+  sim.Run();
+  EXPECT_EQ(observed, 510u);
+}
+
+}  // namespace
+}  // namespace meerkat

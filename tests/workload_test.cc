@@ -1,0 +1,210 @@
+// Tests for the workload generators and the workload drivers.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/workload/driver.h"
+#include "src/workload/retwis.h"
+#include "src/workload/ycsb_t.h"
+#include "tests/test_util.h"
+
+namespace meerkat {
+namespace {
+
+TEST(FormatKeyTest, FixedWidthAndUnique) {
+  std::string k0 = FormatKey(0, 24);
+  std::string k1 = FormatKey(1, 24);
+  std::string big = FormatKey(123456789, 24);
+  EXPECT_EQ(k0.size(), 24u);
+  EXPECT_EQ(big.size(), 24u);
+  EXPECT_NE(k0, k1);
+  EXPECT_EQ(k0.substr(0, 3), "key");
+}
+
+TEST(RandomValueTest, SizeAndCharset) {
+  Rng rng(1);
+  std::string v = RandomValue(rng, 64);
+  EXPECT_EQ(v.size(), 64u);
+  for (char c : v) {
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) << c;
+  }
+}
+
+TEST(YcsbTTest, SingleRmwPlan) {
+  YcsbTOptions options;
+  options.num_keys = 100;
+  options.key_size = 16;
+  options.value_size = 8;
+  YcsbTWorkload workload(options);
+  Rng rng(5);
+  for (int i = 0; i < 100; i++) {
+    TxnPlan plan = workload.NextTxn(rng);
+    ASSERT_EQ(plan.ops.size(), 1u);
+    EXPECT_EQ(plan.ops[0].kind, Op::Kind::kRmw);
+    EXPECT_EQ(plan.ops[0].key.size(), 16u);
+    EXPECT_EQ(plan.ops[0].value.size(), 8u);
+  }
+}
+
+TEST(YcsbTTest, MultiRmwOption) {
+  YcsbTOptions options;
+  options.num_keys = 100;
+  options.rmws_per_txn = 4;
+  YcsbTWorkload workload(options);
+  Rng rng(5);
+  EXPECT_EQ(workload.NextTxn(rng).ops.size(), 4u);
+}
+
+TEST(YcsbTTest, InitialKeysCoverKeyspace) {
+  YcsbTOptions options;
+  options.num_keys = 50;
+  YcsbTWorkload workload(options);
+  std::set<std::string> keys;
+  workload.ForEachInitialKey(
+      [&keys](const std::string& key, const std::string&) { keys.insert(key); });
+  EXPECT_EQ(keys.size(), 50u);
+}
+
+TEST(RetwisTest, PerTypeShapesMatchTable2) {
+  RetwisOptions options;
+  options.num_keys = 10000;
+  RetwisWorkload workload(options);
+  Rng rng(7);
+
+  TxnPlan add_user = workload.MakeTxn(RetwisWorkload::TxnType::kAddUser, rng);
+  EXPECT_EQ(add_user.NumReads(), 1u);
+  EXPECT_EQ(add_user.NumWrites(), 3u);
+
+  TxnPlan follow = workload.MakeTxn(RetwisWorkload::TxnType::kFollow, rng);
+  EXPECT_EQ(follow.NumReads(), 2u);
+  EXPECT_EQ(follow.NumWrites(), 2u);
+
+  TxnPlan post = workload.MakeTxn(RetwisWorkload::TxnType::kPostTweet, rng);
+  EXPECT_EQ(post.NumReads(), 3u);
+  EXPECT_EQ(post.NumWrites(), 5u);
+
+  for (int i = 0; i < 200; i++) {
+    TxnPlan timeline = workload.MakeTxn(RetwisWorkload::TxnType::kLoadTimeline, rng);
+    EXPECT_GE(timeline.NumReads(), 1u);
+    EXPECT_LE(timeline.NumReads(), 10u);
+    EXPECT_EQ(timeline.NumWrites(), 0u);
+  }
+}
+
+TEST(RetwisTest, MixMatchesTable2Percentages) {
+  RetwisOptions options;
+  options.num_keys = 10000;
+  RetwisWorkload workload(options);
+  Rng rng(11);
+  std::map<RetwisWorkload::TxnType, int> counts;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; i++) {
+    counts[workload.NextType(rng)]++;
+  }
+  EXPECT_NEAR(counts[RetwisWorkload::TxnType::kAddUser], kSamples * 0.05, kSamples * 0.01);
+  EXPECT_NEAR(counts[RetwisWorkload::TxnType::kFollow], kSamples * 0.15, kSamples * 0.01);
+  EXPECT_NEAR(counts[RetwisWorkload::TxnType::kPostTweet], kSamples * 0.30, kSamples * 0.015);
+  EXPECT_NEAR(counts[RetwisWorkload::TxnType::kLoadTimeline], kSamples * 0.50, kSamples * 0.015);
+}
+
+TEST(RetwisTest, KeysWithinTxnAreDistinctAtLowSkew) {
+  RetwisOptions options;
+  options.num_keys = 100000;
+  RetwisWorkload workload(options);
+  Rng rng(13);
+  for (int i = 0; i < 200; i++) {
+    TxnPlan plan = workload.MakeTxn(RetwisWorkload::TxnType::kPostTweet, rng);
+    std::set<std::string> keys;
+    for (const Op& op : plan.ops) {
+      keys.insert(op.key);
+    }
+    // 3 RMWs on read keys + 2 fresh puts = 5 distinct keys.
+    EXPECT_EQ(keys.size(), 5u);
+  }
+}
+
+TEST(DriverTest, SimRunProducesConsistentStats) {
+  SystemOptions sys = DefaultOptions(SystemKind::kMeerkat, /*cores=*/4);
+  Simulator sim(sys.cost);
+  SimTransport transport(&sim);
+  SimTimeSource time_source(&sim);
+  auto system = CreateSystem(sys, &transport, &time_source);
+
+  YcsbTOptions y;
+  y.num_keys = 1000;
+  y.key_size = 16;
+  y.value_size = 16;
+  YcsbTWorkload workload(y);
+
+  SimRunOptions run;
+  run.num_clients = 16;
+  run.warmup_ns = 1'000'000;
+  run.measure_ns = 10'000'000;
+  RunResult result = RunSimWorkload(sim, transport, *system, workload, run);
+
+  EXPECT_GT(result.stats.committed, 500u);
+  EXPECT_EQ(result.stats.failed, 0u);
+  EXPECT_EQ(result.stats.committed,
+            result.stats.fast_path_commits + result.stats.slow_path_commits);
+  EXPECT_EQ(result.stats.commit_latency.Count(), result.stats.Attempts());
+  EXPECT_GT(result.events, 1000u);
+  // ZCP: Meerkat touches no cross-core shared structure.
+  EXPECT_EQ(result.coordination.shared_structure_ops, 0u);
+  EXPECT_EQ(result.coordination.replica_to_replica_msgs, 0u);
+  EXPECT_GT(result.coordination.client_msgs, 0u);
+}
+
+TEST(DriverTest, SimRunIsDeterministic) {
+  auto run_once = [] {
+    SystemOptions sys = DefaultOptions(SystemKind::kMeerkat, 2);
+    Simulator sim(sys.cost);
+    SimTransport transport(&sim);
+    SimTimeSource time_source(&sim);
+    auto system = CreateSystem(sys, &transport, &time_source);
+    YcsbTOptions y;
+    y.num_keys = 100;
+    y.key_size = 16;
+    y.value_size = 16;
+    YcsbTWorkload workload(y);
+    SimRunOptions run;
+    run.num_clients = 8;
+    run.warmup_ns = 500'000;
+    run.measure_ns = 5'000'000;
+    run.seed = 99;
+    RunResult result = RunSimWorkload(sim, transport, *system, workload, run);
+    return std::make_pair(result.stats.committed, result.stats.aborted);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(DriverTest, ZipfSkewShiftsAbortRateUp) {
+  auto abort_rate_at = [](double theta) {
+    SystemOptions sys = DefaultOptions(SystemKind::kMeerkat, 4);
+    Simulator sim(sys.cost);
+    SimTransport transport(&sim);
+    transport.faults().SetMaxExtraDelay(2000);
+    SimTimeSource time_source(&sim);
+    auto system = CreateSystem(sys, &transport, &time_source);
+    YcsbTOptions y;
+    y.num_keys = 5000;
+    y.zipf_theta = theta;
+    y.key_size = 16;
+    y.value_size = 16;
+    YcsbTWorkload workload(y);
+    SimRunOptions run;
+    run.num_clients = 32;
+    run.warmup_ns = 1'000'000;
+    run.measure_ns = 20'000'000;
+    RunResult result = RunSimWorkload(sim, transport, *system, workload, run);
+    return result.stats.AbortRate();
+  };
+  double uniform = abort_rate_at(0.0);
+  double skewed = abort_rate_at(0.99);
+  EXPECT_GT(skewed, uniform);
+  EXPECT_GT(skewed, 0.01);
+}
+
+}  // namespace
+}  // namespace meerkat
