@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_zcp.dir/bench_ablation_zcp.cc.o"
+  "CMakeFiles/bench_ablation_zcp.dir/bench_ablation_zcp.cc.o.d"
+  "bench_ablation_zcp"
+  "bench_ablation_zcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_zcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_kernel_bypass.dir/bench_fig1_kernel_bypass.cc.o"
+  "CMakeFiles/bench_fig1_kernel_bypass.dir/bench_fig1_kernel_bypass.cc.o.d"
+  "bench_fig1_kernel_bypass"
+  "bench_fig1_kernel_bypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_kernel_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

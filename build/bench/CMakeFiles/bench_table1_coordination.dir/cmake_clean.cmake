@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_coordination.dir/bench_table1_coordination.cc.o"
+  "CMakeFiles/bench_table1_coordination.dir/bench_table1_coordination.cc.o.d"
+  "bench_table1_coordination"
+  "bench_table1_coordination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_coordination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meerkat_cli.dir/meerkat_cli.cpp.o"
+  "CMakeFiles/meerkat_cli.dir/meerkat_cli.cpp.o.d"
+  "meerkat_cli"
+  "meerkat_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meerkat_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

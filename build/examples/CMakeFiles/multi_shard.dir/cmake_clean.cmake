@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_shard.dir/multi_shard.cpp.o"
+  "CMakeFiles/multi_shard.dir/multi_shard.cpp.o.d"
+  "multi_shard"
+  "multi_shard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_shard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/system.cc" "src/CMakeFiles/meerkat.dir/api/system.cc.o" "gcc" "src/CMakeFiles/meerkat.dir/api/system.cc.o.d"
+  "/root/repo/src/baselines/plain_kv.cc" "src/CMakeFiles/meerkat.dir/baselines/plain_kv.cc.o" "gcc" "src/CMakeFiles/meerkat.dir/baselines/plain_kv.cc.o.d"
+  "/root/repo/src/baselines/primary_backup.cc" "src/CMakeFiles/meerkat.dir/baselines/primary_backup.cc.o" "gcc" "src/CMakeFiles/meerkat.dir/baselines/primary_backup.cc.o.d"
+  "/root/repo/src/baselines/tapir_replica.cc" "src/CMakeFiles/meerkat.dir/baselines/tapir_replica.cc.o" "gcc" "src/CMakeFiles/meerkat.dir/baselines/tapir_replica.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/meerkat.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/meerkat.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/zipf.cc" "src/CMakeFiles/meerkat.dir/common/zipf.cc.o" "gcc" "src/CMakeFiles/meerkat.dir/common/zipf.cc.o.d"
+  "/root/repo/src/protocol/coordinator.cc" "src/CMakeFiles/meerkat.dir/protocol/coordinator.cc.o" "gcc" "src/CMakeFiles/meerkat.dir/protocol/coordinator.cc.o.d"
+  "/root/repo/src/protocol/epoch_merge.cc" "src/CMakeFiles/meerkat.dir/protocol/epoch_merge.cc.o" "gcc" "src/CMakeFiles/meerkat.dir/protocol/epoch_merge.cc.o.d"
+  "/root/repo/src/protocol/replica.cc" "src/CMakeFiles/meerkat.dir/protocol/replica.cc.o" "gcc" "src/CMakeFiles/meerkat.dir/protocol/replica.cc.o.d"
+  "/root/repo/src/protocol/session.cc" "src/CMakeFiles/meerkat.dir/protocol/session.cc.o" "gcc" "src/CMakeFiles/meerkat.dir/protocol/session.cc.o.d"
+  "/root/repo/src/protocol/sharded.cc" "src/CMakeFiles/meerkat.dir/protocol/sharded.cc.o" "gcc" "src/CMakeFiles/meerkat.dir/protocol/sharded.cc.o.d"
+  "/root/repo/src/sim/primitives.cc" "src/CMakeFiles/meerkat.dir/sim/primitives.cc.o" "gcc" "src/CMakeFiles/meerkat.dir/sim/primitives.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/meerkat.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/meerkat.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/store/occ.cc" "src/CMakeFiles/meerkat.dir/store/occ.cc.o" "gcc" "src/CMakeFiles/meerkat.dir/store/occ.cc.o.d"
+  "/root/repo/src/store/trecord.cc" "src/CMakeFiles/meerkat.dir/store/trecord.cc.o" "gcc" "src/CMakeFiles/meerkat.dir/store/trecord.cc.o.d"
+  "/root/repo/src/store/vstore.cc" "src/CMakeFiles/meerkat.dir/store/vstore.cc.o" "gcc" "src/CMakeFiles/meerkat.dir/store/vstore.cc.o.d"
+  "/root/repo/src/transport/message.cc" "src/CMakeFiles/meerkat.dir/transport/message.cc.o" "gcc" "src/CMakeFiles/meerkat.dir/transport/message.cc.o.d"
+  "/root/repo/src/transport/serialization.cc" "src/CMakeFiles/meerkat.dir/transport/serialization.cc.o" "gcc" "src/CMakeFiles/meerkat.dir/transport/serialization.cc.o.d"
+  "/root/repo/src/transport/sim_transport.cc" "src/CMakeFiles/meerkat.dir/transport/sim_transport.cc.o" "gcc" "src/CMakeFiles/meerkat.dir/transport/sim_transport.cc.o.d"
+  "/root/repo/src/transport/threaded_transport.cc" "src/CMakeFiles/meerkat.dir/transport/threaded_transport.cc.o" "gcc" "src/CMakeFiles/meerkat.dir/transport/threaded_transport.cc.o.d"
+  "/root/repo/src/workload/driver.cc" "src/CMakeFiles/meerkat.dir/workload/driver.cc.o" "gcc" "src/CMakeFiles/meerkat.dir/workload/driver.cc.o.d"
+  "/root/repo/src/workload/retwis.cc" "src/CMakeFiles/meerkat.dir/workload/retwis.cc.o" "gcc" "src/CMakeFiles/meerkat.dir/workload/retwis.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/meerkat.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/meerkat.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluation_shape_test.dir/evaluation_shape_test.cc.o"
+  "CMakeFiles/evaluation_shape_test.dir/evaluation_shape_test.cc.o.d"
+  "evaluation_shape_test"
+  "evaluation_shape_test.pdb"
+  "evaluation_shape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluation_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

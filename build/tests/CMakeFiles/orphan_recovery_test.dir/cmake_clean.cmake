@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orphan_recovery_test.dir/orphan_recovery_test.cc.o"
+  "CMakeFiles/orphan_recovery_test.dir/orphan_recovery_test.cc.o.d"
+  "orphan_recovery_test"
+  "orphan_recovery_test.pdb"
+  "orphan_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orphan_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

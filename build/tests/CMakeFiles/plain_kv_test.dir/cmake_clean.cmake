@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plain_kv_test.dir/plain_kv_test.cc.o"
+  "CMakeFiles/plain_kv_test.dir/plain_kv_test.cc.o.d"
+  "plain_kv_test"
+  "plain_kv_test.pdb"
+  "plain_kv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plain_kv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_audit_test.dir/protocol_audit_test.cc.o"
+  "CMakeFiles/protocol_audit_test.dir/protocol_audit_test.cc.o.d"
+  "protocol_audit_test"
+  "protocol_audit_test.pdb"
+  "protocol_audit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_audit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

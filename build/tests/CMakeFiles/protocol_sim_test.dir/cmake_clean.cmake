@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_sim_test.dir/protocol_sim_test.cc.o"
+  "CMakeFiles/protocol_sim_test.dir/protocol_sim_test.cc.o.d"
+  "protocol_sim_test"
+  "protocol_sim_test.pdb"
+  "protocol_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

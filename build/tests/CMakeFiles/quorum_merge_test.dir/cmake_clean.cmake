@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quorum_merge_test.dir/quorum_merge_test.cc.o"
+  "CMakeFiles/quorum_merge_test.dir/quorum_merge_test.cc.o.d"
+  "quorum_merge_test"
+  "quorum_merge_test.pdb"
+  "quorum_merge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quorum_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_threaded_test.dir/sharded_threaded_test.cc.o"
+  "CMakeFiles/sharded_threaded_test.dir/sharded_threaded_test.cc.o.d"
+  "sharded_threaded_test"
+  "sharded_threaded_test.pdb"
+  "sharded_threaded_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_threaded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_stress_test.dir/store_stress_test.cc.o"
+  "CMakeFiles/store_stress_test.dir/store_stress_test.cc.o.d"
+  "store_stress_test"
+  "store_stress_test.pdb"
+  "store_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/store_test[1]_include.cmake")
+include("/root/repo/build/tests/transport_test[1]_include.cmake")
+include("/root/repo/build/tests/quorum_merge_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/serializability_test[1]_include.cmake")
+include("/root/repo/build/tests/sharded_test[1]_include.cmake")
+include("/root/repo/build/tests/serialization_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/api_test[1]_include.cmake")
+include("/root/repo/build/tests/threaded_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_audit_test[1]_include.cmake")
+include("/root/repo/build/tests/session_test[1]_include.cmake")
+include("/root/repo/build/tests/coordinator_test[1]_include.cmake")
+include("/root/repo/build/tests/store_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/replica_test[1]_include.cmake")
+include("/root/repo/build/tests/schedule_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/durability_test[1]_include.cmake")
+include("/root/repo/build/tests/evaluation_shape_test[1]_include.cmake")
+include("/root/repo/build/tests/plain_kv_test[1]_include.cmake")
+include("/root/repo/build/tests/sharded_threaded_test[1]_include.cmake")
+include("/root/repo/build/tests/orphan_recovery_test[1]_include.cmake")
