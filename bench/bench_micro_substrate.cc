@@ -5,6 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/zipf.h"
@@ -13,6 +18,7 @@
 #include "src/store/trecord.h"
 #include "src/store/vstore.h"
 #include "src/transport/channel.h"
+#include "src/transport/message.h"
 #include "src/workload/retwis.h"
 #include "src/workload/ycsb_t.h"
 
@@ -48,6 +54,146 @@ void BM_VStoreRead(benchmark::State& state) {
 }
 BENCHMARK(BM_VStoreRead);
 
+// Pre-fast-path read design, kept as a baseline: a structural spinlock guards
+// the shard's hash map, and the read itself takes the per-key lock to copy
+// value+wts out. This is exactly what VStore::Read did before the seqlock
+// mirror; the MT benchmarks below quantify the win of removing both locks
+// from the steady-state read path.
+class MutexShardedStore {
+ public:
+  explicit MutexShardedStore(size_t num_shards = 64) : shards_(num_shards) {}
+
+  void Load(const std::string& key, std::string value, Timestamp wts) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<KeyLock> structural(shard.lock);
+    auto& slot = shard.map[key];
+    if (slot == nullptr) {
+      slot = std::make_unique<Entry>();
+    }
+    slot->value = std::move(value);
+    slot->wts = wts;
+  }
+
+  ReadResult Read(const std::string& key) {
+    Shard& shard = ShardFor(key);
+    Entry* entry = nullptr;
+    {
+      std::lock_guard<KeyLock> structural(shard.lock);
+      auto it = shard.map.find(key);
+      if (it == shard.map.end()) {
+        return ReadResult{};
+      }
+      entry = it->second.get();
+    }
+    ReadResult result;
+    std::lock_guard<KeyLock> key_lock(entry->lock);
+    result.found = true;
+    result.value = entry->value;
+    result.wts = entry->wts;
+    return result;
+  }
+
+ private:
+  struct Entry {
+    KeyLock lock;
+    std::string value;
+    Timestamp wts;
+  };
+  struct Shard {
+    KeyLock lock;
+    std::unordered_map<std::string, std::unique_ptr<Entry>> map;
+  };
+
+  Shard& ShardFor(const std::string& key) {
+    return shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+
+  std::vector<Shard> shards_;
+};
+
+constexpr uint64_t kMtKeys = 10000;
+
+// Acceptance benchmark pair: single hot key read from N threads. The seqlock
+// store must beat the mutex baseline by >= 2x at 8 threads — with the old
+// design every reader serializes on the same per-key lock cache line.
+void BM_VStoreReadMT_HotKey(benchmark::State& state) {
+  static VStore* store = [] {
+    auto* s = new VStore();
+    for (uint64_t i = 0; i < kMtKeys; i++) {
+      s->LoadKey(FormatKey(i, 24), "value-for-hot-key-bench", Timestamp{1, 0});
+    }
+    return s;
+  }();
+  const std::string hot = FormatKey(0, 24);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->Read(hot));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VStoreReadMT_HotKey)->Threads(1)->Threads(8)->UseRealTime();
+
+void BM_MutexStoreReadMT_HotKey(benchmark::State& state) {
+  static MutexShardedStore* store = [] {
+    auto* s = new MutexShardedStore();
+    for (uint64_t i = 0; i < kMtKeys; i++) {
+      s->Load(FormatKey(i, 24), "value-for-hot-key-bench", Timestamp{1, 0});
+    }
+    return s;
+  }();
+  const std::string hot = FormatKey(0, 24);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->Read(hot));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MutexStoreReadMT_HotKey)->Threads(1)->Threads(8)->UseRealTime();
+
+void BM_VStoreReadMT_Uniform(benchmark::State& state) {
+  static VStore* store = [] {
+    auto* s = new VStore();
+    for (uint64_t i = 0; i < kMtKeys; i++) {
+      s->LoadKey(FormatKey(i, 24), "value", Timestamp{1, 0});
+    }
+    return s;
+  }();
+  Rng rng(static_cast<uint64_t>(state.thread_index()) * 977 + 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->Read(FormatKey(rng.NextBounded(kMtKeys), 24)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VStoreReadMT_Uniform)->Threads(1)->Threads(8)->UseRealTime();
+
+void BM_MutexStoreReadMT_Uniform(benchmark::State& state) {
+  static MutexShardedStore* store = [] {
+    auto* s = new MutexShardedStore();
+    for (uint64_t i = 0; i < kMtKeys; i++) {
+      s->Load(FormatKey(i, 24), "value", Timestamp{1, 0});
+    }
+    return s;
+  }();
+  Rng rng(static_cast<uint64_t>(state.thread_index()) * 977 + 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->Read(FormatKey(rng.NextBounded(kMtKeys), 24)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MutexStoreReadMT_Uniform)->Threads(1)->Threads(8)->UseRealTime();
+
+// Version-only probe vs full read: what OCC validation actually pays per
+// read-set entry after the ReadVersion change.
+void BM_VStoreReadVersion(benchmark::State& state) {
+  VStore store;
+  Rng rng(42);
+  for (uint64_t i = 0; i < kMtKeys; i++) {
+    store.LoadKey(FormatKey(i, 24), "value", Timestamp{1, 0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.ReadVersion(FormatKey(rng.NextBounded(kMtKeys), 24)));
+  }
+}
+BENCHMARK(BM_VStoreReadVersion);
+
 void BM_OccValidateCommit(benchmark::State& state) {
   VStore store;
   for (uint64_t i = 0; i < 10000; i++) {
@@ -57,7 +203,8 @@ void BM_OccValidateCommit(benchmark::State& state) {
   uint64_t t = 2;
   for (auto _ : state) {
     std::string key = FormatKey(rng.NextBounded(10000), 24);
-    Timestamp read_wts = store.Read(key).wts;
+    // Version-only probe: OCC validation never needs the value bytes.
+    Timestamp read_wts = store.ReadVersion(key).wts;
     std::vector<ReadSetEntry> reads{{key, read_wts}};
     std::vector<WriteSetEntry> writes{{key, "new"}};
     Timestamp ts{t++, 1};
@@ -91,6 +238,84 @@ void BM_ChannelPushPop(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ChannelPushPop);
+
+// Drain cost comparison: 256 queued messages pulled one TryPop (one lock
+// round-trip each) at a time vs one TryPopAll (single lock round-trip for the
+// whole backlog). The push phase is identical in both, so the delta is the
+// drain machinery — this is what each ThreadedTransport worker wakeup pays.
+void BM_ChannelDrainSingle(benchmark::State& state) {
+  Channel<int> channel;
+  for (auto _ : state) {
+    for (int i = 0; i < 256; i++) {
+      channel.Push(i);
+    }
+    while (auto value = channel.TryPop()) {
+      benchmark::DoNotOptimize(*value);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_ChannelDrainSingle);
+
+void BM_ChannelDrainBatch(benchmark::State& state) {
+  Channel<int> channel;
+  std::vector<int> batch;
+  for (auto _ : state) {
+    for (int i = 0; i < 256; i++) {
+      channel.Push(i);
+    }
+    channel.TryPopAll(batch);
+    benchmark::DoNotOptimize(batch.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_ChannelDrainBatch);
+
+// Validate fan-out payload cost: building the per-replica ValidateRequest for
+// a 3-replica quorum, sharing one immutable TxnSets vs deep-copying the
+// read/write sets into every message (the pre-fast-path behavior).
+std::vector<ReadSetEntry> FanoutReads() {
+  std::vector<ReadSetEntry> reads;
+  for (uint64_t i = 0; i < 8; i++) {
+    reads.push_back({FormatKey(i, 24), Timestamp{1, 0}});
+  }
+  return reads;
+}
+
+std::vector<WriteSetEntry> FanoutWrites() {
+  std::vector<WriteSetEntry> writes;
+  for (uint64_t i = 0; i < 8; i++) {
+    writes.push_back({FormatKey(i, 24), std::string(24, 'v')});
+  }
+  return writes;
+}
+
+void BM_ValidateFanoutShared(benchmark::State& state) {
+  const std::vector<ReadSetEntry> reads = FanoutReads();
+  const std::vector<WriteSetEntry> writes = FanoutWrites();
+  for (auto _ : state) {
+    TxnSetsPtr sets = MakeTxnSets(reads, writes);  // One copy total.
+    for (int r = 0; r < 3; r++) {
+      ValidateRequest req{TxnId{1, 1}, Timestamp{2, 1}, sets};
+      benchmark::DoNotOptimize(req);
+    }
+  }
+}
+BENCHMARK(BM_ValidateFanoutShared);
+
+void BM_ValidateFanoutCopied(benchmark::State& state) {
+  const std::vector<ReadSetEntry> reads = FanoutReads();
+  const std::vector<WriteSetEntry> writes = FanoutWrites();
+  for (auto _ : state) {
+    for (int r = 0; r < 3; r++) {
+      // Vector ctor deep-copies both sets per replica, as SendValidates did
+      // before payload sharing.
+      ValidateRequest req{TxnId{1, 1}, Timestamp{2, 1}, reads, writes};
+      benchmark::DoNotOptimize(req);
+    }
+  }
+}
+BENCHMARK(BM_ValidateFanoutCopied);
 
 void BM_SimulatorEventThroughput(benchmark::State& state) {
   CostModel cost;

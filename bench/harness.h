@@ -152,6 +152,49 @@ inline PointResult RunPoint(SystemKind kind, WorkloadKind workload, size_t threa
   return point;
 }
 
+// Machine-readable benchmark output: accumulates named results and writes
+// them as a JSON array, one object per result, e.g.
+//   [{"name": "vstore_read_hot_8t", "ops_per_sec": 1.2e7,
+//     "p50_us": 0.1, "p99_us": 0.4}, ...]
+// Used by bench_fastpath to emit BENCH_fastpath.json so CI and scripts can
+// diff fast-path throughput across commits without scraping stdout.
+class BenchJsonWriter {
+ public:
+  void Add(const std::string& name, double ops_per_sec, double p50_us, double p99_us) {
+    entries_.push_back(Entry{name, ops_per_sec, p50_us, p99_us});
+  }
+
+  bool WriteTo(const std::string& path) const {
+    FILE* f = fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return false;
+    }
+    fprintf(f, "[\n");
+    for (size_t i = 0; i < entries_.size(); i++) {
+      const Entry& e = entries_[i];
+      fprintf(f,
+              "  {\"name\": \"%s\", \"ops_per_sec\": %.1f, \"p50_us\": %.3f, "
+              "\"p99_us\": %.3f}%s\n",
+              e.name.c_str(), e.ops_per_sec, e.p50_us, e.p99_us,
+              i + 1 < entries_.size() ? "," : "");
+    }
+    fprintf(f, "]\n");
+    fclose(f);
+    return true;
+  }
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    double ops_per_sec;
+    double p50_us;
+    double p99_us;
+  };
+  std::vector<Entry> entries_;
+};
+
 inline std::vector<size_t> ThreadSweep(bool quick) {
   if (quick) {
     return {4, 16, 48, 80};

@@ -24,16 +24,24 @@ class BlockingClient {
 
   // Runs one transaction to completion. Blocks the calling thread.
   TxnResult Execute(TxnPlan plan) {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_ = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = false;
+    }
+    // ExecuteAsync is called outside mu_: the session takes its own lock, and
+    // the completion callback (which runs on the endpoint's worker thread)
+    // locks mu_ while the worker holds that session lock — calling into the
+    // session with mu_ held would invert the order and risk deadlock.
     session_->ExecuteAsync(std::move(plan), [this](TxnResult result, bool) {
-      {
-        std::lock_guard<std::mutex> inner(mu_);
-        result_ = result;
-        done_ = true;
-      }
+      // Notify under the lock: once done_ is observable the waiter may return
+      // from Execute and destroy this client, so the signal must complete
+      // before the lock is released.
+      std::lock_guard<std::mutex> inner(mu_);
+      result_ = result;
+      done_ = true;
       cv_.notify_one();
     });
+    std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [this] { return done_; });
     return result_;
   }

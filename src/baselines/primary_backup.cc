@@ -178,6 +178,7 @@ PrimaryBackupSession::PrimaryBackupSession(uint32_t client_id, Transport* transp
 PrimaryBackupSession::~PrimaryBackupSession() { transport_->UnregisterClient(client_id_); }
 
 void PrimaryBackupSession::ExecuteAsync(TxnPlan plan, TxnCallback cb) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   assert(!active_ && "PrimaryBackupSession runs one transaction at a time");
   active_ = true;
   committing_ = false;
@@ -295,6 +296,7 @@ void PrimaryBackupSession::FinishTxn(TxnResult result) {
 }
 
 void PrimaryBackupSession::Receive(Message&& msg) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (const auto* reply = std::get_if<GetReply>(&msg.payload)) {
     if (!active_ || !get_outstanding_ || reply->req_seq != get_seq_) {
       return;

@@ -23,6 +23,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -192,6 +193,11 @@ class PrimaryBackupSession : public ClientSession {
   void StartCommit();
   void SendCommitRequest();
   void FinishTxn(TxnResult result);
+
+  // Same threading contract as MeerkatSession: ExecuteAsync (app thread) and
+  // Receive (endpoint worker) both mutate per-transaction state; recursive
+  // because completion callbacks may start the next transaction synchronously.
+  mutable std::recursive_mutex mu_;
 
   const uint32_t client_id_;
   Transport* const transport_;

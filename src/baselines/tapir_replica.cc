@@ -62,7 +62,7 @@ void TapirReplica::HandleValidate(CoreId core, const Address& from, const Valida
   // locks), as in TAPIR's implementation; the shared record is then created
   // and stamped under a single mutex hold — the per-transaction cross-core
   // serialization point Fig. 4 exposes.
-  TxnStatus status = OccValidate(store_, req.read_set, req.write_set, req.ts);
+  TxnStatus status = OccValidate(store_, req.read_set(), req.write_set(), req.ts);
 
   {
     std::lock_guard<SharedMutex> lock(record_mutex_);
@@ -71,7 +71,7 @@ void TapirReplica::HandleValidate(CoreId core, const Address& from, const Valida
       // Duplicate VALIDATE (retry): discard this validation's registrations
       // and re-report the recorded vote.
       if (status == TxnStatus::kValidatedOk) {
-        OccCleanup(store_, req.read_set, req.write_set, req.ts);
+        OccCleanup(store_, req.read_set(), req.write_set(), req.ts);
       }
       switch (it->second.status) {
         case TxnStatus::kValidatedOk:
@@ -89,8 +89,7 @@ void TapirReplica::HandleValidate(CoreId core, const Address& from, const Valida
     TxnRecord& rec = records_[req.tid];
     rec.tid = req.tid;
     rec.ts = req.ts;
-    rec.read_set = req.read_set;
-    rec.write_set = req.write_set;
+    rec.sets = req.sets;
     rec.status = status;
   }
   reply.status = status;
@@ -120,8 +119,7 @@ void TapirReplica::HandleAccept(CoreId core, const Address& from, const AcceptRe
   }
   if (!rec.ts.Valid()) {
     rec.ts = req.ts;
-    rec.read_set = req.read_set;
-    rec.write_set = req.write_set;
+    rec.sets = req.sets;
   }
   rec.view = req.view;
   rec.accept_view = req.view;
@@ -133,8 +131,7 @@ void TapirReplica::HandleAccept(CoreId core, const Address& from, const AcceptRe
 
 void TapirReplica::HandleCommit(const CommitRequest& req) {
   Timestamp ts;
-  std::vector<ReadSetEntry> read_set;
-  std::vector<WriteSetEntry> write_set;
+  TxnSetsPtr sets;  // Shared reference, not a vector copy.
   {
     std::lock_guard<SharedMutex> lock(record_mutex_);
     auto it = records_.find(req.tid);
@@ -143,9 +140,10 @@ void TapirReplica::HandleCommit(const CommitRequest& req) {
     }
     it->second.status = req.commit ? TxnStatus::kCommitted : TxnStatus::kAborted;
     ts = it->second.ts;
-    read_set = it->second.read_set;
-    write_set = it->second.write_set;
+    sets = it->second.sets;
   }
+  const auto& read_set = sets ? sets->read_set : EmptyReadSet();
+  const auto& write_set = sets ? sets->write_set : EmptyWriteSet();
   if (req.commit) {
     OccCommit(store_, read_set, write_set, ts);
   } else {

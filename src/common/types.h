@@ -12,7 +12,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace meerkat {
 
@@ -151,6 +154,35 @@ struct WriteSetEntry {
   std::string key;
   std::string value;
 };
+
+// A transaction's read and write sets, bundled so that the coordinator,
+// every fanned-out VALIDATE/ACCEPT message, and the replicas' trecord entries
+// can all reference one immutable copy instead of deep-copying the vectors
+// once per replica. Immutability is what makes the sharing safe: once built,
+// a TxnSets is never mutated, so concurrent readers on different cores need
+// no synchronization beyond the shared_ptr refcount.
+struct TxnSets {
+  std::vector<ReadSetEntry> read_set;
+  std::vector<WriteSetEntry> write_set;
+};
+
+using TxnSetsPtr = std::shared_ptr<const TxnSets>;
+
+inline TxnSetsPtr MakeTxnSets(std::vector<ReadSetEntry> read_set,
+                              std::vector<WriteSetEntry> write_set) {
+  return std::make_shared<const TxnSets>(TxnSets{std::move(read_set), std::move(write_set)});
+}
+
+// Shared empty-vector singletons so a null TxnSetsPtr (the common "no
+// payload" state) needs no allocation and no refcount traffic.
+inline const std::vector<ReadSetEntry>& EmptyReadSet() {
+  static const std::vector<ReadSetEntry> kEmpty;
+  return kEmpty;
+}
+inline const std::vector<WriteSetEntry>& EmptyWriteSet() {
+  static const std::vector<WriteSetEntry> kEmpty;
+  return kEmpty;
+}
 
 using ReplicaId = uint32_t;
 using CoreId = uint32_t;

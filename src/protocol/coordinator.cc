@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/common/stats.h"
 #include "src/protocol/epoch_merge.h"
 #include "src/sim/sim_context.h"
 
@@ -24,7 +25,7 @@ CommitCoordinator::CommitCoordinator(Transport* transport, Address self,
                                      uint64_t retry_timeout_ns, uint64_t timer_base,
                                      DoneCallback done)
     : transport_(transport), self_(self), quorum_(quorum), core_(core), tid_(tid), ts_(ts),
-      read_set_(std::move(read_set)), write_set_(std::move(write_set)),
+      sets_(MakeTxnSets(std::move(read_set), std::move(write_set))),
       retry_timeout_ns_(retry_timeout_ns), timer_base_(timer_base), done_(std::move(done)) {}
 
 void CommitCoordinator::Start() {
@@ -39,6 +40,7 @@ void CommitCoordinator::ArmTimer(uint64_t phase_timer) {
 }
 
 void CommitCoordinator::SendValidates(bool only_missing) {
+  bool first = true;
   for (ReplicaId r = 0; r < quorum_.n; r++) {
     if (only_missing && validate_replied_.count(group_base_ + r) != 0) {
       continue;
@@ -47,8 +49,13 @@ void CommitCoordinator::SendValidates(bool only_missing) {
     msg.src = self_;
     msg.dst = Address::Replica(group_base_ + r);
     msg.core = core_;
-    msg.payload = ValidateRequest{tid_, ts_, read_set_, write_set_};
+    // Every copy of the fan-out shares sets_ (refcount bump, no deep copy).
+    msg.payload = ValidateRequest{tid_, ts_, sets_};
     transport_->Send(std::move(msg));
+    if (!first) {
+      LocalFastPathCounters().payload_fanout_shares++;
+    }
+    first = false;
   }
 }
 
@@ -58,8 +65,11 @@ void CommitCoordinator::SendAccepts() {
     msg.src = self_;
     msg.dst = Address::Replica(group_base_ + r);
     msg.core = core_;
-    msg.payload = AcceptRequest{tid_, /*view=*/0, proposal_commit_, ts_, read_set_, write_set_};
+    msg.payload = AcceptRequest{tid_, /*view=*/0, proposal_commit_, ts_, sets_};
     transport_->Send(std::move(msg));
+    if (r != 0) {
+      LocalFastPathCounters().payload_fanout_shares++;
+    }
   }
 }
 
@@ -296,8 +306,7 @@ void BackupCoordinator::DecideAndAccept() {
   proposal_commit_ = ChooseRecoveryOutcome(quorum_, prepare_acks_);
   if (auto payload = FindPayloadSnapshot(prepare_acks_)) {
     ts_ = payload->ts;
-    read_set_ = payload->read_set;
-    write_set_ = payload->write_set;
+    sets_ = MakeTxnSets(payload->read_set, payload->write_set);
   }
   phase_ = Phase::kAccepting;
   for (ReplicaId r = 0; r < quorum_.n; r++) {
@@ -305,8 +314,11 @@ void BackupCoordinator::DecideAndAccept() {
     msg.src = self_;
     msg.dst = Address::Replica(group_base_ + r);
     msg.core = core_;
-    msg.payload = AcceptRequest{tid_, view_, proposal_commit_, ts_, read_set_, write_set_};
+    msg.payload = AcceptRequest{tid_, view_, proposal_commit_, ts_, sets_};
     transport_->Send(std::move(msg));
+    if (r != 0) {
+      LocalFastPathCounters().payload_fanout_shares++;
+    }
   }
   if (retry_timeout_ns_ != 0) {
     transport_->SetTimer(self_, 0, retry_timeout_ns_, timer_base_ + kAcceptPhaseTimer);

@@ -106,8 +106,9 @@ class CommitCoordinator {
   const CoreId core_;
   const TxnId tid_;
   const Timestamp ts_;
-  const std::vector<ReadSetEntry> read_set_;
-  const std::vector<WriteSetEntry> write_set_;
+  // Built once in the constructor; every VALIDATE/ACCEPT in the fan-out
+  // shares this payload instead of deep-copying the sets per replica.
+  const TxnSetsPtr sets_;
   const uint64_t retry_timeout_ns_;
   const uint64_t timer_base_;
   DoneCallback done_;
@@ -181,8 +182,9 @@ class BackupCoordinator {
   std::set<ReplicaId> prepare_replied_;
   bool proposal_commit_ = false;
   Timestamp ts_;
-  std::vector<ReadSetEntry> read_set_;
-  std::vector<WriteSetEntry> write_set_;
+  // Recovered payload, shared across the ACCEPT fan-out (may be null if no
+  // replica had the transaction's sets).
+  TxnSetsPtr sets_;
   std::set<ReplicaId> accept_ok_;
 };
 

@@ -150,9 +150,8 @@ void MeerkatReplica::HandleValidate(CoreId core, const Address& from,
 
   TxnRecord& rec = part.GetOrCreate(req.tid);
   rec.ts = req.ts;
-  rec.read_set = req.read_set;
-  rec.write_set = req.write_set;
-  rec.status = OccValidate(store_, rec.read_set, rec.write_set, rec.ts);
+  rec.sets = req.sets;  // Adopt the coordinator's shared payload (no copy).
+  rec.status = OccValidate(store_, rec.read_set(), rec.write_set(), rec.ts);
   reply.status = rec.status;
   Reply(from, core, std::move(reply));
 }
@@ -184,8 +183,7 @@ void MeerkatReplica::HandleAccept(CoreId core, const Address& from, const Accept
   // A replica that missed the VALIDATE learns the transaction here.
   if (!rec.ts.Valid()) {
     rec.ts = req.ts;
-    rec.read_set = req.read_set;
-    rec.write_set = req.write_set;
+    rec.sets = req.sets;
   }
   rec.view = req.view;
   rec.accept_view = req.view;
@@ -204,10 +202,10 @@ void MeerkatReplica::HandleCommit(CoreId core, const Address& /*from*/,
   }
   if (req.commit) {
     rec.status = TxnStatus::kCommitted;
-    OccCommit(store_, rec.read_set, rec.write_set, rec.ts);
+    OccCommit(store_, rec.read_set(), rec.write_set(), rec.ts);
   } else {
     rec.status = TxnStatus::kAborted;
-    OccCleanup(store_, rec.read_set, rec.write_set, rec.ts);
+    OccCleanup(store_, rec.read_set(), rec.write_set(), rec.ts);
   }
 }
 

@@ -11,6 +11,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,12 @@ class MeerkatSession : public ClientSession {
   void StartCommit();
   void MaybeFinishCommit();
   void OnCommitDone(const CommitOutcome& outcome);
+
+  // ExecuteAsync runs on the application thread while Receive runs on the
+  // endpoint's worker thread (threaded runtime); this lock serializes their
+  // access to the per-transaction state below. Recursive because a completion
+  // callback may synchronously start the next transaction (sim drivers do).
+  mutable std::recursive_mutex mu_;
 
   const uint32_t client_id_;
   Transport* const transport_;

@@ -68,6 +68,7 @@ std::optional<std::string> ShardedSession::last_read_value(const std::string& ke
 }
 
 void ShardedSession::ExecuteAsync(TxnPlan plan, TxnCallback cb) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   assert(!active_ && "ShardedSession runs one transaction at a time");
   active_ = true;
   plan_ = std::move(plan);
@@ -233,6 +234,7 @@ void ShardedSession::FinishTxn(TxnResult result, bool fast_path) {
 }
 
 void ShardedSession::Receive(Message&& msg) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (const auto* reply = std::get_if<GetReply>(&msg.payload)) {
     if (!active_ || !get_outstanding_ || reply->req_seq != get_seq_) {
       return;

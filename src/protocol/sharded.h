@@ -29,6 +29,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -110,6 +111,11 @@ class ShardedSession : public ClientSession {
   void StartCommit();
   void MaybeFinishCommit();
   void FinishTxn(TxnResult result, bool fast_path);
+
+  // Same threading contract as MeerkatSession: ExecuteAsync (app thread) and
+  // Receive (endpoint worker) both mutate per-transaction state; recursive
+  // because completion callbacks may start the next transaction synchronously.
+  mutable std::recursive_mutex mu_;
 
   const uint32_t client_id_;
   Transport* const transport_;

@@ -2,6 +2,7 @@
 
 #include <mutex>
 
+#include "src/common/stats.h"
 #include "src/sim/sim_context.h"
 
 namespace meerkat {
@@ -22,7 +23,28 @@ TxnStatus OccValidate(VStore& store, const std::vector<ReadSetEntry>& read_set,
   for (size_t i = 0; i < read_set.size(); i++) {
     const ReadSetEntry& r = read_set[i];
     ChargeOp();
-    KeyEntry* e = store.FindOrCreate(r.key);
+    uint64_t hash = VStore::HashKey(r.key);
+    KeyEntry* e = store.FindWithHash(r.key, hash);
+    if (e != nullptr) {
+      // Lock-free staleness pre-check: wts is monotone, so a probe that
+      // observes e.wts > r.wts proves the read is permanently stale — abort
+      // without ever taking the key lock.
+      bool found = false;
+      Timestamp probe_wts;
+      if (e->TryReadVersionFast(&found, &probe_wts) && found && probe_wts > r.read_wts) {
+        LocalFastPathCounters().occ_stale_fast_aborts++;
+        for (size_t j = 0; j < i; j++) {
+          KeyEntry* prev = store.Find(read_set[j].key);
+          if (prev != nullptr) {
+            std::lock_guard<KeyLock> plock(prev->lock);
+            prev->RemoveReader(ts);
+          }
+        }
+        return TxnStatus::kValidatedAbort;
+      }
+    } else {
+      e = store.FindOrCreateWithHash(r.key, hash);
+    }
     std::unique_lock<KeyLock> lock(e->lock);
     // e.wts > r.wts: the read is stale — a newer version committed since.
     bool stale = e->wts > r.read_wts;
@@ -91,8 +113,7 @@ void OccCommit(VStore& store, const std::vector<ReadSetEntry>& read_set,
     // write that lost the race is simply dropped (its effects are ordered
     // before the newer version in the serial order).
     if (ts > e->wts) {
-      e->value = w.value;
-      e->wts = ts;
+      e->InstallCommitted(w.value, ts);
     }
     e->RemoveWriter(ts);
   }
@@ -123,12 +144,10 @@ void OccCleanup(VStore& store, const std::vector<ReadSetEntry>& read_set,
 TxnStatus OccRevalidateCommittedOnly(VStore& store, const std::vector<ReadSetEntry>& read_set,
                                      const std::vector<WriteSetEntry>& write_set, Timestamp ts) {
   for (const ReadSetEntry& r : read_set) {
-    KeyEntry* e = store.Find(r.key);
-    if (e == nullptr) {
-      continue;  // Never written: the read of "absent" is still current.
-    }
-    std::lock_guard<KeyLock> lock(e->lock);
-    if (e->wts > r.read_wts) {
+    // Version-only probe: no value copy, no key lock. An absent key means the
+    // read of "absent" is still current.
+    VersionProbe probe = store.ReadVersion(r.key);
+    if (probe.found && probe.wts > r.read_wts) {
       return TxnStatus::kValidatedAbort;
     }
   }

@@ -22,8 +22,8 @@ TxnRecordSnapshot TxnRecord::ToSnapshot(CoreId core) const {
   snap.accept_view = accept_view;
   snap.accepted = accepted;
   snap.core = core;
-  snap.read_set = read_set;
-  snap.write_set = write_set;
+  snap.read_set = read_set();
+  snap.write_set = write_set();
   return snap;
 }
 
@@ -35,8 +35,7 @@ TxnRecord TxnRecord::FromSnapshot(const TxnRecordSnapshot& snap) {
   rec.view = snap.view;
   rec.accept_view = snap.accept_view;
   rec.accepted = snap.accepted;
-  rec.read_set = snap.read_set;
-  rec.write_set = snap.write_set;
+  rec.sets = MakeTxnSets(snap.read_set, snap.write_set);
   return rec;
 }
 

@@ -25,8 +25,10 @@ namespace meerkat {
 struct TxnRecord {
   TxnId tid;
   Timestamp ts;
-  std::vector<ReadSetEntry> read_set;
-  std::vector<WriteSetEntry> write_set;
+  // Shared with the VALIDATE/ACCEPT message that delivered the transaction:
+  // the record adopts the coordinator's immutable TxnSets instead of copying
+  // the vectors into every replica's trecord. nullptr means empty sets.
+  TxnSetsPtr sets;
   TxnStatus status = TxnStatus::kNone;
   // Coordinator-recovery consensus state (paper §5.3.2): the record's current
   // view (promises: ignore proposals below it) and the view in which a
@@ -34,6 +36,13 @@ struct TxnRecord {
   ViewNum view = 0;
   ViewNum accept_view = 0;
   bool accepted = false;
+
+  const std::vector<ReadSetEntry>& read_set() const {
+    return sets ? sets->read_set : EmptyReadSet();
+  }
+  const std::vector<WriteSetEntry>& write_set() const {
+    return sets ? sets->write_set : EmptyWriteSet();
+  }
 
   TxnRecordSnapshot ToSnapshot(CoreId core) const;
   static TxnRecord FromSnapshot(const TxnRecordSnapshot& snap);

@@ -1,8 +1,33 @@
 #include "src/store/vstore.h"
 
 #include <algorithm>
+#include <cstring>
+
+#include "src/common/stats.h"
+#include "src/sim/sim_context.h"
 
 namespace meerkat {
+namespace {
+
+// Sim-personality cost parity: the threaded runtime's lock-free probes and
+// seqlock reads replace what used to be KeyLock acquisitions, but on the
+// simulated hardware they still cost roughly one small atomic region each.
+// Charging the same constant keeps the calibrated cost model stable across
+// the fast-path rewrite (the simulator models the protocol, not our locks).
+void ChargeSimKeyOps(uint64_t n) {
+  if (SimContext* ctx = SimContext::Current()) {
+    ctx->stats().key_lock_ops += n;
+    ctx->Charge(n * ctx->cost().key_lock_op_ns);
+  }
+}
+
+// Bounded seqlock read attempts before falling back to the per-key lock. A
+// reader only loses an attempt while a writer is mid-publish, so in practice
+// one retry suffices; the bound keeps the fallback path exercised and the
+// worst case latency-bounded.
+constexpr int kSeqlockAttempts = 4;
+
+}  // namespace
 
 Timestamp KeyEntry::MinWriter() const {
   Timestamp min = kInvalidTimestamp;
@@ -40,38 +65,212 @@ void KeyEntry::RemoveWriter(const Timestamp& ts) {
   }
 }
 
-VStore::VStore(size_t num_shards) : shards_(num_shards) {}
+void KeyEntry::InstallCommitted(const std::string& new_value, Timestamp new_wts) {
+  // Seqlock write protocol (Boehm, "Can seqlocks get along with programming
+  // language memory models?"): odd seq -> release fence -> relaxed data
+  // stores -> even seq with release. Writers are serialized by `lock`.
+  uint32_t seq = pub_seq.load(std::memory_order_relaxed);
+  pub_seq.store(seq + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  if (new_value.size() <= kInlineValueBytes) {
+    uint64_t words[kInlineValueWords] = {};
+    std::memcpy(words, new_value.data(), new_value.size());
+    for (size_t i = 0; i < kInlineValueWords; i++) {
+      pub_words[i].store(words[i], std::memory_order_relaxed);
+    }
+    pub_len.store(static_cast<uint32_t>(new_value.size()), std::memory_order_relaxed);
+  } else {
+    pub_len.store(kOverflowLen, std::memory_order_relaxed);
+  }
+  pub_wts_time.store(new_wts.time, std::memory_order_relaxed);
+  pub_wts_client.store(new_wts.client_id, std::memory_order_relaxed);
+  pub_seq.store(seq + 2, std::memory_order_release);
 
-VStore::Shard& VStore::ShardFor(const std::string& key) {
-  return shards_[std::hash<std::string>{}(key) % shards_.size()];
+  value = new_value;
+  wts = new_wts;
 }
 
-KeyEntry* VStore::Find(const std::string& key) {
-  Shard& shard = ShardFor(key);
-  std::lock_guard<KeyLock> lock(shard.structural_lock);
-  auto it = shard.map.find(key);
-  return it == shard.map.end() ? nullptr : it->second.get();
+bool KeyEntry::TryReadFast(bool* found, std::string* value_out, Timestamp* wts_out) const {
+  for (int attempt = 0; attempt < kSeqlockAttempts; attempt++) {
+    uint32_t s1 = pub_seq.load(std::memory_order_acquire);
+    if (s1 & 1) {
+      LocalFastPathCounters().vstore_seqlock_retries++;
+      continue;  // Writer mid-publish.
+    }
+    uint32_t len = pub_len.load(std::memory_order_relaxed);
+    if (len == kOverflowLen) {
+      return false;  // Value too large for the mirror; caller locks.
+    }
+    uint64_t words[kInlineValueWords];
+    for (size_t i = 0; i < kInlineValueWords; i++) {
+      words[i] = pub_words[i].load(std::memory_order_relaxed);
+    }
+    Timestamp ts{pub_wts_time.load(std::memory_order_relaxed),
+                 pub_wts_client.load(std::memory_order_relaxed)};
+    std::atomic_thread_fence(std::memory_order_acquire);
+    uint32_t s2 = pub_seq.load(std::memory_order_relaxed);
+    if (s1 != s2) {
+      LocalFastPathCounters().vstore_seqlock_retries++;
+      continue;  // Torn by a concurrent writer; retry.
+    }
+    if (!ts.Valid()) {
+      *found = false;  // Entry exists (pending writers) but never committed.
+      return true;
+    }
+    *found = true;
+    value_out->assign(reinterpret_cast<const char*>(words), len);
+    *wts_out = ts;
+    return true;
+  }
+  return false;
+}
+
+bool KeyEntry::TryReadVersionFast(bool* found, Timestamp* wts_out) const {
+  for (int attempt = 0; attempt < kSeqlockAttempts; attempt++) {
+    uint32_t s1 = pub_seq.load(std::memory_order_acquire);
+    if (s1 & 1) {
+      LocalFastPathCounters().vstore_seqlock_retries++;
+      continue;
+    }
+    Timestamp ts{pub_wts_time.load(std::memory_order_relaxed),
+                 pub_wts_client.load(std::memory_order_relaxed)};
+    std::atomic_thread_fence(std::memory_order_acquire);
+    uint32_t s2 = pub_seq.load(std::memory_order_relaxed);
+    if (s1 != s2) {
+      LocalFastPathCounters().vstore_seqlock_retries++;
+      continue;
+    }
+    *found = ts.Valid();
+    *wts_out = ts;
+    return true;
+  }
+  return false;
+}
+
+VStore::Table::Table(size_t cap)
+    : capacity(cap), mask(cap - 1), slots(new std::atomic<KeyEntry*>[cap]) {
+  for (size_t i = 0; i < cap; i++) {
+    slots[i].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+VStore::VStore(size_t num_shards) : shards_(num_shards) {
+  for (Shard& shard : shards_) {
+    auto table = std::make_unique<Table>(kInitialTableCapacity);
+    shard.table.store(table.get(), std::memory_order_release);
+    shard.tables.push_back(std::move(table));
+  }
+}
+
+VStore::~VStore() = default;
+
+uint64_t VStore::HashKey(const std::string& key) {
+  // splitmix64 finalizer over std::hash: the shard index consumes the high
+  // bits and the probe start the low bits, so they must be independently
+  // well-mixed even for sequential keys.
+  uint64_t x = std::hash<std::string>{}(key);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+VStore::Shard& VStore::ShardFor(uint64_t hash) {
+  return shards_[(hash >> 32) % shards_.size()];
+}
+
+KeyEntry* VStore::Probe(const Table* table, const std::string& key, uint64_t hash) {
+  size_t i = hash & table->mask;
+  while (true) {
+    KeyEntry* e = table->slots[i].load(std::memory_order_acquire);
+    if (e == nullptr) {
+      return nullptr;  // Null terminates the probe chain: key absent.
+    }
+    if (e->hash == hash && e->key == key) {
+      return e;
+    }
+    i = (i + 1) & table->mask;
+  }
+}
+
+KeyEntry* VStore::Find(const std::string& key) { return FindWithHash(key, HashKey(key)); }
+
+KeyEntry* VStore::FindWithHash(const std::string& key, uint64_t hash) {
+  ChargeSimKeyOps(1);
+  Shard& shard = ShardFor(hash);
+  return Probe(shard.table.load(std::memory_order_acquire), key, hash);
 }
 
 KeyEntry* VStore::FindOrCreate(const std::string& key) {
-  Shard& shard = ShardFor(key);
+  return FindOrCreateWithHash(key, HashKey(key));
+}
+
+KeyEntry* VStore::FindOrCreateWithHash(const std::string& key, uint64_t hash) {
+  Shard& shard = ShardFor(hash);
+  // Steady state: the key exists and the lookup stays lock-free.
+  if (KeyEntry* e = Probe(shard.table.load(std::memory_order_acquire), key, hash)) {
+    ChargeSimKeyOps(1);
+    return e;
+  }
   std::lock_guard<KeyLock> lock(shard.structural_lock);
-  auto it = shard.map.find(key);
-  if (it != shard.map.end()) {
-    return it->second.get();
+  // Re-probe under the lock: a racing insert may have won, and the table may
+  // have been swapped by a resize.
+  if (KeyEntry* e = Probe(shard.table.load(std::memory_order_acquire), key, hash)) {
+    return e;
   }
   auto entry = std::make_unique<KeyEntry>();
+  entry->key = key;
+  entry->hash = hash;
   KeyEntry* raw = entry.get();
-  shard.map.emplace(key, std::move(entry));
+  InsertLocked(shard, std::move(entry));
   return raw;
+}
+
+void VStore::InsertLocked(Shard& shard, std::unique_ptr<KeyEntry> entry) {
+  Table* table = shard.table.load(std::memory_order_relaxed);
+  // Resize before load factor reaches 3/4 so probe chains stay short and
+  // always terminate at a null slot.
+  if ((shard.size + 1) * 4 > table->capacity * 3) {
+    auto grown = std::make_unique<Table>(table->capacity * 2);
+    for (const auto& existing : shard.entries) {
+      size_t i = existing->hash & grown->mask;
+      while (grown->slots[i].load(std::memory_order_relaxed) != nullptr) {
+        i = (i + 1) & grown->mask;
+      }
+      grown->slots[i].store(existing.get(), std::memory_order_relaxed);
+    }
+    table = grown.get();
+    // Publish the new generation; readers mid-probe on the old table finish
+    // there (it stays alive in shard.tables until the store is destroyed).
+    shard.table.store(table, std::memory_order_release);
+    shard.tables.push_back(std::move(grown));
+  }
+  size_t i = entry->hash & table->mask;
+  while (table->slots[i].load(std::memory_order_relaxed) != nullptr) {
+    i = (i + 1) & table->mask;
+  }
+  KeyEntry* raw = entry.get();
+  shard.entries.push_back(std::move(entry));
+  shard.size++;
+  // Release store publishes the fully-constructed entry to lock-free probes.
+  table->slots[i].store(raw, std::memory_order_release);
 }
 
 ReadResult VStore::Read(const std::string& key) {
   ReadResult result;
-  KeyEntry* entry = Find(key);
+  uint64_t hash = HashKey(key);
+  KeyEntry* entry = FindWithHash(key, hash);
   if (entry == nullptr) {
     return result;
   }
+  ChargeSimKeyOps(1);  // Parity with the per-key lock this read used to take.
+  if (entry->TryReadFast(&result.found, &result.value, &result.wts)) {
+    LocalFastPathCounters().vstore_fast_reads++;
+    return result;
+  }
+  LocalFastPathCounters().vstore_locked_reads++;
   std::lock_guard<KeyLock> lock(entry->lock);
   if (!entry->wts.Valid()) {
     return result;  // Entry exists (pending writers) but was never committed.
@@ -82,22 +281,37 @@ ReadResult VStore::Read(const std::string& key) {
   return result;
 }
 
+VersionProbe VStore::ReadVersion(const std::string& key) {
+  VersionProbe probe;
+  KeyEntry* entry = Find(key);
+  if (entry == nullptr) {
+    return probe;
+  }
+  ChargeSimKeyOps(1);
+  LocalFastPathCounters().vstore_version_probes++;
+  if (entry->TryReadVersionFast(&probe.found, &probe.wts)) {
+    return probe;
+  }
+  std::lock_guard<KeyLock> lock(entry->lock);
+  probe.found = entry->wts.Valid();
+  probe.wts = entry->wts;
+  return probe;
+}
+
 void VStore::LoadKey(const std::string& key, const std::string& value, Timestamp wts) {
   KeyEntry* entry = FindOrCreate(key);
   std::lock_guard<KeyLock> lock(entry->lock);
   // Thomas write rule here too: state transfer during recovery must never
   // roll a key back to an older version.
   if (wts > entry->wts) {
-    entry->value = value;
-    entry->wts = wts;
+    entry->InstallCommitted(value, wts);
   }
 }
 
 void VStore::ClearPendingAll() {
   for (Shard& shard : shards_) {
     std::lock_guard<KeyLock> slock(shard.structural_lock);
-    for (auto& [key, entry] : shard.map) {
-      (void)key;
+    for (auto& entry : shard.entries) {
       std::lock_guard<KeyLock> lock(entry->lock);
       entry->readers.clear();
       entry->writers.clear();
@@ -108,14 +322,21 @@ void VStore::ClearPendingAll() {
 void VStore::ClearAll() {
   for (Shard& shard : shards_) {
     std::lock_guard<KeyLock> slock(shard.structural_lock);
-    shard.map.clear();
+    auto fresh = std::make_unique<Table>(kInitialTableCapacity);
+    shard.table.store(fresh.get(), std::memory_order_release);
+    // Quiesced by contract (no concurrent readers), so retired tables and
+    // entries can actually be freed here.
+    shard.tables.clear();
+    shard.tables.push_back(std::move(fresh));
+    shard.entries.clear();
+    shard.size = 0;
   }
 }
 
 size_t VStore::SizeForTesting() const {
   size_t n = 0;
   for (const Shard& shard : shards_) {
-    n += shard.map.size();
+    n += shard.size;
   }
   return n;
 }
@@ -124,10 +345,10 @@ void VStore::ForEachCommitted(
     const std::function<void(const std::string&, const std::string&, Timestamp)>& fn) {
   for (Shard& shard : shards_) {
     std::lock_guard<KeyLock> slock(shard.structural_lock);
-    for (auto& [key, entry] : shard.map) {
+    for (auto& entry : shard.entries) {
       std::lock_guard<KeyLock> lock(entry->lock);
       if (entry->wts.Valid()) {
-        fn(key, entry->value, entry->wts);
+        fn(entry->key, entry->value, entry->wts);
       }
     }
   }

@@ -9,17 +9,32 @@
 // all protected by a fine-grained per-key lock (KeyLock), preserving DAP:
 // transactions touching disjoint keys touch disjoint cache lines.
 //
+// The steady-state fast path is lock-free end to end (see DESIGN.md,
+// "Fast-path memory model"):
+//   * Lookup goes through a per-shard open-addressed index of atomic
+//     KeyEntry* slots. Readers probe with acquire loads and never take the
+//     shard's structural lock; inserts and resizes take it, and publish new
+//     entries/tables with release stores. Entries are pointer-stable for the
+//     store's lifetime; retired index tables are kept alive until the store
+//     is destroyed so a racing reader can finish its probe.
+//   * Each entry additionally publishes (value, wts) through a word-atomic
+//     seqlock mirror, so Read/ReadVersion return a consistent snapshot
+//     without acquiring the per-key lock in the uncontended case. Values up
+//     to kInlineValueBytes ride the mirror; larger values fall back to the
+//     per-key lock.
+//
 // The store is shared by all cores of one replica. Structural inserts take a
-// per-shard lock; steady-state operations only take the per-key lock.
+// per-shard lock; steady-state operations take at most the per-key lock.
 
 #ifndef MEERKAT_SRC_STORE_VSTORE_H_
 #define MEERKAT_SRC_STORE_VSTORE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/types.h"
@@ -28,7 +43,20 @@
 namespace meerkat {
 
 struct KeyEntry {
+  // Maximum value size (bytes) publishable through the seqlock mirror.
+  static constexpr size_t kInlineValueWords = 6;
+  static constexpr size_t kInlineValueBytes = kInlineValueWords * sizeof(uint64_t);
+  // pub_len sentinel: value too large for the mirror, readers must lock.
+  static constexpr uint32_t kOverflowLen = 0xFFFFFFFFu;
+
   KeyLock lock;
+
+  // Identity; immutable after construction (set by the shard insert while it
+  // holds the structural lock, published together with the entry pointer).
+  std::string key;
+  uint64_t hash = 0;
+
+  // Authoritative state, guarded by `lock`.
   std::string value;
   Timestamp wts;  // Version of `value`.
   Timestamp rts;  // Largest committed read timestamp.
@@ -37,6 +65,17 @@ struct KeyEntry {
   std::vector<Timestamp> readers;
   std::vector<Timestamp> writers;
 
+  // Seqlock-published mirror of (value, wts). Writers mutate it only while
+  // holding `lock` (so mirror writers are serialized); readers validate
+  // pub_seq around word-atomic relaxed loads and retry on a concurrent
+  // update. Everything in the mirror is a std::atomic, so the protocol is
+  // data-race-free by construction (no "benign race" UB, clean under TSan).
+  std::atomic<uint32_t> pub_seq{0};
+  std::atomic<uint32_t> pub_len{0};  // kOverflowLen => value not mirrored.
+  std::atomic<uint64_t> pub_wts_time{0};
+  std::atomic<uint32_t> pub_wts_client{0};
+  std::array<std::atomic<uint64_t>, kInlineValueWords> pub_words{};
+
   // Helpers used by validation; caller must hold `lock`.
   Timestamp MinWriter() const;  // kInvalidTimestamp if none (treated as +inf by callers).
   Timestamp MaxReader() const;  // kInvalidTimestamp if none (-inf).
@@ -44,6 +83,19 @@ struct KeyEntry {
   bool HasReaders() const { return !readers.empty(); }
   void RemoveReader(const Timestamp& ts);
   void RemoveWriter(const Timestamp& ts);
+
+  // Installs a committed (value, wts) into both the authoritative fields and
+  // the seqlock mirror. Caller must hold `lock`.
+  void InstallCommitted(const std::string& new_value, Timestamp new_wts);
+
+  // Seqlock read of (value, wts). Returns false if the value overflows the
+  // mirror or a concurrent writer kept invalidating the read — the caller
+  // falls back to the per-key lock. Never blocks.
+  bool TryReadFast(bool* found, std::string* value_out, Timestamp* wts_out) const;
+
+  // Seqlock read of wts only (no value copy). Same contract as TryReadFast
+  // but never overflows: the version words always ride the mirror.
+  bool TryReadVersionFast(bool* found, Timestamp* wts_out) const;
 };
 
 // Result of a versioned read.
@@ -53,23 +105,43 @@ struct ReadResult {
   Timestamp wts;
 };
 
+// Result of a version-only probe (no value copy).
+struct VersionProbe {
+  bool found = false;
+  Timestamp wts;
+};
+
 class VStore {
  public:
   // num_shards bounds structural-insert contention; entries themselves are
   // pointer-stable for the store's lifetime.
   explicit VStore(size_t num_shards = 256);
+  ~VStore();
 
   VStore(const VStore&) = delete;
   VStore& operator=(const VStore&) = delete;
 
+  // Hashes a key once; pass the result to the *WithHash overloads when one
+  // operation needs several lookups of the same key.
+  static uint64_t HashKey(const std::string& key);
+
   // Returns the entry for `key`, or nullptr if it was never written.
+  // Lock-free: probes the shard index without any lock.
   KeyEntry* Find(const std::string& key);
+  KeyEntry* FindWithHash(const std::string& key, uint64_t hash);
 
-  // Returns the entry, creating an empty one if absent.
+  // Returns the entry, creating an empty one if absent. Takes the shard's
+  // structural lock only when the key is absent.
   KeyEntry* FindOrCreate(const std::string& key);
+  KeyEntry* FindOrCreateWithHash(const std::string& key, uint64_t hash);
 
-  // Versioned read (execute phase): value + version under the key lock.
+  // Versioned read (execute phase): value + version, lock-free via the
+  // entry's seqlock mirror in the common case.
   ReadResult Read(const std::string& key);
+
+  // Version-only probe: wts without copying the value, lock-free. Used by
+  // OCC validation's staleness pre-check and by epoch-change re-validation.
+  VersionProbe ReadVersion(const std::string& key);
 
   // Direct committed write used for database loading and recovery state
   // transfer (bypasses OCC; installs only if `wts` is newer than the entry).
@@ -79,7 +151,9 @@ class VStore {
   // in-flight transactions have just been force-finalized by the merge).
   void ClearPendingAll();
 
-  // Drops everything (crash-restart without durable state).
+  // Drops everything (crash-restart without durable state). Requires
+  // external quiescence: no concurrent readers may hold entry pointers
+  // (callers hold the replica's epoch gate exclusively).
   void ClearAll();
 
   size_t SizeForTesting() const;
@@ -90,12 +164,34 @@ class VStore {
       const std::function<void(const std::string&, const std::string&, Timestamp)>& fn);
 
  private:
-  struct Shard {
-    KeyLock structural_lock;
-    std::unordered_map<std::string, std::unique_ptr<KeyEntry>> map;
+  // One generation of a shard's open-addressed index. Slot pointers are
+  // published with release stores; null terminates a probe chain (entries are
+  // never removed from a live table). Capacity is a power of two and the
+  // table is resized before load factor reaches 3/4, so probes terminate.
+  struct Table {
+    explicit Table(size_t cap);
+    const size_t capacity;
+    const size_t mask;
+    std::unique_ptr<std::atomic<KeyEntry*>[]> slots;
   };
 
-  Shard& ShardFor(const std::string& key);
+  struct Shard {
+    KeyLock structural_lock;
+    std::atomic<Table*> table{nullptr};
+    // Owns the current table plus every retired generation: a reader loaded
+    // `table` before a resize may still be probing the old array.
+    std::vector<std::unique_ptr<Table>> tables;
+    std::vector<std::unique_ptr<KeyEntry>> entries;
+    size_t size = 0;
+  };
+
+  static constexpr size_t kInitialTableCapacity = 16;
+
+  Shard& ShardFor(uint64_t hash);
+  static KeyEntry* Probe(const Table* table, const std::string& key, uint64_t hash);
+  // Inserts into `shard`'s current table, resizing first if needed. Caller
+  // holds the structural lock.
+  void InsertLocked(Shard& shard, std::unique_ptr<KeyEntry> entry);
 
   std::vector<Shard> shards_;
 };

@@ -63,8 +63,25 @@ struct GetReply {
 struct ValidateRequest {
   TxnId tid;
   Timestamp ts;  // Proposed commit timestamp.
-  std::vector<ReadSetEntry> read_set;
-  std::vector<WriteSetEntry> write_set;
+  // Shared immutable payload: the coordinator builds the sets once and every
+  // fanned-out copy of this message references the same TxnSets (in-process
+  // transport moves pointers, not bytes). nullptr means empty sets.
+  TxnSetsPtr sets;
+
+  ValidateRequest() = default;
+  ValidateRequest(TxnId tid_in, Timestamp ts_in, TxnSetsPtr sets_in)
+      : tid(tid_in), ts(ts_in), sets(std::move(sets_in)) {}
+  // Vector convenience form, used by tests and single-destination senders.
+  ValidateRequest(TxnId tid_in, Timestamp ts_in, std::vector<ReadSetEntry> read_set,
+                  std::vector<WriteSetEntry> write_set)
+      : tid(tid_in), ts(ts_in), sets(MakeTxnSets(std::move(read_set), std::move(write_set))) {}
+
+  const std::vector<ReadSetEntry>& read_set() const {
+    return sets ? sets->read_set : EmptyReadSet();
+  }
+  const std::vector<WriteSetEntry>& write_set() const {
+    return sets ? sets->write_set : EmptyWriteSet();
+  }
 };
 
 struct ValidateReply {
@@ -84,10 +101,29 @@ struct AcceptRequest {
   ViewNum view = 0;
   bool commit = false;  // Proposed outcome.
   // Full transaction payload so a replica that missed the VALIDATE can still
-  // complete the transaction (cf. TAPIR's decide).
+  // complete the transaction (cf. TAPIR's decide). Shared across the fan-out
+  // like ValidateRequest::sets; nullptr means empty sets.
   Timestamp ts;
-  std::vector<ReadSetEntry> read_set;
-  std::vector<WriteSetEntry> write_set;
+  TxnSetsPtr sets;
+
+  AcceptRequest() = default;
+  AcceptRequest(TxnId tid_in, ViewNum view_in, bool commit_in, Timestamp ts_in,
+                TxnSetsPtr sets_in)
+      : tid(tid_in), view(view_in), commit(commit_in), ts(ts_in), sets(std::move(sets_in)) {}
+  AcceptRequest(TxnId tid_in, ViewNum view_in, bool commit_in, Timestamp ts_in,
+                std::vector<ReadSetEntry> read_set, std::vector<WriteSetEntry> write_set)
+      : tid(tid_in),
+        view(view_in),
+        commit(commit_in),
+        ts(ts_in),
+        sets(MakeTxnSets(std::move(read_set), std::move(write_set))) {}
+
+  const std::vector<ReadSetEntry>& read_set() const {
+    return sets ? sets->read_set : EmptyReadSet();
+  }
+  const std::vector<WriteSetEntry>& write_set() const {
+    return sets ? sets->write_set : EmptyWriteSet();
+  }
 };
 
 struct AcceptReply {

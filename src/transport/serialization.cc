@@ -250,8 +250,8 @@ struct PayloadEncoder {
   void operator()(const ValidateRequest& p) {
     w.Tid(p.tid);
     w.Ts(p.ts);
-    w.ReadSet(p.read_set);
-    w.WriteSet(p.write_set);
+    w.ReadSet(p.read_set());
+    w.WriteSet(p.write_set());
   }
   void operator()(const ValidateReply& p) {
     w.Tid(p.tid);
@@ -264,8 +264,8 @@ struct PayloadEncoder {
     w.U64(p.view);
     w.U8(p.commit ? 1 : 0);
     w.Ts(p.ts);
-    w.ReadSet(p.read_set);
-    w.WriteSet(p.write_set);
+    w.ReadSet(p.read_set());
+    w.WriteSet(p.write_set());
   }
   void operator()(const AcceptReply& p) {
     w.Tid(p.tid);
@@ -381,12 +381,14 @@ bool DecodePayload(WireReader& r, size_t tag, Payload* out) {
       return true;
     }
     case 2: {
-      ValidateRequest p;
-      if (!r.Tid(&p.tid) || !r.Ts(&p.ts) || !r.ReadSet(&p.read_set) ||
-          !r.WriteSet(&p.write_set)) {
+      TxnId tid;
+      Timestamp ts;
+      std::vector<ReadSetEntry> read_set;
+      std::vector<WriteSetEntry> write_set;
+      if (!r.Tid(&tid) || !r.Ts(&ts) || !r.ReadSet(&read_set) || !r.WriteSet(&write_set)) {
         return false;
       }
-      *out = std::move(p);
+      *out = ValidateRequest{tid, ts, std::move(read_set), std::move(write_set)};
       return true;
     }
     case 3: {
@@ -398,12 +400,17 @@ bool DecodePayload(WireReader& r, size_t tag, Payload* out) {
       return true;
     }
     case 4: {
-      AcceptRequest p;
-      if (!r.Tid(&p.tid) || !r.U64(&p.view) || !ReadBool(r, &p.commit) || !r.Ts(&p.ts) ||
-          !r.ReadSet(&p.read_set) || !r.WriteSet(&p.write_set)) {
+      TxnId tid;
+      uint64_t view = 0;
+      bool commit = false;
+      Timestamp ts;
+      std::vector<ReadSetEntry> read_set;
+      std::vector<WriteSetEntry> write_set;
+      if (!r.Tid(&tid) || !r.U64(&view) || !ReadBool(r, &commit) || !r.Ts(&ts) ||
+          !r.ReadSet(&read_set) || !r.WriteSet(&write_set)) {
         return false;
       }
-      *out = std::move(p);
+      *out = AcceptRequest{tid, view, commit, ts, std::move(read_set), std::move(write_set)};
       return true;
     }
     case 5: {

@@ -93,6 +93,41 @@ TEST(CommitCoordinatorTest, StartBroadcastsValidates) {
   EXPECT_FALSE(t.coordinator->done());
 }
 
+TEST(CommitCoordinatorTest, ValidateFanOutSharesOnePayload) {
+  // Copy-free fan-out: all three VALIDATEs reference the same immutable
+  // TxnSets object, not per-replica deep copies of the read/write sets.
+  CoordinatorUnderTest t;
+  std::vector<const ValidateRequest*> reqs;
+  for (const Message& msg : t.transport.sent) {
+    if (const auto* req = std::get_if<ValidateRequest>(&msg.payload)) {
+      reqs.push_back(req);
+    }
+  }
+  ASSERT_EQ(reqs.size(), 3u);
+  ASSERT_NE(reqs[0]->sets, nullptr);
+  EXPECT_EQ(reqs[0]->sets.get(), reqs[1]->sets.get());
+  EXPECT_EQ(reqs[1]->sets.get(), reqs[2]->sets.get());
+  ASSERT_EQ(reqs[0]->read_set().size(), 1u);
+  EXPECT_EQ(reqs[0]->read_set()[0].key, "k");
+  ASSERT_EQ(reqs[0]->write_set().size(), 1u);
+  EXPECT_EQ(reqs[0]->write_set()[0].value, "v");
+}
+
+TEST(CommitCoordinatorTest, AcceptFanOutSharesValidatePayload) {
+  // The slow path's ACCEPTs share the same TxnSets the VALIDATEs carried.
+  CoordinatorUnderTest t;
+  t.coordinator->OnMessage(ValidateReplyMsg(0, TxnStatus::kValidatedOk));
+  t.coordinator->OnMessage(ValidateReplyMsg(1, TxnStatus::kValidatedAbort));
+  t.coordinator->OnMessage(ValidateReplyMsg(2, TxnStatus::kValidatedOk));
+  ASSERT_EQ(t.transport.Count<AcceptRequest>(), 3u);
+  const auto* validate = t.transport.Last<ValidateRequest>();
+  for (const Message& msg : t.transport.sent) {
+    if (const auto* accept = std::get_if<AcceptRequest>(&msg.payload)) {
+      EXPECT_EQ(accept->sets.get(), validate->sets.get());
+    }
+  }
+}
+
 TEST(CommitCoordinatorTest, FastPathCommitOnSupermajority) {
   CoordinatorUnderTest t;
   t.coordinator->OnMessage(ValidateReplyMsg(0, TxnStatus::kValidatedOk));

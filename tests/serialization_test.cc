@@ -68,18 +68,14 @@ TEST(SerializationTest, GetReplyRoundTrip) {
 }
 
 TEST(SerializationTest, ValidateRequestRoundTrip) {
-  ValidateRequest req;
-  req.tid = {3, 4};
-  req.ts = {999, 3};
-  req.read_set = {{"a", {1, 0}}, {"b", {}}};
-  req.write_set = {{"c", "v1"}, {"d", ""}};
+  ValidateRequest req{{3, 4}, {999, 3}, {{"a", {1, 0}}, {"b", {}}}, {{"c", "v1"}, {"d", ""}}};
   Message out = RoundTrip(Wrap(req));
   const auto& p = std::get<ValidateRequest>(out.payload);
-  ASSERT_EQ(p.read_set.size(), 2u);
-  EXPECT_EQ(p.read_set[0].key, "a");
-  EXPECT_FALSE(p.read_set[1].read_wts.Valid());
-  ASSERT_EQ(p.write_set.size(), 2u);
-  EXPECT_EQ(p.write_set[1].value, "");
+  ASSERT_EQ(p.read_set().size(), 2u);
+  EXPECT_EQ(p.read_set()[0].key, "a");
+  EXPECT_FALSE(p.read_set()[1].read_wts.Valid());
+  ASSERT_EQ(p.write_set().size(), 2u);
+  EXPECT_EQ(p.write_set()[1].value, "");
 }
 
 TEST(SerializationTest, ValidateReplyRoundTrip) {
@@ -90,12 +86,7 @@ TEST(SerializationTest, ValidateReplyRoundTrip) {
 }
 
 TEST(SerializationTest, AcceptRoundTrip) {
-  AcceptRequest req;
-  req.tid = {1, 1};
-  req.view = 3;
-  req.commit = true;
-  req.ts = {500, 1};
-  req.write_set = {{"k", "v"}};
+  AcceptRequest req{{1, 1}, /*view=*/3, /*commit=*/true, {500, 1}, {}, {{"k", "v"}}};
   Message out = RoundTrip(Wrap(req));
   EXPECT_TRUE(std::get<AcceptRequest>(out.payload).commit);
   RoundTrip(Wrap(AcceptReply{{1, 1}, 3, true, 0, 2}));
@@ -168,11 +159,7 @@ TEST(SerializationTest, PrimaryBackupRoundTrip) {
 }
 
 TEST(SerializationTest, EveryTruncationIsRejected) {
-  ValidateRequest req;
-  req.tid = {3, 4};
-  req.ts = {999, 3};
-  req.read_set = {{"alpha", {1, 0}}};
-  req.write_set = {{"beta", "value"}};
+  ValidateRequest req{{3, 4}, {999, 3}, {{"alpha", {1, 0}}}, {{"beta", "value"}}};
   std::vector<uint8_t> bytes = EncodeMessage(Wrap(req));
   for (size_t len = 0; len < bytes.size(); len++) {
     std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + static_cast<long>(len));

@@ -31,15 +31,18 @@ class ShardedThreadedFixture : public ::testing::Test {
   TxnResult Run(ShardedSession& session, TxnPlan plan) {
     std::mutex mu;
     std::condition_variable cv;
-    std::unique_lock<std::mutex> lock(mu);
     bool done = false;
     TxnResult result = TxnResult::kFailed;
+    // ExecuteAsync outside mu: the session locks itself, and the completion
+    // callback takes mu while holding that lock (same order as
+    // BlockingClient::Execute).
     session.ExecuteAsync(std::move(plan), [&](TxnResult r, bool) {
       std::lock_guard<std::mutex> inner(mu);
       result = r;
       done = true;
       cv.notify_one();
     });
+    std::unique_lock<std::mutex> lock(mu);
     cv.wait(lock, [&] { return done; });
     return result;
   }

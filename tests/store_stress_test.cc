@@ -97,6 +97,136 @@ TEST(StoreStressTest, ConcurrentInsertsKeepPointersStable) {
   EXPECT_EQ(store.SizeForTesting(), static_cast<size_t>(kThreads) * 1000 + 50);
 }
 
+TEST(StoreStressTest, LockFreeReadsDuringInsertStorm) {
+  // Readers hammer Find/Read/ReadVersion on a stable key set while writer
+  // threads insert thousands of fresh keys into the same shards, forcing
+  // repeated index resizes. Probes must never crash, tear, or miss a key that
+  // was present before the readers started.
+  VStore store(4);  // Few shards -> many resizes under contention.
+  constexpr int kStableKeys = 64;
+  for (int i = 0; i < kStableKeys; i++) {
+    store.LoadKey(FormatKey(static_cast<uint64_t>(i), 8), "stable",
+                  Timestamp{static_cast<uint64_t>(i) + 1, 1});
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads_done{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; t++) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) * 31 + 7);
+      while (!stop.load(std::memory_order_acquire)) {
+        uint64_t i = rng.NextBounded(kStableKeys);
+        std::string key = FormatKey(i, 8);
+        ReadResult read = store.Read(key);
+        ASSERT_TRUE(read.found) << "stable key vanished during inserts";
+        ASSERT_EQ(read.value, "stable");
+        ASSERT_EQ(read.wts, (Timestamp{i + 1, 1}));
+        VersionProbe probe = store.ReadVersion(key);
+        ASSERT_TRUE(probe.found);
+        ASSERT_EQ(probe.wts, (Timestamp{i + 1, 1}));
+        reads_done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int t = 0; t < 2; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 4000; i++) {
+        KeyEntry* e = store.FindOrCreate("w" + std::to_string(t) + "-" + std::to_string(i));
+        ASSERT_NE(e, nullptr);
+      }
+    });
+  }
+  threads[3].join();
+  threads[4].join();
+  stop.store(true, std::memory_order_release);
+  for (int t = 0; t < 3; t++) {
+    threads[static_cast<size_t>(t)].join();
+  }
+  EXPECT_GT(reads_done.load(), 0u);
+  EXPECT_EQ(store.SizeForTesting(), static_cast<size_t>(kStableKeys) + 2 * 4000);
+}
+
+TEST(StoreStressTest, SeqlockReadsNeverObserveTornValues) {
+  // Writers install values that deterministically encode the version they
+  // belong to; readers assert the (value, wts) pair they get back is always
+  // internally consistent. A torn seqlock read would pair a value with the
+  // wrong version (or mix bytes of two values).
+  VStore store;
+  auto value_for = [](const Timestamp& ts) {
+    // 40 bytes: rides the inline seqlock mirror (kInlineValueBytes = 48).
+    std::string v = std::to_string(ts.time) + ":" + std::to_string(ts.client_id) + "|";
+    v.resize(40, 'a' + static_cast<char>(ts.time % 26));
+    return v;
+  };
+  store.LoadKey("hot", value_for(Timestamp{1, 1}), Timestamp{1, 1});
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> fast_checked{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; t++) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        ReadResult read = store.Read("hot");
+        ASSERT_TRUE(read.found);
+        ASSERT_EQ(read.value, value_for(read.wts)) << "torn read: value/version mismatch";
+        fast_checked.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; w++) {
+    writers.emplace_back([&, w] {
+      KeyEntry* e = store.Find("hot");
+      ASSERT_NE(e, nullptr);
+      for (uint64_t i = 2; i < 20000; i++) {
+        Timestamp ts{i, static_cast<uint32_t>(w + 1)};
+        std::lock_guard<KeyLock> lock(e->lock);
+        if (ts > e->wts) {
+          e->InstallCommitted(value_for(ts), ts);
+        }
+      }
+    });
+  }
+  for (auto& t : writers) {
+    t.join();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) {
+    t.join();
+  }
+  EXPECT_GT(fast_checked.load(), 0u);
+  // Final state is the largest installed version, via both read paths.
+  ReadResult final_read = store.Read("hot");
+  EXPECT_EQ(final_read.wts, (Timestamp{19999, 2}));
+  EXPECT_EQ(final_read.value, value_for(final_read.wts));
+  EXPECT_EQ(store.ReadVersion("hot").wts, (Timestamp{19999, 2}));
+}
+
+TEST(StoreStressTest, OverflowValuesFallBackToLockedRead) {
+  // Values larger than the inline mirror must still read consistently (the
+  // reader takes the per-key lock instead).
+  VStore store;
+  auto big_value_for = [](uint64_t i) { return std::string(200, 'a' + static_cast<char>(i % 26)); };
+  store.LoadKey("big", big_value_for(1), Timestamp{1, 1});
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    KeyEntry* e = store.Find("big");
+    for (uint64_t i = 2; i < 5000; i++) {
+      std::lock_guard<KeyLock> lock(e->lock);
+      e->InstallCommitted(big_value_for(i), Timestamp{i, 1});
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  while (!stop.load(std::memory_order_acquire)) {
+    ReadResult read = store.Read("big");
+    ASSERT_TRUE(read.found);
+    ASSERT_EQ(read.value, big_value_for(read.wts.time));
+    ASSERT_EQ(read.value.size(), 200u);
+  }
+  writer.join();
+}
+
 TEST(StoreStressTest, RmwCounterSerializesCorrectly) {
   // The canonical lost-update check at the storage layer: concurrent
   // increments through full OCC; the final value equals the commit count.

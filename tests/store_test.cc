@@ -302,8 +302,7 @@ TEST(TRecordTest, SnapshotRoundTripsThroughReplace) {
   rec.view = 3;
   rec.accept_view = 2;
   rec.accepted = true;
-  rec.read_set = {{"a", Ts(1)}};
-  rec.write_set = {{"b", "v"}};
+  rec.sets = MakeTxnSets({{"a", Ts(1)}}, {{"b", "v"}});
 
   std::vector<TxnRecordSnapshot> snaps = trecord.SnapshotAll();
   ASSERT_EQ(snaps.size(), 1u);
@@ -316,8 +315,8 @@ TEST(TRecordTest, SnapshotRoundTripsThroughReplace) {
   TxnRecord* restored = other.Partition(1).Find(TxnId{7, 42});
   ASSERT_NE(restored, nullptr);
   EXPECT_EQ(restored->status, TxnStatus::kValidatedOk);
-  EXPECT_EQ(restored->read_set.size(), 1u);
-  EXPECT_EQ(restored->write_set[0].value, "v");
+  EXPECT_EQ(restored->read_set().size(), 1u);
+  EXPECT_EQ(restored->write_set()[0].value, "v");
   // Core-0 partition untouched.
   EXPECT_EQ(other.Partition(0).Size(), 0u);
 }

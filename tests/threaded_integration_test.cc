@@ -118,10 +118,12 @@ TEST(EpochChangeUnderTrafficTest, TrafficResumesAfterChange) {
     std::mutex mu;
     std::condition_variable cv;
     while (!stop.load(std::memory_order_acquire)) {
-      std::unique_lock<std::mutex> lock(mu);
       bool done = false;
       TxnPlan plan;
       plan.ops.push_back(Op::Rmw("hot", "x"));
+      // ExecuteAsync outside mu: the session locks itself, and the completion
+      // callback takes mu while holding that lock (same order as
+      // BlockingClient::Execute).
       session.ExecuteAsync(plan, [&](TxnResult r, bool) {
         if (r == TxnResult::kCommit) {
           commits.fetch_add(1, std::memory_order_relaxed);
@@ -130,6 +132,7 @@ TEST(EpochChangeUnderTrafficTest, TrafficResumesAfterChange) {
         done = true;
         cv.notify_one();
       });
+      std::unique_lock<std::mutex> lock(mu);
       cv.wait(lock, [&] { return done; });
     }
   });
@@ -191,17 +194,19 @@ TEST(TrecordCheckpointTest, TrimmedReplicaStillServesTraffic) {
   std::mutex mu;
   std::condition_variable cv;
   auto run_txn = [&](const std::string& value) {
-    std::unique_lock<std::mutex> lock(mu);
     bool done = false;
     TxnResult result = TxnResult::kFailed;
     TxnPlan plan;
     plan.ops.push_back(Op::Rmw("k", value));
+    // ExecuteAsync outside mu: the session locks itself, and the completion
+    // callback takes mu while holding that lock.
     session.ExecuteAsync(plan, [&](TxnResult r, bool) {
       std::lock_guard<std::mutex> inner(mu);
       result = r;
       done = true;
       cv.notify_one();
     });
+    std::unique_lock<std::mutex> lock(mu);
     cv.wait(lock, [&] { return done; });
     return result;
   };
