@@ -77,8 +77,7 @@ int main(int argc, char** argv) {
         transfer.ops.push_back(Op::RmwFn(AccountKey(to), [amount](const std::string& balance) {
           return std::to_string(ParseBalance(balance) + amount);
         }));
-        TxnResult result = client.Execute(transfer);
-        if (result == TxnResult::kCommit) {
+        if (client.Execute(transfer).committed()) {
           transfers.fetch_add(1, std::memory_order_relaxed);
         } else {
           aborts.fetch_add(1, std::memory_order_relaxed);

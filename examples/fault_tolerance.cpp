@@ -56,18 +56,17 @@ int main() {
   auto run_txn = [&](TxnPlan plan) {
     std::unique_lock<std::mutex> lock(mu);
     bool done = false;
-    TxnResult result = TxnResult::kFailed;
-    bool fast = false;
-    raw_session.ExecuteAsync(std::move(plan), [&](TxnResult r, bool f) {
+    TxnOutcome outcome;
+    raw_session.ExecuteAsync(std::move(plan), [&](const TxnOutcome& o) {
       std::lock_guard<std::mutex> inner(mu);
-      result = r;
-      fast = f;
+      outcome = o;
       done = true;
       cv.notify_one();
     });
     cv.wait(lock, [&] { return done; });
-    printf("   -> %s via %s path\n", ToString(result), fast ? "fast" : "slow");
-    return result;
+    printf("   -> %s via %s path (%llu retransmits)\n", ToString(outcome.result),
+           ToString(outcome.path), static_cast<unsigned long long>(outcome.retransmits));
+    return outcome.result;
   };
 
   printf("1. normal operation (all 3 replicas up):\n");

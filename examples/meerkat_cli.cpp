@@ -201,19 +201,17 @@ class Cli {
   void RunTxn(TxnPlan plan, bool print_reads) {
     std::unique_lock<std::mutex> lock(mu_);
     bool done = false;
-    TxnResult result = TxnResult::kFailed;
-    bool fast = false;
+    TxnOutcome outcome;
     TxnPlan copy = plan;  // Keys for read printing.
-    session_->ExecuteAsync(std::move(plan), [&](TxnResult r, bool f) {
+    session_->ExecuteAsync(std::move(plan), [&](const TxnOutcome& o) {
       std::lock_guard<std::mutex> inner(mu_);
-      result = r;
-      fast = f;
+      outcome = o;
       done = true;
       cv_.notify_one();
     });
     cv_.wait(lock, [&] { return done; });
-    if (result == TxnResult::kCommit) {
-      printf("COMMIT (%s path)\n", fast ? "fast" : "slow");
+    if (outcome.committed()) {
+      printf("COMMIT (%s path)\n", outcome.fast_path() ? "fast" : "slow");
       if (print_reads) {
         for (const Op& op : copy.ops) {
           if (op.kind == Op::Kind::kGet) {
@@ -233,7 +231,7 @@ class Cli {
         }
       }
     } else {
-      printf("%s\n", ToString(result));
+      printf("%s (%s)\n", ToString(outcome.result), ToString(outcome.reason));
     }
   }
 

@@ -45,9 +45,9 @@ int main() {
     std::unique_lock<std::mutex> lock(mu);
     bool done = false;
     TxnResult result = TxnResult::kFailed;
-    session.ExecuteAsync(std::move(plan), [&](TxnResult r, bool) {
+    session.ExecuteAsync(std::move(plan), [&](const TxnOutcome& outcome) {
       std::lock_guard<std::mutex> inner(mu);
-      result = r;
+      result = outcome.result;
       done = true;
       cv.notify_one();
     });

@@ -23,7 +23,7 @@ int main() {
   options.kind = SystemKind::kMeerkat;
   options.quorum = QuorumConfig::ForReplicas(3);
   options.cores_per_replica = 2;
-  options.retry_timeout_ns = 5'000'000;  // Retransmit after 5 ms.
+  options.retry = RetryPolicy::WithTimeout(5'000'000);  // Retransmit after 5 ms.
   auto system = CreateSystem(options, &transport, &time_source);
 
   // 2. Preload some data (bulk load bypasses the commit protocol).
@@ -35,24 +35,26 @@ int main() {
   std::optional<std::string> value = client.Get("greeting");
   printf("get(greeting)            -> %s\n", value.value_or("<absent>").c_str());
 
-  TxnResult result = client.Put("greeting", "hello, meerkat");
-  printf("put(greeting)            -> %s\n", ToString(result));
+  TxnOutcome outcome = client.Put("greeting", "hello, meerkat");
+  printf("put(greeting)            -> %s (%s path)\n", ToString(outcome.result),
+         ToString(outcome.path));
 
   // A multi-op transaction: read one key, write two, atomically.
   TxnPlan plan;
   plan.ops.push_back(Op::Get("greeting"));
   plan.ops.push_back(Op::Put("count", "1"));
   plan.ops.push_back(Op::Put("owner", "quickstart"));
-  result = client.Execute(plan);
-  printf("multi-op txn             -> %s\n", ToString(result));
+  outcome = client.Execute(plan);
+  printf("multi-op txn             -> %s\n", ToString(outcome.result));
 
   // A read-modify-write whose written value depends on what it read.
   TxnPlan increment;
   increment.ops.push_back(Op::RmwFn("count", [](const std::string& current) {
     return std::to_string(current.empty() ? 1 : std::stoi(current) + 1);
   }));
-  result = client.ExecuteWithRetry(increment);
-  printf("increment(count)         -> %s, count=%s\n", ToString(result),
+  outcome = client.ExecuteWithRetry(increment);
+  printf("increment(count)         -> %s in %u attempt(s), count=%s\n",
+         ToString(outcome.result), outcome.attempts,
          client.Get("count").value_or("?").c_str());
 
   // 4. What did the protocol do? Uncontended Meerkat transactions commit on

@@ -7,23 +7,27 @@
 #ifndef MEERKAT_SRC_API_BLOCKING_CLIENT_H_
 #define MEERKAT_SRC_API_BLOCKING_CLIENT_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "src/api/system.h"
+#include "src/common/retry.h"
+#include "src/common/rng.h"
 
 namespace meerkat {
 
 class BlockingClient {
  public:
   BlockingClient(System& system, uint32_t client_id, uint64_t seed = 1)
-      : session_(system.CreateSession(client_id, seed)) {}
+      : session_(system.CreateSession(client_id, seed)), backoff_rng_(seed ^ 0xb10c) {}
 
   // Runs one transaction to completion. Blocks the calling thread.
-  TxnResult Execute(TxnPlan plan) {
+  TxnOutcome Execute(TxnPlan plan) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       done_ = false;
@@ -32,29 +36,42 @@ class BlockingClient {
     // the completion callback (which runs on the endpoint's worker thread)
     // locks mu_ while the worker holds that session lock — calling into the
     // session with mu_ held would invert the order and risk deadlock.
-    session_->ExecuteAsync(std::move(plan), [this](TxnResult result, bool) {
+    session_->ExecuteAsync(std::move(plan), [this](const TxnOutcome& outcome) {
       // Notify under the lock: once done_ is observable the waiter may return
       // from Execute and destroy this client, so the signal must complete
       // before the lock is released.
       std::lock_guard<std::mutex> inner(mu_);
-      result_ = result;
+      outcome_ = outcome;
       done_ = true;
       cv_.notify_one();
     });
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [this] { return done_; });
-    return result_;
+    return outcome_;
   }
 
-  // Retries an abortable transaction until it commits (or `max_attempts`
-  // aborts). OCC applications retry conflicting transactions; plans built
-  // from Op::RmwFn recompute their writes from fresh reads on every attempt.
-  TxnResult ExecuteWithRetry(const TxnPlan& plan, int max_attempts = 100) {
-    TxnResult result = TxnResult::kAbort;
-    for (int i = 0; i < max_attempts && result == TxnResult::kAbort; i++) {
-      result = Execute(plan);
+  // Retries an abortable transaction until it commits (or the policy's
+  // max_attempts aborts), sleeping a jittered, exponentially backed-off
+  // interval between attempts — immediate re-execution of a conflicting OCC
+  // transaction tends to hit the same conflict, and lockstep retries across
+  // clients livelock. Plans built from Op::RmwFn recompute their writes from
+  // fresh reads on every attempt. The returned outcome is the final
+  // attempt's, with `attempts` set to the total consumed.
+  TxnOutcome ExecuteWithRetry(const TxnPlan& plan,
+                              const RetryPolicy& backoff = DefaultAbortBackoff()) {
+    TxnOutcome outcome;
+    for (uint32_t attempt = 0; attempt < backoff.max_attempts; attempt++) {
+      if (attempt > 0 && backoff.enabled()) {
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(backoff.DelayNanos(attempt - 1, backoff_rng_)));
+      }
+      outcome = Execute(plan);
+      outcome.attempts = attempt + 1;
+      if (outcome.result != TxnResult::kAbort) {
+        break;  // Committed, or failed for a non-retryable reason.
+      }
     }
-    return result;
+    return outcome;
   }
 
   // Single-key transactional read: nullopt if the transaction could not
@@ -62,7 +79,7 @@ class BlockingClient {
   std::optional<std::string> Get(const std::string& key) {
     TxnPlan plan;
     plan.ops.push_back(Op::Get(key));
-    if (Execute(plan) != TxnResult::kCommit) {
+    if (!Execute(plan).committed()) {
       return std::nullopt;
     }
     std::optional<std::string> value = session_->last_read_value(key);
@@ -79,7 +96,7 @@ class BlockingClient {
   }
 
   // Single-key transactional write.
-  TxnResult Put(const std::string& key, const std::string& value) {
+  TxnOutcome Put(const std::string& key, const std::string& value) {
     TxnPlan plan;
     plan.ops.push_back(Op::Put(key, value));
     return Execute(plan);
@@ -87,12 +104,23 @@ class BlockingClient {
 
   ClientSession& session() { return *session_; }
 
+  // 20µs base, doubling, ±20% jitter, up to 100 attempts: calibrated to OCC
+  // conflict windows (a conflicting transaction finishes within tens of µs),
+  // not to network loss — transport-level retransmission is the session
+  // RetryPolicy's job.
+  static RetryPolicy DefaultAbortBackoff() {
+    RetryPolicy p = RetryPolicy::WithTimeout(20'000);
+    p.max_attempts = 100;
+    return p;
+  }
+
  private:
   std::unique_ptr<ClientSession> session_;
+  Rng backoff_rng_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool done_ = false;
-  TxnResult result_ = TxnResult::kFailed;
+  TxnOutcome outcome_;
 };
 
 }  // namespace meerkat

@@ -18,9 +18,35 @@
 
 namespace meerkat {
 
-// Completion callback: the transaction's outcome plus whether it took the
-// fast path (Meerkat/TAPIR only; primary-backup systems report false).
-using TxnCallback = std::function<void(TxnResult result, bool fast_path)>;
+// Everything the application learns about one finished transaction. Replaces
+// the old (TxnResult, bool fast_path) callback pair: the common case no
+// longer needs the last_*() introspection calls — the outcome carries the id,
+// the commit timestamp, and a reason for every non-commit.
+struct TxnOutcome {
+  TxnResult result = TxnResult::kFailed;
+  // kFast/kSlow for commits (primary-backup systems always report kSlow,
+  // they have no fast path); kNone otherwise.
+  CommitPath path = CommitPath::kNone;
+  // kNone iff the transaction committed.
+  AbortReason reason = AbortReason::kNone;
+  TxnId tid;
+  // The serialization timestamp of the final attempt (client-proposed for
+  // Meerkat/TAPIR/Meerkat-PB, counter-derived for KuaFu++). Only meaningful
+  // for commits.
+  Timestamp commit_ts;
+  // Execute() attempts consumed, >= 1 (only ExecuteWithRetry produces > 1).
+  uint32_t attempts = 1;
+  // Timer-driven re-sends across all phases of the final attempt.
+  uint64_t retransmits = 0;
+  // True if the quorum was rebuilt across an epoch change mid-commit.
+  bool recovered = false;
+
+  bool committed() const { return result == TxnResult::kCommit; }
+  bool fast_path() const { return path == CommitPath::kFast; }
+};
+
+// Completion callback, invoked exactly once per ExecuteAsync.
+using TxnCallback = std::function<void(const TxnOutcome& outcome)>;
 
 // One logical client: executes interactive transactions against the cluster.
 // Sessions are single-transaction-at-a-time state machines; all methods and
@@ -40,7 +66,8 @@ class ClientSession : public TransportReceiver {
   // Introspection for the last finished transaction, valid inside the
   // completion callback (before the next ExecuteAsync). Serializability
   // checkers replay committed transactions in commit-timestamp order and
-  // verify every read against the model these expose.
+  // verify every read against the model these expose. Applications should
+  // prefer the TxnOutcome fields; the set accessors remain for checkers.
   virtual TxnId last_tid() const = 0;
   virtual Timestamp last_commit_ts() const = 0;
   virtual const std::vector<ReadSetEntry>& last_read_set() const = 0;

@@ -7,6 +7,7 @@
 #include "src/common/rng.h"
 #include "src/protocol/replica.h"
 #include "src/protocol/session.h"
+#include "src/transport/fault_injector.h"
 
 namespace meerkat {
 namespace {
@@ -23,15 +24,29 @@ int64_t DrawSkew(Rng& rng, int64_t max_skew) {
          max_skew;
 }
 
+// Installs the options' fault plan into the transport's injector (if the
+// transport has one — the base Transport interface makes it optional).
+void InstallFaultPlan(const SystemOptions& options, Transport* transport) {
+  if (options.fault_plan.Empty()) {
+    return;
+  }
+  FaultInjector* faults = transport->fault_injector();
+  if (faults != nullptr) {
+    faults->InstallPlan(options.fault_plan);
+  }
+}
+
 class MeerkatSystem : public System {
  public:
   MeerkatSystem(const SystemOptions& options, Transport* transport, TimeSource* time_source)
       : options_(options), transport_(transport), time_source_(time_source),
         session_rng_(0xc0ffee) {
     for (ReplicaId r = 0; r < options.quorum.n; r++) {
-      replicas_.push_back(std::make_unique<MeerkatReplica>(r, options.quorum,
-                                                           options.cores_per_replica, transport));
+      replicas_.push_back(std::make_unique<MeerkatReplica>(
+          r, options.quorum, options.cores_per_replica, transport, /*group_base=*/0,
+          options.retry));
     }
+    InstallFaultPlan(options, transport);
   }
 
   SystemKind kind() const override { return SystemKind::kMeerkat; }
@@ -46,15 +61,32 @@ class MeerkatSystem : public System {
     SessionOptions s;
     s.quorum = options_.quorum;
     s.cores_per_replica = options_.cores_per_replica;
-    s.retry_timeout_ns = options_.retry_timeout_ns;
-    s.clock_skew_ns = DrawSkew(session_rng_, options_.max_clock_skew_ns);
-    s.clock_jitter_ns = options_.clock_jitter_ns;
+    s.retry = options_.retry;
+    s.clock_skew_ns = DrawSkew(session_rng_, options_.clock.max_skew_ns);
+    s.clock_jitter_ns = options_.clock.jitter_ns;
     s.force_slow_path = options_.force_slow_path;
     return std::make_unique<MeerkatSession>(client_id, transport_, time_source_, s, seed);
   }
 
   ReadResult ReadAtReplica(ReplicaId r, const std::string& key) override {
     return replicas_[r]->store().Read(key);
+  }
+
+  void CrashAndRestartReplica(ReplicaId r) override { replicas_[r]->CrashAndRestart(); }
+
+  // Epoch change (paper §5.3.1): the leader polls everyone, merges the state
+  // of a majority of non-recovering replicas, and redistributes it; crashed
+  // replicas rejoin with the merged state.
+  void InitiateRecovery(ReplicaId leader) override {
+    replicas_[leader]->InitiateEpochChange();
+  }
+
+  bool ReplicaRecovering(ReplicaId r) const override {
+    return replicas_[r]->waiting_recovery();
+  }
+
+  size_t RecoverOrphanedTransactions(ReplicaId host, Timestamp older_than) override {
+    return replicas_[host]->RecoverOrphanedTransactions(older_than);
   }
 
   MeerkatReplica* replica(ReplicaId r) { return replicas_[r].get(); }
@@ -77,6 +109,7 @@ class TapirSystem : public System {
                                                          options.cores_per_replica, transport,
                                                          options.cost.shared_trecord_op_ns));
     }
+    InstallFaultPlan(options, transport);
   }
 
   SystemKind kind() const override { return SystemKind::kTapir; }
@@ -91,9 +124,9 @@ class TapirSystem : public System {
     SessionOptions s;
     s.quorum = options_.quorum;
     s.cores_per_replica = options_.cores_per_replica;
-    s.retry_timeout_ns = options_.retry_timeout_ns;
-    s.clock_skew_ns = DrawSkew(session_rng_, options_.max_clock_skew_ns);
-    s.clock_jitter_ns = options_.clock_jitter_ns;
+    s.retry = options_.retry;
+    s.clock_skew_ns = DrawSkew(session_rng_, options_.clock.max_skew_ns);
+    s.clock_jitter_ns = options_.clock.jitter_ns;
     s.force_slow_path = options_.force_slow_path;
     // TAPIR clients run the identical commit protocol.
     return std::make_unique<MeerkatSession>(client_id, transport_, time_source_, s, seed);
@@ -102,6 +135,27 @@ class TapirSystem : public System {
   ReadResult ReadAtReplica(ReplicaId r, const std::string& key) override {
     return replicas_[r]->store().Read(key);
   }
+
+  void CrashAndRestartReplica(ReplicaId r) override { replicas_[r]->CrashAndRestart(); }
+
+  // TAPIR's IR view changes are out of scope for this baseline (it models the
+  // failure-free path); readmission is a committed-state transfer from the
+  // designated live replica. VStore::LoadKey applies the Thomas write rule,
+  // so the copy composes with writes committed concurrently at `leader`.
+  void InitiateRecovery(ReplicaId leader) override {
+    for (auto& replica : replicas_) {
+      if (!replica->recovering()) {
+        continue;
+      }
+      replicas_[leader]->store().ForEachCommitted(
+          [&replica](const std::string& key, const std::string& value, Timestamp wts) {
+            replica->LoadKey(key, value, wts);
+          });
+      replica->FinishRecovery();
+    }
+  }
+
+  bool ReplicaRecovering(ReplicaId r) const override { return replicas_[r]->recovering(); }
 
  private:
   const SystemOptions options_;
@@ -124,6 +178,7 @@ class PbSystem : public System {
       replicas_.push_back(std::make_unique<PrimaryBackupReplica>(
           r, mode, options.quorum, options.cores_per_replica, transport, costs));
     }
+    InstallFaultPlan(options, transport);
   }
 
   SystemKind kind() const override {
@@ -141,15 +196,49 @@ class PbSystem : public System {
     s.quorum = options_.quorum;
     s.cores_per_replica = options_.cores_per_replica;
     s.mode = options_.kind == SystemKind::kKuaFu ? PbMode::kKuaFu : PbMode::kMeerkatPb;
-    s.retry_timeout_ns = options_.retry_timeout_ns;
-    s.clock_skew_ns = DrawSkew(session_rng_, options_.max_clock_skew_ns);
-    s.clock_jitter_ns = options_.clock_jitter_ns;
+    s.retry = options_.retry;
+    s.clock_skew_ns = DrawSkew(session_rng_, options_.clock.max_skew_ns);
+    s.clock_jitter_ns = options_.clock.jitter_ns;
     return std::make_unique<PrimaryBackupSession>(client_id, transport_, time_source_, s, seed);
   }
 
   ReadResult ReadAtReplica(ReplicaId r, const std::string& key) override {
     return replicas_[r]->store().Read(key);
   }
+
+  // Primary-backup drills only crash backups: primary fail-over is a
+  // reconfiguration this baseline does not model (see primary_backup.h). The
+  // primary immediately excludes the crashed backup from its replication
+  // quorum so commits keep finalizing.
+  void CrashAndRestartReplica(ReplicaId r) override {
+    if (r == 0) {
+      return;  // The primary is never crashed in drills.
+    }
+    replicas_[r]->CrashAndRestart();
+    replicas_[0]->MarkBackupDown(r);
+  }
+
+  // Readmission: copy the primary's committed state into each recovering
+  // backup (Thomas write rule makes the copy compose with concurrent
+  // replication), then re-include it in the replication quorum. `leader` is
+  // ignored — the primary is the only authoritative source.
+  void InitiateRecovery(ReplicaId leader) override {
+    (void)leader;
+    for (ReplicaId r = 1; r < static_cast<ReplicaId>(replicas_.size()); r++) {
+      auto& replica = replicas_[r];
+      if (!replica->recovering()) {
+        continue;
+      }
+      replicas_[0]->store().ForEachCommitted(
+          [&replica](const std::string& key, const std::string& value, Timestamp wts) {
+            replica->LoadKey(key, value, wts);
+          });
+      replica->FinishRecovery();
+      replicas_[0]->MarkBackupUp(r);
+    }
+  }
+
+  bool ReplicaRecovering(ReplicaId r) const override { return replicas_[r]->recovering(); }
 
  private:
   const SystemOptions options_;
@@ -163,14 +252,17 @@ class PbSystem : public System {
 
 std::unique_ptr<System> CreateSystem(const SystemOptions& options, Transport* transport,
                                      TimeSource* time_source) {
-  switch (options.kind) {
+  // Fold deprecated flat option aliases into their groups once, here, so the
+  // per-kind constructors only ever see the normalized form.
+  const SystemOptions normalized = options.Normalized();
+  switch (normalized.kind) {
     case SystemKind::kMeerkat:
-      return std::make_unique<MeerkatSystem>(options, transport, time_source);
+      return std::make_unique<MeerkatSystem>(normalized, transport, time_source);
     case SystemKind::kTapir:
-      return std::make_unique<TapirSystem>(options, transport, time_source);
+      return std::make_unique<TapirSystem>(normalized, transport, time_source);
     case SystemKind::kMeerkatPb:
     case SystemKind::kKuaFu:
-      return std::make_unique<PbSystem>(options, transport, time_source);
+      return std::make_unique<PbSystem>(normalized, transport, time_source);
   }
   return nullptr;
 }

@@ -10,9 +10,11 @@
 
 #include "src/api/client_session.h"
 #include "src/common/clock.h"
+#include "src/common/retry.h"
 #include "src/protocol/quorum.h"
 #include "src/sim/cost_model.h"
 #include "src/store/vstore.h"
+#include "src/transport/fault_plan.h"
 #include "src/transport/transport.h"
 
 namespace meerkat {
@@ -38,20 +40,103 @@ inline const char* ToString(SystemKind kind) {
   return "?";
 }
 
+// Clock-synchronization quality of the deployment's clients (paper §3:
+// correctness never depends on these; performance does).
+struct ClockOptions {
+  // Per-session skew drawn uniformly from [-max_skew_ns, +max_skew_ns].
+  int64_t max_skew_ns = 0;
+  // Per-timestamp-read noise.
+  uint64_t jitter_ns = 0;
+};
+
+// Deployment configuration, as nested option groups with a fluent builder:
+//
+//   auto options = SystemOptions()
+//                      .WithKind(SystemKind::kMeerkat)
+//                      .WithReplicas(3)
+//                      .WithCores(4)
+//                      .WithRetry(RetryPolicy::WithTimeout(200'000))
+//                      .WithClock({.max_skew_ns = 1000, .jitter_ns = 50})
+//                      .WithFaultPlan(FaultPlan().WithSeed(7).DropEvery(0.01));
+//
+// The flat retry_timeout_ns / max_clock_skew_ns / clock_jitter_ns fields are
+// deprecated aliases kept for one release; CreateSystem folds them into the
+// groups via Normalized().
 struct SystemOptions {
   SystemKind kind = SystemKind::kMeerkat;
   QuorumConfig quorum = QuorumConfig::ForReplicas(3);
   size_t cores_per_replica = 1;
-  // 0 disables client retransmissions (fault-free runs).
-  uint64_t retry_timeout_ns = 0;
-  // Per-session clock skew drawn uniformly from [-max, +max]; jitter is
-  // per-timestamp-read noise.
-  int64_t max_clock_skew_ns = 0;
-  uint64_t clock_jitter_ns = 0;
+  ClockOptions clock;
+  // Retransmission/backoff policy for every session (and for replica-driven
+  // recovery: epoch-change and backup-coordinator retransmissions). A
+  // default-constructed policy disables retransmission (fault-free runs).
+  RetryPolicy retry;
+  // Scripted network faults; CreateSystem installs a non-empty plan into the
+  // transport's fault injector.
+  FaultPlan fault_plan;
   // Ablation (Meerkat/TAPIR sessions): always run the slow path.
   bool force_slow_path = false;
   // Shared-structure service times (simulator only; real primitives ignore).
   CostModel cost;
+
+  // --- Deprecated flat aliases (prefer the option groups above) ---
+  uint64_t retry_timeout_ns = 0;  // -> retry.timeout_ns
+  int64_t max_clock_skew_ns = 0;  // -> clock.max_skew_ns
+  uint64_t clock_jitter_ns = 0;   // -> clock.jitter_ns
+
+  // --- Fluent builder ---
+  SystemOptions& WithKind(SystemKind k) {
+    kind = k;
+    return *this;
+  }
+  SystemOptions& WithReplicas(size_t n) {
+    quorum = QuorumConfig::ForReplicas(n);
+    return *this;
+  }
+  SystemOptions& WithQuorum(const QuorumConfig& q) {
+    quorum = q;
+    return *this;
+  }
+  SystemOptions& WithCores(size_t c) {
+    cores_per_replica = c;
+    return *this;
+  }
+  SystemOptions& WithClock(const ClockOptions& c) {
+    clock = c;
+    return *this;
+  }
+  SystemOptions& WithRetry(const RetryPolicy& r) {
+    retry = r;
+    return *this;
+  }
+  SystemOptions& WithFaultPlan(const FaultPlan& p) {
+    fault_plan = p;
+    return *this;
+  }
+  SystemOptions& WithForceSlowPath(bool f) {
+    force_slow_path = f;
+    return *this;
+  }
+  SystemOptions& WithCost(const CostModel& c) {
+    cost = c;
+    return *this;
+  }
+
+  // Folds the deprecated flat aliases into their option groups (a set flat
+  // field wins only if the corresponding group field is still default).
+  SystemOptions Normalized() const {
+    SystemOptions n = *this;
+    if (n.retry_timeout_ns != 0 && !n.retry.enabled()) {
+      n.retry.timeout_ns = n.retry_timeout_ns;
+    }
+    if (n.max_clock_skew_ns != 0 && n.clock.max_skew_ns == 0) {
+      n.clock.max_skew_ns = n.max_clock_skew_ns;
+    }
+    if (n.clock_jitter_ns != 0 && n.clock.jitter_ns == 0) {
+      n.clock.jitter_ns = n.clock_jitter_ns;
+    }
+    return n;
+  }
 };
 
 // A fully assembled cluster of one system kind. Owns the replicas; sessions
@@ -70,6 +155,39 @@ class System {
   // Reads the committed value visible at replica `r` (test/inspection hook;
   // not part of the transactional API).
   virtual ReadResult ReadAtReplica(ReplicaId r, const std::string& key) = 0;
+
+  // --- Fault-drill hooks (crash-restart and recovery, kind-appropriate) ---
+
+  // Crash-restarts replica `r`, losing all volatile state. The caller is
+  // responsible for also partitioning it at the network level (the fault
+  // injector's CrashReplica, or a scripted kCrashDst rule whose hook calls
+  // this).
+  virtual void CrashAndRestartReplica(ReplicaId r) { (void)r; }
+
+  // Readmits crashed replicas, driven by `leader`: an epoch change for
+  // Meerkat (paper §5.3.1), committed-state transfer for the TAPIR-like and
+  // primary-backup baselines. The network path to the recovering replicas
+  // must be restored first.
+  virtual void InitiateRecovery(ReplicaId leader) { (void)leader; }
+
+  // True while replica `r` has rejoined without state and must not process
+  // transactions (drills poll this to confirm recovery completed).
+  virtual bool ReplicaRecovering(ReplicaId r) const {
+    (void)r;
+    return false;
+  }
+
+  // Cooperative termination (paper §5.3.2): replica `host` scans its trecord
+  // for transactions stuck in a non-final state with timestamps <= older_than
+  // (their coordinator presumably crashed) and runs a backup coordinator for
+  // each. Returns the number of recoveries started (0 where unsupported:
+  // TAPIR baseline, primary-backup — their commit never strands replica-side
+  // state that needs client recovery).
+  virtual size_t RecoverOrphanedTransactions(ReplicaId host, Timestamp older_than) {
+    (void)host;
+    (void)older_than;
+    return 0;
+  }
 };
 
 std::unique_ptr<System> CreateSystem(const SystemOptions& options, Transport* transport,

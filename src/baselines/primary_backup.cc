@@ -31,6 +31,18 @@ PrimaryBackupReplica::PrimaryBackupReplica(ReplicaId id, PbMode mode, const Quor
   }
 }
 
+void PrimaryBackupReplica::CrashAndRestart() {
+  assert(!is_primary() && "drills never crash the primary (no fail-over modelled)");
+  recovering_.store(true, std::memory_order_release);
+  store_.ClearAll();
+  for (auto& table : pending_) {
+    table.clear();
+  }
+  for (auto& table : completed_) {
+    table.clear();
+  }
+}
+
 void PrimaryBackupReplica::Reply(const Address& to, CoreId core, Payload payload) {
   Message msg;
   msg.src = Address::Replica(id_);
@@ -53,6 +65,9 @@ void PrimaryBackupReplica::Dispatch(CoreId core, Message&& msg) {
 }
 
 void PrimaryBackupReplica::HandleGet(CoreId core, const Address& from, const GetRequest& req) {
+  if (recovering()) {
+    return;  // An empty store would serve stale not-found reads.
+  }
   ReadResult read = store_.Read(req.key);
   GetReply reply;
   reply.tid = req.tid;
@@ -74,8 +89,19 @@ void PrimaryBackupReplica::HandlePrimaryCommit(CoreId core, const Address& from,
     Reply(from, core, PrimaryCommitReply{req.tid, done->second, Timestamp{}});
     return;
   }
-  if (pending_[core].count(req.tid) != 0) {
-    return;  // Retry while replication is in flight: the reply will come.
+  auto in_flight = pending_[core].find(req.tid);
+  if (in_flight != pending_[core].end()) {
+    // Retry while replication is in flight: the original ReplicateRequests
+    // (or their acks) may have been lost, so re-send to the backups that have
+    // not acked yet, and re-check the quorum against the current down mask
+    // (a backup may have been declared down since the transaction stalled).
+    for (ReplicaId r = 1; r < quorum_.n; r++) {
+      if (!BackupDown(r) && in_flight->second.acked.count(r) == 0) {
+        SendReplicate(core, r, req.tid, in_flight->second);
+      }
+    }
+    TryFinalize(core, req.tid);
+    return;
   }
 
   Timestamp ts;
@@ -99,35 +125,38 @@ void PrimaryBackupReplica::HandlePrimaryCommit(CoreId core, const Address& from,
     log_.Append(req.tid, ts);
   }
 
-  if (quorum_.n == 1) {
-    // Degenerate unreplicated configuration (used by unit tests).
-    OccCommit(store_, req.read_set, req.write_set, ts);
-    completed.emplace(req.tid, true);
-    Reply(from, core, PrimaryCommitReply{req.tid, true, ts});
-    return;
-  }
-
   PendingTxn pending;
   pending.client = from;
   pending.ts = ts;
   pending.read_set = req.read_set;
   pending.write_set = req.write_set;
-  pending_[core].emplace(req.tid, std::move(pending));
+  auto [it, inserted] = pending_[core].emplace(req.tid, std::move(pending));
+  (void)inserted;
 
-  // Replicate to every backup, to the matched core (paper §6.1: "each backup
-  // core is matched to a primary core and processes only its transactions").
+  // Replicate to every live backup, to the matched core (paper §6.1: "each
+  // backup core is matched to a primary core and processes only its
+  // transactions").
   for (ReplicaId r = 1; r < quorum_.n; r++) {
-    Message msg;
-    msg.src = Address::Replica(id_);
-    msg.dst = Address::Replica(r);
-    msg.core = core;
-    ReplicateRequest repl;
-    repl.tid = req.tid;
-    repl.ts = ts;
-    repl.write_set = req.write_set;
-    msg.payload = std::move(repl);
-    transport_->Send(std::move(msg));
+    if (!BackupDown(r)) {
+      SendReplicate(core, r, req.tid, it->second);
+    }
   }
+  // With every backup down (n == 1 degenerates here too), finalize at once.
+  TryFinalize(core, req.tid);
+}
+
+void PrimaryBackupReplica::SendReplicate(CoreId core, ReplicaId to, const TxnId& tid,
+                                         const PendingTxn& txn) {
+  Message msg;
+  msg.src = Address::Replica(id_);
+  msg.dst = Address::Replica(to);
+  msg.core = core;
+  ReplicateRequest repl;
+  repl.tid = tid;
+  repl.ts = txn.ts;
+  repl.write_set = txn.write_set;
+  msg.payload = std::move(repl);
+  transport_->Send(std::move(msg));
 }
 
 void PrimaryBackupReplica::HandleReplicate(CoreId core, const Address& from,
@@ -151,25 +180,36 @@ void PrimaryBackupReplica::HandleReplicateReply(CoreId core, const ReplicateRepl
   auto& pending = pending_[core];
   auto it = pending.find(rep.tid);
   if (it == pending.end()) {
-    return;  // Duplicate ack.
+    return;  // Ack for an already-finalized transaction.
   }
-  it->second.acks++;
-  if (it->second.acks < quorum_.n - 1) {
+  it->second.acked.insert(rep.from);
+  TryFinalize(core, rep.tid);
+}
+
+void PrimaryBackupReplica::TryFinalize(CoreId core, const TxnId& tid) {
+  auto& pending = pending_[core];
+  auto it = pending.find(tid);
+  if (it == pending.end()) {
     return;
   }
-  // All backups applied: finalize at the primary and release the client.
+  for (ReplicaId r = 1; r < quorum_.n; r++) {
+    if (!BackupDown(r) && it->second.acked.count(r) == 0) {
+      return;  // Still waiting on a live backup.
+    }
+  }
+  // Every live backup applied: finalize at the primary and release the client.
   PendingTxn txn = std::move(it->second);
   pending.erase(it);
   OccCommit(store_, txn.read_set, txn.write_set, txn.ts);
-  completed_[core].emplace(rep.tid, true);
-  Reply(txn.client, core, PrimaryCommitReply{rep.tid, true, txn.ts});
+  completed_[core].emplace(tid, true);
+  Reply(txn.client, core, PrimaryCommitReply{tid, true, txn.ts});
 }
 
 PrimaryBackupSession::PrimaryBackupSession(uint32_t client_id, Transport* transport,
                                            TimeSource* time_source, const Options& options,
                                            uint64_t seed)
     : client_id_(client_id), transport_(transport), options_(options),
-      self_(Address::Client(client_id)),
+      retry_(options.EffectiveRetry()), self_(Address::Client(client_id)),
       clock_(time_source, options.clock_skew_ns, options.clock_jitter_ns, seed ^ 0x5bd1e995),
       rng_(seed), time_source_(time_source) {
   transport_->RegisterClient(client_id_, this);
@@ -193,6 +233,9 @@ void PrimaryBackupSession::ExecuteAsync(TxnPlan plan, TxnCallback cb) {
   read_values_.clear();
   write_buffer_.clear();
   get_outstanding_ = false;
+  get_retries_ = 0;
+  commit_retries_ = 0;
+  txn_retransmits_ = 0;
   IssueNextOp();
 }
 
@@ -238,8 +281,8 @@ void PrimaryBackupSession::SendGet(const std::string& key) {
   msg.core = static_cast<CoreId>(rng_.NextBounded(options_.cores_per_replica));
   msg.payload = GetRequest{tid_, get_seq_, key};
   transport_->Send(std::move(msg));
-  if (options_.retry_timeout_ns != 0) {
-    transport_->SetTimer(self_, 0, options_.retry_timeout_ns, get_seq_);
+  if (retry_.enabled()) {
+    transport_->SetTimer(self_, 0, retry_.DelayNanos(get_retries_, rng_), get_seq_);
   }
 }
 
@@ -267,16 +310,34 @@ void PrimaryBackupSession::SendCommitRequest() {
   msg.core = core_;
   msg.payload = std::move(req);
   transport_->Send(std::move(msg));
-  if (options_.retry_timeout_ns != 0) {
-    transport_->SetTimer(self_, 0, options_.retry_timeout_ns, kCommitTimerBase + txn_seq_);
+  if (retry_.enabled()) {
+    transport_->SetTimer(self_, 0, retry_.DelayNanos(commit_retries_, rng_),
+                         kCommitTimerBase + txn_seq_);
   }
 }
 
-void PrimaryBackupSession::FinishTxn(TxnResult result) {
+void PrimaryBackupSession::FailTxn(AbortReason reason) {
+  FinishTxn(TxnResult::kFailed, reason);
+}
+
+bool PrimaryBackupSession::DeadlineExceeded() const {
+  return retry_.attempt_deadline_ns != 0 &&
+         time_source_->NowNanos() - txn_start_ns_ > retry_.attempt_deadline_ns;
+}
+
+void PrimaryBackupSession::FinishTxn(TxnResult result, AbortReason reason) {
+  TxnOutcome out;
+  out.result = result;
+  // PB has no fast path: every commit reports the (only) slow path.
+  out.path = result == TxnResult::kCommit ? CommitPath::kSlow : CommitPath::kNone;
+  out.reason = result == TxnResult::kCommit ? AbortReason::kNone : reason;
+  out.tid = tid_;
+  out.commit_ts = last_commit_ts_;
+  out.retransmits = txn_retransmits_;
   switch (result) {
     case TxnResult::kCommit:
       stats_.committed++;
-      stats_.slow_path_commits++;  // PB has no fast path.
+      stats_.slow_path_commits++;
       break;
     case TxnResult::kAbort:
       stats_.aborted++;
@@ -285,13 +346,17 @@ void PrimaryBackupSession::FinishTxn(TxnResult result) {
       stats_.failed++;
       break;
   }
+  stats_.retransmits += out.retransmits;
+  if (out.reason == AbortReason::kNoQuorum || out.reason == AbortReason::kDeadline) {
+    stats_.timeouts++;
+  }
   stats_.commit_latency.Record(time_source_->NowNanos() - txn_start_ns_);
   active_ = false;
   committing_ = false;
   TxnCallback cb = std::move(callback_);
   callback_ = nullptr;
   if (cb) {
-    cb(result, /*fast_path=*/false);
+    cb(out);
   }
 }
 
@@ -302,6 +367,7 @@ void PrimaryBackupSession::Receive(Message&& msg) {
       return;
     }
     get_outstanding_ = false;
+    get_retries_ = 0;
     const Op& op = plan_.ops[next_op_];
     read_set_.push_back(ReadSetEntry{reply->key, reply->found ? reply->wts : kInvalidTimestamp});
     read_values_[reply->key] = reply->found ? reply->value : std::string();
@@ -318,7 +384,8 @@ void PrimaryBackupSession::Receive(Message&& msg) {
       return;
     }
     last_commit_ts_ = reply->commit_ts.Valid() ? reply->commit_ts : ts_;
-    FinishTxn(reply->committed ? TxnResult::kCommit : TxnResult::kAbort);
+    FinishTxn(reply->committed ? TxnResult::kCommit : TxnResult::kAbort,
+              AbortReason::kOccConflict);
     return;
   }
   if (const auto* timer = std::get_if<TimerFire>(&msg.payload)) {
@@ -327,11 +394,29 @@ void PrimaryBackupSession::Receive(Message&& msg) {
     }
     if (timer->timer_id >= kCommitTimerBase) {
       if (committing_ && timer->timer_id == kCommitTimerBase + txn_seq_) {
+        if (DeadlineExceeded()) {
+          FailTxn(AbortReason::kDeadline);
+          return;
+        }
+        if (++commit_retries_ > retry_.max_attempts) {
+          FailTxn(AbortReason::kNoQuorum);
+          return;
+        }
+        txn_retransmits_++;
         SendCommitRequest();  // Idempotent at the primary.
       }
       return;
     }
     if (get_outstanding_ && timer->timer_id == get_seq_) {
+      if (DeadlineExceeded()) {
+        FailTxn(AbortReason::kDeadline);
+        return;
+      }
+      if (++get_retries_ > retry_.max_attempts) {
+        FailTxn(AbortReason::kNoQuorum);
+        return;
+      }
+      txn_retransmits_++;
       SendGet(get_key_);
     }
     return;

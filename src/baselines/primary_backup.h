@@ -20,16 +20,19 @@
 #ifndef MEERKAT_SRC_BASELINES_PRIMARY_BACKUP_H_
 #define MEERKAT_SRC_BASELINES_PRIMARY_BACKUP_H_
 
+#include <atomic>
 #include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/api/client_session.h"
 #include "src/common/clock.h"
+#include "src/common/retry.h"
 #include "src/common/rng.h"
 #include "src/protocol/quorum.h"
 #include "src/sim/primitives.h"
@@ -94,6 +97,28 @@ class PrimaryBackupReplica {
 
   uint64_t counter_value() const { return order_counter_.Load(); }
 
+  // --- Failure drills (simulator-driven; see docs/FAILURES.md) ---
+  //
+  // Crash-restarts a *backup*, wiping its volatile state. While recovering_
+  // the backup refuses reads (an empty store would serve stale not-found
+  // results) but still applies ReplicateRequests — versioned storage makes
+  // out-of-order application safe. Primaries are never crashed in drills:
+  // primary fail-over is a reconfiguration this baseline does not model.
+  void CrashAndRestart();
+  bool recovering() const { return recovering_.load(std::memory_order_acquire); }
+  // Completes recovery after the caller transferred committed state into the
+  // store (VStore::LoadKey applies the Thomas write rule, so transfer and
+  // concurrent replication compose).
+  void FinishRecovery() { recovering_.store(false, std::memory_order_release); }
+
+  // Primary-side reconfiguration: a down backup is excluded from the
+  // replication quorum, so pending transactions finalize without its ack; on
+  // MarkBackupUp it rejoins (after state transfer). Finalization of
+  // already-pending transactions happens lazily, on the client's
+  // PrimaryCommitRequest retransmission.
+  void MarkBackupDown(ReplicaId r) { down_mask_.fetch_or(1u << r); }
+  void MarkBackupUp(ReplicaId r) { down_mask_.fetch_and(~(1u << r)); }
+
  private:
   class CoreReceiver : public TransportReceiver {
    public:
@@ -107,13 +132,14 @@ class PrimaryBackupReplica {
 
   // A validated transaction waiting for backup acknowledgments. Its OCC
   // registrations stay in the vstore until it finalizes, so conflicting
-  // transactions keep aborting meanwhile.
+  // transactions keep aborting meanwhile. Acks are tracked per-replica (a
+  // duplicated ReplicateReply must not double-count toward the quorum).
   struct PendingTxn {
     Address client;
     Timestamp ts;
     std::vector<ReadSetEntry> read_set;
     std::vector<WriteSetEntry> write_set;
-    size_t acks = 0;
+    std::set<ReplicaId> acked;
   };
 
   void Dispatch(CoreId core, Message&& msg);
@@ -121,12 +147,19 @@ class PrimaryBackupReplica {
   void HandlePrimaryCommit(CoreId core, const Address& from, const PrimaryCommitRequest& req);
   void HandleReplicate(CoreId core, const Address& from, const ReplicateRequest& req);
   void HandleReplicateReply(CoreId core, const ReplicateReply& rep);
+  void SendReplicate(CoreId core, ReplicaId to, const TxnId& tid, const PendingTxn& txn);
+  // Finalizes the pending transaction if every live backup has acked.
+  void TryFinalize(CoreId core, const TxnId& tid);
+  bool BackupDown(ReplicaId r) const { return (down_mask_.load() & (1u << r)) != 0; }
   void Reply(const Address& to, CoreId core, Payload payload);
 
   const ReplicaId id_;
   const PbMode mode_;
   const QuorumConfig quorum_;
   Transport* const transport_;
+
+  std::atomic<bool> recovering_{false};
+  std::atomic<uint32_t> down_mask_{0};
 
   VStore store_;
   // KuaFu++'s cross-core shared structures. Meerkat-PB never touches them.
@@ -149,9 +182,19 @@ class PrimaryBackupSession : public ClientSession {
     QuorumConfig quorum;
     size_t cores_per_replica = 1;
     PbMode mode = PbMode::kMeerkatPb;
+    // Retransmission/backoff policy; a disabled policy never retransmits.
+    RetryPolicy retry;
+    // Deprecated alias for retry.timeout_ns (folded when `retry` is disabled).
     uint64_t retry_timeout_ns = 0;
     int64_t clock_skew_ns = 0;
     uint64_t clock_jitter_ns = 0;
+
+    RetryPolicy EffectiveRetry() const {
+      if (!retry.enabled() && retry_timeout_ns != 0) {
+        return RetryPolicy::WithTimeout(retry_timeout_ns);
+      }
+      return retry;
+    }
   };
 
   PrimaryBackupSession(uint32_t client_id, Transport* transport, TimeSource* time_source,
@@ -192,7 +235,9 @@ class PrimaryBackupSession : public ClientSession {
   void SendGet(const std::string& key);
   void StartCommit();
   void SendCommitRequest();
-  void FinishTxn(TxnResult result);
+  void FailTxn(AbortReason reason);
+  void FinishTxn(TxnResult result, AbortReason reason);
+  bool DeadlineExceeded() const;
 
   // Same threading contract as MeerkatSession: ExecuteAsync (app thread) and
   // Receive (endpoint worker) both mutate per-transaction state; recursive
@@ -202,6 +247,7 @@ class PrimaryBackupSession : public ClientSession {
   const uint32_t client_id_;
   Transport* const transport_;
   const Options options_;
+  const RetryPolicy retry_;
   const Address self_;
   LooselySyncedClock clock_;
   Rng rng_;
@@ -228,6 +274,9 @@ class PrimaryBackupSession : public ClientSession {
   bool get_outstanding_ = false;
   uint64_t get_seq_ = 0;
   std::string get_key_;
+  uint32_t get_retries_ = 0;
+  uint32_t commit_retries_ = 0;
+  uint64_t txn_retransmits_ = 0;
 };
 
 }  // namespace meerkat

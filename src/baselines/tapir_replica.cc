@@ -28,6 +28,9 @@ void TapirReplica::Reply(const Address& to, CoreId core, Payload payload) {
 }
 
 void TapirReplica::Dispatch(CoreId core, Message&& msg) {
+  if (recovering_.load(std::memory_order_acquire)) {
+    return;  // Crashed-and-restarted: no state to serve until readmission.
+  }
   if (const auto* get = std::get_if<GetRequest>(&msg.payload)) {
     HandleGet(core, msg.src, *get);
   } else if (const auto* validate = std::get_if<ValidateRequest>(&msg.payload)) {
@@ -149,6 +152,13 @@ void TapirReplica::HandleCommit(const CommitRequest& req) {
   } else {
     OccCleanup(store_, read_set, write_set, ts);
   }
+}
+
+void TapirReplica::CrashAndRestart() {
+  recovering_.store(true, std::memory_order_release);
+  std::lock_guard<SharedMutex> lock(record_mutex_);
+  records_.clear();
+  store_.ClearAll();
 }
 
 }  // namespace meerkat

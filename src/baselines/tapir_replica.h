@@ -11,6 +11,7 @@
 #ifndef MEERKAT_SRC_BASELINES_TAPIR_REPLICA_H_
 #define MEERKAT_SRC_BASELINES_TAPIR_REPLICA_H_
 
+#include <atomic>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -40,6 +41,19 @@ class TapirReplica {
 
   uint64_t shared_record_acquisitions() const { return record_mutex_.acquisitions(); }
 
+  // --- Failure drills (simulator-driven; see docs/FAILURES.md) ---
+  //
+  // Crash-restarts this replica, wiping store and the shared record. While
+  // recovering_ all requests are dropped (an empty store would serve wrong
+  // not-found reads and cast bogus validation votes); TAPIR's IR-based
+  // recovery protocol is out of scope for this baseline, so readmission is a
+  // committed-state transfer from a live replica (the System drill hook
+  // copies via LoadKey, then calls FinishRecovery). Quorums of the remaining
+  // replicas keep the system available meanwhile.
+  void CrashAndRestart();
+  bool recovering() const { return recovering_.load(std::memory_order_acquire); }
+  void FinishRecovery() { recovering_.store(false, std::memory_order_release); }
+
  private:
   class CoreReceiver : public TransportReceiver {
    public:
@@ -61,6 +75,8 @@ class TapirReplica {
   const ReplicaId id_;
   const QuorumConfig quorum_;
   Transport* const transport_;
+
+  std::atomic<bool> recovering_{false};
 
   VStore store_;
   // The shared, cross-core transaction record: every core serializes on this

@@ -1,0 +1,71 @@
+// Client-side retry policy: retransmission timeout, exponential backoff with
+// jitter, a retransmission budget, and an optional per-attempt deadline.
+//
+// Meerkat assumes an asynchronous network (paper §4.1): clients must
+// retransmit to make progress through drops and crashes, but naive fixed-
+// interval retransmission amplifies congestion and synchronizes retry storms.
+// One policy object is threaded from SystemOptions through every session and
+// coordinator, so all retransmission behavior in a deployment is configured
+// (and tested) in one place.
+
+#ifndef MEERKAT_SRC_COMMON_RETRY_H_
+#define MEERKAT_SRC_COMMON_RETRY_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace meerkat {
+
+struct RetryPolicy {
+  // Base retransmission timeout. 0 disables retransmission entirely
+  // (fault-free benchmark runs never arm timers).
+  uint64_t timeout_ns = 0;
+  // Multiplier applied per consecutive retransmission of the same phase.
+  double backoff = 2.0;
+  // Backoff ceiling; 0 means 32x the base timeout.
+  uint64_t max_timeout_ns = 0;
+  // Uniform jitter as a fraction of the delay: the k-th delay is drawn from
+  // [d*(1-jitter), d*(1+jitter)]. Decorrelates retry storms across clients.
+  double jitter = 0.2;
+  // Retransmissions per protocol phase before the attempt fails (kNoQuorum).
+  uint32_t max_attempts = 64;
+  // Wall-clock (or virtual-clock) budget for one transaction attempt; an
+  // attempt that outlives it fails with kDeadline. 0 = unlimited.
+  uint64_t attempt_deadline_ns = 0;
+
+  bool enabled() const { return timeout_ns != 0; }
+
+  static RetryPolicy Disabled() { return RetryPolicy{}; }
+
+  static RetryPolicy WithTimeout(uint64_t base_timeout_ns) {
+    RetryPolicy p;
+    p.timeout_ns = base_timeout_ns;
+    return p;
+  }
+
+  // Jittered, exponentially backed-off delay for the `retransmit`-th
+  // retransmission (0 = the initial timer). Deterministic given `rng`.
+  uint64_t DelayNanos(uint32_t retransmit, Rng& rng) const {
+    if (timeout_ns == 0) {
+      return 0;
+    }
+    uint64_t cap = max_timeout_ns != 0 ? max_timeout_ns : timeout_ns * 32;
+    double d = static_cast<double>(timeout_ns);
+    for (uint32_t i = 0; i < retransmit && d < static_cast<double>(cap); i++) {
+      d *= backoff;
+    }
+    if (d > static_cast<double>(cap)) {
+      d = static_cast<double>(cap);
+    }
+    if (jitter > 0) {
+      // Uniform in [d*(1-jitter), d*(1+jitter)], floored at 1ns.
+      d *= 1.0 - jitter + 2.0 * jitter * rng.NextDouble();
+    }
+    return d < 1.0 ? 1 : static_cast<uint64_t>(d);
+  }
+};
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_COMMON_RETRY_H_

@@ -98,17 +98,24 @@ void RunStats::Merge(const RunStats& other) {
   writes += other.writes;
   fast_path_commits += other.fast_path_commits;
   slow_path_commits += other.slow_path_commits;
+  retransmits += other.retransmits;
+  timeouts += other.timeouts;
+  recoveries += other.recoveries;
   commit_latency.Merge(other.commit_latency);
 }
 
 std::string RunStats::Summary(double elapsed_seconds) const {
   char buf[256];
   snprintf(buf, sizeof(buf),
-           "goodput=%.0f txn/s committed=%llu aborted=%llu (%.1f%%) fast=%llu slow=%llu",
+           "goodput=%.0f txn/s committed=%llu aborted=%llu (%.1f%%) fast=%llu slow=%llu "
+           "retx=%llu timeouts=%llu recoveries=%llu",
            GoodputPerSec(elapsed_seconds), static_cast<unsigned long long>(committed),
            static_cast<unsigned long long>(aborted), AbortRate() * 100.0,
            static_cast<unsigned long long>(fast_path_commits),
-           static_cast<unsigned long long>(slow_path_commits));
+           static_cast<unsigned long long>(slow_path_commits),
+           static_cast<unsigned long long>(retransmits),
+           static_cast<unsigned long long>(timeouts),
+           static_cast<unsigned long long>(recoveries));
   return buf;
 }
 

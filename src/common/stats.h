@@ -53,6 +53,10 @@ struct RunStats {
   uint64_t writes = 0;
   uint64_t fast_path_commits = 0;  // Decided with a supermajority of matching replies.
   uint64_t slow_path_commits = 0;  // Needed the ACCEPT round.
+  // Failure-handling counters (RetryPolicy + recovery drills).
+  uint64_t retransmits = 0;  // Timer-driven re-sends, all phases.
+  uint64_t timeouts = 0;     // Attempts that exhausted retransmissions or a deadline.
+  uint64_t recoveries = 0;   // Attempts whose quorum was rebuilt across an epoch change.
   LatencyHistogram commit_latency;
 
   uint64_t Attempts() const { return committed + aborted + failed; }

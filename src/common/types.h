@@ -142,6 +142,58 @@ inline const char* ToString(TxnResult r) {
   return "UNKNOWN";
 }
 
+// How a committed transaction was decided (paper §5.2.2): fast path = a
+// supermajority of matching VALIDATE replies, no consensus round; slow path =
+// the ACCEPT round ran. kNone for transactions that did not commit.
+enum class CommitPath : uint8_t {
+  kNone = 0,
+  kFast,
+  kSlow,
+};
+
+inline const char* ToString(CommitPath p) {
+  switch (p) {
+    case CommitPath::kNone:
+      return "NONE";
+    case CommitPath::kFast:
+      return "FAST";
+    case CommitPath::kSlow:
+      return "SLOW";
+  }
+  return "UNKNOWN";
+}
+
+// Why a transaction attempt did not commit. kNone iff the attempt committed.
+enum class AbortReason : uint8_t {
+  kNone = 0,
+  kOccConflict,    // Validation failed: a conflicting transaction won (retryable).
+  kShardAbort,     // Another shard of a distributed transaction aborted (retryable).
+  kSuperseded,     // A backup coordinator in a higher view took the transaction over.
+  kNoQuorum,       // Retransmission budget exhausted without reaching a quorum.
+  kDeadline,       // The attempt outlived RetryPolicy::attempt_deadline_ns.
+  kRecoveryAbort,  // Cooperative termination chose abort (no quorum had validated).
+};
+
+inline const char* ToString(AbortReason r) {
+  switch (r) {
+    case AbortReason::kNone:
+      return "NONE";
+    case AbortReason::kOccConflict:
+      return "OCC-CONFLICT";
+    case AbortReason::kShardAbort:
+      return "SHARD-ABORT";
+    case AbortReason::kSuperseded:
+      return "SUPERSEDED";
+    case AbortReason::kNoQuorum:
+      return "NO-QUORUM";
+    case AbortReason::kDeadline:
+      return "DEADLINE";
+    case AbortReason::kRecoveryAbort:
+      return "RECOVERY-ABORT";
+  }
+  return "UNKNOWN";
+}
+
 // One read performed during the execute phase: the key, and the version
 // (write timestamp) that was read. Validation re-checks this version.
 struct ReadSetEntry {

@@ -22,11 +22,12 @@ CommitCoordinator::CommitCoordinator(Transport* transport, Address self,
                                      const QuorumConfig& quorum, CoreId core, TxnId tid,
                                      Timestamp ts, std::vector<ReadSetEntry> read_set,
                                      std::vector<WriteSetEntry> write_set,
-                                     uint64_t retry_timeout_ns, uint64_t timer_base,
+                                     const RetryPolicy& retry, uint64_t timer_base,
                                      DoneCallback done)
     : transport_(transport), self_(self), quorum_(quorum), core_(core), tid_(tid), ts_(ts),
-      sets_(MakeTxnSets(std::move(read_set), std::move(write_set))),
-      retry_timeout_ns_(retry_timeout_ns), timer_base_(timer_base), done_(std::move(done)) {}
+      sets_(MakeTxnSets(std::move(read_set), std::move(write_set))), retry_(retry),
+      timer_base_(timer_base), done_(std::move(done)),
+      rng_(TxnIdHash{}(tid) ^ timer_base) {}
 
 void CommitCoordinator::Start() {
   SendValidates(/*only_missing=*/false);
@@ -34,8 +35,9 @@ void CommitCoordinator::Start() {
 }
 
 void CommitCoordinator::ArmTimer(uint64_t phase_timer) {
-  if (retry_timeout_ns_ != 0) {
-    transport_->SetTimer(self_, 0, retry_timeout_ns_, timer_base_ + phase_timer);
+  if (retry_.enabled()) {
+    transport_->SetTimer(self_, 0, retry_.DelayNanos(retries_, rng_),
+                         timer_base_ + phase_timer);
   }
 }
 
@@ -87,10 +89,11 @@ void CommitCoordinator::BroadcastDecision(bool commit) {
   }
 }
 
-void CommitCoordinator::Finish(TxnResult result, bool fast_path) {
+void CommitCoordinator::Finish(TxnResult result, CommitPath path, AbortReason reason) {
   phase_ = Phase::kDone;
   outcome_.result = result;
-  outcome_.fast_path = fast_path;
+  outcome_.path = path;
+  outcome_.reason = result == TxnResult::kCommit ? AbortReason::kNone : reason;
   if (done_) {
     done_(outcome_);
   }
@@ -108,6 +111,9 @@ bool CommitCoordinator::OnMessage(const Message& msg) {
     if (reply->epoch > reply_epoch_) {
       // Votes from an older epoch are void: the epoch change has already
       // force-finalized whatever those replicas had in flight.
+      if (!validate_replied_.empty()) {
+        outcome_.epoch_bumped = true;  // Quorum rebuilt across the change.
+      }
       reply_epoch_ = reply->epoch;
       validate_replied_.clear();
       ok_count_ = 0;
@@ -140,7 +146,7 @@ bool CommitCoordinator::OnMessage(const Message& msg) {
       // backup now.
       accept_rejects_++;
       if (accept_rejects_ > quorum_.n - quorum_.Majority()) {
-        Finish(TxnResult::kFailed, /*fast_path=*/false);
+        Finish(TxnResult::kFailed, CommitPath::kNone, AbortReason::kSuperseded);
       }
       return true;
     }
@@ -149,7 +155,8 @@ bool CommitCoordinator::OnMessage(const Message& msg) {
       if (!defer_decision_) {
         BroadcastDecision(proposal_commit_);
       }
-      Finish(proposal_commit_ ? TxnResult::kCommit : TxnResult::kAbort, /*fast_path=*/false);
+      Finish(proposal_commit_ ? TxnResult::kCommit : TxnResult::kAbort, CommitPath::kSlow,
+             AbortReason::kOccConflict);
     }
     return true;
   }
@@ -164,14 +171,14 @@ void CommitCoordinator::MaybeDecideValidation() {
       if (!defer_decision_) {
         BroadcastDecision(true);
       }
-      Finish(TxnResult::kCommit, /*fast_path=*/true);
+      Finish(TxnResult::kCommit, CommitPath::kFast, AbortReason::kNone);
       return;
     }
     if (abort_count_ >= quorum_.SuperMajority()) {
       if (!defer_decision_) {
         BroadcastDecision(false);
       }
-      Finish(TxnResult::kAbort, /*fast_path=*/true);
+      Finish(TxnResult::kAbort, CommitPath::kFast, AbortReason::kOccConflict);
       return;
     }
   }
@@ -196,8 +203,8 @@ bool CommitCoordinator::OnTimer(uint64_t timer_id) {
   }
   uint64_t phase_timer = timer_id - timer_base_;
   if (phase_timer == kValidatePhaseTimer && phase_ == Phase::kValidating) {
-    if (++retries_ > kMaxRetries) {
-      Finish(TxnResult::kFailed, /*fast_path=*/false);
+    if (++retries_ > retry_.max_attempts) {
+      Finish(TxnResult::kFailed, CommitPath::kNone, AbortReason::kNoQuorum);
       return true;
     }
     // Enough validation votes may already be in (the fast path just never
@@ -210,15 +217,17 @@ bool CommitCoordinator::OnTimer(uint64_t timer_id) {
       ArmTimer(kAcceptPhaseTimer);
       return true;
     }
+    outcome_.retransmits++;
     SendValidates(/*only_missing=*/true);
     ArmTimer(kValidatePhaseTimer);
     return true;
   }
   if (phase_timer == kAcceptPhaseTimer && phase_ == Phase::kAccepting) {
-    if (++retries_ > kMaxRetries) {
-      Finish(TxnResult::kFailed, /*fast_path=*/false);
+    if (++retries_ > retry_.max_attempts) {
+      Finish(TxnResult::kFailed, CommitPath::kNone, AbortReason::kNoQuorum);
       return true;
     }
+    outcome_.retransmits++;
     SendAccepts();
     ArmTimer(kAcceptPhaseTimer);
     return true;
@@ -228,15 +237,23 @@ bool CommitCoordinator::OnTimer(uint64_t timer_id) {
 
 BackupCoordinator::BackupCoordinator(Transport* transport, Address self,
                                      const QuorumConfig& quorum, CoreId core, TxnId tid,
-                                     ViewNum view, uint64_t retry_timeout_ns, uint64_t timer_base,
+                                     ViewNum view, const RetryPolicy& retry, uint64_t timer_base,
                                      DoneCallback done)
     : transport_(transport), self_(self), quorum_(quorum), core_(core), tid_(tid), view_(view),
-      retry_timeout_ns_(retry_timeout_ns), timer_base_(timer_base), done_(std::move(done)) {}
+      retry_(retry), timer_base_(timer_base), done_(std::move(done)),
+      rng_(TxnIdHash{}(tid) ^ (view + 1) ^ timer_base) {}
 
 void BackupCoordinator::Start() {
   SendPrepares();
-  if (retry_timeout_ns_ != 0) {
-    transport_->SetTimer(self_, 0, retry_timeout_ns_, timer_base_ + kPreparePhaseTimer);
+  ArmTimer(kPreparePhaseTimer);
+}
+
+void BackupCoordinator::ArmTimer(uint64_t phase_timer) {
+  // Timers fire at the hosting endpoint: (self_, core_), not core 0 — a
+  // replica-hosted backup runs on whichever core owns the transaction.
+  if (retry_.enabled()) {
+    transport_->SetTimer(self_, core_, retry_.DelayNanos(retries_, rng_),
+                         timer_base_ + phase_timer);
   }
 }
 
@@ -320,9 +337,7 @@ void BackupCoordinator::DecideAndAccept() {
       LocalFastPathCounters().payload_fanout_shares++;
     }
   }
-  if (retry_timeout_ns_ != 0) {
-    transport_->SetTimer(self_, 0, retry_timeout_ns_, timer_base_ + kAcceptPhaseTimer);
-  }
+  ArmTimer(kAcceptPhaseTimer);
 }
 
 bool BackupCoordinator::OnTimer(uint64_t timer_id) {
@@ -331,13 +346,21 @@ bool BackupCoordinator::OnTimer(uint64_t timer_id) {
   }
   uint64_t phase_timer = timer_id - timer_base_;
   if (phase_timer == kPreparePhaseTimer && phase_ == Phase::kPreparing) {
-    SendPrepares();
-    if (retry_timeout_ns_ != 0) {
-      transport_->SetTimer(self_, 0, retry_timeout_ns_, timer_base_ + kPreparePhaseTimer);
+    if (++retries_ > retry_.max_attempts) {
+      Finish(TxnResult::kFailed);
+      return true;
     }
+    outcome_.retransmits++;
+    SendPrepares();
+    ArmTimer(kPreparePhaseTimer);
     return true;
   }
   if (phase_timer == kAcceptPhaseTimer && phase_ == Phase::kAccepting) {
+    if (++retries_ > retry_.max_attempts) {
+      Finish(TxnResult::kFailed);
+      return true;
+    }
+    outcome_.retransmits++;
     DecideAndAccept();
     return true;
   }
@@ -346,10 +369,14 @@ bool BackupCoordinator::OnTimer(uint64_t timer_id) {
 
 void BackupCoordinator::Finish(TxnResult result) {
   phase_ = Phase::kDone;
-  CommitOutcome outcome;
-  outcome.result = result;
+  outcome_.result = result;
+  outcome_.path = result == TxnResult::kCommit ? CommitPath::kSlow : CommitPath::kNone;
+  outcome_.reason =
+      result == TxnResult::kCommit ? AbortReason::kNone
+      : result == TxnResult::kAbort ? AbortReason::kRecoveryAbort
+                                    : AbortReason::kNoQuorum;
   if (done_) {
-    done_(outcome);
+    done_(outcome_);
   }
 }
 

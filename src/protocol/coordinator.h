@@ -25,6 +25,8 @@
 #include <set>
 #include <vector>
 
+#include "src/common/retry.h"
+#include "src/common/rng.h"
 #include "src/common/types.h"
 #include "src/protocol/quorum.h"
 #include "src/transport/transport.h"
@@ -33,7 +35,15 @@ namespace meerkat {
 
 struct CommitOutcome {
   TxnResult result = TxnResult::kFailed;
-  bool fast_path = false;
+  CommitPath path = CommitPath::kNone;
+  // kNone iff the transaction committed.
+  AbortReason reason = AbortReason::kNone;
+  // Timer-driven re-sends this coordinator performed (all phases).
+  uint64_t retransmits = 0;
+  // The vote quorum was discarded and rebuilt across an epoch change.
+  bool epoch_bumped = false;
+
+  bool fast_path() const { return path == CommitPath::kFast; }
 };
 
 class CommitCoordinator {
@@ -41,11 +51,11 @@ class CommitCoordinator {
   using DoneCallback = std::function<void(const CommitOutcome&)>;
 
   // Timer ids passed to SetTimer are `timer_base + phase`; the owner routes
-  // TimerFire back via OnTimer. retry_timeout_ns == 0 disables retries
-  // (appropriate for fault-free benchmark runs).
+  // TimerFire back via OnTimer. A disabled RetryPolicy (timeout_ns == 0)
+  // never arms timers (appropriate for fault-free benchmark runs).
   CommitCoordinator(Transport* transport, Address self, const QuorumConfig& quorum, CoreId core,
                     TxnId tid, Timestamp ts, std::vector<ReadSetEntry> read_set,
-                    std::vector<WriteSetEntry> write_set, uint64_t retry_timeout_ns,
+                    std::vector<WriteSetEntry> write_set, const RetryPolicy& retry,
                     uint64_t timer_base, DoneCallback done);
 
   // Ablation knob: never decide on the fast path, even with a supermajority
@@ -88,7 +98,6 @@ class CommitCoordinator {
 
   static constexpr uint64_t kValidatePhaseTimer = 0;
   static constexpr uint64_t kAcceptPhaseTimer = 1;
-  static constexpr int kMaxRetries = 50;
 
  private:
   enum class Phase { kValidating, kAccepting, kDone };
@@ -96,7 +105,7 @@ class CommitCoordinator {
   void SendValidates(bool only_missing);
   void SendAccepts();
   void BroadcastDecision(bool commit);
-  void Finish(TxnResult result, bool fast_path);
+  void Finish(TxnResult result, CommitPath path, AbortReason reason);
   void MaybeDecideValidation();
   void ArmTimer(uint64_t phase_timer);
 
@@ -109,12 +118,15 @@ class CommitCoordinator {
   // Built once in the constructor; every VALIDATE/ACCEPT in the fan-out
   // shares this payload instead of deep-copying the sets per replica.
   const TxnSetsPtr sets_;
-  const uint64_t retry_timeout_ns_;
+  const RetryPolicy retry_;
   const uint64_t timer_base_;
   DoneCallback done_;
+  // Backoff jitter; seeded deterministically from the transaction id so
+  // identical runs retransmit at identical (sim) times.
+  Rng rng_;
 
   Phase phase_ = Phase::kValidating;
-  int retries_ = 0;
+  uint32_t retries_ = 0;
   bool force_slow_path_ = false;
   bool defer_decision_ = false;
   ReplicaId group_base_ = 0;
@@ -141,7 +153,7 @@ class BackupCoordinator {
   // coordinators for view v are conventionally hosted on replica (v mod n),
   // but any node may run one (the view number is what arbitrates).
   BackupCoordinator(Transport* transport, Address self, const QuorumConfig& quorum, CoreId core,
-                    TxnId tid, ViewNum view, uint64_t retry_timeout_ns, uint64_t timer_base,
+                    TxnId tid, ViewNum view, const RetryPolicy& retry, uint64_t timer_base,
                     DoneCallback done);
 
   BackupCoordinator(const BackupCoordinator&) = delete;
@@ -154,6 +166,8 @@ class BackupCoordinator {
   void set_group_base(ReplicaId base) { group_base_ = base; }
 
   bool done() const { return phase_ == Phase::kDone; }
+  // Valid once done() (same polling contract as CommitCoordinator).
+  const CommitOutcome& outcome() const { return outcome_; }
   const TxnId& tid() const { return tid_; }
 
   static constexpr uint64_t kPreparePhaseTimer = 0;
@@ -165,6 +179,7 @@ class BackupCoordinator {
   void SendPrepares();
   void DecideAndAccept();
   void Finish(TxnResult result);
+  void ArmTimer(uint64_t phase_timer);
 
   Transport* const transport_;
   const Address self_;
@@ -172,11 +187,14 @@ class BackupCoordinator {
   const CoreId core_;
   const TxnId tid_;
   ViewNum view_;
-  const uint64_t retry_timeout_ns_;
+  const RetryPolicy retry_;
   const uint64_t timer_base_;
   DoneCallback done_;
+  Rng rng_;
 
   Phase phase_ = Phase::kPreparing;
+  uint32_t retries_ = 0;
+  CommitOutcome outcome_;
   ReplicaId group_base_ = 0;
   std::vector<CoordChangeAck> prepare_acks_;
   std::set<ReplicaId> prepare_replied_;

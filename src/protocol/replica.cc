@@ -36,9 +36,11 @@ void MeerkatReplica::EpochGate::UnlockExclusive() {
 }
 
 MeerkatReplica::MeerkatReplica(ReplicaId id, const QuorumConfig& quorum, size_t num_cores,
-                               Transport* transport, ReplicaId group_base)
+                               Transport* transport, ReplicaId group_base,
+                               RetryPolicy recovery_retry)
     : id_(id), quorum_(quorum), num_cores_(num_cores), group_base_(group_base),
-      transport_(transport), trecord_(num_cores), hosted_backups_(num_cores) {
+      recovery_retry_(recovery_retry), transport_(transport), ec_rng_(0x9e3779b9u ^ id),
+      trecord_(num_cores), hosted_backups_(num_cores) {
   receivers_.reserve(num_cores);
   for (CoreId core = 0; core < num_cores; core++) {
     receivers_.push_back(std::make_unique<CoreReceiver>(this, core));
@@ -70,9 +72,13 @@ void MeerkatReplica::Dispatch(CoreId core, Message&& msg) {
     HandleEpochChangeComplete(msg.src, *complete);
     return;
   }
-  if (std::get_if<EpochChangeCompleteAck>(&msg.payload) != nullptr ||
-      std::get_if<TimerFire>(&msg.payload) != nullptr) {
-    return;  // Observability / unused on replicas.
+  if (const auto* cack = std::get_if<EpochChangeCompleteAck>(&msg.payload)) {
+    HandleEpochChangeCompleteAck(*cack);
+    return;
+  }
+  if (const auto* timer = std::get_if<TimerFire>(&msg.payload)) {
+    HandleTimer(core, timer->timer_id);
+    return;
   }
 
   if (std::get_if<CoordChangeAck>(&msg.payload) != nullptr ||
@@ -243,6 +249,9 @@ void MeerkatReplica::InitiateEpochChange() {
     ec_leading_ = true;
     ec_epoch_ = new_epoch;
     ec_acks_.clear();
+    ec_complete_pending_ = false;
+    ec_complete_acked_.clear();
+    ec_retries_ = 0;
   }
   for (ReplicaId r = 0; r < quorum_.n; r++) {
     Message msg;
@@ -251,6 +260,96 @@ void MeerkatReplica::InitiateEpochChange() {
     msg.core = 0;
     msg.payload = EpochChangeRequest{new_epoch};
     transport_->Send(std::move(msg));
+  }
+  ArmEpochTimer();
+}
+
+void MeerkatReplica::ArmEpochTimer() {
+  if (!recovery_retry_.enabled()) {
+    return;  // One-shot sends (lossless network / unit tests).
+  }
+  uint64_t delay;
+  {
+    std::lock_guard<std::mutex> lock(ec_mu_);
+    delay = recovery_retry_.DelayNanos(ec_retries_, ec_rng_);
+  }
+  transport_->SetTimer(Address::Replica(id_), /*core=*/0, delay, kEpochTimerId);
+}
+
+void MeerkatReplica::HandleEpochTimer() {
+  // Retransmit whichever epoch-change round this replica is still driving.
+  std::vector<ReplicaId> targets;
+  Payload payload;
+  {
+    std::lock_guard<std::mutex> lock(ec_mu_);
+    if (!ec_leading_ && !ec_complete_pending_) {
+      return;  // Epoch change finished (or this replica never led one).
+    }
+    if (++ec_retries_ > recovery_retry_.max_attempts) {
+      // Give up; the operator / failure detector re-initiates. Leaving the
+      // flags set would wedge a later InitiateEpochChange, so clear them.
+      ec_leading_ = false;
+      ec_complete_pending_ = false;
+      return;
+    }
+    if (ec_leading_) {
+      // Request round: re-poll replicas whose ack is missing.
+      for (ReplicaId r = 0; r < quorum_.n; r++) {
+        bool acked = false;
+        for (const EpochChangeAck& a : ec_acks_) {
+          if (a.from == group_base_ + r) {
+            acked = true;
+            break;
+          }
+        }
+        if (!acked) {
+          targets.push_back(group_base_ + r);
+        }
+      }
+      payload = EpochChangeRequest{ec_epoch_};
+    } else {
+      // Complete round: re-push merged state until every replica confirmed.
+      for (ReplicaId r = 0; r < quorum_.n; r++) {
+        if (ec_complete_acked_.count(group_base_ + r) == 0) {
+          targets.push_back(group_base_ + r);
+        }
+      }
+      payload = ec_complete_;
+    }
+  }
+  for (ReplicaId r : targets) {
+    Message msg;
+    msg.src = Address::Replica(id_);
+    msg.dst = Address::Replica(r);
+    msg.core = 0;
+    msg.payload = payload;  // Copy per destination.
+    transport_->Send(std::move(msg));
+  }
+  ArmEpochTimer();
+}
+
+void MeerkatReplica::HandleTimer(CoreId core, uint64_t timer_id) {
+  if (timer_id >= kEpochTimerId) {
+    HandleEpochTimer();
+    return;
+  }
+  if (timer_id < kBackupTimerBase) {
+    return;  // Not a replica-side timer.
+  }
+  // Hosted backup coordinator timer. Bases are spaced 4 apart and phase
+  // offsets are 0/1, so exactly one coordinator claims any given id.
+  std::unique_ptr<BackupCoordinator> finished;
+  std::lock_guard<std::mutex> lock(backups_mu_);
+  auto& backups = hosted_backups_[core % hosted_backups_.size()];
+  for (auto it = backups.begin(); it != backups.end(); ++it) {
+    if (it->second->OnTimer(timer_id)) {
+      if (it->second->done()) {
+        // Keep the object alive until after this frame unwinds.
+        finished = std::move(it->second);
+        backups.erase(it);
+      }
+      break;
+    }
   }
 }
 
@@ -270,9 +369,17 @@ EpochChangeAck MeerkatReplica::BuildEpochAck(EpochNum epoch) {
 
 void MeerkatReplica::HandleEpochChangeRequest(const Address& from,
                                               const EpochChangeRequest& req) {
-  if (req.epoch <= epoch()) {
+  if (req.epoch < epoch()) {
     return;  // Stale epoch-change request.
   }
+  if (req.epoch == epoch() && !epoch_change_.load(std::memory_order_acquire)) {
+    // The change for this epoch already completed here; the leader's request
+    // is a retransmission racing the Complete it already sent. Nothing to do.
+    return;
+  }
+  // First request for this epoch — or a retransmission after our ack was
+  // lost. Rebuilding the ack is idempotent: validation is paused, so the
+  // snapshot cannot have advanced.
   gate_.LockExclusive();
   epoch_.store(req.epoch, std::memory_order_release);
   epoch_change_.store(true, std::memory_order_release);
@@ -319,6 +426,16 @@ void MeerkatReplica::HandleEpochChangeAck(const EpochChangeAck& ack) {
   complete.records = std::move(merged.records);
   complete.store_state = std::move(merged.store_state);
   complete.store_versions = std::move(merged.store_versions);
+  {
+    // Retain the merged payload for retransmission until every replica
+    // confirms adoption (the epoch timer drives the re-sends; the retry
+    // counter restarts for the complete round).
+    std::lock_guard<std::mutex> lock(ec_mu_);
+    ec_complete_ = complete;
+    ec_complete_pending_ = true;
+    ec_complete_acked_.clear();
+    ec_retries_ = 0;
+  }
   for (ReplicaId r = 0; r < quorum_.n; r++) {
     Message msg;
     msg.src = Address::Replica(id_);
@@ -334,10 +451,29 @@ void MeerkatReplica::HandleEpochChangeComplete(const Address& from,
   if (msg.epoch < epoch()) {
     return;
   }
+  if (msg.epoch == epoch() && !epoch_change_.load(std::memory_order_acquire) &&
+      !waiting_recovery_.load(std::memory_order_acquire)) {
+    // Duplicate Complete for an epoch already adopted (our ack was lost).
+    // Re-adopting would be correct but wasteful; just re-ack.
+    Reply(from, 0, EpochChangeCompleteAck{msg.epoch, id_});
+    return;
+  }
   gate_.LockExclusive();
   AdoptEpochState(msg.epoch, msg.records, msg.store_state, msg.store_versions);
   gate_.UnlockExclusive();
   Reply(from, 0, EpochChangeCompleteAck{msg.epoch, id_});
+}
+
+void MeerkatReplica::HandleEpochChangeCompleteAck(const EpochChangeCompleteAck& ack) {
+  std::lock_guard<std::mutex> lock(ec_mu_);
+  if (!ec_complete_pending_ || ack.epoch != ec_epoch_) {
+    return;
+  }
+  ec_complete_acked_.insert(ack.from);
+  if (ec_complete_acked_.size() >= quorum_.n) {
+    ec_complete_pending_ = false;  // Everyone adopted; stop retransmitting.
+    ec_complete_ = EpochChangeComplete{};
+  }
 }
 
 void MeerkatReplica::AdoptEpochState(EpochNum epoch,
@@ -411,9 +547,12 @@ size_t MeerkatReplica::RecoverOrphanedTransactions(Timestamp older_than) {
       while (view % quorum_.n != id_ - group_base_) {
         view++;
       }
+      // Each hosted backup gets a disjoint timer-id base (spaced 4 apart;
+      // phases use offsets 0/1) so HandleTimer can route fires unambiguously.
+      uint64_t timer_base = kBackupTimerBase + (backup_seq_++) * 4;
       auto backup = std::make_unique<BackupCoordinator>(
           transport_, Address::Replica(id_), quorum_, core, tid, view,
-          /*retry_timeout_ns=*/0, /*timer_base=*/0, /*done=*/nullptr);
+          recovery_retry_, timer_base, /*done=*/nullptr);
       backup->set_group_base(group_base_);
       backup->Start();
       backups.emplace(tid, std::move(backup));
@@ -444,6 +583,23 @@ void MeerkatReplica::CrashAndRestart() {
   epoch_.store(0, std::memory_order_release);
   waiting_recovery_.store(true, std::memory_order_release);
   gate_.UnlockExclusive();
+  {
+    // Hosted backup coordinators and any epoch-change leadership are volatile
+    // too; pending timers for them fire into the void (HandleTimer finds no
+    // claimant) and are harmless.
+    std::lock_guard<std::mutex> lock(backups_mu_);
+    for (auto& backups : hosted_backups_) {
+      backups.clear();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(ec_mu_);
+    ec_leading_ = false;
+    ec_complete_pending_ = false;
+    ec_acks_.clear();
+    ec_complete_acked_.clear();
+    ec_complete_ = EpochChangeComplete{};
+  }
 }
 
 }  // namespace meerkat

@@ -14,11 +14,14 @@
 
 #include <atomic>
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <mutex>
 #include <shared_mutex>
 #include <vector>
 
+#include "src/common/retry.h"
+#include "src/common/rng.h"
 #include "src/common/types.h"
 #include "src/protocol/coordinator.h"
 #include "src/protocol/quorum.h"
@@ -34,8 +37,14 @@ class MeerkatReplica {
   // [group_base, group_base + quorum.n). Single-group deployments use the
   // default base 0 with ids 0..n-1; shard s of a sharded deployment uses
   // base s*n (paper §5.2.4).
+  //
+  // `recovery_retry` drives replica-side retransmission: epoch-change
+  // request/complete rounds led by this replica and hosted backup
+  // coordinators. A disabled policy (the default) sends each recovery
+  // message once — lossless-network deployments and unit tests.
   MeerkatReplica(ReplicaId id, const QuorumConfig& quorum, size_t num_cores,
-                 Transport* transport, ReplicaId group_base = 0);
+                 Transport* transport, ReplicaId group_base = 0,
+                 RetryPolicy recovery_retry = RetryPolicy());
 
   MeerkatReplica(const MeerkatReplica&) = delete;
   MeerkatReplica& operator=(const MeerkatReplica&) = delete;
@@ -107,6 +116,12 @@ class MeerkatReplica {
     std::shared_mutex mu_;
   };
 
+  // Replica-side timer-id space (disjoint by construction: epoch timer is a
+  // single reserved id; hosted backup coordinators get bases spaced 4 apart
+  // below it, and their phase offsets are only ever 0 or 1).
+  static constexpr uint64_t kEpochTimerId = 1ULL << 62;
+  static constexpr uint64_t kBackupTimerBase = 1ULL << 61;
+
   void Dispatch(CoreId core, Message&& msg);
 
   void HandleGet(CoreId core, const Address& from, const GetRequest& req);
@@ -119,6 +134,13 @@ class MeerkatReplica {
   void HandleEpochChangeRequest(const Address& from, const EpochChangeRequest& req);
   void HandleEpochChangeAck(const EpochChangeAck& ack);
   void HandleEpochChangeComplete(const Address& from, const EpochChangeComplete& msg);
+  void HandleEpochChangeCompleteAck(const EpochChangeCompleteAck& ack);
+  void HandleTimer(CoreId core, uint64_t timer_id);
+  // Retransmits whichever epoch-change phase this replica is leading (the
+  // request round until the merge quorum forms, then the complete round until
+  // every replica confirmed adoption).
+  void HandleEpochTimer();
+  void ArmEpochTimer();
 
   // Builds this replica's contribution to an epoch change: all trecord
   // partitions plus committed store state. Caller holds the gate exclusively.
@@ -135,6 +157,7 @@ class MeerkatReplica {
   const QuorumConfig quorum_;
   const size_t num_cores_;
   const ReplicaId group_base_;
+  const RetryPolicy recovery_retry_;
   Transport* const transport_;
 
   VStore store_;
@@ -153,12 +176,21 @@ class MeerkatReplica {
   bool ec_leading_ = false;
   EpochNum ec_epoch_ = 0;
   std::vector<EpochChangeAck> ec_acks_;
+  // Complete-round retransmission state: the merged payload is kept until
+  // every replica confirmed adoption (EpochChangeCompleteAck) or the retry
+  // budget runs out.
+  bool ec_complete_pending_ = false;
+  EpochChangeComplete ec_complete_;
+  std::set<ReplicaId> ec_complete_acked_;
+  uint32_t ec_retries_ = 0;
+  Rng ec_rng_;
 
   // Replica-hosted backup coordinators, partitioned by core like the trecord
   // (replies for a transaction arrive on its core, so each map is
   // single-core). Guarded by backups_mu_ only for the cross-thread scan in
   // RecoverOrphanedTransactions; steady-state routing is core-local.
   std::mutex backups_mu_;
+  uint64_t backup_seq_ = 0;  // Allocates disjoint hosted-backup timer bases.
   std::vector<std::unordered_map<TxnId, std::unique_ptr<BackupCoordinator>, TxnIdHash>>
       hosted_backups_;
 };

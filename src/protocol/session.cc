@@ -9,7 +9,7 @@ MeerkatSession::MeerkatSession(uint32_t client_id, Transport* transport,
                                TimeSource* time_source, const SessionOptions& options,
                                uint64_t seed)
     : client_id_(client_id), transport_(transport), options_(options),
-      self_(Address::Client(client_id)),
+      retry_(options.EffectiveRetry()), self_(Address::Client(client_id)),
       clock_(time_source, options.clock_skew_ns, options.clock_jitter_ns, seed ^ 0x5bd1e995),
       rng_(seed), time_source_(time_source) {
   transport_->RegisterClient(client_id_, this);
@@ -32,6 +32,8 @@ void MeerkatSession::ExecuteAsync(TxnPlan plan, TxnCallback cb) {
   read_values_.clear();
   write_buffer_.clear();
   get_outstanding_ = false;
+  get_retries_ = 0;
+  txn_retransmits_ = 0;
   coordinator_.reset();
   IssueNextOp();
 }
@@ -82,8 +84,8 @@ void MeerkatSession::SendGet(const std::string& key) {
   msg.core = static_cast<CoreId>(rng_.NextBounded(options_.cores_per_replica));
   msg.payload = GetRequest{last_tid_, get_seq_, key};
   transport_->Send(std::move(msg));
-  if (options_.retry_timeout_ns != 0) {
-    transport_->SetTimer(self_, 0, options_.retry_timeout_ns, get_seq_);
+  if (retry_.enabled()) {
+    transport_->SetTimer(self_, 0, retry_.DelayNanos(get_retries_, rng_), get_seq_);
   }
 }
 
@@ -102,7 +104,7 @@ void MeerkatSession::StartCommit() {
   // callback would destroy the coordinator mid-invocation.
   coordinator_ = std::make_unique<CommitCoordinator>(
       transport_, self_, options_.quorum, core_, last_tid_, last_ts_, read_set_,
-      std::move(write_set), options_.retry_timeout_ns, kCoordTimerBase + txn_seq_ * 4,
+      std::move(write_set), retry_, kCoordTimerBase + txn_seq_ * 4,
       /*done=*/nullptr);
   coordinator_->set_force_slow_path(options_.force_slow_path);
   coordinator_->Start();
@@ -117,10 +119,35 @@ void MeerkatSession::MaybeFinishCommit() {
 }
 
 void MeerkatSession::OnCommitDone(const CommitOutcome& outcome) {
+  TxnOutcome out;
+  out.result = outcome.result;
+  out.path = outcome.path;
+  out.reason = outcome.reason;
+  out.tid = last_tid_;
+  out.commit_ts = last_ts_;
+  out.retransmits = txn_retransmits_ + outcome.retransmits;
+  out.recovered = outcome.epoch_bumped;
+  FinishTxn(out);
+}
+
+void MeerkatSession::FailTxn(AbortReason reason) {
+  if (coordinator_ != nullptr) {
+    txn_retransmits_ += coordinator_->outcome().retransmits;
+    coordinator_.reset();
+  }
+  TxnOutcome out;
+  out.result = TxnResult::kFailed;
+  out.reason = reason;
+  out.tid = last_tid_;
+  out.retransmits = txn_retransmits_;
+  FinishTxn(out);
+}
+
+void MeerkatSession::FinishTxn(const TxnOutcome& outcome) {
   switch (outcome.result) {
     case TxnResult::kCommit:
       stats_.committed++;
-      if (outcome.fast_path) {
+      if (outcome.fast_path()) {
         stats_.fast_path_commits++;
       } else {
         stats_.slow_path_commits++;
@@ -133,13 +160,25 @@ void MeerkatSession::OnCommitDone(const CommitOutcome& outcome) {
       stats_.failed++;
       break;
   }
+  stats_.retransmits += outcome.retransmits;
+  if (outcome.reason == AbortReason::kNoQuorum || outcome.reason == AbortReason::kDeadline) {
+    stats_.timeouts++;
+  }
+  if (outcome.recovered) {
+    stats_.recoveries++;
+  }
   stats_.commit_latency.Record(time_source_->NowNanos() - txn_start_ns_);
   active_ = false;
   TxnCallback cb = std::move(callback_);
   callback_ = nullptr;
   if (cb) {
-    cb(outcome.result, outcome.fast_path);
+    cb(outcome);
   }
+}
+
+bool MeerkatSession::DeadlineExceeded() const {
+  return retry_.attempt_deadline_ns != 0 &&
+         time_source_->NowNanos() - txn_start_ns_ > retry_.attempt_deadline_ns;
 }
 
 void MeerkatSession::Receive(Message&& msg) {
@@ -149,6 +188,7 @@ void MeerkatSession::Receive(Message&& msg) {
       return;  // Stale or duplicate read reply.
     }
     get_outstanding_ = false;
+    get_retries_ = 0;
     const Op& op = plan_.ops[next_op_];
     // A read of a never-written key carries the zero timestamp: validation
     // will catch any write that commits under it.
@@ -168,6 +208,10 @@ void MeerkatSession::Receive(Message&& msg) {
     }
     if (timer->timer_id >= kCoordTimerBase) {
       if (coordinator_ != nullptr) {
+        if (!coordinator_->done() && DeadlineExceeded()) {
+          FailTxn(AbortReason::kDeadline);
+          return;
+        }
         coordinator_->OnTimer(timer->timer_id);
         MaybeFinishCommit();
       }
@@ -176,6 +220,15 @@ void MeerkatSession::Receive(Message&& msg) {
     // Execute-phase retry: resend the outstanding GET (possibly to a
     // different replica, which is how a client escapes a crashed one).
     if (get_outstanding_ && timer->timer_id == get_seq_) {
+      if (DeadlineExceeded()) {
+        FailTxn(AbortReason::kDeadline);
+        return;
+      }
+      if (++get_retries_ > retry_.max_attempts) {
+        FailTxn(AbortReason::kNoQuorum);
+        return;
+      }
+      txn_retransmits_++;
       SendGet(get_key_);
     }
     return;

@@ -17,6 +17,7 @@
 
 #include "src/api/client_session.h"
 #include "src/common/clock.h"
+#include "src/common/retry.h"
 #include "src/common/rng.h"
 #include "src/protocol/coordinator.h"
 #include "src/protocol/quorum.h"
@@ -26,7 +27,11 @@ namespace meerkat {
 struct SessionOptions {
   QuorumConfig quorum;
   size_t cores_per_replica = 1;
-  // 0 disables retransmission (fault-free benchmark runs).
+  // Retransmission/backoff policy; a disabled policy (the default) never
+  // retransmits (fault-free benchmark runs).
+  RetryPolicy retry;
+  // Deprecated alias for retry.timeout_ns (folded in the constructor when
+  // `retry` is disabled).
   uint64_t retry_timeout_ns = 0;
   // Clock-synchronization quality of this client (paper §3: correctness never
   // depends on these; performance does).
@@ -34,6 +39,13 @@ struct SessionOptions {
   uint64_t clock_jitter_ns = 0;
   // Ablation: bypass the fast path (always run the ACCEPT round).
   bool force_slow_path = false;
+
+  RetryPolicy EffectiveRetry() const {
+    if (!retry.enabled() && retry_timeout_ns != 0) {
+      return RetryPolicy::WithTimeout(retry_timeout_ns);
+    }
+    return retry;
+  }
 };
 
 class MeerkatSession : public ClientSession {
@@ -82,6 +94,11 @@ class MeerkatSession : public ClientSession {
   void StartCommit();
   void MaybeFinishCommit();
   void OnCommitDone(const CommitOutcome& outcome);
+  // Terminates the attempt without a coordinator decision (GET retransmission
+  // budget exhausted, or the per-attempt deadline passed).
+  void FailTxn(AbortReason reason);
+  void FinishTxn(const TxnOutcome& outcome);
+  bool DeadlineExceeded() const;
 
   // ExecuteAsync runs on the application thread while Receive runs on the
   // endpoint's worker thread (threaded runtime); this lock serializes their
@@ -92,6 +109,7 @@ class MeerkatSession : public ClientSession {
   const uint32_t client_id_;
   Transport* const transport_;
   const SessionOptions options_;
+  const RetryPolicy retry_;
   const Address self_;
   LooselySyncedClock clock_;
   Rng rng_;
@@ -118,6 +136,8 @@ class MeerkatSession : public ClientSession {
   bool get_outstanding_ = false;
   uint64_t get_seq_ = 0;
   std::string get_key_;
+  uint32_t get_retries_ = 0;        // Retransmissions of the outstanding GET.
+  uint64_t txn_retransmits_ = 0;    // All execute-phase re-sends this attempt.
 
   std::unique_ptr<CommitCoordinator> coordinator_;
 };

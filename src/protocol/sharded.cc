@@ -41,7 +41,7 @@ ReadResult ShardedCluster::ReadAt(size_t shard, ReplicaId r, const std::string& 
 ShardedSession::ShardedSession(uint32_t client_id, Transport* transport,
                                TimeSource* time_source, ShardedCluster* cluster, uint64_t seed)
     : client_id_(client_id), transport_(transport), cluster_(cluster),
-      self_(Address::Client(client_id)),
+      retry_(cluster->options().EffectiveRetry()), self_(Address::Client(client_id)),
       clock_(time_source, cluster->options().clock_skew_ns, cluster->options().clock_jitter_ns,
              seed ^ 0x9e3779b9),
       rng_(seed), time_source_(time_source) {
@@ -82,6 +82,8 @@ void ShardedSession::ExecuteAsync(TxnPlan plan, TxnCallback cb) {
   read_values_.clear();
   write_buffer_.clear();
   get_outstanding_ = false;
+  get_retries_ = 0;
+  txn_retransmits_ = 0;
   coordinators_.clear();
   decision_sent_ = false;
   IssueNextOp();
@@ -131,8 +133,8 @@ void ShardedSession::SendGet(const std::string& key) {
   msg.core = static_cast<CoreId>(rng_.NextBounded(cluster_->options().cores_per_replica));
   msg.payload = GetRequest{last_tid_, get_seq_, key};
   transport_->Send(std::move(msg));
-  if (cluster_->options().retry_timeout_ns != 0) {
-    transport_->SetTimer(self_, 0, cluster_->options().retry_timeout_ns, get_seq_);
+  if (retry_.enabled()) {
+    transport_->SetTimer(self_, 0, retry_.DelayNanos(get_retries_, rng_), get_seq_);
   }
 }
 
@@ -150,7 +152,12 @@ void ShardedSession::StartCommit() {
   }
   if (by_shard.empty()) {
     // Empty transaction commits trivially.
-    FinishTxn(TxnResult::kCommit, /*fast_path=*/true);
+    TxnOutcome out;
+    out.result = TxnResult::kCommit;
+    out.path = CommitPath::kFast;
+    out.tid = last_tid_;
+    out.commit_ts = last_ts_;
+    FinishTxn(out);
     return;
   }
 
@@ -158,7 +165,7 @@ void ShardedSession::StartCommit() {
   for (auto& [shard, sets] : by_shard) {
     auto coordinator = std::make_unique<CommitCoordinator>(
         transport_, self_, cluster_->options().quorum, core_, last_tid_, last_ts_,
-        std::move(sets.first), std::move(sets.second), cluster_->options().retry_timeout_ns,
+        std::move(sets.first), std::move(sets.second), retry_,
         kCoordTimerBase + (txn_seq_ * 64 + shard_index) * 4, /*done=*/nullptr);
     coordinator->set_defer_decision(true);
     coordinator->set_group_base(cluster_->GlobalId(shard, 0));
@@ -179,6 +186,9 @@ void ShardedSession::MaybeFinishCommit() {
   bool all_commit = true;
   bool any_failed = false;
   bool all_fast = true;
+  AbortReason fail_reason = AbortReason::kNone;
+  uint64_t coord_retransmits = 0;
+  bool recovered = false;
   for (auto& [shard, coordinator] : coordinators_) {
     (void)shard;
     if (!coordinator->done()) {
@@ -187,8 +197,15 @@ void ShardedSession::MaybeFinishCommit() {
     }
     const CommitOutcome& outcome = coordinator->outcome();
     all_commit = all_commit && outcome.result == TxnResult::kCommit;
-    any_failed = any_failed || outcome.result == TxnResult::kFailed;
-    all_fast = all_fast && outcome.fast_path;
+    if (outcome.result == TxnResult::kFailed) {
+      any_failed = true;
+      if (fail_reason == AbortReason::kNone) {
+        fail_reason = outcome.reason;
+      }
+    }
+    all_fast = all_fast && outcome.fast_path();
+    coord_retransmits += outcome.retransmits;
+    recovered = recovered || outcome.epoch_bumped;
   }
   if (!all_done) {
     return;
@@ -200,18 +217,51 @@ void ShardedSession::MaybeFinishCommit() {
     (void)shard;
     coordinator->BroadcastFinal(commit);
   }
+  TxnOutcome out;
+  out.tid = last_tid_;
+  out.commit_ts = last_ts_;
+  out.retransmits = txn_retransmits_ + coord_retransmits;
+  out.recovered = recovered;
   if (any_failed) {
-    FinishTxn(TxnResult::kFailed, false);
+    out.result = TxnResult::kFailed;
+    out.reason = fail_reason != AbortReason::kNone ? fail_reason : AbortReason::kNoQuorum;
+  } else if (!commit) {
+    out.result = TxnResult::kAbort;
+    // A single-shard abort is the shard's own OCC conflict; with multiple
+    // shards involved, the conjunction (atomic commitment) is what killed it.
+    out.reason =
+        coordinators_.size() > 1 ? AbortReason::kShardAbort : AbortReason::kOccConflict;
   } else {
-    FinishTxn(commit ? TxnResult::kCommit : TxnResult::kAbort, all_fast);
+    out.result = TxnResult::kCommit;
+    out.path = all_fast ? CommitPath::kFast : CommitPath::kSlow;
   }
+  FinishTxn(out);
 }
 
-void ShardedSession::FinishTxn(TxnResult result, bool fast_path) {
-  switch (result) {
+void ShardedSession::FailTxn(AbortReason reason) {
+  for (auto& [shard, coordinator] : coordinators_) {
+    (void)shard;
+    txn_retransmits_ += coordinator->outcome().retransmits;
+  }
+  coordinators_.clear();
+  TxnOutcome out;
+  out.result = TxnResult::kFailed;
+  out.reason = reason;
+  out.tid = last_tid_;
+  out.retransmits = txn_retransmits_;
+  FinishTxn(out);
+}
+
+bool ShardedSession::DeadlineExceeded() const {
+  return retry_.attempt_deadline_ns != 0 &&
+         time_source_->NowNanos() - txn_start_ns_ > retry_.attempt_deadline_ns;
+}
+
+void ShardedSession::FinishTxn(TxnOutcome outcome) {
+  switch (outcome.result) {
     case TxnResult::kCommit:
       stats_.committed++;
-      if (fast_path) {
+      if (outcome.fast_path()) {
         stats_.fast_path_commits++;
       } else {
         stats_.slow_path_commits++;
@@ -224,12 +274,19 @@ void ShardedSession::FinishTxn(TxnResult result, bool fast_path) {
       stats_.failed++;
       break;
   }
+  stats_.retransmits += outcome.retransmits;
+  if (outcome.reason == AbortReason::kNoQuorum || outcome.reason == AbortReason::kDeadline) {
+    stats_.timeouts++;
+  }
+  if (outcome.recovered) {
+    stats_.recoveries++;
+  }
   stats_.commit_latency.Record(time_source_->NowNanos() - txn_start_ns_);
   active_ = false;
   TxnCallback cb = std::move(callback_);
   callback_ = nullptr;
   if (cb) {
-    cb(result, fast_path);
+    cb(outcome);
   }
 }
 
@@ -240,6 +297,7 @@ void ShardedSession::Receive(Message&& msg) {
       return;
     }
     get_outstanding_ = false;
+    get_retries_ = 0;
     const Op& op = plan_.ops[next_op_];
     read_set_.push_back(ReadSetEntry{reply->key, reply->found ? reply->wts : kInvalidTimestamp});
     read_values_[reply->key] = reply->found ? reply->value : std::string();
@@ -256,6 +314,10 @@ void ShardedSession::Receive(Message&& msg) {
       return;
     }
     if (timer->timer_id >= kCoordTimerBase) {
+      if (!decision_sent_ && !coordinators_.empty() && DeadlineExceeded()) {
+        FailTxn(AbortReason::kDeadline);
+        return;
+      }
       for (auto& [shard, coordinator] : coordinators_) {
         (void)shard;
         if (coordinator->OnTimer(timer->timer_id)) {
@@ -266,6 +328,15 @@ void ShardedSession::Receive(Message&& msg) {
       return;
     }
     if (get_outstanding_ && timer->timer_id == get_seq_) {
+      if (DeadlineExceeded()) {
+        FailTxn(AbortReason::kDeadline);
+        return;
+      }
+      if (++get_retries_ > retry_.max_attempts) {
+        FailTxn(AbortReason::kNoQuorum);
+        return;
+      }
+      txn_retransmits_++;
       SendGet(get_key_);
     }
     return;

@@ -46,9 +46,19 @@ struct ShardedOptions {
   size_t num_shards = 2;
   QuorumConfig quorum = QuorumConfig::ForReplicas(3);
   size_t cores_per_replica = 1;
+  // Retransmission/backoff policy; a disabled policy never retransmits.
+  RetryPolicy retry;
+  // Deprecated alias for retry.timeout_ns (folded when `retry` is disabled).
   uint64_t retry_timeout_ns = 0;
   int64_t clock_skew_ns = 0;
   uint64_t clock_jitter_ns = 0;
+
+  RetryPolicy EffectiveRetry() const {
+    if (!retry.enabled() && retry_timeout_ns != 0) {
+      return RetryPolicy::WithTimeout(retry_timeout_ns);
+    }
+    return retry;
+  }
 };
 
 // Owns num_shards * n replicas; shard s occupies global replica ids
@@ -110,7 +120,9 @@ class ShardedSession : public ClientSession {
   void SendGet(const std::string& key);
   void StartCommit();
   void MaybeFinishCommit();
-  void FinishTxn(TxnResult result, bool fast_path);
+  void FailTxn(AbortReason reason);
+  void FinishTxn(TxnOutcome outcome);
+  bool DeadlineExceeded() const;
 
   // Same threading contract as MeerkatSession: ExecuteAsync (app thread) and
   // Receive (endpoint worker) both mutate per-transaction state; recursive
@@ -120,6 +132,7 @@ class ShardedSession : public ClientSession {
   const uint32_t client_id_;
   Transport* const transport_;
   ShardedCluster* const cluster_;
+  const RetryPolicy retry_;
   const Address self_;
   LooselySyncedClock clock_;
   Rng rng_;
@@ -144,6 +157,8 @@ class ShardedSession : public ClientSession {
   bool get_outstanding_ = false;
   uint64_t get_seq_ = 0;
   std::string get_key_;
+  uint32_t get_retries_ = 0;
+  uint64_t txn_retransmits_ = 0;
 
   // shard -> deferred per-shard coordinator for the in-flight commit.
   std::map<size_t, std::unique_ptr<CommitCoordinator>> coordinators_;

@@ -2,6 +2,6 @@
 
 namespace meerkat {
 
-thread_local SimContext* SimContext::current_ = nullptr;
+thread_local constinit SimContext* SimContext::current_ = nullptr;
 
 }  // namespace meerkat

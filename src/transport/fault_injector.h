@@ -2,19 +2,36 @@
 //
 // Meerkat assumes an asynchronous network that may arbitrarily delay, drop,
 // duplicate, or reorder messages (paper §4.1). The injector decides, per
-// message, what the network does to it. It also models replica crashes
-// (a crashed replica neither receives nor sends) and directed link blocks
+// message, what the network does to it. It also models endpoint crashes
+// (a crashed endpoint neither receives nor sends) and directed link blocks
 // (partitions).
+//
+// Faults come from two layers:
+//   * probabilistic knobs (drop/duplicate probability, uniform extra delay) —
+//     background chaos, seeded for reproducibility;
+//   * a scripted FaultPlan — rules that fire on the nth matching message,
+//     giving protocol-step-granular drills ("crash the replica receiving the
+//     3rd VALIDATE"). See src/transport/fault_plan.h.
+//
+// Scripted crash actions mark the endpoint crashed (network-level) and invoke
+// the registered crash hook so the harness can wipe the endpoint's volatile
+// state. The hook runs inline inside Send on the sending thread and MUST NOT
+// block: under the simulator (serial execution) any hook is safe; under the
+// threaded runtime wire only non-blocking hooks, or crash endpoints
+// externally via CrashReplica()/CrashClient().
 
 #ifndef MEERKAT_SRC_TRANSPORT_FAULT_INJECTOR_H_
 #define MEERKAT_SRC_TRANSPORT_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <set>
 #include <utility>
+#include <vector>
 
 #include "src/common/rng.h"
+#include "src/transport/fault_plan.h"
 #include "src/transport/message.h"
 
 namespace meerkat {
@@ -27,31 +44,104 @@ class FaultInjector {
     uint64_t extra_delay_ns = 0;
   };
 
+  using CrashHook = std::function<void(const Address&)>;
+
   explicit FaultInjector(uint64_t seed = 42) : rng_(seed) {}
+
+  // Replaces all probabilistic knobs and scripted rules with `plan`, reseeds
+  // the RNG, and zeroes the per-rule match counters. Installing the same plan
+  // before identical runs reproduces identical fault schedules.
+  void InstallPlan(const FaultPlan& plan) {
+    std::lock_guard<std::mutex> lock(mu_);
+    rng_.Seed(plan.seed);
+    drop_probability_ = plan.drop_probability;
+    duplicate_probability_ = plan.duplicate_probability;
+    max_extra_delay_ns_ = plan.max_extra_delay_ns;
+    rules_ = plan.rules;
+    rule_matches_.assign(rules_.size(), 0);
+  }
+
+  // Called when a scripted kCrashDst/kCrashSrc rule fires, with the crashed
+  // endpoint's address, after it has been marked crashed at the network
+  // level. Runs inline inside Send; must not block (see file comment).
+  void SetCrashHook(CrashHook hook) {
+    std::lock_guard<std::mutex> lock(mu_);
+    crash_hook_ = std::move(hook);
+  }
 
   // Decides the fate of one message. Thread-safe.
   Verdict Judge(const Message& msg) {
-    std::lock_guard<std::mutex> lock(mu_);
     Verdict v;
-    if (IsCrashedLocked(msg.src) || IsCrashedLocked(msg.dst)) {
-      v.drop = true;
-      return v;
+    std::vector<Address> crashes;
+    CrashHook hook;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (IsCrashedLocked(msg.src) || IsCrashedLocked(msg.dst)) {
+        v.drop = true;
+        return v;
+      }
+      if (blocked_links_.count(LinkKey(msg.src, msg.dst)) != 0) {
+        v.drop = true;
+        return v;
+      }
+      // Scripted rules fire before the probabilistic layer so a drill's
+      // schedule does not depend on the chaos knobs.
+      for (size_t i = 0; i < rules_.size(); i++) {
+        const FaultRule& rule = rules_[i];
+        if (!MatchesLocked(rule, msg)) {
+          continue;
+        }
+        uint64_t ordinal = ++rule_matches_[i];
+        if (ordinal <= rule.after ||
+            (rule.count != 0 && ordinal > rule.after + rule.count)) {
+          continue;
+        }
+        switch (rule.action) {
+          case FaultAction::kDrop:
+            v.drop = true;
+            break;
+          case FaultAction::kDelay:
+            v.extra_delay_ns += rule.delay_ns;
+            break;
+          case FaultAction::kDuplicate:
+            v.duplicate = true;
+            break;
+          case FaultAction::kCrashDst:
+          case FaultAction::kCrashSrc: {
+            // The endpoint dies at this protocol step: the triggering message
+            // is lost with it (not yet processed / never fully sent).
+            const Address& target =
+                rule.action == FaultAction::kCrashDst ? msg.dst : msg.src;
+            CrashLocked(target);
+            crashes.push_back(target);
+            v.drop = true;
+            break;
+          }
+        }
+      }
+      if (v.drop) {
+        dropped_++;
+      } else {
+        if (drop_probability_ > 0 && rng_.NextBool(drop_probability_)) {
+          v.drop = true;
+          dropped_++;
+        }
+        if (!v.drop && duplicate_probability_ > 0 && rng_.NextBool(duplicate_probability_)) {
+          v.duplicate = true;
+          duplicated_++;
+        }
+        if (!v.drop && max_extra_delay_ns_ > 0) {
+          v.extra_delay_ns += rng_.NextBounded(max_extra_delay_ns_ + 1);
+        }
+      }
+      hook = crash_hook_;
     }
-    if (blocked_links_.count(LinkKey(msg.src, msg.dst)) != 0) {
-      v.drop = true;
-      return v;
-    }
-    if (drop_probability_ > 0 && rng_.NextBool(drop_probability_)) {
-      v.drop = true;
-      dropped_++;
-      return v;
-    }
-    if (duplicate_probability_ > 0 && rng_.NextBool(duplicate_probability_)) {
-      v.duplicate = true;
-      duplicated_++;
-    }
-    if (max_extra_delay_ns_ > 0) {
-      v.extra_delay_ns = rng_.NextBounded(max_extra_delay_ns_ + 1);
+    // Hook invocations happen outside the lock: the hook typically calls back
+    // into the system (CrashAndRestart) which may send messages of its own.
+    if (hook) {
+      for (const Address& a : crashes) {
+        hook(a);
+      }
     }
     return v;
   }
@@ -88,6 +178,21 @@ class FaultInjector {
     return crashed_replicas_.count(id) != 0;
   }
 
+  void CrashClient(uint32_t id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    crashed_clients_.insert(id);
+  }
+
+  void RecoverClient(uint32_t id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    crashed_clients_.erase(id);
+  }
+
+  bool IsClientCrashed(uint32_t id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return crashed_clients_.count(id) != 0;
+  }
+
   // Blocks src -> dst delivery (directed). Call twice for a symmetric cut.
   void BlockLink(const Address& src, const Address& dst) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -109,6 +214,13 @@ class FaultInjector {
     return dropped_;
   }
 
+  // Matches observed by scripted rule `i` of the installed plan (tests assert
+  // a drill's trigger actually fired).
+  uint64_t rule_matches(size_t i) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return i < rule_matches_.size() ? rule_matches_[i] : 0;
+  }
+
  private:
   static uint64_t LinkKey(const Address& src, const Address& dst) {
     auto enc = [](const Address& a) -> uint64_t {
@@ -118,7 +230,37 @@ class FaultInjector {
   }
 
   bool IsCrashedLocked(const Address& a) const {
-    return a.kind == Address::Kind::kReplica && crashed_replicas_.count(a.id) != 0;
+    if (a.kind == Address::Kind::kReplica) {
+      return crashed_replicas_.count(a.id) != 0;
+    }
+    return crashed_clients_.count(a.id) != 0;
+  }
+
+  void CrashLocked(const Address& a) {
+    if (a.kind == Address::Kind::kReplica) {
+      crashed_replicas_.insert(a.id);
+    } else {
+      crashed_clients_.insert(a.id);
+    }
+  }
+
+  bool MatchesLocked(const FaultRule& rule, const Message& msg) const {
+    if (rule.kind != MsgKind::kAny && rule.kind != KindOf(msg.payload)) {
+      return false;
+    }
+    auto match_endpoint = [](const Address& a, int replica_filter, int client_filter) {
+      if (replica_filter >= 0 &&
+          (a.kind != Address::Kind::kReplica || a.id != static_cast<uint32_t>(replica_filter))) {
+        return false;
+      }
+      if (client_filter >= 0 &&
+          (a.kind != Address::Kind::kClient || a.id != static_cast<uint32_t>(client_filter))) {
+        return false;
+      }
+      return true;
+    };
+    return match_endpoint(msg.src, rule.src_replica, rule.src_client) &&
+           match_endpoint(msg.dst, rule.dst_replica, rule.dst_client);
   }
 
   mutable std::mutex mu_;
@@ -126,7 +268,11 @@ class FaultInjector {
   double drop_probability_ = 0.0;
   double duplicate_probability_ = 0.0;
   uint64_t max_extra_delay_ns_ = 0;
+  std::vector<FaultRule> rules_;
+  std::vector<uint64_t> rule_matches_;
+  CrashHook crash_hook_;
   std::set<ReplicaId> crashed_replicas_;
+  std::set<uint32_t> crashed_clients_;
   std::set<uint64_t> blocked_links_;
   uint64_t dropped_ = 0;
   uint64_t duplicated_ = 0;

@@ -29,6 +29,7 @@ class SimTransport : public Transport {
   void SetTimer(const Address& to, CoreId core, uint64_t delay_ns, uint64_t timer_id) override;
 
   FaultInjector& faults() { return faults_; }
+  FaultInjector* fault_injector() override { return &faults_; }
 
   // The simulated CPU an endpoint runs on, exposed so harnesses can schedule
   // workload-start events onto client actors.

@@ -42,6 +42,7 @@ class ThreadedTransport : public Transport {
   void SetTimer(const Address& to, CoreId core, uint64_t delay_ns, uint64_t timer_id) override;
 
   FaultInjector& faults() { return faults_; }
+  FaultInjector* fault_injector() override { return &faults_; }
 
   // Stops all worker threads and the timer thread. Idempotent; also called by
   // the destructor. After Stop, Send is a no-op.

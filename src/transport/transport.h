@@ -17,6 +17,8 @@
 
 namespace meerkat {
 
+class FaultInjector;
+
 // Handler for inbound messages. Implementations must be safe to call from the
 // transport's delivery context (a core worker thread in the threaded runtime;
 // the simulator's event loop in the simulated runtime).
@@ -50,6 +52,11 @@ class Transport {
   // time depending on the runtime). Timers are how receivers implement
   // retransmission and failure detection without blocking.
   virtual void SetTimer(const Address& to, CoreId core, uint64_t delay_ns, uint64_t timer_id) = 0;
+
+  // The transport's fault injector, if it has one (both in-process transports
+  // do). Lets CreateSystem install a SystemOptions::fault_plan without the
+  // caller knowing the concrete transport. nullptr = faults unsupported.
+  virtual FaultInjector* fault_injector() { return nullptr; }
 };
 
 }  // namespace meerkat

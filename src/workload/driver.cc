@@ -13,12 +13,12 @@ struct ClientLoop {
   Workload* workload = nullptr;
   std::atomic<bool>* stop = nullptr;
   std::atomic<size_t>* active = nullptr;
-  std::function<void(ClientSession&, TxnResult)>* on_done = nullptr;
+  std::function<void(ClientSession&, const TxnOutcome&)>* on_done = nullptr;
 
   void StartNext() {
-    session->ExecuteAsync(workload->NextTxn(rng), [this](TxnResult result, bool) {
+    session->ExecuteAsync(workload->NextTxn(rng), [this](const TxnOutcome& outcome) {
       if (on_done != nullptr && *on_done) {
-        (*on_done)(*session, result);
+        (*on_done)(*session, outcome);
       }
       if (stop != nullptr && stop->load(std::memory_order_acquire)) {
         active->fetch_sub(1, std::memory_order_acq_rel);

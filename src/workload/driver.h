@@ -51,7 +51,7 @@ struct ThreadedRunOptions {
   bool load_initial_keys = true;
   // Per-transaction completion hook (serializability checkers); invoked on
   // the client's worker thread, synchronized externally by the caller.
-  std::function<void(ClientSession&, TxnResult)> on_txn_done;
+  std::function<void(ClientSession&, const TxnOutcome&)> on_txn_done;
 };
 
 RunResult RunThreadedWorkload(System& system, Workload& workload,

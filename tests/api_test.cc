@@ -41,7 +41,11 @@ TEST_P(BlockingClientTest, GetPutRoundTrip) {
   BlockingClient client(h.system(), 1);
 
   EXPECT_FALSE(client.Get("missing").has_value());
-  EXPECT_EQ(client.Put("k", "v1"), TxnResult::kCommit);
+  TxnOutcome put = client.Put("k", "v1");
+  EXPECT_EQ(put.result, TxnResult::kCommit);
+  EXPECT_TRUE(put.committed());
+  EXPECT_NE(put.path, CommitPath::kNone);
+  EXPECT_EQ(put.reason, AbortReason::kNone);
   EXPECT_EQ(client.Get("k").value_or(""), "v1");
 }
 
@@ -56,7 +60,9 @@ TEST_P(BlockingClientTest, TransformRmw) {
   increment.ops.push_back(Op::RmwFn("counter", [](const std::string& v) {
     return std::to_string(std::stoi(v) + 5);
   }));
-  EXPECT_EQ(client.ExecuteWithRetry(increment), TxnResult::kCommit);
+  TxnOutcome outcome = client.ExecuteWithRetry(increment);
+  EXPECT_EQ(outcome.result, TxnResult::kCommit);
+  EXPECT_GE(outcome.attempts, 1u);
   EXPECT_EQ(client.Get("counter").value_or(""), "15");
 }
 
@@ -76,7 +82,7 @@ TEST_P(BlockingClientTest, ConcurrentClientsMakeProgress) {
         plan.ops.push_back(Op::RmwFn("shared", [](const std::string& v) {
           return std::to_string(std::stoll(v) + 1);
         }));
-        if (client.ExecuteWithRetry(plan) == TxnResult::kCommit) {
+        if (client.ExecuteWithRetry(plan).committed()) {
           commits.fetch_add(1);
         }
       }

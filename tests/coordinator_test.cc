@@ -73,11 +73,11 @@ struct CoordinatorUnderTest {
   std::optional<CommitOutcome> outcome;
   std::unique_ptr<CommitCoordinator> coordinator;
 
-  explicit CoordinatorUnderTest(uint64_t retry_ns = 0) {
+  explicit CoordinatorUnderTest(const RetryPolicy& retry = RetryPolicy::Disabled()) {
     coordinator = std::make_unique<CommitCoordinator>(
         &transport, Address::Client(1), kQ3, /*core=*/0, kTid, kTs,
         std::vector<ReadSetEntry>{{"k", Timestamp{1, 0}}},
-        std::vector<WriteSetEntry>{{"k", "v"}}, retry_ns, /*timer_base=*/100,
+        std::vector<WriteSetEntry>{{"k", "v"}}, retry, /*timer_base=*/100,
         [this](const CommitOutcome& o) { outcome = o; });
     coordinator->Start();
   }
@@ -136,7 +136,8 @@ TEST(CommitCoordinatorTest, FastPathCommitOnSupermajority) {
   t.coordinator->OnMessage(ValidateReplyMsg(2, TxnStatus::kValidatedOk));
   ASSERT_TRUE(t.coordinator->done());
   EXPECT_EQ(t.outcome->result, TxnResult::kCommit);
-  EXPECT_TRUE(t.outcome->fast_path);
+  EXPECT_TRUE(t.outcome->fast_path());
+  EXPECT_EQ(t.outcome->reason, AbortReason::kNone);
   EXPECT_EQ(t.transport.Count<CommitRequest>(), 3u);
   EXPECT_TRUE(t.transport.Last<CommitRequest>()->commit);
   EXPECT_EQ(t.transport.Count<AcceptRequest>(), 0u);  // No slow path.
@@ -149,7 +150,8 @@ TEST(CommitCoordinatorTest, FastPathAbortOnSupermajorityAbort) {
   }
   ASSERT_TRUE(t.coordinator->done());
   EXPECT_EQ(t.outcome->result, TxnResult::kAbort);
-  EXPECT_TRUE(t.outcome->fast_path);
+  EXPECT_TRUE(t.outcome->fast_path());
+  EXPECT_EQ(t.outcome->reason, AbortReason::kOccConflict);
   EXPECT_FALSE(t.transport.Last<CommitRequest>()->commit);
 }
 
@@ -170,7 +172,8 @@ TEST(CommitCoordinatorTest, MixedVotesTakeSlowPathAndCommit) {
   t.coordinator->OnMessage(AcceptReplyMsg(1, true));
   ASSERT_TRUE(t.coordinator->done());
   EXPECT_EQ(t.outcome->result, TxnResult::kCommit);
-  EXPECT_FALSE(t.outcome->fast_path);
+  EXPECT_FALSE(t.outcome->fast_path());
+  EXPECT_EQ(t.outcome->path, CommitPath::kSlow);
   EXPECT_EQ(t.transport.Count<CommitRequest>(), 3u);
 }
 
@@ -237,7 +240,7 @@ TEST(CommitCoordinatorTest, SupersededBySufficientAcceptRejects) {
 }
 
 TEST(CommitCoordinatorTest, RetryTimerResendsToMissingReplicasOnly) {
-  CoordinatorUnderTest t(/*retry_ns=*/1000);
+  CoordinatorUnderTest t(RetryPolicy::WithTimeout(1000));
   ASSERT_EQ(t.transport.timers.size(), 1u);
   t.coordinator->OnMessage(ValidateReplyMsg(0, TxnStatus::kValidatedOk));
   size_t before = t.transport.Count<ValidateRequest>();
@@ -248,7 +251,7 @@ TEST(CommitCoordinatorTest, RetryTimerResendsToMissingReplicasOnly) {
 }
 
 TEST(CommitCoordinatorTest, TimerFallsBackToSlowPathWithMajority) {
-  CoordinatorUnderTest t(/*retry_ns=*/1000);
+  CoordinatorUnderTest t(RetryPolicy::WithTimeout(1000));
   t.coordinator->OnMessage(ValidateReplyMsg(0, TxnStatus::kValidatedOk));
   t.coordinator->OnMessage(ValidateReplyMsg(1, TxnStatus::kValidatedOk));
   // Replica 2 is down: the fast path (3 matching) will never materialize.
@@ -259,25 +262,32 @@ TEST(CommitCoordinatorTest, TimerFallsBackToSlowPathWithMajority) {
   t.coordinator->OnMessage(AcceptReplyMsg(1, true));
   ASSERT_TRUE(t.coordinator->done());
   EXPECT_EQ(t.outcome->result, TxnResult::kCommit);
-  EXPECT_FALSE(t.outcome->fast_path);
+  EXPECT_FALSE(t.outcome->fast_path());
+  // Falling back to the slow path re-uses votes already in hand; nothing was
+  // re-sent to the same replica, so it is not counted as a retransmission.
+  EXPECT_EQ(t.outcome->retransmits, 0u);
 }
 
 TEST(CommitCoordinatorTest, RetryExhaustionFails) {
-  CoordinatorUnderTest t(/*retry_ns=*/1000);
-  for (int i = 0; i <= CommitCoordinator::kMaxRetries; i++) {
+  RetryPolicy retry = RetryPolicy::WithTimeout(1000);
+  retry.max_attempts = 5;
+  CoordinatorUnderTest t(retry);
+  for (uint32_t i = 0; i <= retry.max_attempts; i++) {
     ASSERT_FALSE(t.coordinator->done()) << "failed early at retry " << i;
     t.coordinator->OnTimer(100 + CommitCoordinator::kValidatePhaseTimer);
   }
   ASSERT_TRUE(t.coordinator->done());
   EXPECT_EQ(t.outcome->result, TxnResult::kFailed);
+  EXPECT_EQ(t.outcome->reason, AbortReason::kNoQuorum);
+  EXPECT_EQ(t.outcome->retransmits, retry.max_attempts);
 }
 
 TEST(CommitCoordinatorTest, ForcedSlowPathSkipsFastQuorum) {
   CapturingTransport transport;
   std::optional<CommitOutcome> outcome;
   CommitCoordinator coordinator(
-      &transport, Address::Client(1), kQ3, 0, kTid, kTs, {}, {{{"k"}, {"v"}}}, 0, 100,
-      [&outcome](const CommitOutcome& o) { outcome = o; });
+      &transport, Address::Client(1), kQ3, 0, kTid, kTs, {}, {{{"k"}, {"v"}}},
+      RetryPolicy::Disabled(), 100, [&outcome](const CommitOutcome& o) { outcome = o; });
   coordinator.set_force_slow_path(true);
   coordinator.Start();
   for (ReplicaId r = 0; r < 3; r++) {
@@ -288,13 +298,13 @@ TEST(CommitCoordinatorTest, ForcedSlowPathSkipsFastQuorum) {
   coordinator.OnMessage(AcceptReplyMsg(0, true));
   coordinator.OnMessage(AcceptReplyMsg(1, true));
   ASSERT_TRUE(coordinator.done());
-  EXPECT_FALSE(outcome->fast_path);
+  EXPECT_FALSE(outcome->fast_path());
 }
 
 TEST(CommitCoordinatorTest, DeferredModeWithholdsDecisionBroadcast) {
   CapturingTransport transport;
   CommitCoordinator coordinator(&transport, Address::Client(1), kQ3, 0, kTid, kTs, {},
-                                {{{"k"}, {"v"}}}, 0, 100, nullptr);
+                                {{{"k"}, {"v"}}}, RetryPolicy::Disabled(), 100, nullptr);
   coordinator.set_defer_decision(true);
   coordinator.Start();
   for (ReplicaId r = 0; r < 3; r++) {
@@ -311,7 +321,8 @@ TEST(CommitCoordinatorTest, DeferredModeWithholdsDecisionBroadcast) {
 TEST(BackupCoordinatorTest, RebidsAboveCompetingView) {
   CapturingTransport transport;
   std::optional<CommitOutcome> outcome;
-  BackupCoordinator backup(&transport, Address::Client(1), kQ3, 0, kTid, /*view=*/1, 0, 0,
+  BackupCoordinator backup(&transport, Address::Client(1), kQ3, 0, kTid, /*view=*/1,
+                           RetryPolicy::Disabled(), /*timer_base=*/0,
                            [&outcome](const CommitOutcome& o) { outcome = o; });
   backup.Start();
   EXPECT_EQ(transport.Count<CoordChangeRequest>(), 3u);
@@ -334,7 +345,7 @@ TEST(BackupCoordinatorTest, RebidsAboveCompetingView) {
 TEST(BackupCoordinatorTest, GroupBaseAddressesCorrectShard) {
   CapturingTransport transport;
   CommitCoordinator coordinator(&transport, Address::Client(1), kQ3, 0, kTid, kTs, {},
-                                {{{"k"}, {"v"}}}, 0, 100, nullptr);
+                                {{{"k"}, {"v"}}}, RetryPolicy::Disabled(), 100, nullptr);
   coordinator.set_group_base(6);  // Shard 2 of an n=3 sharded deployment.
   coordinator.Start();
   for (const Message& msg : transport.sent) {

@@ -60,9 +60,9 @@ TEST_P(DurabilityFixture, ClientVisibleCommitsSurviveCrashAndEpochChange) {
       std::string value = "v" + std::to_string(rng.Next() % 100000);
       TxnPlan plan;
       plan.ops.push_back(Op::Put(key, value));
-      session->ExecuteAsync(plan, [this, key, value](TxnResult result, bool) {
-        if (result == TxnResult::kCommit) {
-          (*observed)[session->last_tid()] = {key, value};
+      session->ExecuteAsync(plan, [this, key, value](const TxnOutcome& outcome) {
+        if (outcome.committed()) {
+          (*observed)[outcome.tid] = {key, value};
         }
         Next();
       });
@@ -162,7 +162,8 @@ TEST(ClockSkewCorrectnessTest, HugeSkewNeverBreaksSerializability) {
     plan.ops.push_back(Op::Rmw("k", "i" + std::to_string(i)));
     sim.Schedule(sim.now() + 1, transport.ActorFor(Address::Client(session.client_id()), 0),
                  [&](SimContext&) {
-                   session.ExecuteAsync(plan, [&result](TxnResult r, bool) { result = r; });
+                   session.ExecuteAsync(plan,
+                                        [&result](const TxnOutcome& o) { result = o.result; });
                  });
     sim.Run();
     ASSERT_TRUE(result.has_value());

@@ -1,0 +1,227 @@
+// Recovery drills (docs/FAILURES.md): scripted crashes at protocol-step
+// granularity, followed by the kind-appropriate recovery path, with the
+// durability obligation checked through the public System API.
+//
+//   * Replica crash mid-VALIDATE: the cluster keeps committing on the slow
+//     path, then the crashed replica is readmitted (epoch change for Meerkat,
+//     committed-state transfer for the baselines) and no client-visible
+//     commit is lost.
+//   * Client crash mid-commit: the orphaned transaction is cooperatively
+//     terminated by a replica-hosted backup coordinator (paper §5.3.2) and
+//     every replica converges on one final state.
+//   * Determinism: the full drill — chaos, crash, recovery — replays
+//     identically from the same fault-plan seed, for every system kind.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "src/transport/fault_injector.h"
+#include "tests/test_util.h"
+
+namespace meerkat {
+namespace {
+
+bool UsesQuorumCommit(SystemKind kind) {
+  return kind == SystemKind::kMeerkat || kind == SystemKind::kTapir;
+}
+
+// The protocol step whose nth occurrence kills the victim, per kind.
+MsgKind CrashStep(SystemKind kind) {
+  return UsesQuorumCommit(kind) ? MsgKind::kValidateRequest : MsgKind::kReplicateRequest;
+}
+
+// Primary-backup kinds never crash the primary (replica 0); quorum kinds can
+// lose any minority replica.
+ReplicaId Victim(SystemKind kind) { return UsesQuorumCommit(kind) ? 2 : 1; }
+
+// Routes scripted crash rules into the System's crash-restart hook. Safe
+// under the simulator: Judge runs serially inside Send.
+void WireCrashHook(SimHarness& h) {
+  ASSERT_NE(h.transport().fault_injector(), nullptr);
+  System* system = &h.system();
+  h.transport().fault_injector()->SetCrashHook([system](const Address& addr) {
+    if (addr.kind == Address::Kind::kReplica) {
+      system->CrashAndRestartReplica(addr.id);
+    }
+  });
+}
+
+class ReplicaCrashDrillTest : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(ReplicaCrashDrillTest, CrashMidValidateThenRecoveryLosesNoCommit) {
+  SystemKind kind = GetParam();
+  ReplicaId victim = Victim(kind);
+
+  // The 4th step-message addressed to the victim kills it: a few transactions
+  // complete cleanly first, then one is mid-commit when the replica dies.
+  FaultPlan plan;
+  plan.WithSeed(17).CrashDstAtNth(CrashStep(kind), 4, /*dst_replica=*/static_cast<int>(victim));
+
+  SystemOptions options =
+      DefaultOptions(kind).WithRetry(RetryPolicy::WithTimeout(200'000)).WithFaultPlan(plan);
+  SimHarness h(options);
+  WireCrashHook(h);
+
+  auto session = h.MakeSession(1, /*seed=*/5);
+  std::map<std::string, std::string> observed;  // Client-visible commits.
+  for (int i = 0; i < 12; i++) {
+    std::string key = "drill-" + std::to_string(i);
+    std::string value = "v" + std::to_string(i);
+    TxnPlan txn;
+    txn.ops.push_back(Op::Put(key, value));
+    TxnOutcome outcome = h.RunTxnOutcome(*session, txn);
+    // A minority crash never blocks commits: the retry policy falls back to
+    // the slow path (quorum kinds) or the primary drops the dead backup from
+    // its replication quorum (primary-backup kinds).
+    ASSERT_TRUE(outcome.committed()) << ToString(kind) << " txn " << i << " "
+                                     << ToString(outcome.result) << "/" << ToString(outcome.reason);
+    observed[key] = value;
+  }
+
+  // The scripted crash fired and left the victim awaiting readmission.
+  EXPECT_GE(h.transport().fault_injector()->rule_matches(0), 4u);
+  EXPECT_TRUE(h.system().ReplicaRecovering(victim));
+
+  // Restore the network path, then run the kind-appropriate recovery.
+  h.transport().fault_injector()->RecoverReplica(victim);
+  h.system().InitiateRecovery(/*leader=*/0);
+  h.sim().Run();
+  EXPECT_FALSE(h.system().ReplicaRecovering(victim)) << ToString(kind);
+
+  // Durability obligation: every client-visible commit is present on every
+  // replica, including the rebuilt one, and all replicas agree.
+  for (const auto& [key, value] : observed) {
+    for (ReplicaId r = 0; r < 3; r++) {
+      ReadResult read = h.system().ReadAtReplica(r, key);
+      ASSERT_TRUE(read.found) << ToString(kind) << " replica " << r << " lost " << key;
+      EXPECT_EQ(read.value, value) << ToString(kind) << " replica " << r << " " << key;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, ReplicaCrashDrillTest,
+                         ::testing::Values(SystemKind::kMeerkat, SystemKind::kMeerkatPb,
+                                           SystemKind::kTapir, SystemKind::kKuaFu),
+                         [](const ::testing::TestParamInfo<SystemKind>& info) {
+                           std::string name = ToString(info.param);
+                           for (char& c : name) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// A client dies after its first VALIDATE lands (one replica holds a pending
+// transaction, the rest never heard of it). The transaction must not stay
+// stuck: a replica-hosted backup coordinator terminates it (paper §5.3.2).
+TEST(ClientCrashDrillTest, OrphanedCommitIsCooperativelyTerminated) {
+  FaultPlan plan;
+  plan.WithSeed(23).CrashSrcAtNth(MsgKind::kValidateRequest, 2, /*src_client=*/1);
+
+  SystemOptions options = DefaultOptions(SystemKind::kMeerkat)
+                              .WithRetry(RetryPolicy::WithTimeout(200'000))
+                              .WithFaultPlan(plan);
+  SimHarness h(options);
+
+  auto session = h.MakeSession(1, /*seed=*/3);
+  TxnPlan txn;
+  txn.ops.push_back(Op::Put("orphan-key", "never-reported"));
+  TxnOutcome outcome = h.RunTxnOutcome(*session, txn);
+  // The client died mid-commit: it never observed a commit (its replies and
+  // retransmissions all die at the crashed endpoint).
+  EXPECT_FALSE(outcome.committed());
+  EXPECT_GE(h.transport().fault_injector()->rule_matches(0), 2u);
+
+  // Cooperative termination: replica 0 (the one that received VALIDATE #1)
+  // scans for stale pending transactions and finishes them.
+  const Timestamp everything{std::numeric_limits<uint64_t>::max(), 0};
+  size_t started = h.system().RecoverOrphanedTransactions(/*host=*/0, everything);
+  EXPECT_EQ(started, 1u);
+  h.sim().Run();
+
+  // The orphan reached a final state: a second scan finds nothing pending.
+  EXPECT_EQ(h.system().RecoverOrphanedTransactions(/*host=*/0, everything), 0u);
+  h.sim().Run();
+
+  // With a single validated vote (below f+1) the safe decision is abort, and
+  // all replicas agree the write never happened.
+  for (ReplicaId r = 0; r < 3; r++) {
+    EXPECT_FALSE(h.system().ReadAtReplica(r, "orphan-key").found) << "replica " << r;
+  }
+}
+
+// The full drill — background chaos, a scripted mid-commit crash, recovery —
+// replays bit-identically from its fault-plan seed, for every kind. This is
+// what makes the drills usable as regression tests.
+class DrillDeterminismTest
+    : public ::testing::TestWithParam<std::tuple<SystemKind, uint64_t>> {};
+
+std::string RunDrill(SystemKind kind, uint64_t seed) {
+  ReplicaId victim = Victim(kind);
+  FaultPlan plan;
+  plan.WithSeed(seed).DropEvery(0.02).DuplicateEvery(0.01).DelayUpTo(1'500).CrashDstAtNth(
+      CrashStep(kind), 3, /*dst_replica=*/static_cast<int>(victim));
+
+  SystemOptions options =
+      DefaultOptions(kind).WithRetry(RetryPolicy::WithTimeout(200'000)).WithFaultPlan(plan);
+  SimHarness h(options);
+  WireCrashHook(h);
+
+  std::ostringstream sig;
+  auto session = h.MakeSession(1, /*seed=*/seed * 13 + 1);
+  for (int i = 0; i < 8; i++) {
+    TxnPlan txn;
+    txn.ops.push_back(Op::Put("key-" + std::to_string(i), "v" + std::to_string(i)));
+    TxnOutcome outcome = h.RunTxnOutcome(*session, txn);
+    sig << i << ":" << ToString(outcome.result) << "/" << ToString(outcome.path) << "/r"
+        << outcome.retransmits << ";";
+  }
+  sig << "recovering=" << h.system().ReplicaRecovering(victim) << ";";
+
+  h.transport().fault_injector()->RecoverReplica(victim);
+  h.system().InitiateRecovery(/*leader=*/0);
+  h.sim().Run();
+  sig << "post=" << h.system().ReplicaRecovering(victim) << ";";
+
+  // Fold the complete post-recovery state of every replica into the
+  // signature: identical seeds must yield identical clusters.
+  for (ReplicaId r = 0; r < 3; r++) {
+    for (int i = 0; i < 8; i++) {
+      ReadResult read = h.system().ReadAtReplica(r, "key-" + std::to_string(i));
+      sig << r << "/" << i << "=" << (read.found ? read.value : "<none>") << ";";
+    }
+  }
+  return sig.str();
+}
+
+TEST_P(DrillDeterminismTest, SameSeedSameDrill) {
+  auto [kind, seed] = GetParam();
+  std::string first = RunDrill(kind, seed);
+  std::string second = RunDrill(kind, seed);
+  EXPECT_EQ(first, second) << ToString(kind) << " seed " << seed;
+  // The drill recovered: the victim rejoined and holds the workload's keys.
+  EXPECT_NE(first.find("post=0"), std::string::npos) << first;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, DrillDeterminismTest,
+    ::testing::Combine(::testing::Values(SystemKind::kMeerkat, SystemKind::kMeerkatPb,
+                                         SystemKind::kTapir, SystemKind::kKuaFu),
+                       ::testing::Range<uint64_t>(1, 21)),
+    [](const ::testing::TestParamInfo<std::tuple<SystemKind, uint64_t>>& info) {
+      std::string name = ToString(std::get<0>(info.param));
+      for (char& c : name) {
+        if (!isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace meerkat

@@ -83,7 +83,7 @@ TEST_P(AllSystemsSimTest, StaleReadAborts) {
   TxnPlan a_plan;
   a_plan.ops.push_back(Op::Rmw("k", "from-a"));
   h.sim().Schedule(h.sim().now() + 1, a_actor, [&](SimContext&) {
-    a->ExecuteAsync(a_plan, [&](TxnResult r, bool) { a_result = r; });
+    a->ExecuteAsync(a_plan, [&](const TxnOutcome& o) { a_result = o.result; });
   });
   // Run just far enough for a's GET to complete but stall before commit:
   // the GET round trip takes ~2 one-way latencies + processing; 100us is
@@ -96,7 +96,7 @@ TEST_P(AllSystemsSimTest, StaleReadAborts) {
   std::optional<TxnResult> b_result;
   SimActor* b_actor = h.transport().ActorFor(Address::Client(2), 0);
   h.sim().Schedule(h.sim().now() + 2, b_actor, [&](SimContext&) {
-    b->ExecuteAsync(b_plan, [&](TxnResult r, bool) { b_result = r; });
+    b->ExecuteAsync(b_plan, [&](const TxnOutcome& o) { b_result = o.result; });
   });
   h.sim().Run();
 
@@ -123,7 +123,7 @@ TEST_P(AllSystemsSimTest, ConcurrentDisjointTxnsAllCommit) {
     TxnPlan plan;
     plan.ops.push_back(Op::Rmw("key" + std::to_string(i), "updated" + std::to_string(i)));
     h.sim().Schedule(h.sim().now() + 1 + i, actor, [&, i, plan](SimContext&) {
-      sessions[i]->ExecuteAsync(plan, [&, i](TxnResult r, bool) { results[i] = r; });
+      sessions[i]->ExecuteAsync(plan, [&, i](const TxnOutcome& o) { results[i] = o.result; });
     });
   }
   h.sim().Run();

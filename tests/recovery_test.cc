@@ -52,7 +52,8 @@ class MeerkatClusterFixture : public ::testing::Test {
     std::optional<TxnResult> result;
     SimActor* actor = transport_.ActorFor(Address::Client(session.client_id()), 0);
     sim_.Schedule(sim_.now() + 1, actor, [&](SimContext&) {
-      session.ExecuteAsync(std::move(plan), [&result](TxnResult r, bool) { result = r; });
+      session.ExecuteAsync(std::move(plan),
+                           [&result](const TxnOutcome& o) { result = o.result; });
     });
     if (horizon_ns == 0) {
       sim_.Run();
@@ -256,7 +257,7 @@ TEST_F(CoordinatorRecoveryFixture, BackupCoordinatorCommitsOrphanedTxn) {
   std::optional<TxnResult> outcome;
   backup.coordinator = std::make_unique<BackupCoordinator>(
       &transport_, Address::Client(97), quorum_, /*core=*/0, tid, /*view=*/1,
-      /*retry_timeout_ns=*/200'000, /*timer_base=*/0,
+      RetryPolicy::WithTimeout(200'000), /*timer_base=*/0,
       [&outcome](const CommitOutcome& o) { outcome = o.result; });
   SimActor* actor = transport_.ActorFor(Address::Client(97), 0);
   sim_.Schedule(sim_.now() + 1, actor, [&](SimContext&) { backup.coordinator->Start(); });
@@ -292,7 +293,7 @@ TEST_F(CoordinatorRecoveryFixture, BackupCoordinatorAdoptsAcceptedOutcome) {
   std::optional<TxnResult> outcome;
   backup.coordinator = std::make_unique<BackupCoordinator>(
       &transport_, Address::Client(97), quorum_, /*core=*/0, tid, /*view=*/1,
-      /*retry_timeout_ns=*/200'000, /*timer_base=*/0,
+      RetryPolicy::WithTimeout(200'000), /*timer_base=*/0,
       [&outcome](const CommitOutcome& o) { outcome = o.result; });
   SimActor* actor = transport_.ActorFor(Address::Client(97), 0);
   sim_.Schedule(sim_.now() + 1, actor, [&](SimContext&) { backup.coordinator->Start(); });

@@ -112,8 +112,8 @@ FuzzOutcome RunSchedule(uint64_t seed, int num_clients) {
     TxnPlan plan;
     plan.ops.push_back(Op::Rmw("hot", "from-" + std::to_string(c)));
     uint32_t client = static_cast<uint32_t>(c);
-    sessions.back()->ExecuteAsync(plan, [&outcome, client](TxnResult r, bool) {
-      outcome.results[client] = r;
+    sessions.back()->ExecuteAsync(plan, [&outcome, client](const TxnOutcome& o) {
+      outcome.results[client] = o.result;
     });
   }
   transport.RunToQuiescence();

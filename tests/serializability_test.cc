@@ -64,8 +64,8 @@ TEST_P(SerializabilitySimTest, HotKeyspaceHistoryIsSerializable) {
     YcsbTWorkload* workload;
     SerializabilityChecker* checker;
     void Next() {
-      session->ExecuteAsync(workload->NextTxn(*rng), [this](TxnResult result, bool) {
-        if (result == TxnResult::kCommit) {
+      session->ExecuteAsync(workload->NextTxn(*rng), [this](const TxnOutcome& outcome) {
+        if (outcome.committed()) {
           checker->RecordCommit(*session);
         }
         Next();
@@ -143,8 +143,8 @@ TEST_P(SerializabilityThreadedTest, ConcurrentHistoryIsSerializable) {
   run.duration_ms = 300;
   run.seed = 42;
   run.load_initial_keys = false;
-  run.on_txn_done = [&checker](ClientSession& session, TxnResult result) {
-    if (result == TxnResult::kCommit) {
+  run.on_txn_done = [&checker](ClientSession& session, const TxnOutcome& outcome) {
+    if (outcome.committed()) {
       checker.RecordCommit(session);
     }
   };

@@ -36,7 +36,8 @@ class SessionFixture : public ::testing::Test {
     std::optional<TxnResult> result;
     SimActor* actor = transport_.ActorFor(Address::Client(1), 0);
     sim_.Schedule(sim_.now() + 1, actor, [&](SimContext&) {
-      session.ExecuteAsync(std::move(plan), [&result](TxnResult r, bool) { result = r; });
+      session.ExecuteAsync(std::move(plan),
+                           [&result](const TxnOutcome& o) { result = o.result; });
     });
     if (horizon == 0) {
       sim_.Run();

@@ -33,7 +33,8 @@ class ShardedFixture : public ::testing::Test {
     std::optional<TxnResult> result;
     SimActor* actor = transport_.ActorFor(Address::Client(session.client_id()), 0);
     sim_.Schedule(sim_.now() + 1, actor, [&](SimContext&) {
-      session.ExecuteAsync(std::move(plan), [&result](TxnResult r, bool) { result = r; });
+      session.ExecuteAsync(std::move(plan),
+                           [&result](const TxnOutcome& o) { result = o.result; });
     });
     sim_.Run();
     return result.value_or(TxnResult::kFailed);
@@ -124,7 +125,7 @@ TEST_F(ShardedFixture, OneShardAbortAbortsWholeTxn) {
   s1_plan.ops.push_back(Op::Rmw(b, "b1"));
   (void)stale_version;
   sim_.Schedule(1, actor, [&](SimContext&) {
-    session->ExecuteAsync(s1_plan, [&result](TxnResult r, bool) { result = r; });
+    session->ExecuteAsync(s1_plan, [&result](const TxnOutcome& o) { result = o.result; });
   });
   // s1's two reads take ~2 round trips (~10-12us with default costs); inject
   // the conflicting single-shard write right in between s1's commit window by
@@ -136,7 +137,8 @@ TEST_F(ShardedFixture, OneShardAbortAbortsWholeTxn) {
   TxnPlan w_plan;
   w_plan.ops.push_back(Op::Rmw(b, "b-overwrite"));
   sim_.Schedule(2, writer_actor, [&](SimContext&) {
-    writer->ExecuteAsync(w_plan, [&writer_result](TxnResult r, bool) { writer_result = r; });
+    writer->ExecuteAsync(w_plan,
+                         [&writer_result](const TxnOutcome& o) { writer_result = o.result; });
   });
   sim_.Run();
 
@@ -177,8 +179,8 @@ TEST_F(ShardedFixture, CrossShardHistoryIsSerializable) {
       if (k2 != k1) {
         plan.ops.push_back(Op::Rmw(k2, "v" + std::to_string(rng.Next() % 1000)));
       }
-      session->ExecuteAsync(plan, [this](TxnResult result, bool) {
-        if (result == TxnResult::kCommit) {
+      session->ExecuteAsync(plan, [this](const TxnOutcome& outcome) {
+        if (outcome.committed()) {
           checker->RecordCommit(*session);
         }
         Next();

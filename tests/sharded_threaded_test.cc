@@ -36,9 +36,9 @@ class ShardedThreadedFixture : public ::testing::Test {
     // ExecuteAsync outside mu: the session locks itself, and the completion
     // callback takes mu while holding that lock (same order as
     // BlockingClient::Execute).
-    session.ExecuteAsync(std::move(plan), [&](TxnResult r, bool) {
+    session.ExecuteAsync(std::move(plan), [&](const TxnOutcome& o) {
       std::lock_guard<std::mutex> inner(mu);
-      result = r;
+      result = o.result;
       done = true;
       cv.notify_one();
     });

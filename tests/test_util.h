@@ -37,14 +37,20 @@ class SimHarness {
   // Runs one transaction to completion (drains all resulting events,
   // including the asynchronous commit broadcast).
   TxnResult RunTxn(ClientSession& session, TxnPlan plan) {
-    std::optional<TxnResult> result;
+    return RunTxnOutcome(session, std::move(plan)).result;
+  }
+
+  // Same, returning the full outcome (fault drills assert on path/reason/
+  // retransmit counts, not just the result).
+  TxnOutcome RunTxnOutcome(ClientSession& session, TxnPlan plan) {
+    std::optional<TxnOutcome> outcome;
     SimActor* actor = transport_.ActorFor(Address::Client(session.client_id()), 0);
     sim_.Schedule(sim_.now() + 1, actor, [&](SimContext&) {
       session.ExecuteAsync(std::move(plan),
-                           [&result](TxnResult r, bool) { result = r; });
+                           [&outcome](const TxnOutcome& o) { outcome = o; });
     });
     sim_.Run();
-    return result.value_or(TxnResult::kFailed);
+    return outcome.value_or(TxnOutcome{});
   }
 
   // Reads committed state directly from a replica's store.

@@ -47,8 +47,8 @@ TEST_P(LossyNetworkTest, MeerkatSurvivesDrops) {
   run.num_clients = 3;
   run.duration_ms = 250;
   run.load_initial_keys = false;
-  run.on_txn_done = [&checker](ClientSession& session, TxnResult result) {
-    if (result == TxnResult::kCommit) {
+  run.on_txn_done = [&checker](ClientSession& session, const TxnOutcome& outcome) {
+    if (outcome.committed()) {
       checker.RecordCommit(session);
     }
   };
@@ -77,18 +77,18 @@ TEST(FiveReplicaTest, FastAndSlowPathQuorums) {
   BlockingClient client(h.system(), 1);
   TxnPlan plan;
   plan.ops.push_back(Op::Rmw("k", "v1"));
-  ASSERT_EQ(client.ExecuteWithRetry(plan), TxnResult::kCommit);
+  ASSERT_EQ(client.ExecuteWithRetry(plan).result, TxnResult::kCommit);
   EXPECT_GE(client.session().stats().fast_path_commits, 1u);
 
   h.transport().faults().CrashReplica(4);
   TxnPlan plan2;
   plan2.ops.push_back(Op::Rmw("k", "v2"));
-  ASSERT_EQ(client.ExecuteWithRetry(plan2), TxnResult::kCommit);
+  ASSERT_EQ(client.ExecuteWithRetry(plan2).result, TxnResult::kCommit);
 
   h.transport().faults().CrashReplica(3);
   TxnPlan plan3;
   plan3.ops.push_back(Op::Rmw("k", "v3"));
-  ASSERT_EQ(client.ExecuteWithRetry(plan3), TxnResult::kCommit);
+  ASSERT_EQ(client.ExecuteWithRetry(plan3).result, TxnResult::kCommit);
   // With 3 of 5 alive the fast quorum (4) is unreachable: that commit must
   // have used the slow path.
   EXPECT_GE(client.session().stats().slow_path_commits, 1u);
@@ -124,8 +124,8 @@ TEST(EpochChangeUnderTrafficTest, TrafficResumesAfterChange) {
       // ExecuteAsync outside mu: the session locks itself, and the completion
       // callback takes mu while holding that lock (same order as
       // BlockingClient::Execute).
-      session.ExecuteAsync(plan, [&](TxnResult r, bool) {
-        if (r == TxnResult::kCommit) {
+      session.ExecuteAsync(plan, [&](const TxnOutcome& o) {
+        if (o.committed()) {
           commits.fetch_add(1, std::memory_order_relaxed);
         }
         std::lock_guard<std::mutex> inner(mu);
@@ -200,9 +200,9 @@ TEST(TrecordCheckpointTest, TrimmedReplicaStillServesTraffic) {
     plan.ops.push_back(Op::Rmw("k", value));
     // ExecuteAsync outside mu: the session locks itself, and the completion
     // callback takes mu while holding that lock.
-    session.ExecuteAsync(plan, [&](TxnResult r, bool) {
+    session.ExecuteAsync(plan, [&](const TxnOutcome& o) {
       std::lock_guard<std::mutex> inner(mu);
-      result = r;
+      result = o.result;
       done = true;
       cv.notify_one();
     });
