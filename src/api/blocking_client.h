@@ -8,14 +8,13 @@
 #define MEERKAT_SRC_API_BLOCKING_CLIENT_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 
 #include "src/api/system.h"
+#include "src/common/annotations.h"
 #include "src/common/retry.h"
 #include "src/common/rng.h"
 
@@ -29,7 +28,7 @@ class BlockingClient {
   // Runs one transaction to completion. Blocks the calling thread.
   TxnOutcome Execute(TxnPlan plan) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       done_ = false;
     }
     // ExecuteAsync is called outside mu_: the session takes its own lock, and
@@ -40,13 +39,15 @@ class BlockingClient {
       // Notify under the lock: once done_ is observable the waiter may return
       // from Execute and destroy this client, so the signal must complete
       // before the lock is released.
-      std::lock_guard<std::mutex> inner(mu_);
+      MutexLock inner(mu_);
       outcome_ = outcome;
       done_ = true;
-      cv_.notify_one();
+      cv_.NotifyOne();
     });
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return done_; });
+    MutexLock lock(mu_);
+    while (!done_) {
+      cv_.Wait(mu_);
+    }
     return outcome_;
   }
 
@@ -117,10 +118,10 @@ class BlockingClient {
  private:
   std::unique_ptr<ClientSession> session_;
   Rng backoff_rng_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool done_ = false;
-  TxnOutcome outcome_;
+  Mutex mu_;
+  CondVar cv_;
+  bool done_ GUARDED_BY(mu_) = false;
+  TxnOutcome outcome_ GUARDED_BY(mu_);
 };
 
 }  // namespace meerkat

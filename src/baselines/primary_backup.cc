@@ -1,7 +1,6 @@
 #include "src/baselines/primary_backup.h"
 
 #include <cassert>
-#include <mutex>
 #include <utility>
 
 #include "src/store/occ.h"
@@ -9,7 +8,7 @@
 namespace meerkat {
 
 uint64_t SharedLog::Append(const TxnId& tid, Timestamp ts) {
-  std::lock_guard<SharedMutex> lock(mutex_);
+  LockGuard<SharedMutex> lock(mutex_);
   uint64_t index = next_index_++;
   entries_.push_back(Entry{tid, ts, index});
   if (entries_.size() > capacity_) {
@@ -218,7 +217,7 @@ PrimaryBackupSession::PrimaryBackupSession(uint32_t client_id, Transport* transp
 PrimaryBackupSession::~PrimaryBackupSession() { transport_->UnregisterClient(client_id_); }
 
 void PrimaryBackupSession::ExecuteAsync(TxnPlan plan, TxnCallback cb) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   assert(!active_ && "PrimaryBackupSession runs one transaction at a time");
   active_ = true;
   committing_ = false;
@@ -361,7 +360,7 @@ void PrimaryBackupSession::FinishTxn(TxnResult result, AbortReason reason) {
 }
 
 void PrimaryBackupSession::Receive(Message&& msg) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   if (const auto* reply = std::get_if<GetReply>(&msg.payload)) {
     if (!active_ || !get_outstanding_ || reply->req_seq != get_seq_) {
       return;

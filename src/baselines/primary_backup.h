@@ -24,13 +24,13 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/api/client_session.h"
+#include "src/common/annotations.h"
 #include "src/common/clock.h"
 #include "src/common/retry.h"
 #include "src/common/rng.h"
@@ -68,14 +68,18 @@ class SharedLog {
   // Appends and returns the entry's log index.
   uint64_t Append(const TxnId& tid, Timestamp ts);
 
-  size_t SizeForTesting() const { return entries_.size(); }
+  size_t SizeForTesting() const {
+    LockGuard<SharedMutex> lock(mutex_);
+    return entries_.size();
+  }
   uint64_t mutex_acquisitions() const { return mutex_.acquisitions(); }
 
  private:
-  SharedMutex mutex_;
+  // mutable so const accessors (SizeForTesting) can lock.
+  mutable SharedMutex mutex_;
   const size_t capacity_;
-  std::deque<Entry> entries_;
-  uint64_t next_index_ = 0;
+  std::deque<Entry> entries_ GUARDED_BY(mutex_);
+  uint64_t next_index_ GUARDED_BY(mutex_) = 0;
 };
 
 class PrimaryBackupReplica {
@@ -116,8 +120,11 @@ class PrimaryBackupReplica {
   // MarkBackupUp it rejoins (after state transfer). Finalization of
   // already-pending transactions happens lazily, on the client's
   // PrimaryCommitRequest retransmission.
-  void MarkBackupDown(ReplicaId r) { down_mask_.fetch_or(1u << r); }
-  void MarkBackupUp(ReplicaId r) { down_mask_.fetch_and(~(1u << r)); }
+  // acq_rel: the release half orders the caller's state-transfer writes
+  // before the mask update; the acquire half pairs with BackupDown's acquire
+  // load so a primary that observes the flip also observes those writes.
+  void MarkBackupDown(ReplicaId r) { down_mask_.fetch_or(1u << r, std::memory_order_acq_rel); }
+  void MarkBackupUp(ReplicaId r) { down_mask_.fetch_and(~(1u << r), std::memory_order_acq_rel); }
 
  private:
   class CoreReceiver : public TransportReceiver {
@@ -150,7 +157,9 @@ class PrimaryBackupReplica {
   void SendReplicate(CoreId core, ReplicaId to, const TxnId& tid, const PendingTxn& txn);
   // Finalizes the pending transaction if every live backup has acked.
   void TryFinalize(CoreId core, const TxnId& tid);
-  bool BackupDown(ReplicaId r) const { return (down_mask_.load() & (1u << r)) != 0; }
+  ZCP_FAST_PATH bool BackupDown(ReplicaId r) const {
+    return (down_mask_.load(std::memory_order_acquire) & (1u << r)) != 0;
+  }
   void Reply(const Address& to, CoreId core, Payload payload);
 
   const ReplicaId id_;
@@ -207,12 +216,25 @@ class PrimaryBackupSession : public ClientSession {
   uint32_t client_id() const override { return client_id_; }
   RunStats& stats() override { return stats_; }
 
-  TxnId last_tid() const override { return tid_; }
+  // Accessors lock: tests may poll from a different thread than the endpoint
+  // worker. The reference returned by last_read_set() is only stable while no
+  // transaction is in flight (quiesced inspection).
+  TxnId last_tid() const override {
+    RecursiveMutexLock lock(mu_);
+    return tid_;
+  }
   // For KuaFu++ this is the counter-derived timestamp the primary reported;
   // for Meerkat-PB it is the client-proposed timestamp the primary used.
-  Timestamp last_commit_ts() const override { return last_commit_ts_; }
-  const std::vector<ReadSetEntry>& last_read_set() const override { return read_set_; }
+  Timestamp last_commit_ts() const override {
+    RecursiveMutexLock lock(mu_);
+    return last_commit_ts_;
+  }
+  const std::vector<ReadSetEntry>& last_read_set() const override {
+    RecursiveMutexLock lock(mu_);
+    return read_set_;
+  }
   std::vector<WriteSetEntry> last_write_set() const override {
+    RecursiveMutexLock lock(mu_);
     std::vector<WriteSetEntry> out;
     out.reserve(write_buffer_.size());
     for (const auto& [key, value] : write_buffer_) {
@@ -221,6 +243,7 @@ class PrimaryBackupSession : public ClientSession {
     return out;
   }
   std::optional<std::string> last_read_value(const std::string& key) const override {
+    RecursiveMutexLock lock(mu_);
     auto it = read_values_.find(key);
     if (it == read_values_.end()) {
       return std::nullopt;
@@ -231,52 +254,52 @@ class PrimaryBackupSession : public ClientSession {
  private:
   static constexpr uint64_t kCommitTimerBase = 1ULL << 62;
 
-  void IssueNextOp();
-  void SendGet(const std::string& key);
-  void StartCommit();
-  void SendCommitRequest();
-  void FailTxn(AbortReason reason);
-  void FinishTxn(TxnResult result, AbortReason reason);
-  bool DeadlineExceeded() const;
+  void IssueNextOp() REQUIRES(mu_);
+  void SendGet(const std::string& key) REQUIRES(mu_);
+  void StartCommit() REQUIRES(mu_);
+  void SendCommitRequest() REQUIRES(mu_);
+  void FailTxn(AbortReason reason) REQUIRES(mu_);
+  void FinishTxn(TxnResult result, AbortReason reason) REQUIRES(mu_);
+  bool DeadlineExceeded() const REQUIRES(mu_);
 
   // Same threading contract as MeerkatSession: ExecuteAsync (app thread) and
   // Receive (endpoint worker) both mutate per-transaction state; recursive
   // because completion callbacks may start the next transaction synchronously.
-  mutable std::recursive_mutex mu_;
+  mutable RecursiveMutex mu_;
 
   const uint32_t client_id_;
   Transport* const transport_;
   const Options options_;
   const RetryPolicy retry_;
   const Address self_;
-  LooselySyncedClock clock_;
-  Rng rng_;
+  LooselySyncedClock clock_ GUARDED_BY(mu_);
+  Rng rng_ GUARDED_BY(mu_);
   TimeSource* const time_source_;
 
   RunStats stats_;
 
-  bool active_ = false;
-  bool committing_ = false;
-  TxnPlan plan_;
-  TxnCallback callback_;
-  size_t next_op_ = 0;
-  CoreId core_ = 0;
-  uint64_t txn_seq_ = 0;
-  uint64_t txn_start_ns_ = 0;
-  TxnId tid_;
-  Timestamp ts_;
-  Timestamp last_commit_ts_;
+  bool active_ GUARDED_BY(mu_) = false;
+  bool committing_ GUARDED_BY(mu_) = false;
+  TxnPlan plan_ GUARDED_BY(mu_);
+  TxnCallback callback_ GUARDED_BY(mu_);
+  size_t next_op_ GUARDED_BY(mu_) = 0;
+  CoreId core_ GUARDED_BY(mu_) = 0;
+  uint64_t txn_seq_ GUARDED_BY(mu_) = 0;
+  uint64_t txn_start_ns_ GUARDED_BY(mu_) = 0;
+  TxnId tid_ GUARDED_BY(mu_);
+  Timestamp ts_ GUARDED_BY(mu_);
+  Timestamp last_commit_ts_ GUARDED_BY(mu_);
 
-  std::vector<ReadSetEntry> read_set_;
-  std::unordered_map<std::string, std::string> read_values_;
-  std::map<std::string, std::string> write_buffer_;
+  std::vector<ReadSetEntry> read_set_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::string> read_values_ GUARDED_BY(mu_);
+  std::map<std::string, std::string> write_buffer_ GUARDED_BY(mu_);
 
-  bool get_outstanding_ = false;
-  uint64_t get_seq_ = 0;
-  std::string get_key_;
-  uint32_t get_retries_ = 0;
-  uint32_t commit_retries_ = 0;
-  uint64_t txn_retransmits_ = 0;
+  bool get_outstanding_ GUARDED_BY(mu_) = false;
+  uint64_t get_seq_ GUARDED_BY(mu_) = 0;
+  std::string get_key_ GUARDED_BY(mu_);
+  uint32_t get_retries_ GUARDED_BY(mu_) = 0;
+  uint32_t commit_retries_ GUARDED_BY(mu_) = 0;
+  uint64_t txn_retransmits_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace meerkat

@@ -1,6 +1,5 @@
 #include "src/baselines/tapir_replica.h"
 
-#include <mutex>
 #include <utility>
 
 #include "src/store/occ.h"
@@ -68,7 +67,7 @@ void TapirReplica::HandleValidate(CoreId core, const Address& from, const Valida
   TxnStatus status = OccValidate(store_, req.read_set(), req.write_set(), req.ts);
 
   {
-    std::lock_guard<SharedMutex> lock(record_mutex_);
+    LockGuard<SharedMutex> lock(record_mutex_);
     auto it = records_.find(req.tid);
     if (it != records_.end() && it->second.status != TxnStatus::kNone) {
       // Duplicate VALIDATE (retry): discard this validation's registrations
@@ -105,7 +104,7 @@ void TapirReplica::HandleAccept(CoreId core, const Address& from, const AcceptRe
   reply.view = req.view;
   reply.from = id_;
 
-  std::lock_guard<SharedMutex> lock(record_mutex_);
+  LockGuard<SharedMutex> lock(record_mutex_);
   TxnRecord& rec = records_[req.tid];
   if (!rec.tid.Valid()) {
     rec.tid = req.tid;
@@ -136,7 +135,7 @@ void TapirReplica::HandleCommit(const CommitRequest& req) {
   Timestamp ts;
   TxnSetsPtr sets;  // Shared reference, not a vector copy.
   {
-    std::lock_guard<SharedMutex> lock(record_mutex_);
+    LockGuard<SharedMutex> lock(record_mutex_);
     auto it = records_.find(req.tid);
     if (it == records_.end() || IsFinal(it->second.status)) {
       return;
@@ -156,7 +155,7 @@ void TapirReplica::HandleCommit(const CommitRequest& req) {
 
 void TapirReplica::CrashAndRestart() {
   recovering_.store(true, std::memory_order_release);
-  std::lock_guard<SharedMutex> lock(record_mutex_);
+  LockGuard<SharedMutex> lock(record_mutex_);
   records_.clear();
   store_.ClearAll();
 }

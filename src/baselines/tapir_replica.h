@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/protocol/quorum.h"
 #include "src/sim/primitives.h"
 #include "src/store/trecord.h"
@@ -82,7 +83,7 @@ class TapirReplica {
   // The shared, cross-core transaction record: every core serializes on this
   // mutex for every transaction — the scalability bottleneck Fig. 4 exposes.
   SharedMutex record_mutex_;
-  std::unordered_map<TxnId, TxnRecord, TxnIdHash> records_;
+  std::unordered_map<TxnId, TxnRecord, TxnIdHash> records_ GUARDED_BY(record_mutex_);
   std::vector<std::unique_ptr<CoreReceiver>> receivers_;
 };
 

@@ -5,8 +5,9 @@
 #include <cmath>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "src/common/annotations.h"
 
 namespace meerkat {
 
@@ -161,8 +162,8 @@ namespace {
 // remain valid after the thread exits. The mutex guards registration and
 // snapshot only — never the per-increment fast path.
 struct CounterRegistry {
-  std::mutex mu;
-  std::vector<std::shared_ptr<FastPathCounters>> slabs;
+  Mutex mu;
+  std::vector<std::shared_ptr<FastPathCounters>> slabs GUARDED_BY(mu);
 };
 
 CounterRegistry& Registry() {
@@ -176,7 +177,7 @@ FastPathCounters& LocalFastPathCounters() {
   thread_local std::shared_ptr<FastPathCounters> slab = [] {
     auto p = std::make_shared<FastPathCounters>();
     CounterRegistry& reg = Registry();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexLock lock(reg.mu);
     reg.slabs.push_back(p);
     return p;
   }();
@@ -186,7 +187,7 @@ FastPathCounters& LocalFastPathCounters() {
 FastPathCounters SnapshotFastPathCounters() {
   FastPathCounters total;
   CounterRegistry& reg = Registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   for (const auto& slab : reg.slabs) {
     total.Merge(*slab);
   }
@@ -195,7 +196,7 @@ FastPathCounters SnapshotFastPathCounters() {
 
 void ResetFastPathCounters() {
   CounterRegistry& reg = Registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   for (const auto& slab : reg.slabs) {
     *slab = FastPathCounters{};
   }

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/common/dap_check.h"
+
 #include "src/protocol/epoch_merge.h"
 #include "src/store/occ.h"
 
@@ -39,8 +41,8 @@ MeerkatReplica::MeerkatReplica(ReplicaId id, const QuorumConfig& quorum, size_t 
                                Transport* transport, ReplicaId group_base,
                                RetryPolicy recovery_retry)
     : id_(id), quorum_(quorum), num_cores_(num_cores), group_base_(group_base),
-      recovery_retry_(recovery_retry), transport_(transport), ec_rng_(0x9e3779b9u ^ id),
-      trecord_(num_cores), hosted_backups_(num_cores) {
+      recovery_retry_(recovery_retry), transport_(transport),
+      trecord_(num_cores), ec_rng_(0x9e3779b9u ^ id), hosted_backups_(num_cores) {
   receivers_.reserve(num_cores);
   for (CoreId core = 0; core < num_cores; core++) {
     receivers_.push_back(std::make_unique<CoreReceiver>(this, core));
@@ -58,6 +60,9 @@ void MeerkatReplica::Reply(const Address& to, CoreId core, Payload payload) {
 }
 
 void MeerkatReplica::Dispatch(CoreId core, Message&& msg) {
+  // Everything below executes on behalf of `core`; the DAP detector flags
+  // any trecord partition access that doesn't match.
+  DapCoreScope dap_scope(core);
   // Epoch-change traffic manages the gate itself (exclusively); everything
   // else runs under the shared gate.
   if (const auto* req = std::get_if<EpochChangeRequest>(&msg.payload)) {
@@ -116,7 +121,7 @@ void MeerkatReplica::Dispatch(CoreId core, Message&& msg) {
   gate_.UnlockShared();
 }
 
-void MeerkatReplica::HandleGet(CoreId core, const Address& from, const GetRequest& req) {
+ZCP_FAST_PATH void MeerkatReplica::HandleGet(CoreId core, const Address& from, const GetRequest& req) {
   ReadResult read = store_.Read(req.key);
   GetReply reply;
   reply.tid = req.tid;
@@ -128,7 +133,7 @@ void MeerkatReplica::HandleGet(CoreId core, const Address& from, const GetReques
   Reply(from, core, std::move(reply));
 }
 
-void MeerkatReplica::HandleValidate(CoreId core, const Address& from,
+ZCP_FAST_PATH void MeerkatReplica::HandleValidate(CoreId core, const Address& from,
                                     const ValidateRequest& req) {
   TRecordPartition& part = trecord_.Partition(core);
   ValidateReply reply;
@@ -162,7 +167,7 @@ void MeerkatReplica::HandleValidate(CoreId core, const Address& from,
   Reply(from, core, std::move(reply));
 }
 
-void MeerkatReplica::HandleAccept(CoreId core, const Address& from, const AcceptRequest& req) {
+ZCP_FAST_PATH void MeerkatReplica::HandleAccept(CoreId core, const Address& from, const AcceptRequest& req) {
   TRecordPartition& part = trecord_.Partition(core);
   TxnRecord& rec = part.GetOrCreate(req.tid);
 
@@ -199,7 +204,7 @@ void MeerkatReplica::HandleAccept(CoreId core, const Address& from, const Accept
   Reply(from, core, std::move(reply));
 }
 
-void MeerkatReplica::HandleCommit(CoreId core, const Address& /*from*/,
+ZCP_FAST_PATH void MeerkatReplica::HandleCommit(CoreId core, const Address& /*from*/,
                                   const CommitRequest& req) {
   TRecordPartition& part = trecord_.Partition(core);
   TxnRecord& rec = part.GetOrCreate(req.tid);
@@ -215,7 +220,7 @@ void MeerkatReplica::HandleCommit(CoreId core, const Address& /*from*/,
   }
 }
 
-void MeerkatReplica::HandleCoordChange(CoreId core, const Address& from,
+ZCP_FAST_PATH void MeerkatReplica::HandleCoordChange(CoreId core, const Address& from,
                                        const CoordChangeRequest& req) {
   TRecordPartition& part = trecord_.Partition(core);
   TxnRecord& rec = part.GetOrCreate(req.tid);
@@ -244,7 +249,7 @@ void MeerkatReplica::HandleCoordChange(CoreId core, const Address& from,
 void MeerkatReplica::InitiateEpochChange() {
   EpochNum new_epoch;
   {
-    std::lock_guard<std::mutex> lock(ec_mu_);
+    MutexLock lock(ec_mu_);
     new_epoch = epoch() + 1;
     ec_leading_ = true;
     ec_epoch_ = new_epoch;
@@ -270,7 +275,7 @@ void MeerkatReplica::ArmEpochTimer() {
   }
   uint64_t delay;
   {
-    std::lock_guard<std::mutex> lock(ec_mu_);
+    MutexLock lock(ec_mu_);
     delay = recovery_retry_.DelayNanos(ec_retries_, ec_rng_);
   }
   transport_->SetTimer(Address::Replica(id_), /*core=*/0, delay, kEpochTimerId);
@@ -281,7 +286,7 @@ void MeerkatReplica::HandleEpochTimer() {
   std::vector<ReplicaId> targets;
   Payload payload;
   {
-    std::lock_guard<std::mutex> lock(ec_mu_);
+    MutexLock lock(ec_mu_);
     if (!ec_leading_ && !ec_complete_pending_) {
       return;  // Epoch change finished (or this replica never led one).
     }
@@ -339,7 +344,7 @@ void MeerkatReplica::HandleTimer(CoreId core, uint64_t timer_id) {
   // Hosted backup coordinator timer. Bases are spaced 4 apart and phase
   // offsets are 0/1, so exactly one coordinator claims any given id.
   std::unique_ptr<BackupCoordinator> finished;
-  std::lock_guard<std::mutex> lock(backups_mu_);
+  MutexLock lock(backups_mu_);
   auto& backups = hosted_backups_[core % hosted_backups_.size()];
   for (auto it = backups.begin(); it != backups.end(); ++it) {
     if (it->second->OnTimer(timer_id)) {
@@ -391,7 +396,7 @@ void MeerkatReplica::HandleEpochChangeRequest(const Address& from,
 void MeerkatReplica::HandleEpochChangeAck(const EpochChangeAck& ack) {
   std::vector<EpochChangeAck> quorum_acks;
   {
-    std::lock_guard<std::mutex> lock(ec_mu_);
+    MutexLock lock(ec_mu_);
     if (!ec_leading_ || ack.epoch != ec_epoch_) {
       return;
     }
@@ -430,7 +435,7 @@ void MeerkatReplica::HandleEpochChangeAck(const EpochChangeAck& ack) {
     // Retain the merged payload for retransmission until every replica
     // confirms adoption (the epoch timer drives the re-sends; the retry
     // counter restarts for the complete round).
-    std::lock_guard<std::mutex> lock(ec_mu_);
+    MutexLock lock(ec_mu_);
     ec_complete_ = complete;
     ec_complete_pending_ = true;
     ec_complete_acked_.clear();
@@ -465,7 +470,7 @@ void MeerkatReplica::HandleEpochChangeComplete(const Address& from,
 }
 
 void MeerkatReplica::HandleEpochChangeCompleteAck(const EpochChangeCompleteAck& ack) {
-  std::lock_guard<std::mutex> lock(ec_mu_);
+  MutexLock lock(ec_mu_);
   if (!ec_complete_pending_ || ack.epoch != ec_epoch_) {
     return;
   }
@@ -509,7 +514,7 @@ void MeerkatReplica::HandleHostedBackupReply(CoreId core, const Message& msg) {
   }
   std::unique_ptr<BackupCoordinator> finished;
   {
-    std::lock_guard<std::mutex> lock(backups_mu_);
+    MutexLock lock(backups_mu_);
     auto& backups = hosted_backups_[core % hosted_backups_.size()];
     auto it = backups.find(tid);
     if (it == backups.end()) {
@@ -535,7 +540,7 @@ size_t MeerkatReplica::RecoverOrphanedTransactions(Timestamp older_than) {
         orphans.push_back({rec.tid, rec.view});
       }
     });
-    std::lock_guard<std::mutex> lock(backups_mu_);
+    MutexLock lock(backups_mu_);
     for (const auto& [tid, cur_view] : orphans) {
       auto& backups = hosted_backups_[core];
       if (backups.count(tid) != 0) {
@@ -564,7 +569,7 @@ size_t MeerkatReplica::RecoverOrphanedTransactions(Timestamp older_than) {
 }
 
 size_t MeerkatReplica::hosted_backup_count() const {
-  std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(backups_mu_));
+  MutexLock lock(backups_mu_);
   size_t n = 0;
   for (const auto& backups : hosted_backups_) {
     n += backups.size();
@@ -587,13 +592,13 @@ void MeerkatReplica::CrashAndRestart() {
     // Hosted backup coordinators and any epoch-change leadership are volatile
     // too; pending timers for them fire into the void (HandleTimer finds no
     // claimant) and are harmless.
-    std::lock_guard<std::mutex> lock(backups_mu_);
+    MutexLock lock(backups_mu_);
     for (auto& backups : hosted_backups_) {
       backups.clear();
     }
   }
   {
-    std::lock_guard<std::mutex> lock(ec_mu_);
+    MutexLock lock(ec_mu_);
     ec_leading_ = false;
     ec_complete_pending_ = false;
     ec_acks_.clear();

@@ -15,11 +15,12 @@
 #include <atomic>
 #include <memory>
 #include <set>
-#include <unordered_map>
-#include <mutex>
 #include <shared_mutex>
+#include <unordered_map>
 #include <vector>
 
+#include "src/common/annotations.h"
+#include "src/common/dap_check.h"
 #include "src/common/retry.h"
 #include "src/common/rng.h"
 #include "src/common/types.h"
@@ -105,12 +106,12 @@ class MeerkatReplica {
   // machinery holds it exclusively. Under the simulator execution is already
   // serial, so the gate is a no-op (and costs nothing, preserving the ZCP
   // cost profile: the gate is never contended outside recovery).
-  class EpochGate {
+  class CAPABILITY("EpochGate") EpochGate {
    public:
-    void LockShared();
-    void UnlockShared();
-    void LockExclusive();
-    void UnlockExclusive();
+    void LockShared() ACQUIRE_SHARED();
+    void UnlockShared() RELEASE_SHARED();
+    void LockExclusive() ACQUIRE();
+    void UnlockExclusive() RELEASE();
 
    private:
     std::shared_mutex mu_;
@@ -124,11 +125,18 @@ class MeerkatReplica {
 
   void Dispatch(CoreId core, Message&& msg);
 
-  void HandleGet(CoreId core, const Address& from, const GetRequest& req);
-  void HandleValidate(CoreId core, const Address& from, const ValidateRequest& req);
-  void HandleAccept(CoreId core, const Address& from, const AcceptRequest& req);
-  void HandleCommit(CoreId core, const Address& from, const CommitRequest& req);
-  void HandleCoordChange(CoreId core, const Address& from, const CoordChangeRequest& req);
+  // Transaction-processing handlers run under the shared gate: concurrent
+  // across cores, excluded only by the epoch machinery.
+  void HandleGet(CoreId core, const Address& from, const GetRequest& req)
+      REQUIRES_SHARED(gate_);
+  void HandleValidate(CoreId core, const Address& from, const ValidateRequest& req)
+      REQUIRES_SHARED(gate_);
+  void HandleAccept(CoreId core, const Address& from, const AcceptRequest& req)
+      REQUIRES_SHARED(gate_);
+  void HandleCommit(CoreId core, const Address& from, const CommitRequest& req)
+      REQUIRES_SHARED(gate_);
+  void HandleCoordChange(CoreId core, const Address& from, const CoordChangeRequest& req)
+      REQUIRES_SHARED(gate_);
 
   void HandleHostedBackupReply(CoreId core, const Message& msg);
   void HandleEpochChangeRequest(const Address& from, const EpochChangeRequest& req);
@@ -144,12 +152,12 @@ class MeerkatReplica {
 
   // Builds this replica's contribution to an epoch change: all trecord
   // partitions plus committed store state. Caller holds the gate exclusively.
-  EpochChangeAck BuildEpochAck(EpochNum epoch);
+  EpochChangeAck BuildEpochAck(EpochNum epoch) REQUIRES(gate_);
 
   // Adopts merged epoch state. Caller holds the gate exclusively.
   void AdoptEpochState(EpochNum epoch, const std::vector<TxnRecordSnapshot>& records,
                        const std::vector<WriteSetEntry>& store_state,
-                       const std::vector<Timestamp>& store_versions);
+                       const std::vector<Timestamp>& store_versions) REQUIRES(gate_);
 
   void Reply(const Address& to, CoreId core, Payload payload);
 
@@ -172,27 +180,30 @@ class MeerkatReplica {
   // Recovery-coordinator state (only used while this replica leads an epoch
   // change). Guarded by ec_mu_ because acks arrive on core-0's worker while
   // InitiateEpochChange may run on an external thread.
-  std::mutex ec_mu_;
-  bool ec_leading_ = false;
-  EpochNum ec_epoch_ = 0;
-  std::vector<EpochChangeAck> ec_acks_;
+  Mutex ec_mu_;
+  bool ec_leading_ GUARDED_BY(ec_mu_) = false;
+  EpochNum ec_epoch_ GUARDED_BY(ec_mu_) = 0;
+  std::vector<EpochChangeAck> ec_acks_ GUARDED_BY(ec_mu_);
   // Complete-round retransmission state: the merged payload is kept until
   // every replica confirmed adoption (EpochChangeCompleteAck) or the retry
   // budget runs out.
-  bool ec_complete_pending_ = false;
-  EpochChangeComplete ec_complete_;
-  std::set<ReplicaId> ec_complete_acked_;
-  uint32_t ec_retries_ = 0;
-  Rng ec_rng_;
+  bool ec_complete_pending_ GUARDED_BY(ec_mu_) = false;
+  EpochChangeComplete ec_complete_ GUARDED_BY(ec_mu_);
+  std::set<ReplicaId> ec_complete_acked_ GUARDED_BY(ec_mu_);
+  uint32_t ec_retries_ GUARDED_BY(ec_mu_) = 0;
+  Rng ec_rng_ GUARDED_BY(ec_mu_);
 
   // Replica-hosted backup coordinators, partitioned by core like the trecord
   // (replies for a transaction arrive on its core, so each map is
-  // single-core). Guarded by backups_mu_ only for the cross-thread scan in
-  // RecoverOrphanedTransactions; steady-state routing is core-local.
-  std::mutex backups_mu_;
-  uint64_t backup_seq_ = 0;  // Allocates disjoint hosted-backup timer bases.
+  // single-core in steady state). All access takes backups_mu_ regardless:
+  // RecoverOrphanedTransactions scans every partition from an external
+  // thread, CrashAndRestart wipes them, and HandleTimer/HandleHostedBackupReply
+  // route on workers — recovery is off the ZCP fast path, so one uncontended
+  // mutex is the simple correct choice. mutable so const accessors can lock.
+  mutable Mutex backups_mu_;
+  uint64_t backup_seq_ GUARDED_BY(backups_mu_) = 0;  // Allocates disjoint hosted-backup timer bases.
   std::vector<std::unordered_map<TxnId, std::unique_ptr<BackupCoordinator>, TxnIdHash>>
-      hosted_backups_;
+      hosted_backups_ GUARDED_BY(backups_mu_);
 };
 
 }  // namespace meerkat

@@ -18,7 +18,7 @@ MeerkatSession::MeerkatSession(uint32_t client_id, Transport* transport,
 MeerkatSession::~MeerkatSession() { transport_->UnregisterClient(client_id_); }
 
 void MeerkatSession::ExecuteAsync(TxnPlan plan, TxnCallback cb) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   assert(!active_ && "MeerkatSession runs one transaction at a time");
   active_ = true;
   plan_ = std::move(plan);
@@ -182,7 +182,7 @@ bool MeerkatSession::DeadlineExceeded() const {
 }
 
 void MeerkatSession::Receive(Message&& msg) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   if (const auto* reply = std::get_if<GetReply>(&msg.payload)) {
     if (!active_ || !get_outstanding_ || reply->req_seq != get_seq_) {
       return;  // Stale or duplicate read reply.

@@ -11,11 +11,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/api/client_session.h"
+#include "src/common/annotations.h"
 #include "src/common/clock.h"
 #include "src/common/retry.h"
 #include "src/common/rng.h"
@@ -64,11 +64,24 @@ class MeerkatSession : public ClientSession {
   RunStats& stats() override { return stats_; }
 
   // The timestamp the last commit attempt proposed (tests use this to check
-  // serialization order).
-  Timestamp last_commit_ts() const override { return last_ts_; }
-  TxnId last_tid() const override { return last_tid_; }
-  const std::vector<ReadSetEntry>& last_read_set() const override { return read_set_; }
+  // serialization order). These accessors lock: callers may poll from a
+  // different thread than the endpoint worker mutating the fields. The
+  // reference returned by last_read_set() is only stable while no transaction
+  // is in flight (quiesced inspection).
+  Timestamp last_commit_ts() const override {
+    RecursiveMutexLock lock(mu_);
+    return last_ts_;
+  }
+  TxnId last_tid() const override {
+    RecursiveMutexLock lock(mu_);
+    return last_tid_;
+  }
+  const std::vector<ReadSetEntry>& last_read_set() const override {
+    RecursiveMutexLock lock(mu_);
+    return read_set_;
+  }
   std::vector<WriteSetEntry> last_write_set() const override {
+    RecursiveMutexLock lock(mu_);
     std::vector<WriteSetEntry> out;
     out.reserve(write_buffer_.size());
     for (const auto& [key, value] : write_buffer_) {
@@ -77,6 +90,7 @@ class MeerkatSession : public ClientSession {
     return out;
   }
   std::optional<std::string> last_read_value(const std::string& key) const override {
+    RecursiveMutexLock lock(mu_);
     auto it = read_values_.find(key);
     if (it == read_values_.end()) {
       return std::nullopt;
@@ -89,57 +103,57 @@ class MeerkatSession : public ClientSession {
   // get sequence number; coordinator timers live above kCoordTimerBase.
   static constexpr uint64_t kCoordTimerBase = 1ULL << 62;
 
-  void IssueNextOp();
-  void SendGet(const std::string& key);
-  void StartCommit();
-  void MaybeFinishCommit();
-  void OnCommitDone(const CommitOutcome& outcome);
+  void IssueNextOp() REQUIRES(mu_);
+  void SendGet(const std::string& key) REQUIRES(mu_);
+  void StartCommit() REQUIRES(mu_);
+  void MaybeFinishCommit() REQUIRES(mu_);
+  void OnCommitDone(const CommitOutcome& outcome) REQUIRES(mu_);
   // Terminates the attempt without a coordinator decision (GET retransmission
   // budget exhausted, or the per-attempt deadline passed).
-  void FailTxn(AbortReason reason);
-  void FinishTxn(const TxnOutcome& outcome);
-  bool DeadlineExceeded() const;
+  void FailTxn(AbortReason reason) REQUIRES(mu_);
+  void FinishTxn(const TxnOutcome& outcome) REQUIRES(mu_);
+  bool DeadlineExceeded() const REQUIRES(mu_);
 
   // ExecuteAsync runs on the application thread while Receive runs on the
   // endpoint's worker thread (threaded runtime); this lock serializes their
   // access to the per-transaction state below. Recursive because a completion
   // callback may synchronously start the next transaction (sim drivers do).
-  mutable std::recursive_mutex mu_;
+  mutable RecursiveMutex mu_;
 
   const uint32_t client_id_;
   Transport* const transport_;
   const SessionOptions options_;
   const RetryPolicy retry_;
   const Address self_;
-  LooselySyncedClock clock_;
-  Rng rng_;
+  LooselySyncedClock clock_ GUARDED_BY(mu_);
+  Rng rng_ GUARDED_BY(mu_);
   TimeSource* const time_source_;
 
   RunStats stats_;
 
   // Per-transaction state.
-  bool active_ = false;
-  TxnPlan plan_;
-  TxnCallback callback_;
-  size_t next_op_ = 0;
-  CoreId core_ = 0;
-  uint64_t txn_seq_ = 0;
-  uint64_t txn_start_ns_ = 0;
-  TxnId last_tid_;
-  Timestamp last_ts_;
+  bool active_ GUARDED_BY(mu_) = false;
+  TxnPlan plan_ GUARDED_BY(mu_);
+  TxnCallback callback_ GUARDED_BY(mu_);
+  size_t next_op_ GUARDED_BY(mu_) = 0;
+  CoreId core_ GUARDED_BY(mu_) = 0;
+  uint64_t txn_seq_ GUARDED_BY(mu_) = 0;
+  uint64_t txn_start_ns_ GUARDED_BY(mu_) = 0;
+  TxnId last_tid_ GUARDED_BY(mu_);
+  Timestamp last_ts_ GUARDED_BY(mu_);
 
-  std::vector<ReadSetEntry> read_set_;
-  std::map<std::string, std::string> read_values_;   // Read cache (repeat reads).
-  std::map<std::string, std::string> write_buffer_;  // Buffered writes, last-wins.
+  std::vector<ReadSetEntry> read_set_ GUARDED_BY(mu_);
+  std::map<std::string, std::string> read_values_ GUARDED_BY(mu_);   // Read cache (repeat reads).
+  std::map<std::string, std::string> write_buffer_ GUARDED_BY(mu_);  // Buffered writes, last-wins.
 
   // Outstanding GET (one at a time; interactive transactions).
-  bool get_outstanding_ = false;
-  uint64_t get_seq_ = 0;
-  std::string get_key_;
-  uint32_t get_retries_ = 0;        // Retransmissions of the outstanding GET.
-  uint64_t txn_retransmits_ = 0;    // All execute-phase re-sends this attempt.
+  bool get_outstanding_ GUARDED_BY(mu_) = false;
+  uint64_t get_seq_ GUARDED_BY(mu_) = 0;
+  std::string get_key_ GUARDED_BY(mu_);
+  uint32_t get_retries_ GUARDED_BY(mu_) = 0;      // Retransmissions of the outstanding GET.
+  uint64_t txn_retransmits_ GUARDED_BY(mu_) = 0;  // All execute-phase re-sends this attempt.
 
-  std::unique_ptr<CommitCoordinator> coordinator_;
+  std::unique_ptr<CommitCoordinator> coordinator_ GUARDED_BY(mu_);
 };
 
 }  // namespace meerkat

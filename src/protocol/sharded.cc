@@ -51,6 +51,7 @@ ShardedSession::ShardedSession(uint32_t client_id, Transport* transport,
 ShardedSession::~ShardedSession() { transport_->UnregisterClient(client_id_); }
 
 std::vector<WriteSetEntry> ShardedSession::last_write_set() const {
+  RecursiveMutexLock lock(mu_);
   std::vector<WriteSetEntry> out;
   out.reserve(write_buffer_.size());
   for (const auto& [key, value] : write_buffer_) {
@@ -60,6 +61,7 @@ std::vector<WriteSetEntry> ShardedSession::last_write_set() const {
 }
 
 std::optional<std::string> ShardedSession::last_read_value(const std::string& key) const {
+  RecursiveMutexLock lock(mu_);
   auto it = read_values_.find(key);
   if (it == read_values_.end()) {
     return std::nullopt;
@@ -68,7 +70,7 @@ std::optional<std::string> ShardedSession::last_read_value(const std::string& ke
 }
 
 void ShardedSession::ExecuteAsync(TxnPlan plan, TxnCallback cb) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   assert(!active_ && "ShardedSession runs one transaction at a time");
   active_ = true;
   plan_ = std::move(plan);
@@ -291,7 +293,7 @@ void ShardedSession::FinishTxn(TxnOutcome outcome) {
 }
 
 void ShardedSession::Receive(Message&& msg) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   if (const auto* reply = std::get_if<GetReply>(&msg.payload)) {
     if (!active_ || !get_outstanding_ || reply->req_seq != get_seq_) {
       return;

@@ -29,11 +29,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/api/client_session.h"
+#include "src/common/annotations.h"
 #include "src/common/clock.h"
 #include "src/common/rng.h"
 #include "src/protocol/coordinator.h"
@@ -104,65 +104,80 @@ class ShardedSession : public ClientSession {
 
   uint32_t client_id() const override { return client_id_; }
   RunStats& stats() override { return stats_; }
-  TxnId last_tid() const override { return last_tid_; }
-  Timestamp last_commit_ts() const override { return last_ts_; }
-  const std::vector<ReadSetEntry>& last_read_set() const override { return read_set_; }
+  // Accessors lock: tests may poll from a different thread than the endpoint
+  // worker. The reference returned by last_read_set() is only stable while no
+  // transaction is in flight (quiesced inspection).
+  TxnId last_tid() const override {
+    RecursiveMutexLock lock(mu_);
+    return last_tid_;
+  }
+  Timestamp last_commit_ts() const override {
+    RecursiveMutexLock lock(mu_);
+    return last_ts_;
+  }
+  const std::vector<ReadSetEntry>& last_read_set() const override {
+    RecursiveMutexLock lock(mu_);
+    return read_set_;
+  }
   std::vector<WriteSetEntry> last_write_set() const override;
   std::optional<std::string> last_read_value(const std::string& key) const override;
 
   // Number of shards the last transaction's commit touched.
-  size_t last_shard_count() const { return coordinators_.size(); }
+  size_t last_shard_count() const {
+    RecursiveMutexLock lock(mu_);
+    return coordinators_.size();
+  }
 
  private:
   static constexpr uint64_t kCoordTimerBase = 1ULL << 62;
 
-  void IssueNextOp();
-  void SendGet(const std::string& key);
-  void StartCommit();
-  void MaybeFinishCommit();
-  void FailTxn(AbortReason reason);
-  void FinishTxn(TxnOutcome outcome);
-  bool DeadlineExceeded() const;
+  void IssueNextOp() REQUIRES(mu_);
+  void SendGet(const std::string& key) REQUIRES(mu_);
+  void StartCommit() REQUIRES(mu_);
+  void MaybeFinishCommit() REQUIRES(mu_);
+  void FailTxn(AbortReason reason) REQUIRES(mu_);
+  void FinishTxn(TxnOutcome outcome) REQUIRES(mu_);
+  bool DeadlineExceeded() const REQUIRES(mu_);
 
   // Same threading contract as MeerkatSession: ExecuteAsync (app thread) and
   // Receive (endpoint worker) both mutate per-transaction state; recursive
   // because completion callbacks may start the next transaction synchronously.
-  mutable std::recursive_mutex mu_;
+  mutable RecursiveMutex mu_;
 
   const uint32_t client_id_;
   Transport* const transport_;
   ShardedCluster* const cluster_;
   const RetryPolicy retry_;
   const Address self_;
-  LooselySyncedClock clock_;
-  Rng rng_;
+  LooselySyncedClock clock_ GUARDED_BY(mu_);
+  Rng rng_ GUARDED_BY(mu_);
   TimeSource* const time_source_;
 
   RunStats stats_;
 
-  bool active_ = false;
-  TxnPlan plan_;
-  TxnCallback callback_;
-  size_t next_op_ = 0;
-  CoreId core_ = 0;
-  uint64_t txn_seq_ = 0;
-  uint64_t txn_start_ns_ = 0;
-  TxnId last_tid_;
-  Timestamp last_ts_;
+  bool active_ GUARDED_BY(mu_) = false;
+  TxnPlan plan_ GUARDED_BY(mu_);
+  TxnCallback callback_ GUARDED_BY(mu_);
+  size_t next_op_ GUARDED_BY(mu_) = 0;
+  CoreId core_ GUARDED_BY(mu_) = 0;
+  uint64_t txn_seq_ GUARDED_BY(mu_) = 0;
+  uint64_t txn_start_ns_ GUARDED_BY(mu_) = 0;
+  TxnId last_tid_ GUARDED_BY(mu_);
+  Timestamp last_ts_ GUARDED_BY(mu_);
 
-  std::vector<ReadSetEntry> read_set_;
-  std::map<std::string, std::string> read_values_;
-  std::map<std::string, std::string> write_buffer_;
+  std::vector<ReadSetEntry> read_set_ GUARDED_BY(mu_);
+  std::map<std::string, std::string> read_values_ GUARDED_BY(mu_);
+  std::map<std::string, std::string> write_buffer_ GUARDED_BY(mu_);
 
-  bool get_outstanding_ = false;
-  uint64_t get_seq_ = 0;
-  std::string get_key_;
-  uint32_t get_retries_ = 0;
-  uint64_t txn_retransmits_ = 0;
+  bool get_outstanding_ GUARDED_BY(mu_) = false;
+  uint64_t get_seq_ GUARDED_BY(mu_) = 0;
+  std::string get_key_ GUARDED_BY(mu_);
+  uint32_t get_retries_ GUARDED_BY(mu_) = 0;
+  uint64_t txn_retransmits_ GUARDED_BY(mu_) = 0;
 
   // shard -> deferred per-shard coordinator for the in-flight commit.
-  std::map<size_t, std::unique_ptr<CommitCoordinator>> coordinators_;
-  bool decision_sent_ = false;
+  std::map<size_t, std::unique_ptr<CommitCoordinator>> coordinators_ GUARDED_BY(mu_);
+  bool decision_sent_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace meerkat

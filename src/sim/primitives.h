@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <mutex>
 
+#include "src/common/annotations.h"
 #include "src/sim/sim_context.h"
 
 namespace meerkat {
@@ -37,13 +38,13 @@ namespace meerkat {
 // algorithm's aborts, which the simulator computes with the real code;
 // physical lock-holder contention at Meerkat's tens-of-ns critical sections
 // is second-order (paper §6.2: "small atomic regions"). See DESIGN.md §5.
-class KeyLock {
+class CAPABILITY("KeyLock") KeyLock {
  public:
   KeyLock() = default;
   KeyLock(const KeyLock&) = delete;
   KeyLock& operator=(const KeyLock&) = delete;
 
-  void lock() {
+  void lock() ACQUIRE() {
     if (SimContext* ctx = SimContext::Current()) {
       ctx->stats().key_lock_ops++;
       ctx->Charge(ctx->cost().key_lock_op_ns);
@@ -56,7 +57,7 @@ class KeyLock {
     }
   }
 
-  void unlock() {
+  void unlock() RELEASE() {
     if (SimContext::Current() != nullptr) {
       return;  // Release cost is folded into the acquire charge.
     }
@@ -70,13 +71,13 @@ class KeyLock {
 // A cross-core shared mutex (e.g. the shared log or shared trecord of the
 // non-ZCP baselines). Service time = how long the critical section occupies
 // the serialization point per operation.
-class SharedMutex {
+class CAPABILITY("SharedMutex") SharedMutex {
  public:
   explicit SharedMutex(uint64_t service_ns = 300) : service_ns_(service_ns) {}
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void lock() {
+  void lock() ACQUIRE() {
     if (SimContext* ctx = SimContext::Current()) {
       ctx->stats().shared_structure_ops++;
       if (res_.free_at > ctx->now()) {
@@ -88,7 +89,7 @@ class SharedMutex {
     mu_.lock();
   }
 
-  void unlock() {
+  void unlock() RELEASE() {
     if (SimContext::Current() != nullptr) {
       return;
     }

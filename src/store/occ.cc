@@ -1,7 +1,6 @@
 #include "src/store/occ.h"
 
-#include <mutex>
-
+#include "src/common/annotations.h"
 #include "src/common/stats.h"
 #include "src/sim/sim_context.h"
 
@@ -17,7 +16,7 @@ void ChargeOp() {
 
 }  // namespace
 
-TxnStatus OccValidate(VStore& store, const std::vector<ReadSetEntry>& read_set,
+ZCP_FAST_PATH TxnStatus OccValidate(VStore& store, const std::vector<ReadSetEntry>& read_set,
                       const std::vector<WriteSetEntry>& write_set, Timestamp ts) {
   // Validate the read set (Alg. 1 lines 2-12).
   for (size_t i = 0; i < read_set.size(); i++) {
@@ -36,7 +35,7 @@ TxnStatus OccValidate(VStore& store, const std::vector<ReadSetEntry>& read_set,
         for (size_t j = 0; j < i; j++) {
           KeyEntry* prev = store.Find(read_set[j].key);
           if (prev != nullptr) {
-            std::lock_guard<KeyLock> plock(prev->lock);
+            LockGuard<KeyLock> plock(prev->lock);
             prev->RemoveReader(ts);
           }
         }
@@ -45,27 +44,34 @@ TxnStatus OccValidate(VStore& store, const std::vector<ReadSetEntry>& read_set,
     } else {
       e = store.FindOrCreateWithHash(r.key, hash);
     }
-    std::unique_lock<KeyLock> lock(e->lock);
-    // e.wts > r.wts: the read is stale — a newer version committed since.
-    bool stale = e->wts > r.read_wts;
-    // ts > MIN(e.writers): some pending transaction with an earlier timestamp
-    // wrote this key; if it commits, this read (serialized at ts) would not
-    // have seen the latest version as of ts. MIN over the empty set is +inf.
-    Timestamp min_writer = e->MinWriter();
-    bool pending_earlier_writer = min_writer.Valid() && ts > min_writer;
-    if (stale || pending_earlier_writer) {
-      lock.unlock();
+    bool conflict = false;
+    {
+      LockGuard<KeyLock> lock(e->lock);
+      // e.wts > r.wts: the read is stale — a newer version committed since.
+      bool stale = e->wts > r.read_wts;
+      // ts > MIN(e.writers): some pending transaction with an earlier
+      // timestamp wrote this key; if it commits, this read (serialized at ts)
+      // would not have seen the latest version as of ts. MIN over the empty
+      // set is +inf.
+      Timestamp min_writer = e->MinWriter();
+      bool pending_earlier_writer = min_writer.Valid() && ts > min_writer;
+      if (stale || pending_earlier_writer) {
+        conflict = true;
+      } else {
+        e->readers.push_back(ts);
+      }
+    }
+    if (conflict) {
       // Back out registrations made for read_set[0..i).
       for (size_t j = 0; j < i; j++) {
         KeyEntry* prev = store.Find(read_set[j].key);
         if (prev != nullptr) {
-          std::lock_guard<KeyLock> plock(prev->lock);
+          LockGuard<KeyLock> plock(prev->lock);
           prev->RemoveReader(ts);
         }
       }
       return TxnStatus::kValidatedAbort;
     }
-    e->readers.push_back(ts);
   }
 
   // Validate the write set (Alg. 1 lines 13-23).
@@ -73,25 +79,31 @@ TxnStatus OccValidate(VStore& store, const std::vector<ReadSetEntry>& read_set,
     const WriteSetEntry& w = write_set[i];
     ChargeOp();
     KeyEntry* e = store.FindOrCreate(w.key);
-    std::unique_lock<KeyLock> lock(e->lock);
-    // ts < e.rts: a committed transaction already read a version this write
-    // would interpose under. ts < MAX(e.readers): same, for a pending
-    // validated read. Note a transaction never conflicts with its own read
-    // registration (ts < ts is false). MAX over the empty set is -inf.
-    Timestamp max_reader = e->MaxReader();
-    bool under_committed_read = ts < e->rts;
-    bool under_pending_read = max_reader.Valid() && ts < max_reader;
-    if (under_committed_read || under_pending_read) {
-      lock.unlock();
+    bool conflict = false;
+    {
+      LockGuard<KeyLock> lock(e->lock);
+      // ts < e.rts: a committed transaction already read a version this write
+      // would interpose under. ts < MAX(e.readers): same, for a pending
+      // validated read. Note a transaction never conflicts with its own read
+      // registration (ts < ts is false). MAX over the empty set is -inf.
+      Timestamp max_reader = e->MaxReader();
+      bool under_committed_read = ts < e->rts;
+      bool under_pending_read = max_reader.Valid() && ts < max_reader;
+      if (under_committed_read || under_pending_read) {
+        conflict = true;
+      } else {
+        e->writers.push_back(ts);
+      }
+    }
+    if (conflict) {
       OccCleanup(store, read_set, write_set, ts);
       return TxnStatus::kValidatedAbort;
     }
-    e->writers.push_back(ts);
   }
   return TxnStatus::kValidatedOk;
 }
 
-void OccCommit(VStore& store, const std::vector<ReadSetEntry>& read_set,
+ZCP_FAST_PATH void OccCommit(VStore& store, const std::vector<ReadSetEntry>& read_set,
                const std::vector<WriteSetEntry>& write_set, Timestamp ts) {
   for (const ReadSetEntry& r : read_set) {
     ChargeOp();
@@ -99,7 +111,7 @@ void OccCommit(VStore& store, const std::vector<ReadSetEntry>& read_set,
     if (e == nullptr) {
       continue;
     }
-    std::lock_guard<KeyLock> lock(e->lock);
+    LockGuard<KeyLock> lock(e->lock);
     if (ts > e->rts) {
       e->rts = ts;
     }
@@ -108,7 +120,7 @@ void OccCommit(VStore& store, const std::vector<ReadSetEntry>& read_set,
   for (const WriteSetEntry& w : write_set) {
     ChargeOp();
     KeyEntry* e = store.FindOrCreate(w.key);
-    std::lock_guard<KeyLock> lock(e->lock);
+    LockGuard<KeyLock> lock(e->lock);
     // Thomas write rule: install only if this is the newest version; an older
     // write that lost the race is simply dropped (its effects are ordered
     // before the newer version in the serial order).
@@ -119,7 +131,7 @@ void OccCommit(VStore& store, const std::vector<ReadSetEntry>& read_set,
   }
 }
 
-void OccCleanup(VStore& store, const std::vector<ReadSetEntry>& read_set,
+ZCP_FAST_PATH void OccCleanup(VStore& store, const std::vector<ReadSetEntry>& read_set,
                 const std::vector<WriteSetEntry>& write_set, Timestamp ts) {
   for (const ReadSetEntry& r : read_set) {
     ChargeOp();
@@ -127,7 +139,7 @@ void OccCleanup(VStore& store, const std::vector<ReadSetEntry>& read_set,
     if (e == nullptr) {
       continue;
     }
-    std::lock_guard<KeyLock> lock(e->lock);
+    LockGuard<KeyLock> lock(e->lock);
     e->RemoveReader(ts);
   }
   for (const WriteSetEntry& w : write_set) {
@@ -136,7 +148,7 @@ void OccCleanup(VStore& store, const std::vector<ReadSetEntry>& read_set,
     if (e == nullptr) {
       continue;
     }
-    std::lock_guard<KeyLock> lock(e->lock);
+    LockGuard<KeyLock> lock(e->lock);
     e->RemoveWriter(ts);
   }
 }
@@ -156,7 +168,7 @@ TxnStatus OccRevalidateCommittedOnly(VStore& store, const std::vector<ReadSetEnt
     if (e == nullptr) {
       continue;
     }
-    std::lock_guard<KeyLock> lock(e->lock);
+    LockGuard<KeyLock> lock(e->lock);
     if (ts < e->rts) {
       return TxnStatus::kValidatedAbort;
     }

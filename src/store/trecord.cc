@@ -1,5 +1,7 @@
 #include "src/store/trecord.h"
 
+#include "src/common/annotations.h"
+
 #include "src/sim/sim_context.h"
 
 namespace meerkat {
@@ -39,7 +41,8 @@ TxnRecord TxnRecord::FromSnapshot(const TxnRecordSnapshot& snap) {
   return rec;
 }
 
-TxnRecord& TRecordPartition::GetOrCreate(const TxnId& tid) {
+ZCP_FAST_PATH TxnRecord& TRecordPartition::GetOrCreate(const TxnId& tid) {
+  dap_slot_.CheckAccess(dap_index_, dap_count_, "TRecordPartition::GetOrCreate");
   ChargeLocalOp();
   TxnRecord& rec = records_[tid];
   if (!rec.tid.Valid()) {
@@ -48,18 +51,21 @@ TxnRecord& TRecordPartition::GetOrCreate(const TxnId& tid) {
   return rec;
 }
 
-TxnRecord* TRecordPartition::Find(const TxnId& tid) {
+ZCP_FAST_PATH TxnRecord* TRecordPartition::Find(const TxnId& tid) {
+  dap_slot_.CheckAccess(dap_index_, dap_count_, "TRecordPartition::Find");
   ChargeLocalOp();
   auto it = records_.find(tid);
   return it == records_.end() ? nullptr : &it->second;
 }
 
-void TRecordPartition::Erase(const TxnId& tid) {
+ZCP_FAST_PATH void TRecordPartition::Erase(const TxnId& tid) {
+  dap_slot_.CheckAccess(dap_index_, dap_count_, "TRecordPartition::Erase");
   ChargeLocalOp();
   records_.erase(tid);
 }
 
 size_t TRecordPartition::TrimFinalized(Timestamp watermark) {
+  dap_slot_.CheckAccess(dap_index_, dap_count_, "TRecordPartition::TrimFinalized");
   size_t trimmed = 0;
   for (auto it = records_.begin(); it != records_.end();) {
     if (IsFinal(it->second.status) && it->second.ts <= watermark) {
@@ -90,6 +96,9 @@ std::vector<TxnRecordSnapshot> TRecord::SnapshotAll() const {
 }
 
 void TRecord::ReplaceAll(const std::vector<TxnRecordSnapshot>& snapshots) {
+  // Epoch-state adoption rebuilds every partition from the merge leader's
+  // snapshot on one thread; that is maintenance, not fast-path traffic.
+  DapAuditSuspend suspend;
   for (TRecordPartition& p : partitions_) {
     p.Clear();
   }
@@ -100,6 +109,9 @@ void TRecord::ReplaceAll(const std::vector<TxnRecordSnapshot>& snapshots) {
 }
 
 size_t TRecord::TrimFinalizedAll(Timestamp watermark) {
+  // Bulk trim is for quiesced maintenance windows (see header); the per-core
+  // TrimFinalized keeps its DAP check for steady-state use.
+  DapAuditSuspend suspend;
   size_t trimmed = 0;
   for (TRecordPartition& p : partitions_) {
     trimmed += p.TrimFinalized(watermark);

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/dap_check.h"
 #include "src/common/types.h"
 #include "src/transport/message.h"
 
@@ -48,7 +49,12 @@ struct TxnRecord {
   static TxnRecord FromSnapshot(const TxnRecordSnapshot& snap);
 };
 
-// One core's partition. Single-writer by construction.
+// One core's partition. Single-writer by construction; the DAP detector
+// (src/common/dap_check.h) audits exactly that claim: the per-record
+// accessors below check the caller's core scope / owning thread and report a
+// violation on cross-core access. Bulk maintenance entry points (Clear,
+// TRecord::ReplaceAll, TRecord::TrimFinalizedAll) reset the ownership stamp
+// instead — recovery legitimately rebuilds partitions from one thread.
 class TRecordPartition {
  public:
   // Returns the record for tid, creating it if absent.
@@ -72,16 +78,32 @@ class TRecordPartition {
 
   void ForEach(const std::function<void(const TxnRecord&)>& fn) const;
 
-  void Clear() { records_.clear(); }
+  void Clear() {
+    records_.clear();
+    dap_slot_.ResetOwner();
+  }
 
  private:
+  friend class TRecord;
+
   std::unordered_map<TxnId, TxnRecord, TxnIdHash> records_;
+
+  // DAP audit identity: which partition this is and how many exist, so the
+  // detector can map a scoped core id through the same modulo as Partition().
+  uint32_t dap_index_ = 0;
+  uint32_t dap_count_ = 0;
+  mutable DapOwnerSlot dap_slot_;
 };
 
 // All partitions of one replica.
 class TRecord {
  public:
-  explicit TRecord(size_t num_cores) : partitions_(num_cores) {}
+  explicit TRecord(size_t num_cores) : partitions_(num_cores) {
+    for (size_t i = 0; i < partitions_.size(); i++) {
+      partitions_[i].dap_index_ = static_cast<uint32_t>(i);
+      partitions_[i].dap_count_ = static_cast<uint32_t>(partitions_.size());
+    }
+  }
 
   TRecord(const TRecord&) = delete;
   TRecord& operator=(const TRecord&) = delete;

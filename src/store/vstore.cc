@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/common/annotations.h"
 #include "src/common/stats.h"
 #include "src/sim/sim_context.h"
 
@@ -65,7 +66,7 @@ void KeyEntry::RemoveWriter(const Timestamp& ts) {
   }
 }
 
-void KeyEntry::InstallCommitted(const std::string& new_value, Timestamp new_wts) {
+ZCP_FAST_PATH void KeyEntry::InstallCommitted(const std::string& new_value, Timestamp new_wts) {
   // Seqlock write protocol (Boehm, "Can seqlocks get along with programming
   // language memory models?"): odd seq -> release fence -> relaxed data
   // stores -> even seq with release. Writers are serialized by `lock`.
@@ -90,7 +91,7 @@ void KeyEntry::InstallCommitted(const std::string& new_value, Timestamp new_wts)
   wts = new_wts;
 }
 
-bool KeyEntry::TryReadFast(bool* found, std::string* value_out, Timestamp* wts_out) const {
+ZCP_FAST_PATH bool KeyEntry::TryReadFast(bool* found, std::string* value_out, Timestamp* wts_out) const {
   for (int attempt = 0; attempt < kSeqlockAttempts; attempt++) {
     uint32_t s1 = pub_seq.load(std::memory_order_acquire);
     if (s1 & 1) {
@@ -125,7 +126,7 @@ bool KeyEntry::TryReadFast(bool* found, std::string* value_out, Timestamp* wts_o
   return false;
 }
 
-bool KeyEntry::TryReadVersionFast(bool* found, Timestamp* wts_out) const {
+ZCP_FAST_PATH bool KeyEntry::TryReadVersionFast(bool* found, Timestamp* wts_out) const {
   for (int attempt = 0; attempt < kSeqlockAttempts; attempt++) {
     uint32_t s1 = pub_seq.load(std::memory_order_acquire);
     if (s1 & 1) {
@@ -156,6 +157,7 @@ VStore::Table::Table(size_t cap)
 
 VStore::VStore(size_t num_shards) : shards_(num_shards) {
   for (Shard& shard : shards_) {
+    LockGuard<KeyLock> lock(shard.structural_lock);
     auto table = std::make_unique<Table>(kInitialTableCapacity);
     shard.table.store(table.get(), std::memory_order_release);
     shard.tables.push_back(std::move(table));
@@ -181,7 +183,7 @@ VStore::Shard& VStore::ShardFor(uint64_t hash) {
   return shards_[(hash >> 32) % shards_.size()];
 }
 
-KeyEntry* VStore::Probe(const Table* table, const std::string& key, uint64_t hash) {
+ZCP_FAST_PATH KeyEntry* VStore::Probe(const Table* table, const std::string& key, uint64_t hash) {
   size_t i = hash & table->mask;
   while (true) {
     KeyEntry* e = table->slots[i].load(std::memory_order_acquire);
@@ -195,9 +197,9 @@ KeyEntry* VStore::Probe(const Table* table, const std::string& key, uint64_t has
   }
 }
 
-KeyEntry* VStore::Find(const std::string& key) { return FindWithHash(key, HashKey(key)); }
+ZCP_FAST_PATH KeyEntry* VStore::Find(const std::string& key) { return FindWithHash(key, HashKey(key)); }
 
-KeyEntry* VStore::FindWithHash(const std::string& key, uint64_t hash) {
+ZCP_FAST_PATH KeyEntry* VStore::FindWithHash(const std::string& key, uint64_t hash) {
   ChargeSimKeyOps(1);
   Shard& shard = ShardFor(hash);
   return Probe(shard.table.load(std::memory_order_acquire), key, hash);
@@ -214,7 +216,7 @@ KeyEntry* VStore::FindOrCreateWithHash(const std::string& key, uint64_t hash) {
     ChargeSimKeyOps(1);
     return e;
   }
-  std::lock_guard<KeyLock> lock(shard.structural_lock);
+  LockGuard<KeyLock> lock(shard.structural_lock);
   // Re-probe under the lock: a racing insert may have won, and the table may
   // have been swapped by a resize.
   if (KeyEntry* e = Probe(shard.table.load(std::memory_order_acquire), key, hash)) {
@@ -258,7 +260,7 @@ void VStore::InsertLocked(Shard& shard, std::unique_ptr<KeyEntry> entry) {
   table->slots[i].store(raw, std::memory_order_release);
 }
 
-ReadResult VStore::Read(const std::string& key) {
+ZCP_FAST_PATH ReadResult VStore::Read(const std::string& key) {
   ReadResult result;
   uint64_t hash = HashKey(key);
   KeyEntry* entry = FindWithHash(key, hash);
@@ -271,7 +273,7 @@ ReadResult VStore::Read(const std::string& key) {
     return result;
   }
   LocalFastPathCounters().vstore_locked_reads++;
-  std::lock_guard<KeyLock> lock(entry->lock);
+  LockGuard<KeyLock> lock(entry->lock);
   if (!entry->wts.Valid()) {
     return result;  // Entry exists (pending writers) but was never committed.
   }
@@ -281,7 +283,7 @@ ReadResult VStore::Read(const std::string& key) {
   return result;
 }
 
-VersionProbe VStore::ReadVersion(const std::string& key) {
+ZCP_FAST_PATH VersionProbe VStore::ReadVersion(const std::string& key) {
   VersionProbe probe;
   KeyEntry* entry = Find(key);
   if (entry == nullptr) {
@@ -292,7 +294,7 @@ VersionProbe VStore::ReadVersion(const std::string& key) {
   if (entry->TryReadVersionFast(&probe.found, &probe.wts)) {
     return probe;
   }
-  std::lock_guard<KeyLock> lock(entry->lock);
+  LockGuard<KeyLock> lock(entry->lock);
   probe.found = entry->wts.Valid();
   probe.wts = entry->wts;
   return probe;
@@ -300,7 +302,7 @@ VersionProbe VStore::ReadVersion(const std::string& key) {
 
 void VStore::LoadKey(const std::string& key, const std::string& value, Timestamp wts) {
   KeyEntry* entry = FindOrCreate(key);
-  std::lock_guard<KeyLock> lock(entry->lock);
+  LockGuard<KeyLock> lock(entry->lock);
   // Thomas write rule here too: state transfer during recovery must never
   // roll a key back to an older version.
   if (wts > entry->wts) {
@@ -310,9 +312,9 @@ void VStore::LoadKey(const std::string& key, const std::string& value, Timestamp
 
 void VStore::ClearPendingAll() {
   for (Shard& shard : shards_) {
-    std::lock_guard<KeyLock> slock(shard.structural_lock);
+    LockGuard<KeyLock> slock(shard.structural_lock);
     for (auto& entry : shard.entries) {
-      std::lock_guard<KeyLock> lock(entry->lock);
+      LockGuard<KeyLock> lock(entry->lock);
       entry->readers.clear();
       entry->writers.clear();
     }
@@ -321,7 +323,7 @@ void VStore::ClearPendingAll() {
 
 void VStore::ClearAll() {
   for (Shard& shard : shards_) {
-    std::lock_guard<KeyLock> slock(shard.structural_lock);
+    LockGuard<KeyLock> slock(shard.structural_lock);
     auto fresh = std::make_unique<Table>(kInitialTableCapacity);
     shard.table.store(fresh.get(), std::memory_order_release);
     // Quiesced by contract (no concurrent readers), so retired tables and
@@ -336,6 +338,7 @@ void VStore::ClearAll() {
 size_t VStore::SizeForTesting() const {
   size_t n = 0;
   for (const Shard& shard : shards_) {
+    LockGuard<KeyLock> lock(shard.structural_lock);
     n += shard.size;
   }
   return n;
@@ -344,9 +347,9 @@ size_t VStore::SizeForTesting() const {
 void VStore::ForEachCommitted(
     const std::function<void(const std::string&, const std::string&, Timestamp)>& fn) {
   for (Shard& shard : shards_) {
-    std::lock_guard<KeyLock> slock(shard.structural_lock);
+    LockGuard<KeyLock> slock(shard.structural_lock);
     for (auto& entry : shard.entries) {
-      std::lock_guard<KeyLock> lock(entry->lock);
+      LockGuard<KeyLock> lock(entry->lock);
       if (entry->wts.Valid()) {
         fn(entry->key, entry->value, entry->wts);
       }

@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/common/types.h"
 #include "src/sim/primitives.h"
 
@@ -57,13 +58,13 @@ struct KeyEntry {
   uint64_t hash = 0;
 
   // Authoritative state, guarded by `lock`.
-  std::string value;
-  Timestamp wts;  // Version of `value`.
-  Timestamp rts;  // Largest committed read timestamp.
+  std::string value GUARDED_BY(lock);
+  Timestamp wts GUARDED_BY(lock);  // Version of `value`.
+  Timestamp rts GUARDED_BY(lock);  // Largest committed read timestamp.
   // Pending (validated, not yet finalized) transactions. Kept as small flat
   // vectors: the uncontended case has zero or one element.
-  std::vector<Timestamp> readers;
-  std::vector<Timestamp> writers;
+  std::vector<Timestamp> readers GUARDED_BY(lock);
+  std::vector<Timestamp> writers GUARDED_BY(lock);
 
   // Seqlock-published mirror of (value, wts). Writers mutate it only while
   // holding `lock` (so mirror writers are serialized); readers validate
@@ -77,16 +78,16 @@ struct KeyEntry {
   std::array<std::atomic<uint64_t>, kInlineValueWords> pub_words{};
 
   // Helpers used by validation; caller must hold `lock`.
-  Timestamp MinWriter() const;  // kInvalidTimestamp if none (treated as +inf by callers).
-  Timestamp MaxReader() const;  // kInvalidTimestamp if none (-inf).
-  bool HasWriters() const { return !writers.empty(); }
-  bool HasReaders() const { return !readers.empty(); }
-  void RemoveReader(const Timestamp& ts);
-  void RemoveWriter(const Timestamp& ts);
+  Timestamp MinWriter() const REQUIRES(lock);  // kInvalidTimestamp if none (treated as +inf by callers).
+  Timestamp MaxReader() const REQUIRES(lock);  // kInvalidTimestamp if none (-inf).
+  bool HasWriters() const REQUIRES(lock) { return !writers.empty(); }
+  bool HasReaders() const REQUIRES(lock) { return !readers.empty(); }
+  void RemoveReader(const Timestamp& ts) REQUIRES(lock);
+  void RemoveWriter(const Timestamp& ts) REQUIRES(lock);
 
   // Installs a committed (value, wts) into both the authoritative fields and
   // the seqlock mirror. Caller must hold `lock`.
-  void InstallCommitted(const std::string& new_value, Timestamp new_wts);
+  void InstallCommitted(const std::string& new_value, Timestamp new_wts) REQUIRES(lock);
 
   // Seqlock read of (value, wts). Returns false if the value overflows the
   // mirror or a concurrent writer kept invalidating the read — the caller
@@ -176,13 +177,15 @@ class VStore {
   };
 
   struct Shard {
-    KeyLock structural_lock;
+    // mutable so const accessors (SizeForTesting) can lock instead of racing
+    // structural inserts.
+    mutable KeyLock structural_lock;
     std::atomic<Table*> table{nullptr};
     // Owns the current table plus every retired generation: a reader loaded
     // `table` before a resize may still be probing the old array.
-    std::vector<std::unique_ptr<Table>> tables;
-    std::vector<std::unique_ptr<KeyEntry>> entries;
-    size_t size = 0;
+    std::vector<std::unique_ptr<Table>> tables GUARDED_BY(structural_lock);
+    std::vector<std::unique_ptr<KeyEntry>> entries GUARDED_BY(structural_lock);
+    size_t size GUARDED_BY(structural_lock) = 0;
   };
 
   static constexpr size_t kInitialTableCapacity = 16;
@@ -191,7 +194,8 @@ class VStore {
   static KeyEntry* Probe(const Table* table, const std::string& key, uint64_t hash);
   // Inserts into `shard`'s current table, resizing first if needed. Caller
   // holds the structural lock.
-  void InsertLocked(Shard& shard, std::unique_ptr<KeyEntry> entry);
+  void InsertLocked(Shard& shard, std::unique_ptr<KeyEntry> entry)
+      REQUIRES(shard.structural_lock);
 
   std::vector<Shard> shards_;
 };

@@ -15,20 +15,23 @@
 //     (`waiters_` is maintained under the same mutex, so there is no lost
 //     wakeup: a consumer registers as a waiter before releasing the mutex a
 //     producer must hold to publish an item).
+//
+// Locking is annotated for Clang's thread-safety analysis (annotations.h);
+// the blocking waits use explicit `while` loops over CondVar::Wait because
+// the analysis treats lambda predicates as separate unannotated functions.
 
 #ifndef MEERKAT_SRC_TRANSPORT_CHANNEL_H_
 #define MEERKAT_SRC_TRANSPORT_CHANNEL_H_
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/common/stats.h"
 
 namespace meerkat {
@@ -53,10 +56,10 @@ class Channel {
   Channel& operator=(const Channel&) = delete;
 
   // Returns false if the channel is closed.
-  bool Push(T item) {
+  bool Push(T item) EXCLUDES(mu_) {
     bool notify;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_) {
         return false;
       }
@@ -65,7 +68,7 @@ class Channel {
       notify = waiters_ > 0;
     }
     if (notify) {
-      cv_.notify_one();
+      cv_.NotifyOne();
     } else {
       LocalFastPathCounters().channel_notifies_skipped++;
     }
@@ -73,10 +76,12 @@ class Channel {
   }
 
   // Blocks until an item arrives or the channel closes.
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
+  std::optional<T> Pop() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     waiters_++;
-    cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+    while (items_.empty() && !closed_) {
+      cv_.Wait(mu_);
+    }
     waiters_--;
     if (items_.empty()) {
       return std::nullopt;
@@ -88,12 +93,17 @@ class Channel {
   }
 
   // Blocks up to `timeout`; nullopt on timeout or close.
-  std::optional<T> PopFor(std::chrono::nanoseconds timeout) {
-    std::unique_lock<std::mutex> lock(mu_);
+  std::optional<T> PopFor(std::chrono::nanoseconds timeout) EXCLUDES(mu_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(mu_);
     waiters_++;
-    bool ready = cv_.wait_for(lock, timeout, [this] { return !items_.empty() || closed_; });
+    while (items_.empty() && !closed_) {
+      if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
+        break;
+      }
+    }
     waiters_--;
-    if (!ready || items_.empty()) {
+    if (items_.empty()) {
       return std::nullopt;
     }
     T item = std::move(items_.front());
@@ -102,8 +112,8 @@ class Channel {
     return item;
   }
 
-  std::optional<T> TryPop() {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::optional<T> TryPop() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (items_.empty()) {
       return std::nullopt;
     }
@@ -118,7 +128,7 @@ class Channel {
   // on the lock-free size/closed atomics before parking on the condvar.
   // Returns false only when the channel is closed AND fully drained — the
   // consumer's termination condition. FIFO order is preserved.
-  bool PopAll(std::vector<T>& out) {
+  bool PopAll(std::vector<T>& out) EXCLUDES(mu_) {
     out.clear();
     // Spin phase: no lock, no cache-line writes — just acquire loads.
     for (int i = 0; i < kSpinIterations; i++) {
@@ -129,9 +139,11 @@ class Channel {
       channel_internal::CpuRelax();
     }
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       waiters_++;
-      cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+      while (items_.empty() && !closed_) {
+        cv_.Wait(mu_);
+      }
       waiters_--;
       if (items_.empty()) {
         return false;  // Closed and drained.
@@ -149,10 +161,10 @@ class Channel {
   }
 
   // Non-blocking drain; returns the number of items moved into `out`.
-  size_t TryPopAll(std::vector<T>& out) {
+  size_t TryPopAll(std::vector<T>& out) EXCLUDES(mu_) {
     out.clear();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       while (!items_.empty()) {
         out.push_back(std::move(items_.front()));
         items_.pop_front();
@@ -168,21 +180,21 @@ class Channel {
   }
 
   // Unblocks all waiters; subsequent Push calls fail.
-  void Close() {
+  void Close() EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
       closed_flag_.store(true, std::memory_order_release);
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   bool closed() const {
     return closed_flag_.load(std::memory_order_acquire);
   }
 
-  size_t Size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t Size() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
 
@@ -191,11 +203,11 @@ class Channel {
   // already mid-Push, short enough not to matter when the channel is idle.
   static constexpr int kSpinIterations = 128;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
-  int waiters_ = 0;  // Guarded by mu_; consumers parked (or about to park).
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
+  int waiters_ GUARDED_BY(mu_) = 0;  // Consumers parked (or about to park).
 
   // Lock-free mirrors for the consumer's spin phase. approx_size_ may lag the
   // deque (it is only a hint); closed_flag_ mirrors closed_ exactly.

@@ -25,11 +25,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <set>
 #include <utility>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/common/rng.h"
 #include "src/transport/fault_plan.h"
 #include "src/transport/message.h"
@@ -52,7 +52,7 @@ class FaultInjector {
   // the RNG, and zeroes the per-rule match counters. Installing the same plan
   // before identical runs reproduces identical fault schedules.
   void InstallPlan(const FaultPlan& plan) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     rng_.Seed(plan.seed);
     drop_probability_ = plan.drop_probability;
     duplicate_probability_ = plan.duplicate_probability;
@@ -65,7 +65,7 @@ class FaultInjector {
   // endpoint's address, after it has been marked crashed at the network
   // level. Runs inline inside Send; must not block (see file comment).
   void SetCrashHook(CrashHook hook) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     crash_hook_ = std::move(hook);
   }
 
@@ -75,7 +75,7 @@ class FaultInjector {
     std::vector<Address> crashes;
     CrashHook hook;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (IsCrashedLocked(msg.src) || IsCrashedLocked(msg.dst)) {
         v.drop = true;
         return v;
@@ -147,77 +147,77 @@ class FaultInjector {
   }
 
   void SetDropProbability(double p) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     drop_probability_ = p;
   }
 
   void SetDuplicateProbability(double p) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     duplicate_probability_ = p;
   }
 
   // Messages get a uniform extra delay in [0, max_ns]; together with the base
   // latency this reorders messages.
   void SetMaxExtraDelay(uint64_t max_ns) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     max_extra_delay_ns_ = max_ns;
   }
 
   void CrashReplica(ReplicaId id) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     crashed_replicas_.insert(id);
   }
 
   void RecoverReplica(ReplicaId id) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     crashed_replicas_.erase(id);
   }
 
   bool IsCrashed(ReplicaId id) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return crashed_replicas_.count(id) != 0;
   }
 
   void CrashClient(uint32_t id) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     crashed_clients_.insert(id);
   }
 
   void RecoverClient(uint32_t id) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     crashed_clients_.erase(id);
   }
 
   bool IsClientCrashed(uint32_t id) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return crashed_clients_.count(id) != 0;
   }
 
   // Blocks src -> dst delivery (directed). Call twice for a symmetric cut.
   void BlockLink(const Address& src, const Address& dst) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     blocked_links_.insert(LinkKey(src, dst));
   }
 
   void UnblockLink(const Address& src, const Address& dst) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     blocked_links_.erase(LinkKey(src, dst));
   }
 
   void ClearLinkFaults() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     blocked_links_.clear();
   }
 
   uint64_t dropped() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return dropped_;
   }
 
   // Matches observed by scripted rule `i` of the installed plan (tests assert
   // a drill's trigger actually fired).
   uint64_t rule_matches(size_t i) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return i < rule_matches_.size() ? rule_matches_[i] : 0;
   }
 
@@ -229,14 +229,14 @@ class FaultInjector {
     return (enc(src) << 32) | enc(dst);
   }
 
-  bool IsCrashedLocked(const Address& a) const {
+  bool IsCrashedLocked(const Address& a) const REQUIRES(mu_) {
     if (a.kind == Address::Kind::kReplica) {
       return crashed_replicas_.count(a.id) != 0;
     }
     return crashed_clients_.count(a.id) != 0;
   }
 
-  void CrashLocked(const Address& a) {
+  void CrashLocked(const Address& a) REQUIRES(mu_) {
     if (a.kind == Address::Kind::kReplica) {
       crashed_replicas_.insert(a.id);
     } else {
@@ -244,7 +244,7 @@ class FaultInjector {
     }
   }
 
-  bool MatchesLocked(const FaultRule& rule, const Message& msg) const {
+  bool MatchesLocked(const FaultRule& rule, const Message& msg) const REQUIRES(mu_) {
     if (rule.kind != MsgKind::kAny && rule.kind != KindOf(msg.payload)) {
       return false;
     }
@@ -263,19 +263,19 @@ class FaultInjector {
            match_endpoint(msg.dst, rule.dst_replica, rule.dst_client);
   }
 
-  mutable std::mutex mu_;
-  Rng rng_;
-  double drop_probability_ = 0.0;
-  double duplicate_probability_ = 0.0;
-  uint64_t max_extra_delay_ns_ = 0;
-  std::vector<FaultRule> rules_;
-  std::vector<uint64_t> rule_matches_;
-  CrashHook crash_hook_;
-  std::set<ReplicaId> crashed_replicas_;
-  std::set<uint32_t> crashed_clients_;
-  std::set<uint64_t> blocked_links_;
-  uint64_t dropped_ = 0;
-  uint64_t duplicated_ = 0;
+  mutable Mutex mu_;
+  Rng rng_ GUARDED_BY(mu_);
+  double drop_probability_ GUARDED_BY(mu_) = 0.0;
+  double duplicate_probability_ GUARDED_BY(mu_) = 0.0;
+  uint64_t max_extra_delay_ns_ GUARDED_BY(mu_) = 0;
+  std::vector<FaultRule> rules_ GUARDED_BY(mu_);
+  std::vector<uint64_t> rule_matches_ GUARDED_BY(mu_);
+  CrashHook crash_hook_ GUARDED_BY(mu_);
+  std::set<ReplicaId> crashed_replicas_ GUARDED_BY(mu_);
+  std::set<uint32_t> crashed_clients_ GUARDED_BY(mu_);
+  std::set<uint64_t> blocked_links_ GUARDED_BY(mu_);
+  uint64_t dropped_ GUARDED_BY(mu_) = 0;
+  uint64_t duplicated_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace meerkat

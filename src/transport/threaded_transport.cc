@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/common/dap_check.h"
+
 namespace meerkat {
 
 ThreadedTransport::ThreadedTransport(uint64_t base_delay_ns) : base_delay_ns_(base_delay_ns) {
@@ -13,7 +15,7 @@ ThreadedTransport::~ThreadedTransport() { Stop(); }
 
 void ThreadedTransport::RegisterReplica(ReplicaId replica, CoreId core,
                                         TransportReceiver* receiver) {
-  std::lock_guard<std::mutex> lock(endpoints_mu_);
+  MutexLock lock(endpoints_mu_);
   auto ep = std::make_unique<Endpoint>();
   ep->receiver = receiver;
   StartEndpoint(ep.get());
@@ -21,7 +23,7 @@ void ThreadedTransport::RegisterReplica(ReplicaId replica, CoreId core,
 }
 
 void ThreadedTransport::RegisterClient(uint32_t client_id, TransportReceiver* receiver) {
-  std::lock_guard<std::mutex> lock(endpoints_mu_);
+  MutexLock lock(endpoints_mu_);
   auto ep = std::make_unique<Endpoint>();
   ep->receiver = receiver;
   StartEndpoint(ep.get());
@@ -31,7 +33,7 @@ void ThreadedTransport::RegisterClient(uint32_t client_id, TransportReceiver* re
 void ThreadedTransport::UnregisterClient(uint32_t client_id) {
   std::unique_ptr<Endpoint> ep;
   {
-    std::lock_guard<std::mutex> lock(endpoints_mu_);
+    MutexLock lock(endpoints_mu_);
     auto it = endpoints_.find(EndpointKey(Address::Client(client_id), 0));
     if (it == endpoints_.end()) {
       return;
@@ -50,12 +52,15 @@ void ThreadedTransport::UnregisterClient(uint32_t client_id) {
   // happens before Push, without the map lock held across both). Keep the
   // endpoint alive — its closed inbox rejects the late Push safely — and
   // reclaim it at Stop().
-  std::lock_guard<std::mutex> lock(endpoints_mu_);
+  MutexLock lock(endpoints_mu_);
   retired_.push_back(std::move(ep));
 }
 
 void ThreadedTransport::StartEndpoint(Endpoint* ep) {
   ep->worker = std::thread([ep] {
+    // Each endpoint worker is one logical core's delivery thread — exactly
+    // the threads whose partition accesses the DAP detector stamps.
+    DapAudit::BindCurrentThread();
     // Batch drain: one lock acquisition per backlog instead of one per
     // message. The vector's capacity is reused across iterations.
     std::vector<Message> batch;
@@ -68,7 +73,7 @@ void ThreadedTransport::StartEndpoint(Endpoint* ep) {
 }
 
 ThreadedTransport::Endpoint* ThreadedTransport::Lookup(const Address& addr, CoreId core) {
-  std::lock_guard<std::mutex> lock(endpoints_mu_);
+  MutexLock lock(endpoints_mu_);
   // Clients always register at core 0 regardless of what the sender put in
   // msg.core.
   CoreId effective_core = addr.kind == Address::Kind::kClient ? 0 : core;
@@ -97,7 +102,7 @@ void ThreadedTransport::Deliver(Message msg, uint64_t delay_ns) {
   }
   // Delayed messages ride the timer heap.
   {
-    std::lock_guard<std::mutex> lock(timer_mu_);
+    MutexLock lock(timer_mu_);
     if (stopping_) {
       return;
     }
@@ -105,7 +110,7 @@ void ThreadedTransport::Deliver(Message msg, uint64_t delay_ns) {
         std::chrono::steady_clock::now() + std::chrono::nanoseconds(delay_ns), std::move(msg)});
     std::push_heap(timer_heap_.begin(), timer_heap_.end());
   }
-  timer_cv_.notify_one();
+  timer_cv_.NotifyOne();
 }
 
 void ThreadedTransport::SetTimer(const Address& to, CoreId core, uint64_t delay_ns,
@@ -120,43 +125,50 @@ void ThreadedTransport::SetTimer(const Address& to, CoreId core, uint64_t delay_
 }
 
 void ThreadedTransport::TimerLoop() {
-  std::unique_lock<std::mutex> lock(timer_mu_);
+  // Explicit, lexically balanced lock()/unlock() instead of std::unique_lock:
+  // the thread-safety analysis tracks the capability through the loops and
+  // the mid-loop release around delivery (pushing into an inbox while holding
+  // timer_mu_ would order timer_mu_ ahead of the channel mutex for no
+  // reason).
+  timer_mu_.lock();
   while (!stopping_) {
     if (timer_heap_.empty()) {
-      timer_cv_.wait(lock);
+      timer_cv_.Wait(timer_mu_);
       continue;
     }
     auto deadline = timer_heap_.front().deadline;
-    if (timer_cv_.wait_until(lock, deadline) == std::cv_status::timeout ||
+    if (timer_cv_.WaitUntil(timer_mu_, deadline) == std::cv_status::timeout ||
         std::chrono::steady_clock::now() >= deadline) {
       while (!timer_heap_.empty() &&
              timer_heap_.front().deadline <= std::chrono::steady_clock::now()) {
         std::pop_heap(timer_heap_.begin(), timer_heap_.end());
         Message msg = std::move(timer_heap_.back().msg);
         timer_heap_.pop_back();
-        lock.unlock();
+        timer_mu_.unlock();
         Endpoint* ep = Lookup(msg.dst, msg.core);
         if (ep != nullptr) {
           ep->inbox.Push(std::move(msg));
         }
-        lock.lock();
+        timer_mu_.lock();
         if (stopping_) {
+          timer_mu_.unlock();
           return;
         }
       }
     }
   }
+  timer_mu_.unlock();
 }
 
 void ThreadedTransport::Stop() {
   {
-    std::lock_guard<std::mutex> lock(timer_mu_);
+    MutexLock lock(timer_mu_);
     if (stopping_) {
       return;
     }
     stopping_ = true;
   }
-  timer_cv_.notify_all();
+  timer_cv_.NotifyAll();
   if (timer_thread_.joinable()) {
     timer_thread_.join();
   }
@@ -164,7 +176,7 @@ void ThreadedTransport::Stop() {
   // shutdown, so iterating without the lock held across joins is safe.
   std::vector<Endpoint*> eps;
   {
-    std::lock_guard<std::mutex> lock(endpoints_mu_);
+    MutexLock lock(endpoints_mu_);
     for (auto& [key, ep] : endpoints_) {
       (void)key;
       eps.push_back(ep.get());
@@ -187,7 +199,7 @@ void ThreadedTransport::DrainForTesting() {
   for (int round = 0; round < 50; round++) {
     bool all_empty = true;
     {
-      std::lock_guard<std::mutex> lock(endpoints_mu_);
+      MutexLock lock(endpoints_mu_);
       for (auto& [key, ep] : endpoints_) {
         (void)key;
         if (ep->inbox.Size() != 0) {
@@ -197,7 +209,7 @@ void ThreadedTransport::DrainForTesting() {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(timer_mu_);
+      MutexLock lock(timer_mu_);
       if (!timer_heap_.empty()) {
         all_empty = false;
       }

@@ -10,14 +10,13 @@
 #ifndef MEERKAT_SRC_TRANSPORT_THREADED_TRANSPORT_H_
 #define MEERKAT_SRC_TRANSPORT_THREADED_TRANSPORT_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/transport/channel.h"
 #include "src/transport/fault_injector.h"
 #include "src/transport/transport.h"
@@ -70,25 +69,25 @@ class ThreadedTransport : public Transport {
            core;
   }
 
-  Endpoint* Lookup(const Address& addr, CoreId core);
-  void StartEndpoint(Endpoint* ep);
-  void Deliver(Message msg, uint64_t delay_ns);
-  void TimerLoop();
+  Endpoint* Lookup(const Address& addr, CoreId core) EXCLUDES(endpoints_mu_);
+  void StartEndpoint(Endpoint* ep) REQUIRES(endpoints_mu_);
+  void Deliver(Message msg, uint64_t delay_ns) EXCLUDES(timer_mu_);
+  void TimerLoop() EXCLUDES(timer_mu_);
 
   const uint64_t base_delay_ns_;
   FaultInjector faults_;
 
-  std::mutex endpoints_mu_;  // Guards the map shape; endpoints are stable once added.
-  std::map<uint64_t, std::unique_ptr<Endpoint>> endpoints_;
+  Mutex endpoints_mu_;  // Guards the map shape; endpoints are stable once added.
+  std::map<uint64_t, std::unique_ptr<Endpoint>> endpoints_ GUARDED_BY(endpoints_mu_);
   // Unregistered endpoints, kept alive (inbox closed) until Stop() because a
   // racing Send may still hold their pointer.
-  std::vector<std::unique_ptr<Endpoint>> retired_;
+  std::vector<std::unique_ptr<Endpoint>> retired_ GUARDED_BY(endpoints_mu_);
 
-  std::mutex timer_mu_;
-  std::condition_variable timer_cv_;
-  std::vector<PendingTimer> timer_heap_;
+  Mutex timer_mu_;
+  CondVar timer_cv_;
+  std::vector<PendingTimer> timer_heap_ GUARDED_BY(timer_mu_);
   std::thread timer_thread_;
-  bool stopping_ = false;
+  bool stopping_ GUARDED_BY(timer_mu_) = false;
 };
 
 }  // namespace meerkat

@@ -17,6 +17,7 @@
 
 #include "src/transport/fault_injector.h"
 #include "tests/test_util.h"
+#include "tests/zcp_conformance.h"
 
 namespace meerkat {
 namespace {

@@ -15,6 +15,7 @@
 #include "src/workload/ycsb_t.h"
 #include "tests/serializability_checker.h"
 #include "tests/test_util.h"
+#include "tests/zcp_conformance.h"
 
 namespace meerkat {
 namespace {

@@ -14,6 +14,7 @@
 #include "src/workload/ycsb_t.h"
 #include "tests/serializability_checker.h"
 #include "tests/test_util.h"
+#include "tests/zcp_conformance.h"
 
 namespace meerkat {
 namespace {
@@ -228,6 +229,42 @@ TEST(TrecordCheckpointTest, TrimmedReplicaStillServesTraffic) {
   transport.DrainForTesting();
   EXPECT_EQ(replicas[0]->store().Read("k").value, "after-trim");
   transport.Stop();
+}
+
+// Regression for the session accessor locking fix: a poller thread reading
+// the inspection accessors while the endpoint worker runs transactions must
+// be data-race-free (the TSan CI job catches this if the accessors ever stop
+// locking). last_read_set() is excluded: its returned reference is only
+// stable while no transaction is in flight.
+TEST(AccessorThreadSafetyTest, PollingAccessorsWhileExecuting) {
+  SystemOptions options = DefaultOptions(SystemKind::kMeerkat, /*cores=*/2);
+  options.retry_timeout_ns = 2'000'000;
+  ThreadedHarness h(options);
+  h.system().Load("a", "0");
+  h.system().Load("b", "0");
+
+  BlockingClient client(h.system(), 1);
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    uint64_t sink = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      sink += client.session().last_commit_ts().time;
+      sink += client.session().last_tid().seq;
+      sink += client.session().last_write_set().size();
+      std::optional<std::string> v = client.session().last_read_value("a");
+      sink += v.has_value() ? v->size() : 0;
+    }
+    (void)sink;
+  });
+  for (int i = 0; i < 100; i++) {
+    TxnPlan plan;
+    plan.ops.push_back(Op::Rmw("a", "v" + std::to_string(i)));
+    plan.ops.push_back(Op::Get("b"));
+    client.ExecuteWithRetry(plan);
+  }
+  stop.store(true, std::memory_order_release);
+  poller.join();
+  EXPECT_GT(client.session().last_tid().seq, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,36 @@
+// Shared gtest hook: assert a test binary's whole run produced zero runtime
+// DAP violations (src/common/dap_check.h). Including this header from a test
+// file registers a global environment whose teardown fails the binary if any
+// cross-core fast-path access was detected — turning every clean protocol run
+// into a DAP audit.
+
+#ifndef MEERKAT_TESTS_ZCP_CONFORMANCE_H_
+#define MEERKAT_TESTS_ZCP_CONFORMANCE_H_
+
+#include <gtest/gtest.h>
+
+#include "src/common/dap_check.h"
+
+namespace meerkat {
+
+class ZeroDapViolationsEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    DapAudit::SetMode(DapMode::kCount);
+    DapAudit::ResetViolations();
+  }
+  void TearDown() override {
+    EXPECT_EQ(DapAudit::violations(), 0u)
+        << "cross-core fast-path accesses detected; rerun under "
+           "DapMode::kAbort to pinpoint the site";
+  }
+};
+
+namespace {
+::testing::Environment* const kZeroDapViolationsEnv =
+    ::testing::AddGlobalTestEnvironment(new ZeroDapViolationsEnvironment);
+}  // namespace
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_TESTS_ZCP_CONFORMANCE_H_

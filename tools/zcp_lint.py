@@ -1,0 +1,398 @@
+#!/usr/bin/env python3
+"""zcp_lint: static conformance checks for the Zero-Coordination Principle.
+
+The Meerkat fast path (functions marked ZCP_FAST_PATH) must stay free of
+cross-core coordination. Clang's thread-safety analysis proves lock discipline
+(see docs/STATIC_ANALYSIS.md); this linter enforces the ZCP-specific rules
+that no general-purpose analysis knows about:
+
+  ZCP001  fast-path function acquires a blocking mutex (Mutex, RecursiveMutex,
+          SharedMutex, std::mutex, MutexLock, ...). Per-key spinlocks
+          (KeyLock) are the ONE sanctioned lock on the fast path: they guard
+          single-key critical sections of a few instructions and preserve DAP.
+  ZCP002  fast-path function calls an allocating API (new, malloc,
+          make_unique, make_shared). Allocation takes a process-wide heap
+          lock on common allocators — a hidden cross-core serialization
+          point. (Container operations that may allocate are out of scope:
+          flat vectors on the fast path reuse capacity in steady state.)
+  ZCP003  fast-path function touches another partition's trecord
+          (Partition(expr) where expr is not the handler's `core`
+          parameter), or calls a cross-partition helper (SnapshotAll,
+          ReplaceAll, TrimFinalizedAll, ClearPendingAll, ClearAll,
+          ForEachCommitted). Cross-partition access breaks DAP.
+  ZCP004  std::atomic operation without an explicit std::memory_order
+          argument. Implicit seq_cst both hides the author's intent and
+          costs a full fence on weakly-ordered hardware; DESIGN.md §8
+          requires every ordering to be spelled and justified.
+  ZCP005  new writable global / static variable outside the allowlist.
+          Writable process-globals are cross-core shared state by
+          construction. Allowlisted: const/constexpr/constinit-immutable
+          data, thread_local slabs, and sites carrying an inline
+          `// zcp-lint: allow(ZCP005)` comment with a rationale nearby.
+
+Findings are compared against a committed baseline (tools/
+zcp_lint_baseline.json); new findings fail the build, fixed findings are
+reported so the baseline can shrink. `--update-baseline` rewrites it;
+`--self-test` runs the linter over tools/zcp_lint_fixtures/ and asserts each
+planted violation is caught and the clean fixture stays clean.
+
+Suppression: append `// zcp-lint: allow(ZCPxxx)` to a line to waive one rule
+there (use sparingly; say why in a nearby comment).
+
+Pure stdlib Python; no clang bindings required.
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+RULES = {
+    "ZCP001": "fast-path function acquires a blocking mutex",
+    "ZCP002": "fast-path function calls an allocating API",
+    "ZCP003": "fast-path function performs cross-partition access",
+    "ZCP004": "atomic operation without explicit std::memory_order",
+    "ZCP005": "writable global/static outside the allowlist",
+}
+
+# Lock types/guards whose appearance inside a fast-path body is a ZCP001.
+BLOCKING_LOCK_RE = re.compile(
+    r"\b(?:MutexLock|RecursiveMutexLock|std::lock_guard|std::unique_lock|"
+    r"std::scoped_lock|std::shared_lock)\b"
+    r"|\bLockGuard<\s*(?!KeyLock\b)\w+\s*>"
+    r"|\b(?:mu_|mutex_|timer_mu_|endpoints_mu_|backups_mu_|ec_mu_|record_mutex_)\.lock\(\)"
+)
+
+ALLOC_RE = re.compile(
+    r"(?<![\w.])new\b(?!\s*\()"          # new T (placement new `new (p) T` allowed)
+    r"|(?<![\w.])(?:std::)?(?:malloc|calloc|realloc)\s*\("
+    r"|\bstd::make_unique\b|\bstd::make_shared\b"
+    r"|(?<!std::)(?<![\w.])make_unique\s*<|(?<!std::)(?<![\w.])make_shared\s*<"
+)
+
+# Cross-partition helpers a fast-path body must not call.
+CROSS_PARTITION_CALLS_RE = re.compile(
+    r"\b(?:SnapshotAll|ReplaceAll|TrimFinalizedAll|ClearPendingAll|ClearAll|"
+    r"ForEachCommitted)\s*\("
+)
+PARTITION_CALL_RE = re.compile(r"\bPartition\s*\(\s*([^()]*?)\s*\)")
+
+# Atomic member operations that default to seq_cst when no order is passed.
+ATOMIC_OP_RE = re.compile(
+    r"\.\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
+    r"fetch_xor|test_and_set|test|clear|wait|notify_one|notify_all|"
+    r"compare_exchange_weak|compare_exchange_strong)\s*\("
+)
+ATOMIC_CONTEXT_RE = re.compile(
+    r"(pub_seq|pub_len|pub_wts_time|pub_wts_client|pub_words|approx_size_|"
+    r"closed_flag_|flag_|value_|down_mask_|recovering_|owner_|g_mode|"
+    r"g_violations|g_next_token|table|slots?\b|\batomic\b|_atomic)",
+    re.IGNORECASE,
+)
+
+GLOBAL_DECL_RE = re.compile(
+    r"^\s*(?:static\s+)?"
+    r"(?!.*\b(?:const|constexpr|constinit|thread_local|typedef|using|return|"
+    r"class|struct|enum|namespace|template|if|for|while|switch|case|extern)\b)"
+    r"(?:std::)?(?:atomic<[^>]+>|atomic_\w+|int|unsigned|long|bool|char|float|"
+    r"double|size_t|uint\d+_t|int\d+_t|string|vector<[^>]*>|map<[^>]*>)\s*&?\s*"
+    r"g?_?\w+\s*(?:=[^=]|\{|;)"
+)
+
+SUPPRESS_RE = re.compile(r"//\s*zcp-lint:\s*allow\((ZCP\d{3})\)")
+
+# Files whose writable globals are sanctioned shared state (each carries an
+# inline allow comment too; the list documents them in one place).
+ZCP005_FILE_ALLOWLIST = {
+    "src/common/stats.cc",      # counter-slab registry (snapshot-only mutex)
+    "src/common/dap_check.cc",  # detector mode/violation counters
+}
+
+DEFAULT_SRC_GLOBS = ["src/**/*.h", "src/**/*.cc"]
+
+
+def strip_comments_and_strings(text):
+    """Blanks comments and string/char literals, preserving line structure and
+    keeping `// zcp-lint:` suppression comments visible."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            if j == -1:
+                j = n
+            comment = text[i:j]
+            if "zcp-lint:" in comment:
+                out.append(comment)
+            else:
+                out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join("\n" if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    j += 1
+                    break
+                if text[j] == "\n":  # unterminated (raw string etc.) — bail
+                    break
+                j += 1
+            out.append(quote + " " * max(0, j - i - 2) + (quote if j <= n else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def find_fast_path_bodies(text):
+    """Yields (start_line, end_line, body, header) for every function whose
+    definition is marked ZCP_FAST_PATH. Brace-matched; assumes the marker
+    appears on the definition (headers only declare)."""
+    bodies = []
+    for m in re.finditer(r"\bZCP_FAST_PATH\b", text):
+        line_start = text.rfind("\n", 0, m.start()) + 1
+        if text[line_start:m.start()].lstrip().startswith("#"):
+            continue  # the macro's own #define
+        brace = text.find("{", m.end())
+        semi = text.find(";", m.end())
+        if brace == -1 or (semi != -1 and semi < brace):
+            continue  # declaration, not a definition
+        header = " ".join(text[m.end():brace].split())
+        depth, j = 0, brace
+        while j < len(text):
+            if text[j] == "{":
+                depth += 1
+            elif text[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        body = text[brace:j + 1]
+        start_line = text.count("\n", 0, brace) + 1
+        end_line = text.count("\n", 0, j) + 1
+        bodies.append((start_line, end_line, body, header))
+    return bodies
+
+
+def line_suppressed(line, rule):
+    m = SUPPRESS_RE.search(line)
+    return m is not None and m.group(1) == rule
+
+
+def core_param_names(header):
+    """Parameter names a Partition() argument may legally use: the handler's
+    own core/partition parameter (DAP: core i touches partition i)."""
+    names = set()
+    for m in re.finditer(r"\b(?:CoreId|uint32_t|size_t|int)\s+(\w*core\w*|\w*partition\w*)\b",
+                         header):
+        names.add(m.group(1))
+    names.update({"core", "core_", "dap_index_", "partition", "partition_index"})
+    return names
+
+
+def check_fast_path_rules(path, text, findings):
+    lines = text.split("\n")
+    for start, _end, body, header in find_fast_path_bodies(text):
+        allowed_cores = core_param_names(header)
+        for off, line in enumerate(body.split("\n")):
+            lineno = start + off
+            raw = lines[lineno - 1] if lineno - 1 < len(lines) else line
+            if BLOCKING_LOCK_RE.search(line) and not line_suppressed(raw, "ZCP001"):
+                findings.append((path, lineno, "ZCP001", line.strip()))
+            if ALLOC_RE.search(line) and not line_suppressed(raw, "ZCP002"):
+                findings.append((path, lineno, "ZCP002", line.strip()))
+            if not line_suppressed(raw, "ZCP003"):
+                if CROSS_PARTITION_CALLS_RE.search(line):
+                    findings.append((path, lineno, "ZCP003", line.strip()))
+                for pm in PARTITION_CALL_RE.finditer(line):
+                    arg = pm.group(1).strip()
+                    if arg and arg not in allowed_cores and not re.fullmatch(
+                            r"(?:\w+\s*%\s*)?(?:\w*core\w*|\w*partition\w*|dap_index_)",
+                            arg):
+                        findings.append((path, lineno, "ZCP003", line.strip()))
+
+
+def check_atomic_orders(path, text, findings):
+    for lineno, line in enumerate(text.split("\n"), 1):
+        if line_suppressed(line, "ZCP004"):
+            continue
+        for m in ATOMIC_OP_RE.finditer(line):
+            # Only flag receivers that look atomic: cheap heuristic that keeps
+            # vector.clear()/map.load() style false positives out.
+            prefix = line[:m.start() + 1]
+            if not ATOMIC_CONTEXT_RE.search(prefix):
+                continue
+            op = m.group(1)
+            if op in ("notify_one", "notify_all"):
+                continue  # no order parameter exists
+            if op in ("clear", "test", "wait", "test_and_set") and \
+                    not re.search(r"flag", prefix, re.IGNORECASE):
+                continue  # container/condvar methods share these names
+            # Find the call's argument list (balance parens from the match).
+            j = m.end() - 1
+            depth, k = 0, j
+            while k < len(line):
+                if line[k] == "(":
+                    depth += 1
+                elif line[k] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k += 1
+            argtext = line[j:k + 1] if k < len(line) else line[j:]
+            if "memory_order" in argtext:
+                continue
+            if k >= len(line) and "memory_order" in text.split("\n")[lineno:lineno + 2].__str__():
+                continue  # order on a continuation line
+            findings.append((path, lineno, "ZCP004", line.strip()))
+
+
+def check_globals(path, text, findings):
+    if path in ZCP005_FILE_ALLOWLIST:
+        return
+    depth = 0
+    for lineno, line in enumerate(text.split("\n"), 1):
+        stripped = line.strip()
+        # Track namespace/class depth crudely: globals live at depth where the
+        # only enclosing braces are namespaces.
+        opens = line.count("{")
+        closes = line.count("}")
+        ns_line = bool(re.match(r"\s*(?:inline\s+)?namespace\b", line))
+        at_global = depth == 0 or (depth > 0 and ns_line)
+        if at_global and GLOBAL_DECL_RE.match(line) and "(" not in stripped.split("=")[0]:
+            if not line_suppressed(line, "ZCP005"):
+                findings.append((path, lineno, "ZCP005", stripped))
+        if not ns_line:
+            depth += opens
+        depth -= closes
+        depth = max(depth, 0)
+
+
+def scan_file(root, rel, fast_path_only_rules=True):
+    findings = []
+    text = strip_comments_and_strings((root / rel).read_text(errors="replace"))
+    check_fast_path_rules(rel, text, findings)
+    check_atomic_orders(rel, text, findings)
+    check_globals(rel, text, findings)
+    return findings
+
+
+def fingerprint(f):
+    path, _lineno, rule, snippet = f
+    return f"{path}:{rule}:{' '.join(snippet.split())}"
+
+
+def run_scan(root, globs):
+    findings = []
+    seen = set()
+    for pattern in globs:
+        for p in sorted(root.glob(pattern)):
+            rel = p.relative_to(root).as_posix()
+            if rel in seen or not p.is_file():
+                continue
+            seen.add(rel)
+            findings.extend(scan_file(root, rel))
+    return findings
+
+
+def load_baseline(path):
+    if not path.exists():
+        return set()
+    data = json.loads(path.read_text())
+    return set(data.get("findings", []))
+
+
+def self_test(root):
+    fixtures = root / "tools" / "zcp_lint_fixtures"
+    failures = []
+    expectations = {
+        "bad_fast_path_lock.cc": {"ZCP001"},
+        "bad_fast_path_alloc.cc": {"ZCP002"},
+        "bad_cross_partition.cc": {"ZCP003"},
+        "bad_implicit_seq_cst.cc": {"ZCP004"},
+        "bad_writable_global.cc": {"ZCP005"},
+        "clean.cc": set(),
+    }
+    for name, expected in sorted(expectations.items()):
+        rel = (fixtures / name).relative_to(root).as_posix()
+        if not (root / rel).exists():
+            failures.append(f"missing fixture {rel}")
+            continue
+        got = {rule for (_p, _l, rule, _s) in scan_file(root, rel)}
+        missing = expected - got
+        extra = got - expected
+        if missing:
+            failures.append(f"{name}: expected {sorted(missing)} not reported")
+        if extra:
+            failures.append(f"{name}: unexpected {sorted(extra)} reported")
+    if failures:
+        for f in failures:
+            print(f"zcp_lint self-test FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"zcp_lint self-test: {len(expectations)} fixtures OK")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--root", type=Path, default=Path("."))
+    ap.add_argument("--baseline", type=Path, default=None,
+                    help="baseline JSON (relative to --root unless absolute)")
+    ap.add_argument("--update-baseline", action="store_true")
+    ap.add_argument("--self-test", action="store_true")
+    ap.add_argument("--glob", action="append", default=None,
+                    help="file globs to scan (default: src/**/*.h, src/**/*.cc)")
+    args = ap.parse_args()
+
+    root = args.root.resolve()
+    if args.self_test:
+        return self_test(root)
+
+    findings = run_scan(root, args.glob or DEFAULT_SRC_GLOBS)
+    fps = {fingerprint(f): f for f in findings}
+
+    baseline_path = None
+    baseline = set()
+    if args.baseline is not None:
+        baseline_path = args.baseline if args.baseline.is_absolute() else root / args.baseline
+        baseline = load_baseline(baseline_path)
+
+    if args.update_baseline:
+        if baseline_path is None:
+            print("--update-baseline requires --baseline", file=sys.stderr)
+            return 2
+        baseline_path.write_text(json.dumps(
+            {"findings": sorted(fps.keys())}, indent=2) + "\n")
+        print(f"baseline updated: {len(fps)} findings -> {baseline_path}")
+        return 0
+
+    new = {fp: f for fp, f in fps.items() if fp not in baseline}
+    fixed = baseline - set(fps.keys())
+
+    for fp in sorted(new):
+        path, lineno, rule, snippet = new[fp]
+        print(f"{path}:{lineno}: {rule}: {RULES[rule]}\n    {snippet}", file=sys.stderr)
+    if fixed:
+        print(f"zcp_lint: {len(fixed)} baselined finding(s) no longer present; "
+              f"run --update-baseline to shrink the baseline.")
+    if new:
+        print(f"zcp_lint: {len(new)} new violation(s) "
+              f"({len(fps)} total, {len(baseline)} baselined)", file=sys.stderr)
+        return 1
+    print(f"zcp_lint: clean ({len(fps)} baselined finding(s), 0 new)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+// zcp_lint self-test fixture: a fast-path handler that reaches into another
+// core's trecord partition. Expected finding: ZCP003 (and nothing else).
+
+#include "src/common/annotations.h"
+#include "src/common/types.h"
+#include "src/store/trecord.h"
+
+namespace fixture {
+
+struct Handler {
+  meerkat::TRecord trecord_{4};
+
+  ZCP_FAST_PATH void Handle(meerkat::CoreId core) {
+    trecord_.Partition(core + 1).TrimFinalized(8);
+    trecord_.SnapshotAll();
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// zcp_lint self-test fixture: a fast-path function that heap-allocates.
+// Expected finding: ZCP002 (and nothing else).
+
+#include <memory>
+
+#include "src/common/annotations.h"
+
+namespace fixture {
+
+struct Node {
+  int v = 0;
+};
+
+ZCP_FAST_PATH Node* Lookup(int v) {
+  Node* n = new Node();
+  n->v = v;
+  auto spare = std::make_unique<Node>();
+  (void)spare;
+  return n;
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// zcp_lint self-test fixture: a fast-path function that takes a blocking
+// mutex. Expected finding: ZCP001 (and nothing else).
+
+#include "src/common/annotations.h"
+
+namespace fixture {
+
+struct Thing {
+  Mutex mu_;
+  int value GUARDED_BY(mu_) = 0;
+
+  ZCP_FAST_PATH int Read() {
+    MutexLock lock(mu_);
+    return value;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// zcp_lint self-test fixture: atomic operations relying on the implicit
+// seq_cst default. Expected finding: ZCP004 (and nothing else).
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct Flags {
+  std::atomic<uint32_t> down_mask_{0};
+
+  void Mark(uint32_t r) { down_mask_.fetch_or(1u << r); }
+  bool Down(uint32_t r) const { return (down_mask_.load() & (1u << r)) != 0; }
+};
+
+}  // namespace fixture

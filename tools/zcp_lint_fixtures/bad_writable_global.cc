@@ -1,0 +1,12 @@
+// zcp_lint self-test fixture: a writable global — cross-core shared state by
+// construction. Expected finding: ZCP005 (and nothing else).
+
+#include <cstdint>
+
+namespace fixture {
+
+uint64_t g_request_count = 0;
+
+uint64_t Bump() { return ++g_request_count; }
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// zcp_lint self-test fixture: a conforming fast path. Expected findings:
+// none. Exercises the sanctioned constructs — KeyLock, explicit memory
+// orders, own-partition access, immutable globals, and an inline suppression.
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/annotations.h"
+#include "src/common/types.h"
+#include "src/store/trecord.h"
+
+namespace fixture {
+
+constexpr uint64_t kTableSize = 64;
+const char* const kName = "clean";
+
+int g_debug_knob = 0;  // zcp-lint: allow(ZCP005) test-only knob, single writer
+
+struct Entry {
+  meerkat::KeyLock lock;
+  std::atomic<uint32_t> pub_seq{0};
+  uint64_t value GUARDED_BY(lock) = 0;
+};
+
+struct Handler {
+  meerkat::TRecord trecord_{4};
+  Entry entry_;
+
+  ZCP_FAST_PATH uint64_t Handle(meerkat::CoreId core) {
+    trecord_.Partition(core).TrimFinalized(8);
+    uint32_t seq = entry_.pub_seq.load(std::memory_order_acquire);
+    LockGuard<meerkat::KeyLock> guard(entry_.lock);
+    entry_.pub_seq.store(seq + 2, std::memory_order_release);
+    return entry_.value;
+  }
+};
+
+}  // namespace fixture
