@@ -53,6 +53,11 @@ PointResult RunMeerkatPoint(size_t threads, double theta, const BenchOptions& op
   p.goodput_mtps = result.stats.GoodputPerSec(result.elapsed_seconds) / 1e6;
   p.abort_rate = result.stats.AbortRate();
   p.mean_latency_us = result.stats.commit_latency.MeanNanos() / 1e3;
+  p.p50_latency_us = static_cast<double>(result.stats.commit_latency.QuantileNanos(0.5)) / 1e3;
+  p.p99_latency_us = static_cast<double>(result.stats.commit_latency.QuantileNanos(0.99)) / 1e3;
+  p.committed = result.stats.committed;
+  p.aborted = result.stats.aborted;
+  p.failed = result.stats.failed;
   uint64_t commits = result.stats.committed;
   p.fast_path_fraction = commits == 0 ? 0
                                       : static_cast<double>(result.stats.fast_path_commits) /
@@ -68,6 +73,8 @@ int main(int argc, char** argv) {
   BenchOptions opt = ParseBenchArgs(argc, argv);
   const size_t kThreads = opt.quick ? 16 : 32;
 
+  BenchJsonWriter json("ablation_zcp");
+
   // --- A. Fast path vs forced slow path ---
   printf("# Ablation A: Meerkat fast path (YCSB-T, uniform, %zu threads)\n", kThreads);
   printf("%-16s%12s%16s%16s\n", "mode", "Mtxn/s", "mean lat (us)", "fast-path %");
@@ -76,11 +83,13 @@ int main(int argc, char** argv) {
     PointResult p = RunMeerkatPoint(kThreads, 0.0, fast, 3, 1);
     printf("%-16s%12.3f%16.1f%15.1f%%\n", "fast+slow", p.goodput_mtps, p.mean_latency_us,
            p.fast_path_fraction * 100);
+    json.AddPoint("fastpath.enabled", p);
     BenchOptions slow = opt;
     slow.force_slow_path = true;
     p = RunMeerkatPoint(kThreads, 0.0, slow, 3, 1);
     printf("%-16s%12.3f%16.1f%15.1f%%\n", "slow only", p.goodput_mtps, p.mean_latency_us,
            p.fast_path_fraction * 100);
+    json.AddPoint("fastpath.forced_slow", p);
   }
 
   // --- B. Clock skew ---
@@ -93,6 +102,7 @@ int main(int argc, char** argv) {
     printf("%-13lldus%12.3f%12.2f\n", static_cast<long long>(skew_us), p.goodput_mtps,
            p.abort_rate * 100);
     fflush(stdout);
+    json.AddPoint("clock_skew.us" + std::to_string(skew_us), p);
   }
 
   // --- C. Replica scalability ---
@@ -125,6 +135,8 @@ int main(int argc, char** argv) {
 
     printf("%-10zu%14.3f%14.3f\n", n, meerkat.goodput_mtps, kuafu_mtps);
     fflush(stdout);
+    json.AddPoint("replicas.meerkat.n" + std::to_string(n), meerkat);
+    json.Add("replicas.kuafu.n" + std::to_string(n), {{"goodput_mtps", kuafu_mtps}});
   }
 
   // --- D. Transaction length ---
@@ -134,6 +146,7 @@ int main(int argc, char** argv) {
     PointResult p = RunMeerkatPoint(kThreads, 0.0, opt, 3, rmws);
     printf("%-10zu%12.3f%16.1f\n", rmws, p.goodput_mtps, p.mean_latency_us);
     fflush(stdout);
+    json.AddPoint("txn_len.rmw" + std::to_string(rmws), p);
   }
-  return 0;
+  return json.Finish(BenchOutPath(opt, "ablation_zcp")) ? 0 : 1;
 }

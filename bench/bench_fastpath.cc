@@ -165,16 +165,9 @@ void Report(BenchJsonWriter& out, const std::string& name, const MeasureResult& 
 int main(int argc, char** argv) {
   using namespace meerkat;
 
-  bool quick = false;
-  std::string out_path = "BENCH_fastpath.json";
-  for (int i = 1; i < argc; i++) {
-    std::string arg = argv[i];
-    if (arg == "--quick") {
-      quick = true;
-    } else if (arg.rfind("--out=", 0) == 0) {
-      out_path = arg.substr(6);
-    }
-  }
+  BenchOptions opt = ParseBenchArgs(argc, argv);
+  const bool quick = opt.quick;
+  const std::string out_path = BenchOutPath(opt, "fastpath");
 
   const uint64_t kReadIters = quick ? 200'000 : 2'000'000;
   const uint64_t kDrainIters = quick ? 2'000 : 20'000;
@@ -190,7 +183,7 @@ int main(int argc, char** argv) {
   }
   const std::string hot_key = FormatKey(0, 24);
 
-  BenchJsonWriter out;
+  BenchJsonWriter out("fastpath");
 
   Report(out, "vstore_read_hot_1t", MeasureThreads(1, kReadIters, [&](size_t, uint64_t) {
            ReadResult r = vstore.Read(hot_key);
@@ -302,11 +295,9 @@ int main(int argc, char** argv) {
            }));
   }
 
-  if (!out.WriteTo(out_path)) {
-    fprintf(stderr, "failed to write %s\n", out_path.c_str());
+  if (!out.Finish(out_path)) {
     return 2;
   }
-  printf("\nwrote %zu results to %s\n", out.size(), out_path.c_str());
   printf("\nfast-path counters (this process):\n%s\n",
          SnapshotFastPathCounters().Summary().c_str());
 

@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
 
   printf("# Figure 1: PUT throughput (million ops/sec) vs server threads, single server\n");
   printf("%-8s%14s%14s%20s%20s\n", "threads", "eRPC", "UDP", "eRPC+counter", "UDP+counter");
+  BenchJsonWriter json("fig1_kernel_bypass");
   double erpc20 = 0;
   double udp20 = 0;
   double erpc_counter_peak = 0;
@@ -71,6 +72,11 @@ int main(int argc, char** argv) {
     double udp_c = RunKvPoint(NetworkStack::kLinuxUdp, true, t, opt);
     printf("%-8zu%14.2f%14.2f%20.2f%20.2f\n", t, erpc, udp, erpc_c, udp_c);
     fflush(stdout);
+    std::string suffix = ".t" + std::to_string(t);
+    json.Add("erpc" + suffix, {{"mops_per_sec", erpc}});
+    json.Add("udp" + suffix, {{"mops_per_sec", udp}});
+    json.Add("erpc_counter" + suffix, {{"mops_per_sec", erpc_c}});
+    json.Add("udp_counter" + suffix, {{"mops_per_sec", udp_c}});
     erpc20 = erpc;
     udp20 = udp;
     if (erpc_c > erpc_counter_peak) {
@@ -79,5 +85,5 @@ int main(int argc, char** argv) {
   }
   printf("\n# At max threads: eRPC/UDP speedup = %.1fx (paper: ~8x)\n", erpc20 / udp20);
   printf("# eRPC+counter cap = %.1f M ops/s (paper: ~11M)\n", erpc_counter_peak);
-  return 0;
+  return json.Finish(BenchOutPath(opt, "fig1_kernel_bypass")) ? 0 : 1;
 }

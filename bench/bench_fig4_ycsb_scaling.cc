@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   }
   printf("\n");
 
+  BenchJsonWriter json("fig4_ycsb_scaling");
   std::map<SystemKind, double> peak;
   for (size_t t : threads) {
     printf("%-8zu", t);
@@ -35,6 +36,7 @@ int main(int argc, char** argv) {
       PointResult p = RunPoint(kind, WorkloadKind::kYcsbT, t, /*theta=*/0.0, opt);
       printf("%12.3f", p.goodput_mtps);
       fflush(stdout);
+      json.AddPoint(std::string(ToString(kind)) + ".t" + std::to_string(t), p);
       if (p.goodput_mtps > peak[kind]) {
         peak[kind] = p.goodput_mtps;
       }
@@ -48,5 +50,5 @@ int main(int argc, char** argv) {
     printf("%-12s peak=%7.3f  speedup=%5.1fx\n", ToString(kind), peak[kind],
            peak[kind] / peak[SystemKind::kKuaFu]);
   }
-  return 0;
+  return json.Finish(BenchOutPath(opt, "fig4_ycsb_scaling")) ? 0 : 1;
 }

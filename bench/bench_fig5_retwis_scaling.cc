@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   }
   printf("\n");
 
+  BenchJsonWriter json("fig5_retwis_scaling");
   std::map<SystemKind, double> peak;
   for (size_t t : threads) {
     printf("%-8zu", t);
@@ -37,6 +38,7 @@ int main(int argc, char** argv) {
       PointResult p = RunPoint(kind, WorkloadKind::kRetwis, t, /*theta=*/0.0, opt);
       printf("%12.3f", p.goodput_mtps);
       fflush(stdout);
+      json.AddPoint(std::string(ToString(kind)) + ".t" + std::to_string(t), p);
       if (p.goodput_mtps > peak[kind]) {
         peak[kind] = p.goodput_mtps;
       }
@@ -48,5 +50,5 @@ int main(int argc, char** argv) {
   for (SystemKind kind : kSystems) {
     printf("%-12s peak=%7.3f\n", ToString(kind), peak[kind]);
   }
-  return 0;
+  return json.Finish(BenchOutPath(opt, "fig5_retwis_scaling")) ? 0 : 1;
 }

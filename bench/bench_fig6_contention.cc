@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   BenchOptions opt = ParseBenchArgs(argc, argv);
   const size_t kThreads = 64;
 
+  BenchJsonWriter json("fig6_contention");
   for (WorkloadKind wl : {WorkloadKind::kYcsbT, WorkloadKind::kRetwis}) {
     printf("# Figure 6%s: %s throughput (Mtxn/s) vs Zipf coefficient, %zu threads\n",
            wl == WorkloadKind::kYcsbT ? "a" : "b", ToString(wl), kThreads);
@@ -26,8 +27,11 @@ int main(int argc, char** argv) {
       printf("%-8.2f%12.3f%12.3f%10s\n", theta, meerkat.goodput_mtps, pb.goodput_mtps,
              meerkat.goodput_mtps >= pb.goodput_mtps ? "MEERKAT" : "PB");
       fflush(stdout);
+      std::string base = std::string(ToString(wl)) + "." + ZipfTag(theta);
+      json.AddPoint(base + ".meerkat", meerkat);
+      json.AddPoint(base + ".meerkat_pb", pb);
     }
     printf("\n");
   }
-  return 0;
+  return json.Finish(BenchOutPath(opt, "fig6_contention")) ? 0 : 1;
 }

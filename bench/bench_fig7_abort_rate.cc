@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   BenchOptions opt = ParseBenchArgs(argc, argv);
   const size_t kThreads = 64;
 
+  BenchJsonWriter json("fig7_abort_rate");
   for (WorkloadKind wl : {WorkloadKind::kYcsbT, WorkloadKind::kRetwis}) {
     printf("# Figure 7%s: %s abort rate (%%) vs Zipf coefficient, %zu threads\n",
            wl == WorkloadKind::kYcsbT ? "a" : "b", ToString(wl), kThreads);
@@ -25,8 +26,11 @@ int main(int argc, char** argv) {
       PointResult pb = RunPoint(SystemKind::kMeerkatPb, wl, kThreads, theta, opt);
       printf("%-8.2f%12.1f%12.1f\n", theta, meerkat.abort_rate * 100.0, pb.abort_rate * 100.0);
       fflush(stdout);
+      std::string base = std::string(ToString(wl)) + "." + ZipfTag(theta);
+      json.AddPoint(base + ".meerkat", meerkat);
+      json.AddPoint(base + ".meerkat_pb", pb);
     }
     printf("\n");
   }
-  return 0;
+  return json.Finish(BenchOutPath(opt, "fig7_abort_rate")) ? 0 : 1;
 }

@@ -19,20 +19,22 @@ int main(int argc, char** argv) {
   printf("%-12s%14s%14s%14s | %14s%14s%14s\n", "system", "unl mean us", "unl p50", "unl p99",
          "load mean us", "load p50", "load p99");
 
+  BenchJsonWriter json("latency");
   for (SystemKind kind : {SystemKind::kMeerkat, SystemKind::kMeerkatPb, SystemKind::kTapir,
                           SystemKind::kKuaFu}) {
     BenchOptions unloaded = opt;
     unloaded.clients_per_thread = 1;  // Well below saturation.
     PointResult u = RunPoint(kind, WorkloadKind::kYcsbT, kThreads, 0.0, unloaded);
     PointResult l = RunPoint(kind, WorkloadKind::kYcsbT, kThreads, 0.0, opt);
-    // RunPoint reports mean/p99; re-derive p50 via a dedicated field would
-    // bloat PointResult; mean and p99 carry the comparison.
-    printf("%-12s%14.1f%14s%14.1f | %14.1f%14s%14.1f\n", ToString(kind), u.mean_latency_us, "-",
-           u.p99_latency_us, l.mean_latency_us, "-", l.p99_latency_us);
+    printf("%-12s%14.1f%14.1f%14.1f | %14.1f%14.1f%14.1f\n", ToString(kind), u.mean_latency_us,
+           u.p50_latency_us, u.p99_latency_us, l.mean_latency_us, l.p50_latency_us,
+           l.p99_latency_us);
     fflush(stdout);
+    json.AddPoint(std::string(ToString(kind)) + ".unloaded", u);
+    json.AddPoint(std::string(ToString(kind)) + ".loaded", l);
   }
   printf("\n# Expected: Meerkat's unloaded latency is one round trip (~4us) below the\n"
          "# primary-backup systems; TAPIR matches Meerkat unloaded but degrades under load\n"
          "# (queueing at the shared trecord).\n");
-  return 0;
+  return json.Finish(BenchOutPath(opt, "latency")) ? 0 : 1;
 }

@@ -10,6 +10,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bench/harness.h"
+
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/zipf.h"
@@ -354,7 +356,76 @@ void BM_LatencyHistogramRecord(benchmark::State& state) {
 }
 BENCHMARK(BM_LatencyHistogramRecord);
 
+// Console output plus collection for the shared BENCH_*.json export. Times
+// come out in the benchmark's time unit (ns for everything in this file).
+class JsonCollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCollectingReporter(BenchJsonWriter* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) {
+        continue;
+      }
+      std::vector<std::pair<std::string, double>> fields;
+      fields.emplace_back("real_time_ns", run.GetAdjustedRealTime());
+      fields.emplace_back("cpu_time_ns", run.GetAdjustedCPUTime());
+      fields.emplace_back("iterations", static_cast<double>(run.iterations));
+      auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        fields.emplace_back("items_per_second", items->second.value);
+      }
+      json_->Add(run.benchmark_name(), fields);
+    }
+  }
+
+ private:
+  BenchJsonWriter* json_;
+};
+
 }  // namespace
 }  // namespace meerkat
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the harness-wide --quick / --out=
+// flags are stripped before benchmark::Initialize sees the argument list
+// (google-benchmark rejects unknown flags), --quick mapping to a short
+// --benchmark_min_time so CI smoke runs finish fast.
+int main(int argc, char** argv) {
+  using namespace meerkat;
+
+  bool quick = false;
+  std::string out_path = "BENCH_micro_substrate.json";
+  std::vector<char*> bench_args;
+  bench_args.push_back(argv[0]);
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+      if (out_path.empty()) {
+        fprintf(stderr, "--out= requires a path\n");
+        return 2;
+      }
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+  static std::string min_time_flag = "--benchmark_min_time=0.01";
+  if (quick) {
+    bench_args.push_back(min_time_flag.data());
+  }
+
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data())) {
+    return 1;
+  }
+
+  BenchJsonWriter json("micro_substrate");
+  JsonCollectingReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return json.Finish(out_path) ? 0 : 1;
+}

@@ -69,6 +69,7 @@ int main(int argc, char** argv) {
   printf("%-12s%14s%18s%22s%24s\n", "system", "Cross-Core", "Cross-Replica",
          "shared-ops/txn", "replica-msgs/txn");
 
+  BenchJsonWriter json("table1_coordination");
   for (SystemKind kind : {SystemKind::kKuaFu, SystemKind::kTapir, SystemKind::kMeerkatPb,
                           SystemKind::kMeerkat}) {
     SystemOptions sys;
@@ -98,8 +99,13 @@ int main(int argc, char** argv) {
     printf("%-12s%14s%18s%22.2f%24.2f\n", ToString(kind), shared > 0.01 ? "Yes" : "No",
            rmsgs > 0.01 ? "Yes" : "No", shared, rmsgs);
     fflush(stdout);
+    json.Add(ToString(kind), {{"shared_ops_per_txn", shared},
+                              {"replica_msgs_per_txn", rmsgs},
+                              {"attempts", txns},
+                              {"goodput_mtps",
+                               result.stats.GoodputPerSec(result.elapsed_seconds) / 1e6}});
   }
   printf("\n# Expected (paper Table 1): KuaFu++ Yes/Yes, TAPIR Yes/No, Meerkat-PB No/Yes, "
          "Meerkat No/No\n");
-  return 0;
+  return json.Finish(BenchOutPath(opt, "table1_coordination")) ? 0 : 1;
 }

@@ -50,16 +50,25 @@ int main(int argc, char** argv) {
   printf("%-18s%12s%12s%12s%14s%12s\n", "Transaction", "avg #gets", "get range", "avg #puts",
          "measured %", "paper %");
   const double expected[4] = {5, 15, 30, 50};
+  const char* slugs[4] = {"add_user", "follow_unfollow", "post_tweet", "load_timeline"};
+  BenchJsonWriter json("table2_retwis_mix");
   for (int i = 0; i < 4; i++) {
     const Tally& t = tally[i];
     char range[32];
     snprintf(range, sizeof(range), "%llu-%llu", static_cast<unsigned long long>(t.min_gets),
              static_cast<unsigned long long>(t.max_gets));
-    printf("%-18s%12.2f%12s%12.2f%13.1f%%%11.0f%%\n", names[i],
-           static_cast<double>(t.gets) / static_cast<double>(t.count), range,
-           static_cast<double>(t.puts) / static_cast<double>(t.count),
-           100.0 * static_cast<double>(t.count) / static_cast<double>(kSamples), expected[i]);
+    double avg_gets = static_cast<double>(t.gets) / static_cast<double>(t.count);
+    double avg_puts = static_cast<double>(t.puts) / static_cast<double>(t.count);
+    double share = 100.0 * static_cast<double>(t.count) / static_cast<double>(kSamples);
+    printf("%-18s%12.2f%12s%12.2f%13.1f%%%11.0f%%\n", names[i], avg_gets, range, avg_puts,
+           share, expected[i]);
+    json.Add(slugs[i], {{"avg_gets", avg_gets},
+                        {"avg_puts", avg_puts},
+                        {"min_gets", static_cast<double>(t.min_gets)},
+                        {"max_gets", static_cast<double>(t.max_gets)},
+                        {"share_pct", share},
+                        {"expected_share_pct", expected[i]}});
   }
   printf("\n# Paper spec: AddUser 1g/3p, Follow 2g/2p, PostTweet 3g/5p, LoadTimeline 1-10g/0p\n");
-  return 0;
+  return json.Finish(BenchOutPath(opt, "table2_retwis_mix")) ? 0 : 1;
 }

@@ -3,21 +3,29 @@
 // prints paper-style tables.
 //
 // Each bench binary reproduces one paper table or figure; see DESIGN.md §4
-// for the experiment index. Common flags:
+// for the experiment index, and EXPERIMENTS.md §"Machine-readable output" for
+// the BENCH_<name>.json schema every binary emits. Common flags:
 //   --quick          smaller sweeps / shorter windows (CI smoke mode)
 //   --measure-ms=N   virtual measurement window per point
 //   --clients-per-thread=N  closed-loop clients per server thread
+//   --out=PATH       override the BENCH_<name>.json output path
 
 #ifndef MEERKAT_BENCH_HARNESS_H_
 #define MEERKAT_BENCH_HARNESS_H_
 
+#include <cerrno>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/api/system.h"
+#include "src/common/metrics.h"
 #include "src/sim/sim_time_source.h"
 #include "src/sim/simulator.h"
 #include "src/transport/sim_transport.h"
@@ -44,32 +52,107 @@ struct BenchOptions {
   bool force_slow_path = false;
   // Per-client clock skew bound (ablation; 0 = perfectly synced clocks).
   int64_t max_clock_skew_ns = 0;
+  // BENCH_<name>.json output path; empty means the binary's default.
+  std::string out;
 };
 
-inline BenchOptions ParseBenchArgs(int argc, char** argv) {
-  BenchOptions opt;
+inline const char* BenchUsage() {
+  return "usage: bench_<name> [flags]\n"
+         "  --quick                 smaller sweeps / shorter windows (CI smoke mode)\n"
+         "  --measure-ms=N          virtual measurement window per point (ms)\n"
+         "  --warmup-ms=N           warmup window per point (ms)\n"
+         "  --clients-per-thread=N  closed-loop clients per server thread\n"
+         "  --keys-per-thread=N     keys per server thread\n"
+         "  --seed=N                workload RNG seed\n"
+         "  --net-jitter-ns=N      per-message uniform extra delay bound (ns)\n"
+         "  --out=PATH              write the BENCH_<name>.json results here\n"
+         "  --help                  show this message\n";
+}
+
+// Strict, order-independent parse into `opt`. Returns false (with a message
+// in `*error`) on an unknown flag or a malformed number — callers exit
+// nonzero so a typo'd sweep fails loudly instead of silently running with
+// defaults. Quick-mode defaults are applied in a first pass, THEN explicit
+// flags, so `--measure-ms=50 --quick` and `--quick --measure-ms=50` both
+// honor the explicit window.
+inline bool ParseBenchArgsInto(int argc, char** argv, BenchOptions* opt, std::string* error) {
+  auto parse_u64 = [error](const std::string& arg, size_t prefix_len, uint64_t* out_val) {
+    std::string text = arg.substr(prefix_len);
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (text.empty() || text[0] == '-' || errno != 0 || end != text.c_str() + text.size()) {
+      *error = "malformed number in '" + arg + "'";
+      return false;
+    }
+    *out_val = v;
+    return true;
+  };
+  auto has_prefix = [](const std::string& arg, const char* prefix) {
+    return arg.rfind(prefix, 0) == 0;
+  };
+
+  // Pass 1: mode flags set their defaults first so explicit flags win
+  // regardless of position on the command line.
   for (int i = 1; i < argc; i++) {
-    std::string arg = argv[i];
-    auto num = [&arg](const char* prefix) -> long {
-      return std::stol(arg.substr(std::string(prefix).size()));
-    };
-    if (arg == "--quick") {
-      opt.quick = true;
-      opt.measure_ms = 10;
-      opt.warmup_ms = 2;
-    } else if (arg.rfind("--measure-ms=", 0) == 0) {
-      opt.measure_ms = static_cast<uint64_t>(num("--measure-ms="));
-    } else if (arg.rfind("--warmup-ms=", 0) == 0) {
-      opt.warmup_ms = static_cast<uint64_t>(num("--warmup-ms="));
-    } else if (arg.rfind("--clients-per-thread=", 0) == 0) {
-      opt.clients_per_thread = static_cast<size_t>(num("--clients-per-thread="));
-    } else if (arg.rfind("--keys-per-thread=", 0) == 0) {
-      opt.keys_per_thread = static_cast<uint64_t>(num("--keys-per-thread="));
-    } else if (arg.rfind("--seed=", 0) == 0) {
-      opt.seed = static_cast<uint64_t>(num("--seed="));
+    if (std::string(argv[i]) == "--quick") {
+      opt->quick = true;
+      opt->measure_ms = 10;
+      opt->warmup_ms = 2;
     }
   }
+  // Pass 2: explicit flags, strictly validated.
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    uint64_t value = 0;
+    if (arg == "--quick" || arg == "--help") {
+      continue;
+    } else if (has_prefix(arg, "--measure-ms=")) {
+      if (!parse_u64(arg, strlen("--measure-ms="), &opt->measure_ms)) return false;
+    } else if (has_prefix(arg, "--warmup-ms=")) {
+      if (!parse_u64(arg, strlen("--warmup-ms="), &opt->warmup_ms)) return false;
+    } else if (has_prefix(arg, "--clients-per-thread=")) {
+      if (!parse_u64(arg, strlen("--clients-per-thread="), &value)) return false;
+      opt->clients_per_thread = static_cast<size_t>(value);
+    } else if (has_prefix(arg, "--keys-per-thread=")) {
+      if (!parse_u64(arg, strlen("--keys-per-thread="), &opt->keys_per_thread)) return false;
+    } else if (has_prefix(arg, "--seed=")) {
+      if (!parse_u64(arg, strlen("--seed="), &opt->seed)) return false;
+    } else if (has_prefix(arg, "--net-jitter-ns=")) {
+      if (!parse_u64(arg, strlen("--net-jitter-ns="), &opt->net_jitter_ns)) return false;
+    } else if (has_prefix(arg, "--out=")) {
+      opt->out = arg.substr(strlen("--out="));
+      if (opt->out.empty()) {
+        *error = "empty path in '--out='";
+        return false;
+      }
+    } else {
+      *error = "unknown flag '" + arg + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+inline BenchOptions ParseBenchArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; i++) {
+    if (std::string(argv[i]) == "--help") {
+      fputs(BenchUsage(), stdout);
+      std::exit(0);
+    }
+  }
+  BenchOptions opt;
+  std::string error;
+  if (!ParseBenchArgsInto(argc, argv, &opt, &error)) {
+    fprintf(stderr, "error: %s\n%s", error.c_str(), BenchUsage());
+    std::exit(2);
+  }
   return opt;
+}
+
+// The bench's JSON output path: --out wins, else BENCH_<name>.json.
+inline std::string BenchOutPath(const BenchOptions& opt, const std::string& bench_name) {
+  return opt.out.empty() ? "BENCH_" + bench_name + ".json" : opt.out;
 }
 
 enum class WorkloadKind { kYcsbT, kRetwis };
@@ -82,8 +165,15 @@ struct PointResult {
   double goodput_mtps = 0;   // Million committed txns/sec.
   double abort_rate = 0;     // Fraction of attempts aborted.
   double mean_latency_us = 0;
+  double p50_latency_us = 0;
   double p99_latency_us = 0;
   double fast_path_fraction = 0;
+  // Raw outcome counts over the measurement window. `failed` (no quorum
+  // reachable) is distinct from `aborted` (OCC conflict): committed + aborted
+  // + failed == attempts.
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t failed = 0;
   CoordinationStats coordination;
 };
 
@@ -142,7 +232,11 @@ inline PointResult RunPoint(SystemKind kind, WorkloadKind workload, size_t threa
   point.goodput_mtps = result.stats.GoodputPerSec(result.elapsed_seconds) / 1e6;
   point.abort_rate = result.stats.AbortRate();
   point.mean_latency_us = result.stats.commit_latency.MeanNanos() / 1e3;
+  point.p50_latency_us = static_cast<double>(result.stats.commit_latency.QuantileNanos(0.5)) / 1e3;
   point.p99_latency_us = static_cast<double>(result.stats.commit_latency.QuantileNanos(0.99)) / 1e3;
+  point.committed = result.stats.committed;
+  point.aborted = result.stats.aborted;
+  point.failed = result.stats.failed;
   uint64_t commits = result.stats.committed;
   point.fast_path_fraction =
       commits == 0 ? 0.0
@@ -152,34 +246,85 @@ inline PointResult RunPoint(SystemKind kind, WorkloadKind workload, size_t threa
   return point;
 }
 
-// Machine-readable benchmark output: accumulates named results and writes
-// them as a JSON array, one object per result, e.g.
-//   [{"name": "vstore_read_hot_8t", "ops_per_sec": 1.2e7,
-//     "p50_us": 0.1, "p99_us": 0.4}, ...]
-// Used by bench_fastpath to emit BENCH_fastpath.json so CI and scripts can
-// diff fast-path throughput across commits without scraping stdout.
+// Machine-readable benchmark output, shared by every bench binary (so CI and
+// tools/bench_diff.py can diff runs without scraping stdout). Writes one
+// schema-versioned JSON object:
+//
+//   {"schema_version": 1,
+//    "bench": "<name>",
+//    "results": [{"name": "<point>", "<field>": <number>, ...}, ...],
+//    "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}}}
+//
+// `results` is the bench's own series (one object per measured point, flat
+// numeric fields, insertion-ordered); `metrics` is the optional process-wide
+// MetricsSnapshot taken after the run. See EXPERIMENTS.md for the per-bench
+// field inventory.
 class BenchJsonWriter {
  public:
-  void Add(const std::string& name, double ops_per_sec, double p50_us, double p99_us) {
-    entries_.push_back(Entry{name, ops_per_sec, p50_us, p99_us});
+  static constexpr int kSchemaVersion = 1;
+
+  explicit BenchJsonWriter(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  // General form: arbitrary named numeric fields.
+  void Add(const std::string& name,
+           std::vector<std::pair<std::string, double>> fields) {
+    entries_.push_back(Entry{name, std::move(fields)});
   }
+
+  // Convenience form used by the substrate/fast-path benches.
+  void Add(const std::string& name, double ops_per_sec, double p50_us, double p99_us) {
+    Add(name, {{"ops_per_sec", ops_per_sec}, {"p50_us", p50_us}, {"p99_us", p99_us}});
+  }
+
+  // RunPoint form: the standard per-point field set, including the outcome
+  // counters (committed/aborted/failed) the text tables omit.
+  void AddPoint(const std::string& name, const PointResult& p) {
+    Add(name, {{"goodput_mtps", p.goodput_mtps},
+               {"abort_rate", p.abort_rate},
+               {"mean_latency_us", p.mean_latency_us},
+               {"p50_latency_us", p.p50_latency_us},
+               {"p99_latency_us", p.p99_latency_us},
+               {"fast_path_fraction", p.fast_path_fraction},
+               {"committed", static_cast<double>(p.committed)},
+               {"aborted", static_cast<double>(p.aborted)},
+               {"failed", static_cast<double>(p.failed)}});
+  }
+
+  // Attaches the process-wide metrics snapshot (rendered under "metrics").
+  void SetMetrics(const MetricsSnapshot& snap) { metrics_json_ = snap.ToJson(); }
 
   bool WriteTo(const std::string& path) const {
     FILE* f = fopen(path.c_str(), "w");
     if (f == nullptr) {
       return false;
     }
-    fprintf(f, "[\n");
+    fprintf(f, "{\n\"schema_version\": %d,\n\"bench\": \"%s\",\n\"results\": [\n",
+            kSchemaVersion, bench_.c_str());
     for (size_t i = 0; i < entries_.size(); i++) {
       const Entry& e = entries_[i];
-      fprintf(f,
-              "  {\"name\": \"%s\", \"ops_per_sec\": %.1f, \"p50_us\": %.3f, "
-              "\"p99_us\": %.3f}%s\n",
-              e.name.c_str(), e.ops_per_sec, e.p50_us, e.p99_us,
-              i + 1 < entries_.size() ? "," : "");
+      fprintf(f, "  {\"name\": \"%s\"", e.name.c_str());
+      for (const auto& [key, value] : e.fields) {
+        // JSON has no inf/nan; degenerate measurements record as 0.
+        double v = std::isfinite(value) ? value : 0.0;
+        fprintf(f, ", \"%s\": %.6g", key.c_str(), v);
+      }
+      fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
     }
-    fprintf(f, "]\n");
+    fprintf(f, "]%s%s\n}\n", metrics_json_.empty() ? "" : ",\n\"metrics\": ",
+            metrics_json_.c_str());
     fclose(f);
+    return true;
+  }
+
+  // Snapshots process metrics, writes the file, and reports the outcome on
+  // stdout/stderr; the standard tail call of every bench main.
+  bool Finish(const std::string& path) {
+    SetMetrics(SnapshotMetrics());
+    if (!WriteTo(path)) {
+      fprintf(stderr, "failed to write %s\n", path.c_str());
+      return false;
+    }
+    printf("\nwrote %zu results to %s\n", size(), path.c_str());
     return true;
   }
 
@@ -188,10 +333,10 @@ class BenchJsonWriter {
  private:
   struct Entry {
     std::string name;
-    double ops_per_sec;
-    double p50_us;
-    double p99_us;
+    std::vector<std::pair<std::string, double>> fields;
   };
+  std::string bench_;
+  std::string metrics_json_;
   std::vector<Entry> entries_;
 };
 
@@ -207,6 +352,13 @@ inline std::vector<double> ZipfSweep(bool quick) {
     return {0.0, 0.6, 0.9};
   }
   return {0.0, 0.2, 0.4, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95, 1.0};
+}
+
+// Stable point-name fragment for a zipf theta: 0.85 -> "z085".
+inline std::string ZipfTag(double theta) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "z%03d", static_cast<int>(theta * 100 + 0.5));
+  return buf;
 }
 
 }  // namespace meerkat

@@ -31,6 +31,13 @@ class PlainKvServer {
   PlainKvServer(const PlainKvServer&) = delete;
   PlainKvServer& operator=(const PlainKvServer&) = delete;
 
+  ~PlainKvServer() {
+    // Stop delivery into the per-core receivers before destroying them.
+    for (CoreId core = 0; core < receivers_.size(); core++) {
+      transport_->UnregisterReplica(id_, core);
+    }
+  }
+
   uint64_t puts_handled() const { return counter_.Load(); }
   VStore& store() { return store_; }
 

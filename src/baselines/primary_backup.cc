@@ -30,6 +30,13 @@ PrimaryBackupReplica::PrimaryBackupReplica(ReplicaId id, PbMode mode, const Quor
   }
 }
 
+PrimaryBackupReplica::~PrimaryBackupReplica() {
+  // Stop delivery into the per-core receivers before destroying them.
+  for (CoreId core = 0; core < receivers_.size(); core++) {
+    transport_->UnregisterReplica(id_, core);
+  }
+}
+
 void PrimaryBackupReplica::CrashAndRestart() {
   assert(!is_primary() && "drills never crash the primary (no fail-over modelled)");
   recovering_.store(true, std::memory_order_release);

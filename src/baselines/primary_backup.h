@@ -91,6 +91,8 @@ class PrimaryBackupReplica {
   PrimaryBackupReplica(const PrimaryBackupReplica&) = delete;
   PrimaryBackupReplica& operator=(const PrimaryBackupReplica&) = delete;
 
+  ~PrimaryBackupReplica();
+
   ReplicaId id() const { return id_; }
   bool is_primary() const { return id_ == 0; }
   VStore& store() { return store_; }

@@ -17,6 +17,13 @@ TapirReplica::TapirReplica(ReplicaId id, const QuorumConfig& quorum, size_t num_
   }
 }
 
+TapirReplica::~TapirReplica() {
+  // Stop delivery into the per-core receivers before destroying them.
+  for (CoreId core = 0; core < receivers_.size(); core++) {
+    transport_->UnregisterReplica(id_, core);
+  }
+}
+
 void TapirReplica::Reply(const Address& to, CoreId core, Payload payload) {
   Message msg;
   msg.src = Address::Replica(id_);

@@ -33,6 +33,8 @@ class TapirReplica {
   TapirReplica(const TapirReplica&) = delete;
   TapirReplica& operator=(const TapirReplica&) = delete;
 
+  ~TapirReplica();
+
   ReplicaId id() const { return id_; }
   VStore& store() { return store_; }
 

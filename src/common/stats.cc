@@ -11,8 +11,6 @@
 
 namespace meerkat {
 
-LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
-
 int LatencyHistogram::BucketFor(uint64_t nanos) {
   if (nanos == 0) {
     return 0;
@@ -20,8 +18,12 @@ int LatencyHistogram::BucketFor(uint64_t nanos) {
   // Octave = floor(log2 n); sub-bucket from the next kBucketsPerOctave bits.
   int octave = 63 - std::countl_zero(nanos);
   uint64_t frac = octave == 0 ? 0 : (nanos - (1ULL << octave));
+  // frac < 2^octave, so (frac * 16) overflows uint64 once octave >= 60; shift
+  // right instead for large octaves (kBucketsPerOctave == 2^4, exact result).
+  static_assert(kBucketsPerOctave == 16, "sub-bucket shift assumes 16 buckets/octave");
   int sub = octave == 0 ? 0
-                        : static_cast<int>((frac * kBucketsPerOctave) >> octave);
+            : octave >= 4 ? static_cast<int>(frac >> (octave - 4))
+                          : static_cast<int>((frac * kBucketsPerOctave) >> octave);
   int bucket = octave * kBucketsPerOctave + sub;
   return std::min(bucket, kNumBuckets - 1);
 }
@@ -34,6 +36,7 @@ uint64_t LatencyHistogram::BucketLowerBound(int bucket) {
 }
 
 void LatencyHistogram::Record(uint64_t nanos) {
+  EnsureBuckets();
   buckets_[static_cast<size_t>(BucketFor(nanos))]++;
   if (count_ == 0) {
     min_ = max_ = nanos;
@@ -46,8 +49,11 @@ void LatencyHistogram::Record(uint64_t nanos) {
 }
 
 void LatencyHistogram::Merge(const LatencyHistogram& other) {
-  for (int i = 0; i < kNumBuckets; i++) {
-    buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+  if (!other.buckets_.empty()) {
+    EnsureBuckets();
+    for (int i = 0; i < kNumBuckets; i++) {
+      buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+    }
   }
   if (other.count_ > 0) {
     min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
@@ -76,7 +82,10 @@ uint64_t LatencyHistogram::QuantileNanos(double q) const {
   for (int i = 0; i < kNumBuckets; i++) {
     seen += buckets_[static_cast<size_t>(i)];
     if (seen > target) {
-      return BucketLowerBound(i);
+      // A bucket's lower bound can undershoot the smallest recorded sample
+      // (e.g. one 1500 ns sample lands in the bucket starting at 1472 ns);
+      // clamp so quantiles always lie within the observed [min, max].
+      return std::clamp(BucketLowerBound(i), min_, max_);
     }
   }
   return max_;
@@ -108,10 +117,11 @@ void RunStats::Merge(const RunStats& other) {
 std::string RunStats::Summary(double elapsed_seconds) const {
   char buf[256];
   snprintf(buf, sizeof(buf),
-           "goodput=%.0f txn/s committed=%llu aborted=%llu (%.1f%%) fast=%llu slow=%llu "
-           "retx=%llu timeouts=%llu recoveries=%llu",
+           "goodput=%.0f txn/s committed=%llu aborted=%llu (%.1f%%) failed=%llu fast=%llu "
+           "slow=%llu retx=%llu timeouts=%llu recoveries=%llu",
            GoodputPerSec(elapsed_seconds), static_cast<unsigned long long>(committed),
            static_cast<unsigned long long>(aborted), AbortRate() * 100.0,
+           static_cast<unsigned long long>(failed),
            static_cast<unsigned long long>(fast_path_commits),
            static_cast<unsigned long long>(slow_path_commits),
            static_cast<unsigned long long>(retransmits),

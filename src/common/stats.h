@@ -11,14 +11,28 @@
 namespace meerkat {
 
 // Log-bucketed latency histogram (nanoseconds). Buckets grow geometrically,
-// ~4% relative resolution, fixed memory, O(1) record.
+// ~4% relative resolution, fixed memory, O(1) record. The bucket array is
+// allocated on the first Record/Merge, so an unused histogram costs a few
+// words — the per-thread metrics slabs (metrics.h) hold kMaxHistograms of
+// these and must stay cheap to construct at thread start.
 class LatencyHistogram {
  public:
-  LatencyHistogram();
+  LatencyHistogram() = default;
 
   void Record(uint64_t nanos);
   void Merge(const LatencyHistogram& other);
   void Reset();
+
+  // Pre-allocates the bucket array. Record allocates on demand, which is fine
+  // for single-threaded histograms; holders whose histograms are read by
+  // concurrent snapshots (the metrics slabs) call this under their registry
+  // mutex so the one-time vector resize never races a reader.
+  bool has_buckets() const { return !buckets_.empty(); }
+  void EnsureBuckets() {
+    if (buckets_.empty()) {
+      buckets_.resize(kNumBuckets, 0);
+    }
+  }
 
   uint64_t Count() const { return count_; }
   double MeanNanos() const;

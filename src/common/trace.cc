@@ -1,0 +1,187 @@
+#include "src/common/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <memory>
+
+#include "src/common/annotations.h"
+#include "src/common/metrics.h"
+
+namespace meerkat {
+
+const char* ToString(TraceStep step) {
+  switch (step) {
+    case TraceStep::kTxnStart: return "TXN_START";
+    case TraceStep::kGetSent: return "GET_SENT";
+    case TraceStep::kGetReply: return "GET_REPLY";
+    case TraceStep::kValidateSent: return "VALIDATE_SENT";
+    case TraceStep::kValidateReply: return "VALIDATE_REPLY";
+    case TraceStep::kFastPathDecision: return "FAST_PATH_DECISION";
+    case TraceStep::kAcceptSent: return "ACCEPT_SENT";
+    case TraceStep::kAcceptReply: return "ACCEPT_REPLY";
+    case TraceStep::kSlowPathDecision: return "SLOW_PATH_DECISION";
+    case TraceStep::kDecisionBroadcast: return "DECISION_BROADCAST";
+    case TraceStep::kTxnCommitted: return "TXN_COMMITTED";
+    case TraceStep::kTxnAborted: return "TXN_ABORTED";
+    case TraceStep::kTxnFailed: return "TXN_FAILED";
+    case TraceStep::kCoordChangeSent: return "COORD_CHANGE_SENT";
+    case TraceStep::kRecoveryDecision: return "RECOVERY_DECISION";
+    case TraceStep::kEpochChangeStart: return "EPOCH_CHANGE_START";
+    case TraceStep::kEpochAdopted: return "EPOCH_ADOPTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string TraceEvent::Format() const {
+  char buf[128];
+  snprintf(buf, sizeof(buf), "%12" PRIu64 " ns  txn %u/%" PRIu64 "  %-20s arg=%u", t_ns,
+           tid.client_id, tid.seq, ToString(step), arg);
+  return buf;
+}
+
+#if MEERKAT_TRACE
+
+namespace {
+
+// One thread's ring. Slots are relaxed atomics: the owning thread is the only
+// writer, dumps from other threads read racily but without UB. A slot packs
+// the event as three words:
+//   word a: timestamp
+//   word b: seq
+//   word c: client_id(32) | step(8) | arg(24 low bits; args are small ids)
+// Power of two. Sized for diagnostics (dumps show the last ~64 events, a
+// txn replay is ~10), not archival: at 1024 slots a ring is 32 KB, cheap
+// enough that constructing one at thread start does not perturb scheduling
+// even on a single-CPU host.
+constexpr size_t kRingSize = 1024;
+constexpr size_t kRingMask = kRingSize - 1;
+
+struct TraceRing {
+  std::atomic<uint64_t> pos{0};  // Total events ever recorded.
+  struct Slot {
+    std::atomic<uint64_t> a{0};
+    std::atomic<uint64_t> b{0};
+    std::atomic<uint64_t> c{0};
+  };
+  Slot slots[kRingSize];
+};
+
+struct TraceState {
+  Mutex mu;
+  std::vector<std::shared_ptr<TraceRing>> rings GUARDED_BY(mu);
+};
+
+TraceState& State() {
+  static TraceState* state = new TraceState();  // Never destroyed.
+  return *state;
+}
+
+TraceRing& LocalRing() {
+  thread_local std::shared_ptr<TraceRing> ring = [] {
+    auto p = std::make_shared<TraceRing>();
+    TraceState& s = State();
+    MutexLock lock(s.mu);
+    s.rings.push_back(p);
+    return p;
+  }();
+  return *ring;
+}
+
+uint64_t PackC(const TxnId& tid, TraceStep step, uint32_t arg) {
+  return (static_cast<uint64_t>(tid.client_id) << 32) |
+         (static_cast<uint64_t>(static_cast<uint8_t>(step)) << 24) | (arg & 0xFFFFFFu);
+}
+
+TraceEvent UnpackSlot(uint64_t a, uint64_t b, uint64_t c) {
+  TraceEvent e;
+  e.t_ns = a;
+  e.tid.seq = b;
+  e.tid.client_id = static_cast<uint32_t>(c >> 32);
+  e.step = static_cast<TraceStep>((c >> 24) & 0xFF);
+  e.arg = static_cast<uint32_t>(c & 0xFFFFFFu);
+  return e;
+}
+
+// Reads the live (not-yet-wrapped) events of every ring. Events overwritten
+// mid-read may be torn across generations; the caller treats the result as
+// best-effort diagnostics.
+std::vector<TraceEvent> CollectAll() {
+  std::vector<TraceEvent> out;
+  TraceState& s = State();
+  MutexLock lock(s.mu);
+  for (const auto& ring : s.rings) {
+    uint64_t end = ring->pos.load(std::memory_order_acquire);
+    uint64_t begin = end > kRingSize ? end - kRingSize : 0;
+    for (uint64_t i = begin; i < end; i++) {
+      const TraceRing::Slot& slot = ring->slots[i & kRingMask];
+      out.push_back(UnpackSlot(slot.a.load(std::memory_order_relaxed),
+                               slot.b.load(std::memory_order_relaxed),
+                               slot.c.load(std::memory_order_relaxed)));
+    }
+  }
+  // Stable: events from one ring are appended in record order, so equal
+  // timestamps (coarse clocks, sim time) keep their intra-thread order.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& x, const TraceEvent& y) { return x.t_ns < y.t_ns; });
+  return out;
+}
+
+}  // namespace
+
+void TraceRecord(const TxnId& tid, TraceStep step, uint32_t arg) {
+  TraceRing& ring = LocalRing();
+  uint64_t pos = ring.pos.load(std::memory_order_relaxed);
+  TraceRing::Slot& slot = ring.slots[pos & kRingMask];
+  slot.a.store(MetricsNowNanos(), std::memory_order_relaxed);
+  slot.b.store(tid.seq, std::memory_order_relaxed);
+  slot.c.store(PackC(tid, step, arg), std::memory_order_relaxed);
+  // Release-publish the slot before advancing pos so a dump that observes
+  // position p sees complete events below p.
+  ring.pos.store(pos + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> CollectTrace(const TxnId& tid) {
+  std::vector<TraceEvent> all = CollectAll();
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : all) {
+    if (e.tid == tid) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+void DumpRecentTraces(FILE* out, size_t max_events) {
+  std::vector<TraceEvent> all = CollectAll();
+  size_t begin = all.size() > max_events ? all.size() - max_events : 0;
+  fprintf(out, "--- trace ring: last %zu of %zu events ---\n", all.size() - begin, all.size());
+  for (size_t i = begin; i < all.size(); i++) {
+    fprintf(out, "%s\n", all[i].Format().c_str());
+  }
+  fprintf(out, "--- end trace ring ---\n");
+}
+
+void DumpTraceForTxn(const TxnId& tid, FILE* out) {
+  std::vector<TraceEvent> events = CollectTrace(tid);
+  fprintf(out, "--- trace for txn %u/%llu: %zu events ---\n", tid.client_id,
+          static_cast<unsigned long long>(tid.seq), events.size());
+  for (const TraceEvent& e : events) {
+    fprintf(out, "%s\n", e.Format().c_str());
+  }
+  fprintf(out, "--- end trace ---\n");
+}
+
+void ResetTraces() {
+  TraceState& s = State();
+  MutexLock lock(s.mu);
+  for (const auto& ring : s.rings) {
+    ring->pos.store(0, std::memory_order_release);
+  }
+}
+
+void WarmupTraceForThisThread() { LocalRing(); }
+
+#endif  // MEERKAT_TRACE
+
+}  // namespace meerkat

@@ -2,7 +2,9 @@
 
 #include <utility>
 
+#include "src/common/metrics.h"
 #include "src/common/stats.h"
+#include "src/common/trace.h"
 #include "src/protocol/epoch_merge.h"
 #include "src/sim/sim_context.h"
 
@@ -15,6 +17,19 @@ void ChargeCoordinatorLogic() {
     ctx->Charge(ctx->cost().coordinator_logic_ns);
   }
 }
+
+// Decision outcomes and per-phase latency. The phase histograms split commit
+// latency into its protocol components: VALIDATE (Start -> decision or
+// ACCEPT transition), ACCEPT (transition -> decision), and end-to-end.
+const MetricId kFastDecisions = MetricsRegistry::Counter("coord.fast_path_decisions");
+const MetricId kSlowDecisions = MetricsRegistry::Counter("coord.slow_path_decisions");
+const MetricId kNoQuorumFailures = MetricsRegistry::Counter("coord.no_quorum_failures");
+const MetricId kSuperseded = MetricsRegistry::Counter("coord.superseded");
+const MetricId kRetransmits = MetricsRegistry::Counter("coord.retransmits");
+const MetricId kBackupRecoveries = MetricsRegistry::Counter("coord.backup_recoveries");
+const MetricId kValidatePhaseNs = MetricsRegistry::Histogram("coord.validate_phase_ns");
+const MetricId kAcceptPhaseNs = MetricsRegistry::Histogram("coord.accept_phase_ns");
+const MetricId kCommitTotalNs = MetricsRegistry::Histogram("coord.commit_total_ns");
 
 }  // namespace
 
@@ -30,6 +45,7 @@ CommitCoordinator::CommitCoordinator(Transport* transport, Address self,
       rng_(TxnIdHash{}(tid) ^ timer_base) {}
 
 void CommitCoordinator::Start() {
+  start_ns_ = phase_start_ns_ = MetricsNowNanos();
   SendValidates(/*only_missing=*/false);
   ArmTimer(kValidatePhaseTimer);
 }
@@ -59,6 +75,7 @@ void CommitCoordinator::SendValidates(bool only_missing) {
     }
     first = false;
   }
+  TraceRecord(tid_, TraceStep::kValidateSent, static_cast<uint32_t>(quorum_.n));
 }
 
 void CommitCoordinator::SendAccepts() {
@@ -73,6 +90,7 @@ void CommitCoordinator::SendAccepts() {
       LocalFastPathCounters().payload_fanout_shares++;
     }
   }
+  TraceRecord(tid_, TraceStep::kAcceptSent, proposal_commit_ ? 1 : 0);
 }
 
 void CommitCoordinator::BroadcastDecision(bool commit) {
@@ -87,9 +105,27 @@ void CommitCoordinator::BroadcastDecision(bool commit) {
     msg.payload = CommitRequest{tid_, commit};
     transport_->Send(std::move(msg));
   }
+  TraceRecord(tid_, TraceStep::kDecisionBroadcast, commit ? 1 : 0);
 }
 
 void CommitCoordinator::Finish(TxnResult result, CommitPath path, AbortReason reason) {
+  if (start_ns_ != 0) {
+    uint64_t now = MetricsNowNanos();
+    // The currently running phase ends here; a VALIDATE-phase transition to
+    // kAccepting already recorded its share.
+    MetricRecordValue(phase_ == Phase::kValidating ? kValidatePhaseNs : kAcceptPhaseNs,
+                      now - phase_start_ns_);
+    MetricRecordValue(kCommitTotalNs, now - start_ns_);
+  }
+  if (path == CommitPath::kFast) {
+    MetricIncr(kFastDecisions);
+  } else if (path == CommitPath::kSlow) {
+    MetricIncr(kSlowDecisions);
+  } else if (reason == AbortReason::kNoQuorum) {
+    MetricIncr(kNoQuorumFailures);
+  } else if (reason == AbortReason::kSuperseded) {
+    MetricIncr(kSuperseded);
+  }
   phase_ = Phase::kDone;
   outcome_.result = result;
   outcome_.path = path;
@@ -124,6 +160,7 @@ bool CommitCoordinator::OnMessage(const Message& msg) {
     if (!validate_replied_.insert(reply->from).second) {
       return true;  // Duplicate reply.
     }
+    TraceRecord(tid_, TraceStep::kValidateReply, reply->from);
     if (reply->status == TxnStatus::kValidatedOk) {
       ok_count_++;
     } else {
@@ -140,6 +177,7 @@ bool CommitCoordinator::OnMessage(const Message& msg) {
     if (reply->view != 0) {
       return true;  // Reply to some backup coordinator's round.
     }
+    TraceRecord(tid_, TraceStep::kAcceptReply, reply->from);
     if (!reply->ok) {
       // A backup coordinator holds a higher view: this coordinator has been
       // superseded and must stand down; the transaction's fate belongs to the
@@ -152,6 +190,7 @@ bool CommitCoordinator::OnMessage(const Message& msg) {
     }
     accept_ok_.insert(reply->from);
     if (accept_ok_.size() >= quorum_.Majority()) {
+      TraceRecord(tid_, TraceStep::kSlowPathDecision, proposal_commit_ ? 1 : 0);
       if (!defer_decision_) {
         BroadcastDecision(proposal_commit_);
       }
@@ -168,6 +207,7 @@ void CommitCoordinator::MaybeDecideValidation() {
   // (paper §5.2.2 step 3).
   if (!force_slow_path_) {
     if (ok_count_ >= quorum_.SuperMajority()) {
+      TraceRecord(tid_, TraceStep::kFastPathDecision, 1);
       if (!defer_decision_) {
         BroadcastDecision(true);
       }
@@ -175,6 +215,7 @@ void CommitCoordinator::MaybeDecideValidation() {
       return;
     }
     if (abort_count_ >= quorum_.SuperMajority()) {
+      TraceRecord(tid_, TraceStep::kFastPathDecision, 0);
       if (!defer_decision_) {
         BroadcastDecision(false);
       }
@@ -191,6 +232,9 @@ void CommitCoordinator::MaybeDecideValidation() {
                         quorum_.FastPathStillPossible(abort_count_, received));
   if (!fast_possible && received >= quorum_.Majority()) {
     proposal_commit_ = ok_count_ >= quorum_.Majority();
+    uint64_t now = MetricsNowNanos();
+    MetricRecordValue(kValidatePhaseNs, now - phase_start_ns_);
+    phase_start_ns_ = now;
     phase_ = Phase::kAccepting;
     SendAccepts();
     ArmTimer(kAcceptPhaseTimer);
@@ -212,12 +256,16 @@ bool CommitCoordinator::OnTimer(uint64_t timer_id) {
     // with what we have rather than waiting forever.
     if (validate_replied_.size() >= quorum_.Majority()) {
       proposal_commit_ = ok_count_ >= quorum_.Majority();
+      uint64_t now = MetricsNowNanos();
+      MetricRecordValue(kValidatePhaseNs, now - phase_start_ns_);
+      phase_start_ns_ = now;
       phase_ = Phase::kAccepting;
       SendAccepts();
       ArmTimer(kAcceptPhaseTimer);
       return true;
     }
     outcome_.retransmits++;
+    MetricIncr(kRetransmits);
     SendValidates(/*only_missing=*/true);
     ArmTimer(kValidatePhaseTimer);
     return true;
@@ -228,6 +276,7 @@ bool CommitCoordinator::OnTimer(uint64_t timer_id) {
       return true;
     }
     outcome_.retransmits++;
+    MetricIncr(kRetransmits);
     SendAccepts();
     ArmTimer(kAcceptPhaseTimer);
     return true;
@@ -244,6 +293,7 @@ BackupCoordinator::BackupCoordinator(Transport* transport, Address self,
       rng_(TxnIdHash{}(tid) ^ (view + 1) ^ timer_base) {}
 
 void BackupCoordinator::Start() {
+  MetricIncr(kBackupRecoveries);
   SendPrepares();
   ArmTimer(kPreparePhaseTimer);
 }
@@ -266,6 +316,7 @@ void BackupCoordinator::SendPrepares() {
     msg.payload = CoordChangeRequest{tid_, view_};
     transport_->Send(std::move(msg));
   }
+  TraceRecord(tid_, TraceStep::kCoordChangeSent, static_cast<uint32_t>(view_));
 }
 
 bool BackupCoordinator::OnMessage(const Message& msg) {
@@ -321,6 +372,7 @@ bool BackupCoordinator::OnMessage(const Message& msg) {
 
 void BackupCoordinator::DecideAndAccept() {
   proposal_commit_ = ChooseRecoveryOutcome(quorum_, prepare_acks_);
+  TraceRecord(tid_, TraceStep::kRecoveryDecision, proposal_commit_ ? 1 : 0);
   if (auto payload = FindPayloadSnapshot(prepare_acks_)) {
     ts_ = payload->ts;
     sets_ = MakeTxnSets(payload->read_set, payload->write_set);
@@ -351,6 +403,7 @@ bool BackupCoordinator::OnTimer(uint64_t timer_id) {
       return true;
     }
     outcome_.retransmits++;
+    MetricIncr(kRetransmits);
     SendPrepares();
     ArmTimer(kPreparePhaseTimer);
     return true;
@@ -361,6 +414,7 @@ bool BackupCoordinator::OnTimer(uint64_t timer_id) {
       return true;
     }
     outcome_.retransmits++;
+    MetricIncr(kRetransmits);
     DecideAndAccept();
     return true;
   }

@@ -127,6 +127,10 @@ class CommitCoordinator {
 
   Phase phase_ = Phase::kValidating;
   uint32_t retries_ = 0;
+  // Phase-latency stamps (MetricsNowNanos domain): txn start and the start of
+  // the currently running phase; 0 until Start().
+  uint64_t start_ns_ = 0;
+  uint64_t phase_start_ns_ = 0;
   bool force_slow_path_ = false;
   bool defer_decision_ = false;
   ReplicaId group_base_ = 0;

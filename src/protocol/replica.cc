@@ -3,11 +3,22 @@
 #include <utility>
 
 #include "src/common/dap_check.h"
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 
 #include "src/protocol/epoch_merge.h"
 #include "src/store/occ.h"
 
 namespace meerkat {
+namespace {
+
+// Epoch-change and recovery events are rare, maintenance-path actions; the
+// counters confirm drills exercised them (and that steady state did not).
+const MetricId kEpochChangesInitiated = MetricsRegistry::Counter("epoch.changes_initiated");
+const MetricId kEpochAdoptions = MetricsRegistry::Counter("epoch.adoptions");
+const MetricId kReplicaRestarts = MetricsRegistry::Counter("recovery.replica_restarts");
+
+}  // namespace
 
 void MeerkatReplica::EpochGate::LockShared() {
   if (SimContext::Current() != nullptr) {
@@ -47,6 +58,12 @@ MeerkatReplica::MeerkatReplica(ReplicaId id, const QuorumConfig& quorum, size_t 
   for (CoreId core = 0; core < num_cores; core++) {
     receivers_.push_back(std::make_unique<CoreReceiver>(this, core));
     transport_->RegisterReplica(id_, core, receivers_.back().get());
+  }
+}
+
+MeerkatReplica::~MeerkatReplica() {
+  for (CoreId core = 0; core < receivers_.size(); core++) {
+    transport_->UnregisterReplica(id_, core);
   }
 }
 
@@ -258,6 +275,8 @@ void MeerkatReplica::InitiateEpochChange() {
     ec_complete_acked_.clear();
     ec_retries_ = 0;
   }
+  MetricIncr(kEpochChangesInitiated);
+  TraceRecord(TxnId{}, TraceStep::kEpochChangeStart, static_cast<uint32_t>(new_epoch));
   for (ReplicaId r = 0; r < quorum_.n; r++) {
     Message msg;
     msg.src = Address::Replica(id_);
@@ -501,6 +520,8 @@ void MeerkatReplica::AdoptEpochState(EpochNum epoch,
   }
   epoch_change_.store(false, std::memory_order_release);
   waiting_recovery_.store(false, std::memory_order_release);
+  MetricIncr(kEpochAdoptions);
+  TraceRecord(TxnId{}, TraceStep::kEpochAdopted, static_cast<uint32_t>(epoch));
 }
 
 void MeerkatReplica::HandleHostedBackupReply(CoreId core, const Message& msg) {
@@ -578,6 +599,7 @@ size_t MeerkatReplica::hosted_backup_count() const {
 }
 
 void MeerkatReplica::CrashAndRestart() {
+  MetricIncr(kReplicaRestarts);
   gate_.LockExclusive();
   store_.ClearAll();
   for (size_t core = 0; core < num_cores_; core++) {

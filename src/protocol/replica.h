@@ -50,6 +50,10 @@ class MeerkatReplica {
   MeerkatReplica(const MeerkatReplica&) = delete;
   MeerkatReplica& operator=(const MeerkatReplica&) = delete;
 
+  // Detaches every core endpoint before the receivers are destroyed (epoch
+  // watchdog timers target them until the transport stops).
+  ~MeerkatReplica();
+
   ReplicaId id() const { return id_; }
   EpochNum epoch() const { return epoch_.load(std::memory_order_acquire); }
   VStore& store() { return store_; }

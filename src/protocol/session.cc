@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/common/trace.h"
+
 namespace meerkat {
 
 MeerkatSession::MeerkatSession(uint32_t client_id, Transport* transport,
@@ -35,6 +37,7 @@ void MeerkatSession::ExecuteAsync(TxnPlan plan, TxnCallback cb) {
   get_retries_ = 0;
   txn_retransmits_ = 0;
   coordinator_.reset();
+  TraceRecord(last_tid_, TraceStep::kTxnStart, static_cast<uint32_t>(plan_.ops.size()));
   IssueNextOp();
 }
 
@@ -83,6 +86,7 @@ void MeerkatSession::SendGet(const std::string& key) {
   msg.dst = Address::Replica(static_cast<ReplicaId>(rng_.NextBounded(options_.quorum.n)));
   msg.core = static_cast<CoreId>(rng_.NextBounded(options_.cores_per_replica));
   msg.payload = GetRequest{last_tid_, get_seq_, key};
+  TraceRecord(last_tid_, TraceStep::kGetSent, static_cast<uint32_t>(get_seq_));
   transport_->Send(std::move(msg));
   if (retry_.enabled()) {
     transport_->SetTimer(self_, 0, retry_.DelayNanos(get_retries_, rng_), get_seq_);
@@ -146,6 +150,7 @@ void MeerkatSession::FailTxn(AbortReason reason) {
 void MeerkatSession::FinishTxn(const TxnOutcome& outcome) {
   switch (outcome.result) {
     case TxnResult::kCommit:
+      TraceRecord(last_tid_, TraceStep::kTxnCommitted, outcome.fast_path() ? 1 : 0);
       stats_.committed++;
       if (outcome.fast_path()) {
         stats_.fast_path_commits++;
@@ -154,9 +159,11 @@ void MeerkatSession::FinishTxn(const TxnOutcome& outcome) {
       }
       break;
     case TxnResult::kAbort:
+      TraceRecord(last_tid_, TraceStep::kTxnAborted, static_cast<uint32_t>(outcome.reason));
       stats_.aborted++;
       break;
     case TxnResult::kFailed:
+      TraceRecord(last_tid_, TraceStep::kTxnFailed, static_cast<uint32_t>(outcome.reason));
       stats_.failed++;
       break;
   }
@@ -189,6 +196,7 @@ void MeerkatSession::Receive(Message&& msg) {
     }
     get_outstanding_ = false;
     get_retries_ = 0;
+    TraceRecord(last_tid_, TraceStep::kGetReply, static_cast<uint32_t>(reply->req_seq));
     const Op& op = plan_.ops[next_op_];
     // A read of a never-written key carries the zero timestamp: validation
     // will catch any write that commits under it.

@@ -1,6 +1,7 @@
 #include "src/store/occ.h"
 
 #include "src/common/annotations.h"
+#include "src/common/metrics.h"
 #include "src/common/stats.h"
 #include "src/sim/sim_context.h"
 
@@ -13,6 +14,13 @@ void ChargeOp() {
     ctx->Charge(ctx->cost().txn_logic_per_op_ns);
   }
 }
+
+// Validation outcomes by abort reason. Registered once at static init;
+// recording is a thread-local add (metrics.h), ZCP-safe on the fast path.
+const MetricId kValidateOk = MetricsRegistry::Counter("occ.validate_ok");
+const MetricId kAbortStaleRead = MetricsRegistry::Counter("occ.abort_stale_read");
+const MetricId kAbortPendingWriter = MetricsRegistry::Counter("occ.abort_pending_writer");
+const MetricId kAbortReadProtect = MetricsRegistry::Counter("occ.abort_read_protect");
 
 }  // namespace
 
@@ -32,6 +40,7 @@ ZCP_FAST_PATH TxnStatus OccValidate(VStore& store, const std::vector<ReadSetEntr
       Timestamp probe_wts;
       if (e->TryReadVersionFast(&found, &probe_wts) && found && probe_wts > r.read_wts) {
         LocalFastPathCounters().occ_stale_fast_aborts++;
+        MetricIncr(kAbortStaleRead);
         for (size_t j = 0; j < i; j++) {
           KeyEntry* prev = store.Find(read_set[j].key);
           if (prev != nullptr) {
@@ -45,6 +54,7 @@ ZCP_FAST_PATH TxnStatus OccValidate(VStore& store, const std::vector<ReadSetEntr
       e = store.FindOrCreateWithHash(r.key, hash);
     }
     bool conflict = false;
+    bool conflict_stale = false;
     {
       LockGuard<KeyLock> lock(e->lock);
       // e.wts > r.wts: the read is stale — a newer version committed since.
@@ -57,11 +67,13 @@ ZCP_FAST_PATH TxnStatus OccValidate(VStore& store, const std::vector<ReadSetEntr
       bool pending_earlier_writer = min_writer.Valid() && ts > min_writer;
       if (stale || pending_earlier_writer) {
         conflict = true;
+        conflict_stale = stale;
       } else {
         e->readers.push_back(ts);
       }
     }
     if (conflict) {
+      MetricIncr(conflict_stale ? kAbortStaleRead : kAbortPendingWriter);
       // Back out registrations made for read_set[0..i).
       for (size_t j = 0; j < i; j++) {
         KeyEntry* prev = store.Find(read_set[j].key);
@@ -96,10 +108,12 @@ ZCP_FAST_PATH TxnStatus OccValidate(VStore& store, const std::vector<ReadSetEntr
       }
     }
     if (conflict) {
+      MetricIncr(kAbortReadProtect);
       OccCleanup(store, read_set, write_set, ts);
       return TxnStatus::kValidatedAbort;
     }
   }
+  MetricIncr(kValidateOk);
   return TxnStatus::kValidatedOk;
 }
 

@@ -1,6 +1,7 @@
 #include "src/store/trecord.h"
 
 #include "src/common/annotations.h"
+#include "src/common/metrics.h"
 
 #include "src/sim/sim_context.h"
 
@@ -12,6 +13,13 @@ void ChargeLocalOp() {
     ctx->Charge(ctx->cost().local_trecord_op_ns);
   }
 }
+
+// Partition occupancy: the gauge accumulates +1/-1 per thread and sums to the
+// global live-record count; the counters give creation/trim churn rates.
+const MetricId kRecordsCreated = MetricsRegistry::Counter("trecord.records_created");
+const MetricId kRecordsErased = MetricsRegistry::Counter("trecord.records_erased");
+const MetricId kRecordsTrimmed = MetricsRegistry::Counter("trecord.records_trimmed");
+const MetricId kLiveRecords = MetricsRegistry::Gauge("trecord.live_records");
 
 }  // namespace
 
@@ -47,6 +55,8 @@ ZCP_FAST_PATH TxnRecord& TRecordPartition::GetOrCreate(const TxnId& tid) {
   TxnRecord& rec = records_[tid];
   if (!rec.tid.Valid()) {
     rec.tid = tid;
+    MetricIncr(kRecordsCreated);
+    MetricGaugeAdd(kLiveRecords, 1);
   }
   return rec;
 }
@@ -61,7 +71,10 @@ ZCP_FAST_PATH TxnRecord* TRecordPartition::Find(const TxnId& tid) {
 ZCP_FAST_PATH void TRecordPartition::Erase(const TxnId& tid) {
   dap_slot_.CheckAccess(dap_index_, dap_count_, "TRecordPartition::Erase");
   ChargeLocalOp();
-  records_.erase(tid);
+  if (records_.erase(tid) > 0) {
+    MetricIncr(kRecordsErased);
+    MetricGaugeAdd(kLiveRecords, -1);
+  }
 }
 
 size_t TRecordPartition::TrimFinalized(Timestamp watermark) {
@@ -75,7 +88,15 @@ size_t TRecordPartition::TrimFinalized(Timestamp watermark) {
       ++it;
     }
   }
+  MetricIncr(kRecordsTrimmed, trimmed);
+  MetricGaugeAdd(kLiveRecords, -static_cast<int64_t>(trimmed));
   return trimmed;
+}
+
+void TRecordPartition::Clear() {
+  MetricGaugeAdd(kLiveRecords, -static_cast<int64_t>(records_.size()));
+  records_.clear();
+  dap_slot_.ResetOwner();
 }
 
 void TRecordPartition::ForEach(const std::function<void(const TxnRecord&)>& fn) const {

@@ -78,10 +78,7 @@ class TRecordPartition {
 
   void ForEach(const std::function<void(const TxnRecord&)>& fn) const;
 
-  void Clear() {
-    records_.clear();
-    dap_slot_.ResetOwner();
-  }
+  void Clear();
 
  private:
   friend class TRecord;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/common/annotations.h"
+#include "src/common/metrics.h"
 #include "src/common/stats.h"
 #include "src/sim/sim_context.h"
 
@@ -27,6 +28,8 @@ void ChargeSimKeyOps(uint64_t n) {
 // one retry suffices; the bound keeps the fallback path exercised and the
 // worst case latency-bounded.
 constexpr int kSeqlockAttempts = 4;
+
+const MetricId kStructuralInserts = MetricsRegistry::Counter("vstore.structural_inserts");
 
 }  // namespace
 
@@ -256,6 +259,9 @@ void VStore::InsertLocked(Shard& shard, std::unique_ptr<KeyEntry> entry) {
   KeyEntry* raw = entry.get();
   shard.entries.push_back(std::move(entry));
   shard.size++;
+  // Structural inserts are the slow (lock-taking) minority; a high rate
+  // relative to fastpath.vstore_fast_reads flags a working set still growing.
+  MetricIncr(kStructuralInserts);
   // Release store publishes the fully-constructed entry to lock-free probes.
   table->slots[i].store(raw, std::memory_order_release);
 }

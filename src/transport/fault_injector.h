@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/common/annotations.h"
+#include "src/common/metrics.h"
 #include "src/common/rng.h"
 #include "src/transport/fault_plan.h"
 #include "src/transport/message.h"
@@ -135,6 +136,20 @@ class FaultInjector {
         }
       }
       hook = crash_hook_;
+    }
+    // Judge runs under its own mutex (not a ZCP fast path), so function-local
+    // registration statics are fine here.
+    static const MetricId kDropped = MetricsRegistry::Counter("faults.dropped");
+    static const MetricId kDuplicated = MetricsRegistry::Counter("faults.duplicated");
+    static const MetricId kDelayNs = MetricsRegistry::Histogram("faults.extra_delay_ns");
+    if (v.drop) {
+      MetricIncr(kDropped);
+    }
+    if (v.duplicate) {
+      MetricIncr(kDuplicated);
+    }
+    if (v.extra_delay_ns > 0) {
+      MetricRecordValue(kDelayNs, v.extra_delay_ns);
     }
     // Hook invocations happen outside the lock: the hook typically calls back
     // into the system (CrashAndRestart) which may send messages of its own.

@@ -25,6 +25,13 @@ void SimTransport::UnregisterClient(uint32_t client_id) {
   }
 }
 
+void SimTransport::UnregisterReplica(ReplicaId replica, CoreId core) {
+  auto it = endpoints_.find(EndpointKey(Address::Replica(replica), core));
+  if (it != endpoints_.end()) {
+    it->second->receiver = nullptr;
+  }
+}
+
 SimActor* SimTransport::ActorFor(const Address& addr, CoreId core) {
   CoreId effective_core = addr.kind == Address::Kind::kClient ? 0 : core;
   auto it = endpoints_.find(EndpointKey(addr, effective_core));

@@ -25,6 +25,7 @@ class SimTransport : public Transport {
   void RegisterReplica(ReplicaId replica, CoreId core, TransportReceiver* receiver) override;
   void RegisterClient(uint32_t client_id, TransportReceiver* receiver) override;
   void UnregisterClient(uint32_t client_id) override;
+  void UnregisterReplica(ReplicaId replica, CoreId core) override;
   void Send(Message msg) override;
   void SetTimer(const Address& to, CoreId core, uint64_t delay_ns, uint64_t timer_id) override;
 

@@ -37,6 +37,7 @@ class ThreadedTransport : public Transport {
   void RegisterReplica(ReplicaId replica, CoreId core, TransportReceiver* receiver) override;
   void RegisterClient(uint32_t client_id, TransportReceiver* receiver) override;
   void UnregisterClient(uint32_t client_id) override;
+  void UnregisterReplica(ReplicaId replica, CoreId core) override;
   void Send(Message msg) override;
   void SetTimer(const Address& to, CoreId core, uint64_t delay_ns, uint64_t timer_id) override;
 
@@ -70,6 +71,7 @@ class ThreadedTransport : public Transport {
   }
 
   Endpoint* Lookup(const Address& addr, CoreId core) EXCLUDES(endpoints_mu_);
+  void UnregisterEndpoint(uint64_t key) EXCLUDES(endpoints_mu_);
   void StartEndpoint(Endpoint* ep) REQUIRES(endpoints_mu_);
   void Deliver(Message msg, uint64_t delay_ns) EXCLUDES(timer_mu_);
   void TimerLoop() EXCLUDES(timer_mu_);

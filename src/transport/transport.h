@@ -44,6 +44,14 @@ class Transport {
   // destructors. Must not be called from the endpoint's own delivery context.
   virtual void UnregisterClient(uint32_t client_id) = 0;
 
+  // Detach one core endpoint of a replica, with the same guarantee as
+  // UnregisterClient. Replica destructors call this for each registered core:
+  // epoch watchdog timers and late retransmissions keep arriving at replica
+  // endpoints until the transport itself stops, so destroying the receivers
+  // without detaching first is a use-after-free. Defaulted to a no-op for
+  // transports that deliver synchronously from the caller's context.
+  virtual void UnregisterReplica(ReplicaId /*replica*/, CoreId /*core*/) {}
+
   // Send a message (msg.dst / msg.core select the endpoint). Fire-and-forget;
   // delivery may fail silently under fault injection, exactly like UDP.
   virtual void Send(Message msg) = 0;

@@ -1,0 +1,194 @@
+// Bench-harness regression tests: the strict flag parser (order-independent
+// --quick, rejected unknown flags / malformed numbers) and the shared
+// BenchJsonWriter schema output.
+
+#include "bench/harness.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace meerkat {
+namespace {
+
+// argv builder: gtest owns the strings, the parser sees char**.
+struct Args {
+  explicit Args(std::vector<std::string> words) : storage(std::move(words)) {
+    ptrs.push_back(const_cast<char*>("bench_test"));
+    for (std::string& w : storage) {
+      ptrs.push_back(w.data());
+    }
+  }
+  int argc() { return static_cast<int>(ptrs.size()); }
+  char** argv() { return ptrs.data(); }
+
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+};
+
+TEST(ParseBenchArgsTest, DefaultsWithoutFlags) {
+  Args args({});
+  BenchOptions opt;
+  std::string error;
+  ASSERT_TRUE(ParseBenchArgsInto(args.argc(), args.argv(), &opt, &error)) << error;
+  EXPECT_FALSE(opt.quick);
+  EXPECT_EQ(opt.measure_ms, 20u);
+  EXPECT_EQ(opt.warmup_ms, 4u);
+  EXPECT_TRUE(opt.out.empty());
+}
+
+TEST(ParseBenchArgsTest, QuickSetsShortWindows) {
+  Args args({"--quick"});
+  BenchOptions opt;
+  std::string error;
+  ASSERT_TRUE(ParseBenchArgsInto(args.argc(), args.argv(), &opt, &error)) << error;
+  EXPECT_TRUE(opt.quick);
+  EXPECT_EQ(opt.measure_ms, 10u);
+  EXPECT_EQ(opt.warmup_ms, 2u);
+}
+
+TEST(ParseBenchArgsTest, ExplicitFlagWinsOverQuickInEitherOrder) {
+  // The historical bug: "--measure-ms=50 --quick" silently clobbered the
+  // explicit window because --quick overwrote options positionally.
+  for (auto words : {std::vector<std::string>{"--measure-ms=50", "--quick"},
+                     std::vector<std::string>{"--quick", "--measure-ms=50"}}) {
+    Args args(words);
+    BenchOptions opt;
+    std::string error;
+    ASSERT_TRUE(ParseBenchArgsInto(args.argc(), args.argv(), &opt, &error)) << error;
+    EXPECT_TRUE(opt.quick);
+    EXPECT_EQ(opt.measure_ms, 50u) << "explicit flag lost with order: " << words[0];
+    EXPECT_EQ(opt.warmup_ms, 2u);  // Untouched quick default still applies.
+  }
+}
+
+TEST(ParseBenchArgsTest, AllValueFlagsParse) {
+  Args args({"--measure-ms=7", "--warmup-ms=3", "--clients-per-thread=5",
+             "--keys-per-thread=123", "--seed=99", "--net-jitter-ns=450",
+             "--out=custom.json"});
+  BenchOptions opt;
+  std::string error;
+  ASSERT_TRUE(ParseBenchArgsInto(args.argc(), args.argv(), &opt, &error)) << error;
+  EXPECT_EQ(opt.measure_ms, 7u);
+  EXPECT_EQ(opt.warmup_ms, 3u);
+  EXPECT_EQ(opt.clients_per_thread, 5u);
+  EXPECT_EQ(opt.keys_per_thread, 123u);
+  EXPECT_EQ(opt.seed, 99u);
+  EXPECT_EQ(opt.net_jitter_ns, 450u);
+  EXPECT_EQ(opt.out, "custom.json");
+}
+
+TEST(ParseBenchArgsTest, UnknownFlagIsRejected) {
+  // The historical bug: unknown flags were silently ignored, so a typo'd
+  // sweep ran with defaults and nobody noticed.
+  Args args({"--quikc"});
+  BenchOptions opt;
+  std::string error;
+  EXPECT_FALSE(ParseBenchArgsInto(args.argc(), args.argv(), &opt, &error));
+  EXPECT_NE(error.find("--quikc"), std::string::npos);
+}
+
+TEST(ParseBenchArgsTest, MalformedNumbersAreRejectedNotThrown) {
+  for (const char* bad : {"--seed=abc", "--seed=", "--seed=-3", "--seed=12x",
+                          "--measure-ms=1e3", "--keys-per-thread=99999999999999999999999"}) {
+    Args args({bad});
+    BenchOptions opt;
+    std::string error;
+    EXPECT_FALSE(ParseBenchArgsInto(args.argc(), args.argv(), &opt, &error))
+        << "accepted " << bad;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(ParseBenchArgsTest, EmptyOutPathIsRejected) {
+  Args args({"--out="});
+  BenchOptions opt;
+  std::string error;
+  EXPECT_FALSE(ParseBenchArgsInto(args.argc(), args.argv(), &opt, &error));
+}
+
+TEST(ParseBenchArgsTest, BenchOutPathPrefersOverride) {
+  BenchOptions opt;
+  EXPECT_EQ(BenchOutPath(opt, "fig4"), "BENCH_fig4.json");
+  opt.out = "/tmp/other.json";
+  EXPECT_EQ(BenchOutPath(opt, "fig4"), "/tmp/other.json");
+}
+
+TEST(ParseBenchArgsTest, ZipfTagIsStable) {
+  EXPECT_EQ(ZipfTag(0.0), "z000");
+  EXPECT_EQ(ZipfTag(0.6), "z060");
+  EXPECT_EQ(ZipfTag(0.85), "z085");
+  EXPECT_EQ(ZipfTag(1.0), "z100");
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(BenchJsonWriterTest, WritesSchemaResultsAndMetrics) {
+  BenchJsonWriter out("harness_test");
+  out.Add("row_a", {{"goodput_mtps", 1.25}, {"abort_rate", 0.5}});
+  out.Add("row_b", 1e6, 2.5, 9.75);
+  PointResult p;
+  p.goodput_mtps = 3.5;
+  p.committed = 42;
+  out.AddPoint("row_c", p);
+  EXPECT_EQ(out.size(), 3u);
+  out.SetMetrics(SnapshotMetrics());
+
+  std::string path = ::testing::TempDir() + "/bench_harness_test_out.json";
+  ASSERT_TRUE(out.WriteTo(path));
+  std::string json = ReadFile(path);
+  std::remove(path.c_str());
+
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"bench\": \"harness_test\""), std::string::npos);
+  EXPECT_NE(json.find("{\"name\": \"row_a\", \"goodput_mtps\": 1.25, \"abort_rate\": 0.5}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ops_per_sec\": 1e+06"), std::string::npos);
+  EXPECT_NE(json.find("\"committed\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\": {"), std::string::npos);
+  // Balanced braces => structurally complete output.
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{') depth++;
+    if (c == '}') depth--;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(BenchJsonWriterTest, NonFiniteValuesClampToZero) {
+  BenchJsonWriter out("harness_test_nan");
+  out.Add("degenerate", {{"nan_field", std::nan("")},
+                         {"inf_field", HUGE_VAL},
+                         {"ok_field", 2.0}});
+  std::string path = ::testing::TempDir() + "/bench_harness_test_nan.json";
+  ASSERT_TRUE(out.WriteTo(path));
+  std::string json = ReadFile(path);
+  std::remove(path.c_str());
+  EXPECT_NE(json.find("\"nan_field\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"inf_field\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"ok_field\": 2"), std::string::npos);
+  // No bare nan/inf literals (which JSON forbids) in any value position.
+  EXPECT_EQ(json.find(": nan"), std::string::npos);
+  EXPECT_EQ(json.find(": -nan"), std::string::npos);
+  EXPECT_EQ(json.find(": inf"), std::string::npos);
+}
+
+TEST(BenchJsonWriterTest, WriteToUnwritablePathFails) {
+  BenchJsonWriter out("harness_test_fail");
+  out.Add("row", {{"v", 1.0}});
+  EXPECT_FALSE(out.WriteTo("/nonexistent-dir/bench.json"));
+}
+
+}  // namespace
+}  // namespace meerkat

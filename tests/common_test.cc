@@ -206,6 +206,80 @@ TEST(LatencyHistogramTest, ZeroAndHugeValues) {
   EXPECT_EQ(hist.MaxNanos(), UINT64_MAX);
 }
 
+TEST(LatencyHistogramTest, QuantilesClampToObservedRange) {
+  // One sample: every quantile IS that sample, not its bucket's lower bound
+  // (the log bucket starting below 1500 used to leak through as the p50).
+  LatencyHistogram one;
+  one.Record(1500);
+  EXPECT_EQ(one.QuantileNanos(0.0), 1500u);
+  EXPECT_EQ(one.QuantileNanos(0.5), 1500u);
+  EXPECT_EQ(one.QuantileNanos(0.99), 1500u);
+  EXPECT_EQ(one.QuantileNanos(1.0), 1500u);
+
+  // Out-of-range q values clamp instead of misbehaving.
+  EXPECT_EQ(one.QuantileNanos(-1.0), 1500u);
+  EXPECT_EQ(one.QuantileNanos(2.0), 1500u);
+
+  // Two distant samples: quantiles stay inside [min, max].
+  LatencyHistogram two;
+  two.Record(1000);
+  two.Record(1'000'000);
+  for (double q : {0.0, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    uint64_t v = two.QuantileNanos(q);
+    EXPECT_GE(v, 1000u) << "q=" << q;
+    EXPECT_LE(v, 1'000'000u) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, HugeSamplesBucketWithoutOverflow) {
+  // Samples at and above 2^60 ns used to overflow the sub-bucket scaling
+  // (frac * 16 wraps uint64); they must land in increasing buckets and keep
+  // quantiles within the observed range.
+  LatencyHistogram hist;
+  const uint64_t huge = 1ULL << 60;
+  hist.Record(huge);
+  hist.Record(huge + (huge >> 1));  // 1.5 * 2^60: different sub-bucket.
+  hist.Record(UINT64_MAX);
+  EXPECT_EQ(hist.Count(), 3u);
+  for (double q : {0.0, 0.5, 1.0}) {
+    uint64_t v = hist.QuantileNanos(q);
+    EXPECT_GE(v, huge) << "q=" << q;
+    EXPECT_LE(v, UINT64_MAX) << "q=" << q;
+  }
+  // Monotone across q.
+  EXPECT_LE(hist.QuantileNanos(0.0), hist.QuantileNanos(0.5));
+  EXPECT_LE(hist.QuantileNanos(0.5), hist.QuantileNanos(1.0));
+}
+
+TEST(LatencyHistogramTest, MergeIntoEmptyAdoptsMinAndMax) {
+  LatencyHistogram src;
+  src.Record(500);
+  src.Record(9000);
+  LatencyHistogram dst;
+  dst.Merge(src);  // dst empty: must adopt src's min/max, not keep zeros.
+  EXPECT_EQ(dst.Count(), 2u);
+  EXPECT_EQ(dst.MinNanos(), 500u);
+  EXPECT_EQ(dst.MaxNanos(), 9000u);
+  EXPECT_GE(dst.QuantileNanos(0.5), 500u);
+
+  // Merging an empty histogram changes nothing.
+  LatencyHistogram empty;
+  dst.Merge(empty);
+  EXPECT_EQ(dst.Count(), 2u);
+  EXPECT_EQ(dst.MinNanos(), 500u);
+}
+
+TEST(RunStatsTest, SummaryReportsFailedCount) {
+  RunStats stats;
+  stats.committed = 10;
+  stats.aborted = 2;
+  stats.failed = 3;
+  std::string summary = stats.Summary(1.0);
+  EXPECT_NE(summary.find("failed=3"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("committed=10"), std::string::npos);
+  EXPECT_NE(summary.find("aborted=2"), std::string::npos);
+}
+
 TEST(RunStatsTest, RatesAndMerge) {
   RunStats a;
   a.committed = 90;

@@ -21,6 +21,7 @@
 
 #include "src/transport/fault_injector.h"
 #include "tests/test_util.h"
+#include "tests/trace_dump_on_failure.h"
 
 namespace meerkat {
 namespace {

@@ -14,6 +14,7 @@
 #include "src/workload/ycsb_t.h"
 #include "tests/serializability_checker.h"
 #include "tests/test_util.h"
+#include "tests/trace_dump_on_failure.h"
 #include "tests/zcp_conformance.h"
 
 namespace meerkat {

@@ -1,0 +1,39 @@
+// Shared gtest hook: when a test fails, dump the most recent protocol-trace
+// events (src/common/trace.h) to stderr so a failed drill or integration run
+// can be replayed step by step without re-running under a debugger. Rings are
+// reset between tests so each dump covers only the failing test's traffic.
+//
+// With MEERKAT_TRACE=0 the hooks compile to no-ops.
+
+#ifndef MEERKAT_TESTS_TRACE_DUMP_ON_FAILURE_H_
+#define MEERKAT_TESTS_TRACE_DUMP_ON_FAILURE_H_
+
+#include <gtest/gtest.h>
+
+#include "src/common/trace.h"
+
+namespace meerkat {
+
+class TraceDumpOnFailureListener : public ::testing::EmptyTestEventListener {
+ public:
+  void OnTestStart(const ::testing::TestInfo&) override { ResetTraces(); }
+
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    if (info.result() != nullptr && info.result()->Failed()) {
+      fprintf(stderr, "[trace] %s.%s failed; last protocol steps:\n",
+              info.test_suite_name(), info.name());
+      DumpRecentTraces(stderr, 64);
+    }
+  }
+};
+
+namespace {
+const bool kTraceDumpOnFailureRegistered = [] {
+  ::testing::UnitTest::GetInstance()->listeners().Append(new TraceDumpOnFailureListener());
+  return true;
+}();
+}  // namespace
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_TESTS_TRACE_DUMP_ON_FAILURE_H_

@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""bench_diff: validate and compare BENCH_*.json files from the bench harness.
+
+Every bench binary emits a schema-versioned JSON file through
+BenchJsonWriter (bench/harness.h):
+
+    {
+      "schema_version": 1,
+      "bench": "<name>",
+      "results": [ {"name": "<point>", "<field>": <number>, ...}, ... ],
+      "metrics": { "counters": {...}, "gauges": {...}, "histograms": {...} }
+    }
+
+Modes:
+
+  bench_diff.py --validate FILE...
+      Schema-check each file; exit 1 if any file is malformed.
+
+  bench_diff.py BASELINE CANDIDATE [--threshold PCT] [--field-threshold F=PCT]
+      Compare two runs of the same bench point-by-point. A result field
+      regresses when it moves in the bad direction by more than the
+      threshold (default 10%). Direction is field-aware:
+
+        higher-is-better  goodput_mtps, ops_per_sec, mops_per_sec,
+                          items_per_second, fast_path_fraction, committed
+        lower-is-better   *latency*, *_ns (times), abort_rate, aborted,
+                          failed
+        informational     everything else (reported, never fails)
+
+      Exit 0 when no field regresses, 1 on regression, 2 on usage/schema
+      errors. Points present in only one file are reported but do not fail
+      the diff (bench configs legitimately grow).
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+HIGHER_IS_BETTER = {
+    "goodput_mtps",
+    "ops_per_sec",
+    "mops_per_sec",
+    "items_per_second",
+    "fast_path_fraction",
+    "committed",
+}
+
+LOWER_IS_BETTER_EXACT = {
+    "abort_rate",
+    "aborted",
+    "failed",
+    "attempts_wasted",
+    "shared_ops_per_txn",
+    "replica_msgs_per_txn",
+}
+
+
+def field_direction(field):
+    """Return +1 (higher better), -1 (lower better), or 0 (informational)."""
+    if field in HIGHER_IS_BETTER:
+        return 1
+    if field in LOWER_IS_BETTER_EXACT:
+        return -1
+    if "latency" in field or field.endswith("_ns") or field.endswith("_us"):
+        return -1
+    return 0
+
+
+def load_bench_json(path):
+    """Load and schema-check one file. Returns the dict or raises ValueError."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise ValueError(f"{path}: cannot parse: {e}")
+
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: top level is not an object")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {doc.get('schema_version')!r}, "
+            f"expected {SCHEMA_VERSION}")
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        raise ValueError(f"{path}: missing/empty 'bench' name")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        raise ValueError(f"{path}: 'results' missing or empty")
+    seen = set()
+    for i, row in enumerate(results):
+        if not isinstance(row, dict):
+            raise ValueError(f"{path}: results[{i}] is not an object")
+        name = row.get("name")
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"{path}: results[{i}] missing 'name'")
+        if name in seen:
+            raise ValueError(f"{path}: duplicate result name {name!r}")
+        seen.add(name)
+        for key, value in row.items():
+            if key == "name":
+                continue
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(
+                    f"{path}: results[{i}].{key} is not a number")
+    metrics = doc.get("metrics")
+    if metrics is not None and not isinstance(metrics, dict):
+        raise ValueError(f"{path}: 'metrics' is not an object")
+    return doc
+
+
+def cmd_validate(paths):
+    ok = True
+    for path in paths:
+        try:
+            doc = load_bench_json(path)
+        except ValueError as e:
+            print(f"INVALID  {e}", file=sys.stderr)
+            ok = False
+            continue
+        print(f"ok       {path}  bench={doc['bench']} "
+              f"results={len(doc['results'])}")
+    return 0 if ok else 1
+
+
+def cmd_diff(baseline_path, candidate_path, threshold, field_thresholds):
+    try:
+        base = load_bench_json(baseline_path)
+        cand = load_bench_json(candidate_path)
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    if base["bench"] != cand["bench"]:
+        print(f"error: bench name mismatch: {base['bench']!r} vs "
+              f"{cand['bench']!r}", file=sys.stderr)
+        return 2
+
+    base_rows = {r["name"]: r for r in base["results"]}
+    cand_rows = {r["name"]: r for r in cand["results"]}
+
+    regressions = []
+    improvements = []
+    for name in sorted(base_rows):
+        if name not in cand_rows:
+            print(f"  only-in-baseline  {name}")
+            continue
+        brow, crow = base_rows[name], cand_rows[name]
+        for field in sorted(set(brow) & set(crow) - {"name"}):
+            direction = field_direction(field)
+            if direction == 0:
+                continue
+            bval, cval = float(brow[field]), float(crow[field])
+            if bval == 0:
+                continue  # No meaningful relative delta.
+            # Positive delta_pct = moved in the BAD direction.
+            delta_pct = direction * (bval - cval) / abs(bval) * 100.0
+            limit = field_thresholds.get(field, threshold)
+            line = (f"{name}.{field}: {bval:.6g} -> {cval:.6g} "
+                    f"({-delta_pct:+.1f}% {'good' if delta_pct < 0 else 'bad'} "
+                    f"direction, limit {limit:.0f}%)")
+            if delta_pct > limit:
+                regressions.append(line)
+            elif delta_pct < -limit:
+                improvements.append(line)
+    for name in sorted(set(cand_rows) - set(base_rows)):
+        print(f"  only-in-candidate {name}")
+
+    for line in improvements:
+        print(f"  IMPROVED   {line}")
+    for line in regressions:
+        print(f"  REGRESSED  {line}")
+    print(f"bench_diff: {base['bench']}: {len(regressions)} regression(s), "
+          f"{len(improvements)} improvement(s) beyond threshold")
+    return 1 if regressions else 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="+",
+                        help="with --validate: files to check; otherwise "
+                             "BASELINE CANDIDATE")
+    parser.add_argument("--validate", action="store_true",
+                        help="schema-check files instead of diffing")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="regression threshold in percent (default 10)")
+    parser.add_argument("--field-threshold", action="append", default=[],
+                        metavar="FIELD=PCT",
+                        help="per-field threshold override, repeatable")
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        return cmd_validate(args.files)
+
+    if len(args.files) != 2:
+        parser.error("diff mode takes exactly two files: BASELINE CANDIDATE")
+    field_thresholds = {}
+    for spec in args.field_threshold:
+        field, _, pct = spec.partition("=")
+        try:
+            field_thresholds[field] = float(pct)
+        except ValueError:
+            parser.error(f"bad --field-threshold {spec!r}")
+    return cmd_diff(args.files[0], args.files[1], args.threshold,
+                    field_thresholds)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -107,6 +107,8 @@ SUPPRESS_RE = re.compile(r"//\s*zcp-lint:\s*allow\((ZCP\d{3})\)")
 ZCP005_FILE_ALLOWLIST = {
     "src/common/stats.cc",      # counter-slab registry (snapshot-only mutex)
     "src/common/dap_check.cc",  # detector mode/violation counters
+    "src/common/metrics.cc",    # metrics-slab registry (same pattern as stats.cc)
+    "src/common/trace.cc",      # trace-ring registry (same pattern as stats.cc)
 }
 
 DEFAULT_SRC_GLOBS = ["src/**/*.h", "src/**/*.cc"]
