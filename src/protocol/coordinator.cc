@@ -44,6 +44,10 @@ CommitCoordinator::CommitCoordinator(Transport* transport, Address self,
       timer_base_(timer_base), done_(std::move(done)),
       rng_(TxnIdHash{}(tid) ^ timer_base) {}
 
+// Stack-staging size for quorum fan-outs; groups larger than this flush in
+// chunks. Big enough for every quorum config the tests and benches use.
+constexpr size_t kFanoutChunk = 8;
+
 void CommitCoordinator::Start() {
   start_ns_ = phase_start_ns_ = MetricsNowNanos();
   SendValidates(/*only_missing=*/false);
@@ -58,37 +62,57 @@ void CommitCoordinator::ArmTimer(uint64_t phase_timer) {
 }
 
 void CommitCoordinator::SendValidates(bool only_missing) {
-  bool first = true;
+  // Fan-outs are staged on the stack and handed to the transport as one
+  // batch: in-process transports just loop, the UDP transport turns the whole
+  // quorum into a single sendmmsg. Quorums are small, so one chunk almost
+  // always suffices; larger groups flush mid-loop.
+  Message batch[kFanoutChunk];
+  size_t k = 0;
+  size_t sent = 0;
   for (ReplicaId r = 0; r < quorum_.n; r++) {
     if (only_missing && validate_replied_.count(group_base_ + r) != 0) {
       continue;
     }
-    Message msg;
+    Message& msg = batch[k];
     msg.src = self_;
     msg.dst = Address::Replica(group_base_ + r);
     msg.core = core_;
     // Every copy of the fan-out shares sets_ (refcount bump, no deep copy).
     msg.payload = ValidateRequest{tid_, ts_, sets_};
-    transport_->Send(std::move(msg));
-    if (!first) {
-      LocalFastPathCounters().payload_fanout_shares++;
+    sent++;
+    if (++k == kFanoutChunk) {
+      transport_->SendMany(batch, k);
+      k = 0;
     }
-    first = false;
+  }
+  if (k != 0) {
+    transport_->SendMany(batch, k);
+  }
+  if (sent > 1) {
+    LocalFastPathCounters().payload_fanout_shares += sent - 1;
   }
   TraceRecord(tid_, TraceStep::kValidateSent, static_cast<uint32_t>(quorum_.n));
 }
 
 void CommitCoordinator::SendAccepts() {
+  Message batch[kFanoutChunk];
+  size_t k = 0;
   for (ReplicaId r = 0; r < quorum_.n; r++) {
-    Message msg;
+    Message& msg = batch[k];
     msg.src = self_;
     msg.dst = Address::Replica(group_base_ + r);
     msg.core = core_;
     msg.payload = AcceptRequest{tid_, /*view=*/0, proposal_commit_, ts_, sets_};
-    transport_->Send(std::move(msg));
     if (r != 0) {
       LocalFastPathCounters().payload_fanout_shares++;
     }
+    if (++k == kFanoutChunk) {
+      transport_->SendMany(batch, k);
+      k = 0;
+    }
+  }
+  if (k != 0) {
+    transport_->SendMany(batch, k);
   }
   TraceRecord(tid_, TraceStep::kAcceptSent, proposal_commit_ ? 1 : 0);
 }
@@ -97,13 +121,21 @@ void CommitCoordinator::BroadcastDecision(bool commit) {
   // Asynchronous write-phase message; in the paper this piggybacks on the
   // client's next request, which the simulator's cost model reflects by
   // charging no extra round trip (the decision never blocks the client).
+  Message batch[kFanoutChunk];
+  size_t k = 0;
   for (ReplicaId r = 0; r < quorum_.n; r++) {
-    Message msg;
+    Message& msg = batch[k];
     msg.src = self_;
     msg.dst = Address::Replica(group_base_ + r);
     msg.core = core_;
     msg.payload = CommitRequest{tid_, commit};
-    transport_->Send(std::move(msg));
+    if (++k == kFanoutChunk) {
+      transport_->SendMany(batch, k);
+      k = 0;
+    }
+  }
+  if (k != 0) {
+    transport_->SendMany(batch, k);
   }
   TraceRecord(tid_, TraceStep::kDecisionBroadcast, commit ? 1 : 0);
 }

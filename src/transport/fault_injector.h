@@ -23,6 +23,7 @@
 #ifndef MEERKAT_SRC_TRANSPORT_FAULT_INJECTOR_H_
 #define MEERKAT_SRC_TRANSPORT_FAULT_INJECTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <set>
@@ -60,6 +61,7 @@ class FaultInjector {
     max_extra_delay_ns_ = plan.max_extra_delay_ns;
     rules_ = plan.rules;
     rule_matches_.assign(rules_.size(), 0);
+    RecomputeActiveLocked();
   }
 
   // Called when a scripted kCrashDst/kCrashSrc rule fires, with the crashed
@@ -73,6 +75,16 @@ class FaultInjector {
   // Decides the fate of one message. Thread-safe.
   Verdict Judge(const Message& msg) {
     Verdict v;
+    // Lock-free passthrough when no fault of any kind is configured — the
+    // overwhelmingly common case on transport send paths, where a per-message
+    // mutex acquisition would be a cross-core serialization point. seq_cst on
+    // both sides: once a mutator's store completes, every subsequent Judge
+    // anywhere takes the slow path (a judge racing with the store may still
+    // pass through, which is indistinguishable from the message having been
+    // sent just before the fault was installed).
+    if (!active_.load(std::memory_order_seq_cst)) {
+      return v;
+    }
     std::vector<Address> crashes;
     CrashHook hook;
     {
@@ -164,11 +176,13 @@ class FaultInjector {
   void SetDropProbability(double p) {
     MutexLock lock(mu_);
     drop_probability_ = p;
+    RecomputeActiveLocked();
   }
 
   void SetDuplicateProbability(double p) {
     MutexLock lock(mu_);
     duplicate_probability_ = p;
+    RecomputeActiveLocked();
   }
 
   // Messages get a uniform extra delay in [0, max_ns]; together with the base
@@ -176,16 +190,19 @@ class FaultInjector {
   void SetMaxExtraDelay(uint64_t max_ns) {
     MutexLock lock(mu_);
     max_extra_delay_ns_ = max_ns;
+    RecomputeActiveLocked();
   }
 
   void CrashReplica(ReplicaId id) {
     MutexLock lock(mu_);
     crashed_replicas_.insert(id);
+    RecomputeActiveLocked();
   }
 
   void RecoverReplica(ReplicaId id) {
     MutexLock lock(mu_);
     crashed_replicas_.erase(id);
+    RecomputeActiveLocked();
   }
 
   bool IsCrashed(ReplicaId id) const {
@@ -196,11 +213,13 @@ class FaultInjector {
   void CrashClient(uint32_t id) {
     MutexLock lock(mu_);
     crashed_clients_.insert(id);
+    RecomputeActiveLocked();
   }
 
   void RecoverClient(uint32_t id) {
     MutexLock lock(mu_);
     crashed_clients_.erase(id);
+    RecomputeActiveLocked();
   }
 
   bool IsClientCrashed(uint32_t id) const {
@@ -212,16 +231,19 @@ class FaultInjector {
   void BlockLink(const Address& src, const Address& dst) {
     MutexLock lock(mu_);
     blocked_links_.insert(LinkKey(src, dst));
+    RecomputeActiveLocked();
   }
 
   void UnblockLink(const Address& src, const Address& dst) {
     MutexLock lock(mu_);
     blocked_links_.erase(LinkKey(src, dst));
+    RecomputeActiveLocked();
   }
 
   void ClearLinkFaults() {
     MutexLock lock(mu_);
     blocked_links_.clear();
+    RecomputeActiveLocked();
   }
 
   uint64_t dropped() const {
@@ -242,6 +264,16 @@ class FaultInjector {
       return (static_cast<uint64_t>(a.kind) << 31) | a.id;
     };
     return (enc(src) << 32) | enc(dst);
+  }
+
+  // Re-derives the passthrough flag from the configured state. Called by
+  // every mutator; Judge's scripted-crash path mutates under mu_ too but can
+  // only add faults, so `active_` is already true there.
+  void RecomputeActiveLocked() REQUIRES(mu_) {
+    bool active = drop_probability_ > 0 || duplicate_probability_ > 0 ||
+                  max_extra_delay_ns_ > 0 || !rules_.empty() || !crashed_replicas_.empty() ||
+                  !crashed_clients_.empty() || !blocked_links_.empty();
+    active_.store(active, std::memory_order_seq_cst);
   }
 
   bool IsCrashedLocked(const Address& a) const REQUIRES(mu_) {
@@ -278,6 +310,9 @@ class FaultInjector {
            match_endpoint(msg.dst, rule.dst_replica, rule.dst_client);
   }
 
+  // True iff any fault (probabilistic, scripted, crash, or link block) is
+  // configured; false lets Judge return without touching mu_.
+  std::atomic<bool> active_{false};
   mutable Mutex mu_;
   Rng rng_ GUARDED_BY(mu_);
   double drop_probability_ GUARDED_BY(mu_) = 0.0;

@@ -1,12 +1,14 @@
 // Wire messages for all four systems (Meerkat, Meerkat-PB, TAPIR-like,
 // KuaFu++) plus the recovery subprotocols.
 //
-// Messages are passed in-process (both runtimes are in-process; see
-// DESIGN.md §2), so payloads are plain structs in a std::variant rather than
-// serialized bytes. src/transport/serialization.h provides a byte-level codec
-// for the subset of messages that would cross a real wire, with round-trip
-// tests, to keep the message definitions honest (fixed-size ids, explicit
-// field order, no hidden pointers).
+// Payloads are plain structs in a std::variant. The in-process runtimes (sim
+// and threaded; see DESIGN.md §2) pass them by move, never touching bytes;
+// the loopback-UDP runtime (src/transport/udp_transport.h) serializes every
+// message through the codec in src/transport/serialization.h, so each
+// payload type must encode/decode bit-exactly — fixed-size ids, explicit
+// field order, no hidden pointers. Adding a payload type means extending the
+// codec (the serializer and the corpus tests fail the build/suite until it
+// is covered).
 
 #ifndef MEERKAT_SRC_TRANSPORT_MESSAGE_H_
 #define MEERKAT_SRC_TRANSPORT_MESSAGE_H_

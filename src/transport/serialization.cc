@@ -13,19 +13,19 @@ constexpr uint32_t kMaxLength = 64u << 20;
 
 void WireWriter::U32(uint32_t v) {
   for (int i = 0; i < 4; i++) {
-    out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
   }
 }
 
 void WireWriter::U64(uint64_t v) {
   for (int i = 0; i < 8; i++) {
-    out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
   }
 }
 
 void WireWriter::Str(const std::string& s) {
   U32(static_cast<uint32_t>(s.size()));
-  out_.insert(out_.end(), s.begin(), s.end());
+  out_->insert(out_->end(), s.begin(), s.end());
 }
 
 void WireWriter::Ts(const Timestamp& ts) {
@@ -145,7 +145,8 @@ bool WireReader::WriteSet(std::vector<WriteSetEntry>* writes) {
 
 namespace {
 
-void WriteAddress(WireWriter& w, const Address& a) {
+template <typename Sink>
+void WriteAddress(Sink& w, const Address& a) {
   w.U8(static_cast<uint8_t>(a.kind));
   w.U32(a.id);
 }
@@ -159,7 +160,8 @@ bool ReadAddress(WireReader& r, Address* a) {
   return r.U32(&a->id);
 }
 
-void WriteSnapshot(WireWriter& w, const TxnRecordSnapshot& s) {
+template <typename Sink>
+void WriteSnapshot(Sink& w, const TxnRecordSnapshot& s) {
   w.Tid(s.tid);
   w.Ts(s.ts);
   w.U8(static_cast<uint8_t>(s.status));
@@ -185,7 +187,8 @@ bool ReadSnapshot(WireReader& r, TxnRecordSnapshot* s) {
   return true;
 }
 
-void WriteSnapshots(WireWriter& w, const std::vector<TxnRecordSnapshot>& snaps) {
+template <typename Sink>
+void WriteSnapshots(Sink& w, const std::vector<TxnRecordSnapshot>& snaps) {
   w.U32(static_cast<uint32_t>(snaps.size()));
   for (const TxnRecordSnapshot& s : snaps) {
     WriteSnapshot(w, s);
@@ -208,7 +211,8 @@ bool ReadSnapshots(WireReader& r, std::vector<TxnRecordSnapshot>* snaps) {
   return true;
 }
 
-void WriteVersions(WireWriter& w, const std::vector<Timestamp>& versions) {
+template <typename Sink>
+void WriteVersions(Sink& w, const std::vector<Timestamp>& versions) {
   w.U32(static_cast<uint32_t>(versions.size()));
   for (const Timestamp& ts : versions) {
     w.Ts(ts);
@@ -231,8 +235,9 @@ bool ReadVersions(WireReader& r, std::vector<Timestamp>* versions) {
   return true;
 }
 
+template <typename Sink>
 struct PayloadEncoder {
-  WireWriter& w;
+  Sink& w;
 
   void operator()(const GetRequest& p) {
     w.Tid(p.tid);
@@ -555,17 +560,39 @@ bool DecodePayload(WireReader& r, size_t tag, Payload* out) {
 }  // namespace
 
 std::vector<uint8_t> EncodeMessage(const Message& msg) {
-  WireWriter w;
+  std::vector<uint8_t> out;
+  EncodeMessageInto(msg, &out);
+  return out;
+}
+
+void EncodeMessageInto(const Message& msg, std::vector<uint8_t>* out) {
+  // Exact reservation: once the buffer's capacity has seen the workload's
+  // largest message, appending never allocates again.
+  out->reserve(out->size() + EncodedMessageSize(msg));
+  WireWriter w(out);
   WriteAddress(w, msg.src);
   WriteAddress(w, msg.dst);
   w.U32(msg.core);
   w.U8(static_cast<uint8_t>(msg.payload.index()));
-  std::visit(PayloadEncoder{w}, msg.payload);
-  return w.Take();
+  std::visit(PayloadEncoder<WireWriter>{w}, msg.payload);
+}
+
+size_t EncodedMessageSize(const Message& msg) {
+  WireSizer w;
+  WriteAddress(w, msg.src);
+  WriteAddress(w, msg.dst);
+  w.U32(msg.core);
+  w.U8(0);
+  std::visit(PayloadEncoder<WireSizer>{w}, msg.payload);
+  return w.size();
 }
 
 bool DecodeMessage(const std::vector<uint8_t>& bytes, Message* out) {
-  WireReader r(bytes);
+  return DecodeMessage(bytes.data(), bytes.size(), out);
+}
+
+bool DecodeMessage(const uint8_t* data, size_t size, Message* out) {
+  WireReader r(data, size);
   uint8_t tag = 0;
   if (!ReadAddress(r, &out->src) || !ReadAddress(r, &out->dst) || !r.U32(&out->core) ||
       !r.U8(&tag)) {

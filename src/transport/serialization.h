@@ -1,12 +1,20 @@
 // Binary wire codec for protocol messages.
 //
-// Both runtimes pass messages in-process, so the hot path never serializes —
-// but a transport that crossed a real wire would, and a codec keeps the
-// message structs honest: fixed-width ids, explicit field order, no hidden
-// pointers, and length-delimited strings. Every payload type round-trips
-// through Encode/Decode in the test suite, and Decode is hardened against
-// truncated and corrupt inputs (it must fail cleanly, never read past the
-// buffer).
+// The simulated and threaded runtimes pass messages in-process and never
+// touch this codec on their hot paths; the UDP runtime
+// (src/transport/udp_transport.h) puts every message through it, once per
+// datagram, on the encode/send and recv/decode fast paths. That makes two
+// properties load-bearing:
+//
+//  - Encoding must be allocation-free at steady state: WireWriter can append
+//    into a caller-owned buffer (EncodeMessageInto), Reset() preserves
+//    capacity across messages, and EncodedMessageSize gives an exact
+//    reservation hint derived from the txn set sizes so a warm buffer never
+//    regrows.
+//  - Decode is hardened against truncated and corrupt inputs: it must fail
+//    cleanly, never read past the buffer, and reject trailing garbage. Every
+//    payload type round-trips in the test suite and survives a
+//    truncation/bit-flip corruption corpus under ASan.
 //
 // Format: little-endian fixed-width integers; strings and vectors are
 // u32-length-prefixed; a Message is [src][dst][core][payload tag:u8][payload].
@@ -14,6 +22,7 @@
 #ifndef MEERKAT_SRC_TRANSPORT_SERIALIZATION_H_
 #define MEERKAT_SRC_TRANSPORT_SERIALIZATION_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -22,9 +31,18 @@
 
 namespace meerkat {
 
+// Appends wire-format fields to a byte buffer. Two modes:
+//  - owning (default ctor): writes into an internal vector handed out by
+//    Take().
+//  - external (vector* ctor): appends to a caller-owned buffer, which the
+//    caller typically clears and reuses across messages so its capacity is
+//    paid once (the UDP send path does exactly this via EncodeMessageInto).
 class WireWriter {
  public:
-  void U8(uint8_t v) { out_.push_back(v); }
+  WireWriter() : out_(&own_) {}
+  explicit WireWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(v); }
   void U32(uint32_t v);
   void U64(uint64_t v);
   void Str(const std::string& s);
@@ -33,11 +51,50 @@ class WireWriter {
   void ReadSet(const std::vector<ReadSetEntry>& reads);
   void WriteSet(const std::vector<WriteSetEntry>& writes);
 
-  std::vector<uint8_t> Take() { return std::move(out_); }
-  size_t size() const { return out_.size(); }
+  // Drops the bytes written so far but keeps the buffer's capacity, so a
+  // writer (or the external buffer behind it) can encode a stream of
+  // messages with zero steady-state allocations.
+  void Reset() { out_->clear(); }
+
+  // Owning mode only: moves the encoded bytes out.
+  std::vector<uint8_t> Take() { return std::move(*out_); }
+  size_t size() const { return out_->size(); }
 
  private:
-  std::vector<uint8_t> out_;
+  std::vector<uint8_t> own_;
+  std::vector<uint8_t>* out_;
+};
+
+// Same field interface as WireWriter but only counts bytes. The payload
+// encoders are templated over the sink, so the size computation and the real
+// encoding share one definition per message type and cannot drift apart.
+class WireSizer {
+ public:
+  void U8(uint8_t) { n_ += 1; }
+  void U32(uint32_t) { n_ += 4; }
+  void U64(uint64_t) { n_ += 8; }
+  void Str(const std::string& s) { n_ += 4 + s.size(); }
+  void Ts(const Timestamp&) { n_ += 12; }
+  void Tid(const TxnId&) { n_ += 12; }
+  void ReadSet(const std::vector<ReadSetEntry>& reads) {
+    n_ += 4;
+    for (const ReadSetEntry& r : reads) {
+      Str(r.key);
+      Ts(r.read_wts);
+    }
+  }
+  void WriteSet(const std::vector<WriteSetEntry>& writes) {
+    n_ += 4;
+    for (const WriteSetEntry& w : writes) {
+      Str(w.key);
+      Str(w.value);
+    }
+  }
+
+  size_t size() const { return n_; }
+
+ private:
+  size_t n_ = 0;
 };
 
 class WireReader {
@@ -67,11 +124,27 @@ class WireReader {
   bool failed_ = false;
 };
 
-// Serializes a complete message (addresses, core, payload tag, payload).
+// Serializes a complete message (addresses, core, payload tag, payload) into
+// a fresh buffer. Convenience form; the hot path uses EncodeMessageInto.
 std::vector<uint8_t> EncodeMessage(const Message& msg);
+
+// Appends the encoding of `msg` to `*out` (existing contents are preserved,
+// so a transport can place a header in front of the frame). Reserves exactly
+// EncodedMessageSize(msg) additional bytes up front — on a reused buffer
+// whose capacity has reached the workload's high-water mark this performs no
+// allocation at all.
+void EncodeMessageInto(const Message& msg, std::vector<uint8_t>* out);
+
+// Exact number of bytes EncodeMessage would produce, computed from the field
+// widths and txn set sizes without writing anything.
+size_t EncodedMessageSize(const Message& msg);
 
 // Returns false on truncated/corrupt input; `out` is unspecified on failure.
 bool DecodeMessage(const std::vector<uint8_t>& bytes, Message* out);
+
+// Raw-buffer overload: decodes straight out of a receive slab without an
+// intermediate vector copy.
+bool DecodeMessage(const uint8_t* data, size_t size, Message* out);
 
 }  // namespace meerkat
 

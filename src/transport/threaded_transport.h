@@ -65,9 +65,10 @@ class ThreadedTransport : public Transport {
     bool operator<(const PendingTimer& other) const { return deadline > other.deadline; }
   };
 
+  // Shared packed-key scheme (transport.h); aborts on an out-of-range core
+  // instead of letting it alias a neighboring endpoint's key.
   static uint64_t EndpointKey(const Address& addr, CoreId core) {
-    return (static_cast<uint64_t>(addr.kind) << 56) | (static_cast<uint64_t>(addr.id) << 24) |
-           core;
+    return PackEndpointKey(addr, core);
   }
 
   Endpoint* Lookup(const Address& addr, CoreId core) EXCLUDES(endpoints_mu_);

@@ -10,7 +10,10 @@
 #ifndef MEERKAT_SRC_TRANSPORT_TRANSPORT_H_
 #define MEERKAT_SRC_TRANSPORT_TRANSPORT_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 
 #include "src/transport/message.h"
@@ -18,6 +21,31 @@
 namespace meerkat {
 
 class FaultInjector;
+
+// Endpoint coordinates are packed into fixed-width key fields (the threaded
+// transport's map key and the UDP transport's port directory both pack
+// core into 24 bits and the endpoint id into 32). A coordinate outside its
+// field would silently alias another endpoint — messages for core 2^24 would
+// land on (id+1, core 0) — so registration aborts instead. This must hold in
+// release builds too (RelWithDebInfo defines NDEBUG, which compiles assert()
+// out), hence an explicit check rather than assert.
+inline constexpr uint64_t kMaxEndpointCore = 1ull << 24;  // exclusive bound
+
+inline void CheckEndpointCoord(uint64_t value, uint64_t limit, const char* what) {
+  if (value >= limit) {
+    std::fprintf(stderr, "meerkat: endpoint %s %llu out of range (limit %llu)\n", what,
+                 static_cast<unsigned long long>(value), static_cast<unsigned long long>(limit));
+    std::abort();
+  }
+}
+
+// Packs (address, core) into one 64-bit key: [kind:8][id:32][core:24].
+// Aborts if core does not fit its 24-bit field (see CheckEndpointCoord).
+inline uint64_t PackEndpointKey(const Address& addr, CoreId core) {
+  CheckEndpointCoord(core, kMaxEndpointCore, "core");
+  return (static_cast<uint64_t>(addr.kind) << 56) | (static_cast<uint64_t>(addr.id) << 24) |
+         core;
+}
 
 // Handler for inbound messages. Implementations must be safe to call from the
 // transport's delivery context (a core worker thread in the threaded runtime;
@@ -55,6 +83,17 @@ class Transport {
   // Send a message (msg.dst / msg.core select the endpoint). Fire-and-forget;
   // delivery may fail silently under fault injection, exactly like UDP.
   virtual void Send(Message msg) = 0;
+
+  // Send a batch of messages, consuming (moving from) msgs[0..n). Semantically
+  // identical to n Send calls; transports with a real wire override this to
+  // amortize per-datagram syscall cost across the batch (one VALIDATE fan-out
+  // to n replicas = one sendmmsg under the UDP transport). Coordinator
+  // fan-outs (VALIDATE / ACCEPT / COMMIT broadcast) go through this.
+  virtual void SendMany(Message* msgs, size_t n) {
+    for (size_t i = 0; i < n; i++) {
+      Send(std::move(msgs[i]));
+    }
+  }
 
   // Deliver TimerFire{timer_id} to `to` after `delay_ns` (virtual or real
   // time depending on the runtime). Timers are how receivers implement

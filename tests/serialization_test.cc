@@ -201,6 +201,181 @@ TEST(SerializationTest, HostileLengthPrefixIsRejected) {
   EXPECT_FALSE(DecodeMessage(bytes, &out));
 }
 
+// One representative message per payload alternative, with non-empty strings
+// and vectors so every field path in the codec is exercised. Kept in variant
+// index order; the static_assert below fails the build when a new payload
+// type is added without a corpus entry.
+std::vector<Message> SampleCorpus() {
+  std::vector<Message> corpus;
+  corpus.push_back(Wrap(GetRequest{{1, 2}, 77, "some-key"}));
+  corpus.push_back(Wrap(GetReply{{1, 2}, 9, "k", std::string("binary\0data", 11), {55, 1}, true}));
+  corpus.push_back(
+      Wrap(ValidateRequest{{3, 4}, {999, 3}, {{"a", {1, 0}}, {"b", {}}}, {{"c", "v1"}, {"d", ""}}}));
+  corpus.push_back(Wrap(ValidateReply{{3, 4}, TxnStatus::kValidatedAbort, 2, 7}));
+  corpus.push_back(Wrap(AcceptRequest{{1, 1}, 3, true, {500, 1}, {{"r", {2, 1}}}, {{"k", "v"}}}));
+  corpus.push_back(Wrap(AcceptReply{{1, 1}, 3, true, 0, 2}));
+  corpus.push_back(Wrap(CommitRequest{{1, 1}, true}));
+  corpus.push_back(Wrap(CommitReply{{1, 1}, 2}));
+  corpus.push_back(Wrap(EpochChangeRequest{4}));
+  {
+    EpochChangeAck ack;
+    ack.epoch = 4;
+    ack.from = 1;
+    ack.recovering = true;
+    ack.records = {SampleSnapshot()};
+    ack.store_state = {{"k", "v"}};
+    ack.store_versions = {{7, 1}};
+    corpus.push_back(Wrap(ack));
+  }
+  {
+    EpochChangeComplete complete;
+    complete.epoch = 4;
+    complete.records = {SampleSnapshot()};
+    complete.store_state = {{"k", "v"}};
+    complete.store_versions = {{7, 1}};
+    corpus.push_back(Wrap(complete));
+  }
+  corpus.push_back(Wrap(EpochChangeCompleteAck{4, 2}));
+  corpus.push_back(Wrap(CoordChangeRequest{{1, 1}, 9}));
+  {
+    CoordChangeAck ack;
+    ack.tid = {1, 1};
+    ack.view = 9;
+    ack.ok = true;
+    ack.has_record = true;
+    ack.record = SampleSnapshot();
+    ack.from = 0;
+    corpus.push_back(Wrap(ack));
+  }
+  {
+    PrimaryCommitRequest req;
+    req.tid = {2, 3};
+    req.ts = {100, 2};
+    req.read_set = {{"r", {1, 0}}};
+    req.write_set = {{"w", "v"}};
+    corpus.push_back(Wrap(req));
+  }
+  {
+    ReplicateRequest repl;
+    repl.tid = {2, 3};
+    repl.ts = {100, 2};
+    repl.log_index = 42;
+    repl.write_set = {{"w", "v"}};
+    corpus.push_back(Wrap(repl));
+  }
+  corpus.push_back(Wrap(ReplicateReply{{2, 3}, 1}));
+  corpus.push_back(Wrap(PrimaryCommitReply{{2, 3}, true, {100, 2}}));
+  corpus.push_back(Wrap(PutRequest{5, "k", "v"}));
+  corpus.push_back(Wrap(PutReply{5}));
+  corpus.push_back(Wrap(TimerFire{0xdeadbeef}));
+  static_assert(std::variant_size_v<Payload> == 21,
+                "new payload type: add a SampleCorpus entry for it");
+  return corpus;
+}
+
+// EncodedMessageSize must agree exactly with the bytes EncodeMessage emits
+// for every payload type — the UDP send path relies on it for reservation,
+// and the templated sizer/encoder pair is only safe if they cannot drift.
+TEST(SerializationTest, EncodedSizeIsExactForEveryPayloadType) {
+  size_t index = 0;
+  for (const Message& msg : SampleCorpus()) {
+    SCOPED_TRACE(PayloadName(msg.payload));
+    EXPECT_EQ(msg.payload.index(), index++);
+    EXPECT_EQ(EncodedMessageSize(msg), EncodeMessage(msg).size());
+  }
+}
+
+// Satellite corpus: every payload type x every truncation length must be
+// rejected cleanly — no crash, no overread (this test runs under ASan in CI).
+TEST(SerializationTest, EveryPayloadTypeRejectsEveryTruncation) {
+  for (const Message& msg : SampleCorpus()) {
+    SCOPED_TRACE(PayloadName(msg.payload));
+    std::vector<uint8_t> bytes = EncodeMessage(msg);
+    for (size_t len = 0; len < bytes.size(); len++) {
+      Message out;
+      EXPECT_FALSE(DecodeMessage(bytes.data(), len, &out))
+          << PayloadName(msg.payload) << " accepted truncation at " << len;
+    }
+  }
+}
+
+// Seeded single-byte flips over every payload type: decoding must either fail
+// or yield a message that re-encodes without crashing. A flip may legitimately
+// decode (e.g. it hit a value byte), but it must never corrupt the decoder's
+// bounds.
+TEST(SerializationTest, SingleByteFlipsOverEveryPayloadTypeNeverCrash) {
+  Rng rng(99);
+  for (const Message& msg : SampleCorpus()) {
+    SCOPED_TRACE(PayloadName(msg.payload));
+    std::vector<uint8_t> bytes = EncodeMessage(msg);
+    for (size_t pos = 0; pos < bytes.size(); pos++) {
+      std::vector<uint8_t> corrupt = bytes;
+      corrupt[pos] ^= static_cast<uint8_t>(1 + rng.NextBounded(255));
+      Message out;
+      if (DecodeMessage(corrupt.data(), corrupt.size(), &out)) {
+        EXPECT_EQ(EncodedMessageSize(out), EncodeMessage(out).size());
+      }
+    }
+  }
+}
+
+// --- WireWriter reuse (the UDP transport's per-thread encode buffers) ------
+
+TEST(WireWriterTest, ResetPreservesCapacity) {
+  WireWriter w;
+  for (int i = 0; i < 100; i++) {
+    w.U64(static_cast<uint64_t>(i));
+  }
+  std::vector<uint8_t> first = w.Take();
+  EXPECT_EQ(first.size(), 800u);
+
+  std::vector<uint8_t> buf;
+  WireWriter reuser(&buf);
+  reuser.U64(1);
+  reuser.Str("warm-up-payload");
+  size_t cap = buf.capacity();
+  const uint8_t* data = buf.data();
+  reuser.Reset();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.capacity(), cap);
+  reuser.U64(2);
+  reuser.Str("second-payload!");
+  // Same backing storage: clear()+refill under capacity never reallocates.
+  EXPECT_EQ(buf.data(), data);
+}
+
+TEST(WireWriterTest, ExternalBufferAppendsAfterExistingBytes) {
+  // The UDP transport writes a 4-byte steering word, then appends the frame
+  // with EncodeMessageInto; the codec must not disturb the prefix.
+  std::vector<uint8_t> buf = {0xAA, 0xBB, 0xCC, 0xDD};
+  Message msg = Wrap(CommitRequest{{1, 1}, true});
+  EncodeMessageInto(msg, &buf);
+  EXPECT_EQ(buf[0], 0xAA);
+  EXPECT_EQ(buf[3], 0xDD);
+  ASSERT_EQ(buf.size(), 4 + EncodedMessageSize(msg));
+  Message out;
+  EXPECT_TRUE(DecodeMessage(buf.data() + 4, buf.size() - 4, &out));
+  EXPECT_TRUE(std::get<CommitRequest>(out.payload).commit);
+}
+
+TEST(WireWriterTest, EncodeIntoReservesExactlyOnce) {
+  // Size-hint reservation: encoding a large message into an empty buffer
+  // reserves the exact frame size up front, so capacity equals size (one
+  // allocation, no growth doubling).
+  ValidateRequest req{{3, 4}, {999, 3}, {}, {}};
+  std::vector<ReadSetEntry> reads;
+  std::vector<WriteSetEntry> writes;
+  for (int i = 0; i < 50; i++) {
+    reads.push_back({"read-key-" + std::to_string(i), {static_cast<uint64_t>(i + 1), 1}});
+    writes.push_back({"write-key-" + std::to_string(i), "value-" + std::to_string(i)});
+  }
+  Message msg = Wrap(ValidateRequest{{3, 4}, {999, 3}, std::move(reads), std::move(writes)});
+  std::vector<uint8_t> buf;
+  EncodeMessageInto(msg, &buf);
+  EXPECT_EQ(buf.size(), EncodedMessageSize(msg));
+  EXPECT_EQ(buf.capacity(), buf.size());
+}
+
 TEST(SerializationTest, RandomCorruptionNeverCrashes) {
   EpochChangeAck ack;
   ack.epoch = 4;

@@ -13,6 +13,7 @@
 #include "src/sim/simulator.h"
 #include "src/transport/sim_transport.h"
 #include "src/transport/threaded_transport.h"
+#include "src/transport/udp_transport.h"
 
 namespace meerkat {
 
@@ -86,6 +87,32 @@ class ThreadedHarness {
 
  private:
   ThreadedTransport transport_;
+  SystemTimeSource time_source_;
+  std::unique_ptr<System> system_;
+};
+
+// Loopback-UDP cluster (real sockets, real datagram loss). Same surface as
+// ThreadedHarness so integration suites can run unchanged over the wire.
+class UdpHarness {
+ public:
+  explicit UdpHarness(const SystemOptions& options,
+                      UdpTransport::Options udp_options = UdpTransport::Options{})
+      : transport_(udp_options) {
+    system_ = CreateSystem(options, &transport_, &time_source_);
+  }
+
+  ~UdpHarness() { transport_.Stop(); }
+
+  UdpTransport& transport() { return transport_; }
+  System& system() { return *system_; }
+  SystemTimeSource& time_source() { return time_source_; }
+
+  std::unique_ptr<ClientSession> MakeSession(uint32_t client_id, uint64_t seed = 1) {
+    return system_->CreateSession(client_id, seed);
+  }
+
+ private:
+  UdpTransport transport_;
   SystemTimeSource time_source_;
   std::unique_ptr<System> system_;
 };

@@ -94,6 +94,9 @@ TEST(FiveReplicaTest, FastAndSlowPathQuorums) {
   // With 3 of 5 alive the fast quorum (4) is unreachable: that commit must
   // have used the slow path.
   EXPECT_GE(client.session().stats().slow_path_commits, 1u);
+  // The commit callback races the asynchronous write phase at the replicas;
+  // drain before reading replica 0's store directly.
+  h.transport().DrainForTesting();
   EXPECT_EQ(h.system().ReadAtReplica(0, "k").value, "v3");
 }
 
@@ -195,21 +198,30 @@ TEST(TrecordCheckpointTest, TrimmedReplicaStillServesTraffic) {
   MeerkatSession session(1, &transport, &time_source, session_options, 3);
   std::mutex mu;
   std::condition_variable cv;
+  // OCC: an abort is legal when a transaction validates before the previous
+  // commit's write has applied on every replica core, so re-execute on abort
+  // the way a real client does — this test is about checkpointing, not
+  // abort-freedom.
   auto run_txn = [&](const std::string& value) {
-    bool done = false;
     TxnResult result = TxnResult::kFailed;
-    TxnPlan plan;
-    plan.ops.push_back(Op::Rmw("k", value));
-    // ExecuteAsync outside mu: the session locks itself, and the completion
-    // callback takes mu while holding that lock.
-    session.ExecuteAsync(plan, [&](const TxnOutcome& o) {
-      std::lock_guard<std::mutex> inner(mu);
-      result = o.result;
-      done = true;
-      cv.notify_one();
-    });
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return done; });
+    for (int attempt = 0; attempt < 50; attempt++) {
+      bool done = false;
+      TxnPlan plan;
+      plan.ops.push_back(Op::Rmw("k", value));
+      // ExecuteAsync outside mu: the session locks itself, and the
+      // completion callback takes mu while holding that lock.
+      session.ExecuteAsync(plan, [&](const TxnOutcome& o) {
+        std::lock_guard<std::mutex> inner(mu);
+        result = o.result;
+        done = true;
+        cv.notify_one();
+      });
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return done; });
+      if (result != TxnResult::kAbort) {
+        break;
+      }
+    }
     return result;
   };
 

@@ -36,6 +36,12 @@ reported so the baseline can shrink. `--update-baseline` rewrites it;
 `--self-test` runs the linter over tools/zcp_lint_fixtures/ and asserts each
 planted violation is caught and the clean fixture stays clean.
 
+Coverage guard: the files in EXPECTED_FAST_PATH_FILES must keep at least
+their recorded number of ZCP_FAST_PATH-marked definitions. The rules above
+only bind where the marker is present, so deleting a marker would silently
+drop e.g. the ZCP002 zero-allocation guard from the UDP wire path; the
+guard turns that into a lint failure instead.
+
 Suppression: append `// zcp-lint: allow(ZCPxxx)` to a line to waive one rule
 there (use sparingly; say why in a nearby comment).
 
@@ -112,6 +118,21 @@ ZCP005_FILE_ALLOWLIST = {
 }
 
 DEFAULT_SRC_GLOBS = ["src/**/*.h", "src/**/*.cc"]
+
+# Minimum count of ZCP_FAST_PATH-marked *definitions* per file. These are the
+# hot paths the repo makes zero-coordination claims about; the markers are
+# what puts them under ZCP001-ZCP003, so their disappearance must fail the
+# lint rather than silently shrink coverage. Raise a count when marking a new
+# hot path; never lower one without a design-level justification.
+EXPECTED_FAST_PATH_FILES = {
+    "src/protocol/replica.cc": 5,
+    "src/store/occ.cc": 3,
+    "src/store/trecord.cc": 3,
+    "src/store/vstore.cc": 8,
+    # Encode/send (WireSend) + recv/decode/dispatch (DrainReadySocket): the
+    # allocation-free wire path of the UDP transport.
+    "src/transport/udp_transport.cc": 2,
+}
 
 
 def strip_comments_and_strings(text):
@@ -308,6 +329,23 @@ def run_scan(root, globs):
     return findings
 
 
+def check_fast_path_coverage(root):
+    """Returns error strings for files that lost ZCP_FAST_PATH coverage."""
+    errors = []
+    for rel, minimum in sorted(EXPECTED_FAST_PATH_FILES.items()):
+        p = root / rel
+        if not p.exists():
+            errors.append(f"{rel}: expected fast-path file is missing")
+            continue
+        text = strip_comments_and_strings(p.read_text(errors="replace"))
+        count = len(find_fast_path_bodies(text))
+        if count < minimum:
+            errors.append(
+                f"{rel}: {count} ZCP_FAST_PATH-marked definition(s), expected >= "
+                f"{minimum} — hot-path code lost its zero-coordination guard")
+    return errors
+
+
 def load_baseline(path):
     if not path.exists():
         return set()
@@ -361,6 +399,10 @@ def main():
     if args.self_test:
         return self_test(root)
 
+    coverage_errors = check_fast_path_coverage(root)
+    for err in coverage_errors:
+        print(f"zcp_lint coverage: {err}", file=sys.stderr)
+
     findings = run_scan(root, args.glob or DEFAULT_SRC_GLOBS)
     fps = {fingerprint(f): f for f in findings}
 
@@ -391,6 +433,10 @@ def main():
     if new:
         print(f"zcp_lint: {len(new)} new violation(s) "
               f"({len(fps)} total, {len(baseline)} baselined)", file=sys.stderr)
+        return 1
+    if coverage_errors:
+        print(f"zcp_lint: {len(coverage_errors)} fast-path coverage error(s)",
+              file=sys.stderr)
         return 1
     print(f"zcp_lint: clean ({len(fps)} baselined finding(s), 0 new)")
     return 0
