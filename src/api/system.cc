@@ -24,9 +24,11 @@ int64_t DrawSkew(Rng& rng, int64_t max_skew) {
          max_skew;
 }
 
-// Installs the options' fault plan into the transport's injector (if the
-// transport has one — the base Transport interface makes it optional).
+// Installs the options' transport-level configuration: the batch governor,
+// and the fault plan into the transport's injector (if the transport has one
+// — the base Transport interface makes it optional).
 void InstallFaultPlan(const SystemOptions& options, Transport* transport) {
+  transport->set_batch_options(options.batching);
   if (options.fault_plan.Empty()) {
     return;
   }

@@ -74,6 +74,11 @@ struct SystemOptions {
   // Scripted network faults; CreateSystem installs a non-empty plan into the
   // transport's fault injector.
   FaultPlan fault_plan;
+  // Batched delivery pipeline governor (coalesced wire frames / ReceiveBatch
+  // dispatch); installed into the transport by CreateSystem. Enabled by
+  // default on every transport; set .enabled = false (or WithBatching) for
+  // the strictly per-message legacy pipeline.
+  BatchOptions batching;
   // Ablation (Meerkat/TAPIR sessions): always run the slow path.
   bool force_slow_path = false;
   // Shared-structure service times (simulator only; real primitives ignore).
@@ -111,6 +116,10 @@ struct SystemOptions {
   }
   SystemOptions& WithFaultPlan(const FaultPlan& p) {
     fault_plan = p;
+    return *this;
+  }
+  SystemOptions& WithBatching(const BatchOptions& b) {
+    batching = b;
     return *this;
   }
   SystemOptions& WithForceSlowPath(bool f) {

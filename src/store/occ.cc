@@ -1,5 +1,7 @@
 #include "src/store/occ.h"
 
+#include <algorithm>
+
 #include "src/common/annotations.h"
 #include "src/common/metrics.h"
 #include "src/common/stats.h"
@@ -115,6 +117,149 @@ ZCP_FAST_PATH TxnStatus OccValidate(VStore& store, const std::vector<ReadSetEntr
   }
   MetricIncr(kValidateOk);
   return TxnStatus::kValidatedOk;
+}
+
+ZCP_FAST_PATH void OccValidateBatch(VStore& store, ValidateBatchItem* items, size_t n,
+                                    OccBatchScratch* scratch) {
+  // Pass 1: flatten every item's read set, hash each key exactly once, and
+  // probe the store index in hash-sorted order (consecutive probes land in
+  // the same index shard, so the sweep walks the table instead of hopping).
+  // The lock-free staleness pre-check runs here too: wts is monotone, so a
+  // probe that observes e.wts > r.wts is a permanent abort proof no matter
+  // how much later pass 2 runs.
+  std::vector<OccBatchScratch::ReadProbe>& reads = scratch->reads;
+  std::vector<uint64_t>& writes = scratch->writes;
+  std::vector<uint32_t>& order = scratch->order;
+  reads.clear();
+  writes.clear();
+  order.clear();
+  for (size_t i = 0; i < n; i++) {
+    for (const ReadSetEntry& r : *items[i].read_set) {
+      OccBatchScratch::ReadProbe probe;
+      probe.read = &r;
+      probe.hash = VStore::HashKey(r.key);
+      reads.push_back(probe);
+    }
+    for (const WriteSetEntry& w : *items[i].write_set) {
+      ChargeOp();
+      writes.push_back(VStore::HashKey(w.key));
+    }
+  }
+  order.resize(reads.size());
+  for (uint32_t i = 0; i < order.size(); i++) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(),
+            [&reads](uint32_t a, uint32_t b) { return reads[a].hash < reads[b].hash; });
+  for (uint32_t idx : order) {
+    OccBatchScratch::ReadProbe& p = reads[idx];
+    ChargeOp();
+    p.entry = store.FindWithHash(p.read->key, p.hash);
+    if (p.entry != nullptr) {
+      bool found = false;
+      Timestamp probe_wts;
+      if (p.entry->TryReadVersionFast(&found, &probe_wts) && found &&
+          probe_wts > p.read->read_wts) {
+        p.fast_stale = true;
+      }
+    }
+  }
+
+  // Pass 2: the actual Algorithm 1 checks, per item, strictly in order — txn
+  // i's reader/writer registrations must be visible to txn i+1 exactly as if
+  // the items had been validated by sequential OccValidate calls.
+  size_t read_base = 0;
+  size_t write_base = 0;
+  for (size_t i = 0; i < n; i++) {
+    ValidateBatchItem& item = items[i];
+    const std::vector<ReadSetEntry>& read_set = *item.read_set;
+    const std::vector<WriteSetEntry>& write_set = *item.write_set;
+    const Timestamp ts = item.ts;
+    item.status = TxnStatus::kValidatedOk;
+
+    // Read set (Alg. 1 lines 2-12), reusing pass-1 hashes/entries.
+    for (size_t j = 0; j < read_set.size(); j++) {
+      OccBatchScratch::ReadProbe& p = reads[read_base + j];
+      if (p.fast_stale) {
+        LocalFastPathCounters().occ_stale_fast_aborts++;
+        MetricIncr(kAbortStaleRead);
+        for (size_t k = 0; k < j; k++) {
+          KeyEntry* prev = reads[read_base + k].entry;
+          if (prev != nullptr) {
+            LockGuard<KeyLock> plock(prev->lock);
+            prev->RemoveReader(ts);
+          }
+        }
+        item.status = TxnStatus::kValidatedAbort;
+        break;
+      }
+      KeyEntry* e = p.entry;
+      if (e == nullptr) {
+        // Absent at probe time; an earlier item in this batch (or a
+        // concurrent core) may have created it since.
+        e = store.FindOrCreateWithHash(read_set[j].key, p.hash);
+        p.entry = e;
+      }
+      bool conflict = false;
+      bool conflict_stale = false;
+      {
+        LockGuard<KeyLock> lock(e->lock);
+        bool stale = e->wts > read_set[j].read_wts;
+        Timestamp min_writer = e->MinWriter();
+        bool pending_earlier_writer = min_writer.Valid() && ts > min_writer;
+        if (stale || pending_earlier_writer) {
+          conflict = true;
+          conflict_stale = stale;
+        } else {
+          e->readers.push_back(ts);
+        }
+      }
+      if (conflict) {
+        MetricIncr(conflict_stale ? kAbortStaleRead : kAbortPendingWriter);
+        for (size_t k = 0; k < j; k++) {
+          KeyEntry* prev = reads[read_base + k].entry;
+          if (prev != nullptr) {
+            LockGuard<KeyLock> plock(prev->lock);
+            prev->RemoveReader(ts);
+          }
+        }
+        item.status = TxnStatus::kValidatedAbort;
+        break;
+      }
+    }
+
+    // Write set (Alg. 1 lines 13-23), reusing pass-1 hashes.
+    if (item.status == TxnStatus::kValidatedOk) {
+      for (size_t j = 0; j < write_set.size(); j++) {
+        KeyEntry* e = store.FindOrCreateWithHash(write_set[j].key, writes[write_base + j]);
+        bool conflict = false;
+        {
+          LockGuard<KeyLock> lock(e->lock);
+          Timestamp max_reader = e->MaxReader();
+          bool under_committed_read = ts < e->rts;
+          bool under_pending_read = max_reader.Valid() && ts < max_reader;
+          if (under_committed_read || under_pending_read) {
+            conflict = true;
+          } else {
+            e->writers.push_back(ts);
+          }
+        }
+        if (conflict) {
+          MetricIncr(kAbortReadProtect);
+          // Rare abort path: the sequential cleanup (re-find by key) keeps
+          // semantics byte-identical to OccValidate's conflict exit.
+          OccCleanup(store, read_set, write_set, ts);
+          item.status = TxnStatus::kValidatedAbort;
+          break;
+        }
+      }
+    }
+    if (item.status == TxnStatus::kValidatedOk) {
+      MetricIncr(kValidateOk);
+    }
+    read_base += read_set.size();
+    write_base += write_set.size();
+  }
 }
 
 ZCP_FAST_PATH void OccCommit(VStore& store, const std::vector<ReadSetEntry>& read_set,

@@ -31,6 +31,43 @@ namespace meerkat {
 TxnStatus OccValidate(VStore& store, const std::vector<ReadSetEntry>& read_set,
                       const std::vector<WriteSetEntry>& write_set, Timestamp ts);
 
+// --- Batched validation ----------------------------------------------------
+
+// One transaction in a validation sweep. The set pointers must stay valid for
+// the duration of the call (they point into trecord-adopted TxnSets).
+struct ValidateBatchItem {
+  const std::vector<ReadSetEntry>* read_set = nullptr;
+  const std::vector<WriteSetEntry>* write_set = nullptr;
+  Timestamp ts;
+  TxnStatus status = TxnStatus::kNone;  // Out: kValidatedOk / kValidatedAbort.
+};
+
+// Reusable per-core scratch for OccValidateBatch. Vectors keep their capacity
+// across sweeps, so a warm scratch performs no allocations.
+struct OccBatchScratch {
+  struct ReadProbe {
+    const ReadSetEntry* read = nullptr;
+    uint64_t hash = 0;
+    KeyEntry* entry = nullptr;  // nullptr: key absent at probe time.
+    bool fast_stale = false;    // Lock-free pre-check verdict (monotone-wts proof).
+  };
+  std::vector<ReadProbe> reads;    // Flattened read sets, item order.
+  std::vector<uint64_t> writes;    // Flattened write-set key hashes, item order.
+  std::vector<uint32_t> order;     // Probe visit order (sorted by hash).
+};
+
+// Validates items[0..n) against `store`, writing each item's verdict into
+// item.status. Equivalent to calling OccValidate on each item in order — the
+// per-transaction checks and reader/writer registrations stay strictly
+// sequential (txn i's registrations are visible to txn i+1) — but the
+// read-set version probes for the WHOLE batch run first as one pass over the
+// seqlock store in hash-sorted order (index-shard locality), and every key
+// is hashed and located exactly once instead of once per check plus once per
+// back-out. A probe that observes staleness is a permanent proof (wts is
+// monotone), so pass-1 verdicts remain valid at validation time.
+void OccValidateBatch(VStore& store, ValidateBatchItem* items, size_t n,
+                      OccBatchScratch* scratch);
+
 // Finalizes a transaction that previously passed OccValidate on this store:
 // bumps rts for reads, installs writes under the Thomas write rule (skip the
 // install if a newer version is already in place), and removes ts from the

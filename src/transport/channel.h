@@ -55,6 +55,19 @@ class Channel {
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
 
+  // Spin budget for the consumer's pre-park phase. On a single-CPU host the
+  // producer cannot make progress while the consumer spins, so the budget is
+  // zero there — spinning would only delay the very Push being waited for
+  // (the 1-CPU threaded-test load flake). Exposed per-host for the regression
+  // test that pins the clamp.
+  static constexpr int SpinIterationsForHost(unsigned hardware_concurrency) {
+    return hardware_concurrency <= 1 ? 0 : kSpinIterations;
+  }
+  static int SpinIterations() {
+    static const int n = SpinIterationsForHost(std::thread::hardware_concurrency());
+    return n;
+  }
+
   // Returns false if the channel is closed.
   bool Push(T item) EXCLUDES(mu_) {
     bool notify;
@@ -73,6 +86,35 @@ class Channel {
       LocalFastPathCounters().channel_notifies_skipped++;
     }
     return true;
+  }
+
+  // Enqueues items[0..n) (moving from them) under ONE lock acquisition with
+  // at most one notify — the producer-side mirror of PopAll, used by the
+  // threaded transport to land a coalesced same-destination send group.
+  // Returns the number enqueued (0 if the channel is closed); FIFO order of
+  // the group is preserved.
+  size_t PushAll(T* items, size_t n) EXCLUDES(mu_) {
+    if (n == 0) {
+      return 0;
+    }
+    bool notify;
+    {
+      MutexLock lock(mu_);
+      if (closed_) {
+        return 0;
+      }
+      for (size_t i = 0; i < n; i++) {
+        items_.push_back(std::move(items[i]));
+      }
+      approx_size_.store(items_.size(), std::memory_order_release);
+      notify = waiters_ > 0;
+    }
+    if (notify) {
+      cv_.NotifyOne();
+    } else {
+      LocalFastPathCounters().channel_notifies_skipped++;
+    }
+    return n;
   }
 
   // Blocks until an item arrives or the channel closes.
@@ -130,8 +172,10 @@ class Channel {
   // consumer's termination condition. FIFO order is preserved.
   bool PopAll(std::vector<T>& out) EXCLUDES(mu_) {
     out.clear();
-    // Spin phase: no lock, no cache-line writes — just acquire loads.
-    for (int i = 0; i < kSpinIterations; i++) {
+    // Spin phase: no lock, no cache-line writes — just acquire loads. The
+    // budget is zero on single-CPU hosts (see SpinIterationsForHost).
+    const int spin = SpinIterations();
+    for (int i = 0; i < spin; i++) {
       if (approx_size_.load(std::memory_order_acquire) > 0 ||
           closed_flag_.load(std::memory_order_acquire)) {
         break;

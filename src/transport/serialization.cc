@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/common/annotations.h"
+
 namespace meerkat {
 namespace {
 
@@ -603,6 +605,69 @@ bool DecodeMessage(const uint8_t* data, size_t size, Message* out) {
   }
   // Trailing garbage means the frame length disagrees with the contents.
   return r.AtEnd() && !r.failed();
+}
+
+size_t EncodedBatchSize(const Message* const* msgs, size_t n) {
+  size_t total = 1 + 4;  // marker + count
+  for (size_t i = 0; i < n; i++) {
+    total += 4 + EncodedMessageSize(*msgs[i]);
+  }
+  return total;
+}
+
+ZCP_FAST_PATH void EncodeBatchInto(const Message* const* msgs, size_t n,
+                                   std::vector<uint8_t>* out) {
+  out->reserve(out->size() + EncodedBatchSize(msgs, n));
+  WireWriter w(out);
+  w.U8(kMsgBatchMarker);
+  w.U32(static_cast<uint32_t>(n));
+  for (size_t i = 0; i < n; i++) {
+    w.U32(static_cast<uint32_t>(EncodedMessageSize(*msgs[i])));
+    EncodeMessageInto(*msgs[i], out);
+  }
+}
+
+ZCP_FAST_PATH bool DecodeBatch(const uint8_t* data, size_t size, std::vector<Message>* out) {
+  const size_t restore = out->size();
+  WireReader r(data, size);
+  uint8_t marker = 0;
+  uint32_t count = 0;
+  if (!r.U8(&marker) || marker != kMsgBatchMarker || !r.U32(&count) || count == 0 ||
+      count > kMaxBatchMessages) {
+    return false;
+  }
+  size_t pos = 1 + 4;
+  for (uint32_t i = 0; i < count; i++) {
+    // Length-prefixed sub-frame; the strict single-message decoder enforces
+    // exact consumption, so a length that disagrees with the contents — or a
+    // nested batch, whose marker byte is not a legal address kind — fails
+    // here instead of shifting every later sub-frame.
+    if (size - pos < 4) {
+      out->resize(restore);
+      return false;
+    }
+    uint32_t len = static_cast<uint32_t>(data[pos]) |
+                   (static_cast<uint32_t>(data[pos + 1]) << 8) |
+                   (static_cast<uint32_t>(data[pos + 2]) << 16) |
+                   (static_cast<uint32_t>(data[pos + 3]) << 24);
+    pos += 4;
+    if (len == 0 || len > kMaxLength || size - pos < len) {
+      out->resize(restore);
+      return false;
+    }
+    Message msg;
+    if (!DecodeMessage(data + pos, len, &msg)) {
+      out->resize(restore);
+      return false;
+    }
+    pos += len;
+    out->push_back(std::move(msg));
+  }
+  if (pos != size) {  // Trailing garbage after the last sub-frame.
+    out->resize(restore);
+    return false;
+  }
+  return true;
 }
 
 }  // namespace meerkat

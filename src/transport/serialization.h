@@ -146,6 +146,43 @@ bool DecodeMessage(const std::vector<uint8_t>& bytes, Message* out);
 // intermediate vector copy.
 bool DecodeMessage(const uint8_t* data, size_t size, Message* out);
 
+// --- MsgBatch frame --------------------------------------------------------
+//
+// Coalesces multiple logical messages for the *same endpoint* (same steering
+// word, same destination socket) into one datagram:
+//
+//   [marker: u8 = kMsgBatchMarker][count: u32][(len: u32)(Message frame)]*
+//
+// The marker doubles as a format firewall: a single-message frame starts with
+// the src address kind byte, which the decoder rejects unless it is 0 or 1,
+// so a batch frame can never be misparsed as a single message — and a batch
+// nested inside a batch fails sub-message decode for the same reason.
+inline constexpr uint8_t kMsgBatchMarker = 0xB7;
+
+// Hard cap on sub-messages per frame; far above what fits one datagram, it
+// only bounds hostile count prefixes.
+inline constexpr size_t kMaxBatchMessages = 4096;
+
+// True when `data` begins a MsgBatch frame (cheap marker peek; does not
+// validate the rest of the frame).
+inline bool IsBatchFrame(const uint8_t* data, size_t size) {
+  return size > 0 && data[0] == kMsgBatchMarker;
+}
+
+// Exact number of bytes EncodeBatchInto appends for msgs[0..n).
+size_t EncodedBatchSize(const Message* const* msgs, size_t n);
+
+// Appends the batch frame for msgs[0..n) to `*out` (existing contents — a
+// transport's steering word — are preserved). Reserves exactly
+// EncodedBatchSize up front, so a warm reused buffer never allocates.
+void EncodeBatchInto(const Message* const* msgs, size_t n, std::vector<uint8_t>* out);
+
+// Fans a batch frame back out, appending each decoded sub-message to `*out`.
+// On failure `*out` is restored to its length at entry. Rejects zero-count
+// frames, hostile counts/lengths, nested batches, sub-frames that do not
+// consume exactly their declared length, and trailing garbage.
+bool DecodeBatch(const uint8_t* data, size_t size, std::vector<Message>* out);
+
 }  // namespace meerkat
 
 #endif  // MEERKAT_SRC_TRANSPORT_SERIALIZATION_H_

@@ -15,6 +15,14 @@ namespace {
 // here quantify queue depth as seen by the drain loop.
 const MetricId kDrainBatchSize = MetricsRegistry::Histogram("transport.drain_batch_size");
 
+// Batch-governor telemetry: how wide the coalesced producer pushes ran and
+// why each delivered batch flushed (drained backlog with no linger window,
+// hit the size threshold, or the linger deadline expired).
+const MetricId kPushGroupWidth = MetricsRegistry::Histogram("batch.push_group_width");
+const MetricId kFlushDrain = MetricsRegistry::Counter("batch.flush_drain");
+const MetricId kFlushSize = MetricsRegistry::Counter("batch.flush_size");
+const MetricId kFlushDeadline = MetricsRegistry::Counter("batch.flush_deadline");
+
 }  // namespace
 
 ThreadedTransport::ThreadedTransport(uint64_t base_delay_ns) : base_delay_ns_(base_delay_ns) {
@@ -75,7 +83,7 @@ void ThreadedTransport::UnregisterEndpoint(uint64_t key) {
 }
 
 void ThreadedTransport::StartEndpoint(Endpoint* ep) {
-  ep->worker = std::thread([ep] {
+  ep->worker = std::thread([this, ep] {
     // Each endpoint worker is one logical core's delivery thread — exactly
     // the threads whose partition accesses the DAP detector stamps.
     DapAudit::BindCurrentThread();
@@ -85,12 +93,55 @@ void ThreadedTransport::StartEndpoint(Endpoint* ep) {
     WarmupMetricsForThisThread();
     WarmupTraceForThisThread();
     // Batch drain: one lock acquisition per backlog instead of one per
-    // message. The vector's capacity is reused across iterations.
+    // message. The vectors' capacity is reused across iterations.
     std::vector<Message> batch;
+    std::vector<Message> extra;
     while (ep->inbox.PopAll(batch)) {
+      // Governor state is setup-time configuration (set before traffic
+      // flows), re-read each drain so options installed after registration
+      // but before load are honored.
+      const BatchOptions opts = batch_options();
+      if (!opts.enabled) {
+        // Legacy per-message delivery, exactly the unbatched pipeline.
+        MetricRecordValue(kDrainBatchSize, batch.size());
+        for (Message& msg : batch) {
+          ep->receiver->Receive(std::move(msg));
+        }
+        continue;
+      }
+      if (opts.flush_delay_ns > 0 && batch.size() < opts.max_messages) {
+        // Linger: extend a small drain toward max_messages for up to the
+        // flush window. ClampedForHost zeroes the window on 1-CPU hosts,
+        // where this poll would starve the producer it waits for.
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::nanoseconds(opts.flush_delay_ns);
+        bool hit_size = false;
+        while (true) {
+          if (ep->inbox.TryPopAll(extra) > 0) {
+            for (Message& m : extra) {
+              batch.push_back(std::move(m));
+            }
+          }
+          if (batch.size() >= opts.max_messages) {
+            hit_size = true;
+            break;
+          }
+          if (ep->inbox.closed() || std::chrono::steady_clock::now() >= deadline) {
+            break;
+          }
+          channel_internal::CpuRelax();
+        }
+        MetricIncr(hit_size ? kFlushSize : kFlushDeadline);
+      } else {
+        MetricIncr(kFlushDrain);
+      }
       MetricRecordValue(kDrainBatchSize, batch.size());
-      for (Message& msg : batch) {
-        ep->receiver->Receive(std::move(msg));
+      // Chunk at max_messages so one huge backlog still bounds the epoch-gate
+      // hold time of each DispatchBatch.
+      for (size_t off = 0; off < batch.size(); off += opts.max_messages) {
+        const size_t chunk =
+            std::min(static_cast<size_t>(opts.max_messages), batch.size() - off);
+        ep->receiver->ReceiveBatch(batch.data() + off, chunk);
       }
     }
   });
@@ -114,6 +165,58 @@ void ThreadedTransport::Send(Message msg) {
     Deliver(msg, base_delay_ns_ + v.extra_delay_ns);
   }
   Deliver(std::move(msg), base_delay_ns_ + v.extra_delay_ns);
+}
+
+void ThreadedTransport::SendMany(Message* msgs, size_t n) {
+  const BatchOptions opts = batch_options();
+  if (!opts.enabled) {
+    for (size_t i = 0; i < n; i++) {
+      Send(std::move(msgs[i]));
+    }
+    return;
+  }
+  size_t i = 0;
+  while (i < n) {
+    // Destination run [i, j): consecutive messages for the same endpoint
+    // (clients always land on their core-0 inbox, whatever msg.core says).
+    const Address dst = msgs[i].dst;
+    const CoreId eff_core = dst.kind == Address::Kind::kClient ? 0 : msgs[i].core;
+    size_t j = i + 1;
+    while (j < n && msgs[j].dst == dst &&
+           (dst.kind == Address::Kind::kClient || msgs[j].core == eff_core)) {
+      j++;
+    }
+    // Judge each logical message individually (fault semantics are per
+    // message, never per coalesced group); zero-delay survivors compact in
+    // place into a contiguous prefix and land with one PushAll.
+    size_t w = i;
+    for (size_t k = i; k < j; k++) {
+      FaultInjector::Verdict v = faults_.Judge(msgs[k]);
+      if (v.drop) {
+        continue;
+      }
+      const uint64_t delay = base_delay_ns_ + v.extra_delay_ns;
+      if (v.duplicate) {
+        Deliver(msgs[k], delay);  // Copy; the original continues below.
+      }
+      if (delay != 0) {
+        Deliver(std::move(msgs[k]), delay);
+        continue;
+      }
+      if (w != k) {
+        msgs[w] = std::move(msgs[k]);
+      }
+      w++;
+    }
+    if (w > i) {
+      Endpoint* ep = Lookup(dst, eff_core);
+      if (ep != nullptr) {
+        MetricRecordValue(kPushGroupWidth, w - i);
+        ep->inbox.PushAll(msgs + i, w - i);
+      }
+    }
+    i = j;
+  }
 }
 
 void ThreadedTransport::Deliver(Message msg, uint64_t delay_ns) {

@@ -39,6 +39,12 @@ class ThreadedTransport : public Transport {
   void UnregisterClient(uint32_t client_id) override;
   void UnregisterReplica(ReplicaId replica, CoreId core) override;
   void Send(Message msg) override;
+  // Coalesces consecutive same-endpoint messages into one Channel::PushAll
+  // (one inbox lock, one notify) when batching is enabled — the producer half
+  // of the batched pipeline. Each message is still judged individually by the
+  // fault injector BEFORE coalescing, so drop/duplicate/delay semantics are
+  // exactly per logical message.
+  void SendMany(Message* msgs, size_t n) override;
   void SetTimer(const Address& to, CoreId core, uint64_t delay_ns, uint64_t timer_id) override;
 
   FaultInjector& faults() { return faults_; }

@@ -15,12 +15,65 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <thread>
 
 #include "src/transport/message.h"
 
 namespace meerkat {
 
 class FaultInjector;
+
+// Batch governor thresholds for the coalesced delivery pipeline. With
+// batching enabled, transports hand a whole drained backlog to the receiver
+// in one ReceiveBatch call and coalesce same-destination sends into MsgBatch
+// wire frames; the thresholds bound how much is coalesced so low-load runs
+// degenerate to per-message behavior. Disabled, every path reverts to exactly
+// the unbatched per-message delivery.
+struct BatchOptions {
+  bool enabled = true;
+  // Flush a wire frame / dispatch chunk at this many messages.
+  uint32_t max_messages = 16;
+  // Flush a wire frame at this many payload bytes (kept under the 65507-byte
+  // UDP datagram ceiling with headroom for the frame headers).
+  uint32_t max_bytes = 57344;
+  // Linger window: after draining a smaller-than-max batch, a worker may poll
+  // for up to this long to extend it. 0 = flush immediately (the default:
+  // batching then only amortizes backlog that already exists, adding no
+  // latency at low load).
+  uint64_t flush_delay_ns = 0;
+
+  // Host-aware clamp: on a single-CPU host, spinning out a linger window
+  // starves the very producer that would extend the batch (the known 1-CPU
+  // threaded-load flake), so the window clamps to zero there.
+  BatchOptions ClampedForHost(unsigned hardware_concurrency) const {
+    BatchOptions c = *this;
+    if (hardware_concurrency <= 1) {
+      c.flush_delay_ns = 0;
+    }
+    if (c.max_messages == 0) {
+      c.max_messages = 1;
+    }
+    return c;
+  }
+  BatchOptions Clamped() const { return ClampedForHost(std::thread::hardware_concurrency()); }
+
+  BatchOptions& WithEnabled(bool e) {
+    enabled = e;
+    return *this;
+  }
+  BatchOptions& WithMaxMessages(uint32_t m) {
+    max_messages = m;
+    return *this;
+  }
+  BatchOptions& WithMaxBytes(uint32_t b) {
+    max_bytes = b;
+    return *this;
+  }
+  BatchOptions& WithFlushDelayNs(uint64_t d) {
+    flush_delay_ns = d;
+    return *this;
+  }
+};
 
 // Endpoint coordinates are packed into fixed-width key fields (the threaded
 // transport's map key and the UDP transport's port directory both pack
@@ -54,6 +107,18 @@ class TransportReceiver {
  public:
   virtual ~TransportReceiver() = default;
   virtual void Receive(Message&& msg) = 0;
+
+  // Batched delivery: the transport hands over a whole drained backlog,
+  // consuming (moving from) msgs[0..n). Semantically identical to n Receive
+  // calls in order; receivers with per-batch amortizable work (one DapCoreScope,
+  // one epoch-gate acquisition, one OCC validation sweep, one staged reply
+  // flush) override this. The default shim keeps every other receiver —
+  // baselines, client sessions — correct without changes.
+  virtual void ReceiveBatch(Message* msgs, size_t n) {
+    for (size_t i = 0; i < n; i++) {
+      Receive(std::move(msgs[i]));
+    }
+  }
 };
 
 class Transport {
@@ -104,6 +169,15 @@ class Transport {
   // do). Lets CreateSystem install a SystemOptions::fault_plan without the
   // caller knowing the concrete transport. nullptr = faults unsupported.
   virtual FaultInjector* fault_injector() { return nullptr; }
+
+  // Batch governor configuration. Like the fault plan, this is setup-time
+  // state: set it before traffic flows (CreateSystem does; workers read it
+  // without synchronization on the hot path).
+  void set_batch_options(const BatchOptions& options) { batch_ = options.Clamped(); }
+  const BatchOptions& batch_options() const { return batch_; }
+
+ private:
+  BatchOptions batch_;
 };
 
 }  // namespace meerkat

@@ -45,6 +45,13 @@ const MetricId kMalformedDrops = MetricsRegistry::Counter("udp.malformed_drops")
 const MetricId kDecodeFailures = MetricsRegistry::Counter("udp.decode_failures");
 const MetricId kNoReceiverDrops = MetricsRegistry::Counter("udp.no_receiver_drops");
 
+// Wire-frame coalescing (MsgBatch): how many batch frames went out and how
+// many logical messages each one carried. N validate-replies from one replica
+// core to one client core per drain is the headline beneficiary — N datagrams
+// collapse into one.
+const MetricId kWireFrames = MetricsRegistry::Counter("batch.wire_frames");
+const MetricId kWireFrameWidth = MetricsRegistry::Histogram("batch.wire_frame_width");
+
 // Every datagram is [steering word: 4 bytes, big-endian destination core]
 // followed by the serialized Message frame. The word is big-endian because
 // classic-BPF absolute loads read network byte order — the steering program
@@ -444,6 +451,7 @@ ZCP_FAST_PATH void UdpTransport::WireSend(const Message* const* msgs, size_t n) 
     MetricIncr(kSendErrors);
     return;
   }
+  const BatchOptions opts = batch_options();
   size_t i = 0;
   while (i < n) {
     // Stage up to one sendmmsg batch: encode each message into this thread's
@@ -465,15 +473,50 @@ ZCP_FAST_PATH void UdpTransport::WireSend(const Message* const* msgs, size_t n) 
       }
       std::vector<uint8_t>& buf = slab.bufs[k];
       buf.clear();
-      if (staged_prev != nullptr && steer == staged_prev_steer &&
-          m.src == staged_prev->src && m.core == staged_prev->core &&
-          SameWirePayload(m.payload, staged_prev->payload)) {
+      // Wire-frame coalescing: a run of consecutive messages for the SAME
+      // endpoint (same dst address, same steering word) packs into one
+      // MsgBatch datagram, bounded by the governor's message/byte thresholds
+      // and the datagram ceiling. Coordinator reply traffic — N validate
+      // replies from one replica core to one client per drain — is the run
+      // this collapses.
+      size_t run = 1;
+      if (opts.enabled && opts.max_messages > 1) {
+        const size_t byte_cap = std::min(static_cast<size_t>(opts.max_bytes), kMaxDatagram);
+        size_t frame_bytes = kSteerBytes + 1 + 4 + 4 + EncodedMessageSize(m);
+        while (i + run < n && run < opts.max_messages && frame_bytes <= byte_cap) {
+          const Message& next = *msgs[i + run];
+          uint32_t next_steer = next.dst.kind == Address::Kind::kReplica ? next.core : 0;
+          if (!(next.dst == m.dst) || next_steer != steer) {
+            break;
+          }
+          const size_t add = 4 + EncodedMessageSize(next);
+          if (frame_bytes + add > byte_cap) {
+            break;
+          }
+          frame_bytes += add;
+          run++;
+        }
+      }
+      if (run >= 2) {
+        AppendSteerWord(&buf, steer);
+        EncodeBatchInto(msgs + i, run, &buf);
+        MetricIncr(kWireFrames);
+        MetricRecordValue(kWireFrameWidth, run);
+        // A batch frame is not dst-patchable (the dst fields live inside the
+        // sub-frames), so it never seeds sibling copy-and-patch.
+        staged_prev = nullptr;
+        i += run - 1;  // The loop increment consumes the run's last message.
+      } else if (staged_prev != nullptr && steer == staged_prev_steer &&
+                 m.src == staged_prev->src && m.core == staged_prev->core &&
+                 SameWirePayload(m.payload, staged_prev->payload)) {
         // Identical frame except the dst field: skip serialization, copy the
         // previous datagram (steer word included) and patch dst in place.
         const std::vector<uint8_t>& prev_buf = slab.bufs[k - 1];
         buf.resize(prev_buf.size());
         std::memcpy(buf.data(), prev_buf.data(), prev_buf.size());
         PatchDstField(buf.data(), m.dst);
+        staged_prev = &m;
+        staged_prev_steer = steer;
       } else {
         AppendSteerWord(&buf, steer);
         EncodeMessageInto(m, &buf);
@@ -481,6 +524,8 @@ ZCP_FAST_PATH void UdpTransport::WireSend(const Message* const* msgs, size_t n) 
           MetricIncr(kOversizedDrops);
           continue;
         }
+        staged_prev = &m;
+        staged_prev_steer = steer;
       }
       sockaddr_in& dst = slab.dsts[k];
       dst.sin_family = AF_INET;
@@ -494,8 +539,6 @@ ZCP_FAST_PATH void UdpTransport::WireSend(const Message* const* msgs, size_t n) 
       h.msg_namelen = sizeof(dst);
       h.msg_iov = &slab.iovs[k];
       h.msg_iovlen = 1;
-      staged_prev = &m;
-      staged_prev_steer = steer;
       k++;
     }
     if (k == 0) {
@@ -611,6 +654,10 @@ void UdpTransport::PollerLoop(Endpoint* ep) {
     hdrs[i].msg_hdr.msg_iov = &iovs[i];
     hdrs[i].msg_hdr.msg_iovlen = 1;
   }
+  // Reusable decode staging for DrainReadySocket: batch frames fan out into
+  // it, and its capacity survives across rounds (no steady-state allocation
+  // for the vector itself).
+  std::vector<Message> inbox;
   ::pollfd pfd{ep->fd, POLLIN, 0};
   while (!ep->stop.load(std::memory_order_acquire)) {
     if (pollers_paused_.load(std::memory_order_acquire)) {
@@ -626,7 +673,7 @@ void UdpTransport::PollerLoop(Endpoint* ep) {
     if (pr <= 0) {
       continue;
     }
-    DrainReadySocket(ep, slab.get(), hdrs);
+    DrainReadySocket(ep, slab.get(), hdrs, &inbox);
   }
 }
 
@@ -635,7 +682,9 @@ void UdpTransport::SetPollersPausedForTesting(bool paused) {
 }
 
 ZCP_FAST_PATH void UdpTransport::DrainReadySocket(Endpoint* ep, uint8_t* slab,
-                                                  ::mmsghdr* hdrs) {
+                                                  ::mmsghdr* hdrs,
+                                                  std::vector<Message>* inbox) {
+  const BatchOptions opts = batch_options();
   // Drain until EAGAIN: one poll wakeup handles the whole backlog, and the
   // batch-size histogram records how much each recvmmsg amortized.
   for (;;) {
@@ -654,6 +703,7 @@ ZCP_FAST_PATH void UdpTransport::DrainReadySocket(Endpoint* ep, uint8_t* slab,
     }
     MetricRecordValue(kRecvBatchSize, static_cast<uint64_t>(n));
     TransportReceiver* receiver = ep->receiver.load(std::memory_order_seq_cst);
+    inbox->clear();
     for (int i = 0; i < n; i++) {
       const uint8_t* data = slab + static_cast<size_t>(i) * kRecvBufSize;
       size_t len = hdrs[i].msg_len;
@@ -682,12 +732,41 @@ ZCP_FAST_PATH void UdpTransport::DrainReadySocket(Endpoint* ep, uint8_t* slab,
         MetricIncr(kNoReceiverDrops);
         continue;
       }
+      const uint8_t* frame = data + kSteerBytes;
+      const size_t frame_len = len - kSteerBytes;
+      if (IsBatchFrame(frame, frame_len)) {
+        // Coalesced datagram: fan the sub-messages back out. DecodeBatch is
+        // all-or-nothing, so a corrupt frame drops whole (UDP loses whole
+        // datagrams; sub-message granularity would invent partial loss the
+        // wire cannot produce).
+        if (!DecodeBatch(frame, frame_len, inbox)) {
+          MetricIncr(kDecodeFailures);
+        }
+        continue;
+      }
       Message msg;
-      if (!DecodeMessage(data + kSteerBytes, len - kSteerBytes, &msg)) {
+      if (!DecodeMessage(frame, frame_len, &msg)) {
         MetricIncr(kDecodeFailures);
         continue;
       }
-      receiver->Receive(std::move(msg));
+      inbox->push_back(std::move(msg));
+    }
+    // Dispatch the round's logical messages: one ReceiveBatch per governor
+    // chunk with batching on, the exact legacy per-message path with it off.
+    // Still inside the busy bracket, so unregister cannot race the receiver.
+    if (!inbox->empty()) {
+      if (opts.enabled) {
+        const size_t chunk_max = opts.max_messages > 0 ? opts.max_messages : inbox->size();
+        for (size_t off = 0; off < inbox->size(); off += chunk_max) {
+          const size_t chunk = std::min(chunk_max, inbox->size() - off);
+          receiver->ReceiveBatch(inbox->data() + off, chunk);
+        }
+      } else {
+        for (Message& msg : *inbox) {
+          receiver->Receive(std::move(msg));
+        }
+      }
+      inbox->clear();
     }
     ep->busy.store(false, std::memory_order_seq_cst);
   }

@@ -151,7 +151,11 @@ class UdpTransport : public Transport {
   void DeliverDelayed(Message msg, uint64_t delay_ns) EXCLUDES(timer_mu_);
   void TimerLoop() EXCLUDES(timer_mu_);
   void PollerLoop(Endpoint* ep);
-  void DrainReadySocket(Endpoint* ep, uint8_t* slab, ::mmsghdr* hdrs);
+  // `inbox` is the poller's reusable decode staging: every logical message of
+  // one recvmmsg round (batch frames fanned back out) lands there and is
+  // dispatched with one ReceiveBatch per governor chunk.
+  void DrainReadySocket(Endpoint* ep, uint8_t* slab, ::mmsghdr* hdrs,
+                        std::vector<Message>* inbox);
   Endpoint* RegisterEndpoint(const Address& addr, CoreId core, TransportReceiver* receiver)
       EXCLUDES(endpoints_mu_);
   void UnregisterEndpoint(const Address& addr, CoreId core) EXCLUDES(endpoints_mu_);

@@ -125,10 +125,13 @@ DEFAULT_SRC_GLOBS = ["src/**/*.h", "src/**/*.cc"]
 # lint rather than silently shrink coverage. Raise a count when marking a new
 # hot path; never lower one without a design-level justification.
 EXPECTED_FAST_PATH_FILES = {
-    "src/protocol/replica.cc": 5,
-    "src/store/occ.cc": 3,
+    "src/protocol/replica.cc": 6,
+    "src/store/occ.cc": 4,
     "src/store/trecord.cc": 3,
     "src/store/vstore.cc": 8,
+    # MsgBatch codec (EncodeBatchInto / DecodeBatch): the coalesced-frame
+    # wire format of the batched delivery pipeline.
+    "src/transport/serialization.cc": 2,
     # Encode/send (WireSend) + recv/decode/dispatch (DrainReadySocket): the
     # allocation-free wire path of the UDP transport.
     "src/transport/udp_transport.cc": 2,
