@@ -26,7 +26,7 @@ PointResult RunMeerkatPoint(size_t threads, double theta, const BenchOptions& op
   sys.cores_per_replica = threads;
   sys.cost = CostModel::ForStack(opt.stack);
   sys.force_slow_path = opt.force_slow_path;
-  sys.max_clock_skew_ns = opt.max_clock_skew_ns;
+  sys.clock.max_skew_ns = opt.max_clock_skew_ns;
 
   Simulator sim(sys.cost);
   SimTransport transport(&sim);

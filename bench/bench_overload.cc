@@ -1,0 +1,172 @@
+// Overload-control acceptance bench: goodput retention and latency bounds at
+// 10x the saturation offered load (ISSUE 7 tentpole; DESIGN.md §11).
+//
+// Three simulated points on a deliberately contended YCSB-T (small hot key
+// set, zipf 0.95, closed-loop clients that re-issue aborted transactions):
+//
+//   saturation           offered load near the goodput knee, no regulation.
+//   overload_unregulated 10x the saturation clients, blind near-zero-backoff
+//                        retries, no admission window, no shedding: the retry
+//                        storm the control plane exists to prevent.
+//   overload_regulated   the same 10x clients under the full control plane:
+//                        client AIMD admission window, replica per-core load
+//                        shedding (kRetryLater + backoff hint), and the
+//                        abort-aware retry policy with priority aging.
+//
+// Acceptance gates (exit non-zero when violated):
+//   G1  regulated goodput >= 1.5x unregulated goodput at 10x load.
+//   G2  regulated p99     <= 2x the at-saturation p99, while the unregulated
+//       p99 is NOT so bounded (i.e. the gate is measuring a real collapse).
+//
+// Writes BENCH_overload.json (schema in EXPERIMENTS.md).
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/common/overload.h"
+#include "src/common/retry.h"
+
+namespace meerkat {
+namespace {
+
+// Cluster shape: 3 replicas, 2 cores each — small enough that 10x closed-loop
+// overload is simulable in CI, large enough that per-core shedding and the
+// fast path both engage.
+constexpr size_t kCores = 2;
+// Hot key set: small and heavily skewed so OCC conflicts (not raw capacity)
+// are what saturates the system, as in paper §6.4's contention sweep.
+constexpr uint64_t kHotKeys = 512;
+constexpr double kZipf = 0.95;
+// Clients at the saturation knee; the overload points run 10x this.
+constexpr size_t kSaturationClients = 16;
+constexpr size_t kOverloadFactor = 10;
+
+// The retry storm: re-issue aborted transactions almost immediately, ignore
+// server hints, never age. This is what a naive closed-loop application does.
+AbortRetryPolicy BlindRetry() {
+  AbortRetryPolicy p;
+  p.contention = RetryPolicy::WithTimeout(200);  // 200ns: effectively no backoff.
+  p.overload = RetryPolicy::WithTimeout(200);
+  p.respect_server_hint = false;
+  p.aging_threshold = 0;
+  p.max_attempts = 100;
+  return p;
+}
+
+PointResult RunOverloadPoint(size_t clients, bool regulated, const BenchOptions& opt) {
+  SystemOptions sys;
+  sys.kind = SystemKind::kMeerkat;
+  sys.quorum = QuorumConfig::ForReplicas(3);
+  sys.cores_per_replica = kCores;
+  sys.cost = CostModel::ForStack(opt.stack);
+  if (regulated) {
+    sys.admission = AdmissionOptions()
+                        .WithEnabled(true)
+                        .WithInitialWindow(8)
+                        .WithWindowRange(1, 2.0 * static_cast<double>(kSaturationClients));
+    sys.overload = OverloadOptions()
+                       .WithEnabled(true)
+                       .WithMaxInflightPerCore(32)
+                       .WithQueueWatermark(64)
+                       .WithBaseBackoffHint(100'000);
+  }
+
+  Simulator sim(sys.cost);
+  SimTransport transport(&sim);
+  transport.faults().SetMaxExtraDelay(opt.net_jitter_ns);
+  SimTimeSource time_source(&sim);
+  std::unique_ptr<System> system = CreateSystem(sys, &transport, &time_source);
+
+  YcsbTOptions y;
+  y.num_keys = kHotKeys;
+  y.zipf_theta = kZipf;
+  y.key_size = 24;
+  y.value_size = 24;
+  YcsbTWorkload workload(y);
+
+  SimRunOptions run;
+  run.num_clients = clients;
+  run.warmup_ns = opt.warmup_ms * 1'000'000;
+  run.measure_ns = opt.measure_ms * 1'000'000;
+  run.seed = opt.seed;
+  run.retry_aborts = true;
+  run.retry = regulated ? AbortRetryPolicy::Default() : BlindRetry();
+
+  RunResult result = RunSimWorkload(sim, transport, *system, workload, run);
+
+  PointResult point;
+  point.goodput_mtps = result.stats.GoodputPerSec(result.elapsed_seconds) / 1e6;
+  point.abort_rate = result.stats.AbortRate();
+  point.mean_latency_us = result.stats.commit_latency.MeanNanos() / 1e3;
+  point.p50_latency_us = static_cast<double>(result.stats.commit_latency.QuantileNanos(0.5)) / 1e3;
+  point.p99_latency_us = static_cast<double>(result.stats.commit_latency.QuantileNanos(0.99)) / 1e3;
+  point.committed = result.stats.committed;
+  point.aborted = result.stats.aborted;
+  point.failed = result.stats.failed;
+  uint64_t commits = result.stats.committed;
+  point.fast_path_fraction =
+      commits == 0 ? 0.0
+                   : static_cast<double>(result.stats.fast_path_commits) /
+                         static_cast<double>(commits);
+  point.coordination = result.coordination;
+  return point;
+}
+
+void PrintPoint(const char* name, const PointResult& p) {
+  printf("%-22s%12.3f%10.1f%12.1f%12.1f%10.1f\n", name, p.goodput_mtps, p.abort_rate * 100,
+         p.p50_latency_us, p.p99_latency_us, p.fast_path_fraction * 100);
+  fflush(stdout);
+}
+
+int Run(int argc, char** argv) {
+  BenchOptions opt = ParseBenchArgs(argc, argv);
+
+  printf("# Overload control: YCSB-T, %llu hot keys, zipf %.2f, 3 replicas x %zu cores\n",
+         static_cast<unsigned long long>(kHotKeys), kZipf, kCores);
+  printf("# saturation = %zu clients; overload = %zux\n\n", kSaturationClients,
+         kOverloadFactor);
+  printf("%-22s%12s%10s%12s%12s%10s\n", "point", "Mtxn/s", "abort %", "p50 us", "p99 us",
+         "fast %");
+
+  PointResult sat = RunOverloadPoint(kSaturationClients, /*regulated=*/false, opt);
+  PrintPoint("saturation", sat);
+  PointResult unreg =
+      RunOverloadPoint(kSaturationClients * kOverloadFactor, /*regulated=*/false, opt);
+  PrintPoint("overload_unregulated", unreg);
+  PointResult reg =
+      RunOverloadPoint(kSaturationClients * kOverloadFactor, /*regulated=*/true, opt);
+  PrintPoint("overload_regulated", reg);
+
+  BenchJsonWriter json("overload");
+  json.AddPoint("saturation", sat);
+  json.AddPoint("overload_unregulated", unreg);
+  json.AddPoint("overload_regulated", reg);
+
+  // --- Acceptance gates ---
+  double goodput_ratio = unreg.goodput_mtps > 0 ? reg.goodput_mtps / unreg.goodput_mtps : 0.0;
+  bool g1 = reg.goodput_mtps >= 1.5 * unreg.goodput_mtps && reg.goodput_mtps > 0;
+  double p99_bound_us = 2.0 * sat.p99_latency_us;
+  bool unreg_unbounded = unreg.p99_latency_us > p99_bound_us;
+  bool g2 = reg.p99_latency_us <= p99_bound_us && unreg_unbounded;
+
+  json.Add("gates", {{"goodput_ratio", goodput_ratio},
+                     {"goodput_gate", g1 ? 1.0 : 0.0},
+                     {"p99_bound_us", p99_bound_us},
+                     {"regulated_p99_us", reg.p99_latency_us},
+                     {"unregulated_p99_us", unreg.p99_latency_us},
+                     {"p99_gate", g2 ? 1.0 : 0.0}});
+
+  printf("\nG1 goodput retention: regulated/unregulated = %.2fx (need >= 1.50x)  %s\n",
+         goodput_ratio, g1 ? "PASS" : "FAIL");
+  printf("G2 bounded p99: regulated %.1fus <= %.1fus (2x saturation) while unregulated "
+         "%.1fus exceeds it  %s\n",
+         reg.p99_latency_us, p99_bound_us, unreg.p99_latency_us, g2 ? "PASS" : "FAIL");
+
+  bool wrote = json.Finish(BenchOutPath(opt, "overload"));
+  return (g1 && g2 && wrote) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace meerkat
+
+int main(int argc, char** argv) { return meerkat::Run(argc, argv); }

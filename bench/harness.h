@@ -187,7 +187,7 @@ inline PointResult RunPoint(SystemKind kind, WorkloadKind workload, size_t threa
   sys.cores_per_replica = threads;
   sys.cost = CostModel::ForStack(opt.stack);
   sys.force_slow_path = opt.force_slow_path;
-  sys.max_clock_skew_ns = opt.max_clock_skew_ns;
+  sys.clock.max_skew_ns = opt.max_clock_skew_ns;
 
   Simulator sim(sys.cost);
   SimTransport transport(&sim);

@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   options.kind = SystemKind::kMeerkat;
   options.quorum = QuorumConfig::ForReplicas(3);
   options.cores_per_replica = 2;
-  options.retry_timeout_ns = 5'000'000;
+  options.retry = RetryPolicy::WithTimeout(5'000'000);
   auto system = CreateSystem(options, &transport, &time_source);
 
   for (int i = 0; i < kAccounts; i++) {
@@ -70,13 +70,17 @@ int main(int argc, char** argv) {
           continue;
         }
         int64_t amount = static_cast<int64_t>(rng.NextInRange(1, 50));
-        TxnPlan transfer;
-        transfer.ops.push_back(Op::RmwFn(AccountKey(from), [amount](const std::string& balance) {
-          return std::to_string(ParseBalance(balance) - amount);
-        }));
-        transfer.ops.push_back(Op::RmwFn(AccountKey(to), [amount](const std::string& balance) {
-          return std::to_string(ParseBalance(balance) + amount);
-        }));
+        TxnPlan transfer =
+            Txn()
+                .RmwFn(AccountKey(from),
+                       [amount](const std::string& balance) {
+                         return std::to_string(ParseBalance(balance) - amount);
+                       })
+                .RmwFn(AccountKey(to),
+                       [amount](const std::string& balance) {
+                         return std::to_string(ParseBalance(balance) + amount);
+                       })
+                .Build();
         if (client.Execute(transfer).committed()) {
           transfers.fetch_add(1, std::memory_order_relaxed);
         } else {

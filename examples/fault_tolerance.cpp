@@ -47,7 +47,7 @@ int main() {
   SessionOptions session_options;
   session_options.quorum = cluster.quorum;
   session_options.cores_per_replica = 2;
-  session_options.retry_timeout_ns = 2'000'000;  // 2 ms: rides out the crash.
+  session_options.retry = RetryPolicy::WithTimeout(2'000'000);  // 2 ms: rides out the crash.
   MeerkatSession raw_session(1, &cluster.transport, &cluster.time_source, session_options, 7);
 
   // Minimal blocking shim over the raw session.
@@ -70,14 +70,12 @@ int main() {
   };
 
   printf("1. normal operation (all 3 replicas up):\n");
-  TxnPlan txn;
-  txn.ops.push_back(Op::Rmw("status", "written-before-crash"));
+  TxnPlan txn = Txn().Rmw("status", "written-before-crash").Build();
   run_txn(txn);
 
   printf("\n2. replica 2 crashes (fast path now impossible; commits continue):\n");
   cluster.transport.faults().CrashReplica(2);
-  TxnPlan txn2;
-  txn2.ops.push_back(Op::Rmw("status", "written-during-crash"));
+  TxnPlan txn2 = Txn().Rmw("status", "written-during-crash").Build();
   run_txn(txn2);
   run_txn(txn2);
 
@@ -93,8 +91,7 @@ int main() {
   printf("   replica 2 rebuilt state: status=%s\n", rebuilt.value.c_str());
 
   printf("\n4. back to normal (fast path again):\n");
-  TxnPlan txn3;
-  txn3.ops.push_back(Op::Rmw("status", "recovered"));
+  TxnPlan txn3 = Txn().Rmw("status", "recovered").Build();
   run_txn(txn3);
 
   cluster.transport.DrainForTesting();

@@ -44,7 +44,7 @@ class Cli {
     SessionOptions options;
     options.quorum = quorum_;
     options.cores_per_replica = 2;
-    options.retry_timeout_ns = 5'000'000;
+    options.retry = RetryPolicy::WithTimeout(5'000'000);
     session_ = std::make_unique<MeerkatSession>(1, &transport_, &time_source_, options, 42);
   }
 
@@ -122,9 +122,7 @@ class Cli {
         printf("staged get %s\n", key.c_str());
         return;
       }
-      TxnPlan plan;
-      plan.ops.push_back(Op::Get(key));
-      RunTxn(std::move(plan), /*print_reads=*/true);
+      RunTxn(Txn().Get(key).Build(), /*print_reads=*/true);
       return;
     }
     if (cmd == "put") {
@@ -138,9 +136,7 @@ class Cli {
         printf("staged put %s\n", key.c_str());
         return;
       }
-      TxnPlan plan;
-      plan.ops.push_back(Op::Put(key, value));
-      RunTxn(std::move(plan), /*print_reads=*/false);
+      RunTxn(Txn().Put(key, value).Build(), /*print_reads=*/false);
       return;
     }
     if (cmd == "crash") {

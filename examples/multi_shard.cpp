@@ -19,9 +19,9 @@ int main() {
 
   ShardedOptions options;
   options.num_shards = 3;
-  options.quorum = QuorumConfig::ForReplicas(3);  // 9 replicas total.
-  options.cores_per_replica = 2;
-  options.retry_timeout_ns = 5'000'000;
+  options.system.quorum = QuorumConfig::ForReplicas(3);  // 9 replicas total.
+  options.system.cores_per_replica = 2;
+  options.system.retry = RetryPolicy::WithTimeout(5'000'000);
   ShardedCluster cluster(options, &transport);
 
   // Find keys on three different shards, then load them.
@@ -58,23 +58,20 @@ int main() {
   };
 
   // A three-shard atomic transfer: move 10 units from item 0 to items 1 and 2.
-  TxnPlan transfer;
-  transfer.ops.push_back(Op::RmwFn(keys[0], [](const std::string& v) {
-    return std::to_string(std::stoi(v) - 10);
-  }));
-  transfer.ops.push_back(Op::RmwFn(keys[1], [](const std::string& v) {
-    return std::to_string(std::stoi(v) + 5);
-  }));
-  transfer.ops.push_back(Op::RmwFn(keys[2], [](const std::string& v) {
-    return std::to_string(std::stoi(v) + 5);
-  }));
+  TxnPlan transfer =
+      Txn()
+          .RmwFn(keys[0], [](const std::string& v) { return std::to_string(std::stoi(v) - 10); })
+          .RmwFn(keys[1], [](const std::string& v) { return std::to_string(std::stoi(v) + 5); })
+          .RmwFn(keys[2], [](const std::string& v) { return std::to_string(std::stoi(v) + 5); })
+          .Build();
   run(std::move(transfer), "3-shard transfer");
 
   // A cross-shard read-only transaction observes a consistent snapshot.
-  TxnPlan audit;
+  TxnBuilder audit_builder = Txn();
   for (const std::string& key : keys) {
-    audit.ops.push_back(Op::Get(key));
+    audit_builder.Get(key);
   }
+  TxnPlan audit = audit_builder.Build();
   run(std::move(audit), "3-shard consistent read");
 
   transport.DrainForTesting();

@@ -40,18 +40,22 @@ int main() {
          ToString(outcome.path));
 
   // A multi-op transaction: read one key, write two, atomically.
-  TxnPlan plan;
-  plan.ops.push_back(Op::Get("greeting"));
-  plan.ops.push_back(Op::Put("count", "1"));
-  plan.ops.push_back(Op::Put("owner", "quickstart"));
+  TxnPlan plan = Txn()
+                     .Get("greeting")
+                     .Put("count", "1")
+                     .Put("owner", "quickstart")
+                     .Build();
   outcome = client.Execute(plan);
   printf("multi-op txn             -> %s\n", ToString(outcome.result));
 
   // A read-modify-write whose written value depends on what it read.
-  TxnPlan increment;
-  increment.ops.push_back(Op::RmwFn("count", [](const std::string& current) {
-    return std::to_string(current.empty() ? 1 : std::stoi(current) + 1);
-  }));
+  TxnPlan increment = Txn()
+                          .RmwFn("count",
+                                 [](const std::string& current) {
+                                   return std::to_string(
+                                       current.empty() ? 1 : std::stoi(current) + 1);
+                                 })
+                          .Build();
   outcome = client.ExecuteWithRetry(increment);
   printf("increment(count)         -> %s in %u attempt(s), count=%s\n",
          ToString(outcome.result), outcome.attempts,

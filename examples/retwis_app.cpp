@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   options.kind = kind;
   options.quorum = QuorumConfig::ForReplicas(3);
   options.cores_per_replica = 2;
-  options.retry_timeout_ns = 5'000'000;
+  options.retry = RetryPolicy::WithTimeout(5'000'000);
   auto system = CreateSystem(options, &transport, &time_source);
 
   RetwisOptions retwis;

@@ -7,6 +7,7 @@
 #ifndef MEERKAT_SRC_API_BLOCKING_CLIENT_H_
 #define MEERKAT_SRC_API_BLOCKING_CLIENT_H_
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <optional>
@@ -15,6 +16,7 @@
 
 #include "src/api/system.h"
 #include "src/common/annotations.h"
+#include "src/common/overload.h"
 #include "src/common/retry.h"
 #include "src/common/rng.h"
 
@@ -23,7 +25,8 @@ namespace meerkat {
 class BlockingClient {
  public:
   BlockingClient(System& system, uint32_t client_id, uint64_t seed = 1)
-      : session_(system.CreateSession(client_id, seed)), backoff_rng_(seed ^ 0xb10c) {}
+      : session_(system.CreateSession(client_id, seed)), window_(&system.admission_window()),
+        backoff_rng_(seed ^ 0xb10c) {}
 
   // Runs one transaction to completion. Blocks the calling thread.
   TxnOutcome Execute(TxnPlan plan) {
@@ -52,24 +55,37 @@ class BlockingClient {
   }
 
   // Retries an abortable transaction until it commits (or the policy's
-  // max_attempts aborts), sleeping a jittered, exponentially backed-off
-  // interval between attempts — immediate re-execution of a conflicting OCC
-  // transaction tends to hit the same conflict, and lockstep retries across
-  // clients livelock. Plans built from Op::RmwFn recompute their writes from
-  // fresh reads on every attempt. The returned outcome is the final
-  // attempt's, with `attempts` set to the total consumed.
+  // max_attempts aborts). Abort-aware: contention aborts (OCC/shard
+  // conflicts) back off on the short jittered contention schedule — the
+  // conflicting transaction finishes within tens of µs, while lockstep
+  // retries across clients livelock; overload aborts (replica sheds,
+  // timeouts) back off on the long overload schedule, honoring the
+  // server-suggested hint. Each attempt first claims a slot in the System's
+  // shared AIMD admission window (no-op when admission is disabled) and
+  // reports the outcome back so the window adapts. Past
+  // `policy.aging_threshold` attempts, the plan is re-issued at priority 1,
+  // which bypasses both the admission window and replica shedding — a
+  // repeatedly-aborted transaction ages instead of starving. Plans built from
+  // Op::RmwFn recompute their writes from fresh reads on every attempt. The
+  // returned outcome is the final attempt's, with `attempts` set to the total
+  // consumed.
   TxnOutcome ExecuteWithRetry(const TxnPlan& plan,
-                              const RetryPolicy& backoff = DefaultAbortBackoff()) {
+                              const AbortRetryPolicy& policy = AbortRetryPolicy::Default()) {
     TxnOutcome outcome;
-    for (uint32_t attempt = 0; attempt < backoff.max_attempts; attempt++) {
-      if (attempt > 0 && backoff.enabled()) {
-        std::this_thread::sleep_for(
-            std::chrono::nanoseconds(backoff.DelayNanos(attempt - 1, backoff_rng_)));
+    for (uint32_t attempt = 1; attempt <= policy.max_attempts; attempt++) {
+      TxnPlan attempt_plan = plan;
+      attempt_plan.priority = std::max(plan.priority, policy.PriorityFor(attempt));
+      window_->AcquireBlocking(/*priority_bypass=*/attempt_plan.priority > 0);
+      outcome = Execute(std::move(attempt_plan));
+      window_->OnOutcome(outcome.result, outcome.reason);
+      outcome.attempts = attempt;
+      if (!policy.ShouldRetry(outcome.result, outcome.reason, attempt)) {
+        break;  // Committed, failed for a non-retryable reason, or exhausted.
       }
-      outcome = Execute(plan);
-      outcome.attempts = attempt + 1;
-      if (outcome.result != TxnResult::kAbort) {
-        break;  // Committed, or failed for a non-retryable reason.
+      uint64_t hint = policy.respect_server_hint ? outcome.backoff_hint_ns : 0;
+      uint64_t delay = policy.DelayNanos(outcome.reason, hint, attempt, backoff_rng_);
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
       }
     }
     return outcome;
@@ -105,18 +121,9 @@ class BlockingClient {
 
   ClientSession& session() { return *session_; }
 
-  // 20µs base, doubling, ±20% jitter, up to 100 attempts: calibrated to OCC
-  // conflict windows (a conflicting transaction finishes within tens of µs),
-  // not to network loss — transport-level retransmission is the session
-  // RetryPolicy's job.
-  static RetryPolicy DefaultAbortBackoff() {
-    RetryPolicy p = RetryPolicy::WithTimeout(20'000);
-    p.max_attempts = 100;
-    return p;
-  }
-
  private:
   std::unique_ptr<ClientSession> session_;
+  AimdWindow* const window_;
   Rng backoff_rng_;
   Mutex mu_;
   CondVar cv_;

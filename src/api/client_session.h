@@ -40,6 +40,10 @@ struct TxnOutcome {
   uint64_t retransmits = 0;
   // True if the quorum was rebuilt across an epoch change mid-commit.
   bool recovered = false;
+  // Largest server-suggested backoff piggybacked on kRetryLater load sheds
+  // during the final attempt; 0 if no replica shed. Retry loops honor it on
+  // kOverload aborts (AbortRetryPolicy::respect_server_hint).
+  uint64_t backoff_hint_ns = 0;
 
   bool committed() const { return result == TxnResult::kCommit; }
   bool fast_path() const { return path == CommitPath::kFast; }

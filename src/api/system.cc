@@ -41,12 +41,12 @@ void InstallFaultPlan(const SystemOptions& options, Transport* transport) {
 class MeerkatSystem : public System {
  public:
   MeerkatSystem(const SystemOptions& options, Transport* transport, TimeSource* time_source)
-      : options_(options), transport_(transport), time_source_(time_source),
-        session_rng_(0xc0ffee) {
+      : System(options.admission), options_(options), transport_(transport),
+        time_source_(time_source), session_rng_(0xc0ffee) {
     for (ReplicaId r = 0; r < options.quorum.n; r++) {
       replicas_.push_back(std::make_unique<MeerkatReplica>(
           r, options.quorum, options.cores_per_replica, transport, /*group_base=*/0,
-          options.retry));
+          options.retry, options.overload));
     }
     InstallFaultPlan(options, transport);
   }
@@ -104,8 +104,8 @@ class MeerkatSystem : public System {
 class TapirSystem : public System {
  public:
   TapirSystem(const SystemOptions& options, Transport* transport, TimeSource* time_source)
-      : options_(options), transport_(transport), time_source_(time_source),
-        session_rng_(0xc0ffee) {
+      : System(options.admission), options_(options), transport_(transport),
+        time_source_(time_source), session_rng_(0xc0ffee) {
     for (ReplicaId r = 0; r < options.quorum.n; r++) {
       replicas_.push_back(std::make_unique<TapirReplica>(r, options.quorum,
                                                          options.cores_per_replica, transport,
@@ -170,8 +170,8 @@ class TapirSystem : public System {
 class PbSystem : public System {
  public:
   PbSystem(const SystemOptions& options, Transport* transport, TimeSource* time_source)
-      : options_(options), transport_(transport), time_source_(time_source),
-        session_rng_(0xc0ffee) {
+      : System(options.admission), options_(options), transport_(transport),
+        time_source_(time_source), session_rng_(0xc0ffee) {
     PbCosts costs;
     costs.atomic_counter_ns = options.cost.atomic_counter_ns;
     costs.shared_log_append_ns = options.cost.shared_log_append_ns;
@@ -254,17 +254,14 @@ class PbSystem : public System {
 
 std::unique_ptr<System> CreateSystem(const SystemOptions& options, Transport* transport,
                                      TimeSource* time_source) {
-  // Fold deprecated flat option aliases into their groups once, here, so the
-  // per-kind constructors only ever see the normalized form.
-  const SystemOptions normalized = options.Normalized();
-  switch (normalized.kind) {
+  switch (options.kind) {
     case SystemKind::kMeerkat:
-      return std::make_unique<MeerkatSystem>(normalized, transport, time_source);
+      return std::make_unique<MeerkatSystem>(options, transport, time_source);
     case SystemKind::kTapir:
-      return std::make_unique<TapirSystem>(normalized, transport, time_source);
+      return std::make_unique<TapirSystem>(options, transport, time_source);
     case SystemKind::kMeerkatPb:
     case SystemKind::kKuaFu:
-      return std::make_unique<PbSystem>(normalized, transport, time_source);
+      return std::make_unique<PbSystem>(options, transport, time_source);
   }
   return nullptr;
 }

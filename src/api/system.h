@@ -10,6 +10,7 @@
 
 #include "src/api/client_session.h"
 #include "src/common/clock.h"
+#include "src/common/overload.h"
 #include "src/common/retry.h"
 #include "src/protocol/quorum.h"
 #include "src/sim/cost_model.h"
@@ -57,11 +58,12 @@ struct ClockOptions {
 //                      .WithCores(4)
 //                      .WithRetry(RetryPolicy::WithTimeout(200'000))
 //                      .WithClock({.max_skew_ns = 1000, .jitter_ns = 50})
+//                      .WithAdmission(AdmissionOptions().WithEnabled(true))
+//                      .WithOverload(OverloadOptions().WithEnabled(true))
 //                      .WithFaultPlan(FaultPlan().WithSeed(7).DropEvery(0.01));
 //
-// The flat retry_timeout_ns / max_clock_skew_ns / clock_jitter_ns fields are
-// deprecated aliases kept for one release; CreateSystem folds them into the
-// groups via Normalized().
+// The flat retry_timeout_ns / max_clock_skew_ns / clock_jitter_ns aliases
+// (and Normalized()) were removed; use the nested groups.
 struct SystemOptions {
   SystemKind kind = SystemKind::kMeerkat;
   QuorumConfig quorum = QuorumConfig::ForReplicas(3);
@@ -83,11 +85,14 @@ struct SystemOptions {
   bool force_slow_path = false;
   // Shared-structure service times (simulator only; real primitives ignore).
   CostModel cost;
-
-  // --- Deprecated flat aliases (prefer the option groups above) ---
-  uint64_t retry_timeout_ns = 0;  // -> retry.timeout_ns
-  int64_t max_clock_skew_ns = 0;  // -> clock.max_skew_ns
-  uint64_t clock_jitter_ns = 0;   // -> clock.jitter_ns
+  // Client-side AIMD admission window (overload control plane): bounds the
+  // system-wide concurrency of sessions sharing this System. Disabled by
+  // default; BlockingClient::ExecuteWithRetry and the workload driver gate on
+  // System::admission_window() when enabled.
+  AdmissionOptions admission;
+  // Replica-side load shedding: per-core inflight/queue watermarks beyond
+  // which fresh VALIDATEs are fast-rejected with kRetryLater + backoff hint.
+  OverloadOptions overload;
 
   // --- Fluent builder ---
   SystemOptions& WithKind(SystemKind k) {
@@ -130,21 +135,13 @@ struct SystemOptions {
     cost = c;
     return *this;
   }
-
-  // Folds the deprecated flat aliases into their option groups (a set flat
-  // field wins only if the corresponding group field is still default).
-  SystemOptions Normalized() const {
-    SystemOptions n = *this;
-    if (n.retry_timeout_ns != 0 && !n.retry.enabled()) {
-      n.retry.timeout_ns = n.retry_timeout_ns;
-    }
-    if (n.max_clock_skew_ns != 0 && n.clock.max_skew_ns == 0) {
-      n.clock.max_skew_ns = n.max_clock_skew_ns;
-    }
-    if (n.clock_jitter_ns != 0 && n.clock.jitter_ns == 0) {
-      n.clock.jitter_ns = n.clock_jitter_ns;
-    }
-    return n;
+  SystemOptions& WithAdmission(const AdmissionOptions& a) {
+    admission = a;
+    return *this;
+  }
+  SystemOptions& WithOverload(const OverloadOptions& o) {
+    overload = o;
+    return *this;
   }
 };
 
@@ -160,6 +157,22 @@ class System {
   virtual void Load(const std::string& key, const std::string& value) = 0;
 
   virtual std::unique_ptr<ClientSession> CreateSession(uint32_t client_id, uint64_t seed) = 0;
+
+  // The shared client-side AIMD admission window, sized by
+  // SystemOptions::admission. A no-op (always-admit) window when admission
+  // control is disabled. Sessions of this System share it; retry loops and
+  // drivers acquire a slot before each Execute attempt and report the outcome
+  // back to adapt the window.
+  AimdWindow& admission_window() { return admission_window_; }
+
+ protected:
+  explicit System(const AdmissionOptions& admission = AdmissionOptions())
+      : admission_window_(admission) {}
+
+ private:
+  AimdWindow admission_window_;
+
+ public:
 
   // Reads the committed value visible at replica `r` (test/inspection hook;
   // not part of the transactional API).

@@ -215,7 +215,7 @@ PrimaryBackupSession::PrimaryBackupSession(uint32_t client_id, Transport* transp
                                            TimeSource* time_source, const Options& options,
                                            uint64_t seed)
     : client_id_(client_id), transport_(transport), options_(options),
-      retry_(options.EffectiveRetry()), self_(Address::Client(client_id)),
+      retry_(options.retry), self_(Address::Client(client_id)),
       clock_(time_source, options.clock_skew_ns, options.clock_jitter_ns, seed ^ 0x5bd1e995),
       rng_(seed), time_source_(time_source) {
   transport_->RegisterClient(client_id_, this);

@@ -195,17 +195,8 @@ class PrimaryBackupSession : public ClientSession {
     PbMode mode = PbMode::kMeerkatPb;
     // Retransmission/backoff policy; a disabled policy never retransmits.
     RetryPolicy retry;
-    // Deprecated alias for retry.timeout_ns (folded when `retry` is disabled).
-    uint64_t retry_timeout_ns = 0;
     int64_t clock_skew_ns = 0;
     uint64_t clock_jitter_ns = 0;
-
-    RetryPolicy EffectiveRetry() const {
-      if (!retry.enabled() && retry_timeout_ns != 0) {
-        return RetryPolicy::WithTimeout(retry_timeout_ns);
-      }
-      return retry;
-    }
   };
 
   PrimaryBackupSession(uint32_t client_id, Transport* transport, TimeSource* time_source,

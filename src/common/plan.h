@@ -48,6 +48,11 @@ struct Op {
 
 struct TxnPlan {
   std::vector<Op> ops;
+  // Overload-control priority (0 = normal). A client raises it after repeated
+  // aborts (priority aging): priority > 0 bypasses the client admission
+  // window and replica load shedding, so a repeatedly-shed or repeatedly-
+  // aborted transaction eventually gets through instead of starving.
+  uint8_t priority = 0;
 
   size_t NumReads() const {
     size_t n = 0;
@@ -69,6 +74,42 @@ struct TxnPlan {
     return n;
   }
 };
+
+// Fluent builder over TxnPlan:
+//
+//   TxnPlan plan = Txn().Get("a").Put("b", "1").Build();
+//
+// Purely a construction convenience — the built plan is a plain TxnPlan and
+// the two styles can be mixed freely.
+class TxnBuilder {
+ public:
+  TxnBuilder& Get(std::string key) {
+    plan_.ops.push_back(Op::Get(std::move(key)));
+    return *this;
+  }
+  TxnBuilder& Put(std::string key, std::string value) {
+    plan_.ops.push_back(Op::Put(std::move(key), std::move(value)));
+    return *this;
+  }
+  TxnBuilder& Rmw(std::string key, std::string value) {
+    plan_.ops.push_back(Op::Rmw(std::move(key), std::move(value)));
+    return *this;
+  }
+  TxnBuilder& RmwFn(std::string key, std::function<std::string(const std::string&)> fn) {
+    plan_.ops.push_back(Op::RmwFn(std::move(key), std::move(fn)));
+    return *this;
+  }
+  TxnBuilder& WithPriority(uint8_t priority) {
+    plan_.priority = priority;
+    return *this;
+  }
+  TxnPlan Build() { return std::move(plan_); }
+
+ private:
+  TxnPlan plan_;
+};
+
+inline TxnBuilder Txn() { return TxnBuilder(); }
 
 }  // namespace meerkat
 

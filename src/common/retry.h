@@ -11,9 +11,11 @@
 #ifndef MEERKAT_SRC_COMMON_RETRY_H_
 #define MEERKAT_SRC_COMMON_RETRY_H_
 
+#include <algorithm>
 #include <cstdint>
 
 #include "src/common/rng.h"
+#include "src/common/types.h"
 
 namespace meerkat {
 
@@ -63,6 +65,62 @@ struct RetryPolicy {
       d *= 1.0 - jitter + 2.0 * jitter * rng.NextDouble();
     }
     return d < 1.0 ? 1 : static_cast<uint64_t>(d);
+  }
+};
+
+// Abort-aware retry policy for whole-transaction retries (distinct from
+// RetryPolicy, which governs message retransmission within one attempt).
+// Distinguishes contention aborts (OCC/shard conflicts: short jittered
+// backoff — the conflicting transaction finishes in microseconds) from
+// overload signals (replica sheds, timeouts: long backoff that respects the
+// server-suggested hint). Priority aging marks a repeatedly-aborted
+// transaction priority > 0 so it bypasses admission and shedding — bounded
+// starvation under sustained contention.
+struct AbortRetryPolicy {
+  // Backoff schedule for contention aborts (kOccConflict, kShardAbort, ...).
+  RetryPolicy contention = RetryPolicy::WithTimeout(20'000);
+  // Backoff schedule for overload signals (kOverload, kNoQuorum, kDeadline).
+  RetryPolicy overload = RetryPolicy::WithTimeout(200'000);
+  // Whole-transaction attempts before giving up and surfacing the abort.
+  uint32_t max_attempts = 100;
+  // Attempt number from which the retried plan runs at priority 1
+  // (bypassing the admission window and replica shedding). 0 disables aging.
+  uint32_t aging_threshold = 8;
+  // Honor ValidateReply::backoff_hint_ns on overload aborts (the delay is
+  // the max of the local schedule and the server hint).
+  bool respect_server_hint = true;
+
+  static AbortRetryPolicy Default() { return AbortRetryPolicy{}; }
+
+  // Whether the `attempt`-th attempt (1-based) ending as (result, reason)
+  // should be retried. kFailed outcomes are not retried: the quorum is gone,
+  // not busy.
+  bool ShouldRetry(TxnResult result, AbortReason reason, uint32_t attempt) const {
+    (void)reason;
+    return result == TxnResult::kAbort && attempt < max_attempts;
+  }
+
+  // Priority for the (1-based) attempt about to be issued.
+  uint8_t PriorityFor(uint32_t attempt) const {
+    return aging_threshold != 0 && attempt > aging_threshold ? 1 : 0;
+  }
+
+  // Backoff before re-issuing after the `attempt`-th attempt aborted with
+  // `reason` (hint_ns from the outcome, 0 if none). Aged attempts use the
+  // minimal contention delay: backing an aged transaction off harder would
+  // undo the priority boost.
+  uint64_t DelayNanos(AbortReason reason, uint64_t hint_ns, uint32_t attempt, Rng& rng) const {
+    bool is_overload = reason == AbortReason::kOverload || reason == AbortReason::kNoQuorum ||
+                       reason == AbortReason::kDeadline;
+    uint32_t backoff_step = attempt > 0 ? attempt - 1 : 0;
+    if (is_overload) {
+      uint64_t d = overload.DelayNanos(backoff_step, rng);
+      return respect_server_hint ? std::max(d, hint_ns) : d;
+    }
+    if (PriorityFor(attempt + 1) > 0) {
+      backoff_step = 0;
+    }
+    return contention.DelayNanos(backoff_step, rng);
   }
 };
 

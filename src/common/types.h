@@ -97,6 +97,10 @@ enum class TxnStatus : uint8_t {
   kAcceptAbort,       // Slow path: coordinator proposed ABORT, replica accepted.
   kCommitted,         // Final: transaction committed.
   kAborted,           // Final: transaction aborted.
+  // Wire-only (never stored in a trecord): an overloaded replica shed the
+  // VALIDATE without running OCC. The reply carries a server-suggested
+  // backoff hint; the coordinator treats it as "no vote", not an abort vote.
+  kRetryLater,
 };
 
 inline const char* ToString(TxnStatus s) {
@@ -115,6 +119,8 @@ inline const char* ToString(TxnStatus s) {
       return "COMMITTED";
     case TxnStatus::kAborted:
       return "ABORTED";
+    case TxnStatus::kRetryLater:
+      return "RETRY-LATER";
   }
   return "UNKNOWN";
 }
@@ -172,6 +178,8 @@ enum class AbortReason : uint8_t {
   kNoQuorum,       // Retransmission budget exhausted without reaching a quorum.
   kDeadline,       // The attempt outlived RetryPolicy::attempt_deadline_ns.
   kRecoveryAbort,  // Cooperative termination chose abort (no quorum had validated).
+  kOverload,       // Enough replicas shed the VALIDATE that no quorum of votes
+                   // is reachable; retry after the server-suggested backoff.
 };
 
 inline const char* ToString(AbortReason r) {
@@ -190,6 +198,8 @@ inline const char* ToString(AbortReason r) {
       return "DEADLINE";
     case AbortReason::kRecoveryAbort:
       return "RECOVERY-ABORT";
+    case AbortReason::kOverload:
+      return "OVERLOAD";
   }
   return "UNKNOWN";
 }

@@ -1,5 +1,6 @@
 #include "src/protocol/coordinator.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/metrics.h"
@@ -30,6 +31,8 @@ const MetricId kBackupRecoveries = MetricsRegistry::Counter("coord.backup_recove
 const MetricId kValidatePhaseNs = MetricsRegistry::Histogram("coord.validate_phase_ns");
 const MetricId kAcceptPhaseNs = MetricsRegistry::Histogram("coord.accept_phase_ns");
 const MetricId kCommitTotalNs = MetricsRegistry::Histogram("coord.commit_total_ns");
+const MetricId kShedReplies = MetricsRegistry::Counter("overload.shed_replies");
+const MetricId kOverloadRejections = MetricsRegistry::Counter("overload.coord_rejections");
 
 }  // namespace
 
@@ -78,7 +81,9 @@ void CommitCoordinator::SendValidates(bool only_missing) {
     msg.dst = Address::Replica(group_base_ + r);
     msg.core = core_;
     // Every copy of the fan-out shares sets_ (refcount bump, no deep copy).
-    msg.payload = ValidateRequest{tid_, ts_, sets_};
+    ValidateRequest req{tid_, ts_, sets_};
+    req.priority = priority_;
+    msg.payload = std::move(req);
     sent++;
     if (++k == kFanoutChunk) {
       transport_->SendMany(batch, k);
@@ -157,6 +162,8 @@ void CommitCoordinator::Finish(TxnResult result, CommitPath path, AbortReason re
     MetricIncr(kNoQuorumFailures);
   } else if (reason == AbortReason::kSuperseded) {
     MetricIncr(kSuperseded);
+  } else if (reason == AbortReason::kOverload) {
+    MetricIncr(kOverloadRejections);
   }
   phase_ = Phase::kDone;
   outcome_.result = result;
@@ -186,6 +193,8 @@ bool CommitCoordinator::OnMessage(const Message& msg) {
       validate_replied_.clear();
       ok_count_ = 0;
       abort_count_ = 0;
+      shed_replied_.clear();
+      shed_count_ = 0;
     } else if (reply->epoch < reply_epoch_) {
       return true;
     }
@@ -193,7 +202,14 @@ bool CommitCoordinator::OnMessage(const Message& msg) {
       return true;  // Duplicate reply.
     }
     TraceRecord(tid_, TraceStep::kValidateReply, reply->from);
-    if (reply->status == TxnStatus::kValidatedOk) {
+    if (reply->status == TxnStatus::kRetryLater) {
+      // Shed by an overloaded replica: a non-vote. The replica holds no
+      // record, so only a retransmission can turn it into a vote.
+      shed_replied_.insert(reply->from);
+      shed_count_++;
+      outcome_.backoff_hint_ns = std::max(outcome_.backoff_hint_ns, reply->backoff_hint_ns);
+      MetricIncr(kShedReplies);
+    } else if (reply->status == TxnStatus::kValidatedOk) {
       ok_count_++;
     } else {
       abort_count_++;
@@ -255,14 +271,27 @@ void CommitCoordinator::MaybeDecideValidation() {
       return;
     }
   }
-  // Slow path: once no status can still reach a supermajority and a majority
-  // has replied, propose the majority-favored outcome via an ACCEPT round
-  // (paper §5.2.2 step 4).
+  // Overload fast-fail: every replica has answered or shed, and the votes
+  // that are still reachable without a retransmission round cannot form a
+  // majority. Waiting out the retransmit timer would only add load to the
+  // very replicas that just shed; abort now with the server's backoff hint
+  // so the client re-issues after backing off.
   size_t received = validate_replied_.size();
+  size_t votes = ok_count_ + abort_count_;
+  if (shed_count_ > 0 && votes + (quorum_.n - received) < quorum_.Majority()) {
+    if (!defer_decision_) {
+      BroadcastDecision(false);
+    }
+    Finish(TxnResult::kAbort, CommitPath::kNone, AbortReason::kOverload);
+    return;
+  }
+  // Slow path: once no status can still reach a supermajority and a majority
+  // of *votes* is in (sheds are replies but not votes), propose the
+  // majority-favored outcome via an ACCEPT round (paper §5.2.2 step 4).
   bool fast_possible = !force_slow_path_ &&
                        (quorum_.FastPathStillPossible(ok_count_, received) ||
                         quorum_.FastPathStillPossible(abort_count_, received));
-  if (!fast_possible && received >= quorum_.Majority()) {
+  if (!fast_possible && votes >= quorum_.Majority()) {
     proposal_commit_ = ok_count_ >= quorum_.Majority();
     uint64_t now = MetricsNowNanos();
     MetricRecordValue(kValidatePhaseNs, now - phase_start_ns_);
@@ -285,8 +314,10 @@ bool CommitCoordinator::OnTimer(uint64_t timer_id) {
     }
     // Enough validation votes may already be in (the fast path just never
     // materialized because the stragglers are down): fall to the slow path
-    // with what we have rather than waiting forever.
-    if (validate_replied_.size() >= quorum_.Majority()) {
+    // with what we have rather than waiting forever. Sheds are not votes —
+    // an ACCEPT round built on shed replies would propose with no quorum of
+    // OCC verdicts behind it.
+    if (ok_count_ + abort_count_ >= quorum_.Majority()) {
       proposal_commit_ = ok_count_ >= quorum_.Majority();
       uint64_t now = MetricsNowNanos();
       MetricRecordValue(kValidatePhaseNs, now - phase_start_ns_);
@@ -298,6 +329,14 @@ bool CommitCoordinator::OnTimer(uint64_t timer_id) {
     }
     outcome_.retransmits++;
     MetricIncr(kRetransmits);
+    // Re-ask replicas that shed: they hold no record, so the retransmission
+    // is their only path to casting a vote (their load may have drained by
+    // now — the timer's backoff already spaced this retry out).
+    for (ReplicaId r : shed_replied_) {
+      validate_replied_.erase(r);
+    }
+    shed_replied_.clear();
+    shed_count_ = 0;
     SendValidates(/*only_missing=*/true);
     ArmTimer(kValidatePhaseTimer);
     return true;

@@ -42,6 +42,9 @@ struct CommitOutcome {
   uint64_t retransmits = 0;
   // The vote quorum was discarded and rebuilt across an epoch change.
   bool epoch_bumped = false;
+  // Largest server-suggested backoff piggybacked on kRetryLater sheds seen
+  // during validation; 0 if no replica shed. Meaningful for kOverload aborts.
+  uint64_t backoff_hint_ns = 0;
 
   bool fast_path() const { return path == CommitPath::kFast; }
 };
@@ -74,6 +77,10 @@ class CommitCoordinator {
   // [group_base, group_base + n). Shard s of a sharded deployment registers
   // its replicas at base s*n.
   void set_group_base(ReplicaId base) { group_base_ = base; }
+
+  // Overload-control priority stamped on every VALIDATE (TxnPlan::priority):
+  // priority > 0 exempts this transaction from replica load shedding.
+  void set_priority(uint8_t priority) { priority_ = priority; }
 
   CommitCoordinator(const CommitCoordinator&) = delete;
   CommitCoordinator& operator=(const CommitCoordinator&) = delete;
@@ -134,6 +141,7 @@ class CommitCoordinator {
   bool force_slow_path_ = false;
   bool defer_decision_ = false;
   ReplicaId group_base_ = 0;
+  uint8_t priority_ = 0;
   CommitOutcome outcome_;
 
   // Validation replies, tracked for the highest epoch seen (replies from
@@ -142,6 +150,11 @@ class CommitCoordinator {
   std::set<ReplicaId> validate_replied_;
   size_t ok_count_ = 0;
   size_t abort_count_ = 0;
+  // Replicas that shed the VALIDATE (kRetryLater). They count as "replied"
+  // (no vote can still arrive without a retransmit) but never as votes; a
+  // retransmission un-marks them so they are re-asked.
+  std::set<ReplicaId> shed_replied_;
+  size_t shed_count_ = 0;
 
   // Accept round (the original coordinator proposes in view 0).
   bool proposal_commit_ = false;

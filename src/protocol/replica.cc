@@ -23,6 +23,15 @@ const MetricId kReplicaRestarts = MetricsRegistry::Counter("recovery.replica_res
 const MetricId kDispatchWidth = MetricsRegistry::Histogram("batch.dispatch_width");
 const MetricId kValidateSweepWidth = MetricsRegistry::Histogram("batch.validate_sweep_width");
 
+// Load shedding: fresh VALIDATEs fast-rejected past the per-core watermarks,
+// and the backoff hints piggybacked on those kRetryLater replies.
+const MetricId kShedValidates = MetricsRegistry::Counter("overload.shed_validates");
+const MetricId kShedHintNs = MetricsRegistry::Histogram("overload.shed_hint_ns");
+
+// Fixed-point scale for CoreLoad::queue_ewma (alpha = 1/4 EWMA of the
+// drained-batch width; steady state ewma/kEwmaScale ≈ batch width).
+constexpr uint64_t kEwmaScale = 16;
+
 // While a DispatchBatch holds the shared epoch gate, Reply() stages outbound
 // messages here instead of calling Transport::Send per message; the batch
 // flushes them through one Transport::SendMany after releasing the gate.
@@ -64,10 +73,11 @@ void MeerkatReplica::EpochGate::UnlockExclusive() {
 
 MeerkatReplica::MeerkatReplica(ReplicaId id, const QuorumConfig& quorum, size_t num_cores,
                                Transport* transport, ReplicaId group_base,
-                               RetryPolicy recovery_retry)
+                               RetryPolicy recovery_retry, OverloadOptions overload)
     : id_(id), quorum_(quorum), num_cores_(num_cores), group_base_(group_base),
-      recovery_retry_(recovery_retry), transport_(transport),
+      recovery_retry_(recovery_retry), overload_(overload), transport_(transport),
       trecord_(num_cores), scratch_(num_cores > 0 ? num_cores : 1),
+      core_load_(num_cores > 0 ? num_cores : 1),
       ec_rng_(0x9e3779b9u ^ id), hosted_backups_(num_cores) {
   receivers_.reserve(num_cores);
   for (CoreId core = 0; core < num_cores; core++) {
@@ -132,6 +142,14 @@ ZCP_FAST_PATH NO_THREAD_SAFETY_ANALYSIS void MeerkatReplica::DispatchBatch(CoreI
   DapCoreScope dap_scope(core);
   MetricRecordValue(kDispatchWidth, n);
   CoreScratch& scratch = scratch_[core % scratch_.size()];
+  CoreLoad& load = core_load_[core % core_load_.size()];
+  if (overload_.enabled) {
+    // Update the queue-depth proxy: EWMA (alpha=1/4) of drained-batch width.
+    // Single writer (this core's worker), relaxed load/store.
+    uint64_t ewma = load.queue_ewma.load(std::memory_order_relaxed);
+    load.queue_ewma.store(ewma - ewma / 4 + n * (kEwmaScale / 4),
+                          std::memory_order_relaxed);
+  }
 
   // Shared-gate state for the fast-path stretch of the batch. The paused
   // flags are loaded once per acquisition: both only ever change under the
@@ -233,16 +251,28 @@ ZCP_FAST_PATH NO_THREAD_SAFETY_ANALYSIS void MeerkatReplica::DispatchBatch(CoreI
           if (in_run) {
             break;
           }
-          TxnRecord& rec = existing != nullptr ? *existing : part.GetOrCreate(req->tid);
-          rec.ts = req->ts;
-          rec.sets = req->sets;  // Adopt the coordinator's shared payload (no copy).
-          ValidateBatchItem item;
-          item.read_set = &rec.read_set();
-          item.write_set = &rec.write_set();
-          item.ts = rec.ts;
-          scratch.items.push_back(item);
-          scratch.records.push_back(&rec);
-          scratch.reply_idx.push_back(static_cast<uint32_t>(scratch.replies.size()));
+          if (req->priority == 0 && ShouldShed(load)) {
+            // Overloaded: fast-reject without creating a record or running
+            // OCC. The coordinator treats kRetryLater as a non-vote and the
+            // client backs off by the piggybacked hint. Priority > 0
+            // (aged retries) is exempt — those must not starve.
+            reply.status = TxnStatus::kRetryLater;
+            reply.backoff_hint_ns = ShedHintNanos(load);
+            load.shed.fetch_add(1, std::memory_order_relaxed);
+            MetricIncr(kShedValidates);
+            MetricRecordValue(kShedHintNs, reply.backoff_hint_ns);
+          } else {
+            TxnRecord& rec = existing != nullptr ? *existing : part.GetOrCreate(req->tid);
+            rec.ts = req->ts;
+            rec.sets = req->sets;  // Adopt the coordinator's shared payload (no copy).
+            ValidateBatchItem item;
+            item.read_set = &rec.read_set();
+            item.write_set = &rec.write_set();
+            item.ts = rec.ts;
+            scratch.items.push_back(item);
+            scratch.records.push_back(&rec);
+            scratch.reply_idx.push_back(static_cast<uint32_t>(scratch.replies.size()));
+          }
         }
         Message out;
         out.src = Address::Replica(id_);
@@ -267,6 +297,10 @@ ZCP_FAST_PATH NO_THREAD_SAFETY_ANALYSIS void MeerkatReplica::DispatchBatch(CoreI
           std::get<ValidateReply>(scratch.replies[scratch.reply_idx[k]].payload).status =
               scratch.items[k].status;
         }
+        // Every fresh record in the sweep went kNone -> non-final; it stays
+        // inflight until HandleCommit finalizes it. Single-writer relaxed.
+        load.inflight.fetch_add(static_cast<uint32_t>(scratch.items.size()),
+                                std::memory_order_relaxed);
       }
       continue;
     }
@@ -327,6 +361,29 @@ ZCP_FAST_PATH void MeerkatReplica::HandleGet(CoreId core, const Address& from, c
   Reply(from, core, std::move(reply));
 }
 
+// Shedding decision + hint: per-core relaxed reads only (ZCP-clean).
+ZCP_FAST_PATH bool MeerkatReplica::ShouldShed(const CoreLoad& load) const {
+  if (!overload_.enabled) {
+    return false;
+  }
+  if (overload_.max_inflight_per_core != 0 &&
+      load.inflight.load(std::memory_order_relaxed) >= overload_.max_inflight_per_core) {
+    return true;
+  }
+  return overload_.queue_watermark != 0 &&
+         load.queue_ewma.load(std::memory_order_relaxed) / kEwmaScale >=
+             overload_.queue_watermark;
+}
+
+ZCP_FAST_PATH uint64_t MeerkatReplica::ShedHintNanos(const CoreLoad& load) const {
+  // Scale the base hint with how deep into overload the core is, so clients
+  // back off harder the worse the backlog (1x at the watermark, 2x at twice
+  // the watermark, ...).
+  uint32_t inflight = load.inflight.load(std::memory_order_relaxed);
+  uint32_t cap = overload_.max_inflight_per_core != 0 ? overload_.max_inflight_per_core : 1;
+  return overload_.base_backoff_hint_ns * (1 + inflight / cap);
+}
+
 ZCP_FAST_PATH void MeerkatReplica::HandleValidate(CoreId core, const Address& from,
                                     const ValidateRequest& req) {
   TRecordPartition& part = trecord_.Partition(core);
@@ -353,11 +410,24 @@ ZCP_FAST_PATH void MeerkatReplica::HandleValidate(CoreId core, const Address& fr
     return;
   }
 
+  CoreLoad& load = core_load_[core % core_load_.size()];
+  if (req.priority == 0 && ShouldShed(load)) {
+    // Overloaded: fast-reject without creating a record (see DispatchBatch).
+    reply.status = TxnStatus::kRetryLater;
+    reply.backoff_hint_ns = ShedHintNanos(load);
+    load.shed.fetch_add(1, std::memory_order_relaxed);
+    MetricIncr(kShedValidates);
+    MetricRecordValue(kShedHintNs, reply.backoff_hint_ns);
+    Reply(from, core, std::move(reply));
+    return;
+  }
+
   TxnRecord& rec = part.GetOrCreate(req.tid);
   rec.ts = req.ts;
   rec.sets = req.sets;  // Adopt the coordinator's shared payload (no copy).
   rec.status = OccValidate(store_, rec.read_set(), rec.write_set(), rec.ts);
   reply.status = rec.status;
+  load.inflight.fetch_add(1, std::memory_order_relaxed);
   Reply(from, core, std::move(reply));
 }
 
@@ -390,6 +460,11 @@ ZCP_FAST_PATH void MeerkatReplica::HandleAccept(CoreId core, const Address& from
     rec.ts = req.ts;
     rec.sets = req.sets;
   }
+  if (rec.status == TxnStatus::kNone) {
+    // Fresh record (this replica missed the VALIDATE): it becomes inflight
+    // until HandleCommit finalizes it.
+    core_load_[core % core_load_.size()].inflight.fetch_add(1, std::memory_order_relaxed);
+  }
   rec.view = req.view;
   rec.accept_view = req.view;
   rec.accepted = true;
@@ -404,6 +479,14 @@ ZCP_FAST_PATH void MeerkatReplica::HandleCommit(CoreId core, const Address& /*fr
   TxnRecord& rec = part.GetOrCreate(req.tid);
   if (IsFinal(rec.status)) {
     return;  // Duplicate COMMIT; the write phase already ran.
+  }
+  if (rec.status != TxnStatus::kNone) {
+    // Non-final -> final: the transaction leaves this core's inflight set.
+    // Single-writer (this core), so the check-then-sub cannot race.
+    CoreLoad& load = core_load_[core % core_load_.size()];
+    if (load.inflight.load(std::memory_order_relaxed) > 0) {
+      load.inflight.fetch_sub(1, std::memory_order_relaxed);
+    }
   }
   if (req.commit) {
     rec.status = TxnStatus::kCommitted;
@@ -695,10 +778,29 @@ void MeerkatReplica::AdoptEpochState(EpochNum epoch,
       OccCommit(store_, rec.read_set, rec.write_set, rec.ts);
     }
   }
+  RecomputeLoadCounters();
   epoch_change_.store(false, std::memory_order_release);
   waiting_recovery_.store(false, std::memory_order_release);
   MetricIncr(kEpochAdoptions);
   TraceRecord(TxnId{}, TraceStep::kEpochAdopted, static_cast<uint32_t>(epoch));
+}
+
+void MeerkatReplica::RecomputeLoadCounters() {
+  // The adopted trecord replaced every partition wholesale; rebuild each
+  // core's inflight count from what the merged state actually holds, and
+  // reset the queue proxy (old-epoch backlog is meaningless now).
+  for (size_t c = 0; c < core_load_.size(); c++) {
+    uint32_t inflight = 0;
+    if (c < num_cores_) {
+      trecord_.Partition(static_cast<CoreId>(c)).ForEach([&inflight](const TxnRecord& rec) {
+        if (rec.status != TxnStatus::kNone && !IsFinal(rec.status)) {
+          inflight++;
+        }
+      });
+    }
+    core_load_[c].inflight.store(inflight, std::memory_order_relaxed);
+    core_load_[c].queue_ewma.store(0, std::memory_order_relaxed);
+  }
 }
 
 void MeerkatReplica::HandleHostedBackupReply(CoreId core, const Message& msg) {
@@ -785,6 +887,10 @@ void MeerkatReplica::CrashAndRestart() {
   // Volatile state includes the epoch number; the replica relearns it from
   // the epoch change that readmits it.
   epoch_.store(0, std::memory_order_release);
+  for (CoreLoad& load : core_load_) {
+    load.inflight.store(0, std::memory_order_relaxed);
+    load.queue_ewma.store(0, std::memory_order_relaxed);
+  }
   waiting_recovery_.store(true, std::memory_order_release);
   gate_.UnlockExclusive();
   {

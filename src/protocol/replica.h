@@ -21,6 +21,7 @@
 
 #include "src/common/annotations.h"
 #include "src/common/dap_check.h"
+#include "src/common/overload.h"
 #include "src/common/retry.h"
 #include "src/common/rng.h"
 #include "src/common/types.h"
@@ -44,9 +45,15 @@ class MeerkatReplica {
   // request/complete rounds led by this replica and hosted backup
   // coordinators. A disabled policy (the default) sends each recovery
   // message once — lossless-network deployments and unit tests.
+  //
+  // `overload` configures per-core load shedding (disabled by default):
+  // past the inflight/queue watermarks a core fast-rejects fresh VALIDATEs
+  // with kRetryLater instead of running OCC. The signals are per-core
+  // relaxed counters only — shedding adds no cross-core coordination.
   MeerkatReplica(ReplicaId id, const QuorumConfig& quorum, size_t num_cores,
                  Transport* transport, ReplicaId group_base = 0,
-                 RetryPolicy recovery_retry = RetryPolicy());
+                 RetryPolicy recovery_retry = RetryPolicy(),
+                 OverloadOptions overload = OverloadOptions());
 
   MeerkatReplica(const MeerkatReplica&) = delete;
   MeerkatReplica& operator=(const MeerkatReplica&) = delete;
@@ -95,7 +102,37 @@ class MeerkatReplica {
 
   size_t hosted_backup_count() const;
 
+  const OverloadOptions& overload_options() const { return overload_; }
+
+  // Observability accessors for the per-core load signals (tests, metrics
+  // export). Relaxed reads: exact on the owning core, approximate elsewhere.
+  uint32_t core_inflight(CoreId core) const {
+    return core_load_[core % core_load_.size()].inflight.load(std::memory_order_relaxed);
+  }
+  uint64_t shed_total() const {
+    uint64_t n = 0;
+    for (const CoreLoad& load : core_load_) {
+      n += load.shed.load(std::memory_order_relaxed);
+    }
+    return n;
+  }
+
  private:
+  // Per-core load signals for shedding, cache-line aligned like CoreScratch.
+  // Single-writer (the owning core's worker) with relaxed atomics so
+  // external observers can read without coordination (ZCP: no cross-core
+  // synchronization on the validate path).
+  struct alignas(64) CoreLoad {
+    // Non-final transactions this core's trecord partition tracks
+    // (validated/accepted but not yet committed or aborted).
+    std::atomic<uint32_t> inflight{0};
+    // EWMA of drained-batch width (fixed point, kEwmaScale), a proxy for the
+    // core's queue backlog.
+    std::atomic<uint64_t> queue_ewma{0};
+    // Total VALIDATEs shed by this core (observability only).
+    std::atomic<uint64_t> shed{0};
+  };
+
   class CoreReceiver : public TransportReceiver {
    public:
     CoreReceiver(MeerkatReplica* replica, CoreId core) : replica_(replica), core_(core) {}
@@ -162,6 +199,16 @@ class MeerkatReplica {
   void HandleCoordChange(CoreId core, const Address& from, const CoordChangeRequest& req)
       REQUIRES_SHARED(gate_);
 
+  // Load-shedding decision for a fresh VALIDATE on this core, and the
+  // backoff hint to piggyback when shedding (scales with how deep past the
+  // watermark the core is). Relaxed per-core reads only.
+  bool ShouldShed(const CoreLoad& load) const;
+  uint64_t ShedHintNanos(const CoreLoad& load) const;
+
+  // Rebuilds every core's inflight count from the trecord (recovery paths:
+  // adopted epoch state replaces the partitions wholesale).
+  void RecomputeLoadCounters() REQUIRES(gate_);
+
   void HandleHostedBackupReply(CoreId core, const Message& msg);
   void HandleEpochChangeRequest(const Address& from, const EpochChangeRequest& req);
   void HandleEpochChangeAck(const EpochChangeAck& ack);
@@ -190,6 +237,7 @@ class MeerkatReplica {
   const size_t num_cores_;
   const ReplicaId group_base_;
   const RetryPolicy recovery_retry_;
+  const OverloadOptions overload_;
   Transport* const transport_;
 
   VStore store_;
@@ -209,6 +257,7 @@ class MeerkatReplica {
     OccBatchScratch occ;
   };
   std::vector<CoreScratch> scratch_;
+  std::vector<CoreLoad> core_load_;
 
   EpochGate gate_;
   std::atomic<EpochNum> epoch_{0};

@@ -11,7 +11,7 @@ MeerkatSession::MeerkatSession(uint32_t client_id, Transport* transport,
                                TimeSource* time_source, const SessionOptions& options,
                                uint64_t seed)
     : client_id_(client_id), transport_(transport), options_(options),
-      retry_(options.EffectiveRetry()), self_(Address::Client(client_id)),
+      retry_(options.retry), self_(Address::Client(client_id)),
       clock_(time_source, options.clock_skew_ns, options.clock_jitter_ns, seed ^ 0x5bd1e995),
       rng_(seed), time_source_(time_source) {
   transport_->RegisterClient(client_id_, this);
@@ -111,6 +111,7 @@ void MeerkatSession::StartCommit() {
       std::move(write_set), retry_, kCoordTimerBase + txn_seq_ * 4,
       /*done=*/nullptr);
   coordinator_->set_force_slow_path(options_.force_slow_path);
+  coordinator_->set_priority(plan_.priority);
   coordinator_->Start();
 }
 
@@ -131,6 +132,7 @@ void MeerkatSession::OnCommitDone(const CommitOutcome& outcome) {
   out.commit_ts = last_ts_;
   out.retransmits = txn_retransmits_ + outcome.retransmits;
   out.recovered = outcome.epoch_bumped;
+  out.backoff_hint_ns = outcome.backoff_hint_ns;
   FinishTxn(out);
 }
 

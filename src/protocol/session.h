@@ -30,22 +30,12 @@ struct SessionOptions {
   // Retransmission/backoff policy; a disabled policy (the default) never
   // retransmits (fault-free benchmark runs).
   RetryPolicy retry;
-  // Deprecated alias for retry.timeout_ns (folded in the constructor when
-  // `retry` is disabled).
-  uint64_t retry_timeout_ns = 0;
   // Clock-synchronization quality of this client (paper §3: correctness never
   // depends on these; performance does).
   int64_t clock_skew_ns = 0;
   uint64_t clock_jitter_ns = 0;
   // Ablation: bypass the fast path (always run the ACCEPT round).
   bool force_slow_path = false;
-
-  RetryPolicy EffectiveRetry() const {
-    if (!retry.enabled() && retry_timeout_ns != 0) {
-      return RetryPolicy::WithTimeout(retry_timeout_ns);
-    }
-    return retry;
-  }
 };
 
 class MeerkatSession : public ClientSession {

@@ -1,19 +1,36 @@
 #include "src/protocol/sharded.h"
 
+#include <algorithm>
 #include <cassert>
 #include <functional>
 #include <utility>
 
 namespace meerkat {
+namespace {
+
+// Per-session clock skew drawn uniformly from [-max_skew, +max_skew],
+// deterministic in the session seed (mirrors the System factories).
+int64_t DrawSkew(uint64_t seed, int64_t max_skew) {
+  if (max_skew == 0) {
+    return 0;
+  }
+  Rng rng(seed ^ 0xa076'1d64'78bd'642fULL);
+  return static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(2 * max_skew + 1))) -
+         max_skew;
+}
+
+}  // namespace
 
 ShardedCluster::ShardedCluster(const ShardedOptions& options, Transport* transport)
     : options_(options) {
-  replicas_.reserve(options.num_shards * options.quorum.n);
+  const SystemOptions& sys = options.system;
+  replicas_.reserve(options.num_shards * sys.quorum.n);
   for (size_t shard = 0; shard < options.num_shards; shard++) {
-    ReplicaId base = static_cast<ReplicaId>(shard * options.quorum.n);
-    for (ReplicaId r = 0; r < options.quorum.n; r++) {
+    ReplicaId base = static_cast<ReplicaId>(shard * sys.quorum.n);
+    for (ReplicaId r = 0; r < sys.quorum.n; r++) {
       replicas_.push_back(std::make_unique<MeerkatReplica>(
-          base + r, options.quorum, options.cores_per_replica, transport, base));
+          base + r, sys.quorum, sys.cores_per_replica, transport, base, sys.retry,
+          sys.overload));
     }
   }
 }
@@ -29,21 +46,21 @@ size_t ShardedCluster::ShardForKey(const std::string& key) const {
 
 void ShardedCluster::Load(const std::string& key, const std::string& value) {
   size_t shard = ShardForKey(key);
-  for (ReplicaId r = 0; r < options_.quorum.n; r++) {
-    replicas_[shard * options_.quorum.n + r]->LoadKey(key, value, Timestamp{1, 0});
+  for (ReplicaId r = 0; r < options_.system.quorum.n; r++) {
+    replicas_[shard * options_.system.quorum.n + r]->LoadKey(key, value, Timestamp{1, 0});
   }
 }
 
 ReadResult ShardedCluster::ReadAt(size_t shard, ReplicaId r, const std::string& key) {
-  return replicas_[shard * options_.quorum.n + r]->store().Read(key);
+  return replicas_[shard * options_.system.quorum.n + r]->store().Read(key);
 }
 
 ShardedSession::ShardedSession(uint32_t client_id, Transport* transport,
                                TimeSource* time_source, ShardedCluster* cluster, uint64_t seed)
     : client_id_(client_id), transport_(transport), cluster_(cluster),
-      retry_(cluster->options().EffectiveRetry()), self_(Address::Client(client_id)),
-      clock_(time_source, cluster->options().clock_skew_ns, cluster->options().clock_jitter_ns,
-             seed ^ 0x9e3779b9),
+      retry_(cluster->options().system.retry), self_(Address::Client(client_id)),
+      clock_(time_source, DrawSkew(seed, cluster->options().system.clock.max_skew_ns),
+             cluster->options().system.clock.jitter_ns, seed ^ 0x9e3779b9),
       rng_(seed), time_source_(time_source) {
   transport_->RegisterClient(client_id_, this);
 }
@@ -79,7 +96,7 @@ void ShardedSession::ExecuteAsync(TxnPlan plan, TxnCallback cb) {
   txn_seq_++;
   last_tid_ = TxnId{client_id_, txn_seq_};
   txn_start_ns_ = time_source_->NowNanos();
-  core_ = static_cast<CoreId>(rng_.NextBounded(cluster_->options().cores_per_replica));
+  core_ = static_cast<CoreId>(rng_.NextBounded(cluster_->options().system.cores_per_replica));
   read_set_.clear();
   read_values_.clear();
   write_buffer_.clear();
@@ -128,11 +145,11 @@ void ShardedSession::SendGet(const std::string& key) {
   get_seq_++;
   get_key_ = key;
   size_t shard = cluster_->ShardForKey(key);
-  ReplicaId r = static_cast<ReplicaId>(rng_.NextBounded(cluster_->options().quorum.n));
+  ReplicaId r = static_cast<ReplicaId>(rng_.NextBounded(cluster_->options().system.quorum.n));
   Message msg;
   msg.src = self_;
   msg.dst = Address::Replica(cluster_->GlobalId(shard, r));
-  msg.core = static_cast<CoreId>(rng_.NextBounded(cluster_->options().cores_per_replica));
+  msg.core = static_cast<CoreId>(rng_.NextBounded(cluster_->options().system.cores_per_replica));
   msg.payload = GetRequest{last_tid_, get_seq_, key};
   transport_->Send(std::move(msg));
   if (retry_.enabled()) {
@@ -166,11 +183,12 @@ void ShardedSession::StartCommit() {
   uint64_t shard_index = 0;
   for (auto& [shard, sets] : by_shard) {
     auto coordinator = std::make_unique<CommitCoordinator>(
-        transport_, self_, cluster_->options().quorum, core_, last_tid_, last_ts_,
+        transport_, self_, cluster_->options().system.quorum, core_, last_tid_, last_ts_,
         std::move(sets.first), std::move(sets.second), retry_,
         kCoordTimerBase + (txn_seq_ * 64 + shard_index) * 4, /*done=*/nullptr);
     coordinator->set_defer_decision(true);
     coordinator->set_group_base(cluster_->GlobalId(shard, 0));
+    coordinator->set_priority(plan_.priority);
     coordinators_[shard] = std::move(coordinator);
     shard_index++;
   }
@@ -188,8 +206,10 @@ void ShardedSession::MaybeFinishCommit() {
   bool all_commit = true;
   bool any_failed = false;
   bool all_fast = true;
+  bool any_overload = false;
   AbortReason fail_reason = AbortReason::kNone;
   uint64_t coord_retransmits = 0;
+  uint64_t backoff_hint_ns = 0;
   bool recovered = false;
   for (auto& [shard, coordinator] : coordinators_) {
     (void)shard;
@@ -198,6 +218,8 @@ void ShardedSession::MaybeFinishCommit() {
       break;
     }
     const CommitOutcome& outcome = coordinator->outcome();
+    any_overload = any_overload || outcome.reason == AbortReason::kOverload;
+    backoff_hint_ns = std::max(backoff_hint_ns, outcome.backoff_hint_ns);
     all_commit = all_commit && outcome.result == TxnResult::kCommit;
     if (outcome.result == TxnResult::kFailed) {
       any_failed = true;
@@ -224,15 +246,22 @@ void ShardedSession::MaybeFinishCommit() {
   out.commit_ts = last_ts_;
   out.retransmits = txn_retransmits_ + coord_retransmits;
   out.recovered = recovered;
+  out.backoff_hint_ns = backoff_hint_ns;
   if (any_failed) {
     out.result = TxnResult::kFailed;
     out.reason = fail_reason != AbortReason::kNone ? fail_reason : AbortReason::kNoQuorum;
   } else if (!commit) {
     out.result = TxnResult::kAbort;
-    // A single-shard abort is the shard's own OCC conflict; with multiple
-    // shards involved, the conjunction (atomic commitment) is what killed it.
-    out.reason =
-        coordinators_.size() > 1 ? AbortReason::kShardAbort : AbortReason::kOccConflict;
+    // A shed shard (kOverload) dominates: retry loops must back off, not
+    // treat it as a data conflict. Otherwise a single-shard abort is the
+    // shard's own OCC conflict; with multiple shards involved, the
+    // conjunction (atomic commitment) is what killed it.
+    if (any_overload) {
+      out.reason = AbortReason::kOverload;
+    } else {
+      out.reason =
+          coordinators_.size() > 1 ? AbortReason::kShardAbort : AbortReason::kOccConflict;
+    }
   } else {
     out.result = TxnResult::kCommit;
     out.path = all_fast ? CommitPath::kFast : CommitPath::kSlow;
@@ -349,7 +378,7 @@ void ShardedSession::Receive(Message&& msg) {
   // Protocol replies carry the global replica id; route to that shard's
   // coordinator.
   ReplicaId from = msg.src.id;
-  size_t shard = from / cluster_->options().quorum.n;
+  size_t shard = from / cluster_->options().system.quorum.n;
   auto it = coordinators_.find(shard);
   if (it != coordinators_.end()) {
     it->second->OnMessage(msg);

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/api/client_session.h"
+#include "src/api/system.h"
 #include "src/common/annotations.h"
 #include "src/common/clock.h"
 #include "src/common/rng.h"
@@ -42,22 +43,22 @@
 
 namespace meerkat {
 
+// Sharded deployments reuse the single-group deployment configuration for
+// everything per-shard (quorum shape, cores, retry, clock quality, overload
+// control); the only sharding-specific knob is the shard count. The formerly
+// duplicated flat fields (quorum, cores_per_replica, retry, retry_timeout_ns,
+// clock_*) live in `system` now.
 struct ShardedOptions {
   size_t num_shards = 2;
-  QuorumConfig quorum = QuorumConfig::ForReplicas(3);
-  size_t cores_per_replica = 1;
-  // Retransmission/backoff policy; a disabled policy never retransmits.
-  RetryPolicy retry;
-  // Deprecated alias for retry.timeout_ns (folded when `retry` is disabled).
-  uint64_t retry_timeout_ns = 0;
-  int64_t clock_skew_ns = 0;
-  uint64_t clock_jitter_ns = 0;
+  SystemOptions system;
 
-  RetryPolicy EffectiveRetry() const {
-    if (!retry.enabled() && retry_timeout_ns != 0) {
-      return RetryPolicy::WithTimeout(retry_timeout_ns);
-    }
-    return retry;
+  ShardedOptions& WithShards(size_t n) {
+    num_shards = n;
+    return *this;
+  }
+  ShardedOptions& WithSystem(const SystemOptions& s) {
+    system = s;
+    return *this;
   }
 };
 
@@ -74,7 +75,7 @@ class ShardedCluster {
 
   size_t ShardForKey(const std::string& key) const;
   ReplicaId GlobalId(size_t shard, ReplicaId r) const {
-    return static_cast<ReplicaId>(shard * options_.quorum.n + r);
+    return static_cast<ReplicaId>(shard * options_.system.quorum.n + r);
   }
 
   // Loads a committed key onto its owning shard's replicas.
@@ -82,7 +83,7 @@ class ShardedCluster {
 
   ReadResult ReadAt(size_t shard, ReplicaId r, const std::string& key);
   MeerkatReplica* replica(size_t shard, ReplicaId r) {
-    return replicas_[shard * options_.quorum.n + r].get();
+    return replicas_[shard * options_.system.quorum.n + r].get();
   }
 
  private:

@@ -69,6 +69,10 @@ struct ValidateRequest {
   // fanned-out copy of this message references the same TxnSets (in-process
   // transport moves pointers, not bytes). nullptr means empty sets.
   TxnSetsPtr sets;
+  // Overload-control priority (TxnPlan::priority). priority > 0 exempts the
+  // transaction from replica load shedding (priority aging: a repeatedly-
+  // aborted transaction must not starve behind fresh arrivals).
+  uint8_t priority = 0;
 
   ValidateRequest() = default;
   ValidateRequest(TxnId tid_in, Timestamp ts_in, TxnSetsPtr sets_in)
@@ -88,12 +92,18 @@ struct ValidateRequest {
 
 struct ValidateReply {
   TxnId tid;
-  TxnStatus status = TxnStatus::kNone;  // kValidatedOk or kValidatedAbort.
+  // kValidatedOk / kValidatedAbort, or kRetryLater when an overloaded replica
+  // shed the VALIDATE without running OCC (a non-vote, not an abort vote).
+  TxnStatus status = TxnStatus::kNone;
   ReplicaId from = 0;
   // Replies from different epochs cannot be combined into one quorum: this is
   // how "no further transactions commit in the old epoch" (§5.4) is enforced
   // at the coordinator.
   EpochNum epoch = 0;
+  // Server-suggested backoff (ns) piggybacked on kRetryLater sheds; 0 for
+  // normal votes. Scales with the shedding core's inflight load so clients
+  // back off harder the deeper the overload.
+  uint64_t backoff_hint_ns = 0;
 };
 
 // --- Slow path (consensus round; also used by backup coordinators) ---

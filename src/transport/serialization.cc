@@ -259,12 +259,14 @@ struct PayloadEncoder {
     w.Ts(p.ts);
     w.ReadSet(p.read_set());
     w.WriteSet(p.write_set());
+    w.U8(p.priority);
   }
   void operator()(const ValidateReply& p) {
     w.Tid(p.tid);
     w.U8(static_cast<uint8_t>(p.status));
     w.U32(p.from);
     w.U64(p.epoch);
+    w.U64(p.backoff_hint_ns);
   }
   void operator()(const AcceptRequest& p) {
     w.Tid(p.tid);
@@ -368,6 +370,17 @@ bool ReadStatus(WireReader& r, TxnStatus* out) {
   return true;
 }
 
+// ValidateReply may additionally carry the wire-only kRetryLater shed status;
+// record snapshots (ReadStatus above) never do.
+bool ReadReplyStatus(WireReader& r, TxnStatus* out) {
+  uint8_t v = 0;
+  if (!r.U8(&v) || v > static_cast<uint8_t>(TxnStatus::kRetryLater)) {
+    return false;
+  }
+  *out = static_cast<TxnStatus>(v);
+  return true;
+}
+
 bool DecodePayload(WireReader& r, size_t tag, Payload* out) {
   switch (tag) {
     case 0: {
@@ -392,15 +405,20 @@ bool DecodePayload(WireReader& r, size_t tag, Payload* out) {
       Timestamp ts;
       std::vector<ReadSetEntry> read_set;
       std::vector<WriteSetEntry> write_set;
-      if (!r.Tid(&tid) || !r.Ts(&ts) || !r.ReadSet(&read_set) || !r.WriteSet(&write_set)) {
+      uint8_t priority = 0;
+      if (!r.Tid(&tid) || !r.Ts(&ts) || !r.ReadSet(&read_set) || !r.WriteSet(&write_set) ||
+          !r.U8(&priority)) {
         return false;
       }
-      *out = ValidateRequest{tid, ts, std::move(read_set), std::move(write_set)};
+      ValidateRequest p{tid, ts, std::move(read_set), std::move(write_set)};
+      p.priority = priority;
+      *out = std::move(p);
       return true;
     }
     case 3: {
       ValidateReply p;
-      if (!r.Tid(&p.tid) || !ReadStatus(r, &p.status) || !r.U32(&p.from) || !r.U64(&p.epoch)) {
+      if (!r.Tid(&p.tid) || !ReadReplyStatus(r, &p.status) || !r.U32(&p.from) ||
+          !r.U64(&p.epoch) || !r.U64(&p.backoff_hint_ns)) {
         return false;
       }
       *out = p;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/api/system.h"
+#include "src/common/retry.h"
 #include "src/common/stats.h"
 #include "src/sim/simulator.h"
 #include "src/transport/sim_transport.h"
@@ -37,6 +38,14 @@ struct SimRunOptions {
   uint64_t measure_ns = 50'000'000;   // 50 ms of virtual time.
   uint64_t seed = 1;
   bool load_initial_keys = true;
+  // Closed-loop abort handling: when set, an aborted transaction is re-issued
+  // (same plan; RmwFn writes recompute) after the policy's abort-aware
+  // backoff — contention schedule for OCC conflicts, overload schedule plus
+  // the server hint for sheds — with priority aging past
+  // retry.aging_threshold. When false (default) the loop draws a fresh
+  // transaction after every outcome, the paper's measurement methodology.
+  bool retry_aborts = false;
+  AbortRetryPolicy retry;
 };
 
 // Runs `workload` against `system` under the simulator. The system must have

@@ -36,7 +36,7 @@ class BlockingClientTest : public ::testing::TestWithParam<SystemKind> {};
 
 TEST_P(BlockingClientTest, GetPutRoundTrip) {
   SystemOptions options = DefaultOptions(GetParam());
-  options.retry_timeout_ns = 5'000'000;
+  options.retry = RetryPolicy::WithTimeout(5'000'000);
   ThreadedHarness h(options);
   BlockingClient client(h.system(), 1);
 
@@ -51,7 +51,7 @@ TEST_P(BlockingClientTest, GetPutRoundTrip) {
 
 TEST_P(BlockingClientTest, TransformRmw) {
   SystemOptions options = DefaultOptions(GetParam());
-  options.retry_timeout_ns = 5'000'000;
+  options.retry = RetryPolicy::WithTimeout(5'000'000);
   ThreadedHarness h(options);
   h.system().Load("counter", "10");
   BlockingClient client(h.system(), 1);
@@ -68,7 +68,7 @@ TEST_P(BlockingClientTest, TransformRmw) {
 
 TEST_P(BlockingClientTest, ConcurrentClientsMakeProgress) {
   SystemOptions options = DefaultOptions(GetParam());
-  options.retry_timeout_ns = 5'000'000;
+  options.retry = RetryPolicy::WithTimeout(5'000'000);
   ThreadedHarness h(options);
   h.system().Load("shared", "0");
 

@@ -38,7 +38,7 @@ TEST_P(DurabilityFixture, ClientVisibleCommitsSurviveCrashAndEpochChange) {
   SessionOptions options;
   options.quorum = QuorumConfig::ForReplicas(3);
   options.cores_per_replica = 2;
-  options.retry_timeout_ns = 300'000;
+  options.retry = RetryPolicy::WithTimeout(300'000);
 
   // A handful of clients run transactions; we record exactly which commits
   // each client OBSERVED (the durability obligation).

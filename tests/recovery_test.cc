@@ -43,7 +43,7 @@ class MeerkatClusterFixture : public ::testing::Test {
     options.quorum = quorum_;
     options.cores_per_replica = kCores;
     // Retries let clients ride out crashed replicas and epoch-change pauses.
-    options.retry_timeout_ns = 200'000;  // 200us of virtual time.
+    options.retry = RetryPolicy::WithTimeout(200'000);  // 200us of virtual time.
     return std::make_unique<MeerkatSession>(client_id, &transport_, &time_source_, options,
                                             client_id * 31 + 7);
   }

@@ -101,7 +101,7 @@ FuzzOutcome RunSchedule(uint64_t seed, int num_clients) {
   SessionOptions options;
   options.quorum = quorum;
   options.cores_per_replica = 1;
-  options.retry_timeout_ns = 0;  // Loss-free schedules need no retries.
+  options.retry = RetryPolicy::WithTimeout(0);  // Loss-free schedules need no retries.
 
   std::vector<std::unique_ptr<MeerkatSession>> sessions;
   FuzzOutcome outcome;

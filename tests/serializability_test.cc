@@ -119,7 +119,7 @@ TEST_P(SerializabilityThreadedTest, ConcurrentHistoryIsSerializable) {
   ThreadedCase param = GetParam();
   SystemOptions sys = DefaultOptions(param.kind, /*cores=*/2);
   // Retries are required under drops.
-  sys.retry_timeout_ns = 3'000'000;  // 3 ms.
+  sys.retry = RetryPolicy::WithTimeout(3'000'000);  // 3 ms.
 
   ThreadedHarness h(sys);
   h.transport().faults().SetDropProbability(param.drop_probability);

@@ -69,6 +69,7 @@ TEST(SerializationTest, GetReplyRoundTrip) {
 
 TEST(SerializationTest, ValidateRequestRoundTrip) {
   ValidateRequest req{{3, 4}, {999, 3}, {{"a", {1, 0}}, {"b", {}}}, {{"c", "v1"}, {"d", ""}}};
+  req.priority = 1;  // Overload-control priority (aged retry) rides the wire.
   Message out = RoundTrip(Wrap(req));
   const auto& p = std::get<ValidateRequest>(out.payload);
   ASSERT_EQ(p.read_set().size(), 2u);
@@ -76,6 +77,7 @@ TEST(SerializationTest, ValidateRequestRoundTrip) {
   EXPECT_FALSE(p.read_set()[1].read_wts.Valid());
   ASSERT_EQ(p.write_set().size(), 2u);
   EXPECT_EQ(p.write_set()[1].value, "");
+  EXPECT_EQ(p.priority, 1u);
 }
 
 TEST(SerializationTest, ValidateReplyRoundTrip) {
@@ -83,6 +85,15 @@ TEST(SerializationTest, ValidateReplyRoundTrip) {
   const auto& p = std::get<ValidateReply>(out.payload);
   EXPECT_EQ(p.status, TxnStatus::kValidatedAbort);
   EXPECT_EQ(p.epoch, 7u);
+}
+
+TEST(SerializationTest, ShedValidateReplyRoundTrip) {
+  // kRetryLater sheds carry the server-suggested backoff hint.
+  Message out =
+      RoundTrip(Wrap(ValidateReply{{3, 4}, TxnStatus::kRetryLater, 2, 7, 250'000}));
+  const auto& p = std::get<ValidateReply>(out.payload);
+  EXPECT_EQ(p.status, TxnStatus::kRetryLater);
+  EXPECT_EQ(p.backoff_hint_ns, 250'000u);
 }
 
 TEST(SerializationTest, AcceptRoundTrip) {

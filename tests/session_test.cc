@@ -28,7 +28,7 @@ class SessionFixture : public ::testing::Test {
     SessionOptions options;
     options.quorum = QuorumConfig::ForReplicas(3);
     options.cores_per_replica = 2;
-    options.retry_timeout_ns = retry_ns;
+    options.retry = RetryPolicy::WithTimeout(retry_ns);
     return std::make_unique<MeerkatSession>(1, &transport_, &time_source_, options, 11);
   }
 

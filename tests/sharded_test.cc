@@ -19,8 +19,8 @@ class ShardedFixture : public ::testing::Test {
   ShardedFixture() : sim_(CostModel{}), transport_(&sim_), time_source_(&sim_) {
     ShardedOptions options;
     options.num_shards = 3;
-    options.quorum = QuorumConfig::ForReplicas(3);
-    options.cores_per_replica = 2;
+    options.system.quorum = QuorumConfig::ForReplicas(3);
+    options.system.cores_per_replica = 2;
     cluster_ = std::make_unique<ShardedCluster>(options, &transport_);
   }
 

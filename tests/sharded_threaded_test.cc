@@ -19,9 +19,9 @@ class ShardedThreadedFixture : public ::testing::Test {
   ShardedThreadedFixture() {
     ShardedOptions options;
     options.num_shards = 2;
-    options.quorum = QuorumConfig::ForReplicas(3);
-    options.cores_per_replica = 2;
-    options.retry_timeout_ns = 3'000'000;
+    options.system.quorum = QuorumConfig::ForReplicas(3);
+    options.system.cores_per_replica = 2;
+    options.system.retry = RetryPolicy::WithTimeout(3'000'000);
     cluster_ = std::make_unique<ShardedCluster>(options, &transport_);
   }
 

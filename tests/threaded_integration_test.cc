@@ -27,7 +27,7 @@ class LossyNetworkTest : public ::testing::TestWithParam<double> {};
 TEST_P(LossyNetworkTest, MeerkatSurvivesDrops) {
   double drop = GetParam();
   SystemOptions options = DefaultOptions(SystemKind::kMeerkat, /*cores=*/2);
-  options.retry_timeout_ns = 2'000'000;
+  options.retry = RetryPolicy::WithTimeout(2'000'000);
   ThreadedHarness h(options);
   h.transport().faults().SetDropProbability(drop);
   h.transport().faults().SetDuplicateProbability(drop);
@@ -72,7 +72,7 @@ TEST(FiveReplicaTest, FastAndSlowPathQuorums) {
   // n=5 (f=2): the fast path needs 4 matching votes; with one replica down it
   // is still reachable; with two down the slow path (3 votes) still commits.
   SystemOptions options = DefaultOptions(SystemKind::kMeerkat, /*cores=*/2, /*replicas=*/5);
-  options.retry_timeout_ns = 2'000'000;
+  options.retry = RetryPolicy::WithTimeout(2'000'000);
   ThreadedHarness h(options);
   h.system().Load("k", "v0");
 
@@ -114,7 +114,7 @@ TEST(EpochChangeUnderTrafficTest, TrafficResumesAfterChange) {
   SessionOptions session_options;
   session_options.quorum = quorum;
   session_options.cores_per_replica = 2;
-  session_options.retry_timeout_ns = 2'000'000;
+  session_options.retry = RetryPolicy::WithTimeout(2'000'000);
 
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> commits{0};
@@ -194,7 +194,7 @@ TEST(TrecordCheckpointTest, TrimmedReplicaStillServesTraffic) {
   SessionOptions session_options;
   session_options.quorum = quorum;
   session_options.cores_per_replica = 2;
-  session_options.retry_timeout_ns = 2'000'000;
+  session_options.retry = RetryPolicy::WithTimeout(2'000'000);
   MeerkatSession session(1, &transport, &time_source, session_options, 3);
   std::mutex mu;
   std::condition_variable cv;
@@ -251,7 +251,7 @@ TEST(TrecordCheckpointTest, TrimmedReplicaStillServesTraffic) {
 // stable while no transaction is in flight.
 TEST(AccessorThreadSafetyTest, PollingAccessorsWhileExecuting) {
   SystemOptions options = DefaultOptions(SystemKind::kMeerkat, /*cores=*/2);
-  options.retry_timeout_ns = 2'000'000;
+  options.retry = RetryPolicy::WithTimeout(2'000'000);
   ThreadedHarness h(options);
   h.system().Load("a", "0");
   h.system().Load("b", "0");

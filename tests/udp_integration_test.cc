@@ -62,7 +62,7 @@ class UdpAllKindsTest : public ::testing::TestWithParam<SystemKind> {};
 
 TEST_P(UdpAllKindsTest, ServesSerializableTrafficOverLoopback) {
   SystemOptions options = DefaultOptions(GetParam(), /*cores=*/2);
-  options.retry_timeout_ns = 2'000'000;
+  options.retry = RetryPolicy::WithTimeout(2'000'000);
   UdpHarness h(options);
 
   uint64_t sent_before = SnapshotMetrics().CounterValue("udp.sent_datagrams");
@@ -103,7 +103,7 @@ class UdpLossyNetworkTest : public ::testing::TestWithParam<double> {};
 TEST_P(UdpLossyNetworkTest, MeerkatSurvivesDropsOverUdp) {
   double drop = GetParam();
   SystemOptions options = DefaultOptions(SystemKind::kMeerkat, /*cores=*/2);
-  options.retry_timeout_ns = 2'000'000;
+  options.retry = RetryPolicy::WithTimeout(2'000'000);
   UdpHarness h(options);
   h.transport().faults().SetDropProbability(drop);
   h.transport().faults().SetDuplicateProbability(drop);
@@ -122,7 +122,7 @@ INSTANTIATE_TEST_SUITE_P(DropRates, UdpLossyNetworkTest, ::testing::Values(0.01,
 // sendmmsg path; the protocol must tolerate the induced reordering.
 TEST(UdpDelayTest, ReorderingUnderBaseDelay) {
   SystemOptions options = DefaultOptions(SystemKind::kMeerkat, /*cores=*/2);
-  options.retry_timeout_ns = 2'000'000;
+  options.retry = RetryPolicy::WithTimeout(2'000'000);
   UdpTransport::Options udp;
   udp.base_delay_ns = 200'000;  // 0.2 ms each way.
   UdpHarness h(options, udp);
@@ -135,7 +135,7 @@ TEST(UdpFiveReplicaTest, FastAndSlowPathQuorumsOverUdp) {
   // n=5 (f=2) over the wire: fast path needs 4 matching votes; with two
   // replicas crashed the slow path (3 votes) must still commit.
   SystemOptions options = DefaultOptions(SystemKind::kMeerkat, /*cores=*/2, /*replicas=*/5);
-  options.retry_timeout_ns = 2'000'000;
+  options.retry = RetryPolicy::WithTimeout(2'000'000);
   UdpHarness h(options);
   h.system().Load("k", "v0");
 
@@ -164,7 +164,7 @@ TEST(UdpFiveReplicaTest, FastAndSlowPathQuorumsOverUdp) {
 // reuseport group.
 TEST(UdpFallbackModeTest, DistinctPortsServeSerializableTraffic) {
   SystemOptions options = DefaultOptions(SystemKind::kMeerkat, /*cores=*/2);
-  options.retry_timeout_ns = 2'000'000;
+  options.retry = RetryPolicy::WithTimeout(2'000'000);
   UdpTransport::Options udp;
   udp.force_distinct_ports = true;
   UdpHarness h(options, udp);

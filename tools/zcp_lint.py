@@ -125,7 +125,9 @@ DEFAULT_SRC_GLOBS = ["src/**/*.h", "src/**/*.cc"]
 # lint rather than silently shrink coverage. Raise a count when marking a new
 # hot path; never lower one without a design-level justification.
 EXPECTED_FAST_PATH_FILES = {
-    "src/protocol/replica.cc": 6,
+    # 6 original handlers + ShouldShed/ShedHintNanos (the overload-control
+    # shedding decision runs on the validate fast path).
+    "src/protocol/replica.cc": 8,
     "src/store/occ.cc": 4,
     "src/store/trecord.cc": 3,
     "src/store/vstore.cc": 8,
