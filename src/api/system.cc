@@ -26,7 +26,10 @@ int64_t DrawSkew(Rng& rng, int64_t max_skew) {
 
 // Installs the options' transport-level configuration: the batch governor,
 // and the fault plan into the transport's injector (if the transport has one
-// — the base Transport interface makes it optional).
+// — the base Transport interface makes it optional). Must run before any
+// replica is constructed: replica construction starts transport worker
+// threads (UdpTransport pollers) that read this state without
+// synchronization, so the only safe ordering is write-then-spawn.
 void InstallFaultPlan(const SystemOptions& options, Transport* transport) {
   transport->set_batch_options(options.batching);
   if (options.fault_plan.Empty()) {
@@ -43,12 +46,12 @@ class MeerkatSystem : public System {
   MeerkatSystem(const SystemOptions& options, Transport* transport, TimeSource* time_source)
       : System(options.admission), options_(options), transport_(transport),
         time_source_(time_source), session_rng_(0xc0ffee) {
+    InstallFaultPlan(options, transport);
     for (ReplicaId r = 0; r < options.quorum.n; r++) {
       replicas_.push_back(std::make_unique<MeerkatReplica>(
           r, options.quorum, options.cores_per_replica, transport, /*group_base=*/0,
           options.retry, options.overload));
     }
-    InstallFaultPlan(options, transport);
   }
 
   SystemKind kind() const override { return SystemKind::kMeerkat; }
@@ -106,12 +109,12 @@ class TapirSystem : public System {
   TapirSystem(const SystemOptions& options, Transport* transport, TimeSource* time_source)
       : System(options.admission), options_(options), transport_(transport),
         time_source_(time_source), session_rng_(0xc0ffee) {
+    InstallFaultPlan(options, transport);
     for (ReplicaId r = 0; r < options.quorum.n; r++) {
       replicas_.push_back(std::make_unique<TapirReplica>(r, options.quorum,
                                                          options.cores_per_replica, transport,
                                                          options.cost.shared_trecord_op_ns));
     }
-    InstallFaultPlan(options, transport);
   }
 
   SystemKind kind() const override { return SystemKind::kTapir; }
@@ -176,11 +179,11 @@ class PbSystem : public System {
     costs.atomic_counter_ns = options.cost.atomic_counter_ns;
     costs.shared_log_append_ns = options.cost.shared_log_append_ns;
     PbMode mode = options.kind == SystemKind::kKuaFu ? PbMode::kKuaFu : PbMode::kMeerkatPb;
+    InstallFaultPlan(options, transport);
     for (ReplicaId r = 0; r < options.quorum.n; r++) {
       replicas_.push_back(std::make_unique<PrimaryBackupReplica>(
           r, mode, options.quorum, options.cores_per_replica, transport, costs));
     }
-    InstallFaultPlan(options, transport);
   }
 
   SystemKind kind() const override {

@@ -63,9 +63,18 @@
   MEERKAT_THREAD_ANNOTATION(no_thread_safety_analysis)
 
 // Marker for zero-coordination fast-path functions; enforced by
-// tools/zcp_lint.py, invisible to the compiler. Place it on the function
+// tools/zcp_lint.py (intra-function) and tools/zcp_analyzer.py (whole
+// closure), invisible to the compiler. Place it on the function
 // *definition* (the lint checks bodies, not declarations).
 #define ZCP_FAST_PATH
+
+// Explicit fast/slow boundary: the caller provably leaves the fast path
+// before invoking a function carrying this marker (releases the shared
+// gate, flushes staged replies), so coordination below it is sanctioned.
+// tools/zcp_analyzer.py stops its fast-path closure traversal here and
+// lists every boundary under --list-roots; adding one is a reviewable
+// claim, not a silent opt-out. A function must not carry both markers.
+#define ZCP_SLOW_PATH
 
 namespace meerkat {
 

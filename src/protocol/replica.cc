@@ -612,7 +612,7 @@ void MeerkatReplica::HandleEpochTimer() {
   ArmEpochTimer();
 }
 
-void MeerkatReplica::HandleTimer(CoreId core, uint64_t timer_id) {
+ZCP_SLOW_PATH void MeerkatReplica::HandleTimer(CoreId core, uint64_t timer_id) {
   if (timer_id >= kEpochTimerId) {
     HandleEpochTimer();
     return;
@@ -651,7 +651,7 @@ EpochChangeAck MeerkatReplica::BuildEpochAck(EpochNum epoch) {
   return ack;
 }
 
-void MeerkatReplica::HandleEpochChangeRequest(const Address& from,
+ZCP_SLOW_PATH void MeerkatReplica::HandleEpochChangeRequest(const Address& from,
                                               const EpochChangeRequest& req) {
   if (req.epoch < epoch()) {
     return;  // Stale epoch-change request.
@@ -672,7 +672,7 @@ void MeerkatReplica::HandleEpochChangeRequest(const Address& from,
   Reply(from, 0, std::move(ack));
 }
 
-void MeerkatReplica::HandleEpochChangeAck(const EpochChangeAck& ack) {
+ZCP_SLOW_PATH void MeerkatReplica::HandleEpochChangeAck(const EpochChangeAck& ack) {
   std::vector<EpochChangeAck> quorum_acks;
   {
     MutexLock lock(ec_mu_);
@@ -730,7 +730,7 @@ void MeerkatReplica::HandleEpochChangeAck(const EpochChangeAck& ack) {
   }
 }
 
-void MeerkatReplica::HandleEpochChangeComplete(const Address& from,
+ZCP_SLOW_PATH void MeerkatReplica::HandleEpochChangeComplete(const Address& from,
                                                const EpochChangeComplete& msg) {
   if (msg.epoch < epoch()) {
     return;
@@ -748,7 +748,7 @@ void MeerkatReplica::HandleEpochChangeComplete(const Address& from,
   Reply(from, 0, EpochChangeCompleteAck{msg.epoch, id_});
 }
 
-void MeerkatReplica::HandleEpochChangeCompleteAck(const EpochChangeCompleteAck& ack) {
+ZCP_SLOW_PATH void MeerkatReplica::HandleEpochChangeCompleteAck(const EpochChangeCompleteAck& ack) {
   MutexLock lock(ec_mu_);
   if (!ec_complete_pending_ || ack.epoch != ec_epoch_) {
     return;
@@ -803,7 +803,7 @@ void MeerkatReplica::RecomputeLoadCounters() {
   }
 }
 
-void MeerkatReplica::HandleHostedBackupReply(CoreId core, const Message& msg) {
+ZCP_SLOW_PATH void MeerkatReplica::HandleHostedBackupReply(CoreId core, const Message& msg) {
   TxnId tid;
   if (const auto* ack = std::get_if<CoordChangeAck>(&msg.payload)) {
     tid = ack->tid;

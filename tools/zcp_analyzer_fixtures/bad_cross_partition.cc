@@ -1,0 +1,23 @@
+// zcp_analyzer fixture: ZCPA003 must fire — a cross-partition access one
+// call below a ZCP_FAST_PATH root: the helper touches Partition(expr) with
+// an expression that is not the handler's own core parameter, and also
+// calls a *All bulk helper.
+#define ZCP_FAST_PATH
+
+namespace fixture {
+
+struct TRecord {
+  int& Partition(unsigned idx);
+  void SnapshotAll();
+};
+
+void LeakyHelper(TRecord& t, unsigned core) {
+  t.Partition(core + 1) = 7;  // not the handler's own partition
+  t.SnapshotAll();
+}
+
+ZCP_FAST_PATH void FastRoot(TRecord& t, unsigned core) {
+  LeakyHelper(t, core);
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// zcp_analyzer fixture: ZCPA005 must fire — a writable non-atomic global
+// referenced from the fast-path closure (one call deep). Atomic globals
+// with explicit orders are the sanctioned pattern; this one is a plain
+// int, i.e. cross-core shared state by construction.
+#define ZCP_FAST_PATH
+
+namespace fixture {
+
+int g_hit_count = 0;
+
+void CountHit() {
+  g_hit_count++;
+}
+
+ZCP_FAST_PATH void FastRoot() {
+  CountHit();
+}
+
+}  // namespace fixture

@@ -1,0 +1,49 @@
+// zcp_analyzer fixture: ZCPA010 must fire — the lock-order graph has the
+// classic AB/BA cycle: TransferAtoB holds a_mu_ while (via the Debit
+// helper) acquiring b_mu_; TransferBtoA holds b_mu_ and acquires a_mu_.
+// No fast-path marker needed: deadlock detection covers the whole program.
+
+namespace fixture {
+
+class Mutex {
+ public:
+  void lock();
+  void unlock();
+};
+
+template <typename M>
+class LockGuard {
+ public:
+  explicit LockGuard(M& m);
+};
+
+using MutexLock = LockGuard<Mutex>;
+
+class Ledger {
+ public:
+  void TransferAtoB();
+  void TransferBtoA();
+
+ private:
+  void DebitB();
+  Mutex a_mu_;
+  Mutex b_mu_;
+};
+
+void Ledger::DebitB() {
+  MutexLock guard(b_mu_);
+}
+
+void Ledger::TransferAtoB() {
+  MutexLock guard(a_mu_);
+  DebitB();  // a_mu_ -> b_mu_, one call deep
+}
+
+void Ledger::TransferBtoA() {
+  MutexLock outer(b_mu_);
+  {
+    MutexLock inner(a_mu_);  // b_mu_ -> a_mu_: closes the cycle
+  }
+}
+
+}  // namespace fixture

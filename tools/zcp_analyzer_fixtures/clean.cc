@@ -1,0 +1,49 @@
+// zcp_analyzer fixture: must stay silent. A fast-path root whose closure
+// uses only sanctioned constructs: the per-key spinlock (KeyLock),
+// explicit-order atomics, self-partition access, and plain arithmetic
+// helpers. Also a consistent (acyclic) lock order elsewhere.
+#define ZCP_FAST_PATH
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+class KeyLock {
+ public:
+  void lock();
+  void unlock();
+};
+
+template <typename M>
+class LockGuard {
+ public:
+  explicit LockGuard(M& m);
+};
+
+struct Entry {
+  KeyLock lock;
+  std::atomic<uint64_t> seq{0};
+  uint64_t value = 0;
+};
+
+struct Table {
+  int& Partition(unsigned idx);
+};
+
+uint64_t ReadSeq(const Entry& e) {
+  return e.seq.load(std::memory_order_acquire);
+}
+
+void BumpLocked(Entry& e) {
+  LockGuard<KeyLock> guard(e.lock);
+  e.value++;
+  e.seq.store(e.value, std::memory_order_release);
+}
+
+ZCP_FAST_PATH uint64_t FastRoot(Entry& e, Table& t, unsigned core) {
+  t.Partition(core) = 1;  // own partition: sanctioned
+  BumpLocked(e);          // per-key spinlock: sanctioned
+  return ReadSeq(e);
+}
+
+}  // namespace fixture

@@ -1,0 +1,51 @@
+// zcp_analyzer fixture: must stay silent. The fast-path root dispatches a
+// maintenance message to a handler that carries ZCP_SLOW_PATH — the
+// explicit boundary where the caller has already left the fast path (in
+// the real replica: released the shared gate, flushed staged replies).
+// Closure traversal stops at the marker, so the blocking lock below it is
+// sanctioned. Deleting the ZCP_SLOW_PATH marker here must make ZCPA001
+// fire (covered by the self-test's marker-removal variant).
+#define ZCP_FAST_PATH
+#define ZCP_SLOW_PATH
+
+namespace fixture {
+
+class Mutex {
+ public:
+  void lock();
+  void unlock();
+};
+
+template <typename M>
+class LockGuard {
+ public:
+  explicit LockGuard(M& m);
+};
+
+using MutexLock = LockGuard<Mutex>;
+
+class Replica {
+ public:
+  ZCP_FAST_PATH void Dispatch(int kind);
+
+ private:
+  ZCP_SLOW_PATH void HandleMaintenance();
+  void ApplyEpoch();
+  Mutex epoch_mu_;
+};
+
+ZCP_SLOW_PATH void Replica::HandleMaintenance() {
+  ApplyEpoch();
+}
+
+void Replica::ApplyEpoch() {
+  MutexLock guard(epoch_mu_);
+}
+
+ZCP_FAST_PATH void Replica::Dispatch(int kind) {
+  if (kind != 0) {
+    HandleMaintenance();  // boundary: traversal must stop here
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,64 @@
+"""Shared baseline JSON schema for the ZCP conformance tools.
+
+Both tiers of the static ZCP tooling — tools/zcp_lint.py (Tier 1, fast
+regex pre-commit pass) and tools/zcp_analyzer.py (Tier 2, interprocedural
+semantic analysis) — compare their findings against a committed baseline
+file with this schema:
+
+    {
+      "findings": [
+        "<fingerprint>",
+        {"fp": "<fingerprint>", "why": "<one-line justification>"},
+        ...
+      ]
+    }
+
+A finding fingerprint is stable under line-number churn (it never embeds a
+line number); each tool documents its own fingerprint format. Plain-string
+entries are legacy (zcp_lint's original schema); new entries SHOULD use the
+object form so every baselined finding carries its justification next to it
+— the acceptance bar for the analyzer is an empty baseline or one where
+every entry is individually justified.
+
+Pure stdlib; importable from either tool's directory or via tools.* from
+the repo root.
+"""
+
+import json
+
+
+def load_baseline(path):
+    """Returns {fingerprint: justification} (empty string for legacy
+    plain-string entries). Missing file -> empty baseline."""
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text())
+    out = {}
+    for entry in data.get("findings", []):
+        if isinstance(entry, str):
+            out[entry] = ""
+        elif isinstance(entry, dict) and "fp" in entry:
+            out[entry["fp"]] = str(entry.get("why", ""))
+        else:
+            raise ValueError(f"{path}: malformed baseline entry: {entry!r}")
+    return out
+
+
+def save_baseline(path, findings):
+    """Writes the baseline. `findings` is {fingerprint: justification} or an
+    iterable of fingerprints. Entries with a justification keep the object
+    form; bare fingerprints are written as plain strings."""
+    if not isinstance(findings, dict):
+        findings = {fp: "" for fp in findings}
+    entries = []
+    for fp in sorted(findings):
+        why = findings[fp]
+        entries.append({"fp": fp, "why": why} if why else fp)
+    path.write_text(json.dumps({"findings": entries}, indent=2) + "\n")
+
+
+def unjustified(baseline):
+    """Fingerprints present without a justification comment (legacy
+    plain-string entries). The analyzer warns on these: its acceptance bar
+    is per-entry-commented baselines."""
+    return sorted(fp for fp, why in baseline.items() if not why)

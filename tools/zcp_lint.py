@@ -1,5 +1,13 @@
 #!/usr/bin/env python3
-"""zcp_lint: static conformance checks for the Zero-Coordination Principle.
+"""zcp_lint: Tier 1 static conformance checks for the Zero-Coordination
+Principle — the fast, intra-function pre-commit pass.
+
+SCOPE: this linter inspects each marked function body IN ISOLATION. It does
+not build a call graph, so a blocking lock (or allocation, or cross-partition
+access) hidden even one call deep is invisible to it. The interprocedural
+closure — plus lock-order cycle detection and the atomic-order inventory —
+is Tier 2: tools/zcp_analyzer.py. Run this tier as the pre-commit/first-CI
+gate (sub-second, pure stdlib); run the analyzer before merging.
 
 The Meerkat fast path (functions marked ZCP_FAST_PATH) must stay free of
 cross-core coordination. Clang's thread-safety analysis proves lock discipline
@@ -31,10 +39,15 @@ that no general-purpose analysis knows about:
           `// zcp-lint: allow(ZCP005)` comment with a rationale nearby.
 
 Findings are compared against a committed baseline (tools/
-zcp_lint_baseline.json); new findings fail the build, fixed findings are
-reported so the baseline can shrink. `--update-baseline` rewrites it;
-`--self-test` runs the linter over tools/zcp_lint_fixtures/ and asserts each
-planted violation is caught and the clean fixture stays clean.
+zcp_lint_baseline.json, schema shared with Tier 2 via tools/zcp_baseline.py);
+new findings fail the build, fixed findings are reported so the baseline can
+shrink. `--update-baseline` rewrites it; `--self-test` runs the linter over
+tools/zcp_lint_fixtures/ and asserts each planted violation is caught and
+the clean fixture stays clean.
+
+A ZCP_FAST_PATH marker on a *declaration* (class body or header prototype)
+promotes every definition of that name in the scanned set, so marking the
+prototype no longer silently skips the body scan.
 
 Coverage guard: the files in EXPECTED_FAST_PATH_FILES must keep at least
 their recorded number of ZCP_FAST_PATH-marked definitions. The rules above
@@ -49,10 +62,12 @@ Pure stdlib Python; no clang bindings required.
 """
 
 import argparse
-import json
 import re
 import sys
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import zcp_baseline  # noqa: E402  (shared Tier 1 / Tier 2 baseline schema)
 
 RULES = {
     "ZCP001": "fast-path function acquires a blocking mutex",
@@ -183,11 +198,45 @@ def strip_comments_and_strings(text):
     return "".join(out)
 
 
-def find_fast_path_bodies(text):
+def collect_marked_declarations(text):
+    """Names whose ZCP_FAST_PATH marker sits on a *declaration* (prototype
+    or class-body signature ending in ';'). Historically these were silently
+    skipped — the marker looked applied but no body was ever scanned; now
+    every definition of the name is promoted to a fast-path body."""
+    names = set()
+    for m in re.finditer(r"\bZCP_FAST_PATH\b", text):
+        line_start = text.rfind("\n", 0, m.start()) + 1
+        if text[line_start:m.start()].lstrip().startswith("#"):
+            continue
+        brace = text.find("{", m.end())
+        semi = text.find(";", m.end())
+        if semi != -1 and (brace == -1 or semi < brace):
+            d = re.search(r"([A-Za-z_]\w*)\s*\(", text[m.end():semi])
+            if d:
+                names.add(d.group(1))
+    return names
+
+
+def _body_at(text, brace):
+    depth, j = 0, brace
+    while j < len(text):
+        if text[j] == "{":
+            depth += 1
+        elif text[j] == "}":
+            depth -= 1
+            if depth == 0:
+                break
+        j += 1
+    return text[brace:j + 1], text.count("\n", 0, brace) + 1, \
+        text.count("\n", 0, j) + 1
+
+
+def find_fast_path_bodies(text, marked_decls=()):
     """Yields (start_line, end_line, body, header) for every function whose
-    definition is marked ZCP_FAST_PATH. Brace-matched; assumes the marker
-    appears on the definition (headers only declare)."""
+    definition is marked ZCP_FAST_PATH, plus definitions of any name in
+    `marked_decls` (markers found on declarations elsewhere)."""
     bodies = []
+    seen_braces = set()
     for m in re.finditer(r"\bZCP_FAST_PATH\b", text):
         line_start = text.rfind("\n", 0, m.start()) + 1
         if text[line_start:m.start()].lstrip().startswith("#"):
@@ -195,21 +244,38 @@ def find_fast_path_bodies(text):
         brace = text.find("{", m.end())
         semi = text.find(";", m.end())
         if brace == -1 or (semi != -1 and semi < brace):
-            continue  # declaration, not a definition
+            continue  # declaration: handled via collect_marked_declarations
         header = " ".join(text[m.end():brace].split())
-        depth, j = 0, brace
-        while j < len(text):
-            if text[j] == "{":
-                depth += 1
-            elif text[j] == "}":
-                depth -= 1
-                if depth == 0:
-                    break
-            j += 1
-        body = text[brace:j + 1]
-        start_line = text.count("\n", 0, brace) + 1
-        end_line = text.count("\n", 0, j) + 1
+        body, start_line, end_line = _body_at(text, brace)
+        seen_braces.add(brace)
         bodies.append((start_line, end_line, body, header))
+    for name in sorted(marked_decls):
+        for m in re.finditer(r"\b(?:[A-Za-z_]\w*::)?" + re.escape(name) +
+                             r"\s*\(", text):
+            brace = text.find("{", m.end())
+            semi = text.find(";", m.end())
+            if brace == -1 or brace in seen_braces or \
+                    (semi != -1 and semi < brace):
+                continue  # call or declaration, not a definition
+            # A definition's signature starts a statement: between the
+            # previous ';'/'}'/'{' and the name there is only a return type
+            # (identifiers, ::, <>, &*). Calls (`obj.Foo(`, `if (Foo(`) and
+            # expressions fail this shape test.
+            seg_start = max(text.rfind(";", 0, m.start()),
+                            text.rfind("}", 0, m.start()),
+                            text.rfind("{", 0, m.start()))
+            pre = text[seg_start + 1:m.start()]
+            if not re.fullmatch(r"[\w\s:<>,&*~\[\]]*", pre) or \
+                    re.search(r"\b(?:if|while|for|switch|return|else|new|"
+                              r"delete|case|using|typedef)\b", pre):
+                continue
+            intro = text[m.start():brace]
+            if re.search(r"[=;]", intro):
+                continue
+            header = " ".join(intro.split())
+            body, start_line, end_line = _body_at(text, brace)
+            seen_braces.add(brace)
+            bodies.append((start_line, end_line, body, header))
     return bodies
 
 
@@ -229,9 +295,9 @@ def core_param_names(header):
     return names
 
 
-def check_fast_path_rules(path, text, findings):
+def check_fast_path_rules(path, text, findings, marked_decls=()):
     lines = text.split("\n")
-    for start, _end, body, header in find_fast_path_bodies(text):
+    for start, _end, body, header in find_fast_path_bodies(text, marked_decls):
         allowed_cores = core_param_names(header)
         for off, line in enumerate(body.split("\n")):
             lineno = start + off
@@ -307,10 +373,12 @@ def check_globals(path, text, findings):
         depth = max(depth, 0)
 
 
-def scan_file(root, rel, fast_path_only_rules=True):
+def scan_file(root, rel, marked_decls=None):
     findings = []
     text = strip_comments_and_strings((root / rel).read_text(errors="replace"))
-    check_fast_path_rules(rel, text, findings)
+    if marked_decls is None:
+        marked_decls = collect_marked_declarations(text)
+    check_fast_path_rules(rel, text, findings, marked_decls)
     check_atomic_orders(rel, text, findings)
     check_globals(rel, text, findings)
     return findings
@@ -322,15 +390,24 @@ def fingerprint(f):
 
 
 def run_scan(root, globs):
-    findings = []
+    # Pass 1: collect names whose ZCP_FAST_PATH marker sits on a
+    # declaration anywhere in the scanned set (typically a header), so the
+    # definition in another file is promoted too.
+    rels = []
     seen = set()
+    marked_decls = set()
     for pattern in globs:
         for p in sorted(root.glob(pattern)):
             rel = p.relative_to(root).as_posix()
             if rel in seen or not p.is_file():
                 continue
             seen.add(rel)
-            findings.extend(scan_file(root, rel))
+            rels.append(rel)
+            marked_decls |= collect_marked_declarations(
+                strip_comments_and_strings(p.read_text(errors="replace")))
+    findings = []
+    for rel in rels:
+        findings.extend(scan_file(root, rel, frozenset(marked_decls)))
     return findings
 
 
@@ -351,13 +428,6 @@ def check_fast_path_coverage(root):
     return errors
 
 
-def load_baseline(path):
-    if not path.exists():
-        return set()
-    data = json.loads(path.read_text())
-    return set(data.get("findings", []))
-
-
 def self_test(root):
     fixtures = root / "tools" / "zcp_lint_fixtures"
     failures = []
@@ -367,6 +437,7 @@ def self_test(root):
         "bad_cross_partition.cc": {"ZCP003"},
         "bad_implicit_seq_cst.cc": {"ZCP004"},
         "bad_writable_global.cc": {"ZCP005"},
+        "bad_decl_marker.cc": {"ZCP001"},
         "clean.cc": set(),
     }
     for name, expected in sorted(expectations.items()):
@@ -390,7 +461,13 @@ def self_test(root):
 
 
 def main():
-    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap = argparse.ArgumentParser(
+        description="zcp_lint: Tier 1 (intra-function) ZCP conformance "
+                    "checks — fast regex pass over ZCP_FAST_PATH bodies. "
+                    "It cannot see coordination hidden behind a call; for "
+                    "the interprocedural closure, lock-order cycles and "
+                    "the atomic-order inventory run Tier 2: "
+                    "tools/zcp_analyzer.py.")
     ap.add_argument("--root", type=Path, default=Path("."))
     ap.add_argument("--baseline", type=Path, default=None,
                     help="baseline JSON (relative to --root unless absolute)")
@@ -415,14 +492,13 @@ def main():
     baseline = set()
     if args.baseline is not None:
         baseline_path = args.baseline if args.baseline.is_absolute() else root / args.baseline
-        baseline = load_baseline(baseline_path)
+        baseline = set(zcp_baseline.load_baseline(baseline_path))
 
     if args.update_baseline:
         if baseline_path is None:
             print("--update-baseline requires --baseline", file=sys.stderr)
             return 2
-        baseline_path.write_text(json.dumps(
-            {"findings": sorted(fps.keys())}, indent=2) + "\n")
+        zcp_baseline.save_baseline(baseline_path, sorted(fps.keys()))
         print(f"baseline updated: {len(fps)} findings -> {baseline_path}")
         return 0
 

@@ -1,0 +1,35 @@
+// zcp_lint fixture: ZCP001 must fire even though ZCP_FAST_PATH sits on the
+// *declaration* (class-body prototype), not the definition. The original
+// linter only scanned marked definitions, so this shape passed silently —
+// the marker looked applied but no body was ever checked.
+#define ZCP_FAST_PATH
+
+namespace fixture {
+
+class Mutex {
+ public:
+  void lock();
+  void unlock();
+};
+
+template <typename M>
+class LockGuard {
+ public:
+  explicit LockGuard(M& m);
+};
+
+using MutexLock = LockGuard<Mutex>;
+
+class Server {
+ public:
+  ZCP_FAST_PATH void HandleRequest();  // marker on the prototype
+
+ private:
+  Mutex mu_;
+};
+
+void Server::HandleRequest() {
+  MutexLock guard(mu_);  // blocking lock in the promoted body
+}
+
+}  // namespace fixture
