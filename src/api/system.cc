@@ -50,7 +50,7 @@ class MeerkatSystem : public System {
     for (ReplicaId r = 0; r < options.quorum.n; r++) {
       replicas_.push_back(std::make_unique<MeerkatReplica>(
           r, options.quorum, options.cores_per_replica, transport, /*group_base=*/0,
-          options.retry, options.overload));
+          options.retry, options.overload, options.gc));
     }
   }
 

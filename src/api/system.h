@@ -10,6 +10,7 @@
 
 #include "src/api/client_session.h"
 #include "src/common/clock.h"
+#include "src/common/gc.h"
 #include "src/common/overload.h"
 #include "src/common/retry.h"
 #include "src/protocol/quorum.h"
@@ -93,6 +94,10 @@ struct SystemOptions {
   // Replica-side load shedding: per-core inflight/queue watermarks beyond
   // which fresh VALIDATEs are fast-rejected with kRetryLater + backoff hint.
   OverloadOptions overload;
+  // Replica-side trecord watermark GC (Meerkat kinds): per-core trimming of
+  // finalized records below the piggybacked oldest-inflight watermark.
+  // Enabled by default — without it the trecord grows without bound.
+  GcOptions gc;
 
   // --- Fluent builder ---
   SystemOptions& WithKind(SystemKind k) {
@@ -141,6 +146,10 @@ struct SystemOptions {
   }
   SystemOptions& WithOverload(const OverloadOptions& o) {
     overload = o;
+    return *this;
+  }
+  SystemOptions& WithGc(const GcOptions& g) {
+    gc = g;
     return *this;
   }
 };

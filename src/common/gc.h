@@ -1,0 +1,86 @@
+// Online trecord garbage collection: the zero-coordination watermark GC
+// configuration (SystemOptions::gc).
+//
+// The trecord grows by one record per transaction and, without GC, is never
+// trimmed at steady state — an O(total-txns-ever) footprint (paper §5.4
+// prescribes the fix: "replicas bring themselves up-to-date and safely trim
+// the trecord"). The GC follows the zero-coordination principle end to end:
+//
+//   * Coordinators stamp their oldest-inflight timestamp on every VALIDATE
+//     and write-phase message — no extra round trips, just piggybacked bytes.
+//   * Each replica core folds the stamps it has seen into a per-core
+//     watermark (single-writer relaxed atomics, the CoreLoad discipline) and
+//     trims only finalized records of its OWN trecord partition strictly
+//     below it. No cross-core locks, no cross-replica agreement: a stale or
+//     lagging watermark only delays trimming, never makes it unsafe.
+//   * Trimming runs from the DispatchBatch maintenance slot with a
+//     per-invocation scan budget, so a trim pass never stalls validation.
+//
+// Duplicate messages for an already-trimmed transaction are answered
+// idempotently from the watermark (see replica.cc and DESIGN.md §12).
+
+#ifndef MEERKAT_SRC_COMMON_GC_H_
+#define MEERKAT_SRC_COMMON_GC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace meerkat {
+
+struct GcOptions {
+  // Online GC is on by default: unbounded trecord growth is a bug, not a
+  // configuration choice. Disable only for tests that inspect finalized
+  // records after the fact.
+  bool enabled = true;
+  // A GC step runs once per this many DispatchBatch invocations on a core
+  // (the batch dispatcher is the natural maintenance clock: it ticks exactly
+  // when the core is already awake doing work).
+  uint32_t interval_dispatches = 16;
+  // Maximum records examined per trim step. Bounds the time validation
+  // traffic waits behind a maintenance slot; the bucket cursor resumes where
+  // the previous step left off, so coverage is complete across steps.
+  size_t trim_budget = 128;
+  // Per-core client-mark table capacity (open-addressed, fixed size, no
+  // fast-path allocation). When full, marks from new clients are dropped —
+  // strictly conservative: the watermark advances more slowly, never wrongly.
+  size_t max_tracked_clients = 64;
+  // A non-final record this far (timestamp-time units, ns in every runtime)
+  // below the core watermark is orphaned — its coordinator stopped driving it
+  // long ago — and the watermark pass starts cooperative termination
+  // (paper §5.3.2) for it, which also releases the transaction's pending
+  // vstore reader/writer registrations. 0 disables the sweep.
+  uint64_t orphan_grace_ns = 500'000'000;
+  // Age (MetricsNowNanos domain) past which a client's mark stops holding the
+  // watermark back — a crashed client must not pin every core's watermark
+  // until the next epoch change. 0 disables aging (deterministic-sim runs).
+  uint64_t client_mark_ttl_ns = 0;
+
+  GcOptions& WithEnabled(bool on) {
+    enabled = on;
+    return *this;
+  }
+  GcOptions& WithIntervalDispatches(uint32_t n) {
+    interval_dispatches = n;
+    return *this;
+  }
+  GcOptions& WithTrimBudget(size_t n) {
+    trim_budget = n;
+    return *this;
+  }
+  GcOptions& WithMaxTrackedClients(size_t n) {
+    max_tracked_clients = n;
+    return *this;
+  }
+  GcOptions& WithOrphanGrace(uint64_t ns) {
+    orphan_grace_ns = ns;
+    return *this;
+  }
+  GcOptions& WithClientMarkTtl(uint64_t ns) {
+    client_mark_ttl_ns = ns;
+    return *this;
+  }
+};
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_COMMON_GC_H_

@@ -83,6 +83,7 @@ void CommitCoordinator::SendValidates(bool only_missing) {
     // Every copy of the fan-out shares sets_ (refcount bump, no deep copy).
     ValidateRequest req{tid_, ts_, sets_};
     req.priority = priority_;
+    req.oldest_inflight = oldest_inflight_;
     msg.payload = std::move(req);
     sent++;
     if (++k == kFanoutChunk) {
@@ -133,7 +134,7 @@ void CommitCoordinator::BroadcastDecision(bool commit) {
     msg.src = self_;
     msg.dst = Address::Replica(group_base_ + r);
     msg.core = core_;
-    msg.payload = CommitRequest{tid_, commit};
+    msg.payload = CommitRequest{tid_, commit, ts_, oldest_inflight_};
     if (++k == kFanoutChunk) {
       transport_->SendMany(batch, k);
       k = 0;
@@ -431,7 +432,10 @@ bool BackupCoordinator::OnMessage(const Message& msg) {
         out.src = self_;
         out.dst = Address::Replica(group_base_ + r);
         out.core = core_;
-        out.payload = CommitRequest{tid_, proposal_commit_};
+        // A backup finishes on behalf of a dead coordinator: it knows the
+        // recovered ts (for trimmed-duplicate detection) but cannot speak for
+        // any client's inflight window, so it stamps no watermark.
+        out.payload = CommitRequest{tid_, proposal_commit_, ts_, Timestamp{}};
         transport_->Send(std::move(out));
       }
       Finish(proposal_commit_ ? TxnResult::kCommit : TxnResult::kAbort);

@@ -82,6 +82,12 @@ class CommitCoordinator {
   // priority > 0 exempts this transaction from replica load shedding.
   void set_priority(uint8_t priority) { priority_ = priority; }
 
+  // Watermark-GC stamp (DESIGN.md §12) piggybacked on every VALIDATE and
+  // write-phase message: the oldest timestamp this client may still
+  // retransmit for. Sessions run one transaction at a time, so this is simply
+  // the current transaction's timestamp. Zero (the default) stamps nothing.
+  void set_oldest_inflight(Timestamp ts) { oldest_inflight_ = ts; }
+
   CommitCoordinator(const CommitCoordinator&) = delete;
   CommitCoordinator& operator=(const CommitCoordinator&) = delete;
 
@@ -142,6 +148,7 @@ class CommitCoordinator {
   bool defer_decision_ = false;
   ReplicaId group_base_ = 0;
   uint8_t priority_ = 0;
+  Timestamp oldest_inflight_;
   CommitOutcome outcome_;
 
   // Validation replies, tracked for the highest epoch seen (replies from

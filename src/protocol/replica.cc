@@ -28,6 +28,20 @@ const MetricId kValidateSweepWidth = MetricsRegistry::Histogram("batch.validate_
 const MetricId kShedValidates = MetricsRegistry::Counter("overload.shed_validates");
 const MetricId kShedHintNs = MetricsRegistry::Histogram("overload.shed_hint_ns");
 
+// Watermark GC (DESIGN.md §12): trim passes run from the maintenance slot,
+// passes whose budget ran out mid-partition, duplicates answered from the
+// watermark instead of a (trimmed) record, orphan recoveries the sweep
+// started, and marks dropped because a core's client table was full.
+const MetricId kGcTrimPasses = MetricsRegistry::Counter("gc.trim_passes");
+const MetricId kGcBudgetExhausted = MetricsRegistry::Counter("gc.budget_exhausted");
+const MetricId kGcStaleValidates = MetricsRegistry::Counter("gc.stale_validates_answered");
+const MetricId kGcStaleCommits = MetricsRegistry::Counter("gc.stale_commits_dropped");
+const MetricId kGcOrphanRecoveries = MetricsRegistry::Counter("gc.orphan_recoveries");
+const MetricId kGcClientTableFull = MetricsRegistry::Counter("gc.client_table_full");
+// Gap between the freshest client mark a core holds and its published
+// watermark — how far behind the trimmer runs (timestamp-clock nanos).
+const MetricId kGcWatermarkLagNs = MetricsRegistry::Histogram("gc.watermark_lag_ns");
+
 // Fixed-point scale for CoreLoad::queue_ewma (alpha = 1/4 EWMA of the
 // drained-batch width; steady state ewma/kEwmaScale ≈ batch width).
 constexpr uint64_t kEwmaScale = 16;
@@ -73,12 +87,16 @@ void MeerkatReplica::EpochGate::UnlockExclusive() {
 
 MeerkatReplica::MeerkatReplica(ReplicaId id, const QuorumConfig& quorum, size_t num_cores,
                                Transport* transport, ReplicaId group_base,
-                               RetryPolicy recovery_retry, OverloadOptions overload)
+                               RetryPolicy recovery_retry, OverloadOptions overload, GcOptions gc)
     : id_(id), quorum_(quorum), num_cores_(num_cores), group_base_(group_base),
-      recovery_retry_(recovery_retry), overload_(overload), transport_(transport),
+      recovery_retry_(recovery_retry), overload_(overload), gc_(gc), transport_(transport),
       trecord_(num_cores), scratch_(num_cores > 0 ? num_cores : 1),
       core_load_(num_cores > 0 ? num_cores : 1),
+      core_gc_(num_cores > 0 ? num_cores : 1),
       ec_rng_(0x9e3779b9u ^ id), hosted_backups_(num_cores) {
+  for (CoreGc& core_gc : core_gc_) {
+    core_gc.marks.resize(gc_.max_tracked_clients > 0 ? gc_.max_tracked_clients : 1);
+  }
   receivers_.reserve(num_cores);
   for (CoreId core = 0; core < num_cores; core++) {
     receivers_.push_back(std::make_unique<CoreReceiver>(this, core));
@@ -143,6 +161,7 @@ ZCP_FAST_PATH NO_THREAD_SAFETY_ANALYSIS void MeerkatReplica::DispatchBatch(CoreI
   MetricRecordValue(kDispatchWidth, n);
   CoreScratch& scratch = scratch_[core % scratch_.size()];
   CoreLoad& load = core_load_[core % core_load_.size()];
+  CoreGc& gc = core_gc_[core % core_gc_.size()];
   if (overload_.enabled) {
     // Update the queue-depth proxy: EWMA (alpha=1/4) of drained-batch width.
     // Single writer (this core's worker), relaxed load/store.
@@ -217,6 +236,9 @@ ZCP_FAST_PATH NO_THREAD_SAFETY_ANALYSIS void MeerkatReplica::DispatchBatch(CoreI
         if (req == nullptr) {
           break;
         }
+        if (req->oldest_inflight.Valid()) {
+          NoteClientMark(gc, req->oldest_inflight);
+        }
         ValidateReply reply;
         reply.tid = req->tid;
         reply.from = id_;
@@ -251,7 +273,13 @@ ZCP_FAST_PATH NO_THREAD_SAFETY_ANALYSIS void MeerkatReplica::DispatchBatch(CoreI
           if (in_run) {
             break;
           }
-          if (req->priority == 0 && ShouldShed(load)) {
+          if (existing == nullptr && req->ts.Valid() && req->ts < CoreWatermark(gc)) {
+            // Retransmitted VALIDATE for an already-trimmed transaction: the
+            // record is gone, but an abort vote is always OCC-safe and never
+            // creates a record (see HandleValidate).
+            reply.status = TxnStatus::kValidatedAbort;
+            MetricIncr(kGcStaleValidates);
+          } else if (req->priority == 0 && ShouldShed(load)) {
             // Overloaded: fast-reject without creating a record or running
             // OCC. The coordinator treats kRetryLater as a non-vote and the
             // client backs off by the piggybacked hint. Priority > 0
@@ -332,6 +360,11 @@ ZCP_FAST_PATH NO_THREAD_SAFETY_ANALYSIS void MeerkatReplica::DispatchBatch(CoreI
     t_reply_stage = nullptr;
     FlushStagedReplies(scratch);
   }
+
+  // Maintenance slot: one budgeted watermark-GC step every
+  // gc_.interval_dispatches batches, after the gate is released and the
+  // staged replies are on the wire.
+  MaybeRunGc(core);
 }
 
 void MeerkatReplica::FlushStagedReplies(CoreScratch& scratch) {
@@ -387,6 +420,10 @@ ZCP_FAST_PATH uint64_t MeerkatReplica::ShedHintNanos(const CoreLoad& load) const
 ZCP_FAST_PATH void MeerkatReplica::HandleValidate(CoreId core, const Address& from,
                                     const ValidateRequest& req) {
   TRecordPartition& part = trecord_.Partition(core);
+  CoreGc& gc = core_gc_[core % core_gc_.size()];
+  if (req.oldest_inflight.Valid()) {
+    NoteClientMark(gc, req.oldest_inflight);
+  }
   ValidateReply reply;
   reply.tid = req.tid;
   reply.from = id_;
@@ -406,6 +443,20 @@ ZCP_FAST_PATH void MeerkatReplica::HandleValidate(CoreId core, const Address& fr
         reply.status = TxnStatus::kValidatedAbort;
         break;
     }
+    Reply(from, core, std::move(reply));
+    return;
+  }
+
+  if (existing == nullptr && req.ts.Valid() && req.ts < CoreWatermark(gc)) {
+    // Retransmitted VALIDATE for an already-trimmed transaction (the client
+    // finished it and moved its oldest-inflight mark past this timestamp).
+    // The record is gone, but an abort vote is always OCC-safe: a quorum
+    // either already decided (this reply is then ignored) or will abort —
+    // never wrongly, since aborting is always a permitted outcome of
+    // validation. Crucially, no record is created, so the duplicate cannot
+    // resurrect trimmed state.
+    reply.status = TxnStatus::kValidatedAbort;
+    MetricIncr(kGcStaleValidates);
     Reply(from, core, std::move(reply));
     return;
   }
@@ -476,9 +527,28 @@ ZCP_FAST_PATH void MeerkatReplica::HandleAccept(CoreId core, const Address& from
 ZCP_FAST_PATH void MeerkatReplica::HandleCommit(CoreId core, const Address& /*from*/,
                                   const CommitRequest& req) {
   TRecordPartition& part = trecord_.Partition(core);
-  TxnRecord& rec = part.GetOrCreate(req.tid);
+  CoreGc& gc = core_gc_[core % core_gc_.size()];
+  if (req.oldest_inflight.Valid()) {
+    NoteClientMark(gc, req.oldest_inflight);
+  }
+  TxnRecord* found = part.Find(req.tid);
+  if (found == nullptr && req.ts.Valid() && req.ts < CoreWatermark(gc)) {
+    // Duplicate write phase for an already-trimmed transaction. Dropping it
+    // is indistinguishable from message loss, which the protocol tolerates;
+    // the committed data lives in the store, not the trecord. Re-creating
+    // the record here is exactly what made trimmed records immortal (the
+    // unbounded-growth bug), so the absent+stale case must not GetOrCreate.
+    MetricIncr(kGcStaleCommits);
+    return;
+  }
+  TxnRecord& rec = found != nullptr ? *found : part.GetOrCreate(req.tid);
   if (IsFinal(rec.status)) {
     return;  // Duplicate COMMIT; the write phase already ran.
+  }
+  if (!rec.ts.Valid() && req.ts.Valid()) {
+    // This replica missed the VALIDATE/ACCEPT; adopt the stamped commit
+    // timestamp so the finalized record stays trimmable.
+    rec.ts = req.ts;
   }
   if (rec.status != TxnStatus::kNone) {
     // Non-final -> final: the transaction leaves this core's inflight set.
@@ -779,6 +849,9 @@ void MeerkatReplica::AdoptEpochState(EpochNum epoch,
     }
   }
   RecomputeLoadCounters();
+  // Watermarks and client marks predate the adopted trecord; restart GC from
+  // scratch so stale marks cannot trim records the merge just installed.
+  ResetGcState();
   epoch_change_.store(false, std::memory_order_release);
   waiting_recovery_.store(false, std::memory_order_release);
   MetricIncr(kEpochAdoptions);
@@ -801,6 +874,232 @@ void MeerkatReplica::RecomputeLoadCounters() {
     core_load_[c].inflight.store(inflight, std::memory_order_relaxed);
     core_load_[c].queue_ewma.store(0, std::memory_order_relaxed);
   }
+}
+
+// Records a client's piggybacked oldest-inflight stamp. Open-addressed
+// linear probing keyed on the stamp's client id; the table belongs to the
+// owning core alone, so this is plain single-thread code on the fast path.
+ZCP_FAST_PATH void MeerkatReplica::NoteClientMark(CoreGc& gc, Timestamp stamp) {
+  const size_t cap = gc.marks.size();
+  const uint64_t ttl = gc_.client_mark_ttl_ns;
+  const uint64_t now = ttl != 0 ? MetricsNowNanos() : 0;
+  size_t slot = (stamp.client_id * 2654435761u) % cap;
+  // First TTL-expired slot seen while probing: the insert fallback when the
+  // client is new and no empty slot terminates its probe chain. Overwriting
+  // an expired entry mid-chain can briefly shadow a duplicate further along;
+  // the shadowed (older, lower) mark only holds the watermark back until it
+  // expires — conservative, never unsafe.
+  size_t reuse = cap;
+  for (size_t probes = 0; probes < cap; probes++) {
+    ClientMark& m = gc.marks[slot];
+    if (!m.mark.Valid()) {
+      m.mark = stamp;
+      m.seen_ns = now;
+      gc.tracked++;
+      return;
+    }
+    if (m.mark.client_id == stamp.client_id) {
+      m.mark = stamp;
+      m.seen_ns = now;
+      return;
+    }
+    if (reuse == cap && ttl != 0 && now - m.seen_ns > ttl) {
+      reuse = slot;
+    }
+    slot = slot + 1 == cap ? 0 : slot + 1;
+  }
+  if (reuse != cap) {
+    gc.marks[reuse].mark = stamp;
+    gc.marks[reuse].seen_ns = now;
+    return;
+  }
+  // Table full: drop the mark. Safe — an untracked client never advances the
+  // watermark past anyone, it just isn't protected from the other clients
+  // advancing it past *its* in-flight timestamps, which at worst turns its
+  // retransmissions into (always-permitted) abort votes. The counter flags
+  // an undersized max_tracked_clients.
+  MetricIncr(kGcClientTableFull);
+}
+
+ZCP_FAST_PATH void MeerkatReplica::MaybeRunGc(CoreId core) {
+  if (!gc_.enabled || num_cores_ == 0) {
+    return;
+  }
+  CoreGc& gc = core_gc_[core % core_gc_.size()];
+  uint64_t gen = gc.reset_gen.load(std::memory_order_acquire);
+  if (gen != gc.seen_reset_gen) {
+    gc.seen_reset_gen = gen;
+    SelfResetGc(gc);  // Epoch adoption / restart: drop pre-reset marks.
+    return;
+  }
+  if (++gc.dispatches < gc_.interval_dispatches) {
+    return;
+  }
+  gc.dispatches = 0;
+  RunGcStep(core, gc);
+}
+
+ZCP_SLOW_PATH void MeerkatReplica::RunGcStep(CoreId core, CoreGc& gc) {
+  // Fold the live client marks into a watermark candidate: the min over the
+  // marks is the oldest timestamp any tracked client may still retransmit.
+  Timestamp min_mark;
+  Timestamp max_mark;
+  bool any = false;
+  const uint64_t ttl = gc_.client_mark_ttl_ns;
+  const uint64_t now = ttl != 0 ? MetricsNowNanos() : 0;
+  for (const ClientMark& m : gc.marks) {
+    if (!m.mark.Valid()) {
+      continue;
+    }
+    if (ttl != 0 && now - m.seen_ns > ttl) {
+      continue;  // Crashed or idle client: its stale mark must not pin W.
+    }
+    if (!any || m.mark < min_mark) {
+      min_mark = m.mark;
+    }
+    if (!any || max_mark < m.mark) {
+      max_mark = m.mark;
+    }
+    any = true;
+  }
+
+  // Publish monotonically: once duplicates are answered from W, a regressed
+  // mark (message reordering, a newly tracked slow client) must not lower it
+  // — records below W are already gone. W only resets with the trecord
+  // itself (epoch adoption, crash-restart).
+  Timestamp wm = CoreWatermark(gc);
+  if (any && wm < min_mark) {
+    gc.watermark_time.store(min_mark.time, std::memory_order_relaxed);
+    gc.watermark_client.store(min_mark.client_id, std::memory_order_relaxed);
+    wm = min_mark;
+  }
+  if (any) {
+    MetricRecordValue(kGcWatermarkLagNs,
+                      max_mark.time > wm.time ? max_mark.time - wm.time : 0);
+  }
+  if (!wm.Valid()) {
+    return;  // No client information yet: nothing is provably finished.
+  }
+
+  // Non-final records stuck more than orphan_grace_ns below the watermark
+  // have a dead coordinator with high probability: every live client has
+  // moved past them, yet no COMMIT/ABORT arrived.
+  Timestamp orphan_below;
+  if (gc_.orphan_grace_ns < wm.time) {
+    orphan_below = Timestamp{wm.time - gc_.orphan_grace_ns, 0};
+  }
+
+  gc.orphans.clear();
+  gate_.LockShared();
+  if (epoch_change_.load(std::memory_order_acquire) ||
+      waiting_recovery_.load(std::memory_order_acquire)) {
+    gate_.UnlockShared();
+    return;  // Paused: the epoch machinery owns the trecord right now.
+  }
+  TRecordPartition::TrimStepResult res = trecord_.Partition(core).TrimStep(
+      wm, gc_.trim_budget, &gc.cursor, orphan_below, &gc.orphans);
+  gate_.UnlockShared();
+
+  const uint64_t pass = gc.trim_passes.fetch_add(1, std::memory_order_relaxed) + 1;
+  MetricIncr(kGcTrimPasses);
+  if (!res.wrapped) {
+    // Budget ran out mid-partition; the cursor resumes there next pass.
+    MetricIncr(kGcBudgetExhausted);
+  }
+  if (!gc.orphans.empty()) {
+    // Cooldown filter: a transaction swept at pass P is not re-swept before
+    // P + kOrphanRetryCooldownPasses. The window matters because the sweep
+    // races the recovery it started: the backup retires as soon as it
+    // broadcasts COMMIT, but until that COMMIT lands the record sits
+    // non-final (re-created by the recovery's own ACCEPT) below the orphan
+    // threshold, and an uncooled re-sweep livelocks — one full recovery per
+    // pass, forever. A record still non-final after the cooldown (lost
+    // COMMIT, dead backup) is legitimately re-swept.
+    size_t kept = 0;
+    for (const auto& orphan : gc.orphans) {
+      bool cooling = false;
+      bool tracked = false;
+      for (CoreGc::RecentOrphan& r : gc.recent_orphans) {
+        if (r.pass != 0 && r.tid == orphan.first) {
+          tracked = true;
+          if (pass < r.pass + kOrphanRetryCooldownPasses) {
+            cooling = true;
+          } else {
+            r.pass = pass;  // Retry now; next retry another cooldown out.
+          }
+          break;
+        }
+      }
+      if (!tracked) {
+        gc.recent_orphans[gc.recent_next] = {orphan.first, pass};
+        gc.recent_next = (gc.recent_next + 1) % gc.recent_orphans.size();
+      }
+      if (!cooling) {
+        gc.orphans[kept++] = orphan;
+      }
+    }
+    gc.orphans.resize(kept);
+  }
+  if (!gc.orphans.empty()) {
+    MetricIncr(kGcOrphanRecoveries, StartOrphanRecoveries(core, gc.orphans));
+    gc.orphans.clear();
+  }
+}
+
+ZCP_SLOW_PATH size_t MeerkatReplica::StartOrphanRecoveries(
+    CoreId core, const std::vector<std::pair<TxnId, ViewNum>>& orphans) {
+  size_t started = 0;
+  MutexLock lock(backups_mu_);
+  auto& backups = hosted_backups_[core % hosted_backups_.size()];
+  for (const auto& [tid, cur_view] : orphans) {
+    if (backups.count(tid) != 0) {
+      continue;  // Recovery already in flight.
+    }
+    // Smallest view above the record's for which this replica is the
+    // designated proposer: view mod n == id (paper 5.3.2).
+    ViewNum view = cur_view + 1;
+    while (view % quorum_.n != id_ - group_base_) {
+      view++;
+    }
+    // Each hosted backup gets a disjoint timer-id base (spaced 4 apart;
+    // phases use offsets 0/1) so HandleTimer can route fires unambiguously.
+    uint64_t timer_base = kBackupTimerBase + (backup_seq_++) * 4;
+    auto backup = std::make_unique<BackupCoordinator>(
+        transport_, Address::Replica(id_), quorum_, core, tid, view,
+        recovery_retry_, timer_base, /*done=*/nullptr);
+    backup->set_group_base(group_base_);
+    backup->Start();
+    backups.emplace(tid, std::move(backup));
+    started++;
+  }
+  return started;
+}
+
+void MeerkatReplica::ResetGcState() {
+  // Runs on the epoch-change/restart thread while other cores may be mid-
+  // dispatch: only the atomics are touched here; each core's plain fields
+  // are reset by the core itself when it observes the reset_gen bump
+  // (MaybeRunGc). Clearing W immediately is fine — a racing core's fold can
+  // at worst re-publish a W derived from pre-reset client marks, which are
+  // still truthful lower bounds on what those clients may retransmit.
+  for (CoreGc& gc : core_gc_) {
+    gc.watermark_time.store(0, std::memory_order_relaxed);
+    gc.watermark_client.store(0, std::memory_order_relaxed);
+    gc.reset_gen.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void MeerkatReplica::SelfResetGc(CoreGc& gc) {
+  for (ClientMark& m : gc.marks) {
+    m = ClientMark{};
+  }
+  gc.tracked = 0;
+  gc.cursor = 0;
+  gc.dispatches = 0;
+  for (CoreGc::RecentOrphan& r : gc.recent_orphans) {
+    r = CoreGc::RecentOrphan{};
+  }
+  gc.recent_next = 0;
 }
 
 ZCP_SLOW_PATH void MeerkatReplica::HandleHostedBackupReply(CoreId core, const Message& msg) {
@@ -840,29 +1139,7 @@ size_t MeerkatReplica::RecoverOrphanedTransactions(Timestamp older_than) {
         orphans.push_back({rec.tid, rec.view});
       }
     });
-    MutexLock lock(backups_mu_);
-    for (const auto& [tid, cur_view] : orphans) {
-      auto& backups = hosted_backups_[core];
-      if (backups.count(tid) != 0) {
-        continue;  // Recovery already in flight.
-      }
-      // Smallest view above the record's for which this replica is the
-      // designated proposer: view mod n == id (paper 5.3.2).
-      ViewNum view = cur_view + 1;
-      while (view % quorum_.n != id_ - group_base_) {
-        view++;
-      }
-      // Each hosted backup gets a disjoint timer-id base (spaced 4 apart;
-      // phases use offsets 0/1) so HandleTimer can route fires unambiguously.
-      uint64_t timer_base = kBackupTimerBase + (backup_seq_++) * 4;
-      auto backup = std::make_unique<BackupCoordinator>(
-          transport_, Address::Replica(id_), quorum_, core, tid, view,
-          recovery_retry_, timer_base, /*done=*/nullptr);
-      backup->set_group_base(group_base_);
-      backup->Start();
-      backups.emplace(tid, std::move(backup));
-      started++;
-    }
+    started += StartOrphanRecoveries(core, orphans);
   }
   gate_.UnlockExclusive();
   return started;
@@ -891,6 +1168,7 @@ void MeerkatReplica::CrashAndRestart() {
     load.inflight.store(0, std::memory_order_relaxed);
     load.queue_ewma.store(0, std::memory_order_relaxed);
   }
+  ResetGcState();  // GC state is volatile like everything else here.
   waiting_recovery_.store(true, std::memory_order_release);
   gate_.UnlockExclusive();
   {

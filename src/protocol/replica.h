@@ -12,15 +12,18 @@
 #ifndef MEERKAT_SRC_PROTOCOL_REPLICA_H_
 #define MEERKAT_SRC_PROTOCOL_REPLICA_H_
 
+#include <array>
 #include <atomic>
 #include <memory>
 #include <set>
 #include <shared_mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/annotations.h"
 #include "src/common/dap_check.h"
+#include "src/common/gc.h"
 #include "src/common/overload.h"
 #include "src/common/retry.h"
 #include "src/common/rng.h"
@@ -50,10 +53,16 @@ class MeerkatReplica {
   // past the inflight/queue watermarks a core fast-rejects fresh VALIDATEs
   // with kRetryLater instead of running OCC. The signals are per-core
   // relaxed counters only — shedding adds no cross-core coordination.
+  //
+  // `gc` configures the online trecord watermark GC (enabled by default):
+  // each core folds the oldest-inflight stamps piggybacked on client traffic
+  // into a per-core watermark and incrementally trims finalized records of
+  // its own partition below it (DESIGN.md §12). Like shedding, GC state is
+  // per-core with relaxed single-writer atomics only.
   MeerkatReplica(ReplicaId id, const QuorumConfig& quorum, size_t num_cores,
                  Transport* transport, ReplicaId group_base = 0,
                  RetryPolicy recovery_retry = RetryPolicy(),
-                 OverloadOptions overload = OverloadOptions());
+                 OverloadOptions overload = OverloadOptions(), GcOptions gc = GcOptions());
 
   MeerkatReplica(const MeerkatReplica&) = delete;
   MeerkatReplica& operator=(const MeerkatReplica&) = delete;
@@ -103,6 +112,7 @@ class MeerkatReplica {
   size_t hosted_backup_count() const;
 
   const OverloadOptions& overload_options() const { return overload_; }
+  const GcOptions& gc_options() const { return gc_; }
 
   // Observability accessors for the per-core load signals (tests, metrics
   // export). Relaxed reads: exact on the owning core, approximate elsewhere.
@@ -113,6 +123,22 @@ class MeerkatReplica {
     uint64_t n = 0;
     for (const CoreLoad& load : core_load_) {
       n += load.shed.load(std::memory_order_relaxed);
+    }
+    return n;
+  }
+
+  // The GC watermark `core` currently trims below. Relaxed reads of the two
+  // halves: exact on the owning core, possibly torn elsewhere — observability
+  // only, like core_inflight.
+  Timestamp core_watermark(CoreId core) const {
+    const CoreGc& gc = core_gc_[core % core_gc_.size()];
+    return Timestamp{gc.watermark_time.load(std::memory_order_relaxed),
+                     gc.watermark_client.load(std::memory_order_relaxed)};
+  }
+  uint64_t gc_trim_passes() const {
+    uint64_t n = 0;
+    for (const CoreGc& gc : core_gc_) {
+      n += gc.trim_passes.load(std::memory_order_relaxed);
     }
     return n;
   }
@@ -132,6 +158,62 @@ class MeerkatReplica {
     // Total VALIDATEs shed by this core (observability only).
     std::atomic<uint64_t> shed{0};
   };
+
+  // Per-core watermark-GC state (DESIGN.md §12), cache-line aligned like
+  // CoreLoad. The published watermark is single-writer (the owning core's
+  // worker) with relaxed atomics; everything else is plain state only ever
+  // touched by the owning core, so GC adds no cross-core coordination.
+  struct ClientMark {
+    // Latest oldest-inflight stamp received from mark.client_id; a zero
+    // (invalid) timestamp marks an empty slot.
+    Timestamp mark;
+    // MetricsNowNanos stamp of the last update, for TTL aging (0 = never).
+    uint64_t seen_ns = 0;
+  };
+  struct alignas(64) CoreGc {
+    // Published watermark (two halves of a Timestamp). Monotonically
+    // non-decreasing within an epoch: once records below W are trimmed,
+    // duplicates must keep being answered from W even if client marks
+    // regress through message reordering.
+    std::atomic<uint64_t> watermark_time{0};
+    std::atomic<uint32_t> watermark_client{0};
+    std::atomic<uint64_t> trim_passes{0};
+    // Open-addressed fixed-capacity table of per-client marks (linear
+    // probing keyed on mark.client_id; sized once in the constructor).
+    std::vector<ClientMark> marks;
+    size_t tracked = 0;
+    // TrimStep bucket cursor into this core's trecord partition.
+    size_t cursor = 0;
+    // Dispatches since the last GC step (interval gate).
+    uint32_t dispatches = 0;
+    // Reused orphan-collection buffer (capacity stays warm across passes).
+    std::vector<std::pair<TxnId, ViewNum>> orphans;
+    // Recently swept orphans (small overwrite-oldest ring). A transaction
+    // flagged at pass P is not re-swept before P + kOrphanRetryCooldownPasses:
+    // a finished backup's COMMIT is still in flight when it retires, and
+    // re-sweeping inside that window livelocks (each recovery's own ACCEPT
+    // re-creates a non-final record below the orphan threshold, which the
+    // next pass flags again, forever). A genuinely lost COMMIT is re-swept
+    // once the cooldown expires.
+    struct RecentOrphan {
+      TxnId tid;
+      uint64_t pass = 0;
+    };
+    std::array<RecentOrphan, 8> recent_orphans{};
+    size_t recent_next = 0;
+    // Epoch/crash reset handshake. ResetGcState runs on whichever thread
+    // drives the epoch change (or the restart), so it must not touch the
+    // plain single-writer fields above: it clears the watermark atomics and
+    // bumps reset_gen; the owning core notices the bump at its next GC
+    // check and resets its own plain state. Deferring is safe because the
+    // watermark invariant (W <= every live client's oldest-inflight mark)
+    // is client-driven and survives epochs: an undecided transaction's ts
+    // is >= its own client's mark >= W, so the stale-answer branches can
+    // never fire for it in the window.
+    std::atomic<uint64_t> reset_gen{0};
+    uint64_t seen_reset_gen = 0;
+  };
+  static constexpr uint64_t kOrphanRetryCooldownPasses = 64;
 
   class CoreReceiver : public TransportReceiver {
    public:
@@ -209,6 +291,34 @@ class MeerkatReplica {
   // adopted epoch state replaces the partitions wholesale).
   void RecomputeLoadCounters() REQUIRES(gate_);
 
+  // --- Watermark GC (DESIGN.md §12) ---------------------------------------
+  // Records a client's piggybacked oldest-inflight stamp in this core's mark
+  // table (single-core state; called from the validate/commit handlers).
+  void NoteClientMark(CoreGc& gc, Timestamp stamp);
+  // The watermark this core currently answers duplicates from (exact: only
+  // the owning core calls this).
+  Timestamp CoreWatermark(const CoreGc& gc) const {
+    return Timestamp{gc.watermark_time.load(std::memory_order_relaxed),
+                     gc.watermark_client.load(std::memory_order_relaxed)};
+  }
+  // Interval gate called at the end of every DispatchBatch; runs RunGcStep
+  // every gc_.interval_dispatches batches.
+  void MaybeRunGc(CoreId core);
+  // One budgeted GC step: fold the mark table into the published watermark,
+  // trim a slice of this core's partition under the shared epoch gate, and
+  // start backup coordinators for orphans stuck below the grace threshold.
+  void RunGcStep(CoreId core, CoreGc& gc);
+  // Hosts a BackupCoordinator for each (tid, view) not already being
+  // recovered; shared by RunGcStep's orphan sweep and
+  // RecoverOrphanedTransactions. Returns the number started.
+  size_t StartOrphanRecoveries(CoreId core, const std::vector<std::pair<TxnId, ViewNum>>& orphans);
+  // Clears every core's marks, cursor and published watermark. Recovery
+  // paths only (epoch adoption, crash-restart): marks predating the new
+  // epoch's trecord state must not trim it.
+  void ResetGcState();
+  // Owning-core half of the reset handshake (see CoreGc::reset_gen).
+  void SelfResetGc(CoreGc& gc);
+
   void HandleHostedBackupReply(CoreId core, const Message& msg);
   void HandleEpochChangeRequest(const Address& from, const EpochChangeRequest& req);
   void HandleEpochChangeAck(const EpochChangeAck& ack);
@@ -238,6 +348,7 @@ class MeerkatReplica {
   const ReplicaId group_base_;
   const RetryPolicy recovery_retry_;
   const OverloadOptions overload_;
+  const GcOptions gc_;
   Transport* const transport_;
 
   VStore store_;
@@ -258,6 +369,7 @@ class MeerkatReplica {
   };
   std::vector<CoreScratch> scratch_;
   std::vector<CoreLoad> core_load_;
+  std::vector<CoreGc> core_gc_;
 
   EpochGate gate_;
   std::atomic<EpochNum> epoch_{0};

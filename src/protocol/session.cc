@@ -112,6 +112,9 @@ void MeerkatSession::StartCommit() {
       /*done=*/nullptr);
   coordinator_->set_force_slow_path(options_.force_slow_path);
   coordinator_->set_priority(plan_.priority);
+  // Watermark-GC stamp: this session runs one transaction at a time, so its
+  // oldest possibly-retransmitted timestamp is exactly the one it proposes.
+  coordinator_->set_oldest_inflight(last_ts_);
   coordinator_->Start();
 }
 

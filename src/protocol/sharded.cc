@@ -30,7 +30,7 @@ ShardedCluster::ShardedCluster(const ShardedOptions& options, Transport* transpo
     for (ReplicaId r = 0; r < sys.quorum.n; r++) {
       replicas_.push_back(std::make_unique<MeerkatReplica>(
           base + r, sys.quorum, sys.cores_per_replica, transport, base, sys.retry,
-          sys.overload));
+          sys.overload, sys.gc));
     }
   }
 }
@@ -189,6 +189,9 @@ void ShardedSession::StartCommit() {
     coordinator->set_defer_decision(true);
     coordinator->set_group_base(cluster_->GlobalId(shard, 0));
     coordinator->set_priority(plan_.priority);
+    // One distributed transaction at a time per session: the watermark stamp
+    // is the shared timestamp every shard's round proposes.
+    coordinator->set_oldest_inflight(last_ts_);
     coordinators_[shard] = std::move(coordinator);
     shard_index++;
   }

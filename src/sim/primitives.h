@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <thread>
 
 #include "src/common/annotations.h"
 #include "src/sim/sim_context.h"
@@ -51,8 +52,17 @@ class CAPABILITY("KeyLock") KeyLock {
       return;
     }
     while (flag_.test_and_set(std::memory_order_acquire)) {
+      // Bounded spin, then yield. An unbounded spin livelocks on hosts with
+      // fewer runnable CPUs than threads — the holder cannot run to release
+      // the lock while the waiter burns its whole quantum (the 1-CPU CI
+      // flakes in the threaded load tests traced back to exactly this wait).
+      // Same discipline as channel.h: no spin at all on single-CPU hosts.
+      int spins = SpinIterationsForHost(std::thread::hardware_concurrency());
       while (flag_.test(std::memory_order_relaxed)) {
-        // Spin; critical sections are a handful of instructions.
+        if (spins-- <= 0) {
+          std::this_thread::yield();
+          spins = 0;  // Keep yielding until the holder releases.
+        }
       }
     }
   }
@@ -65,6 +75,13 @@ class CAPABILITY("KeyLock") KeyLock {
   }
 
  private:
+  // Spin budget before the first yield; critical sections are a handful of
+  // instructions, so the lock is almost always free again within this.
+  static constexpr int kSpinIterations = 128;
+  static constexpr int SpinIterationsForHost(unsigned hardware_concurrency) {
+    return hardware_concurrency <= 1 ? 0 : kSpinIterations;
+  }
+
   std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
 };
 

@@ -19,6 +19,7 @@ void ChargeLocalOp() {
 const MetricId kRecordsCreated = MetricsRegistry::Counter("trecord.records_created");
 const MetricId kRecordsErased = MetricsRegistry::Counter("trecord.records_erased");
 const MetricId kRecordsTrimmed = MetricsRegistry::Counter("trecord.records_trimmed");
+const MetricId kRecordsCleared = MetricsRegistry::Counter("trecord.records_cleared");
 const MetricId kLiveRecords = MetricsRegistry::Gauge("trecord.live_records");
 
 }  // namespace
@@ -88,13 +89,71 @@ size_t TRecordPartition::TrimFinalized(Timestamp watermark) {
       ++it;
     }
   }
-  MetricIncr(kRecordsTrimmed, trimmed);
-  MetricGaugeAdd(kLiveRecords, -static_cast<int64_t>(trimmed));
+  if (trimmed > 0) {
+    MetricIncr(kRecordsTrimmed, trimmed);
+    MetricGaugeAdd(kLiveRecords, -static_cast<int64_t>(trimmed));
+  }
   return trimmed;
 }
 
+ZCP_SLOW_PATH TRecordPartition::TrimStepResult TRecordPartition::TrimStep(
+    Timestamp below, size_t budget, size_t* cursor, Timestamp orphan_below,
+    std::vector<std::pair<TxnId, ViewNum>>* orphans) {
+  dap_slot_.CheckAccess(dap_index_, dap_count_, "TRecordPartition::TrimStep");
+  TrimStepResult result;
+  if (!below.Valid() || records_.empty()) {
+    result.wrapped = true;
+    return result;
+  }
+  const size_t buckets = records_.bucket_count();
+  // Only inserts rehash (erase never does); a cursor past the current bucket
+  // count means the table grew or shrank a rehash under us — restart the lap.
+  if (*cursor >= buckets) {
+    *cursor = 0;
+  }
+  const size_t start = *cursor;
+  size_t b = start;
+  do {
+    // Collect first, erase after: erasing from the bucket being iterated
+    // would invalidate its local iterators (other buckets stay valid).
+    TxnId victims[8];
+    size_t n_victims = 0;
+    for (auto it = records_.cbegin(b); it != records_.cend(b); ++it) {
+      result.scanned++;
+      const TxnRecord& rec = it->second;
+      if (IsFinal(rec.status) && rec.ts < below) {
+        if (n_victims < sizeof(victims) / sizeof(victims[0])) {
+          victims[n_victims++] = rec.tid;
+        }
+        // A bucket deeper than the stack block finishes on a later lap.
+      } else if (orphans != nullptr && orphan_below.Valid() && !IsFinal(rec.status) &&
+                 rec.status != TxnStatus::kNone && rec.ts.Valid() && rec.ts < orphan_below) {
+        orphans->push_back({rec.tid, rec.view});
+      }
+    }
+    for (size_t v = 0; v < n_victims; v++) {
+      records_.erase(victims[v]);
+      result.trimmed++;
+    }
+    b = (b + 1) % buckets;
+  } while (b != start && result.scanned < budget);
+  *cursor = b;
+  result.wrapped = b == start;
+  if (result.trimmed > 0) {
+    MetricIncr(kRecordsTrimmed, result.trimmed);
+    MetricGaugeAdd(kLiveRecords, -static_cast<int64_t>(result.trimmed));
+  }
+  return result;
+}
+
 void TRecordPartition::Clear() {
-  MetricGaugeAdd(kLiveRecords, -static_cast<int64_t>(records_.size()));
+  // Bulk drops are churn too: without the counter, created - erased - trimmed
+  // drifts away from the live gauge after every crash-restart / epoch
+  // adoption, which makes the accounting useless for leak hunting.
+  if (!records_.empty()) {
+    MetricIncr(kRecordsCleared, records_.size());
+    MetricGaugeAdd(kLiveRecords, -static_cast<int64_t>(records_.size()));
+  }
   records_.clear();
   dap_slot_.ResetOwner();
 }

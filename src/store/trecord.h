@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/dap_check.h"
@@ -73,6 +74,26 @@ class TRecordPartition {
   // whenever membership changes (paper §5.3.1: "allowing the replicas to
   // bring themselves up-to-date and safely trim the trecord").
   size_t TrimFinalized(Timestamp watermark);
+
+  // One budgeted increment of the online watermark GC (DESIGN.md §12).
+  struct TrimStepResult {
+    size_t trimmed = 0;  // Finalized records erased this step.
+    size_t scanned = 0;  // Records examined (trimmed or not).
+    bool wrapped = false;  // The cursor completed a full partition lap.
+  };
+
+  // Scans at most `budget` records starting at bucket `*cursor`, erasing
+  // finalized records with ts strictly below `below` (strict: a record AT the
+  // watermark may still be the stamping client's own inflight transaction).
+  // `*cursor` advances to where the next step should resume; a rehash since
+  // the last step (insert-driven growth — erase never rehashes) resets it.
+  //
+  // Non-final records with a valid ts strictly below `orphan_below` are
+  // reported into `orphans` (if non-null): their coordinator stopped driving
+  // them long ago, and the caller starts cooperative termination for them.
+  TrimStepResult TrimStep(Timestamp below, size_t budget, size_t* cursor,
+                          Timestamp orphan_below = Timestamp{},
+                          std::vector<std::pair<TxnId, ViewNum>>* orphans = nullptr);
 
   size_t Size() const { return records_.size(); }
 

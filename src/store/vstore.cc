@@ -354,6 +354,18 @@ size_t VStore::SizeForTesting() const {
   return n;
 }
 
+size_t VStore::PendingCountForTesting() {
+  size_t n = 0;
+  for (Shard& shard : shards_) {
+    LockGuard<KeyLock> slock(shard.structural_lock);
+    for (const std::unique_ptr<KeyEntry>& entry : shard.entries) {
+      LockGuard<KeyLock> lock(entry->lock);
+      n += entry->readers.size() + entry->writers.size();
+    }
+  }
+  return n;
+}
+
 void VStore::ForEachCommitted(
     const std::function<void(const std::string&, const std::string&, Timestamp)>& fn) {
   for (Shard& shard : shards_) {

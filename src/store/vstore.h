@@ -159,6 +159,11 @@ class VStore {
 
   size_t SizeForTesting() const;
 
+  // Total pending reader + writer registrations across all entries (tests:
+  // the GC orphan sweep must leave no stragglers behind). Takes each per-key
+  // lock in turn; not atomic across keys.
+  size_t PendingCountForTesting();
+
   // Iterates committed state (key, value, wts). Not atomic across keys; used
   // for epoch-change state transfer while the replica is quiesced.
   void ForEachCommitted(

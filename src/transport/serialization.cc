@@ -260,6 +260,7 @@ struct PayloadEncoder {
     w.ReadSet(p.read_set());
     w.WriteSet(p.write_set());
     w.U8(p.priority);
+    w.Ts(p.oldest_inflight);
   }
   void operator()(const ValidateReply& p) {
     w.Tid(p.tid);
@@ -286,6 +287,8 @@ struct PayloadEncoder {
   void operator()(const CommitRequest& p) {
     w.Tid(p.tid);
     w.U8(p.commit ? 1 : 0);
+    w.Ts(p.ts);
+    w.Ts(p.oldest_inflight);
   }
   void operator()(const CommitReply& p) {
     w.Tid(p.tid);
@@ -406,12 +409,14 @@ bool DecodePayload(WireReader& r, size_t tag, Payload* out) {
       std::vector<ReadSetEntry> read_set;
       std::vector<WriteSetEntry> write_set;
       uint8_t priority = 0;
+      Timestamp oldest_inflight;
       if (!r.Tid(&tid) || !r.Ts(&ts) || !r.ReadSet(&read_set) || !r.WriteSet(&write_set) ||
-          !r.U8(&priority)) {
+          !r.U8(&priority) || !r.Ts(&oldest_inflight)) {
         return false;
       }
       ValidateRequest p{tid, ts, std::move(read_set), std::move(write_set)};
       p.priority = priority;
+      p.oldest_inflight = oldest_inflight;
       *out = std::move(p);
       return true;
     }
@@ -449,7 +454,8 @@ bool DecodePayload(WireReader& r, size_t tag, Payload* out) {
     }
     case 6: {
       CommitRequest p;
-      if (!r.Tid(&p.tid) || !ReadBool(r, &p.commit)) {
+      if (!r.Tid(&p.tid) || !ReadBool(r, &p.commit) || !r.Ts(&p.ts) ||
+          !r.Ts(&p.oldest_inflight)) {
         return false;
       }
       *out = p;

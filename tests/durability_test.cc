@@ -45,13 +45,18 @@ TEST_P(DurabilityFixture, ClientVisibleCommitsSurviveCrashAndEpochChange) {
   constexpr int kClients = 4;
   constexpr int kTxnsPerClient = 15;
   std::vector<std::unique_ptr<MeerkatSession>> sessions;
-  std::map<TxnId, std::pair<std::string, std::string>> observed;  // tid -> key,value
+  struct Commit {
+    std::string key;
+    std::string value;
+    Timestamp ts;
+  };
+  std::map<TxnId, Commit> observed;
 
   struct Loop {
     MeerkatSession* session;
     Rng rng{0};
     int remaining = kTxnsPerClient;
-    std::map<TxnId, std::pair<std::string, std::string>>* observed;
+    std::map<TxnId, Commit>* observed;
     void Next() {
       if (remaining-- <= 0) {
         return;
@@ -62,7 +67,7 @@ TEST_P(DurabilityFixture, ClientVisibleCommitsSurviveCrashAndEpochChange) {
       plan.ops.push_back(Op::Put(key, value));
       session->ExecuteAsync(plan, [this, key, value](const TxnOutcome& outcome) {
         if (outcome.committed()) {
-          (*observed)[outcome.tid] = {key, value};
+          (*observed)[outcome.tid] = {key, value, outcome.commit_ts};
         }
         Next();
       });
@@ -91,25 +96,29 @@ TEST_P(DurabilityFixture, ClientVisibleCommitsSurviveCrashAndEpochChange) {
   replicas_[(victim + 1) % 3]->InitiateEpochChange();
   sim_.Run();
 
-  // Obligation: every observed commit is COMMITTED in the post-change
-  // trecord of every replica (including the rebuilt one), and the key holds
-  // either this transaction's value or a newer committed version.
-  for (const auto& [tid, kv] : observed) {
+  // Obligation: every observed commit's *effects* survive on every replica
+  // (including the rebuilt one) — the key holds this transaction's version
+  // or a newer committed one (wts is monotone per key). The trecord entry
+  // itself may legitimately be gone: the watermark GC (DESIGN.md §12) trims
+  // finalized records below the watermark before and after the crash. A
+  // record that IS still present must read COMMITTED — a commit the client
+  // observed can never flip.
+  for (const auto& [tid, commit] : observed) {
     for (auto& replica : replicas_) {
-      bool found = false;
       for (CoreId core = 0; core < 2; core++) {
         TxnRecord* rec = replica->trecord().Partition(core).Find(tid);
         if (rec != nullptr) {
           EXPECT_EQ(rec->status, TxnStatus::kCommitted)
               << "seed " << seed << " replica " << replica->id() << " lost commit "
               << tid.ToString();
-          found = true;
         }
       }
-      EXPECT_TRUE(found) << "seed " << seed << " replica " << replica->id()
-                         << " has no record of committed " << tid.ToString();
-      ReadResult read = replica->store().Read(kv.first);
-      ASSERT_TRUE(read.found);
+      ReadResult read = replica->store().Read(commit.key);
+      ASSERT_TRUE(read.found) << "seed " << seed << " replica " << replica->id()
+                              << " lost key " << commit.key;
+      EXPECT_GE(read.wts, commit.ts)
+          << "seed " << seed << " replica " << replica->id() << " rolled back "
+          << commit.key << " below committed " << tid.ToString();
     }
   }
 

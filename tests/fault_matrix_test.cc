@@ -175,6 +175,64 @@ INSTANTIATE_TEST_SUITE_P(AllCells, FaultMatrixTest, ::testing::ValuesIn(BuildMat
                                   StepName(info.param.step);
                          });
 
+// Trim-vs-retransmit races: the same scripted faults with the watermark GC
+// trimming on every dispatch. A duplicated or long-delayed VALIDATE/COMMIT
+// can now arrive after the record it targets has been finalized *and
+// trimmed*; the watermark answer rules (stale VALIDATE → abort vote without
+// re-creating a record, stale COMMIT → dropped as tolerated loss) must keep
+// the workload fully committed and the schedule bit-identical on replay.
+class GcTrimRetransmitTest : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(GcTrimRetransmitTest, TrimRaceIsAbsorbedAndDeterministic) {
+  MatrixCase param = GetParam();
+
+  FaultPlan plan;
+  plan.WithSeed(13);
+  switch (param.action) {
+    case FaultAction::kDrop:
+      plan.DropNth(param.step, 2, /*count=*/2);
+      break;
+    case FaultAction::kDelay:
+      // Well past the retry timeout: the retransmission commits and the GC
+      // trims the record before the late original lands.
+      plan.DelayNth(param.step, 2, /*delay_ns=*/500'000, /*count=*/2);
+      break;
+    default:
+      plan.DuplicateNth(param.step, 2, /*count=*/2);
+      break;
+  }
+
+  SystemOptions options = DefaultOptions(param.kind)
+                              .WithRetry(TestRetry())
+                              .WithFaultPlan(plan)
+                              .WithGc(GcOptions().WithIntervalDispatches(1).WithTrimBudget(1024));
+  SimHarness h(options);
+  std::string sig = RunWorkload(h, /*n=*/8);
+
+  ASSERT_NE(h.transport().fault_injector(), nullptr);
+  EXPECT_GE(h.transport().fault_injector()->rule_matches(0), 2u)
+      << "scripted step never matched — vacuous matrix cell";
+  EXPECT_NE(sig.find("stats:8,0,0"), std::string::npos) << sig;
+
+  SimHarness replay(options);
+  EXPECT_EQ(RunWorkload(replay, /*n=*/8), sig);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TrimRaces, GcTrimRetransmitTest,
+    ::testing::Values(
+        MatrixCase{SystemKind::kMeerkat, FaultAction::kDrop, MsgKind::kValidateRequest},
+        MatrixCase{SystemKind::kMeerkat, FaultAction::kDelay, MsgKind::kValidateRequest},
+        MatrixCase{SystemKind::kMeerkat, FaultAction::kDuplicate, MsgKind::kValidateRequest},
+        MatrixCase{SystemKind::kMeerkat, FaultAction::kDrop, MsgKind::kCommitRequest},
+        MatrixCase{SystemKind::kMeerkat, FaultAction::kDelay, MsgKind::kCommitRequest},
+        MatrixCase{SystemKind::kMeerkat, FaultAction::kDuplicate, MsgKind::kCommitRequest},
+        MatrixCase{SystemKind::kMeerkat, FaultAction::kDelay, MsgKind::kValidateReply},
+        MatrixCase{SystemKind::kMeerkat, FaultAction::kDuplicate, MsgKind::kValidateReply}),
+    [](const ::testing::TestParamInfo<MatrixCase>& info) {
+      return ActionName(info.param.action) + "_" + StepName(info.param.step);
+    });
+
 // Seed stability: background chaos (drop + duplicate + reordering delay) is
 // fully determined by the plan seed. Two runs agree bit-for-bit, and nearby
 // seeds still make progress.

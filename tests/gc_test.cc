@@ -1,0 +1,437 @@
+// Online watermark GC (DESIGN.md §12): budgeted TrimStep mechanics, the
+// per-core watermark fold from piggybacked oldest-inflight stamps, the
+// trimmed-duplicate answer branches (retransmitted VALIDATE/COMMIT for
+// already-trimmed transactions), the orphan sweep driving cooperative
+// termination, and a simulator soak showing the trecord stays bounded.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/dap_check.h"
+#include "src/protocol/replica.h"
+#include "src/protocol/session.h"
+#include "src/sim/sim_time_source.h"
+#include "src/transport/sim_transport.h"
+
+namespace meerkat {
+namespace {
+
+// --- TrimStep unit tests (bare partition) ---------------------------------
+
+TxnRecord& AddRecord(TRecordPartition& part, TxnId tid, Timestamp ts, TxnStatus status) {
+  TxnRecord& rec = part.GetOrCreate(tid);
+  rec.ts = ts;
+  rec.status = status;
+  return rec;
+}
+
+TEST(TrimStepTest, TrimsOnlyFinalizedStrictlyBelow) {
+  TRecord trecord(1);
+  TRecordPartition& part = trecord.Partition(0);
+  AddRecord(part, {1, 1}, {10, 1}, TxnStatus::kCommitted);  // Below: trimmed.
+  AddRecord(part, {1, 2}, {20, 1}, TxnStatus::kAborted);    // At W: kept (strict).
+  AddRecord(part, {1, 3}, {30, 1}, TxnStatus::kCommitted);  // Above: kept.
+  AddRecord(part, {1, 4}, {5, 1}, TxnStatus::kValidatedOk);  // Below but live: kept.
+
+  size_t cursor = 0;
+  auto res = part.TrimStep(Timestamp{20, 1}, /*budget=*/100, &cursor);
+  EXPECT_EQ(res.trimmed, 1u);
+  EXPECT_TRUE(res.wrapped);
+  EXPECT_EQ(part.Find({1, 1}), nullptr);
+  EXPECT_NE(part.Find({1, 2}), nullptr);
+  EXPECT_NE(part.Find({1, 3}), nullptr);
+  EXPECT_NE(part.Find({1, 4}), nullptr);
+}
+
+TEST(TrimStepTest, InvalidWatermarkIsANoop) {
+  TRecord trecord(1);
+  TRecordPartition& part = trecord.Partition(0);
+  AddRecord(part, {1, 1}, {10, 1}, TxnStatus::kCommitted);
+  size_t cursor = 0;
+  auto res = part.TrimStep(Timestamp{}, /*budget=*/100, &cursor);
+  EXPECT_EQ(res.trimmed, 0u);
+  EXPECT_EQ(part.Size(), 1u);
+}
+
+TEST(TrimStepTest, BudgetBoundsEachStepAndCursorResumes) {
+  TRecord trecord(1);
+  TRecordPartition& part = trecord.Partition(0);
+  constexpr size_t kRecords = 256;
+  for (uint32_t i = 0; i < kRecords; i++) {
+    AddRecord(part, {1, i + 1}, {100 + i, 1}, TxnStatus::kCommitted);
+  }
+  // Everything is below the watermark; a budget of 16 needs many steps but
+  // each one must stay within its slice.
+  size_t cursor = 0;
+  size_t steps = 0;
+  while (part.Size() > 0 && steps < 1000) {
+    auto res = part.TrimStep(Timestamp{100 + kRecords, 1}, /*budget=*/16, &cursor);
+    // A step may overshoot its budget only by finishing its last bucket.
+    EXPECT_LE(res.scanned, 64u) << "budget overshot at step " << steps;
+    steps++;
+  }
+  EXPECT_EQ(part.Size(), 0u);
+  EXPECT_GE(steps, kRecords / 64) << "budget was not actually bounding the steps";
+}
+
+TEST(TrimStepTest, ReportsOrphansWithoutTrimmingThem) {
+  TRecord trecord(1);
+  TRecordPartition& part = trecord.Partition(0);
+  AddRecord(part, {7, 1}, {10, 7}, TxnStatus::kValidatedOk);  // Stuck: orphan.
+  TxnRecord& promoted = AddRecord(part, {7, 2}, {15, 7}, TxnStatus::kAcceptCommit);
+  promoted.view = 3;  // The sweep must report the record's current view.
+  AddRecord(part, {7, 3}, {95, 7}, TxnStatus::kValidatedOk);  // Above grace: live.
+  AddRecord(part, {7, 4}, {10, 8}, TxnStatus::kCommitted);    // Final: trim, not orphan.
+
+  size_t cursor = 0;
+  std::vector<std::pair<TxnId, ViewNum>> orphans;
+  auto res = part.TrimStep(Timestamp{100, 0}, /*budget=*/100, &cursor,
+                           /*orphan_below=*/Timestamp{90, 0}, &orphans);
+  EXPECT_EQ(res.trimmed, 1u);
+  ASSERT_EQ(orphans.size(), 2u);
+  // Orphans are reported but never erased: only consensus finalizes them.
+  EXPECT_NE(part.Find({7, 1}), nullptr);
+  EXPECT_NE(part.Find({7, 2}), nullptr);
+  bool saw_promoted = false;
+  for (const auto& [tid, view] : orphans) {
+    if (tid == (TxnId{7, 2})) {
+      saw_promoted = true;
+      EXPECT_EQ(view, 3u);
+    }
+  }
+  EXPECT_TRUE(saw_promoted);
+}
+
+// --- Replica watermark behaviour (loopback, single replica) ---------------
+
+class LoopbackTransport : public Transport {
+ public:
+  void RegisterReplica(ReplicaId, CoreId core, TransportReceiver* receiver) override {
+    if (receivers_.size() <= core) {
+      receivers_.resize(core + 1);
+    }
+    receivers_[core] = receiver;
+  }
+  void RegisterClient(uint32_t, TransportReceiver*) override {}
+  void UnregisterClient(uint32_t) override {}
+  void SetTimer(const Address&, CoreId, uint64_t, uint64_t) override {}
+  void Send(Message msg) override { sent.push_back(std::move(msg)); }
+
+  void Inject(CoreId core, Message msg) { receivers_[core]->Receive(std::move(msg)); }
+
+  template <typename T>
+  const T* LastReply() const {
+    for (auto it = sent.rbegin(); it != sent.rend(); ++it) {
+      if (const T* p = std::get_if<T>(&it->payload)) {
+        return p;
+      }
+    }
+    return nullptr;
+  }
+
+  std::vector<Message> sent;
+
+ private:
+  std::vector<TransportReceiver*> receivers_;
+};
+
+class GcReplicaFixture : public ::testing::Test {
+ protected:
+  GcReplicaFixture() {
+    // Aggressive GC so every injected message is followed by a trim step.
+    replica_ = std::make_unique<MeerkatReplica>(
+        0, QuorumConfig::ForReplicas(3), 2, &transport_, /*group_base=*/0, RetryPolicy(),
+        OverloadOptions(),
+        GcOptions().WithIntervalDispatches(1).WithTrimBudget(256).WithMaxTrackedClients(4));
+    replica_->LoadKey("k", "v0", Timestamp{1, 0});
+  }
+
+  Message From(uint32_t client, CoreId core, Payload payload) {
+    Message msg;
+    msg.src = Address::Client(client);
+    msg.dst = Address::Replica(0);
+    msg.core = core;
+    msg.payload = std::move(payload);
+    return msg;
+  }
+
+  ValidateRequest Validate(TxnId tid, Timestamp ts, Timestamp mark) {
+    ValidateRequest req{tid, ts, {{"k", Timestamp{1, 0}}}, {{"k", "v" + std::to_string(ts.time)}}};
+    req.oldest_inflight = mark;
+    return req;
+  }
+
+  // One full fast-path transaction on core 0, stamped with its own ts as the
+  // oldest-inflight mark (exactly what MeerkatSession now sends).
+  void RunTxn(TxnId tid, Timestamp ts) {
+    transport_.Inject(0, From(tid.client_id, 0, Validate(tid, ts, ts)));
+    transport_.Inject(0, From(tid.client_id, 0, CommitRequest{tid, true, ts, ts}));
+  }
+
+  LoopbackTransport transport_;
+  std::unique_ptr<MeerkatReplica> replica_;
+};
+
+TEST_F(GcReplicaFixture, WatermarkAdvancesFromStampsAndTrims) {
+  RunTxn({1, 1}, {10, 1});
+  EXPECT_EQ(replica_->core_watermark(0), (Timestamp{10, 1}));
+  // Nothing strictly below the watermark yet.
+  EXPECT_NE(replica_->trecord().Partition(0).Find({1, 1}), nullptr);
+
+  RunTxn({1, 2}, {20, 1});
+  EXPECT_EQ(replica_->core_watermark(0), (Timestamp{20, 1}));
+  // The first transaction fell strictly below the new watermark: trimmed.
+  EXPECT_EQ(replica_->trecord().Partition(0).Find({1, 1}), nullptr);
+  // The stamping client's own transaction sits AT the watermark: kept.
+  EXPECT_NE(replica_->trecord().Partition(0).Find({1, 2}), nullptr);
+  EXPECT_GE(replica_->gc_trim_passes(), 1u);
+}
+
+TEST_F(GcReplicaFixture, DuplicateValidateAfterTrimIsAnsweredAbortWithoutARecord) {
+  RunTxn({1, 1}, {10, 1});
+  RunTxn({1, 2}, {20, 1});
+  ASSERT_EQ(replica_->trecord().Partition(0).Find({1, 1}), nullptr);
+
+  KeyEntry* entry = replica_->store().Find("k");
+  size_t readers_before = entry->readers.size();
+
+  // A straggling retransmission of the trimmed transaction's VALIDATE.
+  transport_.Inject(0, From(1, 0, Validate({1, 1}, {10, 1}, Timestamp{})));
+  const ValidateReply* reply = transport_.LastReply<ValidateReply>();
+  ASSERT_NE(reply, nullptr);
+  EXPECT_EQ(reply->tid, (TxnId{1, 1}));
+  EXPECT_EQ(reply->status, TxnStatus::kValidatedAbort);
+  // Answered from the watermark: no record resurrected, no OCC registration.
+  EXPECT_EQ(replica_->trecord().Partition(0).Find({1, 1}), nullptr);
+  EXPECT_EQ(entry->readers.size(), readers_before);
+}
+
+TEST_F(GcReplicaFixture, StaleCommitForTrimmedTransactionIsDropped) {
+  RunTxn({1, 1}, {10, 1});
+  RunTxn({1, 2}, {20, 1});
+  ASSERT_EQ(replica_->trecord().Partition(0).Find({1, 1}), nullptr);
+
+  std::string value = replica_->store().Read("k").value;
+  // A straggling retransmission of the trimmed transaction's COMMIT. Without
+  // the watermark check this resurrected the record forever (the unbounded-
+  // growth bug).
+  transport_.Inject(0, From(1, 0, CommitRequest{{1, 1}, true, {10, 1}, Timestamp{}}));
+  EXPECT_EQ(replica_->trecord().Partition(0).Find({1, 1}), nullptr);
+  // The store is untouched: its value was already installed (Thomas rule
+  // would make a re-install idempotent anyway, but the drop never reaches it).
+  EXPECT_EQ(replica_->store().Read("k").value, value);
+}
+
+TEST_F(GcReplicaFixture, CommitAboveWatermarkStillCreatesAndAdoptsStampedTs) {
+  RunTxn({1, 1}, {10, 1});
+  // COMMIT for a transaction this replica never validated, above W: must be
+  // processed (the replica missed the VALIDATE, not the other way around),
+  // and the record must adopt the stamped ts so it stays trimmable.
+  transport_.Inject(0, From(2, 0, CommitRequest{{2, 1}, true, {30, 2}, {30, 2}}));
+  TxnRecord* rec = replica_->trecord().Partition(0).Find({2, 1});
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->status, TxnStatus::kCommitted);
+  EXPECT_EQ(rec->ts, (Timestamp{30, 2}));
+
+  // Advance the watermark past it: the adopted ts makes it trimmable.
+  RunTxn({1, 2}, {50, 1});
+  transport_.Inject(0, From(2, 0, Validate({2, 2}, {60, 2}, {60, 2})));
+  EXPECT_EQ(replica_->trecord().Partition(0).Find({2, 1}), nullptr);
+}
+
+TEST_F(GcReplicaFixture, WatermarkIsMonotoneUnderMarkRegression) {
+  RunTxn({1, 1}, {10, 1});
+  RunTxn({1, 2}, {20, 1});
+  ASSERT_EQ(replica_->core_watermark(0), (Timestamp{20, 1}));
+
+  // A reordered (older) stamp from the same client arrives late: the
+  // published watermark must not regress — records below it are gone.
+  transport_.Inject(0, From(1, 0, Validate({1, 9}, {25, 1}, {15, 1})));
+  EXPECT_EQ(replica_->core_watermark(0), (Timestamp{20, 1}));
+}
+
+TEST_F(GcReplicaFixture, WatermarksAreIndependentPerCore) {
+  RunTxn({1, 1}, {10, 1});
+  RunTxn({1, 2}, {20, 1});
+  EXPECT_EQ(replica_->core_watermark(0), (Timestamp{20, 1}));
+  // Core 1 saw no traffic: its watermark must still be invalid (no trim).
+  EXPECT_FALSE(replica_->core_watermark(1).Valid());
+}
+
+TEST_F(GcReplicaFixture, FullClientTableDropsMarksConservatively) {
+  // Capacity 4: clients 1..4 tracked, 5 and 6 dropped.
+  for (uint32_t c = 1; c <= 6; c++) {
+    transport_.Inject(
+        0, From(c, 0, Validate({c, 1}, {100 * c, c}, Timestamp{100 * c, c})));
+  }
+  // The fold sees only the tracked clients; dropped marks never advance W
+  // past anyone (W = min of tracked = client 1's mark).
+  EXPECT_EQ(replica_->core_watermark(0), (Timestamp{100, 1}));
+}
+
+TEST_F(GcReplicaFixture, CrashRestartResetsWatermark) {
+  RunTxn({1, 1}, {10, 1});
+  RunTxn({1, 2}, {20, 1});
+  ASSERT_TRUE(replica_->core_watermark(0).Valid());
+  replica_->CrashAndRestart();
+  EXPECT_FALSE(replica_->core_watermark(0).Valid());
+}
+
+// --- Orphan sweep drives cooperative termination (simulator) --------------
+
+class GcOrphanFixture : public ::testing::Test {
+ protected:
+  GcOrphanFixture() : sim_(CostModel{}), transport_(&sim_) {
+    for (ReplicaId r = 0; r < 3; r++) {
+      // Only replica 1 runs the sweep, so exactly one backup coordinator
+      // contends for the orphan (the multi-host case is arbitrated by views
+      // and covered by the protocol tests).
+      GcOptions gc = r == 1 ? GcOptions().WithIntervalDispatches(1).WithOrphanGrace(100)
+                            : GcOptions().WithEnabled(false);
+      replicas_.push_back(std::make_unique<MeerkatReplica>(
+          r, QuorumConfig::ForReplicas(3), 2, &transport_, /*group_base=*/0, RetryPolicy(),
+          OverloadOptions(), gc));
+      replicas_.back()->LoadKey("k", "v0", Timestamp{1, 0});
+      replicas_.back()->LoadKey("w", "w0", Timestamp{1, 0});
+    }
+    transport_.RegisterClient(99, &sink_);
+    transport_.RegisterClient(98, &sink_);
+  }
+
+  void Broadcast(uint32_t client, Payload payload) {
+    SimActor* actor = transport_.ActorFor(Address::Client(client), 0);
+    sim_.Schedule(sim_.now() + 1, actor, [this, client, payload](SimContext&) {
+      for (ReplicaId r = 0; r < 3; r++) {
+        Message msg;
+        msg.src = Address::Client(client);
+        msg.dst = Address::Replica(r);
+        msg.core = 0;
+        msg.payload = payload;
+        transport_.Send(std::move(msg));
+      }
+    });
+    sim_.Run();
+  }
+
+  struct Sink : TransportReceiver {
+    void Receive(Message&&) override {}
+  };
+
+  Simulator sim_;
+  SimTransport transport_;
+  Sink sink_;
+  std::vector<std::unique_ptr<MeerkatReplica>> replicas_;
+};
+
+TEST_F(GcOrphanFixture, SweepRecoversOrphanAndClearsPendingRegistrations) {
+  // Validate everywhere, then abandon (coordinator "crash" before deciding):
+  // the orphan holds pending reader/writer registrations on "k".
+  TxnId orphan{99, 1};
+  Broadcast(99, ValidateRequest{orphan, {1000, 99}, {{"k", Timestamp{1, 0}}}, {{"k", "orphan"}}});
+  ASSERT_EQ(replicas_[1]->trecord().Partition(0).Find(orphan)->status, TxnStatus::kValidatedOk);
+  ASSERT_GT(replicas_[1]->store().PendingCountForTesting(), 0u);
+
+  // Fresh traffic from a live client pushes replica 1's watermark far past
+  // the orphan (+grace); its GC sweep must start cooperative termination.
+  TxnId fresh{98, 1};
+  ValidateRequest v{fresh, {2000, 98}, {{"w", Timestamp{1, 0}}}, {{"w", "w1"}}};
+  v.oldest_inflight = Timestamp{2000, 98};
+  Broadcast(98, v);
+  Broadcast(98, CommitRequest{fresh, true, {2000, 98}, {2000, 98}});
+  sim_.Run();
+
+  // The orphan was VALIDATED-OK at a majority: cooperative termination must
+  // commit it everywhere, finalization clears the vstore registrations, and
+  // the hosted backup retires. On replica 1 the record may then be trimmed.
+  for (ReplicaId r = 0; r < 3; r++) {
+    TxnRecord* rec = replicas_[r]->trecord().Partition(0).Find(orphan);
+    if (rec != nullptr) {
+      EXPECT_EQ(rec->status, TxnStatus::kCommitted) << "replica " << r;
+    } else {
+      EXPECT_EQ(r, 1) << "only the trimming replica may have erased it";
+    }
+    EXPECT_EQ(replicas_[r]->store().Read("k").value, "orphan") << "replica " << r;
+    EXPECT_EQ(replicas_[r]->store().PendingCountForTesting(), 0u) << "replica " << r;
+  }
+  EXPECT_EQ(replicas_[1]->hosted_backup_count(), 0u);
+}
+
+TEST_F(GcOrphanFixture, LiveTransactionsInsideGraceAreLeftAlone) {
+  TxnId inflight{99, 1};
+  Broadcast(99, ValidateRequest{inflight, {1990, 99}, {{"k", Timestamp{1, 0}}}, {{"k", "x"}}});
+
+  // Watermark 2000, grace 100: the 1990 transaction is inside the grace
+  // window — a live coordinator may still be driving it.
+  TxnId fresh{98, 1};
+  ValidateRequest v{fresh, {2000, 98}, {{"w", Timestamp{1, 0}}}, {{"w", "w1"}}};
+  v.oldest_inflight = Timestamp{2000, 98};
+  Broadcast(98, v);
+  Broadcast(98, CommitRequest{fresh, true, {2000, 98}, {2000, 98}});
+  sim_.Run();
+
+  EXPECT_EQ(replicas_[1]->hosted_backup_count(), 0u);
+  EXPECT_EQ(replicas_[1]->trecord().Partition(0).Find(inflight)->status,
+            TxnStatus::kValidatedOk);
+}
+
+// --- Soak: the trecord plateaus under a sustained session workload --------
+
+TEST(GcSoakTest, TrecordStaysBoundedOverManyTransactions) {
+  DapAudit::SetMode(DapMode::kCount);
+  DapAudit::ResetViolations();
+  Simulator sim(CostModel{});
+  SimTransport transport(&sim);
+  SimTimeSource time_source(&sim);
+  std::vector<std::unique_ptr<MeerkatReplica>> replicas;
+  for (ReplicaId r = 0; r < 3; r++) {
+    replicas.push_back(std::make_unique<MeerkatReplica>(
+        r, QuorumConfig::ForReplicas(3), 2, &transport, /*group_base=*/0, RetryPolicy(),
+        OverloadOptions(), GcOptions().WithIntervalDispatches(4)));
+    for (int k = 0; k < 8; k++) {
+      replicas.back()->LoadKey("key" + std::to_string(k), "0", Timestamp{1, 0});
+    }
+  }
+  SessionOptions options;
+  options.quorum = QuorumConfig::ForReplicas(3);
+  options.cores_per_replica = 2;
+  MeerkatSession session(1, &transport, &time_source, options, 17);
+
+  constexpr int kTxns = 400;
+  int committed = 0;
+  size_t peak = 0;
+  for (int i = 0; i < kTxns; i++) {
+    TxnPlan plan;
+    plan.ops.push_back(Op::Put("key" + std::to_string(i % 8), std::to_string(i)));
+    SimActor* actor = transport.ActorFor(Address::Client(1), 0);
+    sim.Schedule(sim.now() + 1, actor, [&](SimContext&) {
+      session.ExecuteAsync(std::move(plan), [&](const TxnOutcome& o) {
+        if (o.result == TxnResult::kCommit) {
+          committed++;
+        }
+      });
+    });
+    sim.Run();
+    for (auto& replica : replicas) {
+      peak = std::max(peak, replica->trecord().TotalSize());
+    }
+  }
+
+  EXPECT_EQ(committed, kTxns);
+  // Without GC every committed transaction leaves a record forever
+  // (TotalSize == kTxns at each replica). With the watermark the live set
+  // must plateau near the trim lag, far below the transaction count.
+  EXPECT_LT(peak, static_cast<size_t>(kTxns) / 4) << "trecord did not plateau";
+  uint64_t trim_passes = 0;
+  for (auto& replica : replicas) {
+    trim_passes += replica->gc_trim_passes();
+    EXPECT_LT(replica->trecord().TotalSize(), static_cast<size_t>(kTxns) / 4);
+  }
+  EXPECT_GT(trim_passes, 0u);
+  EXPECT_EQ(DapAudit::violations(), 0u) << "GC broke data-access parallelism";
+}
+
+}  // namespace
+}  // namespace meerkat

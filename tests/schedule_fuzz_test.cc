@@ -18,10 +18,13 @@
 #include <gtest/gtest.h>
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <utility>
 
+#include "src/common/gc.h"
 #include "src/common/rng.h"
 #include "src/protocol/replica.h"
 #include "src/protocol/session.h"
@@ -81,20 +84,27 @@ class SchedulingTransport : public Transport {
 };
 
 struct FuzzOutcome {
-  std::map<uint64_t, TxnResult> results;  // client id -> outcome.
+  // (client id, txn seq) -> outcome.
+  std::map<std::pair<uint32_t, uint32_t>, TxnResult> results;
   std::vector<std::string> violations;
+  size_t live_records = 0;  // Sum of trecord sizes across replicas at the end.
 };
 
-// Runs `num_clients` single-RMW transactions on one hot key under one
-// delivery schedule and checks invariants.
-FuzzOutcome RunSchedule(uint64_t seed, int num_clients) {
+// Runs `txns_per_client` back-to-back single-RMW transactions per client on
+// one hot key under one delivery schedule and checks invariants. Each
+// client's next transaction is launched from the previous completion
+// callback, so its watermark stamp advances mid-schedule.
+FuzzOutcome RunSchedule(uint64_t seed, int num_clients, int txns_per_client = 1,
+                        GcOptions gc = GcOptions()) {
   SchedulingTransport transport(seed);
   SystemTimeSource time_source;
   QuorumConfig quorum = QuorumConfig::ForReplicas(3);
 
   std::vector<std::unique_ptr<MeerkatReplica>> replicas;
   for (ReplicaId r = 0; r < 3; r++) {
-    replicas.push_back(std::make_unique<MeerkatReplica>(r, quorum, /*num_cores=*/1, &transport));
+    replicas.push_back(std::make_unique<MeerkatReplica>(r, quorum, /*num_cores=*/1, &transport,
+                                                        /*group_base=*/0, RetryPolicy(),
+                                                        OverloadOptions(), gc));
     replicas.back()->LoadKey("hot", "0", Timestamp{1, 0});
   }
 
@@ -109,26 +119,46 @@ FuzzOutcome RunSchedule(uint64_t seed, int num_clients) {
     sessions.push_back(std::make_unique<MeerkatSession>(static_cast<uint32_t>(c), &transport,
                                                         &time_source, options,
                                                         seed * 31 + static_cast<uint64_t>(c)));
+  }
+  std::function<void(uint32_t, uint32_t)> launch = [&](uint32_t client, uint32_t t) {
     TxnPlan plan;
-    plan.ops.push_back(Op::Rmw("hot", "from-" + std::to_string(c)));
-    uint32_t client = static_cast<uint32_t>(c);
-    sessions.back()->ExecuteAsync(plan, [&outcome, client](const TxnOutcome& o) {
-      outcome.results[client] = o.result;
+    plan.ops.push_back(
+        Op::Rmw("hot", "from-" + std::to_string(client) + "-" + std::to_string(t)));
+    sessions[client - 1]->ExecuteAsync(plan, [&, client, t](const TxnOutcome& o) {
+      outcome.results[{client, t}] = o.result;
+      if (t < static_cast<uint32_t>(txns_per_client)) {
+        launch(client, t + 1);
+      }
     });
+  };
+  for (int c = 1; c <= num_clients; c++) {
+    launch(static_cast<uint32_t>(c), 1);
   }
   transport.RunToQuiescence();
 
   // Every transaction must have completed (no lost messages, no timers
   // needed).
   for (int c = 1; c <= num_clients; c++) {
-    if (outcome.results.count(static_cast<uint32_t>(c)) == 0) {
-      outcome.violations.push_back("client " + std::to_string(c) + " never completed");
+    for (int t = 1; t <= txns_per_client; t++) {
+      if (outcome.results.count({static_cast<uint32_t>(c), static_cast<uint32_t>(t)}) == 0) {
+        outcome.violations.push_back("client " + std::to_string(c) + " txn " +
+                                     std::to_string(t) + " never completed");
+      }
+    }
+  }
+
+  std::vector<TxnId> all_tids;
+  for (int c = 1; c <= num_clients; c++) {
+    for (int t = 1; t <= txns_per_client; t++) {
+      all_tids.push_back({static_cast<uint32_t>(c), static_cast<uint32_t>(t)});
     }
   }
 
   // Agreement: per transaction, replicas that reached a final status agree.
-  for (int c = 1; c <= num_clients; c++) {
-    TxnId tid{static_cast<uint32_t>(c), 1};
+  // A trimmed record is indistinguishable from "never saw it" here; the GC
+  // only trims finalized records, so trimming cannot mask divergence that the
+  // surviving replicas would reveal.
+  for (const TxnId& tid : all_tids) {
     std::optional<TxnStatus> final_status;
     for (auto& replica : replicas) {
       TxnRecord* rec = replica->trecord().Partition(0).Find(tid);
@@ -141,7 +171,7 @@ FuzzOutcome RunSchedule(uint64_t seed, int num_clients) {
       final_status = rec->status;
     }
     // The client-visible outcome matches any replica finalization.
-    auto it = outcome.results.find(static_cast<uint32_t>(c));
+    auto it = outcome.results.find({tid.client_id, static_cast<uint32_t>(tid.seq)});
     if (final_status.has_value() && it != outcome.results.end() &&
         it->second != TxnResult::kFailed) {
       bool committed = *final_status == TxnStatus::kCommitted;
@@ -161,8 +191,8 @@ FuzzOutcome RunSchedule(uint64_t seed, int num_clients) {
       // With a loss-free schedule every broadcast drains, so leftovers for
       // *finalized* transactions are leaks.
       for (const Timestamp& ts : entry->writers) {
-        for (int c = 1; c <= num_clients; c++) {
-          TxnRecord* rec = replica->trecord().Partition(0).Find({static_cast<uint32_t>(c), 1});
+        for (const TxnId& tid : all_tids) {
+          TxnRecord* rec = replica->trecord().Partition(0).Find(tid);
           if (rec != nullptr && rec->ts == ts && IsFinal(rec->status)) {
             outcome.violations.push_back("leaked writer registration at replica " +
                                          std::to_string(replica->id()));
@@ -177,15 +207,16 @@ FuzzOutcome RunSchedule(uint64_t seed, int num_clients) {
   // highest-timestamp committed transaction *it finalized*.
   Timestamp max_ts = kInvalidTimestamp;
   std::string expected_value = "0";
-  for (int c = 1; c <= num_clients; c++) {
-    if (outcome.results[static_cast<uint32_t>(c)] != TxnResult::kCommit) {
+  for (const TxnId& tid : all_tids) {
+    if (outcome.results[{tid.client_id, static_cast<uint32_t>(tid.seq)}] != TxnResult::kCommit) {
       continue;
     }
     for (auto& replica : replicas) {
-      TxnRecord* rec = replica->trecord().Partition(0).Find({static_cast<uint32_t>(c), 1});
+      TxnRecord* rec = replica->trecord().Partition(0).Find(tid);
       if (rec != nullptr && rec->ts.Valid() && rec->ts > max_ts) {
         max_ts = rec->ts;
-        expected_value = "from-" + std::to_string(c);
+        expected_value = "from-" + std::to_string(tid.client_id) + "-" +
+                         std::to_string(static_cast<uint32_t>(tid.seq));
       }
     }
   }
@@ -195,6 +226,7 @@ FuzzOutcome RunSchedule(uint64_t seed, int num_clients) {
       outcome.violations.push_back("replica " + std::to_string(replica->id()) +
                                    " installed wrong value for ts " + max_ts.ToString());
     }
+    outcome.live_records += replica->trecord().Partition(0).Size();
   }
   return outcome;
 }
@@ -231,6 +263,29 @@ TEST(ScheduleFuzzTest, FourWayContentionAllSchedules) {
       ADD_FAILURE() << "seed " << seed << ": " << v;
     }
   }
+}
+
+// Trim-interleaving variant: the watermark GC runs a trim step after every
+// delivered message, and each client chains two transactions so its second
+// VALIDATE/COMMIT carries a stamp above its first transaction — making the
+// first's finalized record trimmable while other messages for it (and for
+// its conflicting peers) are still buffered. Every invariant must hold with
+// trims spliced between arbitrary delivery points, and across the seed sweep
+// trimming must actually occur (otherwise the variant is vacuous).
+TEST(ScheduleFuzzTest, ConflictingChainsWithTrimInterleaved) {
+  GcOptions aggressive = GcOptions().WithIntervalDispatches(1).WithTrimBudget(64);
+  const size_t untrimmed_total = 3u /*replicas*/ * 2u /*clients*/ * 2u /*txns*/;
+  bool trimmed_somewhere = false;
+  for (uint64_t seed = 0; seed < 150; seed++) {
+    FuzzOutcome outcome = RunSchedule(seed + 2000, 2, /*txns_per_client=*/2, aggressive);
+    for (const std::string& v : outcome.violations) {
+      ADD_FAILURE() << "seed " << seed << ": " << v;
+    }
+    if (outcome.live_records < untrimmed_total) {
+      trimmed_somewhere = true;
+    }
+  }
+  EXPECT_TRUE(trimmed_somewhere) << "no schedule ever trimmed a record — vacuous variant";
 }
 
 }  // namespace

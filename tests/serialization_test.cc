@@ -70,6 +70,7 @@ TEST(SerializationTest, GetReplyRoundTrip) {
 TEST(SerializationTest, ValidateRequestRoundTrip) {
   ValidateRequest req{{3, 4}, {999, 3}, {{"a", {1, 0}}, {"b", {}}}, {{"c", "v1"}, {"d", ""}}};
   req.priority = 1;  // Overload-control priority (aged retry) rides the wire.
+  req.oldest_inflight = {990, 3};  // Watermark-GC stamp rides the wire too.
   Message out = RoundTrip(Wrap(req));
   const auto& p = std::get<ValidateRequest>(out.payload);
   ASSERT_EQ(p.read_set().size(), 2u);
@@ -78,6 +79,7 @@ TEST(SerializationTest, ValidateRequestRoundTrip) {
   ASSERT_EQ(p.write_set().size(), 2u);
   EXPECT_EQ(p.write_set()[1].value, "");
   EXPECT_EQ(p.priority, 1u);
+  EXPECT_EQ(p.oldest_inflight, (Timestamp{990, 3}));
 }
 
 TEST(SerializationTest, ValidateReplyRoundTrip) {
@@ -104,10 +106,18 @@ TEST(SerializationTest, AcceptRoundTrip) {
 }
 
 TEST(SerializationTest, CommitAndTimerRoundTrip) {
-  RoundTrip(Wrap(CommitRequest{{1, 1}, true}));
+  // Commit ts (trimmed-duplicate detection) and the watermark-GC stamp ride
+  // the wire; a default-constructed request keeps both zero.
+  Message out = RoundTrip(Wrap(CommitRequest{{1, 1}, true, {500, 1}, {480, 1}}));
+  const auto& p = std::get<CommitRequest>(out.payload);
+  EXPECT_TRUE(p.commit);
+  EXPECT_EQ(p.ts, (Timestamp{500, 1}));
+  EXPECT_EQ(p.oldest_inflight, (Timestamp{480, 1}));
+  Message zero = RoundTrip(Wrap(CommitRequest{{1, 1}, false}));
+  EXPECT_FALSE(std::get<CommitRequest>(zero.payload).ts.Valid());
   RoundTrip(Wrap(CommitReply{{1, 1}, 2}));
-  Message out = RoundTrip(Wrap(TimerFire{0xdeadbeef}));
-  EXPECT_EQ(std::get<TimerFire>(out.payload).timer_id, 0xdeadbeefu);
+  Message timer = RoundTrip(Wrap(TimerFire{0xdeadbeef}));
+  EXPECT_EQ(std::get<TimerFire>(timer.payload).timer_id, 0xdeadbeefu);
 }
 
 TEST(SerializationTest, EpochChangeRoundTrip) {
@@ -220,12 +230,15 @@ std::vector<Message> SampleCorpus() {
   std::vector<Message> corpus;
   corpus.push_back(Wrap(GetRequest{{1, 2}, 77, "some-key"}));
   corpus.push_back(Wrap(GetReply{{1, 2}, 9, "k", std::string("binary\0data", 11), {55, 1}, true}));
-  corpus.push_back(
-      Wrap(ValidateRequest{{3, 4}, {999, 3}, {{"a", {1, 0}}, {"b", {}}}, {{"c", "v1"}, {"d", ""}}}));
+  {
+    ValidateRequest req{{3, 4}, {999, 3}, {{"a", {1, 0}}, {"b", {}}}, {{"c", "v1"}, {"d", ""}}};
+    req.oldest_inflight = {990, 3};  // Non-zero watermark stamp in the corpus.
+    corpus.push_back(Wrap(req));
+  }
   corpus.push_back(Wrap(ValidateReply{{3, 4}, TxnStatus::kValidatedAbort, 2, 7}));
   corpus.push_back(Wrap(AcceptRequest{{1, 1}, 3, true, {500, 1}, {{"r", {2, 1}}}, {{"k", "v"}}}));
   corpus.push_back(Wrap(AcceptReply{{1, 1}, 3, true, 0, 2}));
-  corpus.push_back(Wrap(CommitRequest{{1, 1}, true}));
+  corpus.push_back(Wrap(CommitRequest{{1, 1}, true, {500, 1}, {480, 1}}));
   corpus.push_back(Wrap(CommitReply{{1, 1}, 2}));
   corpus.push_back(Wrap(EpochChangeRequest{4}));
   {

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/metrics.h"
 #include "src/store/occ.h"
 #include "src/store/trecord.h"
 #include "src/store/vstore.h"
@@ -319,6 +320,38 @@ TEST(TRecordTest, SnapshotRoundTripsThroughReplace) {
   EXPECT_EQ(restored->write_set()[0].value, "v");
   // Core-0 partition untouched.
   EXPECT_EQ(other.Partition(0).Size(), 0u);
+}
+
+TEST(TRecordTest, TrimFinalizedSkipsMetricWritesWhenNothingTrims) {
+  const uint64_t before_trimmed = SnapshotMetrics().CounterValue("trecord.records_trimmed");
+  const int64_t before_live = SnapshotMetrics().GaugeValue("trecord.live_records");
+  TRecordPartition part;
+  TxnRecord& rec = part.GetOrCreate(TxnId{21, 1});
+  rec.ts = Ts(100, 21);
+  rec.status = TxnStatus::kCommitted;
+  // Watermark below every record: nothing trims, and the zero-trim pass must
+  // not touch the counter or the gauge (hot maintenance loop, cold metrics).
+  EXPECT_EQ(part.TrimFinalized(Ts(50, 1)), 0u);
+  EXPECT_EQ(SnapshotMetrics().CounterValue("trecord.records_trimmed"), before_trimmed);
+  EXPECT_EQ(SnapshotMetrics().GaugeValue("trecord.live_records"), before_live + 1);
+  part.Clear();  // Rebalance the global gauge for other tests.
+}
+
+TEST(TRecordTest, ClearAccountsBulkChurn) {
+  const uint64_t before_cleared = SnapshotMetrics().CounterValue("trecord.records_cleared");
+  const int64_t before_live = SnapshotMetrics().GaugeValue("trecord.live_records");
+  TRecordPartition part;
+  part.GetOrCreate(TxnId{22, 1});
+  part.GetOrCreate(TxnId{22, 2});
+  part.GetOrCreate(TxnId{22, 3});
+  part.Clear();
+  // Bulk drops count as churn and bring the live gauge back to balance, so
+  // created - erased - trimmed - cleared keeps matching the gauge.
+  EXPECT_EQ(SnapshotMetrics().CounterValue("trecord.records_cleared"), before_cleared + 3);
+  EXPECT_EQ(SnapshotMetrics().GaugeValue("trecord.live_records"), before_live);
+  // Clearing an already-empty partition writes no metrics.
+  part.Clear();
+  EXPECT_EQ(SnapshotMetrics().CounterValue("trecord.records_cleared"), before_cleared + 3);
 }
 
 }  // namespace
