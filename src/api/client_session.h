@@ -44,6 +44,12 @@ struct TxnOutcome {
   // during the final attempt; 0 if no replica shed. Retry loops honor it on
   // kOverload aborts (AbortRetryPolicy::respect_server_hint).
   uint64_t backoff_hint_ns = 0;
+  // Abort-reason fidelity (Meerkat sessions): VStore::HashKey of the first
+  // key a replica's abort vote named as the failing check, and that hash
+  // resolved against the transaction's own read/write sets. Zero / empty when
+  // no replica reported one (or the system doesn't thread it through).
+  uint64_t conflict_hash = 0;
+  std::string conflict_key;
 
   bool committed() const { return result == TxnResult::kCommit; }
   bool fast_path() const { return path == CommitPath::kFast; }

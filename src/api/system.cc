@@ -44,13 +44,13 @@ void InstallFaultPlan(const SystemOptions& options, Transport* transport) {
 class MeerkatSystem : public System {
  public:
   MeerkatSystem(const SystemOptions& options, Transport* transport, TimeSource* time_source)
-      : System(options.admission), options_(options), transport_(transport),
+      : System(options.admission, options.cache), options_(options), transport_(transport),
         time_source_(time_source), session_rng_(0xc0ffee) {
     InstallFaultPlan(options, transport);
     for (ReplicaId r = 0; r < options.quorum.n; r++) {
       replicas_.push_back(std::make_unique<MeerkatReplica>(
           r, options.quorum, options.cores_per_replica, transport, /*group_base=*/0,
-          options.retry, options.overload, options.gc));
+          options.retry, options.overload, options.gc, options.cache));
     }
   }
 
@@ -70,6 +70,7 @@ class MeerkatSystem : public System {
     s.clock_skew_ns = DrawSkew(session_rng_, options_.clock.max_skew_ns);
     s.clock_jitter_ns = options_.clock.jitter_ns;
     s.force_slow_path = options_.force_slow_path;
+    s.cache = &client_cache();  // Session opts out itself when disabled.
     return std::make_unique<MeerkatSession>(client_id, transport_, time_source_, s, seed);
   }
 
@@ -107,7 +108,7 @@ class MeerkatSystem : public System {
 class TapirSystem : public System {
  public:
   TapirSystem(const SystemOptions& options, Transport* transport, TimeSource* time_source)
-      : System(options.admission), options_(options), transport_(transport),
+      : System(options.admission, options.cache), options_(options), transport_(transport),
         time_source_(time_source), session_rng_(0xc0ffee) {
     InstallFaultPlan(options, transport);
     for (ReplicaId r = 0; r < options.quorum.n; r++) {
@@ -133,6 +134,7 @@ class TapirSystem : public System {
     s.clock_skew_ns = DrawSkew(session_rng_, options_.clock.max_skew_ns);
     s.clock_jitter_ns = options_.clock.jitter_ns;
     s.force_slow_path = options_.force_slow_path;
+    s.cache = &client_cache();  // Session opts out itself when disabled.
     // TAPIR clients run the identical commit protocol.
     return std::make_unique<MeerkatSession>(client_id, transport_, time_source_, s, seed);
   }

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "src/api/client_session.h"
+#include "src/common/client_cache.h"
 #include "src/common/clock.h"
 #include "src/common/gc.h"
 #include "src/common/overload.h"
@@ -98,6 +99,12 @@ struct SystemOptions {
   // finalized records below the piggybacked oldest-inflight watermark.
   // Enabled by default — without it the trecord grows without bound.
   GcOptions gc;
+  // Inter-transaction client read cache with version leases (DESIGN.md §13):
+  // one bounded cache shared by this System's sessions, plus replica-side
+  // piggybacked invalidation hints. Disabled by default — enabling it trades
+  // write-contention aborts for read latency. Meerkat/TAPIR kinds only (the
+  // primary-backup sessions serve reads at the primary and ignore it).
+  CacheOptions cache;
 
   // --- Fluent builder ---
   SystemOptions& WithKind(SystemKind k) {
@@ -152,6 +159,10 @@ struct SystemOptions {
     gc = g;
     return *this;
   }
+  SystemOptions& WithCache(const CacheOptions& c) {
+    cache = c;
+    return *this;
+  }
 };
 
 // A fully assembled cluster of one system kind. Owns the replicas; sessions
@@ -174,12 +185,18 @@ class System {
   // back to adapt the window.
   AimdWindow& admission_window() { return admission_window_; }
 
+  // The shared inter-transaction read cache, sized by SystemOptions::cache.
+  // Constructed even when disabled (sessions check enabled() and opt out).
+  ClientCache& client_cache() { return client_cache_; }
+
  protected:
-  explicit System(const AdmissionOptions& admission = AdmissionOptions())
-      : admission_window_(admission) {}
+  explicit System(const AdmissionOptions& admission = AdmissionOptions(),
+                  const CacheOptions& cache = CacheOptions())
+      : admission_window_(admission), client_cache_(cache) {}
 
  private:
   AimdWindow admission_window_;
+  ClientCache client_cache_;
 
  public:
 

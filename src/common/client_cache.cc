@@ -1,0 +1,143 @@
+#include "src/common/client_cache.h"
+
+#include "src/common/metrics.h"
+
+namespace meerkat {
+namespace {
+
+// Cache effectiveness. Hit rate = hit / (hit + miss + lease_expired); the
+// age histogram shows how much of the lease window hits actually use.
+const MetricId kCacheHits = MetricsRegistry::Counter("cache.hit");
+const MetricId kCacheMisses = MetricsRegistry::Counter("cache.miss");
+const MetricId kCacheLeaseExpired = MetricsRegistry::Counter("cache.lease_expired");
+const MetricId kCacheInvalidated = MetricsRegistry::Counter("cache.invalidated");
+const MetricId kCacheAbortEvictions = MetricsRegistry::Counter("cache.abort_evictions");
+const MetricId kCacheContendedSkips = MetricsRegistry::Counter("cache.contended_skips");
+const MetricId kCacheHitAgeNs = MetricsRegistry::Histogram("cache.hit_age_ns");
+
+}  // namespace
+
+bool ClientCache::Lookup(const std::string& key, uint64_t now_ns, Hit* out) {
+  if (!options_.enabled) {
+    return false;  // Sessions hold a null pointer when disabled; direct
+                   // callers get a silent (metric-free) miss.
+  }
+  MutexLock lock(mu_);
+  auto it = by_key_.find(key);
+  if (it == by_key_.end()) {
+    MetricIncr(kCacheMisses);
+    return false;
+  }
+  Entry& e = *it->second;
+  uint64_t age_ns = now_ns - e.read_ns;
+  if (now_ns < e.read_ns || age_ns >= options_.lease_ns) {
+    // Expired (or a time-source reset made the stamp lie in the future —
+    // treated as expired, the conservative direction). The entry stays: a
+    // refreshing Insert overwrites it in place.
+    MetricIncr(kCacheLeaseExpired);
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  MetricIncr(kCacheHits);
+  MetricRecordValue(kCacheHitAgeNs, age_ns);
+  out->value = e.value;
+  out->wts = e.wts;
+  return true;
+}
+
+void ClientCache::Insert(const std::string& key, uint64_t key_hash, const std::string& value,
+                         Timestamp wts, uint64_t now_ns) {
+  if (!options_.enabled) {
+    return;
+  }
+  MutexLock lock(mu_);
+  if (options_.capacity == 0) {
+    return;
+  }
+  auto contended = contended_.find(key_hash);
+  if (contended != contended_.end() && contended->second >= options_.contended_threshold) {
+    MetricIncr(kCacheContendedSkips);
+    return;
+  }
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    Entry& e = *it->second;
+    if (e.wts > wts) {
+      return;  // A straggler must not regress the cache to an older version.
+    }
+    e.value = value;
+    e.wts = wts;
+    e.read_ns = now_ns;
+    if (e.key_hash != key_hash) {
+      // Caller-supplied hash changed (should not happen with one hash
+      // function); keep the index coherent anyway.
+      auto h = by_hash_.find(e.key_hash);
+      if (h != by_hash_.end() && h->second == it->second) {
+        by_hash_.erase(h);
+      }
+      e.key_hash = key_hash;
+      by_hash_[key_hash] = it->second;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, value, wts, key_hash, now_ns});
+  by_key_[key] = lru_.begin();
+  by_hash_[key_hash] = lru_.begin();
+  while (lru_.size() > options_.capacity) {
+    EraseLocked(std::prev(lru_.end()));
+  }
+}
+
+void ClientCache::ApplyHint(uint64_t key_hash, Timestamp wts) {
+  MutexLock lock(mu_);
+  auto h = by_hash_.find(key_hash);
+  if (h == by_hash_.end()) {
+    return;
+  }
+  if (h->second->wts >= wts) {
+    return;  // The cache already holds that write (or a newer one).
+  }
+  MetricIncr(kCacheInvalidated);
+  EraseLocked(h->second);
+}
+
+void ClientCache::EvictForAbort(const std::string& key, uint64_t key_hash) {
+  MutexLock lock(mu_);
+  MetricIncr(kCacheAbortEvictions);
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    EraseLocked(it->second);
+  }
+  if (contended_.size() > 4 * options_.capacity + 16) {
+    contended_.clear();
+  }
+  contended_[key_hash]++;
+}
+
+size_t ClientCache::EntryCount() const {
+  MutexLock lock(mu_);
+  return lru_.size();
+}
+
+bool ClientCache::Contains(const std::string& key) const {
+  MutexLock lock(mu_);
+  return by_key_.count(key) != 0;
+}
+
+bool ClientCache::IsContended(uint64_t key_hash) const {
+  MutexLock lock(mu_);
+  auto it = contended_.find(key_hash);
+  return it != contended_.end() && it->second >= options_.contended_threshold;
+}
+
+void ClientCache::EraseLocked(LruList::iterator it) {
+  auto h = by_hash_.find(it->key_hash);
+  if (h != by_hash_.end() && h->second == it) {
+    by_hash_.erase(h);
+  }
+  by_key_.erase(it->key);
+  lru_.erase(it);
+}
+
+}  // namespace meerkat

@@ -29,6 +29,8 @@ const char* ToString(TraceStep step) {
     case TraceStep::kRecoveryDecision: return "RECOVERY_DECISION";
     case TraceStep::kEpochChangeStart: return "EPOCH_CHANGE_START";
     case TraceStep::kEpochAdopted: return "EPOCH_ADOPTED";
+    case TraceStep::kCachedRead: return "CACHED_READ";
+    case TraceStep::kCacheAbortEvict: return "CACHE_ABORT_EVICT";
   }
   return "UNKNOWN";
 }

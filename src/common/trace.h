@@ -55,6 +55,8 @@ enum class TraceStep : uint8_t {
   kRecoveryDecision,
   kEpochChangeStart,
   kEpochAdopted,
+  kCachedRead,        // Get served from the client cache (arg: read-set index).
+  kCacheAbortEvict,   // Validation abort evicted the offending cached key.
 };
 
 const char* ToString(TraceStep step);

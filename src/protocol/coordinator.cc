@@ -184,6 +184,14 @@ bool CommitCoordinator::OnMessage(const Message& msg) {
       return false;
     }
     ChargeCoordinatorLogic();
+    if (cache_ != nullptr) {
+      // Piggybacked invalidation (DESIGN.md §13): recently committed writes
+      // this replica saw. Applied before any vote/duplicate filtering — a
+      // hint is useful regardless of what this reply means for the quorum.
+      for (const WriteHint& h : reply->hints) {
+        cache_->ApplyHint(h.key_hash, h.wts);
+      }
+    }
     if (reply->epoch > reply_epoch_) {
       // Votes from an older epoch are void: the epoch change has already
       // force-finalized whatever those replicas had in flight.
@@ -214,6 +222,12 @@ bool CommitCoordinator::OnMessage(const Message& msg) {
       ok_count_++;
     } else {
       abort_count_++;
+      if (outcome_.conflict_hash == 0) {
+        // First abort vote that names its failing key wins; replicas can
+        // disagree (different interleavings), and any one of them is a
+        // truthful conflict to report and self-invalidate on.
+        outcome_.conflict_hash = reply->conflict_hash;
+      }
     }
     MaybeDecideValidation();
     return true;

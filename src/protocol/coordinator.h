@@ -25,6 +25,7 @@
 #include <set>
 #include <vector>
 
+#include "src/common/client_cache.h"
 #include "src/common/retry.h"
 #include "src/common/rng.h"
 #include "src/common/types.h"
@@ -45,6 +46,11 @@ struct CommitOutcome {
   // Largest server-suggested backoff piggybacked on kRetryLater sheds seen
   // during validation; 0 if no replica shed. Meaningful for kOverload aborts.
   uint64_t backoff_hint_ns = 0;
+  // VStore::HashKey of the first key an abort vote named as the failing
+  // check (0 if no replica reported one). Abort-reason fidelity: the session
+  // resolves it against the transaction's sets for TxnOutcome and for cache
+  // self-invalidation.
+  uint64_t conflict_hash = 0;
 
   bool fast_path() const { return path == CommitPath::kFast; }
 };
@@ -87,6 +93,10 @@ class CommitCoordinator {
   // retransmit for. Sessions run one transaction at a time, so this is simply
   // the current transaction's timestamp. Zero (the default) stamps nothing.
   void set_oldest_inflight(Timestamp ts) { oldest_inflight_ = ts; }
+
+  // Client read cache to feed piggybacked invalidation hints into
+  // (DESIGN.md §13). Null (the default) drops the hints.
+  void set_cache(ClientCache* cache) { cache_ = cache; }
 
   CommitCoordinator(const CommitCoordinator&) = delete;
   CommitCoordinator& operator=(const CommitCoordinator&) = delete;
@@ -149,6 +159,7 @@ class CommitCoordinator {
   ReplicaId group_base_ = 0;
   uint8_t priority_ = 0;
   Timestamp oldest_inflight_;
+  ClientCache* cache_ = nullptr;
   CommitOutcome outcome_;
 
   // Validation replies, tracked for the highest epoch seen (replies from

@@ -1,0 +1,115 @@
+// ReadValueScratch: the per-transaction (key -> value) table sessions use for
+// repeat reads and RMW bases. A std::map allocated a node per GET on the hot
+// path; this is a small open-addressed table whose slots — including their
+// string capacity — are reused across transactions. Clear() is O(1): it bumps
+// a generation counter, and a slot is live only when stamped with the current
+// generation, so the strings' heap buffers survive from one transaction to
+// the next and a warm session performs no per-read allocations.
+//
+// Semantics kept minimal for the session's access pattern: insert-or-
+// overwrite and lookup only (no erase within a transaction), which preserves
+// the linear-probing invariant without tombstones.
+
+#ifndef MEERKAT_SRC_PROTOCOL_READ_SCRATCH_H_
+#define MEERKAT_SRC_PROTOCOL_READ_SCRATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace meerkat {
+
+class ReadValueScratch {
+ public:
+  ReadValueScratch() : slots_(kInitialSlots) {}
+
+  // Forgets every entry without releasing any slot's string capacity.
+  void Clear() {
+    gen_++;
+    live_ = 0;
+  }
+
+  size_t size() const { return live_; }
+
+  // The value stored for `key` this generation, or nullptr. The pointer is
+  // stable until the next Insert (which may grow the table) or Clear.
+  const std::string* Find(const std::string& key) const {
+    size_t mask = slots_.size() - 1;
+    size_t i = std::hash<std::string>{}(key) & mask;
+    while (true) {
+      const Slot& s = slots_[i];
+      if (s.gen != gen_) {
+        return nullptr;  // First stale/empty slot ends the probe chain.
+      }
+      if (s.key == key) {
+        return &s.value;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  // Inserts or overwrites; returns the stored value (same stability as Find).
+  const std::string& Insert(const std::string& key, const std::string& value) {
+    if ((live_ + 1) * 2 > slots_.size()) {
+      Grow();
+    }
+    size_t mask = slots_.size() - 1;
+    size_t i = std::hash<std::string>{}(key) & mask;
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.gen != gen_) {
+        // Claim the slot. Assignment (not construction) reuses the key/value
+        // buffers left by whichever entry lived here in an earlier txn.
+        s.gen = gen_;
+        s.key = key;
+        s.value = value;
+        live_++;
+        return s.value;
+      }
+      if (s.key == key) {
+        s.value = value;
+        return s.value;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+ private:
+  struct Slot {
+    uint64_t gen = 0;  // Live iff == the table's current generation (gen_ >= 1).
+    std::string key;
+    std::string value;
+  };
+
+  static constexpr size_t kInitialSlots = 16;  // Power of two; grows at 50% load.
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot());
+    size_t mask = slots_.size() - 1;
+    for (Slot& s : old) {
+      if (s.gen != gen_) {
+        continue;
+      }
+      size_t i = std::hash<std::string>{}(s.key) & mask;
+      while (slots_[i].gen == gen_) {
+        i = (i + 1) & mask;
+      }
+      Slot& d = slots_[i];
+      d.gen = gen_;
+      d.key = std::move(s.key);
+      d.value = std::move(s.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  uint64_t gen_ = 1;
+  size_t live_ = 0;
+};
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_PROTOCOL_READ_SCRATCH_H_

@@ -87,15 +87,21 @@ void MeerkatReplica::EpochGate::UnlockExclusive() {
 
 MeerkatReplica::MeerkatReplica(ReplicaId id, const QuorumConfig& quorum, size_t num_cores,
                                Transport* transport, ReplicaId group_base,
-                               RetryPolicy recovery_retry, OverloadOptions overload, GcOptions gc)
+                               RetryPolicy recovery_retry, OverloadOptions overload, GcOptions gc,
+                               CacheOptions cache)
     : id_(id), quorum_(quorum), num_cores_(num_cores), group_base_(group_base),
-      recovery_retry_(recovery_retry), overload_(overload), gc_(gc), transport_(transport),
+      recovery_retry_(recovery_retry), overload_(overload), gc_(gc), cache_(cache),
+      transport_(transport),
       trecord_(num_cores), scratch_(num_cores > 0 ? num_cores : 1),
       core_load_(num_cores > 0 ? num_cores : 1),
       core_gc_(num_cores > 0 ? num_cores : 1),
+      core_recent_writes_(num_cores > 0 ? num_cores : 1),
       ec_rng_(0x9e3779b9u ^ id), hosted_backups_(num_cores) {
   for (CoreGc& core_gc : core_gc_) {
     core_gc.marks.resize(gc_.max_tracked_clients > 0 ? gc_.max_tracked_clients : 1);
+  }
+  for (CoreRecentWrites& rw : core_recent_writes_) {
+    rw.ring.reserve(cache_.hint_ring);  // Pushes never reallocate mid-path.
   }
   receivers_.reserve(num_cores);
   for (CoreId core = 0; core < num_cores; core++) {
@@ -302,6 +308,7 @@ ZCP_FAST_PATH NO_THREAD_SAFETY_ANALYSIS void MeerkatReplica::DispatchBatch(CoreI
             scratch.reply_idx.push_back(static_cast<uint32_t>(scratch.replies.size()));
           }
         }
+        AttachHints(core, &reply);
         Message out;
         out.src = Address::Replica(id_);
         out.dst = msgs[i].src;
@@ -316,14 +323,16 @@ ZCP_FAST_PATH NO_THREAD_SAFETY_ANALYSIS void MeerkatReplica::DispatchBatch(CoreI
           // Width-1 degenerates to the sequential routine: identical checks,
           // identical simulator cost profile, no scratch sweep overhead.
           ValidateBatchItem& item = scratch.items[0];
-          item.status = OccValidate(store_, *item.read_set, *item.write_set, item.ts);
+          item.status = OccValidate(store_, *item.read_set, *item.write_set, item.ts,
+                                    &item.conflict_hash);
         } else {
           OccValidateBatch(store_, scratch.items.data(), scratch.items.size(), &scratch.occ);
         }
         for (size_t k = 0; k < scratch.items.size(); k++) {
           scratch.records[k]->status = scratch.items[k].status;
-          std::get<ValidateReply>(scratch.replies[scratch.reply_idx[k]].payload).status =
-              scratch.items[k].status;
+          auto& staged = std::get<ValidateReply>(scratch.replies[scratch.reply_idx[k]].payload);
+          staged.status = scratch.items[k].status;
+          staged.conflict_hash = scratch.items[k].conflict_hash;
         }
         // Every fresh record in the sweep went kNone -> non-final; it stays
         // inflight until HandleCommit finalizes it. Single-writer relaxed.
@@ -417,6 +426,51 @@ ZCP_FAST_PATH uint64_t MeerkatReplica::ShedHintNanos(const CoreLoad& load) const
   return overload_.base_backoff_hint_ns * (1 + inflight / cap);
 }
 
+// Recent-writes ring for client-cache invalidation hints (DESIGN.md §13).
+// Plain per-core state: pushes (commit path) and drains (validate replies)
+// both run on the owning core's worker, so no atomics are needed.
+ZCP_FAST_PATH void MeerkatReplica::NoteRecentWrites(CoreId core,
+                                                    const std::vector<WriteSetEntry>& write_set,
+                                                    Timestamp ts) {
+  if (!cache_.enabled || cache_.hint_ring == 0) {
+    return;
+  }
+  CoreRecentWrites& rw = core_recent_writes_[core % core_recent_writes_.size()];
+  for (const WriteSetEntry& w : write_set) {
+    WriteHint h;
+    h.key_hash = VStore::HashKey(w.key);
+    h.wts = ts;
+    if (rw.ring.size() < cache_.hint_ring) {
+      rw.ring.push_back(h);
+    } else {
+      rw.ring[rw.next] = h;
+    }
+    rw.next = (rw.next + 1) % cache_.hint_ring;
+    rw.total++;
+  }
+}
+
+ZCP_FAST_PATH void MeerkatReplica::AttachHints(CoreId core, ValidateReply* reply) {
+  if (!cache_.enabled || cache_.hint_ring == 0 || cache_.hints_per_reply == 0) {
+    return;
+  }
+  const CoreRecentWrites& rw = core_recent_writes_[core % core_recent_writes_.size()];
+  size_t count = rw.ring.size() < cache_.hints_per_reply ? rw.ring.size()
+                                                         : cache_.hints_per_reply;
+  if (count == 0) {
+    return;
+  }
+  reply->hints.reserve(count);
+  // Walk backwards from the newest slot so the freshest writes win the
+  // reply's limited capacity. Non-destructive: every client validating while
+  // a write is in the ring hears about it, not just the first.
+  size_t slot = rw.next;
+  for (size_t i = 0; i < count; i++) {
+    slot = (slot == 0 ? rw.ring.size() : slot) - 1;
+    reply->hints.push_back(rw.ring[slot]);
+  }
+}
+
 ZCP_FAST_PATH void MeerkatReplica::HandleValidate(CoreId core, const Address& from,
                                     const ValidateRequest& req) {
   TRecordPartition& part = trecord_.Partition(core);
@@ -443,6 +497,7 @@ ZCP_FAST_PATH void MeerkatReplica::HandleValidate(CoreId core, const Address& fr
         reply.status = TxnStatus::kValidatedAbort;
         break;
     }
+    AttachHints(core, &reply);
     Reply(from, core, std::move(reply));
     return;
   }
@@ -457,6 +512,7 @@ ZCP_FAST_PATH void MeerkatReplica::HandleValidate(CoreId core, const Address& fr
     // resurrect trimmed state.
     reply.status = TxnStatus::kValidatedAbort;
     MetricIncr(kGcStaleValidates);
+    AttachHints(core, &reply);
     Reply(from, core, std::move(reply));
     return;
   }
@@ -469,6 +525,7 @@ ZCP_FAST_PATH void MeerkatReplica::HandleValidate(CoreId core, const Address& fr
     load.shed.fetch_add(1, std::memory_order_relaxed);
     MetricIncr(kShedValidates);
     MetricRecordValue(kShedHintNs, reply.backoff_hint_ns);
+    AttachHints(core, &reply);
     Reply(from, core, std::move(reply));
     return;
   }
@@ -476,8 +533,10 @@ ZCP_FAST_PATH void MeerkatReplica::HandleValidate(CoreId core, const Address& fr
   TxnRecord& rec = part.GetOrCreate(req.tid);
   rec.ts = req.ts;
   rec.sets = req.sets;  // Adopt the coordinator's shared payload (no copy).
-  rec.status = OccValidate(store_, rec.read_set(), rec.write_set(), rec.ts);
+  rec.status = OccValidate(store_, rec.read_set(), rec.write_set(), rec.ts,
+                           &reply.conflict_hash);
   reply.status = rec.status;
+  AttachHints(core, &reply);
   load.inflight.fetch_add(1, std::memory_order_relaxed);
   Reply(from, core, std::move(reply));
 }
@@ -561,6 +620,7 @@ ZCP_FAST_PATH void MeerkatReplica::HandleCommit(CoreId core, const Address& /*fr
   if (req.commit) {
     rec.status = TxnStatus::kCommitted;
     OccCommit(store_, rec.read_set(), rec.write_set(), rec.ts);
+    NoteRecentWrites(core, rec.write_set(), rec.ts);
   } else {
     rec.status = TxnStatus::kAborted;
     OccCleanup(store_, rec.read_set(), rec.write_set(), rec.ts);

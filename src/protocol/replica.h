@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/common/annotations.h"
+#include "src/common/client_cache.h"
 #include "src/common/dap_check.h"
 #include "src/common/gc.h"
 #include "src/common/overload.h"
@@ -59,10 +60,18 @@ class MeerkatReplica {
   // into a per-core watermark and incrementally trims finalized records of
   // its own partition below it (DESIGN.md §12). Like shedding, GC state is
   // per-core with relaxed single-writer atomics only.
+  //
+  // `cache` configures the replica-side half of the client read cache
+  // (DESIGN.md §13): when enabled with hint_ring > 0, each core remembers its
+  // recently committed writes in a small ring and piggybacks up to
+  // hints_per_reply (key_hash, wts) invalidation hints on validate replies.
+  // The ring is plain per-core state (pushed and drained only by the owning
+  // core's worker) — no cross-core coordination.
   MeerkatReplica(ReplicaId id, const QuorumConfig& quorum, size_t num_cores,
                  Transport* transport, ReplicaId group_base = 0,
                  RetryPolicy recovery_retry = RetryPolicy(),
-                 OverloadOptions overload = OverloadOptions(), GcOptions gc = GcOptions());
+                 OverloadOptions overload = OverloadOptions(), GcOptions gc = GcOptions(),
+                 CacheOptions cache = CacheOptions());
 
   MeerkatReplica(const MeerkatReplica&) = delete;
   MeerkatReplica& operator=(const MeerkatReplica&) = delete;
@@ -113,6 +122,17 @@ class MeerkatReplica {
 
   const OverloadOptions& overload_options() const { return overload_; }
   const GcOptions& gc_options() const { return gc_; }
+  const CacheOptions& cache_options() const { return cache_; }
+
+  // Total writes pushed into the per-core recent-writes rings (observability;
+  // exact only when the cores are quiescent, like shed_total).
+  uint64_t recent_writes_total() const {
+    uint64_t n = 0;
+    for (const CoreRecentWrites& rw : core_recent_writes_) {
+      n += rw.total;
+    }
+    return n;
+  }
 
   // Observability accessors for the per-core load signals (tests, metrics
   // export). Relaxed reads: exact on the owning core, approximate elsewhere.
@@ -215,6 +235,19 @@ class MeerkatReplica {
   };
   static constexpr uint64_t kOrphanRetryCooldownPasses = 64;
 
+  // Per-core recent-writes ring feeding client-cache invalidation hints
+  // (DESIGN.md §13). Plain fields, no atomics: pushes (HandleCommit) and
+  // drains (validate-reply hint attachment) both run on the owning core's
+  // worker thread — single writer AND single reader, like CoreGc's mark
+  // table. Draining is non-destructive (a copy of the newest entries), so a
+  // write is advertised to every client that validates within the ring's
+  // lifetime, not just the first.
+  struct alignas(64) CoreRecentWrites {
+    std::vector<WriteHint> ring;  // Fixed capacity cache_.hint_ring; overwrite-oldest.
+    size_t next = 0;              // Ring cursor: slot the next push overwrites.
+    uint64_t total = 0;           // Monotone push count (observability / drain bound).
+  };
+
   class CoreReceiver : public TransportReceiver {
    public:
     CoreReceiver(MeerkatReplica* replica, CoreId core) : replica_(replica), core_(core) {}
@@ -287,6 +320,14 @@ class MeerkatReplica {
   bool ShouldShed(const CoreLoad& load) const;
   uint64_t ShedHintNanos(const CoreLoad& load) const;
 
+  // --- Client-cache hints (DESIGN.md §13) ----------------------------------
+  // Records a committed write in this core's recent-writes ring (no-op when
+  // hint production is disabled). Owning-core worker only.
+  void NoteRecentWrites(CoreId core, const std::vector<WriteSetEntry>& write_set, Timestamp ts);
+  // Copies the newest <= hints_per_reply ring entries into reply->hints.
+  // Non-destructive; owning-core worker only.
+  void AttachHints(CoreId core, ValidateReply* reply);
+
   // Rebuilds every core's inflight count from the trecord (recovery paths:
   // adopted epoch state replaces the partitions wholesale).
   void RecomputeLoadCounters() REQUIRES(gate_);
@@ -349,6 +390,7 @@ class MeerkatReplica {
   const RetryPolicy recovery_retry_;
   const OverloadOptions overload_;
   const GcOptions gc_;
+  const CacheOptions cache_;
   Transport* const transport_;
 
   VStore store_;
@@ -370,6 +412,7 @@ class MeerkatReplica {
   std::vector<CoreScratch> scratch_;
   std::vector<CoreLoad> core_load_;
   std::vector<CoreGc> core_gc_;
+  std::vector<CoreRecentWrites> core_recent_writes_;
 
   EpochGate gate_;
   std::atomic<EpochNum> epoch_{0};

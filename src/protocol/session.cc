@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/trace.h"
+#include "src/store/vstore.h"
 
 namespace meerkat {
 
@@ -13,7 +14,8 @@ MeerkatSession::MeerkatSession(uint32_t client_id, Transport* transport,
     : client_id_(client_id), transport_(transport), options_(options),
       retry_(options.retry), self_(Address::Client(client_id)),
       clock_(time_source, options.clock_skew_ns, options.clock_jitter_ns, seed ^ 0x5bd1e995),
-      rng_(seed), time_source_(time_source) {
+      rng_(seed), time_source_(time_source),
+      cache_(options.cache != nullptr && options.cache->enabled() ? options.cache : nullptr) {
   transport_->RegisterClient(client_id_, this);
 }
 
@@ -31,7 +33,7 @@ void MeerkatSession::ExecuteAsync(TxnPlan plan, TxnCallback cb) {
   txn_start_ns_ = time_source_->NowNanos();
   core_ = static_cast<CoreId>(rng_.NextBounded(options_.cores_per_replica));
   read_set_.clear();
-  read_values_.clear();
+  read_values_.Clear();
   write_buffer_.clear();
   get_outstanding_ = false;
   get_retries_ = 0;
@@ -55,17 +57,35 @@ void MeerkatSession::IssueNextOp() {
         stats_.reads++;
         // Read-your-own-writes and repeat reads are served locally; neither
         // adds a read-set entry beyond the first network read of the key.
-        if (write_buffer_.count(op.key) != 0 || read_values_.count(op.key) != 0) {
+        const std::string* repeat = read_values_.Find(op.key);
+        if (write_buffer_.count(op.key) != 0 || repeat != nullptr) {
           if (op.kind == Op::Kind::kRmw) {
             stats_.writes++;
             auto buffered = write_buffer_.find(op.key);
-            const std::string& base = buffered != write_buffer_.end()
-                                          ? buffered->second
-                                          : read_values_[op.key];
+            const std::string& base =
+                buffered != write_buffer_.end() ? buffered->second : *repeat;
             write_buffer_[op.key] = op.WriteValue(base);
           }
           next_op_++;
           continue;
+        }
+        // Inter-transaction cache (DESIGN.md §13): an unexpired lease serves
+        // the read with zero network — the entry still joins the read set
+        // with its cached wts, so commit-time validation backstops staleness.
+        if (cache_ != nullptr) {
+          ClientCache::Hit hit;
+          if (cache_->Lookup(op.key, time_source_->NowNanos(), &hit)) {
+            TraceRecord(last_tid_, TraceStep::kCachedRead,
+                        static_cast<uint32_t>(read_set_.size()));
+            read_set_.push_back(ReadSetEntry{op.key, hit.wts});
+            const std::string& value = read_values_.Insert(op.key, hit.value);
+            if (op.kind == Op::Kind::kRmw) {
+              stats_.writes++;
+              write_buffer_[op.key] = op.WriteValue(value);
+            }
+            next_op_++;
+            continue;
+          }
         }
         SendGet(op.key);
         return;  // Resume on GetReply.
@@ -112,6 +132,7 @@ void MeerkatSession::StartCommit() {
       /*done=*/nullptr);
   coordinator_->set_force_slow_path(options_.force_slow_path);
   coordinator_->set_priority(plan_.priority);
+  coordinator_->set_cache(cache_);  // Piggybacked invalidation hints.
   // Watermark-GC stamp: this session runs one transaction at a time, so its
   // oldest possibly-retransmitted timestamp is exactly the one it proposes.
   coordinator_->set_oldest_inflight(last_ts_);
@@ -136,6 +157,41 @@ void MeerkatSession::OnCommitDone(const CommitOutcome& outcome) {
   out.retransmits = txn_retransmits_ + outcome.retransmits;
   out.recovered = outcome.epoch_bumped;
   out.backoff_hint_ns = outcome.backoff_hint_ns;
+  out.conflict_hash = outcome.conflict_hash;
+  if (outcome.result != TxnResult::kCommit && outcome.conflict_hash != 0) {
+    // Abort-reason fidelity: resolve the replica-reported hash back to a key
+    // of this transaction's sets (reads first — that's the cache-relevant
+    // case; a write-protect conflict names a written key instead).
+    for (const ReadSetEntry& r : read_set_) {
+      if (VStore::HashKey(r.key) == outcome.conflict_hash) {
+        out.conflict_key = r.key;
+        if (cache_ != nullptr) {
+          // Dynamic self-invalidation: drop the offending key and teach the
+          // cache it is contended so hot-written keys stop being cached.
+          TraceRecord(last_tid_, TraceStep::kCacheAbortEvict, 0);
+          cache_->EvictForAbort(r.key, outcome.conflict_hash);
+        }
+        break;
+      }
+    }
+    if (out.conflict_key.empty()) {
+      for (const auto& [key, value] : write_buffer_) {
+        if (VStore::HashKey(key) == outcome.conflict_hash) {
+          out.conflict_key = key;
+          break;
+        }
+      }
+    }
+  }
+  if (cache_ != nullptr && outcome.result == TxnResult::kCommit) {
+    // Read-your-own-writes across transactions: the committed writes are the
+    // newest versions (modulo a concurrent winner, which OCC would catch on
+    // the next use) — cache them with the commit timestamp.
+    uint64_t now_ns = time_source_->NowNanos();
+    for (const auto& [key, value] : write_buffer_) {
+      cache_->Insert(key, VStore::HashKey(key), value, last_ts_, now_ns);
+    }
+  }
   FinishTxn(out);
 }
 
@@ -205,11 +261,20 @@ void MeerkatSession::Receive(Message&& msg) {
     const Op& op = plan_.ops[next_op_];
     // A read of a never-written key carries the zero timestamp: validation
     // will catch any write that commits under it.
-    read_set_.push_back(ReadSetEntry{reply->key, reply->found ? reply->wts : kInvalidTimestamp});
-    read_values_[reply->key] = reply->found ? reply->value : std::string();
+    Timestamp read_wts = reply->found ? reply->wts : kInvalidTimestamp;
+    read_set_.push_back(ReadSetEntry{reply->key, read_wts});
+    const std::string& value =
+        read_values_.Insert(reply->key, reply->found ? reply->value : std::string());
+    if (cache_ != nullptr) {
+      // Populate the inter-transaction cache. A not-found read is cached too
+      // (value "", invalid wts — which orders below every real version, so a
+      // later write is always detected at validation).
+      cache_->Insert(reply->key, VStore::HashKey(reply->key), value, read_wts,
+                     time_source_->NowNanos());
+    }
     if (op.kind == Op::Kind::kRmw) {
       stats_.writes++;
-      write_buffer_[op.key] = op.WriteValue(read_values_[reply->key]);
+      write_buffer_[op.key] = op.WriteValue(value);
     }
     next_op_++;
     IssueNextOp();

@@ -16,11 +16,13 @@
 
 #include "src/api/client_session.h"
 #include "src/common/annotations.h"
+#include "src/common/client_cache.h"
 #include "src/common/clock.h"
 #include "src/common/retry.h"
 #include "src/common/rng.h"
 #include "src/protocol/coordinator.h"
 #include "src/protocol/quorum.h"
+#include "src/protocol/read_scratch.h"
 
 namespace meerkat {
 
@@ -36,6 +38,9 @@ struct SessionOptions {
   uint64_t clock_jitter_ns = 0;
   // Ablation: bypass the fast path (always run the ACCEPT round).
   bool force_slow_path = false;
+  // Inter-transaction read cache shared with the other sessions of this
+  // client's System (DESIGN.md §13); null (the default) disables caching.
+  ClientCache* cache = nullptr;
 };
 
 class MeerkatSession : public ClientSession {
@@ -81,11 +86,11 @@ class MeerkatSession : public ClientSession {
   }
   std::optional<std::string> last_read_value(const std::string& key) const override {
     RecursiveMutexLock lock(mu_);
-    auto it = read_values_.find(key);
-    if (it == read_values_.end()) {
+    const std::string* value = read_values_.Find(key);
+    if (value == nullptr) {
       return std::nullopt;
     }
-    return it->second;
+    return *value;
   }
 
  private:
@@ -133,8 +138,12 @@ class MeerkatSession : public ClientSession {
   Timestamp last_ts_ GUARDED_BY(mu_);
 
   std::vector<ReadSetEntry> read_set_ GUARDED_BY(mu_);
-  std::map<std::string, std::string> read_values_ GUARDED_BY(mu_);   // Read cache (repeat reads).
+  ReadValueScratch read_values_ GUARDED_BY(mu_);  // Per-txn repeat-read table (reused).
   std::map<std::string, std::string> write_buffer_ GUARDED_BY(mu_);  // Buffered writes, last-wins.
+
+  // Inter-transaction read cache (null when disabled). The object itself is
+  // internally synchronized and shared across sessions; the pointer is const.
+  ClientCache* const cache_;
 
   // Outstanding GET (one at a time; interactive transactions).
   bool get_outstanding_ GUARDED_BY(mu_) = false;

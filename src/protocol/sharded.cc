@@ -5,6 +5,9 @@
 #include <functional>
 #include <utility>
 
+#include "src/common/trace.h"
+#include "src/store/vstore.h"
+
 namespace meerkat {
 namespace {
 
@@ -22,7 +25,7 @@ int64_t DrawSkew(uint64_t seed, int64_t max_skew) {
 }  // namespace
 
 ShardedCluster::ShardedCluster(const ShardedOptions& options, Transport* transport)
-    : options_(options) {
+    : options_(options), client_cache_(options.system.cache) {
   const SystemOptions& sys = options.system;
   replicas_.reserve(options.num_shards * sys.quorum.n);
   for (size_t shard = 0; shard < options.num_shards; shard++) {
@@ -30,7 +33,7 @@ ShardedCluster::ShardedCluster(const ShardedOptions& options, Transport* transpo
     for (ReplicaId r = 0; r < sys.quorum.n; r++) {
       replicas_.push_back(std::make_unique<MeerkatReplica>(
           base + r, sys.quorum, sys.cores_per_replica, transport, base, sys.retry,
-          sys.overload, sys.gc));
+          sys.overload, sys.gc, sys.cache));
     }
   }
 }
@@ -61,7 +64,8 @@ ShardedSession::ShardedSession(uint32_t client_id, Transport* transport,
       retry_(cluster->options().system.retry), self_(Address::Client(client_id)),
       clock_(time_source, DrawSkew(seed, cluster->options().system.clock.max_skew_ns),
              cluster->options().system.clock.jitter_ns, seed ^ 0x9e3779b9),
-      rng_(seed), time_source_(time_source) {
+      rng_(seed), time_source_(time_source),
+      cache_(cluster->client_cache().enabled() ? &cluster->client_cache() : nullptr) {
   transport_->RegisterClient(client_id_, this);
 }
 
@@ -79,11 +83,11 @@ std::vector<WriteSetEntry> ShardedSession::last_write_set() const {
 
 std::optional<std::string> ShardedSession::last_read_value(const std::string& key) const {
   RecursiveMutexLock lock(mu_);
-  auto it = read_values_.find(key);
-  if (it == read_values_.end()) {
+  const std::string* value = read_values_.Find(key);
+  if (value == nullptr) {
     return std::nullopt;
   }
-  return it->second;
+  return *value;
 }
 
 void ShardedSession::ExecuteAsync(TxnPlan plan, TxnCallback cb) {
@@ -98,7 +102,7 @@ void ShardedSession::ExecuteAsync(TxnPlan plan, TxnCallback cb) {
   txn_start_ns_ = time_source_->NowNanos();
   core_ = static_cast<CoreId>(rng_.NextBounded(cluster_->options().system.cores_per_replica));
   read_set_.clear();
-  read_values_.clear();
+  read_values_.Clear();
   write_buffer_.clear();
   get_outstanding_ = false;
   get_retries_ = 0;
@@ -120,17 +124,34 @@ void ShardedSession::IssueNextOp() {
       case Op::Kind::kRmw:
       case Op::Kind::kGet: {
         stats_.reads++;
-        if (write_buffer_.count(op.key) != 0 || read_values_.count(op.key) != 0) {
+        const std::string* repeat = read_values_.Find(op.key);
+        if (write_buffer_.count(op.key) != 0 || repeat != nullptr) {
           if (op.kind == Op::Kind::kRmw) {
             stats_.writes++;
             auto buffered = write_buffer_.find(op.key);
-            const std::string& base = buffered != write_buffer_.end()
-                                          ? buffered->second
-                                          : read_values_[op.key];
+            const std::string& base =
+                buffered != write_buffer_.end() ? buffered->second : *repeat;
             write_buffer_[op.key] = op.WriteValue(base);
           }
           next_op_++;
           continue;
+        }
+        // Inter-transaction cache, same contract as MeerkatSession: the
+        // cached wts joins the read set, OCC validation backstops staleness.
+        if (cache_ != nullptr) {
+          ClientCache::Hit hit;
+          if (cache_->Lookup(op.key, time_source_->NowNanos(), &hit)) {
+            TraceRecord(last_tid_, TraceStep::kCachedRead,
+                        static_cast<uint32_t>(read_set_.size()));
+            read_set_.push_back(ReadSetEntry{op.key, hit.wts});
+            const std::string& value = read_values_.Insert(op.key, hit.value);
+            if (op.kind == Op::Kind::kRmw) {
+              stats_.writes++;
+              write_buffer_[op.key] = op.WriteValue(value);
+            }
+            next_op_++;
+            continue;
+          }
         }
         SendGet(op.key);
         return;
@@ -189,6 +210,7 @@ void ShardedSession::StartCommit() {
     coordinator->set_defer_decision(true);
     coordinator->set_group_base(cluster_->GlobalId(shard, 0));
     coordinator->set_priority(plan_.priority);
+    coordinator->set_cache(cache_);  // Piggybacked invalidation hints.
     // One distributed transaction at a time per session: the watermark stamp
     // is the shared timestamp every shard's round proposes.
     coordinator->set_oldest_inflight(last_ts_);
@@ -213,6 +235,7 @@ void ShardedSession::MaybeFinishCommit() {
   AbortReason fail_reason = AbortReason::kNone;
   uint64_t coord_retransmits = 0;
   uint64_t backoff_hint_ns = 0;
+  uint64_t conflict_hash = 0;
   bool recovered = false;
   for (auto& [shard, coordinator] : coordinators_) {
     (void)shard;
@@ -223,6 +246,9 @@ void ShardedSession::MaybeFinishCommit() {
     const CommitOutcome& outcome = coordinator->outcome();
     any_overload = any_overload || outcome.reason == AbortReason::kOverload;
     backoff_hint_ns = std::max(backoff_hint_ns, outcome.backoff_hint_ns);
+    if (conflict_hash == 0) {
+      conflict_hash = outcome.conflict_hash;  // First shard to name a key wins.
+    }
     all_commit = all_commit && outcome.result == TxnResult::kCommit;
     if (outcome.result == TxnResult::kFailed) {
       any_failed = true;
@@ -268,6 +294,35 @@ void ShardedSession::MaybeFinishCommit() {
   } else {
     out.result = TxnResult::kCommit;
     out.path = all_fast ? CommitPath::kFast : CommitPath::kSlow;
+  }
+  out.conflict_hash = conflict_hash;
+  if (out.result != TxnResult::kCommit && conflict_hash != 0) {
+    // Abort-reason fidelity + cache self-invalidation (see MeerkatSession).
+    for (const ReadSetEntry& r : read_set_) {
+      if (VStore::HashKey(r.key) == conflict_hash) {
+        out.conflict_key = r.key;
+        if (cache_ != nullptr) {
+          TraceRecord(last_tid_, TraceStep::kCacheAbortEvict, 0);
+          cache_->EvictForAbort(r.key, conflict_hash);
+        }
+        break;
+      }
+    }
+    if (out.conflict_key.empty()) {
+      for (const auto& [key, value] : write_buffer_) {
+        if (VStore::HashKey(key) == conflict_hash) {
+          out.conflict_key = key;
+          break;
+        }
+      }
+    }
+  }
+  if (cache_ != nullptr && out.result == TxnResult::kCommit) {
+    // Read-your-own-writes across transactions (see MeerkatSession).
+    uint64_t now_ns = time_source_->NowNanos();
+    for (const auto& [key, value] : write_buffer_) {
+      cache_->Insert(key, VStore::HashKey(key), value, last_ts_, now_ns);
+    }
   }
   FinishTxn(out);
 }
@@ -333,11 +388,17 @@ void ShardedSession::Receive(Message&& msg) {
     get_outstanding_ = false;
     get_retries_ = 0;
     const Op& op = plan_.ops[next_op_];
-    read_set_.push_back(ReadSetEntry{reply->key, reply->found ? reply->wts : kInvalidTimestamp});
-    read_values_[reply->key] = reply->found ? reply->value : std::string();
+    Timestamp read_wts = reply->found ? reply->wts : kInvalidTimestamp;
+    read_set_.push_back(ReadSetEntry{reply->key, read_wts});
+    const std::string& value =
+        read_values_.Insert(reply->key, reply->found ? reply->value : std::string());
+    if (cache_ != nullptr) {
+      cache_->Insert(reply->key, VStore::HashKey(reply->key), value, read_wts,
+                     time_source_->NowNanos());
+    }
     if (op.kind == Op::Kind::kRmw) {
       stats_.writes++;
-      write_buffer_[op.key] = op.WriteValue(read_values_[reply->key]);
+      write_buffer_[op.key] = op.WriteValue(value);
     }
     next_op_++;
     IssueNextOp();

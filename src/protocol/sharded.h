@@ -35,9 +35,11 @@
 #include "src/api/client_session.h"
 #include "src/api/system.h"
 #include "src/common/annotations.h"
+#include "src/common/client_cache.h"
 #include "src/common/clock.h"
 #include "src/common/rng.h"
 #include "src/protocol/coordinator.h"
+#include "src/protocol/read_scratch.h"
 #include "src/protocol/replica.h"
 #include "src/protocol/session.h"
 
@@ -86,9 +88,15 @@ class ShardedCluster {
     return replicas_[shard * options_.system.quorum.n + r].get();
   }
 
+  // The inter-transaction read cache shared by this cluster's sessions
+  // (DESIGN.md §13); constructed from system.cache even when disabled (the
+  // sessions check enabled() and keep a null pointer otherwise).
+  ClientCache& client_cache() { return client_cache_; }
+
  private:
   const ShardedOptions options_;
   std::vector<std::unique_ptr<MeerkatReplica>> replicas_;
+  ClientCache client_cache_;
 };
 
 // One logical client executing distributed transactions against a
@@ -167,8 +175,11 @@ class ShardedSession : public ClientSession {
   Timestamp last_ts_ GUARDED_BY(mu_);
 
   std::vector<ReadSetEntry> read_set_ GUARDED_BY(mu_);
-  std::map<std::string, std::string> read_values_ GUARDED_BY(mu_);
+  ReadValueScratch read_values_ GUARDED_BY(mu_);
   std::map<std::string, std::string> write_buffer_ GUARDED_BY(mu_);
+
+  // Cluster-shared inter-transaction read cache (null when disabled).
+  ClientCache* const cache_;
 
   bool get_outstanding_ GUARDED_BY(mu_) = false;
   uint64_t get_seq_ GUARDED_BY(mu_) = 0;

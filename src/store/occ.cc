@@ -27,7 +27,8 @@ const MetricId kAbortReadProtect = MetricsRegistry::Counter("occ.abort_read_prot
 }  // namespace
 
 ZCP_FAST_PATH TxnStatus OccValidate(VStore& store, const std::vector<ReadSetEntry>& read_set,
-                      const std::vector<WriteSetEntry>& write_set, Timestamp ts) {
+                      const std::vector<WriteSetEntry>& write_set, Timestamp ts,
+                      uint64_t* conflict_hash) {
   // Validate the read set (Alg. 1 lines 2-12).
   for (size_t i = 0; i < read_set.size(); i++) {
     const ReadSetEntry& r = read_set[i];
@@ -43,6 +44,9 @@ ZCP_FAST_PATH TxnStatus OccValidate(VStore& store, const std::vector<ReadSetEntr
       if (e->TryReadVersionFast(&found, &probe_wts) && found && probe_wts > r.read_wts) {
         LocalFastPathCounters().occ_stale_fast_aborts++;
         MetricIncr(kAbortStaleRead);
+        if (conflict_hash != nullptr) {
+          *conflict_hash = hash;
+        }
         for (size_t j = 0; j < i; j++) {
           KeyEntry* prev = store.Find(read_set[j].key);
           if (prev != nullptr) {
@@ -76,6 +80,9 @@ ZCP_FAST_PATH TxnStatus OccValidate(VStore& store, const std::vector<ReadSetEntr
     }
     if (conflict) {
       MetricIncr(conflict_stale ? kAbortStaleRead : kAbortPendingWriter);
+      if (conflict_hash != nullptr) {
+        *conflict_hash = hash;
+      }
       // Back out registrations made for read_set[0..i).
       for (size_t j = 0; j < i; j++) {
         KeyEntry* prev = store.Find(read_set[j].key);
@@ -111,6 +118,9 @@ ZCP_FAST_PATH TxnStatus OccValidate(VStore& store, const std::vector<ReadSetEntr
     }
     if (conflict) {
       MetricIncr(kAbortReadProtect);
+      if (conflict_hash != nullptr) {
+        *conflict_hash = VStore::HashKey(w.key);
+      }
       OccCleanup(store, read_set, write_set, ts);
       return TxnStatus::kValidatedAbort;
     }
@@ -176,6 +186,7 @@ ZCP_FAST_PATH void OccValidateBatch(VStore& store, ValidateBatchItem* items, siz
     const std::vector<WriteSetEntry>& write_set = *item.write_set;
     const Timestamp ts = item.ts;
     item.status = TxnStatus::kValidatedOk;
+    item.conflict_hash = 0;
 
     // Read set (Alg. 1 lines 2-12), reusing pass-1 hashes/entries.
     for (size_t j = 0; j < read_set.size(); j++) {
@@ -183,6 +194,7 @@ ZCP_FAST_PATH void OccValidateBatch(VStore& store, ValidateBatchItem* items, siz
       if (p.fast_stale) {
         LocalFastPathCounters().occ_stale_fast_aborts++;
         MetricIncr(kAbortStaleRead);
+        item.conflict_hash = p.hash;
         for (size_t k = 0; k < j; k++) {
           KeyEntry* prev = reads[read_base + k].entry;
           if (prev != nullptr) {
@@ -216,6 +228,7 @@ ZCP_FAST_PATH void OccValidateBatch(VStore& store, ValidateBatchItem* items, siz
       }
       if (conflict) {
         MetricIncr(conflict_stale ? kAbortStaleRead : kAbortPendingWriter);
+        item.conflict_hash = p.hash;
         for (size_t k = 0; k < j; k++) {
           KeyEntry* prev = reads[read_base + k].entry;
           if (prev != nullptr) {
@@ -246,6 +259,7 @@ ZCP_FAST_PATH void OccValidateBatch(VStore& store, ValidateBatchItem* items, siz
         }
         if (conflict) {
           MetricIncr(kAbortReadProtect);
+          item.conflict_hash = writes[write_base + j];
           // Rare abort path: the sequential cleanup (re-find by key) keeps
           // semantics byte-identical to OccValidate's conflict exit.
           OccCleanup(store, read_set, write_set, ts);

@@ -27,9 +27,13 @@ namespace meerkat {
 // On abort, every registration made so far is backed out
 // (cleanup_readers_writers in the paper).
 //
-// Returns kValidatedOk or kValidatedAbort.
+// Returns kValidatedOk or kValidatedAbort. When `conflict_hash` is non-null
+// and the verdict is an abort, it receives VStore::HashKey of the first key
+// whose check failed — the client uses it for abort-reason fidelity and for
+// self-invalidating its read cache.
 TxnStatus OccValidate(VStore& store, const std::vector<ReadSetEntry>& read_set,
-                      const std::vector<WriteSetEntry>& write_set, Timestamp ts);
+                      const std::vector<WriteSetEntry>& write_set, Timestamp ts,
+                      uint64_t* conflict_hash = nullptr);
 
 // --- Batched validation ----------------------------------------------------
 
@@ -40,6 +44,7 @@ struct ValidateBatchItem {
   const std::vector<WriteSetEntry>* write_set = nullptr;
   Timestamp ts;
   TxnStatus status = TxnStatus::kNone;  // Out: kValidatedOk / kValidatedAbort.
+  uint64_t conflict_hash = 0;           // Out: hash of the failing key on abort.
 };
 
 // Reusable per-core scratch for OccValidateBatch. Vectors keep their capacity

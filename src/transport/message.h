@@ -96,6 +96,19 @@ struct ValidateRequest {
   }
 };
 
+// One recently-committed write, piggybacked on validation replies so clients
+// can invalidate cached reads (client cache, DESIGN.md §13). Carries the key
+// hash (VStore::HashKey), not the key: 16 fixed bytes per hint, and the
+// client cache indexes by the same hash.
+struct WriteHint {
+  uint64_t key_hash = 0;
+  Timestamp wts;
+
+  friend bool operator==(const WriteHint& a, const WriteHint& b) {
+    return a.key_hash == b.key_hash && a.wts == b.wts;
+  }
+};
+
 struct ValidateReply {
   TxnId tid;
   // kValidatedOk / kValidatedAbort, or kRetryLater when an overloaded replica
@@ -110,6 +123,15 @@ struct ValidateReply {
   // normal votes. Scales with the shedding core's inflight load so clients
   // back off harder the deeper the overload.
   uint64_t backoff_hint_ns = 0;
+  // On kValidatedAbort: hash of the first read/write-set key whose check
+  // failed (abort-reason fidelity + cache self-invalidation); 0 = unknown
+  // (duplicate re-reports, watermark answers, old senders).
+  uint64_t conflict_hash = 0;
+  // Recently-committed writes drained from the answering core's ring (client
+  // cache invalidation; empty when the cache/hint machinery is off). Bounded
+  // by CacheOptions::hints_per_reply at the producer and kMaxWriteHints at
+  // the codec.
+  std::vector<WriteHint> hints;
 };
 
 // --- Slow path (consensus round; also used by backup coordinators) ---
@@ -170,6 +192,10 @@ struct CommitRequest {
 struct CommitReply {
   TxnId tid;
   ReplicaId from = 0;
+  // Same piggyback channel as ValidateReply::hints, for deployments that ack
+  // the write phase. No live protocol path sends CommitReply today, so in
+  // practice hints ride validation replies.
+  std::vector<WriteHint> hints;
 };
 
 // --- Epoch change (replica recovery, §5.3.1) ---

@@ -11,6 +11,10 @@ namespace {
 // system carries a single string or vector anywhere near this large.
 constexpr uint32_t kMaxLength = 64u << 20;
 
+// Hint lists are tiny by construction (CacheOptions::hints_per_reply, default
+// 8); a length prefix beyond this is hostile or corrupt.
+constexpr uint32_t kMaxWriteHints = 64;
+
 }  // namespace
 
 void WireWriter::U32(uint32_t v) {
@@ -214,6 +218,32 @@ bool ReadSnapshots(WireReader& r, std::vector<TxnRecordSnapshot>* snaps) {
 }
 
 template <typename Sink>
+void WriteHints(Sink& w, const std::vector<WriteHint>& hints) {
+  w.U32(static_cast<uint32_t>(hints.size()));
+  for (const WriteHint& h : hints) {
+    w.U64(h.key_hash);
+    w.Ts(h.wts);
+  }
+}
+
+bool ReadHints(WireReader& r, std::vector<WriteHint>* hints) {
+  uint32_t n = 0;
+  if (!r.U32(&n) || n > kMaxWriteHints) {
+    return false;
+  }
+  hints->clear();
+  hints->reserve(n);
+  for (uint32_t i = 0; i < n; i++) {
+    WriteHint h;
+    if (!r.U64(&h.key_hash) || !r.Ts(&h.wts)) {
+      return false;
+    }
+    hints->push_back(h);
+  }
+  return true;
+}
+
+template <typename Sink>
 void WriteVersions(Sink& w, const std::vector<Timestamp>& versions) {
   w.U32(static_cast<uint32_t>(versions.size()));
   for (const Timestamp& ts : versions) {
@@ -268,6 +298,8 @@ struct PayloadEncoder {
     w.U32(p.from);
     w.U64(p.epoch);
     w.U64(p.backoff_hint_ns);
+    w.U64(p.conflict_hash);
+    WriteHints(w, p.hints);
   }
   void operator()(const AcceptRequest& p) {
     w.Tid(p.tid);
@@ -293,6 +325,7 @@ struct PayloadEncoder {
   void operator()(const CommitReply& p) {
     w.Tid(p.tid);
     w.U32(p.from);
+    WriteHints(w, p.hints);
   }
   void operator()(const EpochChangeRequest& p) { w.U64(p.epoch); }
   void operator()(const EpochChangeAck& p) {
@@ -423,10 +456,11 @@ bool DecodePayload(WireReader& r, size_t tag, Payload* out) {
     case 3: {
       ValidateReply p;
       if (!r.Tid(&p.tid) || !ReadReplyStatus(r, &p.status) || !r.U32(&p.from) ||
-          !r.U64(&p.epoch) || !r.U64(&p.backoff_hint_ns)) {
+          !r.U64(&p.epoch) || !r.U64(&p.backoff_hint_ns) || !r.U64(&p.conflict_hash) ||
+          !ReadHints(r, &p.hints)) {
         return false;
       }
-      *out = p;
+      *out = std::move(p);
       return true;
     }
     case 4: {
@@ -463,10 +497,10 @@ bool DecodePayload(WireReader& r, size_t tag, Payload* out) {
     }
     case 7: {
       CommitReply p;
-      if (!r.Tid(&p.tid) || !r.U32(&p.from)) {
+      if (!r.Tid(&p.tid) || !r.U32(&p.from) || !ReadHints(r, &p.hints)) {
         return false;
       }
-      *out = p;
+      *out = std::move(p);
       return true;
     }
     case 8: {

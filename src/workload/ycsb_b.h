@@ -1,0 +1,65 @@
+// YCSB-B: the read-mostly mix (95% reads / 5% writes, Zipf-distributed key
+// choice). Unlike YCSB-T — pure single-key RMWs, where every transaction
+// pays a write — YCSB-B transactions are mostly plain Gets, which is the
+// regime the inter-transaction client read cache (DESIGN.md §13) targets:
+// hot keys are re-read constantly and written rarely, so version leases stay
+// fresh and cached reads displace whole GET round trips.
+
+#ifndef MEERKAT_SRC_WORKLOAD_YCSB_B_H_
+#define MEERKAT_SRC_WORKLOAD_YCSB_B_H_
+
+#include "src/common/zipf.h"
+#include "src/workload/workload.h"
+
+namespace meerkat {
+
+struct YcsbBOptions {
+  uint64_t num_keys = 100000;
+  double zipf_theta = 0.9;
+  size_t key_size = 64;
+  size_t value_size = 64;
+  // Operations per transaction, each independently read/write per
+  // read_fraction. Multi-op transactions are where a read cache pays: an
+  // uncached transaction serializes one GET round trip per read.
+  size_t ops_per_txn = 4;
+  double read_fraction = 0.95;
+};
+
+class YcsbBWorkload : public Workload {
+ public:
+  explicit YcsbBWorkload(const YcsbBOptions& options)
+      : options_(options), chooser_(options.num_keys, options.zipf_theta) {}
+
+  const char* name() const override { return "YCSB-B"; }
+
+  TxnPlan NextTxn(Rng& rng) override {
+    TxnPlan plan;
+    plan.ops.reserve(options_.ops_per_txn);
+    uint64_t read_permille = static_cast<uint64_t>(options_.read_fraction * 1000.0);
+    for (size_t i = 0; i < options_.ops_per_txn; i++) {
+      std::string key = FormatKey(chooser_.Next(rng), options_.key_size);
+      if (rng.NextBounded(1000) < read_permille) {
+        plan.ops.push_back(Op::Get(std::move(key)));
+      } else {
+        plan.ops.push_back(Op::Put(std::move(key), RandomValue(rng, options_.value_size)));
+      }
+    }
+    return plan;
+  }
+
+  void ForEachInitialKey(
+      const std::function<void(const std::string&, const std::string&)>& fn) override {
+    Rng rng(0x1234);
+    for (uint64_t i = 0; i < options_.num_keys; i++) {
+      fn(FormatKey(i, options_.key_size), RandomValue(rng, options_.value_size));
+    }
+  }
+
+ private:
+  const YcsbBOptions options_;
+  KeyChooser chooser_;
+};
+
+}  // namespace meerkat
+
+#endif  // MEERKAT_SRC_WORKLOAD_YCSB_B_H_

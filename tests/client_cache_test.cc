@@ -1,0 +1,491 @@
+// Inter-transaction client read cache (DESIGN.md §13).
+//
+// Unit coverage: lease algebra, LRU/capacity bounds, straggler protection,
+// piggybacked-hint application, abort-driven eviction with the contended-key
+// cutoff, and the ReadValueScratch table the sessions use for repeat reads.
+// End-to-end coverage under the simulator: the 9-message cached-read budget,
+// read-your-own-writes across transactions, stale cache entries aborting (and
+// never committing) with abort-reason fidelity, hint-driven invalidation, and
+// cross-session sharing. A threaded section exercises the shared cache from
+// concurrent sessions (runs under TSan in CI).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/client_cache.h"
+#include "src/common/metrics.h"
+#include "src/common/plan.h"
+#include "src/protocol/read_scratch.h"
+#include "src/store/vstore.h"
+#include "tests/test_util.h"
+
+// Thread-local allocation counter wired into global operator new (same
+// pattern as the UDP zero-alloc audit): lets the scratch-table test assert a
+// warm table performs no per-transaction allocations.
+namespace {
+thread_local int64_t t_alloc_count = 0;
+}  // namespace
+
+__attribute__((noinline)) void* operator new(size_t size) {
+  t_alloc_count++;
+  void* p = std::malloc(size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+__attribute__((noinline)) void operator delete(void* p) noexcept { std::free(p); }
+__attribute__((noinline)) void operator delete(void* p, size_t) noexcept { std::free(p); }
+
+namespace meerkat {
+namespace {
+
+CacheOptions EnabledCache() {
+  // A lease far longer than any test run: freshness comes from hints and
+  // abort-driven eviction unless a test overrides the lease explicitly.
+  return CacheOptions().WithEnabled(true).WithLease(1'000'000'000'000ULL);
+}
+
+uint64_t H(const std::string& key) { return VStore::HashKey(key); }
+
+// --- ClientCache unit tests ------------------------------------------------
+
+TEST(ClientCacheTest, LeaseServesWithinWindowOnly) {
+  ClientCache cache(CacheOptions().WithEnabled(true).WithLease(100));
+  cache.Insert("k", H("k"), "v", {10, 1}, /*now_ns=*/1000);
+
+  ClientCache::Hit hit;
+  EXPECT_TRUE(cache.Lookup("k", /*now_ns=*/1000, &hit));
+  EXPECT_EQ(hit.value, "v");
+  EXPECT_EQ(hit.wts, (Timestamp{10, 1}));
+  EXPECT_TRUE(cache.Lookup("k", /*now_ns=*/1099, &hit));
+  EXPECT_FALSE(cache.Lookup("k", /*now_ns=*/1100, &hit)) << "lease end is exclusive";
+  // The expired entry stays resident (a refresh re-arms it) but never serves.
+  EXPECT_TRUE(cache.Contains("k"));
+}
+
+TEST(ClientCacheTest, ZeroLeaseNeverServes) {
+  ClientCache cache(CacheOptions().WithEnabled(true).WithLease(0));
+  cache.Insert("k", H("k"), "v", {10, 1}, 1000);
+  ClientCache::Hit hit;
+  EXPECT_FALSE(cache.Lookup("k", 1000, &hit));
+}
+
+TEST(ClientCacheTest, ClockRegressionTreatedAsExpired) {
+  // A now_ns below the read stamp (time-source weirdness) must fail closed.
+  ClientCache cache(CacheOptions().WithEnabled(true).WithLease(100));
+  cache.Insert("k", H("k"), "v", {10, 1}, 1000);
+  ClientCache::Hit hit;
+  EXPECT_FALSE(cache.Lookup("k", 500, &hit));
+}
+
+TEST(ClientCacheTest, CapacityIsLruBounded) {
+  ClientCache cache(CacheOptions().WithEnabled(true).WithCapacity(3).WithLease(1000));
+  cache.Insert("a", H("a"), "1", {10, 1}, 0);
+  cache.Insert("b", H("b"), "2", {10, 1}, 0);
+  cache.Insert("c", H("c"), "3", {10, 1}, 0);
+  // Touch "a" so "b" becomes the LRU victim.
+  ClientCache::Hit hit;
+  EXPECT_TRUE(cache.Lookup("a", 1, &hit));
+  cache.Insert("d", H("d"), "4", {10, 1}, 0);
+  EXPECT_EQ(cache.EntryCount(), 3u);
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_FALSE(cache.Contains("b"));
+  EXPECT_TRUE(cache.Contains("c"));
+  EXPECT_TRUE(cache.Contains("d"));
+}
+
+TEST(ClientCacheTest, StragglerInsertCannotRegressVersion) {
+  ClientCache cache(EnabledCache());
+  cache.Insert("k", H("k"), "new", {20, 1}, 100);
+  // A delayed GetReply carrying an older version arrives afterwards.
+  cache.Insert("k", H("k"), "old", {10, 1}, 200);
+  ClientCache::Hit hit;
+  ASSERT_TRUE(cache.Lookup("k", 200, &hit));
+  EXPECT_EQ(hit.value, "new");
+  EXPECT_EQ(hit.wts, (Timestamp{20, 1}));
+}
+
+TEST(ClientCacheTest, NotFoundReadsCacheBelowEveryRealVersion) {
+  // A not-found read is cached as ("", invalid wts); any real version
+  // replaces it, and the straggler rule never lets it replace a real one.
+  ClientCache cache(EnabledCache());
+  cache.Insert("k", H("k"), "", kInvalidTimestamp, 0);
+  ClientCache::Hit hit;
+  ASSERT_TRUE(cache.Lookup("k", 1, &hit));
+  EXPECT_EQ(hit.value, "");
+  cache.Insert("k", H("k"), "v", {5, 1}, 2);
+  ASSERT_TRUE(cache.Lookup("k", 3, &hit));
+  EXPECT_EQ(hit.value, "v");
+  cache.Insert("k", H("k"), "", kInvalidTimestamp, 4);
+  ASSERT_TRUE(cache.Lookup("k", 5, &hit));
+  EXPECT_EQ(hit.value, "v") << "not-found straggler regressed a real version";
+}
+
+TEST(ClientCacheTest, HintEvictsStrictlyOlderEntriesOnly) {
+  ClientCache cache(EnabledCache());
+  cache.Insert("k", H("k"), "v", {10, 1}, 0);
+  cache.ApplyHint(H("k"), {10, 1});  // Same version (own write echoed back).
+  EXPECT_TRUE(cache.Contains("k"));
+  cache.ApplyHint(H("k"), {9, 1});  // Older write: no-op.
+  EXPECT_TRUE(cache.Contains("k"));
+  cache.ApplyHint(H("unknown"), {99, 1});  // Unindexed hash: no-op.
+  EXPECT_TRUE(cache.Contains("k"));
+  cache.ApplyHint(H("k"), {11, 1});  // Newer write: entry is stale, drop it.
+  EXPECT_FALSE(cache.Contains("k"));
+}
+
+TEST(ClientCacheTest, AbortEvictionStopsCachingContendedKeys) {
+  CacheOptions options = EnabledCache().WithContendedThreshold(2);
+  ClientCache cache(options);
+  for (uint32_t round = 0; round < 2; round++) {
+    cache.Insert("hot", H("hot"), "v", {10 + round, 1}, 0);
+    EXPECT_TRUE(cache.Contains("hot"));
+    cache.EvictForAbort("hot", H("hot"));
+    EXPECT_FALSE(cache.Contains("hot"));
+  }
+  EXPECT_TRUE(cache.IsContended(H("hot")));
+  cache.Insert("hot", H("hot"), "v", {20, 1}, 0);
+  EXPECT_FALSE(cache.Contains("hot")) << "contended key was cached again";
+  // Uncontended keys are unaffected.
+  cache.Insert("cold", H("cold"), "v", {20, 1}, 0);
+  EXPECT_TRUE(cache.Contains("cold"));
+}
+
+TEST(ClientCacheTest, DisabledCacheAcceptsCallsAndServesNothing) {
+  // Sessions hold a null pointer when disabled, but the System constructs the
+  // object either way — direct calls must be safe no-ops for hits.
+  ClientCache cache(CacheOptions{});
+  EXPECT_FALSE(cache.enabled());
+  cache.Insert("k", H("k"), "v", {10, 1}, 0);
+  ClientCache::Hit hit;
+  EXPECT_FALSE(cache.Lookup("k", 0, &hit));
+}
+
+// --- ReadValueScratch unit tests -------------------------------------------
+
+TEST(ReadValueScratchTest, InsertFindOverwriteAndClear) {
+  ReadValueScratch scratch;
+  EXPECT_EQ(scratch.Find("a"), nullptr);
+  scratch.Insert("a", "1");
+  ASSERT_NE(scratch.Find("a"), nullptr);
+  EXPECT_EQ(*scratch.Find("a"), "1");
+  scratch.Insert("a", "2");
+  EXPECT_EQ(*scratch.Find("a"), "2");
+  EXPECT_EQ(scratch.size(), 1u);
+  scratch.Clear();
+  EXPECT_EQ(scratch.Find("a"), nullptr);
+  EXPECT_EQ(scratch.size(), 0u);
+}
+
+TEST(ReadValueScratchTest, GrowsPastInitialCapacity) {
+  ReadValueScratch scratch;
+  for (int i = 0; i < 200; i++) {
+    scratch.Insert("key-" + std::to_string(i), "value-" + std::to_string(i));
+  }
+  EXPECT_EQ(scratch.size(), 200u);
+  for (int i = 0; i < 200; i++) {
+    const std::string* v = scratch.Find("key-" + std::to_string(i));
+    ASSERT_NE(v, nullptr) << i;
+    EXPECT_EQ(*v, "value-" + std::to_string(i));
+  }
+}
+
+TEST(ReadValueScratchTest, WarmTableDoesNotAllocatePerTransaction) {
+  ReadValueScratch scratch;
+  // Values long enough to defeat the small-string optimization, so buffer
+  // reuse (not SSO) is what the zero count proves.
+  const std::string value(64, 'x');
+  auto one_txn = [&] {
+    scratch.Clear();
+    for (int i = 0; i < 8; i++) {
+      scratch.Insert("key-" + std::to_string(i), value);
+      ASSERT_NE(scratch.Find("key-" + std::to_string(i)), nullptr);
+    }
+  };
+  one_txn();  // Warmup: sizes the table and every slot's string capacity.
+  // The probe keys themselves are SSO-sized, so a warm "transaction" is
+  // allocation-free end to end.
+  int64_t before = t_alloc_count;
+  for (int txn = 0; txn < 10; txn++) {
+    one_txn();
+  }
+  EXPECT_EQ(t_alloc_count, before) << "warm scratch table allocated";
+}
+
+// --- End-to-end: simulator -------------------------------------------------
+
+SystemOptions CachedOptions(SystemKind kind, CacheOptions cache, size_t cores = 1) {
+  SystemOptions options = DefaultOptions(kind, cores);
+  options.cache = cache;
+  return options;
+}
+
+// The headline budget: a cached read skips the GET round entirely, so a
+// 1-RMW fast-path transaction drops from 11 client messages to 9
+// (3 VALIDATE + 3 replies + 3 async COMMIT).
+TEST(CachedReadBudgetTest, CachedRmwUsesNineMessages) {
+  SimHarness h(CachedOptions(SystemKind::kMeerkat, EnabledCache()));
+  h.system().Load("k", "0");
+  auto session = h.MakeSession(1);
+
+  auto txn_msgs = [&](TxnPlan plan) {
+    CoordinationStats before = h.sim().context().stats();
+    EXPECT_EQ(h.RunTxn(*session, std::move(plan)), TxnResult::kCommit);
+    return h.sim().context().stats().client_msgs - before.client_msgs;
+  };
+
+  EXPECT_EQ(txn_msgs(Txn().Rmw("k", "1").Build()), 11u) << "cold read still pays the GET";
+  // Read-your-own-writes: the commit populated the cache, so the next
+  // transaction's read is local.
+  EXPECT_EQ(txn_msgs(Txn().Rmw("k", "2").Build()), 9u);
+  EXPECT_EQ(txn_msgs(Txn().Rmw("k", "3").Build()), 9u);
+  EXPECT_EQ(h.ValueAt(0, "k"), "3");
+}
+
+TEST(CachedReadBudgetTest, ReadYourOwnWriteServesCorrectValue) {
+  SimHarness h(CachedOptions(SystemKind::kMeerkat, EnabledCache()));
+  h.system().Load("k", "0");
+  auto session = h.MakeSession(1);
+  EXPECT_EQ(h.RunTxn(*session, Txn().Put("k", "mine").Build()), TxnResult::kCommit);
+  EXPECT_EQ(h.RunTxn(*session, Txn().Get("k").Build()), TxnResult::kCommit);
+  auto value = session->last_read_value("k");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, "mine");
+}
+
+TEST(CachedReadBudgetTest, CrossSessionSharingServesPeerReads) {
+  // Session 1 populates the System-wide cache; session 2's read of the same
+  // key is then local (9-message transaction).
+  SimHarness h(CachedOptions(SystemKind::kMeerkat, EnabledCache()));
+  h.system().Load("k", "0");
+  auto a = h.MakeSession(1);
+  auto b = h.MakeSession(2, /*seed=*/7);
+  EXPECT_EQ(h.RunTxn(*a, Txn().Get("k").Build()), TxnResult::kCommit);
+  CoordinationStats before = h.sim().context().stats();
+  EXPECT_EQ(h.RunTxn(*b, Txn().Rmw("k", "1").Build()), TxnResult::kCommit);
+  EXPECT_EQ(h.sim().context().stats().client_msgs - before.client_msgs, 9u);
+}
+
+// The safety half of the design: a stale cache entry may cost an abort but
+// can never commit a stale read. Hints are disabled (hint_ring = 0) and the
+// lease never expires, so nothing rescues the entry before validation.
+TEST(StaleCacheTest, StaleEntryAbortsWithConflictKeyAndSelfInvalidates) {
+  CacheOptions cache = EnabledCache().WithHintRing(0);
+  SimHarness h(CachedOptions(SystemKind::kMeerkat, cache));
+  h.system().Load("k", "0");
+  auto reader = h.MakeSession(1);
+  auto writer = h.MakeSession(2, /*seed=*/7);
+
+  // Reader caches k@load-version; writer then moves the key forward. The
+  // writer's read-your-own-writes insert keeps the *shared* cache coherent,
+  // so to obtain a genuinely stale entry (as a second independent client
+  // process would see) the fresh entry is replaced with the load-version one.
+  EXPECT_EQ(h.RunTxn(*reader, Txn().Get("k").Build()), TxnResult::kCommit);
+  EXPECT_EQ(h.RunTxn(*writer, Txn().Rmw("k", "fresh").Build()), TxnResult::kCommit);
+  h.system().client_cache().EvictForAbort("k", H("k"));
+  h.system().client_cache().Insert("k", H("k"), "0", {1, 0},
+                                   h.time_source().NowNanos());
+  ASSERT_TRUE(h.system().client_cache().Contains("k"));
+
+  // The reader's next transaction serves k from the now-stale cache entry;
+  // commit-time validation must reject it and name the offending key.
+  TxnOutcome outcome = h.RunTxnOutcome(*reader, Txn().Rmw("k", "stale-write").Build());
+  EXPECT_EQ(outcome.result, TxnResult::kAbort);
+  EXPECT_EQ(outcome.conflict_hash, H("k"));
+  EXPECT_EQ(outcome.conflict_key, "k");
+  // Nothing stale reached the store.
+  EXPECT_EQ(h.ValueAt(0, "k"), "fresh");
+  // Dynamic self-invalidation dropped the entry...
+  EXPECT_FALSE(h.system().client_cache().Contains("k"));
+  // ...so the retry reads over the network and commits against fresh state.
+  EXPECT_EQ(h.RunTxn(*reader, Txn().Rmw("k", "retry").Build()), TxnResult::kCommit);
+  EXPECT_EQ(h.ValueAt(0, "k"), "retry");
+}
+
+TEST(StaleCacheTest, AbortReasonFidelityWorksWithCacheDisabled) {
+  // The conflict-key channel is an independent satellite: it must report the
+  // failing read even when no cache is involved. Two sessions, interleaved
+  // manually: A reads k over the network, B commits a newer k, then A tries
+  // to commit against its now-stale read.
+  SimHarness h(DefaultOptions(SystemKind::kMeerkat));
+  h.system().Load("k", "0");
+  h.system().Load("other", "0");
+  auto a = h.MakeSession(1);
+  auto b = h.MakeSession(2, /*seed=*/7);
+
+  // A's RMW transform launches B's conflicting RMW between A's read of k and
+  // A's commit, so the two transactions overlap on the key.
+  bool b_ran = false;
+  std::optional<TxnOutcome> b_outcome;
+  TxnPlan plan;
+  plan.ops.push_back(Op::RmwFn("k", [&](const std::string& read) {
+    if (!b_ran) {
+      b_ran = true;
+      // Runs while A's transaction is between read and commit.
+      b->ExecuteAsync(Txn().Rmw("k", "b-wins").Build(),
+                      [&b_outcome](const TxnOutcome& o) { b_outcome = o; });
+    }
+    return read + "-a";
+  }));
+  TxnOutcome a_outcome = h.RunTxnOutcome(*a, std::move(plan));
+  ASSERT_TRUE(b_ran);
+  ASSERT_TRUE(b_outcome.has_value());
+  // OCC cannot let both overlapping RMWs of one key commit.
+  ASSERT_TRUE(a_outcome.result == TxnResult::kAbort ||
+              b_outcome->result == TxnResult::kAbort);
+  // Every abort must name the key it lost on.
+  if (a_outcome.result == TxnResult::kAbort) {
+    EXPECT_EQ(a_outcome.conflict_hash, H("k"));
+    EXPECT_EQ(a_outcome.conflict_key, "k");
+  }
+  if (b_outcome->result == TxnResult::kAbort) {
+    EXPECT_EQ(b_outcome->conflict_hash, H("k"));
+    EXPECT_EQ(b_outcome->conflict_key, "k");
+  }
+}
+
+TEST(HintInvalidationTest, PiggybackedHintsEvictStaleEntries) {
+  // One core so every transaction's validation drains the same recent-writes
+  // ring. Reader caches k; writer commits a new k and then runs a transaction
+  // on an unrelated key — the validation replies of that second transaction
+  // carry the ring hint naming k, which must evict the reader's stale entry.
+  SimHarness h(CachedOptions(SystemKind::kMeerkat, EnabledCache(), /*cores=*/1));
+  h.system().Load("k", "0");
+  h.system().Load("other", "0");
+  auto reader = h.MakeSession(1);
+  auto writer = h.MakeSession(2, /*seed=*/7);
+
+  EXPECT_EQ(h.RunTxn(*reader, Txn().Get("k").Build()), TxnResult::kCommit);
+  ASSERT_TRUE(h.system().client_cache().Contains("k"));
+  EXPECT_EQ(h.RunTxn(*writer, Txn().Put("k", "fresh").Build()), TxnResult::kCommit);
+  // The writer's own commit re-inserted k (read-your-own-writes) at the new
+  // version; hints at the same version keep it. Force the shared entry stale
+  // again from the reader's perspective by evicting and re-reading... no:
+  // the RYOW insert *is* the fresh version, so the cache is already
+  // coherent. To observe hint-driven eviction, wipe the RYOW entry and plant
+  // a stale one.
+  h.system().client_cache().EvictForAbort("k", H("k"));
+  h.system().client_cache().Insert("k", H("k"), "0", {1, 0}, 0);
+  ASSERT_TRUE(h.system().client_cache().Contains("k"));
+
+  uint64_t invalidated_before = SnapshotMetrics(false).CounterValue("cache.invalidated");
+  EXPECT_EQ(h.RunTxn(*writer, Txn().Rmw("other", "1").Build()), TxnResult::kCommit);
+  EXPECT_FALSE(h.system().client_cache().Contains("k"))
+      << "validation replies did not carry the invalidation hint";
+  EXPECT_GT(SnapshotMetrics(false).CounterValue("cache.invalidated"), invalidated_before);
+}
+
+TEST(HintInvalidationTest, OwnWriteHintsDoNotEvictReadYourOwnWrites) {
+  // The writer's validation replies echo hints for its own just-committed
+  // version; ApplyHint must keep the equal-version RYOW entry, so chained
+  // RMWs keep hitting the cache instead of being invalidated by themselves.
+  SimHarness h(CachedOptions(SystemKind::kMeerkat, EnabledCache(), /*cores=*/1));
+  h.system().Load("k", "0");
+  auto session = h.MakeSession(1);
+  EXPECT_EQ(h.RunTxn(*session, Txn().Rmw("k", "1").Build()), TxnResult::kCommit);
+  uint64_t hits_before = SnapshotMetrics(false).CounterValue("cache.hit");
+  EXPECT_EQ(h.RunTxn(*session, Txn().Rmw("k", "2").Build()), TxnResult::kCommit);
+  EXPECT_EQ(h.RunTxn(*session, Txn().Rmw("k", "3").Build()), TxnResult::kCommit);
+  EXPECT_EQ(SnapshotMetrics(false).CounterValue("cache.hit") - hits_before, 2u);
+  EXPECT_EQ(h.ValueAt(0, "k"), "3");
+}
+
+TEST(HintInvalidationTest, DisabledCacheProducesNoHints) {
+  // With the default options the replica must not even populate the ring —
+  // the hint machinery is pay-for-what-you-use.
+  SimHarness h(DefaultOptions(SystemKind::kMeerkat));
+  h.system().Load("k", "0");
+  auto session = h.MakeSession(1);
+  CoordinationStats before = h.sim().context().stats();
+  EXPECT_EQ(h.RunTxn(*session, Txn().Rmw("k", "1").Build()), TxnResult::kCommit);
+  EXPECT_EQ(h.RunTxn(*session, Txn().Rmw("k", "2").Build()), TxnResult::kCommit);
+  // Unchanged 11-message budget per txn: nothing was served from a cache.
+  EXPECT_EQ(h.sim().context().stats().client_msgs - before.client_msgs, 22u);
+}
+
+TEST(CacheMetricsTest, HitMissAndEvictionCountersMove) {
+  SimHarness h(CachedOptions(SystemKind::kMeerkat, EnabledCache()));
+  h.system().Load("k", "0");
+  auto session = h.MakeSession(1);
+  MetricsSnapshot before = SnapshotMetrics(false);
+  EXPECT_EQ(h.RunTxn(*session, Txn().Get("k").Build()), TxnResult::kCommit);  // Miss.
+  EXPECT_EQ(h.RunTxn(*session, Txn().Get("k").Build()), TxnResult::kCommit);  // Hit.
+  MetricsSnapshot after = SnapshotMetrics(false);
+  EXPECT_GT(after.CounterValue("cache.miss"), before.CounterValue("cache.miss"));
+  EXPECT_GT(after.CounterValue("cache.hit"), before.CounterValue("cache.hit"));
+}
+
+// TAPIR sessions share MeerkatSession's client code; the cache must work
+// there identically.
+TEST(CachedReadBudgetTest, TapirSessionsUseTheCacheToo) {
+  SimHarness h(CachedOptions(SystemKind::kTapir, EnabledCache()));
+  h.system().Load("k", "0");
+  auto session = h.MakeSession(1);
+  EXPECT_EQ(h.RunTxn(*session, Txn().Rmw("k", "1").Build()), TxnResult::kCommit);
+  CoordinationStats before = h.sim().context().stats();
+  EXPECT_EQ(h.RunTxn(*session, Txn().Rmw("k", "2").Build()), TxnResult::kCommit);
+  EXPECT_EQ(h.sim().context().stats().client_msgs - before.client_msgs, 9u);
+}
+
+// --- Threaded: shared cache under real concurrency (TSan in CI) ------------
+
+TEST(ClientCacheThreadedTest, ConcurrentSessionsShareOneCache) {
+  SystemOptions sys = DefaultOptions(SystemKind::kMeerkat, /*cores=*/2);
+  sys.cache = CacheOptions().WithEnabled(true).WithLease(5'000'000).WithCapacity(64);
+  sys.retry = RetryPolicy::WithTimeout(3'000'000);
+  ThreadedHarness h(sys);
+  constexpr int kKeys = 8;
+  for (int i = 0; i < kKeys; i++) {
+    h.system().Load("key-" + std::to_string(i), "0");
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kTxnsPerThread = 60;
+  std::atomic<int> committed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      auto session = h.system().CreateSession(static_cast<uint32_t>(t + 1),
+                                              /*seed=*/1000 + static_cast<uint64_t>(t));
+      Rng rng(static_cast<uint64_t>(t) * 77 + 1);
+      for (int i = 0; i < kTxnsPerThread; i++) {
+        std::string key = "key-" + std::to_string(rng.NextBounded(kKeys));
+        TxnPlan plan;
+        if (rng.NextBounded(100) < 80) {
+          plan.ops.push_back(Op::Get(key));
+        } else {
+          plan.ops.push_back(Op::Rmw(key, std::to_string(i)));
+        }
+        std::atomic<bool> done{false};
+        TxnResult result = TxnResult::kFailed;
+        session->ExecuteAsync(std::move(plan), [&](const TxnOutcome& o) {
+          result = o.result;
+          done.store(true, std::memory_order_release);
+        });
+        while (!done.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        if (result == TxnResult::kCommit) {
+          committed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_GT(committed.load(), kThreads * kTxnsPerThread / 2);
+  EXPECT_LE(h.system().client_cache().EntryCount(), 64u);
+}
+
+}  // namespace
+}  // namespace meerkat

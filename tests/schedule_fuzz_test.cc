@@ -24,7 +24,9 @@
 #include <optional>
 #include <utility>
 
+#include "src/common/client_cache.h"
 #include "src/common/gc.h"
+#include "src/common/metrics.h"
 #include "src/common/rng.h"
 #include "src/protocol/replica.h"
 #include "src/protocol/session.h"
@@ -95,7 +97,7 @@ struct FuzzOutcome {
 // client's next transaction is launched from the previous completion
 // callback, so its watermark stamp advances mid-schedule.
 FuzzOutcome RunSchedule(uint64_t seed, int num_clients, int txns_per_client = 1,
-                        GcOptions gc = GcOptions()) {
+                        GcOptions gc = GcOptions(), CacheOptions cache = CacheOptions()) {
   SchedulingTransport transport(seed);
   SystemTimeSource time_source;
   QuorumConfig quorum = QuorumConfig::ForReplicas(3);
@@ -104,14 +106,19 @@ FuzzOutcome RunSchedule(uint64_t seed, int num_clients, int txns_per_client = 1,
   for (ReplicaId r = 0; r < 3; r++) {
     replicas.push_back(std::make_unique<MeerkatReplica>(r, quorum, /*num_cores=*/1, &transport,
                                                         /*group_base=*/0, RetryPolicy(),
-                                                        OverloadOptions(), gc));
+                                                        OverloadOptions(), gc, cache));
     replicas.back()->LoadKey("hot", "0", Timestamp{1, 0});
   }
+
+  // Shared across all clients, as in a real System (cross-session reuse is
+  // part of what the schedules must not be able to corrupt).
+  ClientCache shared_cache(cache);
 
   SessionOptions options;
   options.quorum = quorum;
   options.cores_per_replica = 1;
   options.retry = RetryPolicy::WithTimeout(0);  // Loss-free schedules need no retries.
+  options.cache = &shared_cache;
 
   std::vector<std::unique_ptr<MeerkatSession>> sessions;
   FuzzOutcome outcome;
@@ -286,6 +293,25 @@ TEST(ScheduleFuzzTest, ConflictingChainsWithTrimInterleaved) {
     }
   }
   EXPECT_TRUE(trimmed_somewhere) << "no schedule ever trimmed a record — vacuous variant";
+}
+
+// Cache-enabled variant: every client serves its second transaction's read of
+// "hot" from the shared cache (read-your-own-writes populates it on the first
+// commit, and a never-expiring lease keeps it servable), so the cached wts is
+// stale whenever a conflicting peer committed in between — under *every*
+// delivery schedule the OCC validation must turn that staleness into an
+// abort, never a committed stale read (the serial-order check would flag it).
+TEST(ScheduleFuzzTest, ConflictingChainsWithCacheEnabled) {
+  CacheOptions cache = CacheOptions().WithEnabled(true).WithLease(1'000'000'000'000ULL);
+  uint64_t hits_before = SnapshotMetrics(false).CounterValue("cache.hit");
+  for (uint64_t seed = 0; seed < 150; seed++) {
+    FuzzOutcome outcome = RunSchedule(seed + 3000, 2, /*txns_per_client=*/2, GcOptions(), cache);
+    for (const std::string& v : outcome.violations) {
+      ADD_FAILURE() << "seed " << seed << ": " << v;
+    }
+  }
+  uint64_t hits_after = SnapshotMetrics(false).CounterValue("cache.hit");
+  EXPECT_GT(hits_after, hits_before) << "no schedule ever served a cached read — vacuous variant";
 }
 
 }  // namespace

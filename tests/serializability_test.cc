@@ -21,12 +21,19 @@ namespace meerkat {
 namespace {
 
 class SerializabilitySimTest
-    : public ::testing::TestWithParam<std::tuple<SystemKind, double, uint64_t>> {};
+    : public ::testing::TestWithParam<std::tuple<SystemKind, double, uint64_t, bool>> {};
 
 TEST_P(SerializabilitySimTest, HotKeyspaceHistoryIsSerializable) {
-  auto [kind, theta, seed] = GetParam();
+  auto [kind, theta, seed, cache_on] = GetParam();
 
   SystemOptions sys = DefaultOptions(kind, /*cores=*/4);
+  if (cache_on) {
+    // Adversarial cache configuration: leases far longer than the run so
+    // every entry that CAN go stale DOES serve stale, and commit-time OCC
+    // validation is the only thing standing between a stale read and a
+    // committed violation (the checker would report it).
+    sys.cache = CacheOptions().WithEnabled(true).WithLease(1'000'000'000);
+  }
   Simulator sim(sys.cost);
   SimTransport transport(&sim);
   // Jitter reorders messages so replicas validate in different orders —
@@ -104,13 +111,25 @@ INSTANTIATE_TEST_SUITE_P(
     Contended, SerializabilitySimTest,
     ::testing::Combine(::testing::Values(SystemKind::kMeerkat, SystemKind::kMeerkatPb,
                                          SystemKind::kTapir, SystemKind::kKuaFu),
-                       ::testing::Values(0.0, 0.9), ::testing::Values<uint64_t>(1, 2, 3)));
+                       ::testing::Values(0.0, 0.9), ::testing::Values<uint64_t>(1, 2, 3),
+                       ::testing::Values(false)));
+
+// Cache-enabled re-run on the kinds that honor SystemOptions::cache. The
+// stale-read safety argument (DESIGN.md §13) is only as good as validation:
+// these cells prove a hot, constantly-stale shared cache never commits a
+// stale read on any seed.
+INSTANTIATE_TEST_SUITE_P(
+    ContendedCacheEnabled, SerializabilitySimTest,
+    ::testing::Combine(::testing::Values(SystemKind::kMeerkat, SystemKind::kTapir),
+                       ::testing::Values(0.9), ::testing::Values<uint64_t>(1, 2, 3),
+                       ::testing::Values(true)));
 
 // Threaded runtime: real concurrency, optional fault injection.
 struct ThreadedCase {
   SystemKind kind;
   double drop_probability;
   uint64_t max_extra_delay_ns;
+  bool cache = false;
 };
 
 class SerializabilityThreadedTest : public ::testing::TestWithParam<ThreadedCase> {};
@@ -120,6 +139,9 @@ TEST_P(SerializabilityThreadedTest, ConcurrentHistoryIsSerializable) {
   SystemOptions sys = DefaultOptions(param.kind, /*cores=*/2);
   // Retries are required under drops.
   sys.retry = RetryPolicy::WithTimeout(3'000'000);  // 3 ms.
+  if (param.cache) {
+    sys.cache = CacheOptions().WithEnabled(true).WithLease(1'000'000'000);
+  }
 
   ThreadedHarness h(sys);
   h.transport().faults().SetDropProbability(param.drop_probability);
@@ -165,7 +187,14 @@ INSTANTIATE_TEST_SUITE_P(
                       ThreadedCase{SystemKind::kMeerkat, 0.02, 500'000},
                       ThreadedCase{SystemKind::kTapir, 0.0, 0},
                       ThreadedCase{SystemKind::kMeerkatPb, 0.0, 0},
-                      ThreadedCase{SystemKind::kKuaFu, 0.0, 0}),
+                      ThreadedCase{SystemKind::kKuaFu, 0.0, 0},
+                      // Cache-enabled cells: a shared stale-prone cache under
+                      // real threads, including message loss/delay/duplication
+                      // (delayed GetReplies insert stale versions; validation
+                      // must still keep every commit fresh).
+                      ThreadedCase{SystemKind::kMeerkat, 0.0, 0, /*cache=*/true},
+                      ThreadedCase{SystemKind::kMeerkat, 0.02, 500'000, /*cache=*/true},
+                      ThreadedCase{SystemKind::kTapir, 0.0, 0, /*cache=*/true}),
     [](const ::testing::TestParamInfo<ThreadedCase>& info) {
       std::string name = ToString(info.param.kind);
       for (char& c : name) {
@@ -175,6 +204,9 @@ INSTANTIATE_TEST_SUITE_P(
       }
       if (info.param.drop_probability > 0) {
         name += "_lossy";
+      }
+      if (info.param.cache) {
+        name += "_cache";
       }
       return name;
     });

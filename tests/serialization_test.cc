@@ -87,6 +87,46 @@ TEST(SerializationTest, ValidateReplyRoundTrip) {
   const auto& p = std::get<ValidateReply>(out.payload);
   EXPECT_EQ(p.status, TxnStatus::kValidatedAbort);
   EXPECT_EQ(p.epoch, 7u);
+  EXPECT_EQ(p.conflict_hash, 0u);
+  EXPECT_TRUE(p.hints.empty());
+}
+
+TEST(SerializationTest, ValidateReplyConflictHashAndHintsRoundTrip) {
+  // Abort-reason fidelity (conflict_hash) and the cache-invalidation hint
+  // list both ride the validation reply.
+  ValidateReply reply{{3, 4}, TxnStatus::kValidatedAbort, 2, 7};
+  reply.conflict_hash = 0xfeedfacecafebeefULL;
+  reply.hints = {{0x1111, {100, 1}}, {0x2222, {101, 2}}};
+  Message out = RoundTrip(Wrap(reply));
+  const auto& p = std::get<ValidateReply>(out.payload);
+  EXPECT_EQ(p.conflict_hash, 0xfeedfacecafebeefULL);
+  ASSERT_EQ(p.hints.size(), 2u);
+  EXPECT_EQ(p.hints[0], (WriteHint{0x1111, {100, 1}}));
+  EXPECT_EQ(p.hints[1], (WriteHint{0x2222, {101, 2}}));
+}
+
+TEST(SerializationTest, CommitReplyHintsRoundTrip) {
+  CommitReply reply{{1, 1}, 2};
+  reply.hints = {{0x3333, {200, 4}}};
+  Message out = RoundTrip(Wrap(reply));
+  const auto& p = std::get<CommitReply>(out.payload);
+  ASSERT_EQ(p.hints.size(), 1u);
+  EXPECT_EQ(p.hints[0], (WriteHint{0x3333, {200, 4}}));
+}
+
+TEST(SerializationTest, HostileHintCountIsRejected) {
+  // A ValidateReply whose hint count claims more than kMaxWriteHints (64)
+  // must be rejected before any allocation is attempted.
+  ValidateReply reply{{3, 4}, TxnStatus::kValidatedOk, 0, 1};
+  std::vector<uint8_t> bytes = EncodeMessage(Wrap(reply));
+  // The hint count is the final u32 of the encoding (after conflict_hash).
+  ASSERT_GE(bytes.size(), 4u);
+  bytes[bytes.size() - 4] = 0xff;
+  bytes[bytes.size() - 3] = 0xff;
+  bytes[bytes.size() - 2] = 0xff;
+  bytes[bytes.size() - 1] = 0xff;
+  Message out;
+  EXPECT_FALSE(DecodeMessage(bytes, &out));
 }
 
 TEST(SerializationTest, ShedValidateReplyRoundTrip) {
@@ -235,11 +275,20 @@ std::vector<Message> SampleCorpus() {
     req.oldest_inflight = {990, 3};  // Non-zero watermark stamp in the corpus.
     corpus.push_back(Wrap(req));
   }
-  corpus.push_back(Wrap(ValidateReply{{3, 4}, TxnStatus::kValidatedAbort, 2, 7}));
+  {
+    ValidateReply reply{{3, 4}, TxnStatus::kValidatedAbort, 2, 7};
+    reply.conflict_hash = 0xabcdef01;  // Non-zero abort-reason hash.
+    reply.hints = {{0x1111, {100, 1}}, {0x2222, {101, 2}}};  // Non-empty hint list.
+    corpus.push_back(Wrap(reply));
+  }
   corpus.push_back(Wrap(AcceptRequest{{1, 1}, 3, true, {500, 1}, {{"r", {2, 1}}}, {{"k", "v"}}}));
   corpus.push_back(Wrap(AcceptReply{{1, 1}, 3, true, 0, 2}));
   corpus.push_back(Wrap(CommitRequest{{1, 1}, true, {500, 1}, {480, 1}}));
-  corpus.push_back(Wrap(CommitReply{{1, 1}, 2}));
+  {
+    CommitReply reply{{1, 1}, 2};
+    reply.hints = {{0x3333, {200, 4}}};  // Exercise the hint path here too.
+    corpus.push_back(Wrap(reply));
+  }
   corpus.push_back(Wrap(EpochChangeRequest{4}));
   {
     EpochChangeAck ack;
